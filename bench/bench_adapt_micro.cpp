@@ -1,0 +1,105 @@
+// Microbenchmark (google-benchmark): serial 3D_TAG kernel throughput —
+// marking, pattern upgrade, subdivision, coarsening, dual-graph
+// construction, and the four partitioners.  Not a paper figure; these
+// are the ablation numbers behind the simulated cost-model constants.
+#include <benchmark/benchmark.h>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace plum;
+
+void BM_BoxMeshGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh::make_cube_mesh(n));
+  }
+  state.SetItemsProcessed(state.iterations() * 6 * n * n * n);
+}
+BENCHMARK(BM_BoxMeshGeneration)->Arg(8)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+void BM_RefineRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double frac = static_cast<double>(state.range(1)) / 100.0;
+  const mesh::Mesh initial = mesh::make_cube_mesh(n);
+  std::int64_t created = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mesh::Mesh m = initial;
+    adapt::mark_refine_random(m, frac, /*seed=*/7);
+    state.ResumeTiming();
+    const auto r = adapt::refine_marked(m);
+    created += r.elements_created;
+  }
+  state.SetItemsProcessed(created);
+  state.SetLabel("elements created/s");
+}
+BENCHMARK(BM_RefineRandom)
+    ->Args({8, 10})
+    ->Args({8, 35})
+    ->Args({12, 35})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CoarsenAll(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  mesh::Mesh refined = mesh::make_cube_mesh(n);
+  adapt::mark_refine_random(refined, 0.35, /*seed=*/7);
+  adapt::refine_marked(refined);
+  std::int64_t removed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mesh::Mesh m = refined;
+    adapt::mark_coarsen_all_refined(m);
+    state.ResumeTiming();
+    const auto r = adapt::coarsen_and_refine(m);
+    removed += r.elements_removed;
+  }
+  state.SetItemsProcessed(removed);
+  state.SetLabel("elements removed/s");
+}
+BENCHMARK(BM_CoarsenAll)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_DualGraphBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const mesh::Mesh m = mesh::make_cube_mesh(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dual::build_dual_graph(m));
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_active_elements());
+}
+BENCHMARK(BM_DualGraphBuild)->Arg(12)->Arg(22)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Partitioner(benchmark::State& state) {
+  const auto names = partition::partitioner_names();
+  const auto& name = names[static_cast<std::size_t>(state.range(0))];
+  const int k = static_cast<int>(state.range(1));
+  const mesh::Mesh m = mesh::make_cube_mesh(12);
+  const dual::DualGraph g = dual::build_dual_graph(m);
+  std::int64_t cut = 0;
+  for (auto _ : state) {
+    const auto r = partition::make_partitioner(name)->partition(g, k);
+    cut = r.edgecut;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(name + " k=" + std::to_string(k) +
+                 " cut=" + std::to_string(cut));
+}
+BENCHMARK(BM_Partitioner)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({3, 16})
+    ->Args({0, 64})
+    ->Args({3, 64})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Figure 8: "Speedup of the parallel mesh adaption code during the
+// (a) refinement and (b) coarsening stages" for Local_1 / Local_2 /
+// Random, P = 1..64.
+//
+// Speedup is simulated-time speedup: T(1)/T(P) where T is the max over
+// ranks of the adaption phase's virtual clock (compute charges + every
+// message's setup/transfer/wait — see simmpi/cost_model.hpp).
+//
+// Expected shapes (paper §10): Random best ("35.5X speedup on 64
+// processors"), Local_2 next ("reduced to about 25.0X ... refined in a
+// single compact region"), Local_1 refinement worst ("a compact
+// spherical region ... all of the work is thus performed by only a
+// handful of processors"); Local_1 coarsening much better than its
+// refinement.
+#include <cstdio>
+
+#include "common.hpp"
+#include "parallel/parallel_adapt.hpp"
+
+using namespace plum;
+using plumbench::BenchConfig;
+
+namespace {
+
+struct PhaseTimes {
+  double refine_us = 0.0;
+  double coarsen_us = 0.0;
+};
+
+PhaseTimes run_once(const mesh::Mesh& global, const dual::DualGraph& dualg,
+                    const adapt::Strategy& strategy, int P) {
+  const auto proc = plumbench::initial_placement(dualg, P);
+  std::vector<double> refine_us(static_cast<std::size_t>(P), 0.0);
+  std::vector<double> coarsen_us(static_cast<std::size_t>(P), 0.0);
+
+  simmpi::Machine machine;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    parallel::DistMesh dm =
+        parallel::build_local_mesh(global, proc, comm.rank(), comm.size());
+    parallel::ParallelAdaptor adaptor(&dm, &comm);
+    comm.barrier();
+
+    const double t0 = comm.clock().now();
+    strategy.apply_refine(dm.local);
+    comm.charge(static_cast<double>(dm.local.num_active_edges()),
+                comm.cost().c_mark_edge_us);
+    adaptor.refine();
+    comm.barrier();
+    const double t1 = comm.clock().now();
+
+    strategy.apply_coarsen(dm.local);
+    comm.charge(static_cast<double>(dm.local.num_active_edges()),
+                comm.cost().c_mark_edge_us);
+    adaptor.coarsen();
+    comm.barrier();
+    const double t2 = comm.clock().now();
+
+    refine_us[static_cast<std::size_t>(comm.rank())] = t1 - t0;
+    coarsen_us[static_cast<std::size_t>(comm.rank())] = t2 - t1;
+  });
+
+  PhaseTimes out;
+  for (int r = 0; r < P; ++r) {
+    out.refine_us = std::max(out.refine_us, refine_us[static_cast<std::size_t>(r)]);
+    out.coarsen_us =
+        std::max(out.coarsen_us, coarsen_us[static_cast<std::size_t>(r)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = plumbench::parse_args(argc, argv);
+  const mesh::Mesh global = plumbench::paper_mesh(cfg);
+  const dual::DualGraph dualg = dual::build_dual_graph(global);
+  const auto strategies = plumbench::paper_strategies(global, cfg.seed);
+
+  std::vector<std::vector<PhaseTimes>> times(strategies.size());
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    for (const int P : cfg.procs) {
+      times[s].push_back(run_once(global, dualg, strategies[s], P));
+      std::fprintf(stderr, "  [fig8] %s P=%d done\n",
+                   strategies[s].name(), P);
+    }
+  }
+
+  for (int phase = 0; phase < 2; ++phase) {
+    Table t(phase == 0
+                ? "Fig. 8(a) — speedup of the refinement stage"
+                : "Fig. 8(b) — speedup of the coarsening stage");
+    t.header({"P", "Local_1", "Local_2", "Random"}).precision(1);
+    for (std::size_t pi = 0; pi < cfg.procs.size(); ++pi) {
+      std::vector<Table::Cell> row{
+          static_cast<long long>(cfg.procs[pi])};
+      for (std::size_t s = 0; s < strategies.size(); ++s) {
+        const double t1 = phase == 0 ? times[s][0].refine_us
+                                     : times[s][0].coarsen_us;
+        const double tp = phase == 0 ? times[s][pi].refine_us
+                                     : times[s][pi].coarsen_us;
+        row.emplace_back(tp > 0 ? t1 / tp : 0.0);
+      }
+      t.row(row);
+    }
+    plumbench::print_table(t, cfg);
+  }
+
+  // Headline-claim checks at the largest P.
+  const std::size_t last = cfg.procs.size() - 1;
+  const auto speedup = [&](std::size_t s) {
+    return times[s][0].refine_us / times[s][last].refine_us;
+  };
+  std::printf("claim: Random refinement speedup @P=%d: %.1fx "
+              "(paper @64: 35.5x)\n",
+              cfg.procs[last], speedup(2));
+  std::printf("claim: Local_2 refinement speedup @P=%d: %.1fx "
+              "(paper @64: ~25.0x)\n",
+              cfg.procs[last], speedup(1));
+  std::printf("shape: Local_1 refinement is the worst of the three: %s\n",
+              (speedup(0) < speedup(1) && speedup(0) < speedup(2))
+                  ? "yes"
+                  : "NO");
+  const double l1_coarsen =
+      times[0][0].coarsen_us / times[0][last].coarsen_us;
+  std::printf("shape: Local_1 coarsening beats Local_1 refinement "
+              "(%.1fx vs %.1fx): %s\n",
+              l1_coarsen, speedup(0), l1_coarsen > speedup(0) ? "yes" : "NO");
+  return 0;
+}

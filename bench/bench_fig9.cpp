@@ -1,0 +1,131 @@
+// Figure 9: "Anatomy of total execution times for the (a) Local_1 and
+// (b) Local_2 refinement strategies" — per-phase times (mesh adaption,
+// processor reassignment, remapping) vs processor count, F = 1,
+// heuristic mapper.  (Repartitioning time is excluded, as in the
+// paper.)
+//
+// Expected shapes: remapping time initially increases with P then
+// gradually decreases ("even though the total volume of data movement
+// increases with the number of processors, there are actually more
+// processors to share the work"); reassignment time increases with P
+// but "remains negligible compared to the adaption and remapping
+// times"; adaption time decreases with P.
+#include <cstdio>
+
+#include "common.hpp"
+#include "parallel/framework.hpp"
+
+using namespace plum;
+using plumbench::BenchConfig;
+
+namespace {
+
+struct Anatomy {
+  double adaption_us = 0.0;
+  double reassignment_us = 0.0;
+  double remapping_us = 0.0;
+};
+
+Anatomy run_once(const mesh::Mesh& global, const dual::DualGraph& dualg,
+                 const adapt::Strategy& strategy, int P) {
+  const auto proc = plumbench::initial_placement(dualg, P);
+  std::vector<Anatomy> per_rank(static_cast<std::size_t>(P));
+
+  parallel::FrameworkConfig fcfg;
+  fcfg.solver_iterations = 0;
+  fcfg.balancer.partitioner = "rcb";
+  fcfg.balancer.remapper = "heuristic";
+  fcfg.balancer.factor = 1;
+  fcfg.balancer.use_cost_decision = false;  // always remap: we time it
+  fcfg.balancer.imbalance_threshold = 1.0;  // always repartition
+
+  simmpi::Machine machine;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    parallel::PlumFramework fw(&comm, global, dualg, proc, fcfg);
+    comm.barrier();
+    const double t0 = comm.clock().now();
+    fw.refine_with([&](mesh::Mesh& m) { strategy.apply_refine(m); });
+    comm.barrier();
+    const double t1 = comm.clock().now();
+    fw.refresh_weights();
+    // Partitioning runs here too but is excluded from the reassignment
+    // number: we time only the similarity-matrix + mapper charge.
+    const auto outcome = fw.balance_only();
+    comm.barrier();
+    const double t2_unused = comm.clock().now();
+    (void)t2_unused;
+    fw.migrate_to(outcome.proc_of_vertex);
+    comm.barrier();
+    const double t3 = comm.clock().now();
+
+    auto& a = per_rank[static_cast<std::size_t>(comm.rank())];
+    a.adaption_us = t1 - t0;
+    // Reassignment: the deterministic mapper charge (see
+    // PlumFramework::balance_only) — identical on all ranks.
+    const double cols = static_cast<double>(comm.size());
+    a.reassignment_us =
+        (cols * cols + cols * cols) * comm.cost().c_reassign_step_us;
+    a.remapping_us = t3 - t1 - a.reassignment_us;
+    if (a.remapping_us < 0) a.remapping_us = t3 - t1;
+  });
+
+  Anatomy out;
+  for (const auto& a : per_rank) {
+    out.adaption_us = std::max(out.adaption_us, a.adaption_us);
+    out.reassignment_us = std::max(out.reassignment_us, a.reassignment_us);
+    out.remapping_us = std::max(out.remapping_us, a.remapping_us);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = plumbench::parse_args(argc, argv);
+  const mesh::Mesh global = plumbench::paper_mesh(cfg);
+  const dual::DualGraph dualg = dual::build_dual_graph(global);
+  const auto strategies = plumbench::paper_strategies(global, cfg.seed);
+
+  for (int s : {0, 1}) {  // Local_1, Local_2
+    Table t(std::string("Fig. 9") + (s == 0 ? "(a)" : "(b)") +
+            " — anatomy of execution time, " + strategies[s].name() +
+            " refinement (simulated ms)");
+    t.header({"P", "adaption", "reassignment", "remapping"}).precision(3);
+    std::vector<Anatomy> series;
+    for (const int P : cfg.procs) {
+      if (P < 2) continue;  // remapping needs somewhere to move data
+      series.push_back(
+          run_once(global, dualg, strategies[static_cast<std::size_t>(s)], P));
+      const Anatomy& a = series.back();
+      t.row({static_cast<long long>(P), a.adaption_us / 1000.0,
+             a.reassignment_us / 1000.0, a.remapping_us / 1000.0});
+      std::fprintf(stderr, "  [fig9] %s P=%d done\n",
+                   strategies[static_cast<std::size_t>(s)].name(), P);
+    }
+    plumbench::print_table(t, cfg);
+
+    // Shape checks.
+    bool reassign_negligible = true;
+    for (const auto& a : series) {
+      if (a.reassignment_us > 0.5 * std::max(a.adaption_us, a.remapping_us)) {
+        reassign_negligible = false;
+      }
+    }
+    std::printf("shape[%s]: reassignment negligible vs adaption+remapping "
+                "at every P: %s\n",
+                strategies[static_cast<std::size_t>(s)].name(),
+                reassign_negligible ? "yes" : "NO");
+    if (series.size() >= 3) {
+      const double first = series.front().remapping_us;
+      const double last = series.back().remapping_us;
+      double peak = 0.0;
+      for (const auto& a : series) peak = std::max(peak, a.remapping_us);
+      std::printf("shape[%s]: remapping rises then falls with P "
+                  "(first %.2fms, peak %.2fms, last %.2fms): %s\n",
+                  strategies[static_cast<std::size_t>(s)].name(),
+                  first / 1000.0, peak / 1000.0, last / 1000.0,
+                  (peak >= first && last <= peak) ? "yes" : "NO");
+    }
+  }
+  return 0;
+}

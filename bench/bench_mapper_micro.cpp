@@ -1,0 +1,83 @@
+// Microbenchmark (google-benchmark): processor-reassignment mappers on
+// random similarity matrices across (P, F).  Not a paper figure — this
+// is the scaling ablation behind Fig. 10's wall-clock numbers, pushing
+// P beyond the paper's 64 to check that the heuristic stays cheap.
+#include <benchmark/benchmark.h>
+
+#include "balance/remapper.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using plum::Rng;
+using plum::balance::SimilarityMatrix;
+
+SimilarityMatrix random_matrix(int P, int F, std::uint64_t seed) {
+  Rng rng(seed);
+  SimilarityMatrix s(P, F);
+  for (int i = 0; i < P; ++i) {
+    for (int j = 0; j < s.ncols(); ++j) {
+      // Diagonal-heavy, like real post-adaption matrices.
+      s.at(i, j) = static_cast<std::int64_t>(rng.next_below(500)) +
+                   ((j / F == i) ? 4000 : 0);
+    }
+  }
+  return s;
+}
+
+void BM_HeuristicMapper(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const int F = static_cast<int>(state.range(1));
+  const SimilarityMatrix s = random_matrix(P, F, 0xCAFE + P * 10 + F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plum::balance::heuristic_assign(s));
+  }
+  state.SetLabel("P=" + std::to_string(P) + " F=" + std::to_string(F));
+}
+
+void BM_OptimalMapper(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const int F = static_cast<int>(state.range(1));
+  const SimilarityMatrix s = random_matrix(P, F, 0xCAFE + P * 10 + F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plum::balance::optimal_assign(s));
+  }
+  state.SetLabel("P=" + std::to_string(P) + " F=" + std::to_string(F));
+}
+
+void MapperArgs(benchmark::internal::Benchmark* b) {
+  for (const int P : {8, 16, 32, 64, 128, 256}) {
+    for (const int F : {1, 2, 4}) {
+      if (static_cast<long long>(P) * F <= 512) b->Args({P, F});
+    }
+  }
+}
+
+BENCHMARK(BM_HeuristicMapper)->Apply(MapperArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OptimalMapper)->Apply(MapperArgs)->Unit(benchmark::kMillisecond);
+
+void BM_SimilarityBuild(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const std::int64_t n = 64000;
+  Rng rng(0xB17D);
+  std::vector<plum::Rank> cur(static_cast<std::size_t>(n));
+  std::vector<plum::PartId> part(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> wremap(static_cast<std::size_t>(n));
+  for (std::size_t v = 0; v < cur.size(); ++v) {
+    cur[v] = static_cast<plum::Rank>(rng.next_below(P));
+    part[v] = static_cast<plum::PartId>(rng.next_below(P));
+    wremap[v] = 1 + static_cast<std::int64_t>(rng.next_below(8));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SimilarityMatrix::build(cur, part, wremap, P, 1));
+  }
+  state.SetLabel("P=" + std::to_string(P) + " |V|=64000");
+}
+
+BENCHMARK(BM_SimilarityBuild)->Arg(16)->Arg(64)->Arg(256)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

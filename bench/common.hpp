@@ -1,0 +1,116 @@
+// Shared infrastructure for the per-table / per-figure benchmark
+// harnesses.
+//
+// Every bench accepts:
+//   --n <cells>    box-mesh cells per side (default 22 = paper scale,
+//                  63,888 tets vs the paper's 60,968)
+//   --procs a,b,c  processor counts to sweep (default 1..64 by doubling)
+//   --quick        shrink to n=8 and P<=16 for smoke runs
+//   --csv          emit CSV after each table
+//
+// All benches print the paper's reference numbers next to the measured
+// ones wherever the paper states them, so the reproduction claims in
+// EXPERIMENTS.md can be regenerated with `for b in build/bench/*; do $b; done`.
+#pragma once
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+#include "support/table.hpp"
+
+namespace plumbench {
+
+struct BenchConfig {
+  int n = 22;
+  std::vector<int> procs = {1, 2, 4, 8, 16, 32, 64};
+  bool csv = false;
+  std::uint64_t seed = 0x9601;
+};
+
+inline BenchConfig parse_args(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&] {
+      PLUM_CHECK_MSG(i + 1 < argc, "missing value for " << a);
+      return std::string(argv[++i]);
+    };
+    if (a == "--n") {
+      cfg.n = std::stoi(next());
+    } else if (a == "--procs") {
+      cfg.procs.clear();
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        cfg.procs.push_back(std::stoi(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    } else if (a == "--quick") {
+      cfg.n = 8;
+      cfg.procs = {1, 2, 4, 8, 16};
+    } else if (a == "--csv") {
+      cfg.csv = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--n N] [--procs a,b,c] [--quick] [--csv]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+inline void print_table(const plum::Table& t, const BenchConfig& cfg) {
+  t.print();
+  if (cfg.csv) std::printf("%s\n", t.csv().c_str());
+}
+
+/// The paper-scale substitute mesh (DESIGN.md §1).
+inline plum::mesh::Mesh paper_mesh(const BenchConfig& cfg) {
+  return plum::mesh::make_cube_mesh(cfg.n);
+}
+
+/// The three §10 strategies, calibrated once on the initial mesh.
+inline std::vector<plum::adapt::Strategy> paper_strategies(
+    const plum::mesh::Mesh& initial, std::uint64_t seed) {
+  using plum::adapt::make_strategy;
+  using plum::adapt::StrategyKind;
+  return {make_strategy(StrategyKind::kLocal1, initial, seed),
+          make_strategy(StrategyKind::kLocal2, initial, seed),
+          make_strategy(StrategyKind::kRandom, initial, seed)};
+}
+
+/// Initial balanced placement of the dual graph over P processors.
+inline std::vector<plum::Rank> initial_placement(
+    const plum::dual::DualGraph& g, int nprocs) {
+  const auto r =
+      plum::partition::make_partitioner("rcb")->partition(g, nprocs);
+  return std::vector<plum::Rank>(r.part.begin(), r.part.end());
+}
+
+/// Wall-clock helper (for the mapper-time measurements of Fig. 10,
+/// which the paper reports in real seconds).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace plumbench

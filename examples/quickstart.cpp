@@ -1,0 +1,81 @@
+// Quickstart: the whole library in ~80 effective lines.
+//
+//   1. build a tetrahedral mesh;
+//   2. mark and refine a region (serial 3D_TAG);
+//   3. build the dual graph and partition it;
+//   4. run one full adaptive cycle on a simulated 8-processor machine —
+//      solve, adapt, evaluate, repartition, reassign, remap.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "mesh/mesh_check.hpp"
+#include "parallel/framework.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+
+using namespace plum;
+
+int main() {
+  // --- 1. a mesh ---------------------------------------------------------
+  mesh::Mesh m = mesh::make_cube_mesh(6);  // 6x6x6 cells -> 1296 tets
+  std::printf("initial mesh: %lld elements, %lld edges\n",
+              static_cast<long long>(m.num_active_elements()),
+              static_cast<long long>(m.num_active_edges()));
+
+  // --- 2. serial adaption --------------------------------------------------
+  adapt::mark_refine_in_sphere(m, {{0.3, 0.3, 0.3}, 0.25});
+  const adapt::SubdivisionResult r = adapt::refine_marked(m);
+  std::printf("refined: +%lld elements (%lld edges bisected); mesh %s\n",
+              static_cast<long long>(r.elements_created),
+              static_cast<long long>(r.edges_bisected),
+              mesh::check_mesh(m).ok() ? "valid" : "INVALID");
+
+  // --- 3. dual graph + partitioning ---------------------------------------
+  mesh::Mesh initial = mesh::make_cube_mesh(6);
+  dual::DualGraph dualg = dual::build_dual_graph(initial);
+  dual::update_weights(dualg, m);
+  const auto part = partition::make_partitioner("multilevel")
+                        ->partition(dualg, /*nparts=*/8);
+  std::printf("multilevel partition into 8: edge cut %lld, imbalance %.3f\n",
+              static_cast<long long>(part.edgecut), part.imbalance);
+
+  // --- 4. one adaptive cycle on a simulated machine -------------------------
+  const auto init_part =
+      partition::make_partitioner("rcb")->partition(
+          dual::build_dual_graph(initial), 8);
+  const std::vector<Rank> proc(init_part.part.begin(),
+                               init_part.part.end());
+  parallel::FrameworkConfig cfg;
+  cfg.solver_iterations = 5;
+
+  simmpi::Machine machine;
+  machine.run(8, [&](simmpi::Comm& comm) {
+    parallel::PlumFramework fw(&comm, initial, dualg, proc, cfg);
+    const parallel::CycleStats stats = fw.cycle(
+        [](mesh::Mesh& local) {
+          adapt::mark_refine_in_sphere(local, {{0.3, 0.3, 0.3}, 0.25});
+        },
+        /*mark_coarsen=*/nullptr);
+    if (comm.rank() == 0) {
+      std::printf(
+          "cycle on P=8: imbalance %.2f -> %.2f, moved %lld elements, "
+          "decision: %s\n",
+          stats.balance.old_load.imbalance,
+          stats.balance.new_load.imbalance,
+          static_cast<long long>(stats.balance.decision.cost.elements_moved),
+          stats.balance.accepted ? "remap accepted" : "remap rejected");
+      std::printf("simulated times: adaption %.2f ms, migration %.2f ms, "
+                  "solver %.2f ms\n",
+                  stats.refine.elapsed_us / 1000.0,
+                  stats.migration.elapsed_us / 1000.0,
+                  stats.solver.elapsed_us / 1000.0);
+    }
+  });
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Serial adaption driver: the "execution phase" of 3D_TAG on a single
+// processor.  The distributed version lives in parallel/parallel_adapt.*
+// and reuses the same building blocks with communication interleaved.
+#pragma once
+
+#include "adapt/coarsen.hpp"
+#include "adapt/refine.hpp"
+
+namespace plum::adapt {
+
+/// Upgrades marks to a consistent state and subdivides.  Call after any
+/// of the marking functions; returns subdivision statistics.
+inline SubdivisionResult refine_marked(mesh::Mesh& m) {
+  upgrade_patterns(m);
+  return subdivide(m);
+}
+
+}  // namespace plum::adapt

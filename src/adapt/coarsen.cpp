@@ -1,0 +1,162 @@
+#include "adapt/coarsen.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "adapt/refine.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace plum::adapt {
+
+using mesh::BFace;
+using mesh::Edge;
+using mesh::EdgeMark;
+using mesh::Element;
+using mesh::Mesh;
+
+CoarsenResult rollback_marked(Mesh& m) {
+  CoarsenResult out;
+
+  // 1. Candidate parents: any active child element with a coarsen-marked
+  //    edge dooms its whole sibling set.  Root elements (parent-less)
+  //    cannot coarsen — "edges cannot be coarsened beyond the initial
+  //    mesh".
+  std::unordered_set<LocalIndex> parent_set;
+  for (std::size_t i = 0; i < m.elements().size(); ++i) {
+    const Element& el = m.elements()[i];
+    if (!el.alive || !el.active || el.parent == kNoIndex) continue;
+    for (const LocalIndex ei : el.e) {
+      if (m.edge(ei).mark == EdgeMark::kCoarsen) {
+        parent_set.insert(el.parent);
+        break;
+      }
+    }
+  }
+
+  // 2. Only parents whose children are all active leaves roll back in
+  //    this pass (deeper trees coarsen one level per pass).
+  std::vector<LocalIndex> accepted(parent_set.begin(), parent_set.end());
+  std::sort(accepted.begin(), accepted.end());
+  std::erase_if(accepted, [&](LocalIndex p) {
+    const Element& pe = m.element(p);
+    PLUM_DCHECK(pe.alive && !pe.active);
+    for (const LocalIndex c : pe.children) {
+      const Element& ce = m.element(c);
+      if (!ce.alive || !ce.active || !ce.children.empty()) return true;
+    }
+    return false;
+  });
+
+  // Boundary faces per active element (needed before any deletion).
+  std::unordered_map<LocalIndex, std::vector<LocalIndex>> elem_bfaces;
+  for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
+    const BFace& f = m.bfaces()[bi];
+    if (f.alive && f.active) {
+      elem_bfaces[f.elem].push_back(static_cast<LocalIndex>(bi));
+    }
+  }
+
+  // 3. Roll back each accepted parent.
+  for (const LocalIndex p : accepted) {
+    const std::vector<LocalIndex> children = m.element(p).children;
+
+    // Boundary faces first: delete the sub-faces created when p was
+    // subdivided and reinstate their parents; faces that were merely
+    // re-owned (untouched by p's subdivision) move back to p.
+    std::unordered_set<LocalIndex> reinstate_bfaces;
+    for (const LocalIndex c : children) {
+      const auto it = elem_bfaces.find(c);
+      if (it == elem_bfaces.end()) continue;
+      for (const LocalIndex bi : it->second) {
+        BFace& f = m.bface(bi);
+        PLUM_DCHECK(f.alive && f.active);
+        if (f.parent != kNoIndex && m.bface(f.parent).elem == p) {
+          reinstate_bfaces.insert(f.parent);
+          m.delete_bface(bi);
+          out.bfaces_removed += 1;
+        } else {
+          f.elem = p;
+        }
+      }
+    }
+    for (const LocalIndex bi : reinstate_bfaces) {
+      BFace& f = m.bface(bi);
+      PLUM_DCHECK(f.alive && !f.active);
+      PLUM_CHECK_MSG(f.children.empty(),
+                     "reinstated bface still has children");
+      f.active = true;
+      // f.elem already points at p (it was never reassigned).
+    }
+
+    for (const LocalIndex c : children) {
+      m.delete_element(c);
+      out.elements_removed += 1;
+    }
+    PLUM_DCHECK(m.element(p).children.empty());
+    m.activate_element(p);
+    out.parents_reinstated += 1;
+  }
+
+  // Coarsen marks are consumed.
+  for (auto& e : m.edges()) {
+    if (e.alive && e.mark == EdgeMark::kCoarsen) e.mark = EdgeMark::kNone;
+  }
+  return out;
+}
+
+void purge_cascade(Mesh& m, CoarsenResult* out,
+                   const std::function<bool(LocalIndex)>& allow_unbisect) {
+  // Purge cascade: refinement-created edges nobody uses, then midpoint
+  // vertices, which un-bisects their parent edges (possibly making
+  // those eligible in the next round).  Children of a bisected edge are
+  // only removable when allow_unbisect(parent) permits.
+  for (;;) {
+    bool changed = false;
+    for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
+      const Edge& e = m.edges()[ei];
+      if (!(e.alive && !e.bisected() && e.level > 0 && e.elems.empty())) {
+        continue;
+      }
+      if (e.parent != kNoIndex && !allow_unbisect(e.parent)) continue;
+      m.delete_edge(static_cast<LocalIndex>(ei));
+      out->edges_removed += 1;
+      changed = true;
+    }
+    for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
+      Edge& e = m.edges()[ei];
+      if (!e.alive || e.bisected() || e.midpoint == kNoIndex) continue;
+      // Both children purged; if the midpoint vertex has no other use,
+      // remove it and restore the edge to its pre-refinement state.
+      if (m.vertex(e.midpoint).edges.empty()) {
+        m.delete_vertex(e.midpoint);
+        e.midpoint = kNoIndex;
+        out->vertices_removed += 1;
+        out->edges_unbisected += 1;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+CoarsenResult coarsen_marked(Mesh& m) {
+  CoarsenResult out = rollback_marked(m);
+  purge_cascade(m, &out, [](LocalIndex) { return true; });
+  return out;
+}
+
+CoarsenResult coarsen_and_refine(Mesh& m) {
+  CoarsenResult out = coarsen_marked(m);
+  // "The refinement routine is then invoked to generate a valid mesh
+  //  from the vertices left after the coarsening": reinstated parents
+  //  whose edges are still bisected (a neighbour stayed refined) get
+  //  re-subdivided, reusing the surviving midpoints.
+  upgrade_patterns(m);
+  subdivide(m);
+  return out;
+}
+
+}  // namespace plum::adapt

@@ -1,0 +1,64 @@
+// Mesh coarsening, after §3:
+//
+//   "If a child element has any edge marked for coarsening, this element
+//    and its siblings are removed and their parent element is
+//    reinstated. ... Reinstated parent elements have their edge-marking
+//    patterns adjusted to reflect that some edges have been coarsened.
+//    The mesh refinement procedure is then invoked to generate a valid
+//    mesh.  Note that edges cannot be coarsened beyond the initial
+//    mesh."
+//
+// coarsen_marked() performs one level of child-set removal driven by
+// Edge::mark == kCoarsen, purges all refinement-created objects that are
+// no longer referenced ("the coarsening phase purges the data structures
+// of all edges that are removed, as well as their associated vertices,
+// elements, and boundary faces"), and leaves reinstated parents whose
+// edges are still bisected (because a neighbour remains refined) to be
+// re-subdivided by the subsequent refinement pass — the caller must run
+// upgrade_patterns() + subdivide() afterwards to restore a valid mesh.
+// coarsen_and_refine() bundles the full sequence.
+//
+// Only parents whose children are all leaves are rolled back in one
+// pass; deeper trees coarsen one level per pass (call repeatedly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mesh/mesh.hpp"
+
+namespace plum::adapt {
+
+struct CoarsenResult {
+  std::int64_t parents_reinstated = 0;
+  std::int64_t elements_removed = 0;
+  std::int64_t edges_removed = 0;
+  std::int64_t vertices_removed = 0;
+  std::int64_t bfaces_removed = 0;
+  /// Edges restored to un-bisected state (both children purged).
+  std::int64_t edges_unbisected = 0;
+};
+
+/// One coarsening pass (see file comment).  Consumes all kCoarsen marks.
+CoarsenResult coarsen_marked(mesh::Mesh& m);
+
+/// The child-set-removal half of coarsen_marked(): rolls back accepted
+/// parents and consumes marks, but performs no purging.  The parallel
+/// driver separates the two so it can gate purging on inter-rank
+/// agreement.
+CoarsenResult rollback_marked(mesh::Mesh& m);
+
+/// The purge half: deletes refinement-created edges nobody uses and
+/// un-bisects edges whose children are gone.  `allow_unbisect(ei)`
+/// gates removal of a bisected edge's children: return false to keep
+/// edge ei's subtree alive even if locally unused (the parallel driver
+/// returns false for shared edges until every sharing rank agrees).
+/// Accumulates into *out; runs to a local fixpoint.
+void purge_cascade(mesh::Mesh& m, CoarsenResult* out,
+                   const std::function<bool(LocalIndex)>& allow_unbisect);
+
+/// coarsen_marked() followed by the refinement pass that restores a
+/// valid (conforming) mesh, as the paper prescribes.
+CoarsenResult coarsen_and_refine(mesh::Mesh& m);
+
+}  // namespace plum::adapt

@@ -1,0 +1,71 @@
+#include "adapt/error_indicator.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace plum::adapt {
+
+using mesh::EdgeMark;
+using mesh::Mesh;
+
+namespace {
+
+/// Scalar sensed by the indicator: density-weighted solution magnitude.
+double sensed_value(const mesh::Solution& s) {
+  return s[0] + 0.1 * (std::abs(s[1]) + std::abs(s[2]) + std::abs(s[3])) +
+         0.2 * s[4];
+}
+
+}  // namespace
+
+std::vector<double> compute_edge_errors(const Mesh& m) {
+  std::vector<double> err(m.edges().size(), 0.0);
+  for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
+    const mesh::Edge& e = m.edges()[ei];
+    if (!e.alive || e.bisected()) continue;
+    const double ua = sensed_value(m.vertex(e.v[0]).sol);
+    const double ub = sensed_value(m.vertex(e.v[1]).sol);
+    err[ei] = std::abs(ua - ub) * m.edge_length(static_cast<LocalIndex>(ei));
+  }
+  return err;
+}
+
+ErrorThresholds thresholds_by_quantile(const Mesh& m,
+                                       const std::vector<double>& err,
+                                       double refine_quantile,
+                                       double coarsen_quantile) {
+  std::vector<double> active;
+  active.reserve(err.size());
+  for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
+    const mesh::Edge& e = m.edges()[ei];
+    if (e.alive && !e.bisected()) active.push_back(err[ei]);
+  }
+  PLUM_CHECK(!active.empty());
+  ErrorThresholds t;
+  t.refine_above = quantile(active, refine_quantile);
+  t.coarsen_below = quantile(active, coarsen_quantile);
+  return t;
+}
+
+IndicatorMarkStats apply_error_thresholds(Mesh& m,
+                                          const std::vector<double>& err,
+                                          const ErrorThresholds& t) {
+  PLUM_CHECK(err.size() >= m.edges().size());
+  IndicatorMarkStats stats;
+  for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
+    mesh::Edge& e = m.edges()[ei];
+    if (!e.alive || e.bisected()) continue;
+    if (err[ei] > t.refine_above) {
+      e.mark = EdgeMark::kRefine;
+      ++stats.refine_marked;
+    } else if (err[ei] < t.coarsen_below && e.level > 0) {
+      e.mark = EdgeMark::kCoarsen;
+      ++stats.coarsen_marked;
+    }
+  }
+  return stats;
+}
+
+}  // namespace plum::adapt

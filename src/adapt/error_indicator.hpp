@@ -1,0 +1,48 @@
+// Solution-based error indicator.
+//
+// "At each mesh adaption step, tetrahedral elements are targeted for
+//  coarsening, refinement, or no change by computing an error indicator
+//  for each edge.  Edges whose error values exceed a specified upper
+//  threshold are targeted for subdivision.  Similarly, edges whose error
+//  values lie below another lower threshold are targeted for removal."
+//
+// The indicator is the edge-difference estimator commonly paired with
+// 3D_TAG: for edge (a,b), err = |u_a - u_b| * len(a,b), where u is a
+// weighted norm of the solution vector.  Thresholds can be absolute or
+// chosen by quantile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace plum::adapt {
+
+struct ErrorThresholds {
+  double refine_above = 0.0;  ///< upper threshold — subdivision
+  double coarsen_below = 0.0; ///< lower threshold — removal
+};
+
+/// err[ei] for every edge slot (0 for dead/bisected edges).
+std::vector<double> compute_edge_errors(const mesh::Mesh& m);
+
+/// Thresholds at the given error quantiles over active edges, e.g.
+/// {0.95, 0.20} refines the top 5% and coarsens the bottom 20%.
+ErrorThresholds thresholds_by_quantile(const mesh::Mesh& m,
+                                       const std::vector<double>& err,
+                                       double refine_quantile,
+                                       double coarsen_quantile);
+
+struct IndicatorMarkStats {
+  std::int64_t refine_marked = 0;
+  std::int64_t coarsen_marked = 0;
+};
+
+/// Marks edges from the indicator: err > refine_above => kRefine;
+/// err < coarsen_below (and level > 0) => kCoarsen.
+IndicatorMarkStats apply_error_thresholds(mesh::Mesh& m,
+                                          const std::vector<double>& err,
+                                          const ErrorThresholds& t);
+
+}  // namespace plum::adapt

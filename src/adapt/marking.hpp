@@ -1,0 +1,97 @@
+// Edge-marking strategies.
+//
+// The paper evaluates three synthetic strategies (§10):
+//
+//   Local_1 — "targeted 5% of the edges for refinement in a single
+//             spherical region of the mesh"; coarsening then "undid all
+//             of the refinement".
+//   Local_2 — "refined 35% of the edges in a single rectangular region";
+//             "coarsening was performed within a rectangular subregion".
+//   Random  — "randomly targeting edges ... such that the mesh sizes
+//             after both refinement and coarsening were approximately
+//             equal to those obtained in the Local_2 case".
+//
+// All markers here are *deterministic functions of global state* —
+// geometry, global ids, and an explicit seed — never of rank-local
+// state.  That gives the symmetry property §4 relies on: "this process
+// results in a symmetrical marking of all shared edges across partitions
+// because shared edges have the same flow and geometry information
+// regardless of their processor number."  (Random marking hashes the
+// edge's global id, so two ranks holding copies of a shared edge always
+// agree.)
+//
+// Region extents are calibrated once, on the initial global mesh, from a
+// target edge fraction (quantile of a distance metric), then applied as
+// absolute regions — so serial and distributed runs mark identically.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/geometry.hpp"
+#include "mesh/mesh.hpp"
+
+namespace plum::adapt {
+
+// --- calibration (computes region sizes from target fractions) ---------
+
+/// Radius such that ~`frac` of active edges have midpoints within it.
+double calibrate_sphere_radius(const mesh::Mesh& m, const mesh::Vec3& center,
+                               double frac);
+
+/// Scale t such that ~`frac` of active edge midpoints p satisfy
+/// max_k |p_k - center_k| / half_k <= t.
+double calibrate_box_scale(const mesh::Mesh& m, const mesh::Vec3& center,
+                           const mesh::Vec3& half, double frac);
+
+// --- refinement markers --------------------------------------------------
+
+/// Marks active edges whose midpoint lies in the sphere; returns count.
+std::int64_t mark_refine_in_sphere(mesh::Mesh& m, const mesh::Sphere& s);
+
+/// Marks active edges whose midpoint lies in the box; returns count.
+std::int64_t mark_refine_in_box(mesh::Mesh& m, const mesh::Box& b);
+
+/// Marks each active edge independently with probability `frac`, keyed
+/// on hash(edge gid, seed) so all ranks agree; returns count marked.
+std::int64_t mark_refine_random(mesh::Mesh& m, double frac,
+                                std::uint64_t seed);
+
+// --- coarsening markers ----------------------------------------------------
+
+/// Marks refinement-created (level > 0) active edges in the region.
+std::int64_t mark_coarsen_in_sphere(mesh::Mesh& m, const mesh::Sphere& s);
+std::int64_t mark_coarsen_in_box(mesh::Mesh& m, const mesh::Box& b);
+
+/// Marks every refinement-created active edge (Local_1: undo everything).
+std::int64_t mark_coarsen_all_refined(mesh::Mesh& m);
+
+/// Marks refinement-created active edges with hashed probability `frac`.
+std::int64_t mark_coarsen_random(mesh::Mesh& m, double frac,
+                                 std::uint64_t seed);
+
+// --- the paper's three strategies, packaged --------------------------------
+
+enum class StrategyKind { kLocal1, kLocal2, kRandom };
+
+/// Concrete, calibrated strategy: apply_refine()/apply_coarsen() mark a
+/// mesh (global or any distributed piece of it) identically.
+struct Strategy {
+  StrategyKind kind = StrategyKind::kLocal1;
+  mesh::Sphere sphere;        // Local_1 refine region
+  mesh::Box box;              // Local_2 refine region
+  mesh::Box coarsen_box;      // Local_2 coarsen subregion
+  double random_refine_frac = 0.0;
+  double random_coarsen_frac = 0.0;
+  std::uint64_t seed = 0;
+
+  std::int64_t apply_refine(mesh::Mesh& m) const;
+  std::int64_t apply_coarsen(mesh::Mesh& m) const;
+  const char* name() const;
+};
+
+/// Calibrates the three paper strategies against the initial mesh `m`
+/// (must be un-adapted).  Fractions default to the paper's 5% / 35%.
+Strategy make_strategy(StrategyKind kind, const mesh::Mesh& m,
+                       std::uint64_t seed = 0x9601);
+
+}  // namespace plum::adapt

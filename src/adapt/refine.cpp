@@ -1,0 +1,423 @@
+#include "adapt/refine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "mesh/global_id.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace plum::adapt {
+
+using mesh::Edge;
+using mesh::EdgeMark;
+using mesh::Element;
+using mesh::kEdgeVerts;
+using mesh::kFaceVerts;
+using mesh::Mesh;
+using mesh::Solution;
+using mesh::SubdivKind;
+using mesh::Vec3;
+
+std::uint8_t element_pattern(const Mesh& m, LocalIndex elem) {
+  const Element& el = m.element(elem);
+  std::uint8_t p = 0;
+  for (int k = 0; k < 6; ++k) {
+    const Edge& e = m.edge(el.e[static_cast<std::size_t>(k)]);
+    if (e.bisected() || e.mark == EdgeMark::kRefine) {
+      p |= static_cast<std::uint8_t>(1u << k);
+    }
+  }
+  return p;
+}
+
+std::vector<LocalIndex> upgrade_patterns(
+    Mesh& m, const std::vector<LocalIndex>* seed_edges) {
+  std::deque<LocalIndex> work;
+  std::vector<char> queued(m.elements().size(), 0);
+
+  auto push = [&](LocalIndex li) {
+    const Element& el = m.element(li);
+    if (!el.alive || !el.active) return;
+    if (queued[static_cast<std::size_t>(li)]) return;
+    queued[static_cast<std::size_t>(li)] = 1;
+    work.push_back(li);
+  };
+
+  if (seed_edges == nullptr) {
+    for (std::size_t i = 0; i < m.elements().size(); ++i) {
+      push(static_cast<LocalIndex>(i));
+    }
+  } else {
+    for (const LocalIndex ei : *seed_edges) {
+      for (const LocalIndex li : m.edge(ei).elems) push(li);
+    }
+  }
+
+  std::vector<LocalIndex> newly_marked;
+  while (!work.empty()) {
+    const LocalIndex li = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(li)] = 0;
+
+    const std::uint8_t p = element_pattern(m, li);
+    const std::uint8_t up = mesh::upgrade_pattern(p);
+    if (up == p) continue;
+
+    const std::uint8_t add = static_cast<std::uint8_t>(up & ~p);
+    const Element& el = m.element(li);
+    for (int k = 0; k < 6; ++k) {
+      if ((add & (1u << k)) == 0) continue;
+      const LocalIndex ei = el.e[static_cast<std::size_t>(k)];
+      Edge& e = m.edge(ei);
+      PLUM_DCHECK(!e.bisected());
+      if (e.mark != EdgeMark::kRefine) {
+        e.mark = EdgeMark::kRefine;
+        newly_marked.push_back(ei);
+        for (const LocalIndex nb : e.elems) push(nb);
+      }
+    }
+  }
+  return newly_marked;
+}
+
+LocalIndex bisect_edge(Mesh& m, LocalIndex ei, SubdivisionResult* out) {
+  if (m.edge(ei).bisected()) return m.edge(ei).midpoint;
+
+  const LocalIndex v0 = m.edge(ei).v[0];
+  const LocalIndex v1 = m.edge(ei).v[1];
+  const Vec3 pos = m.edge_midpoint_pos(ei);
+  const GlobalId gid =
+      mesh::midpoint_vertex_gid(m.vertex(v0).gid, m.vertex(v1).gid);
+  // "When an edge is bisected, the solution vector is linearly
+  //  interpolated at the mid-point from the two points that constitute
+  //  the original edge."
+  Solution sol;
+  for (int d = 0; d < mesh::kSolDim; ++d) {
+    sol[static_cast<std::size_t>(d)] =
+        0.5 * (m.vertex(v0).sol[static_cast<std::size_t>(d)] +
+               m.vertex(v1).sol[static_cast<std::size_t>(d)]);
+  }
+  const LocalIndex mv = m.add_vertex(pos, gid, sol);
+  const std::int16_t lvl = static_cast<std::int16_t>(m.edge(ei).level + 1);
+  const LocalIndex c0 = m.add_edge(v0, mv, lvl, ei);
+  const LocalIndex c1 = m.add_edge(mv, v1, lvl, ei);
+
+  // Paper §4, case 2: "If a shared edge is bisected, its two children
+  // and the center vertex inherit its SPL, since they lie on the same
+  // partition boundary."  (For internal edges the SPL is empty and the
+  // children come out internal — case 1.)
+  m.vertex(mv).spl = m.edge(ei).spl;
+  m.edge(c0).spl = m.edge(ei).spl;
+  m.edge(c1).spl = m.edge(ei).spl;
+
+  m.edge(ei).midpoint = mv;
+  m.edge(ei).child = {c0, c1};
+
+  if (out != nullptr) {
+    out->edges_bisected += 1;
+    out->new_vertices.push_back({mv, ei});
+    out->new_edges.push_back({c0, ei, false});
+    out->new_edges.push_back({c1, ei, false});
+  }
+  return mv;
+}
+
+namespace {
+
+/// The three candidate 1:8 interior diagonals as (local edge, local
+/// edge) midpoint pairs, and the 4-cycle of remaining midpoints whose
+/// consecutive pairs close the octahedron around each diagonal.
+struct OctaDiag {
+  int a, b;
+  int cycle[4];
+};
+constexpr OctaDiag kOctaDiags[3] = {
+    {0, 5, {1, 2, 4, 3}},
+    {1, 4, {0, 2, 5, 3}},
+    {2, 3, {0, 1, 5, 4}},
+};
+
+LocalIndex make_child(Mesh& m, LocalIndex parent,
+                      std::array<LocalIndex, 4> v, int ordinal,
+                      std::int16_t edge_level) {
+  const double vol =
+      mesh::tet_volume(m.vertex(v[0]).pos, m.vertex(v[1]).pos,
+                       m.vertex(v[2]).pos, m.vertex(v[3]).pos);
+  PLUM_CHECK_MSG(vol != 0.0, "degenerate child tetrahedron");
+  if (vol < 0.0) std::swap(v[2], v[3]);
+  const GlobalId gid =
+      mesh::child_element_gid(m.element(parent).gid, ordinal);
+  return m.create_element(v, gid, parent, edge_level);
+}
+
+/// Child element (among `children`) whose vertex set contains all of
+/// `face`; exactly one must exist.
+LocalIndex find_child_containing(const Mesh& m,
+                                 const std::vector<LocalIndex>& children,
+                                 const std::array<LocalIndex, 3>& face) {
+  LocalIndex found = kNoIndex;
+  for (const LocalIndex c : children) {
+    const Element& el = m.element(c);
+    int hit = 0;
+    for (const LocalIndex fv : face) {
+      for (const LocalIndex ev : el.v) {
+        if (ev == fv) {
+          ++hit;
+          break;
+        }
+      }
+    }
+    if (hit == 3) {
+      PLUM_CHECK_MSG(found == kNoIndex,
+                     "sub-face contained in two children");
+      found = c;
+    }
+  }
+  PLUM_CHECK_MSG(found != kNoIndex, "sub-face not contained in any child");
+  return found;
+}
+
+void subdivide_bface(Mesh& m, LocalIndex bi,
+                     const std::vector<LocalIndex>& children,
+                     SubdivisionResult* out) {
+  const mesh::BFace f = m.bface(bi);  // copy: mesh mutations follow
+  std::array<LocalIndex, 3> fmid{kNoIndex, kNoIndex, kNoIndex};
+  int cnt = 0;
+  int marked_k = -1;
+  for (int k = 0; k < 3; ++k) {
+    const Edge& e = m.edge(f.e[static_cast<std::size_t>(k)]);
+    if (e.bisected()) {
+      fmid[static_cast<std::size_t>(k)] = e.midpoint;
+      marked_k = k;
+      ++cnt;
+    }
+  }
+  if (cnt == 0) {
+    // Face untouched; ownership moves to the child that inherited it.
+    m.bface(bi).elem = find_child_containing(m, children, f.v);
+    return;
+  }
+  PLUM_CHECK_MSG(cnt == 1 || cnt == 3,
+                 "boundary face with " << cnt << " bisected edges");
+  m.bface(bi).active = false;
+
+  std::vector<std::array<LocalIndex, 3>> subfaces;
+  if (cnt == 1) {
+    // Edge k connects f.v[k] and f.v[k+1]; the third vertex is f.v[k+2].
+    const LocalIndex p = f.v[static_cast<std::size_t>(marked_k)];
+    const LocalIndex q = f.v[static_cast<std::size_t>((marked_k + 1) % 3)];
+    const LocalIndex r = f.v[static_cast<std::size_t>((marked_k + 2) % 3)];
+    const LocalIndex mm = fmid[static_cast<std::size_t>(marked_k)];
+    subfaces = {{p, mm, r}, {mm, q, r}};
+  } else {
+    const LocalIndex m01 = fmid[0], m12 = fmid[1], m20 = fmid[2];
+    subfaces = {{f.v[0], m01, m20},
+                {m01, f.v[1], m12},
+                {m20, m12, f.v[2]},
+                {m01, m12, m20}};
+  }
+  for (const auto& sf : subfaces) {
+    const LocalIndex owner = find_child_containing(m, children, sf);
+    m.add_bface(sf, owner, bi);
+    if (out != nullptr) out->bfaces_created += 1;
+  }
+}
+
+void split_element(Mesh& m, LocalIndex li, std::uint8_t pattern,
+                   const std::vector<LocalIndex>& bface_list,
+                   SubdivisionResult* out) {
+  const Element el = m.element(li);  // copy: mesh mutations follow
+  const SubdivKind kind = mesh::pattern_kind(pattern);
+  PLUM_DCHECK(kind != SubdivKind::kNone);
+
+  std::array<LocalIndex, 6> mid{kNoIndex, kNoIndex, kNoIndex,
+                                kNoIndex, kNoIndex, kNoIndex};
+  std::int16_t min_level = 0x7FFF;
+  for (int k = 0; k < 6; ++k) {
+    const Edge& e = m.edge(el.e[static_cast<std::size_t>(k)]);
+    min_level = std::min(min_level, e.level);
+    if ((pattern >> k) & 1) {
+      PLUM_CHECK_MSG(e.bisected(), "marked edge not bisected at split time");
+      mid[static_cast<std::size_t>(k)] = e.midpoint;
+    }
+  }
+  const auto child_edge_level = static_cast<std::int16_t>(min_level + 1);
+
+  m.deactivate_element(li);
+  const std::size_t edges_before = m.edges().size();
+
+  std::vector<std::array<LocalIndex, 4>> child_verts;
+  int diag_choice = -1;
+  switch (kind) {
+    case SubdivKind::kOneTwo: {
+      int k = 0;
+      while (((pattern >> k) & 1) == 0) ++k;
+      const int a = kEdgeVerts[k][0];
+      const int b = kEdgeVerts[k][1];
+      auto va = el.v;
+      va[static_cast<std::size_t>(b)] = mid[static_cast<std::size_t>(k)];
+      auto vb = el.v;
+      vb[static_cast<std::size_t>(a)] = mid[static_cast<std::size_t>(k)];
+      child_verts = {va, vb};
+      break;
+    }
+    case SubdivKind::kOneFour: {
+      const int f = mesh::pattern_face(pattern);
+      PLUM_CHECK(f >= 0);
+      const int i = kFaceVerts[f][0];
+      const int j = kFaceVerts[f][1];
+      const int k = kFaceVerts[f][2];
+      const LocalIndex apex = el.v[static_cast<std::size_t>(f)];
+      const LocalIndex vi = el.v[static_cast<std::size_t>(i)];
+      const LocalIndex vj = el.v[static_cast<std::size_t>(j)];
+      const LocalIndex vk = el.v[static_cast<std::size_t>(k)];
+      const LocalIndex mij =
+          mid[static_cast<std::size_t>(mesh::local_edge_between(i, j))];
+      const LocalIndex mjk =
+          mid[static_cast<std::size_t>(mesh::local_edge_between(j, k))];
+      const LocalIndex mki =
+          mid[static_cast<std::size_t>(mesh::local_edge_between(k, i))];
+      child_verts = {{vi, mij, mki, apex},
+                     {mij, vj, mjk, apex},
+                     {mki, mjk, vk, apex},
+                     {mij, mjk, mki, apex}};
+      break;
+    }
+    case SubdivKind::kOneEight: {
+      // Four corner tets, each cutting off one original vertex.
+      constexpr int kCornerEdges[4][3] = {
+          {0, 1, 2}, {0, 3, 4}, {1, 3, 5}, {2, 4, 5}};
+      for (int c = 0; c < 4; ++c) {
+        child_verts.push_back(
+            {el.v[static_cast<std::size_t>(c)],
+             mid[static_cast<std::size_t>(kCornerEdges[c][0])],
+             mid[static_cast<std::size_t>(kCornerEdges[c][1])],
+             mid[static_cast<std::size_t>(kCornerEdges[c][2])]});
+      }
+      // Interior octahedron: cut along the shortest diagonal
+      // (deterministic gid tie-break so ranks agree on identical
+      // geometry even though this edge is never shared).
+      double best = -1.0;
+      for (int d = 0; d < 3; ++d) {
+        const LocalIndex ma = mid[static_cast<std::size_t>(kOctaDiags[d].a)];
+        const LocalIndex mb = mid[static_cast<std::size_t>(kOctaDiags[d].b)];
+        const double len =
+            mesh::distance(m.vertex(ma).pos, m.vertex(mb).pos);
+        const bool better =
+            diag_choice < 0 || len < best - 1e-15 ||
+            (std::abs(len - best) <= 1e-15 &&
+             std::min(m.vertex(ma).gid, m.vertex(mb).gid) <
+                 std::min(
+                     m.vertex(mid[static_cast<std::size_t>(
+                                  kOctaDiags[diag_choice].a)])
+                         .gid,
+                     m.vertex(mid[static_cast<std::size_t>(
+                                  kOctaDiags[diag_choice].b)])
+                         .gid));
+        if (better) {
+          best = len;
+          diag_choice = d;
+        }
+      }
+      const OctaDiag& dg = kOctaDiags[diag_choice];
+      const LocalIndex d1 = mid[static_cast<std::size_t>(dg.a)];
+      const LocalIndex d2 = mid[static_cast<std::size_t>(dg.b)];
+      for (int s = 0; s < 4; ++s) {
+        const LocalIndex c1 = mid[static_cast<std::size_t>(dg.cycle[s])];
+        const LocalIndex c2 =
+            mid[static_cast<std::size_t>(dg.cycle[(s + 1) % 4])];
+        child_verts.push_back({d1, d2, c1, c2});
+      }
+      break;
+    }
+    case SubdivKind::kNone:
+      PLUM_CHECK(false);
+  }
+
+  std::vector<LocalIndex> children;
+  children.reserve(child_verts.size());
+  for (std::size_t ord = 0; ord < child_verts.size(); ++ord) {
+    children.push_back(make_child(m, li, child_verts[ord],
+                                  static_cast<int>(ord), child_edge_level));
+  }
+
+  if (out != nullptr) {
+    out->elements_subdivided += 1;
+    out->elements_created += static_cast<std::int64_t>(children.size());
+    // Edges created while building children are face edges (they lie in
+    // a face of the parent) except the 1:8 octahedron diagonal.
+    LocalIndex diag_edge = kNoIndex;
+    if (kind == SubdivKind::kOneEight) {
+      diag_edge = m.find_edge(
+          mid[static_cast<std::size_t>(kOctaDiags[diag_choice].a)],
+          mid[static_cast<std::size_t>(kOctaDiags[diag_choice].b)]);
+      PLUM_DCHECK(diag_edge != kNoIndex);
+    }
+    for (std::size_t idx = edges_before; idx < m.edges().size(); ++idx) {
+      out->new_edges.push_back({static_cast<LocalIndex>(idx), kNoIndex,
+                                static_cast<LocalIndex>(idx) == diag_edge});
+    }
+  }
+
+  for (const LocalIndex bi : bface_list) {
+    subdivide_bface(m, bi, children, out);
+  }
+}
+
+}  // namespace
+
+SubdivisionResult subdivide(Mesh& m) {
+  SubdivisionResult out;
+
+  std::vector<LocalIndex> to_split;
+  std::vector<char> splitting(m.elements().size(), 0);
+  for (std::size_t i = 0; i < m.elements().size(); ++i) {
+    const Element& el = m.elements()[i];
+    if (!el.alive || !el.active) continue;
+    const std::uint8_t p = element_pattern(m, static_cast<LocalIndex>(i));
+    if (p == 0) continue;
+    PLUM_CHECK_MSG(mesh::pattern_is_legal(p),
+                   "subdivide called before upgrade fixpoint; element "
+                       << i << " pattern " << static_cast<int>(p));
+    to_split.push_back(static_cast<LocalIndex>(i));
+    splitting[i] = 1;
+  }
+
+  // Boundary faces owned by splitting elements.
+  std::unordered_map<LocalIndex, std::vector<LocalIndex>> elem_bfaces;
+  for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
+    const mesh::BFace& f = m.bfaces()[bi];
+    if (!f.alive || !f.active) continue;
+    if (splitting[static_cast<std::size_t>(f.elem)]) {
+      elem_bfaces[f.elem].push_back(static_cast<LocalIndex>(bi));
+    }
+  }
+
+  // Phase B: bisect every refine-marked edge.
+  const std::size_t initial_edges = m.edges().size();
+  for (std::size_t ei = 0; ei < initial_edges; ++ei) {
+    const Edge& e = m.edges()[ei];
+    if (e.alive && !e.bisected() && e.mark == EdgeMark::kRefine) {
+      bisect_edge(m, static_cast<LocalIndex>(ei), &out);
+    }
+  }
+
+  // Phase C: split each element independently ("each element is
+  // independently subdivided based on its binary pattern").
+  static const std::vector<LocalIndex> kNoBFaces;
+  for (const LocalIndex li : to_split) {
+    const auto it = elem_bfaces.find(li);
+    const auto& bfl = it == elem_bfaces.end() ? kNoBFaces : it->second;
+    split_element(m, li, element_pattern(m, li), bfl, &out);
+  }
+
+  // Marks are consumed.
+  for (auto& e : m.edges()) {
+    if (e.alive && e.mark == EdgeMark::kRefine) e.mark = EdgeMark::kNone;
+  }
+  return out;
+}
+
+}  // namespace plum::adapt

@@ -1,0 +1,83 @@
+// Mesh refinement: the 3D_TAG edge-marking / pattern-upgrade /
+// subdivision pipeline of §3.
+//
+// Pipeline (serial):
+//
+//   1. mark edges for refinement (adapt/marking.hpp or the error
+//      indicator) — sets Edge::mark = kRefine;
+//   2. upgrade_patterns() — iterate "elements are continuously upgraded
+//      to valid patterns corresponding to the three allowed subdivision
+//      types ... until none of the patterns show any change"; this may
+//      mark additional edges (propagation);
+//   3. subdivide() — "once this edge-marking is completed, each element
+//      is independently subdivided based on its binary pattern".
+//
+// The parallel driver (parallel/parallel_adapt.*) interleaves step 2
+// with neighbour communication: upgrade_patterns() returns the edges it
+// newly marked so their shared copies can be communicated, and is then
+// re-entered with the externally-marked edges as seeds (Fig. 3).
+//
+// An element's working pattern is always *derived* from its edges: bit k
+// is set when edge k is refine-marked or already bisected (the latter
+// happens to parents reinstated by coarsening whose neighbours are still
+// refined).  No marking state is cached on elements, so there is nothing
+// to go stale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace plum::adapt {
+
+/// A vertex created by bisection, and the edge it bisected.
+struct NewVertexRec {
+  LocalIndex vertex = kNoIndex;
+  LocalIndex parent_edge = kNoIndex;
+};
+
+/// An edge created during subdivision.
+struct NewEdgeRec {
+  LocalIndex edge = kNoIndex;
+  /// The bisected edge this one is a child of, or kNoIndex for edges
+  /// created across a face / in the interior of an element.
+  LocalIndex parent_edge = kNoIndex;
+  /// True only for the 1:8 octahedron diagonal, which lies strictly
+  /// inside its element and can never be shared (paper §4, case 3).
+  bool interior = false;
+};
+
+struct SubdivisionResult {
+  std::int64_t edges_bisected = 0;
+  std::int64_t elements_subdivided = 0;
+  std::int64_t elements_created = 0;
+  std::int64_t bfaces_created = 0;
+  std::vector<NewVertexRec> new_vertices;
+  std::vector<NewEdgeRec> new_edges;
+};
+
+/// Runs the local pattern-upgrade fixpoint.  Marks additional edges
+/// (Edge::mark = kRefine) as needed and returns the indices of every
+/// edge newly marked by this call.
+///
+/// `seed_edges == nullptr` examines all active elements (first sweep);
+/// otherwise only elements incident on the given edges are (re)examined
+/// (subsequent sweeps after external marks arrive from other ranks).
+std::vector<LocalIndex> upgrade_patterns(
+    mesh::Mesh& m, const std::vector<LocalIndex>* seed_edges = nullptr);
+
+/// Computes the derived 6-bit pattern of an active element.
+std::uint8_t element_pattern(const mesh::Mesh& m, LocalIndex elem);
+
+/// Subdivides every active element whose pattern is a non-zero legal
+/// pattern.  Requires upgrade_patterns() to have reached a fixpoint
+/// (checked).  Consumes (clears) all refine marks.
+SubdivisionResult subdivide(mesh::Mesh& m);
+
+/// Bisects one edge (creates midpoint vertex + two children edges), or
+/// returns the existing midpoint if already bisected.  Exposed for
+/// tests; subdivide() calls it for every marked edge.
+LocalIndex bisect_edge(mesh::Mesh& m, LocalIndex ei, SubdivisionResult* out);
+
+}  // namespace plum::adapt

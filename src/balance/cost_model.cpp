@@ -1,0 +1,91 @@
+#include "balance/cost_model.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace plum::balance {
+
+namespace {
+
+LoadInfo summarize_loads(const std::vector<std::int64_t>& per_proc) {
+  LoadInfo info;
+  for (const auto w : per_proc) {
+    info.wmax = std::max(info.wmax, w);
+    info.wtotal += w;
+  }
+  info.wavg =
+      static_cast<double>(info.wtotal) / static_cast<double>(per_proc.size());
+  info.imbalance =
+      info.wavg > 0 ? static_cast<double>(info.wmax) / info.wavg : 1.0;
+  return info;
+}
+
+}  // namespace
+
+LoadInfo compute_load(const std::vector<Rank>& proc_of_vertex,
+                      const std::vector<std::int64_t>& wcomp, int nprocs) {
+  PLUM_CHECK(proc_of_vertex.size() == wcomp.size());
+  std::vector<std::int64_t> load(static_cast<std::size_t>(nprocs), 0);
+  for (std::size_t v = 0; v < wcomp.size(); ++v) {
+    const Rank p = proc_of_vertex[v];
+    PLUM_CHECK(p >= 0 && p < nprocs);
+    load[static_cast<std::size_t>(p)] += wcomp[v];
+  }
+  return summarize_loads(load);
+}
+
+LoadInfo compute_load_after(const std::vector<PartId>& new_part,
+                            const std::vector<Rank>& proc_of_part,
+                            const std::vector<std::int64_t>& wcomp,
+                            int nprocs) {
+  PLUM_CHECK(new_part.size() == wcomp.size());
+  std::vector<std::int64_t> load(static_cast<std::size_t>(nprocs), 0);
+  for (std::size_t v = 0; v < wcomp.size(); ++v) {
+    const PartId j = new_part[v];
+    PLUM_CHECK(j >= 0 &&
+               static_cast<std::size_t>(j) < proc_of_part.size());
+    const Rank p = proc_of_part[static_cast<std::size_t>(j)];
+    PLUM_CHECK(p >= 0 && p < nprocs);
+    load[static_cast<std::size_t>(p)] += wcomp[v];
+  }
+  return summarize_loads(load);
+}
+
+RemapCost remap_cost(const SimilarityMatrix& s, const Assignment& a,
+                     const CostParams& p) {
+  RemapCost c;
+  c.elements_moved = s.total() - a.objective;
+  PLUM_CHECK(c.elements_moved >= 0);
+  // N: distinct (source processor, destination processor) pairs with
+  // data in flight.  Partitions mapped to the same destination merge
+  // into one set (Fig. 7).
+  for (int i = 0; i < s.nprocs(); ++i) {
+    std::vector<std::int64_t> to_dest(static_cast<std::size_t>(s.nprocs()),
+                                      0);
+    for (int j = 0; j < s.ncols(); ++j) {
+      const Rank dest = a.proc_of_part[static_cast<std::size_t>(j)];
+      if (dest != i) to_dest[static_cast<std::size_t>(dest)] += s.at(i, j);
+    }
+    for (const auto w : to_dest) c.message_sets += (w > 0) ? 1 : 0;
+  }
+  c.cost_us = static_cast<double>(c.elements_moved) * p.m_words * p.t_lat_us +
+              static_cast<double>(c.message_sets) * p.t_setup_us;
+  return c;
+}
+
+GainDecision evaluate_remap_decision(std::int64_t wmax_old,
+                                     std::int64_t wmax_new,
+                                     const RemapCost& cost,
+                                     const CostParams& p) {
+  GainDecision d;
+  d.wmax_old = wmax_old;
+  d.wmax_new = wmax_new;
+  d.cost = cost;
+  d.gain_us = p.t_iter_us * p.n_adapt *
+              static_cast<double>(wmax_old - wmax_new);
+  d.accept = d.gain_us > cost.cost_us;
+  return d;
+}
+
+}  // namespace plum::balance

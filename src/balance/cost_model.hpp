@@ -1,0 +1,89 @@
+// Preliminary evaluation (§6) and cost calculation (§8).
+//
+// Imbalance: "If W_max is the sum of the wcomp on the most heavily-
+// loaded processor, and W_avg is the average load across all processors,
+// the average idle time for each processor is (W_max - W_avg). ... The
+// mesh is repartitioned if the imbalance factor W_max/W_avg is greater
+// than a specified threshold."
+//
+// Gain: "the total computational gain for the new partitioning is
+// T_iter * N_adapt * (W_max_old - W_max_new)".
+//
+// Cost: "the total communication overhead for mapping new partitions to
+// processors is C*M*T_lat + N*T_setup", where C = (sum S_ij - objective)
+// is the number of elements moved, N the number of element sets moved,
+// M the words of storage per element.  "The new partitioning and mapping
+// are accepted if the computational gain is larger than the
+// redistribution cost."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "balance/remapper.hpp"
+#include "balance/similarity.hpp"
+
+namespace plum::balance {
+
+/// Load distribution summary over processors.
+struct LoadInfo {
+  std::int64_t wmax = 0;
+  std::int64_t wtotal = 0;
+  double wavg = 0.0;
+  /// W_max / W_avg — the paper's imbalance factor.
+  double imbalance = 1.0;
+};
+
+/// Projects per-vertex W_comp onto processors.
+LoadInfo compute_load(const std::vector<Rank>& proc_of_vertex,
+                      const std::vector<std::int64_t>& wcomp, int nprocs);
+
+/// Load of an assignment: partition weights mapped through proc_of_part.
+LoadInfo compute_load_after(const std::vector<PartId>& new_part,
+                            const std::vector<Rank>& proc_of_part,
+                            const std::vector<std::int64_t>& wcomp,
+                            int nprocs);
+
+struct CostParams {
+  /// T_iter: solver seconds-equivalent per element per iteration (µs).
+  double t_iter_us = 35.0;
+  /// N_adapt: solver iterations expected before the next adaption.
+  int n_adapt = 50;
+  /// T_lat: per-word remote-copy time (µs).
+  double t_lat_us = 0.1;
+  /// T_setup: per-message-set setup time (µs).
+  double t_setup_us = 40.0;
+  /// M: words of storage per element (solution + geometry + lists).
+  int m_words = 48;
+};
+
+struct RemapCost {
+  /// C — elements to be moved (total W_remap minus the objective).
+  std::int64_t elements_moved = 0;
+  /// N — sets of elements moved (distinct source->destination pairs;
+  /// cf. Fig. 7's note that partitions mapped to the same destination
+  /// count once).
+  std::int64_t message_sets = 0;
+  /// C*M*T_lat + N*T_setup.
+  double cost_us = 0.0;
+};
+
+/// Redistribution cost of an assignment (Fig. 7's computation).
+RemapCost remap_cost(const SimilarityMatrix& s, const Assignment& a,
+                     const CostParams& p);
+
+struct GainDecision {
+  std::int64_t wmax_old = 0;
+  std::int64_t wmax_new = 0;
+  double gain_us = 0.0;
+  RemapCost cost;
+  bool accept = false;
+};
+
+/// The accept test: T_iter*N_adapt*(Wmax_old - Wmax_new) > cost.
+GainDecision evaluate_remap_decision(std::int64_t wmax_old,
+                                     std::int64_t wmax_new,
+                                     const RemapCost& cost,
+                                     const CostParams& p);
+
+}  // namespace plum::balance

@@ -1,0 +1,111 @@
+#include "balance/diffusion.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace plum::balance {
+
+namespace {
+
+std::vector<std::int64_t> proc_loads(const dual::DualGraph& g,
+                                     const std::vector<Rank>& proc,
+                                     int nprocs) {
+  std::vector<std::int64_t> load(static_cast<std::size_t>(nprocs), 0);
+  for (std::size_t v = 0; v < proc.size(); ++v) {
+    load[static_cast<std::size_t>(proc[v])] += g.wcomp[v];
+  }
+  return load;
+}
+
+LoadInfo load_info(const std::vector<std::int64_t>& load) {
+  LoadInfo info;
+  for (const auto w : load) {
+    info.wmax = std::max(info.wmax, w);
+    info.wtotal += w;
+  }
+  info.wavg =
+      static_cast<double>(info.wtotal) / static_cast<double>(load.size());
+  info.imbalance =
+      info.wavg > 0 ? static_cast<double>(info.wmax) / info.wavg : 1.0;
+  return info;
+}
+
+}  // namespace
+
+DiffusionOutcome run_diffusion_balancer(const dual::DualGraph& g,
+                                        const std::vector<Rank>& current,
+                                        int nprocs,
+                                        const DiffusionConfig& cfg) {
+  PLUM_CHECK(static_cast<std::int64_t>(current.size()) == g.num_vertices());
+  DiffusionOutcome out;
+  out.proc_of_vertex = current;
+  auto& proc = out.proc_of_vertex;
+  std::vector<std::int64_t> load = proc_loads(g, proc, nprocs);
+  out.old_load = load_info(load);
+
+  for (int sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    if (load_info(load).imbalance <= cfg.imbalance_tolerance) break;
+    out.sweeps = sweep + 1;
+
+    // Processor graph of this placement: pairs with a crossing dual
+    // edge.  (Load can only flow where mesh boundary exists.)
+    std::set<std::pair<Rank, Rank>> pedges;
+    for (std::size_t v = 0; v < proc.size(); ++v) {
+      for (const auto nb : g.adjacency[v]) {
+        const Rank a = proc[v];
+        const Rank b = proc[static_cast<std::size_t>(nb)];
+        if (a != b) pedges.insert({std::min(a, b), std::max(a, b)});
+      }
+    }
+
+    bool moved_any = false;
+    for (const auto& [p, q] : pedges) {
+      // First-order diffusion flow (positive: p -> q).
+      const double raw =
+          cfg.alpha * 0.5 *
+          static_cast<double>(load[static_cast<std::size_t>(p)] -
+                              load[static_cast<std::size_t>(q)]);
+      const Rank src = raw >= 0 ? p : q;
+      const Rank dst = raw >= 0 ? q : p;
+      auto budget = static_cast<std::int64_t>(std::abs(raw));
+      if (budget <= 0) continue;
+
+      // Boundary vertices of src adjacent to dst, most-connected first
+      // (keeps the moving front compact).
+      std::vector<std::pair<int, std::int32_t>> boundary;
+      for (std::size_t v = 0; v < proc.size(); ++v) {
+        if (proc[v] != src) continue;
+        int links = 0;
+        for (const auto nb : g.adjacency[v]) {
+          links += (proc[static_cast<std::size_t>(nb)] == dst) ? 1 : 0;
+        }
+        if (links > 0) {
+          boundary.emplace_back(-links, static_cast<std::int32_t>(v));
+        }
+      }
+      std::sort(boundary.begin(), boundary.end());
+      for (const auto& [neg_links, v] : boundary) {
+        (void)neg_links;
+        const std::int64_t w = g.wcomp[static_cast<std::size_t>(v)];
+        if (w > budget) continue;
+        proc[static_cast<std::size_t>(v)] = dst;
+        load[static_cast<std::size_t>(src)] -= w;
+        load[static_cast<std::size_t>(dst)] += w;
+        budget -= w;
+        out.weight_moved += g.wremap[static_cast<std::size_t>(v)];
+        out.vertices_moved += 1;
+        moved_any = true;
+        if (budget <= 0) break;
+      }
+    }
+    if (!moved_any) break;  // stuck (no movable boundary fits the flow)
+  }
+
+  out.new_load = load_info(load);
+  return out;
+}
+
+}  // namespace plum::balance

@@ -1,0 +1,67 @@
+#include "balance/load_balancer.hpp"
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace plum::balance {
+
+BalanceOutcome run_load_balancer(const dual::DualGraph& g,
+                                 const std::vector<Rank>& current,
+                                 int nprocs, const LoadBalancerConfig& cfg) {
+  PLUM_CHECK(static_cast<std::int64_t>(current.size()) == g.num_vertices());
+  BalanceOutcome out;
+  out.proc_of_vertex = current;
+  out.old_load = compute_load(current, g.wcomp, nprocs);
+
+  // Preliminary evaluation (§6): "If projecting the new values on the
+  // current partitions indicates that they are adequately load
+  // balanced, there is no need to repartition the mesh."
+  if (out.old_load.imbalance <= cfg.imbalance_threshold) {
+    PLUM_LOG_INFO("load balancer: imbalance "
+                  << out.old_load.imbalance << " <= threshold "
+                  << cfg.imbalance_threshold << ", no repartitioning");
+    out.new_load = out.old_load;
+    return out;
+  }
+  out.repartitioned = true;
+
+  // Repartition into P*F parts.
+  auto partitioner = partition::make_partitioner(cfg.partitioner);
+  out.partition = partitioner->partition(g, nprocs * cfg.factor);
+
+  // Processor reassignment (§8) via the similarity matrix (§7).
+  const SimilarityMatrix s =
+      SimilarityMatrix::build(current, out.partition.part, g.wremap, nprocs,
+                              cfg.factor);
+  auto remapper = make_remapper(cfg.remapper);
+  out.assignment = remapper->assign(s);
+
+  // Cost calculation (§8): accept iff gain > redistribution cost.
+  out.new_load = compute_load_after(out.partition.part,
+                                    out.assignment.proc_of_part, g.wcomp,
+                                    nprocs);
+  const RemapCost rc = remap_cost(s, out.assignment, cfg.cost);
+  out.decision = evaluate_remap_decision(out.old_load.wmax,
+                                         out.new_load.wmax, rc, cfg.cost);
+  out.accepted = cfg.use_cost_decision ? out.decision.accept : true;
+
+  if (out.accepted) {
+    for (std::size_t v = 0; v < out.proc_of_vertex.size(); ++v) {
+      out.proc_of_vertex[v] =
+          out.assignment
+              .proc_of_part[static_cast<std::size_t>(out.partition.part[v])];
+    }
+  } else {
+    // "Otherwise, the new partitioning is discarded and the flow
+    //  calculation continues on the old partitions."
+    out.new_load = out.old_load;
+  }
+  PLUM_LOG_INFO("load balancer: imbalance "
+                << out.old_load.imbalance << " -> "
+                << out.new_load.imbalance << ", moved "
+                << out.decision.cost.elements_moved << " elements, "
+                << (out.accepted ? "accepted" : "rejected"));
+  return out;
+}
+
+}  // namespace plum::balance

@@ -1,0 +1,58 @@
+// The global load-balancing pipeline of Fig. 1's right-hand column:
+//
+//   preliminary evaluation -> repartitioning -> processor reassignment
+//   -> cost calculation -> accept/reject.
+//
+// Operates entirely on the dual graph (vertex = initial-mesh element),
+// which is small and whose "complexity and connectivity remains
+// unchanged during the course of an adaptive computation", so the whole
+// pipeline is deterministic given (weights, current placement).  The
+// distributed driver runs it replicated on every rank after an
+// allgather of the updated weights — every rank computes the identical
+// outcome, which stands in for the paper's (unspecified) serialization
+// of this global step.
+#pragma once
+
+#include <string>
+
+#include "balance/cost_model.hpp"
+#include "balance/remapper.hpp"
+#include "partition/partitioner.hpp"
+
+namespace plum::balance {
+
+struct LoadBalancerConfig {
+  /// Repartition when W_max/W_avg exceeds this (§6's threshold).
+  double imbalance_threshold = 1.10;
+  /// F: partitions per processor (§7).
+  int factor = 1;
+  std::string partitioner = "multilevel";
+  std::string remapper = "heuristic";
+  CostParams cost;
+  /// If false, skip the gain-vs-cost test and always accept a
+  /// repartitioning (used by benches isolating other components).
+  bool use_cost_decision = true;
+};
+
+struct BalanceOutcome {
+  /// Whether the preliminary evaluation triggered repartitioning.
+  bool repartitioned = false;
+  /// Whether the new mapping was accepted (gain > cost).
+  bool accepted = false;
+  LoadInfo old_load;
+  LoadInfo new_load;
+  partition::PartitionResult partition;  ///< k = P*F parts (if repartitioned)
+  Assignment assignment;                 ///< partition -> processor
+  GainDecision decision;
+  /// Final placement per dual vertex: the new mapping if accepted,
+  /// otherwise the old placement.
+  std::vector<Rank> proc_of_vertex;
+};
+
+/// Runs the full pipeline for `nprocs` processors given the dual graph
+/// (with refreshed weights) and the current placement of dual vertices.
+BalanceOutcome run_load_balancer(const dual::DualGraph& g,
+                                 const std::vector<Rank>& current,
+                                 int nprocs, const LoadBalancerConfig& cfg);
+
+}  // namespace plum::balance

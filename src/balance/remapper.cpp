@@ -1,0 +1,266 @@
+#include "balance/remapper.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace plum::balance {
+
+Assignment finalize_assignment(const SimilarityMatrix& s,
+                               std::vector<Rank> proc_of_part) {
+  PLUM_CHECK(static_cast<int>(proc_of_part.size()) == s.ncols());
+  std::vector<int> count(static_cast<std::size_t>(s.nprocs()), 0);
+  Assignment a;
+  a.objective = 0;
+  for (int j = 0; j < s.ncols(); ++j) {
+    const Rank i = proc_of_part[static_cast<std::size_t>(j)];
+    PLUM_CHECK_MSG(i >= 0 && i < s.nprocs(),
+                   "partition " << j << " assigned to invalid proc " << i);
+    count[static_cast<std::size_t>(i)] += 1;
+    a.objective += s.at(i, j);
+  }
+  for (int i = 0; i < s.nprocs(); ++i) {
+    PLUM_CHECK_MSG(count[static_cast<std::size_t>(i)] == s.factor(),
+                   "processor " << i << " assigned "
+                                << count[static_cast<std::size_t>(i)]
+                                << " partitions, expected " << s.factor());
+  }
+  a.proc_of_part = std::move(proc_of_part);
+  return a;
+}
+
+Assignment heuristic_assign(const SimilarityMatrix& s) {
+  const int P = s.nprocs();
+  const int cols = s.ncols();
+  // Direct transcription of the paper's pseudocode: an initialization
+  // step, then repeated mark / map iterations.
+  std::vector<Rank> partition_map(static_cast<std::size_t>(cols), kNoRank);
+  std::vector<int> total_unmapped(static_cast<std::size_t>(P), s.factor());
+
+  int unassigned = cols;
+  // marked[i * cols + j] — entry S_ij marked in this iteration.
+  std::vector<char> marked(static_cast<std::size_t>(P) *
+                           static_cast<std::size_t>(cols));
+  while (unassigned > 0) {
+    std::fill(marked.begin(), marked.end(), 0);
+
+    // Mark: each processor that still needs partitions marks its
+    // largest entries among the unassigned partitions.
+    for (int i = 0; i < P; ++i) {
+      const int need = total_unmapped[static_cast<std::size_t>(i)];
+      if (need == 0) continue;
+      // Select the `need` largest unassigned entries of row i
+      // (deterministic tie-break: smaller column first).
+      std::vector<int> cand;
+      cand.reserve(static_cast<std::size_t>(cols));
+      for (int j = 0; j < cols; ++j) {
+        if (partition_map[static_cast<std::size_t>(j)] == kNoRank) {
+          cand.push_back(j);
+        }
+      }
+      const auto take =
+          std::min<std::size_t>(static_cast<std::size_t>(need), cand.size());
+      std::partial_sort(cand.begin(),
+                        cand.begin() + static_cast<std::ptrdiff_t>(take),
+                        cand.end(), [&](int a, int b) {
+                          if (s.at(i, a) != s.at(i, b)) {
+                            return s.at(i, a) > s.at(i, b);
+                          }
+                          return a < b;
+                        });
+      for (std::size_t k = 0; k < take; ++k) {
+        marked[static_cast<std::size_t>(i) *
+                   static_cast<std::size_t>(cols) +
+               static_cast<std::size_t>(cand[k])] = 1;
+      }
+    }
+
+    // Map: every unassigned partition with a marked entry goes to the
+    // processor holding its largest marked entry.
+    bool progressed = false;
+    for (int j = 0; j < cols; ++j) {
+      if (partition_map[static_cast<std::size_t>(j)] != kNoRank) continue;
+      Rank best_i = kNoRank;
+      std::int64_t best_v = -1;
+      for (int i = 0; i < P; ++i) {
+        if (!marked[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(cols) +
+                    static_cast<std::size_t>(j)]) {
+          continue;
+        }
+        if (s.at(i, j) > best_v ||
+            (s.at(i, j) == best_v && i < best_i)) {
+          best_v = s.at(i, j);
+          best_i = i;
+        }
+      }
+      if (best_i == kNoRank) continue;
+      // A processor can win at most as many columns as it marked, which
+      // equals its remaining quota, so this never over-assigns.
+      total_unmapped[static_cast<std::size_t>(best_i)] -= 1;
+      PLUM_DCHECK(total_unmapped[static_cast<std::size_t>(best_i)] >= 0);
+      partition_map[static_cast<std::size_t>(j)] = best_i;
+      --unassigned;
+      progressed = true;
+    }
+    PLUM_CHECK_MSG(progressed, "heuristic mapper made no progress");
+  }
+  return finalize_assignment(s, std::move(partition_map));
+}
+
+std::vector<int> hungarian_min(
+    const std::vector<std::vector<std::int64_t>>& cost) {
+  // Potentials ("e-maxx") formulation, O(n^3), 1-based internals.
+  const int n = static_cast<int>(cost.size());
+  PLUM_CHECK(n >= 1);
+  for (const auto& row : cost) {
+    PLUM_CHECK(static_cast<int>(row.size()) == n);
+  }
+  const std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  std::vector<std::int64_t> u(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> p(static_cast<std::size_t>(n) + 1, 0);    // col -> row
+  std::vector<int> way(static_cast<std::size_t>(n) + 1, 0);  // col -> prev col
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<std::int64_t> minv(static_cast<std::size_t>(n) + 1, kInf);
+    std::vector<char> used(static_cast<std::size_t>(n) + 1, 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      std::int64_t delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const std::int64_t cur =
+            cost[static_cast<std::size_t>(i0 - 1)]
+                [static_cast<std::size_t>(j - 1)] -
+            u[static_cast<std::size_t>(i0)] - v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] +=
+              delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> col_of_row(static_cast<std::size_t>(n), -1);
+  for (int j = 1; j <= n; ++j) {
+    col_of_row[static_cast<std::size_t>(p[static_cast<std::size_t>(j)] - 1)] =
+        j - 1;
+  }
+  return col_of_row;
+}
+
+Assignment optimal_assign(const SimilarityMatrix& s) {
+  const int P = s.nprocs();
+  const int F = s.factor();
+  const int n = P * F;
+  // Row r = copy (r % F) of processor (r / F); column j = partition j.
+  // Maximize sum S -> minimize (maxS - S).
+  std::int64_t max_s = 0;
+  for (int i = 0; i < P; ++i) {
+    for (int j = 0; j < n; ++j) max_s = std::max(max_s, s.at(i, j));
+  }
+  std::vector<std::vector<std::int64_t>> cost(
+      static_cast<std::size_t>(n),
+      std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+  for (int r = 0; r < n; ++r) {
+    const int i = r / F;
+    for (int j = 0; j < n; ++j) {
+      cost[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] =
+          max_s - s.at(i, j);
+    }
+  }
+  const std::vector<int> col_of_row = hungarian_min(cost);
+  std::vector<Rank> proc_of_part(static_cast<std::size_t>(n), kNoRank);
+  for (int r = 0; r < n; ++r) {
+    proc_of_part[static_cast<std::size_t>(col_of_row[static_cast<std::size_t>(
+        r)])] = r / F;
+  }
+  return finalize_assignment(s, std::move(proc_of_part));
+}
+
+namespace {
+
+class HeuristicRemapper final : public Remapper {
+ public:
+  std::string name() const override { return "heuristic"; }
+  Assignment assign(const SimilarityMatrix& s) override {
+    return heuristic_assign(s);
+  }
+};
+
+class OptimalRemapper final : public Remapper {
+ public:
+  std::string name() const override { return "optimal"; }
+  Assignment assign(const SimilarityMatrix& s) override {
+    return optimal_assign(s);
+  }
+};
+
+class IdentityRemapper final : public Remapper {
+ public:
+  std::string name() const override { return "identity"; }
+  Assignment assign(const SimilarityMatrix& s) override {
+    std::vector<Rank> proc(static_cast<std::size_t>(s.ncols()));
+    for (int j = 0; j < s.ncols(); ++j) {
+      proc[static_cast<std::size_t>(j)] = j % s.nprocs();
+    }
+    return finalize_assignment(s, std::move(proc));
+  }
+};
+
+class RandomRemapper final : public Remapper {
+ public:
+  std::string name() const override { return "random"; }
+  Assignment assign(const SimilarityMatrix& s) override {
+    std::vector<Rank> proc(static_cast<std::size_t>(s.ncols()));
+    for (int j = 0; j < s.ncols(); ++j) {
+      proc[static_cast<std::size_t>(j)] = j % s.nprocs();
+    }
+    Rng rng(0xA551 + static_cast<std::uint64_t>(s.ncols()));
+    rng.shuffle(proc);
+    return finalize_assignment(s, std::move(proc));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Remapper> make_remapper(const std::string& name) {
+  if (name == "heuristic") return std::make_unique<HeuristicRemapper>();
+  if (name == "optimal") return std::make_unique<OptimalRemapper>();
+  if (name == "identity") return std::make_unique<IdentityRemapper>();
+  if (name == "random") return std::make_unique<RandomRemapper>();
+  PLUM_CHECK_MSG(false, "unknown remapper '" << name << "'");
+  return nullptr;
+}
+
+std::vector<std::string> remapper_names() {
+  return {"heuristic", "optimal", "identity", "random"};
+}
+
+}  // namespace plum::balance

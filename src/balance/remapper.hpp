@@ -1,0 +1,70 @@
+// Processor reassignment (§8).
+//
+// Given the similarity matrix, assign each new partition to a processor
+// — exactly F partitions per processor — maximizing the objective
+//
+//     F(assignment) = sum_j S[proc_of(j)][j]
+//
+// (equivalently minimizing the data moved, C = total(S) - F).  Four
+// strategies are provided:
+//
+//   "heuristic" — the paper's greedy mark-and-map algorithm; the paper
+//                 proves its data-movement cost is at most twice optimal
+//                 and measures it within 3% of optimal at 1% of the cost.
+//   "optimal"   — maximally weighted bipartite matching via the
+//                 Hungarian algorithm on the F-duplicated processor set
+//                 ("the processor reassignment problem can be reduced to
+//                 the maximally weighted bipartite graph problem by
+//                 duplicating each processor and all of its incident
+//                 edges F times").
+//   "identity"  — partition j stays on processor j % P (what you get
+//                 with no reassignment step at all; ablation baseline).
+//   "random"    — a random feasible assignment (worst-case baseline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "balance/similarity.hpp"
+
+namespace plum::balance {
+
+struct Assignment {
+  /// proc_of_part[j] = processor assigned to new partition j; every
+  /// processor appears exactly F times.
+  std::vector<Rank> proc_of_part;
+  /// Objective value sum_j S[proc_of_part[j]][j].
+  std::int64_t objective = 0;
+};
+
+/// Validates feasibility (each processor exactly F partitions) and
+/// recomputes the objective.
+Assignment finalize_assignment(const SimilarityMatrix& s,
+                               std::vector<Rank> proc_of_part);
+
+class Remapper {
+ public:
+  virtual ~Remapper() = default;
+  virtual std::string name() const = 0;
+  virtual Assignment assign(const SimilarityMatrix& s) = 0;
+};
+
+std::unique_ptr<Remapper> make_remapper(const std::string& name);
+std::vector<std::string> remapper_names();
+
+/// The paper's greedy mark-and-map heuristic (exposed directly for the
+/// benches that compare it with the optimal mapper).
+Assignment heuristic_assign(const SimilarityMatrix& s);
+
+/// Hungarian-algorithm optimal assignment.
+Assignment optimal_assign(const SimilarityMatrix& s);
+
+/// O(n^3) Hungarian algorithm: returns, for each row of the square cost
+/// matrix, the column assigned to it so total cost is minimal.  Exposed
+/// for unit testing against brute force.
+std::vector<int> hungarian_min(
+    const std::vector<std::vector<std::int64_t>>& cost);
+
+}  // namespace plum::balance

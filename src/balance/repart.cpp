@@ -1,0 +1,128 @@
+#include "balance/repart.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace plum::balance {
+
+namespace {
+
+LoadInfo load_info(const std::vector<std::int64_t>& load) {
+  LoadInfo info;
+  for (const auto w : load) {
+    info.wmax = std::max(info.wmax, w);
+    info.wtotal += w;
+  }
+  info.wavg =
+      static_cast<double>(info.wtotal) / static_cast<double>(load.size());
+  info.imbalance =
+      info.wavg > 0 ? static_cast<double>(info.wmax) / info.wavg : 1.0;
+  return info;
+}
+
+}  // namespace
+
+RepartOutcome run_repartitioner(const dual::DualGraph& g,
+                                const std::vector<Rank>& current,
+                                int nprocs, const RepartConfig& cfg) {
+  PLUM_CHECK(static_cast<std::int64_t>(current.size()) == g.num_vertices());
+  RepartOutcome out;
+  out.proc_of_vertex = current;
+  auto& proc = out.proc_of_vertex;
+
+  std::vector<std::int64_t> load(static_cast<std::size_t>(nprocs), 0);
+  for (std::size_t v = 0; v < proc.size(); ++v) {
+    load[static_cast<std::size_t>(proc[v])] += g.wcomp[v];
+  }
+  out.old_load = load_info(load);
+  const double avg = out.old_load.wavg;
+  const auto cap = static_cast<std::int64_t>(avg * cfg.imbalance_tolerance);
+
+  // Track originals so relayed vertices count their movement once.
+  const std::vector<Rank> origin = current;
+
+  for (int sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    if (load_info(load).imbalance <= cfg.imbalance_tolerance) break;
+    out.sweeps = sweep + 1;
+
+    // Candidate moves: boundary vertices of overloaded processors that
+    // fit under an adjacent processor's cap.  Scored by cut gain
+    // (edges-to-destination minus edges-to-source).
+    struct Move {
+      std::int64_t gain;
+      std::int32_t vertex;
+      Rank dst;
+      bool operator<(const Move& o) const { return gain > o.gain; }
+    };
+    std::vector<Move> moves;
+    for (std::size_t v = 0; v < proc.size(); ++v) {
+      const Rank src = proc[v];
+      if (load[static_cast<std::size_t>(src)] <= cap) continue;
+      // Count adjacency per neighbouring processor.
+      std::int64_t to_src = 0;
+      std::map<Rank, std::int64_t> to_dst;
+      for (const auto nb : g.adjacency[v]) {
+        const Rank p = proc[static_cast<std::size_t>(nb)];
+        if (p == src) {
+          ++to_src;
+        } else {
+          to_dst[p] += 1;
+        }
+      }
+      for (const auto& [dst, links] : to_dst) {
+        // Accept a destination under the cap, or a strictly-less-loaded
+        // one (a relay move: load must be able to flow through
+        // saturated neighbours toward distant underloaded processors).
+        const std::int64_t after_dst =
+            load[static_cast<std::size_t>(dst)] + g.wcomp[v];
+        if (after_dst > cap &&
+            after_dst >= load[static_cast<std::size_t>(src)]) {
+          continue;
+        }
+        moves.push_back(
+            {links - to_src, static_cast<std::int32_t>(v), dst});
+      }
+    }
+    std::sort(moves.begin(), moves.end());
+
+    bool moved_any = false;
+    std::vector<char> touched(proc.size(), 0);
+    for (const auto& mv : moves) {
+      const auto v = static_cast<std::size_t>(mv.vertex);
+      if (touched[v]) continue;
+      const Rank src = proc[v];
+      if (load[static_cast<std::size_t>(src)] <= cap) continue;
+      const std::int64_t after_dst =
+          load[static_cast<std::size_t>(mv.dst)] + g.wcomp[v];
+      if (after_dst > cap &&
+          after_dst >= load[static_cast<std::size_t>(src)]) {
+        continue;
+      }
+      proc[v] = mv.dst;
+      load[static_cast<std::size_t>(src)] -= g.wcomp[v];
+      load[static_cast<std::size_t>(mv.dst)] += g.wcomp[v];
+      touched[v] = 1;
+      moved_any = true;
+    }
+    if (!moved_any) break;
+  }
+
+  for (std::size_t v = 0; v < proc.size(); ++v) {
+    if (proc[v] != origin[v]) {
+      out.weight_moved += g.wremap[v];
+      out.vertices_moved += 1;
+    }
+  }
+  for (std::size_t v = 0; v < proc.size(); ++v) {
+    for (const auto nb : g.adjacency[v]) {
+      if (proc[static_cast<std::size_t>(nb)] != proc[v]) out.edgecut += 1;
+    }
+  }
+  out.edgecut /= 2;
+  out.new_load = load_info(load);
+  return out;
+}
+
+}  // namespace plum::balance

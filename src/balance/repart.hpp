@@ -1,0 +1,47 @@
+// Movement-minimizing k-way repartitioner — the *incremental* baseline.
+//
+// PLUM repartitions from scratch and then minimizes movement after the
+// fact (similarity matrix + remapper).  The alternative the follow-on
+// literature explored (ParMETIS' adaptive repartitioning, Zoltan's
+// hierarchical methods) is to never leave the current placement: treat
+// the existing partition as the starting point and migrate only what
+// balance requires, choosing among candidates by edge-cut damage.
+//
+// run_repartitioner() implements that: greedy sweeps move boundary
+// vertices from overloaded to underloaded processors, best cut-gain
+// first, until the imbalance tolerance is met.  The paper defers
+// repartitioning research to future work ("mesh repartitioning ... will
+// be the focus in subsequent work"); this provides the comparison point
+// its framework benches against (bench_baseline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "balance/cost_model.hpp"
+#include "dualgraph/dual_graph.hpp"
+
+namespace plum::balance {
+
+struct RepartConfig {
+  double imbalance_tolerance = 1.05;
+  int max_sweeps = 60;
+};
+
+struct RepartOutcome {
+  std::vector<Rank> proc_of_vertex;
+  LoadInfo old_load;
+  LoadInfo new_load;
+  /// Total W_remap of vertices whose processor changed.
+  std::int64_t weight_moved = 0;
+  std::int64_t vertices_moved = 0;
+  /// Dual edge cut of the final placement.
+  std::int64_t edgecut = 0;
+  int sweeps = 0;
+};
+
+RepartOutcome run_repartitioner(const dual::DualGraph& g,
+                                const std::vector<Rank>& current,
+                                int nprocs, const RepartConfig& cfg = {});
+
+}  // namespace plum::balance

@@ -1,0 +1,42 @@
+#include "balance/similarity.hpp"
+
+namespace plum::balance {
+
+SimilarityMatrix SimilarityMatrix::build(
+    const std::vector<Rank>& current_proc,
+    const std::vector<PartId>& new_part,
+    const std::vector<std::int64_t>& wremap, int nprocs, int factor) {
+  PLUM_CHECK(current_proc.size() == new_part.size());
+  PLUM_CHECK(current_proc.size() == wremap.size());
+  SimilarityMatrix s(nprocs, factor);
+  for (std::size_t v = 0; v < current_proc.size(); ++v) {
+    const Rank i = current_proc[v];
+    const PartId j = new_part[v];
+    PLUM_CHECK_MSG(i >= 0 && i < nprocs, "dual vertex " << v
+                                             << " on invalid proc " << i);
+    PLUM_CHECK_MSG(j >= 0 && j < s.ncols(),
+                   "dual vertex " << v << " in invalid partition " << j);
+    s.at(i, j) += wremap[v];
+  }
+  return s;
+}
+
+std::int64_t SimilarityMatrix::row_sum(int i) const {
+  std::int64_t t = 0;
+  for (int j = 0; j < ncols(); ++j) t += at(i, j);
+  return t;
+}
+
+std::int64_t SimilarityMatrix::col_sum(int j) const {
+  std::int64_t t = 0;
+  for (int i = 0; i < p_; ++i) t += at(i, j);
+  return t;
+}
+
+std::int64_t SimilarityMatrix::total() const {
+  std::int64_t t = 0;
+  for (const auto v : s_) t += v;
+  return t;
+}
+
+}  // namespace plum::balance

@@ -1,0 +1,73 @@
+// Similarity matrix (§7).
+//
+// "The first step toward processor reassignment is to compute a
+//  similarity measure S that indicates how the remapping weights W_remap
+//  of the new partitions are distributed over the processors.  It is
+//  represented as a matrix of P rows and P×F columns, where P is the
+//  number of processors.  Each entry S_ij is the sum of the W_remap of
+//  all the dual graph vertices that are common between processor i and
+//  new partition j.  Therefore, the sum of the entries in row i is the
+//  total remapping weight of all the dual graph vertices currently
+//  residing on processor i."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace plum::balance {
+
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix() = default;
+  SimilarityMatrix(int nprocs, int factor)
+      : p_(nprocs),
+        f_(factor),
+        s_(static_cast<std::size_t>(nprocs) *
+               static_cast<std::size_t>(nprocs) *
+               static_cast<std::size_t>(factor),
+           0) {
+    PLUM_CHECK(nprocs >= 1 && factor >= 1);
+  }
+
+  /// Builds S from the current placement and the new partitioning:
+  /// current_proc[v] = processor currently owning dual vertex v,
+  /// new_part[v]     = its new partition, wremap[v] = its W_remap.
+  static SimilarityMatrix build(const std::vector<Rank>& current_proc,
+                                const std::vector<PartId>& new_part,
+                                const std::vector<std::int64_t>& wremap,
+                                int nprocs, int factor);
+
+  int nprocs() const { return p_; }
+  int factor() const { return f_; }
+  int ncols() const { return p_ * f_; }
+
+  std::int64_t at(int i, int j) const {
+    PLUM_DCHECK(i >= 0 && i < p_ && j >= 0 && j < ncols());
+    return s_[static_cast<std::size_t>(i) *
+                  static_cast<std::size_t>(ncols()) +
+              static_cast<std::size_t>(j)];
+  }
+  std::int64_t& at(int i, int j) {
+    PLUM_DCHECK(i >= 0 && i < p_ && j >= 0 && j < ncols());
+    return s_[static_cast<std::size_t>(i) *
+                  static_cast<std::size_t>(ncols()) +
+              static_cast<std::size_t>(j)];
+  }
+
+  /// Total W_remap currently on processor i.
+  std::int64_t row_sum(int i) const;
+  /// Total W_remap of new partition j.
+  std::int64_t col_sum(int j) const;
+  /// Total W_remap over all dual vertices.
+  std::int64_t total() const;
+
+ private:
+  int p_ = 0;
+  int f_ = 1;
+  std::vector<std::int64_t> s_;
+};
+
+}  // namespace plum::balance

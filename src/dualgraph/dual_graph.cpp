@@ -1,0 +1,220 @@
+#include "dualgraph/dual_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "mesh/tet_topology.hpp"
+#include "support/check.hpp"
+
+namespace plum::dual {
+
+using mesh::Mesh;
+
+std::int64_t DualGraph::num_edges() const {
+  std::int64_t deg = 0;
+  for (const auto& a : adjacency) deg += static_cast<std::int64_t>(a.size());
+  return deg / 2;
+}
+
+std::int64_t DualGraph::total_wcomp() const {
+  std::int64_t s = 0;
+  for (const auto w : wcomp) s += w;
+  return s;
+}
+
+std::int64_t DualGraph::total_wremap() const {
+  std::int64_t s = 0;
+  for (const auto w : wremap) s += w;
+  return s;
+}
+
+DualGraph build_dual_graph(const Mesh& initial) {
+  const auto n = initial.num_active_elements();
+  DualGraph g;
+  g.adjacency.assign(static_cast<std::size_t>(n), {});
+  g.wcomp.assign(static_cast<std::size_t>(n), 1);
+  g.wremap.assign(static_cast<std::size_t>(n), 1);
+  g.centroid.assign(static_cast<std::size_t>(n), {});
+
+  // Face -> owning elements; adjacency where a face is shared by two.
+  // Key: sorted vertex triple packed exactly into 64 bits.
+  std::unordered_map<std::uint64_t, std::int32_t> first_owner;
+  first_owner.reserve(static_cast<std::size_t>(n) * 4);
+  for (std::size_t li = 0; li < initial.elements().size(); ++li) {
+    const mesh::Element& el = initial.elements()[li];
+    if (!el.alive || !el.active) continue;
+    PLUM_CHECK_MSG(el.parent == kNoIndex && el.gid < static_cast<GlobalId>(n),
+                   "build_dual_graph requires an un-adapted mesh with dense "
+                   "generator gids");
+    const auto me = static_cast<std::int32_t>(el.gid);
+    g.centroid[static_cast<std::size_t>(me)] =
+        initial.element_centroid(static_cast<LocalIndex>(li));
+    for (int f = 0; f < 4; ++f) {
+      std::array<LocalIndex, 3> fv = {
+          el.v[static_cast<std::size_t>(mesh::kFaceVerts[f][0])],
+          el.v[static_cast<std::size_t>(mesh::kFaceVerts[f][1])],
+          el.v[static_cast<std::size_t>(mesh::kFaceVerts[f][2])]};
+      std::sort(fv.begin(), fv.end());
+      PLUM_DCHECK(fv[2] < (1 << 21));
+      const std::uint64_t key = (static_cast<std::uint64_t>(fv[0]) << 42) |
+                                (static_cast<std::uint64_t>(fv[1]) << 21) |
+                                static_cast<std::uint64_t>(fv[2]);
+      auto [it, inserted] = first_owner.try_emplace(key, me);
+      if (!inserted) {
+        const std::int32_t other = it->second;
+        PLUM_CHECK_MSG(other != me, "element shares a face with itself");
+        g.adjacency[static_cast<std::size_t>(me)].push_back(other);
+        g.adjacency[static_cast<std::size_t>(other)].push_back(me);
+      }
+    }
+  }
+  for (auto& a : g.adjacency) std::sort(a.begin(), a.end());
+  // "The edge weights are uniform for the test cases in this paper."
+  g.edge_weight.resize(g.adjacency.size());
+  for (std::size_t v = 0; v < g.adjacency.size(); ++v) {
+    g.edge_weight[v].assign(g.adjacency[v].size(), 1);
+  }
+  return g;
+}
+
+void update_edge_weights(DualGraph& g, const Mesh& adapted) {
+  // Count leaf faces shared between each pair of adjacent roots: walk
+  // every active element's faces; a face seen from two different roots
+  // contributes one unit of halo traffic to that dual edge.
+  std::unordered_map<std::uint64_t, std::int64_t> pair_count;
+  std::unordered_map<std::uint64_t, std::int32_t> first_root;
+  first_root.reserve(adapted.elements().size() * 2);
+  for (std::size_t li = 0; li < adapted.elements().size(); ++li) {
+    const mesh::Element& el = adapted.elements()[li];
+    if (!el.alive || !el.active) continue;
+    const auto root_gid =
+        static_cast<std::int32_t>(adapted.element(el.root).gid);
+    for (int f = 0; f < 4; ++f) {
+      std::array<LocalIndex, 3> fv = {
+          el.v[static_cast<std::size_t>(mesh::kFaceVerts[f][0])],
+          el.v[static_cast<std::size_t>(mesh::kFaceVerts[f][1])],
+          el.v[static_cast<std::size_t>(mesh::kFaceVerts[f][2])]};
+      std::sort(fv.begin(), fv.end());
+      PLUM_DCHECK(fv[2] < (1 << 21));
+      const std::uint64_t key = (static_cast<std::uint64_t>(fv[0]) << 42) |
+                                (static_cast<std::uint64_t>(fv[1]) << 21) |
+                                static_cast<std::uint64_t>(fv[2]);
+      auto [it, inserted] = first_root.try_emplace(key, root_gid);
+      if (!inserted && it->second != root_gid) {
+        const auto a = static_cast<std::uint32_t>(
+            std::min(it->second, root_gid));
+        const auto b = static_cast<std::uint32_t>(
+            std::max(it->second, root_gid));
+        pair_count[(static_cast<std::uint64_t>(a) << 32) | b] += 1;
+      }
+    }
+  }
+  g.edge_weight.assign(g.adjacency.size(), {});
+  for (std::size_t v = 0; v < g.adjacency.size(); ++v) {
+    g.edge_weight[v].assign(g.adjacency[v].size(), 0);
+    for (std::size_t k = 0; k < g.adjacency[v].size(); ++k) {
+      const auto nb = static_cast<std::uint32_t>(g.adjacency[v][k]);
+      const auto a = std::min(static_cast<std::uint32_t>(v), nb);
+      const auto b = std::max(static_cast<std::uint32_t>(v), nb);
+      const auto it =
+          pair_count.find((static_cast<std::uint64_t>(a) << 32) | b);
+      // Adjacent roots always share at least their original face, but
+      // coarse/fine interfaces of the *initial* mesh keep weight >= 1.
+      g.edge_weight[v][k] = it == pair_count.end() ? 1 : it->second;
+    }
+  }
+}
+
+void update_weights(DualGraph& g, const Mesh& adapted) {
+  std::vector<std::int64_t> leaves, total;
+  adapted.root_weights(&leaves, &total);
+  std::fill(g.wcomp.begin(), g.wcomp.end(), 0);
+  std::fill(g.wremap.begin(), g.wremap.end(), 0);
+  for (std::size_t li = 0; li < adapted.elements().size(); ++li) {
+    const mesh::Element& el = adapted.elements()[li];
+    if (!el.alive || el.parent != kNoIndex) continue;  // roots only
+    const auto dv = static_cast<std::size_t>(el.gid);
+    PLUM_CHECK_MSG(dv < g.wcomp.size(),
+                   "adapted mesh root gid outside dual graph");
+    g.wcomp[dv] = leaves[li];
+    g.wremap[dv] = total[li];
+  }
+}
+
+Agglomeration agglomerate(const DualGraph& g, int group_size) {
+  PLUM_CHECK(group_size >= 1);
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  Agglomeration out;
+  out.coarse_of.assign(n, -1);
+
+  // Greedy BFS: grow clusters of `group_size` vertices, preferring
+  // unassigned neighbours (keeps superelements connected and compact).
+  std::int32_t next_coarse = 0;
+  std::deque<std::int32_t> frontier;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (out.coarse_of[seed] != -1) continue;
+    const std::int32_t cid = next_coarse++;
+    int members = 0;
+    frontier.clear();
+    frontier.push_back(static_cast<std::int32_t>(seed));
+    while (!frontier.empty() && members < group_size) {
+      const std::int32_t v = frontier.front();
+      frontier.pop_front();
+      if (out.coarse_of[static_cast<std::size_t>(v)] != -1) continue;
+      out.coarse_of[static_cast<std::size_t>(v)] = cid;
+      ++members;
+      for (const std::int32_t nb : g.adjacency[static_cast<std::size_t>(v)]) {
+        if (out.coarse_of[static_cast<std::size_t>(nb)] == -1) {
+          frontier.push_back(nb);
+        }
+      }
+    }
+  }
+
+  // Quotient graph (crossing edge weights accumulate).
+  const auto nc = static_cast<std::size_t>(next_coarse);
+  out.coarse.adjacency.assign(nc, {});
+  out.coarse.wcomp.assign(nc, 0);
+  out.coarse.wremap.assign(nc, 0);
+  out.coarse.centroid.assign(nc, {});
+  std::vector<std::int64_t> count(nc, 0);
+  std::vector<std::map<std::int32_t, std::int64_t>> cross(nc);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto c = static_cast<std::size_t>(out.coarse_of[v]);
+    out.coarse.wcomp[c] += g.wcomp[v];
+    out.coarse.wremap[c] += g.wremap[v];
+    out.coarse.centroid[c] += g.centroid[v];
+    count[c] += 1;
+    for (std::size_t k = 0; k < g.adjacency[v].size(); ++k) {
+      const std::int32_t nb = g.adjacency[v][k];
+      const std::int32_t cn = out.coarse_of[static_cast<std::size_t>(nb)];
+      if (cn != out.coarse_of[v]) {
+        cross[c][cn] += g.weight_of(v, k);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < nc; ++c) {
+    out.coarse.adjacency[c].reserve(cross[c].size());
+    out.coarse.edge_weight.resize(nc);
+    for (const auto& [cn, w] : cross[c]) {
+      out.coarse.adjacency[c].push_back(cn);
+      out.coarse.edge_weight[c].push_back(w);
+    }
+    out.coarse.centroid[c] =
+        out.coarse.centroid[c] * (1.0 / static_cast<double>(count[c]));
+  }
+  return out;
+}
+
+std::vector<PartId> expand_partition(const Agglomeration& a,
+                                     const std::vector<PartId>& coarse_part) {
+  std::vector<PartId> fine(a.coarse_of.size(), kNoPart);
+  for (std::size_t v = 0; v < a.coarse_of.size(); ++v) {
+    fine[v] = coarse_part[static_cast<std::size_t>(a.coarse_of[v])];
+  }
+  return fine;
+}
+
+}  // namespace plum::dual

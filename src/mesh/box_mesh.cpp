@@ -1,0 +1,158 @@
+#include "mesh/box_mesh.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace plum::mesh {
+
+namespace {
+
+/// The six tetrahedra of the Kuhn subdivision of the unit cube, as
+/// corner masks (bit 0 = +x, bit 1 = +y, bit 2 = +z).  Each tet walks
+/// from corner 000 to corner 111 adding one axis at a time; the six
+/// axis orders give the six tets.
+constexpr int kKuhnTet[6][4] = {
+    {0, 1, 3, 7},  // x, y, z
+    {0, 1, 5, 7},  // x, z, y
+    {0, 2, 3, 7},  // y, x, z
+    {0, 2, 6, 7},  // y, z, x
+    {0, 4, 5, 7},  // z, x, y
+    {0, 4, 6, 7},  // z, y, x
+};
+
+}  // namespace
+
+BoxMeshCounts predict_box_mesh_counts(int nx, int ny, int nz) {
+  const auto x = static_cast<std::int64_t>(nx);
+  const auto y = static_cast<std::int64_t>(ny);
+  const auto z = static_cast<std::int64_t>(nz);
+  BoxMeshCounts c;
+  c.vertices = (x + 1) * (y + 1) * (z + 1);
+  // Lattice edges along each axis + one diagonal per cube face + one
+  // body diagonal per cube.
+  const std::int64_t axis = x * (y + 1) * (z + 1) + y * (x + 1) * (z + 1) +
+                            z * (x + 1) * (y + 1);
+  const std::int64_t face_diag =
+      x * y * (z + 1) + y * z * (x + 1) + x * z * (y + 1);
+  c.edges = axis + face_diag + x * y * z;
+  c.elements = 6 * x * y * z;
+  // Each boundary cube face contributes two triangles.
+  c.bfaces = 4 * (x * y + y * z + x * z);
+  return c;
+}
+
+Solution default_field(const Vec3& p) {
+  // A Gaussian bump centred off-middle plus a gentle ramp: gives the
+  // error indicator a localized feature and a background gradient.
+  const Vec3 c{0.35, 0.35, 0.35};
+  const double r2 = dot(p - c, p - c);
+  Solution s{};
+  s[0] = 1.0 + 2.0 * std::exp(-18.0 * r2);           // "density"
+  s[1] = 0.5 * p.x;                                  // "momentum x"
+  s[2] = 0.5 * p.y;                                  // "momentum y"
+  s[3] = 0.5 * p.z;                                  // "momentum z"
+  s[4] = 2.5 + std::exp(-18.0 * r2) + 0.25 * p.x;    // "energy"
+  return s;
+}
+
+Mesh make_box_mesh(const BoxMeshSpec& spec) {
+  PLUM_CHECK(spec.nx >= 1 && spec.ny >= 1 && spec.nz >= 1);
+  const int nx = spec.nx, ny = spec.ny, nz = spec.nz;
+  const auto field = spec.field ? spec.field : default_field;
+
+  Mesh m;
+
+  // Vertices at lattice points; gid = linear lattice index.
+  auto vid = [&](int i, int j, int k) {
+    return static_cast<LocalIndex>((static_cast<std::int64_t>(k) * (ny + 1) +
+                                    j) *
+                                       (nx + 1) +
+                                   i);
+  };
+  for (int k = 0; k <= nz; ++k) {
+    for (int j = 0; j <= ny; ++j) {
+      for (int i = 0; i <= nx; ++i) {
+        const Vec3 p{
+            spec.origin.x + spec.size.x * (static_cast<double>(i) / nx),
+            spec.origin.y + spec.size.y * (static_cast<double>(j) / ny),
+            spec.origin.z + spec.size.z * (static_cast<double>(k) / nz)};
+        const auto gid = static_cast<GlobalId>(vid(i, j, k));
+        m.add_vertex(p, gid, field(p));
+      }
+    }
+  }
+
+  // Elements: 6 Kuhn tets per cube; edges created on demand.
+  GlobalId next_gid = 0;
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        LocalIndex corner[8];
+        for (int c = 0; c < 8; ++c) {
+          corner[c] = vid(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1));
+        }
+        for (const auto& tet : kKuhnTet) {
+          std::array<LocalIndex, 4> v = {corner[tet[0]], corner[tet[1]],
+                                         corner[tet[2]], corner[tet[3]]};
+          // Ensure positive orientation (Kuhn tets alternate parity).
+          const double vol =
+              tet_volume(m.vertex(v[0]).pos, m.vertex(v[1]).pos,
+                         m.vertex(v[2]).pos, m.vertex(v[3]).pos);
+          if (vol < 0.0) std::swap(v[2], v[3]);
+          m.create_element(v, next_gid++);
+        }
+      }
+    }
+  }
+
+  // Boundary faces: every element face that no other element shares.
+  // Identified by sorted vertex triple.
+  struct FaceRef {
+    LocalIndex elem;
+    std::array<LocalIndex, 3> v;
+    int count;
+  };
+  std::unordered_map<std::uint64_t, FaceRef> face_count;
+  face_count.reserve(m.elements().size() * 4);
+  // Exact key: three sorted 21-bit local indices packed into 64 bits
+  // (local vertex counts here are far below 2^21).
+  auto face_key = [&](std::array<LocalIndex, 3> f) {
+    std::sort(f.begin(), f.end());
+    PLUM_DCHECK(f[2] < (1 << 21));
+    return (static_cast<std::uint64_t>(f[0]) << 42) |
+           (static_cast<std::uint64_t>(f[1]) << 21) |
+           static_cast<std::uint64_t>(f[2]);
+  };
+  for (std::size_t ei = 0; ei < m.elements().size(); ++ei) {
+    const Element& el = m.elements()[ei];
+    for (int f = 0; f < 4; ++f) {
+      std::array<LocalIndex, 3> fv = {
+          el.v[static_cast<std::size_t>(kFaceVerts[f][0])],
+          el.v[static_cast<std::size_t>(kFaceVerts[f][1])],
+          el.v[static_cast<std::size_t>(kFaceVerts[f][2])]};
+      auto [it, inserted] = face_count.try_emplace(
+          face_key(fv), FaceRef{static_cast<LocalIndex>(ei), fv, 0});
+      it->second.count += 1;
+      if (!inserted) {
+        PLUM_CHECK_MSG(it->second.count <= 2,
+                       "generator produced a face shared by >2 elements");
+      }
+    }
+  }
+  for (const auto& [key, ref] : face_count) {
+    (void)key;
+    if (ref.count == 1) m.add_bface(ref.v, ref.elem);
+  }
+
+  return m;
+}
+
+Mesh make_cube_mesh(int n) {
+  BoxMeshSpec spec;
+  spec.nx = spec.ny = spec.nz = n;
+  return make_box_mesh(spec);
+}
+
+}  // namespace plum::mesh

@@ -1,0 +1,74 @@
+// Small 3-D geometry kit: vectors, tetrahedron measures, region
+// predicates used by the edge-marking strategies (sphere for Local_1,
+// box for Local_2).
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace plum::mesh {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  bool operator==(const Vec3& o) const = default;
+};
+
+inline double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+inline double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+inline Vec3 midpoint(const Vec3& a, const Vec3& b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5, (a.z + b.z) * 0.5};
+}
+
+/// Signed volume of tetrahedron (a,b,c,d); positive when (b-a, c-a, d-a)
+/// form a right-handed frame.
+inline double tet_volume(const Vec3& a, const Vec3& b, const Vec3& c,
+                         const Vec3& d) {
+  return dot(b - a, cross(c - a, d - a)) / 6.0;
+}
+
+inline Vec3 centroid4(const Vec3& a, const Vec3& b, const Vec3& c,
+                      const Vec3& d) {
+  return {(a.x + b.x + c.x + d.x) * 0.25, (a.y + b.y + c.y + d.y) * 0.25,
+          (a.z + b.z + c.z + d.z) * 0.25};
+}
+
+/// Axis-aligned box region predicate.
+struct Box {
+  Vec3 lo, hi;
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+};
+
+/// Sphere region predicate.
+struct Sphere {
+  Vec3 center;
+  double radius = 0.0;
+  bool contains(const Vec3& p) const {
+    return distance(p, center) <= radius;
+  }
+};
+
+}  // namespace plum::mesh

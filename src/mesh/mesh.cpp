@@ -1,0 +1,364 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+
+#include "mesh/global_id.hpp"
+
+namespace plum::mesh {
+
+namespace {
+
+/// Removes the first occurrence of `value` from `vec` (order-preserving
+/// erase; the lists are short so O(n) is fine).
+void erase_value(std::vector<LocalIndex>& vec, LocalIndex value) {
+  auto it = std::find(vec.begin(), vec.end(), value);
+  if (it != vec.end()) vec.erase(it);
+}
+
+}  // namespace
+
+LocalIndex Mesh::add_vertex(const Vec3& pos, GlobalId gid,
+                            const Solution& sol) {
+  Vertex v;
+  v.pos = pos;
+  v.gid = gid;
+  v.sol = sol;
+  vertices_.push_back(std::move(v));
+  return static_cast<LocalIndex>(vertices_.size() - 1);
+}
+
+LocalIndex Mesh::add_edge(LocalIndex v0, LocalIndex v1, std::int16_t level,
+                          LocalIndex parent) {
+  PLUM_DCHECK(v0 != v1);
+  PLUM_DCHECK(vertex(v0).alive && vertex(v1).alive);
+  PLUM_CHECK_MSG(find_edge(v0, v1) == kNoIndex,
+                 "edge (" << v0 << "," << v1 << ") already exists");
+  Edge e;
+  e.v = {v0, v1};
+  e.gid = edge_gid(vertex(v0).gid, vertex(v1).gid);
+  e.level = level;
+  e.parent = parent;
+  edges_.push_back(std::move(e));
+  const auto ei = static_cast<LocalIndex>(edges_.size() - 1);
+  vertices_[static_cast<std::size_t>(v0)].edges.push_back(ei);
+  vertices_[static_cast<std::size_t>(v1)].edges.push_back(ei);
+  edge_by_verts_[pair_key(v0, v1)] = ei;
+  return ei;
+}
+
+LocalIndex Mesh::find_edge(LocalIndex v0, LocalIndex v1) const {
+  const auto it = edge_by_verts_.find(pair_key(v0, v1));
+  return it == edge_by_verts_.end() ? kNoIndex : it->second;
+}
+
+LocalIndex Mesh::find_or_add_edge(LocalIndex v0, LocalIndex v1,
+                                  std::int16_t level, LocalIndex parent) {
+  const LocalIndex found = find_edge(v0, v1);
+  return found != kNoIndex ? found : add_edge(v0, v1, level, parent);
+}
+
+LocalIndex Mesh::add_element(const std::array<LocalIndex, 4>& verts,
+                             GlobalId gid, LocalIndex parent) {
+  Element el;
+  el.v = verts;
+  el.gid = gid;
+  el.parent = parent;
+  for (int k = 0; k < 6; ++k) {
+    const LocalIndex a = verts[static_cast<std::size_t>(kEdgeVerts[k][0])];
+    const LocalIndex b = verts[static_cast<std::size_t>(kEdgeVerts[k][1])];
+    const LocalIndex ei = find_edge(a, b);
+    PLUM_CHECK_MSG(ei != kNoIndex, "add_element: missing edge between "
+                                       << a << " and " << b);
+    el.e[static_cast<std::size_t>(k)] = ei;
+  }
+  el.root = (parent == kNoIndex) ? kNoIndex : element(parent).root;
+  elements_.push_back(std::move(el));
+  const auto idx = static_cast<LocalIndex>(elements_.size() - 1);
+  if (parent == kNoIndex) elements_.back().root = idx;
+  for (const LocalIndex ei : elements_.back().e)
+    edges_[static_cast<std::size_t>(ei)].elems.push_back(idx);
+  if (parent != kNoIndex)
+    element(parent).children.push_back(idx);
+  return idx;
+}
+
+LocalIndex Mesh::create_element(const std::array<LocalIndex, 4>& verts,
+                                GlobalId gid, LocalIndex parent,
+                                std::int16_t edge_level) {
+  for (int k = 0; k < 6; ++k) {
+    const LocalIndex a = verts[static_cast<std::size_t>(kEdgeVerts[k][0])];
+    const LocalIndex b = verts[static_cast<std::size_t>(kEdgeVerts[k][1])];
+    find_or_add_edge(a, b, edge_level);
+  }
+  return add_element(verts, gid, parent);
+}
+
+LocalIndex Mesh::add_bface(const std::array<LocalIndex, 3>& verts,
+                           LocalIndex elem, LocalIndex parent) {
+  BFace f;
+  f.v = verts;
+  f.elem = elem;
+  f.parent = parent;
+  for (int k = 0; k < 3; ++k) {
+    const LocalIndex a = verts[static_cast<std::size_t>(k)];
+    const LocalIndex b = verts[static_cast<std::size_t>((k + 1) % 3)];
+    const LocalIndex ei = find_edge(a, b);
+    PLUM_CHECK_MSG(ei != kNoIndex, "add_bface: missing edge");
+    f.e[static_cast<std::size_t>(k)] = ei;
+  }
+  bfaces_.push_back(std::move(f));
+  const auto idx = static_cast<LocalIndex>(bfaces_.size() - 1);
+  if (parent != kNoIndex) bface(parent).children.push_back(idx);
+  return idx;
+}
+
+void Mesh::deactivate_element(LocalIndex ei) {
+  Element& el = element(ei);
+  PLUM_DCHECK(el.alive && el.active);
+  el.active = false;
+  for (const LocalIndex e : el.e)
+    erase_value(edges_[static_cast<std::size_t>(e)].elems, ei);
+}
+
+void Mesh::activate_element(LocalIndex ei) {
+  Element& el = element(ei);
+  PLUM_DCHECK(el.alive && !el.active);
+  el.active = true;
+  for (const LocalIndex e : el.e)
+    edges_[static_cast<std::size_t>(e)].elems.push_back(ei);
+}
+
+void Mesh::delete_element(LocalIndex ei) {
+  Element& el = element(ei);
+  PLUM_DCHECK(el.alive);
+  PLUM_CHECK_MSG(el.children.empty(),
+                 "delete_element: element still has children");
+  if (el.active) deactivate_element(ei);
+  if (el.parent != kNoIndex) erase_value(element(el.parent).children, ei);
+  el.alive = false;
+  el.v = {kNoIndex, kNoIndex, kNoIndex, kNoIndex};
+  el.e = {kNoIndex, kNoIndex, kNoIndex, kNoIndex, kNoIndex, kNoIndex};
+}
+
+void Mesh::detach_edge_from_vertices(LocalIndex ei) {
+  Edge& e = edge(ei);
+  erase_value(vertices_[static_cast<std::size_t>(e.v[0])].edges, ei);
+  erase_value(vertices_[static_cast<std::size_t>(e.v[1])].edges, ei);
+  edge_by_verts_.erase(pair_key(e.v[0], e.v[1]));
+}
+
+void Mesh::delete_edge(LocalIndex ei) {
+  Edge& e = edge(ei);
+  PLUM_DCHECK(e.alive);
+  PLUM_CHECK_MSG(e.elems.empty(), "delete_edge: edge has active elements");
+  PLUM_CHECK_MSG(!e.bisected(), "delete_edge: edge still bisected");
+  if (e.parent != kNoIndex) {
+    Edge& p = edge(e.parent);
+    if (p.child[0] == ei) p.child[0] = kNoIndex;
+    if (p.child[1] == ei) p.child[1] = kNoIndex;
+  }
+  detach_edge_from_vertices(ei);
+  e.alive = false;
+}
+
+void Mesh::delete_vertex(LocalIndex vi) {
+  Vertex& v = vertex(vi);
+  PLUM_DCHECK(v.alive);
+  PLUM_CHECK_MSG(v.edges.empty(), "delete_vertex: vertex has alive edges");
+  v.alive = false;
+}
+
+void Mesh::delete_bface(LocalIndex bi) {
+  BFace& f = bface(bi);
+  PLUM_DCHECK(f.alive);
+  PLUM_CHECK_MSG(f.children.empty(), "delete_bface: bface has children");
+  if (f.parent != kNoIndex) erase_value(bface(f.parent).children, bi);
+  f.alive = false;
+  f.active = false;
+}
+
+MeshCounts Mesh::counts() const {
+  MeshCounts c;
+  for (const auto& v : vertices_) c.vertices += v.alive ? 1 : 0;
+  for (const auto& e : edges_) {
+    if (!e.alive) continue;
+    ++c.alive_edges;
+    if (!e.bisected()) ++c.active_edges;
+  }
+  for (const auto& el : elements_) {
+    if (!el.alive) continue;
+    ++c.alive_elements;
+    if (el.active) ++c.active_elements;
+  }
+  for (const auto& f : bfaces_) c.active_bfaces += (f.alive && f.active);
+  return c;
+}
+
+std::int64_t Mesh::num_active_elements() const {
+  std::int64_t n = 0;
+  for (const auto& el : elements_) n += (el.alive && el.active);
+  return n;
+}
+
+std::int64_t Mesh::num_active_edges() const {
+  std::int64_t n = 0;
+  for (const auto& e : edges_) n += (e.alive && !e.bisected());
+  return n;
+}
+
+std::vector<LocalIndex> Mesh::active_elements() const {
+  std::vector<LocalIndex> out;
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].alive && elements_[i].active)
+      out.push_back(static_cast<LocalIndex>(i));
+  }
+  return out;
+}
+
+std::vector<LocalIndex> Mesh::active_edges() const {
+  std::vector<LocalIndex> out;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].alive && !edges_[i].bisected())
+      out.push_back(static_cast<LocalIndex>(i));
+  }
+  return out;
+}
+
+double Mesh::active_volume() const {
+  double vol = 0.0;
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].alive && elements_[i].active)
+      vol += element_volume(static_cast<LocalIndex>(i));
+  }
+  return vol;
+}
+
+void Mesh::root_weights(std::vector<std::int64_t>* leaves,
+                        std::vector<std::int64_t>* total) const {
+  leaves->assign(elements_.size(), 0);
+  total->assign(elements_.size(), 0);
+  for (const auto& el : elements_) {
+    if (!el.alive) continue;
+    PLUM_DCHECK(el.root != kNoIndex);
+    const auto r = static_cast<std::size_t>(el.root);
+    (*total)[r] += 1;
+    if (el.active) (*leaves)[r] += 1;
+  }
+}
+
+void Mesh::compact() {
+  // Old-index -> new-index maps (kNoIndex for dead slots).
+  std::vector<LocalIndex> vmap(vertices_.size(), kNoIndex);
+  std::vector<LocalIndex> emap(edges_.size(), kNoIndex);
+  std::vector<LocalIndex> elmap(elements_.size(), kNoIndex);
+  std::vector<LocalIndex> bmap(bfaces_.size(), kNoIndex);
+
+  auto remap = [](LocalIndex i, const std::vector<LocalIndex>& map) {
+    if (i == kNoIndex) return kNoIndex;
+    const LocalIndex n = map[static_cast<std::size_t>(i)];
+    PLUM_CHECK_MSG(n != kNoIndex, "compact: reference to dead object");
+    return n;
+  };
+
+  LocalIndex n = 0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i)
+    if (vertices_[i].alive) vmap[i] = n++;
+  n = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i)
+    if (edges_[i].alive) emap[i] = n++;
+  n = 0;
+  for (std::size_t i = 0; i < elements_.size(); ++i)
+    if (elements_[i].alive) elmap[i] = n++;
+  n = 0;
+  for (std::size_t i = 0; i < bfaces_.size(); ++i)
+    if (bfaces_[i].alive) bmap[i] = n++;
+
+  std::vector<Vertex> nverts;
+  nverts.reserve(vertices_.size());
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (!vertices_[i].alive) continue;
+    Vertex v = std::move(vertices_[i]);
+    for (auto& e : v.edges) e = remap(e, emap);
+    nverts.push_back(std::move(v));
+  }
+
+  std::vector<Edge> nedges;
+  nedges.reserve(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!edges_[i].alive) continue;
+    Edge e = std::move(edges_[i]);
+    e.v = {remap(e.v[0], vmap), remap(e.v[1], vmap)};
+    for (auto& el : e.elems) el = remap(el, elmap);
+    e.child = {remap(e.child[0], emap), remap(e.child[1], emap)};
+    e.midpoint = remap(e.midpoint, vmap);
+    // A surviving child edge may reference a deleted parent (un-bisected
+    // during coarsening never happens while the child lives, but guard).
+    if (e.parent != kNoIndex &&
+        emap[static_cast<std::size_t>(e.parent)] == kNoIndex) {
+      e.parent = kNoIndex;
+    } else {
+      e.parent = remap(e.parent, emap);
+    }
+    nedges.push_back(std::move(e));
+  }
+
+  std::vector<Element> nelems;
+  nelems.reserve(elements_.size());
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (!elements_[i].alive) continue;
+    Element el = std::move(elements_[i]);
+    for (auto& v : el.v) v = remap(v, vmap);
+    for (auto& e : el.e) e = remap(e, emap);
+    el.parent = remap(el.parent, elmap);
+    el.root = remap(el.root, elmap);
+    for (auto& c : el.children) c = remap(c, elmap);
+    nelems.push_back(std::move(el));
+  }
+
+  std::vector<BFace> nbfaces;
+  nbfaces.reserve(bfaces_.size());
+  for (std::size_t i = 0; i < bfaces_.size(); ++i) {
+    if (!bfaces_[i].alive) continue;
+    BFace f = std::move(bfaces_[i]);
+    for (auto& v : f.v) v = remap(v, vmap);
+    for (auto& e : f.e) e = remap(e, emap);
+    f.elem = remap(f.elem, elmap);
+    f.parent = remap(f.parent, bmap);
+    for (auto& c : f.children) c = remap(c, bmap);
+    nbfaces.push_back(std::move(f));
+  }
+
+  vertices_ = std::move(nverts);
+  edges_ = std::move(nedges);
+  elements_ = std::move(nelems);
+  bfaces_ = std::move(nbfaces);
+
+  edge_by_verts_.clear();
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    edge_by_verts_[pair_key(edges_[i].v[0], edges_[i].v[1])] =
+        static_cast<LocalIndex>(i);
+  }
+}
+
+void Mesh::rebuild_lookup() {
+  edge_by_verts_.clear();
+  for (auto& v : vertices_) v.edges.clear();
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    Edge& e = edges_[i];
+    if (!e.alive) continue;
+    const auto ei = static_cast<LocalIndex>(i);
+    edge_by_verts_[pair_key(e.v[0], e.v[1])] = ei;
+    vertices_[static_cast<std::size_t>(e.v[0])].edges.push_back(ei);
+    vertices_[static_cast<std::size_t>(e.v[1])].edges.push_back(ei);
+  }
+  for (auto& e : edges_) e.elems.clear();
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    Element& el = elements_[i];
+    if (!el.alive || !el.active) continue;
+    for (const LocalIndex ei : el.e)
+      edges_[static_cast<std::size_t>(ei)].elems.push_back(
+          static_cast<LocalIndex>(i));
+  }
+}
+
+}  // namespace plum::mesh

@@ -1,0 +1,295 @@
+// Edge-based tetrahedral mesh, after §3 of the paper.
+//
+// "The code ... has its data structures based on edges that connect the
+//  vertices of a tetrahedral mesh.  This means that the elements and
+//  boundary faces are defined by their edges rather than by their
+//  vertices. ... each vertex has a list of all the edges that are
+//  incident upon it.  Similarly, each edge has a list of all the
+//  elements that share it.  These lists eliminate extensive searches and
+//  are crucial to the efficiency of the overall adaption scheme."
+//
+// We store both the edge and vertex references of every element (the
+// vertex tuple is redundant but keeps geometry and serialization
+// simple); the incidence lists above are maintained exactly as quoted.
+//
+// Object lifetime.  Refinement never deletes anything: a subdivided
+// element (and a bisected edge) stays alive as an interior node of the
+// refinement forest, with links to its children ("The parent edges and
+// elements are retained at each refinement step so they do not have to
+// be reconstructed").  Coarsening deletes refinement-created objects and
+// reinstates parents; deleted slots stay dead until compact() renumbers
+// everything densely, mirroring the paper's compaction step after
+// coarsening.
+//
+// An element is:
+//   * alive   — the storage slot is in use (leaf or interior tree node);
+//   * active  — a leaf of the forest; only active elements carry flow
+//               computation and only they appear in edge incidence lists.
+// An edge is alive while any alive element references it; it is *active*
+// when it is not bisected.  Shared-processor lists (SPLs) used by the
+// parallel layer live directly on vertices and edges.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+#include "mesh/tet_topology.hpp"
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace plum::mesh {
+
+/// Number of solution variables stored per vertex (density, momentum
+/// x/y/z, total energy — a compressible-flow state vector).
+inline constexpr int kSolDim = 5;
+using Solution = std::array<double, kSolDim>;
+
+/// Adaption mark carried by an edge.
+enum class EdgeMark : std::uint8_t { kNone = 0, kRefine = 1, kCoarsen = 2 };
+
+struct Vertex {
+  Vec3 pos;
+  GlobalId gid = kNoGlobalId;
+  Solution sol{};
+  /// All alive edges incident on this vertex.
+  std::vector<LocalIndex> edges;
+  /// Shared-processor list: ranks (other than the owner) that hold a
+  /// copy.  Empty means internal to the partition.
+  std::vector<Rank> spl;
+  bool alive = true;
+};
+
+struct Edge {
+  std::array<LocalIndex, 2> v{kNoIndex, kNoIndex};
+  GlobalId gid = kNoGlobalId;
+  /// Active elements sharing this edge.
+  std::vector<LocalIndex> elems;
+  /// Children after bisection (kNoIndex when not bisected).
+  std::array<LocalIndex, 2> child{kNoIndex, kNoIndex};
+  /// Vertex created at the midpoint when bisected.
+  LocalIndex midpoint = kNoIndex;
+  LocalIndex parent = kNoIndex;
+  /// Refinement depth; 0 = initial mesh ("edges cannot be coarsened
+  /// beyond the initial mesh").
+  std::int16_t level = 0;
+  EdgeMark mark = EdgeMark::kNone;
+  bool alive = true;
+  std::vector<Rank> spl;
+
+  bool bisected() const {
+    return child[0] != kNoIndex || child[1] != kNoIndex;
+  }
+};
+
+struct Element {
+  std::array<LocalIndex, 4> v{kNoIndex, kNoIndex, kNoIndex, kNoIndex};
+  /// Edge k connects local vertices kEdgeVerts[k].
+  std::array<LocalIndex, 6> e{kNoIndex, kNoIndex, kNoIndex,
+                              kNoIndex, kNoIndex, kNoIndex};
+  GlobalId gid = kNoGlobalId;
+  LocalIndex parent = kNoIndex;
+  /// Root ancestor (a vertex of the dual graph); == own index for roots.
+  LocalIndex root = kNoIndex;
+  std::vector<LocalIndex> children;
+  /// Working 6-bit marking pattern during an adaption pass.
+  std::uint8_t pattern = 0;
+  bool alive = true;
+  bool active = true;
+};
+
+/// External boundary face (triangle), edge-defined like elements.
+struct BFace {
+  std::array<LocalIndex, 3> v{kNoIndex, kNoIndex, kNoIndex};
+  std::array<LocalIndex, 3> e{kNoIndex, kNoIndex, kNoIndex};
+  /// The active element this face belongs to.
+  LocalIndex elem = kNoIndex;
+  LocalIndex parent = kNoIndex;
+  std::vector<LocalIndex> children;
+  bool alive = true;
+  bool active = true;
+};
+
+/// Dense counts of the alive/active population.
+struct MeshCounts {
+  std::int64_t vertices = 0;
+  std::int64_t active_edges = 0;
+  std::int64_t alive_edges = 0;
+  std::int64_t active_elements = 0;
+  std::int64_t alive_elements = 0;
+  std::int64_t active_bfaces = 0;
+};
+
+class Mesh {
+ public:
+  Mesh() = default;
+
+  // --- object stores ----------------------------------------------------
+  std::vector<Vertex>& vertices() { return vertices_; }
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  std::vector<Edge>& edges() { return edges_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Element>& elements() { return elements_; }
+  const std::vector<Element>& elements() const { return elements_; }
+  std::vector<BFace>& bfaces() { return bfaces_; }
+  const std::vector<BFace>& bfaces() const { return bfaces_; }
+
+  Vertex& vertex(LocalIndex i) { return vertices_[check_idx(i, vertices_)]; }
+  const Vertex& vertex(LocalIndex i) const {
+    return vertices_[check_idx(i, vertices_)];
+  }
+  Edge& edge(LocalIndex i) { return edges_[check_idx(i, edges_)]; }
+  const Edge& edge(LocalIndex i) const {
+    return edges_[check_idx(i, edges_)];
+  }
+  Element& element(LocalIndex i) {
+    return elements_[check_idx(i, elements_)];
+  }
+  const Element& element(LocalIndex i) const {
+    return elements_[check_idx(i, elements_)];
+  }
+  BFace& bface(LocalIndex i) { return bfaces_[check_idx(i, bfaces_)]; }
+  const BFace& bface(LocalIndex i) const {
+    return bfaces_[check_idx(i, bfaces_)];
+  }
+
+  // --- construction ------------------------------------------------------
+
+  /// Adds a vertex; returns its local index.
+  LocalIndex add_vertex(const Vec3& pos, GlobalId gid,
+                        const Solution& sol = Solution{});
+
+  /// Adds an edge between existing vertices (must not already exist).
+  /// The edge's gid is derived from its endpoint gids.
+  LocalIndex add_edge(LocalIndex v0, LocalIndex v1, std::int16_t level = 0,
+                      LocalIndex parent = kNoIndex);
+
+  /// Returns the alive edge between two vertices, or kNoIndex.
+  LocalIndex find_edge(LocalIndex v0, LocalIndex v1) const;
+
+  /// find_edge or add_edge.
+  LocalIndex find_or_add_edge(LocalIndex v0, LocalIndex v1,
+                              std::int16_t level = 0,
+                              LocalIndex parent = kNoIndex);
+
+  /// Adds an element over four existing vertices; all six edges must
+  /// already exist (use create_element to create them on demand).
+  /// The new element is active and registered in its edges' lists.
+  LocalIndex add_element(const std::array<LocalIndex, 4>& verts,
+                         GlobalId gid, LocalIndex parent = kNoIndex);
+
+  /// add_element, creating any missing edges at `edge_level`.
+  LocalIndex create_element(const std::array<LocalIndex, 4>& verts,
+                            GlobalId gid, LocalIndex parent = kNoIndex,
+                            std::int16_t edge_level = 0);
+
+  /// Adds an active boundary face over three vertices of element `elem`.
+  LocalIndex add_bface(const std::array<LocalIndex, 3>& verts,
+                       LocalIndex elem, LocalIndex parent = kNoIndex);
+
+  // --- refinement-forest surgery -----------------------------------------
+
+  /// Makes an element a non-leaf: removed from edge incidence lists,
+  /// active=false.  (Its slot and child links survive.)
+  void deactivate_element(LocalIndex ei);
+
+  /// Reinstates a previously deactivated element as a leaf.
+  void activate_element(LocalIndex ei);
+
+  /// Deletes a refinement-created element outright (coarsening):
+  /// deactivates it and frees its slot.  Children must already be gone.
+  void delete_element(LocalIndex ei);
+
+  /// Deletes an edge (coarsening).  It must have no incident active
+  /// elements and no children; detaches it from its endpoints.
+  void delete_edge(LocalIndex ei);
+
+  /// Deletes a vertex with no remaining alive incident edges.
+  void delete_vertex(LocalIndex vi);
+
+  /// Deletes a bface (coarsening).
+  void delete_bface(LocalIndex bi);
+
+  // --- queries ------------------------------------------------------------
+
+  MeshCounts counts() const;
+  std::int64_t num_active_elements() const;
+  std::int64_t num_active_edges() const;
+
+  /// Indices of all active elements / edges (ascending).
+  std::vector<LocalIndex> active_elements() const;
+  std::vector<LocalIndex> active_edges() const;
+
+  bool edge_is_active(LocalIndex ei) const {
+    const Edge& e = edge(ei);
+    return e.alive && !e.bisected();
+  }
+
+  /// Geometric midpoint position of an edge.
+  Vec3 edge_midpoint_pos(LocalIndex ei) const {
+    const Edge& e = edge(ei);
+    return midpoint(vertex(e.v[0]).pos, vertex(e.v[1]).pos);
+  }
+
+  double edge_length(LocalIndex ei) const {
+    const Edge& e = edge(ei);
+    return distance(vertex(e.v[0]).pos, vertex(e.v[1]).pos);
+  }
+
+  /// Signed volume of an element from its vertex positions.
+  double element_volume(LocalIndex ei) const {
+    const Element& el = element(ei);
+    return tet_volume(vertex(el.v[0]).pos, vertex(el.v[1]).pos,
+                      vertex(el.v[2]).pos, vertex(el.v[3]).pos);
+  }
+
+  Vec3 element_centroid(LocalIndex ei) const {
+    const Element& el = element(ei);
+    return centroid4(vertex(el.v[0]).pos, vertex(el.v[1]).pos,
+                     vertex(el.v[2]).pos, vertex(el.v[3]).pos);
+  }
+
+  /// Total volume of all active elements.
+  double active_volume() const;
+
+  /// Per-root leaf/total element counts (dual-graph weights W_comp and
+  /// W_remap, §5).  Indexed by root element local index.
+  void root_weights(std::vector<std::int64_t>* leaves,
+                    std::vector<std::int64_t>* total) const;
+
+  // --- maintenance ---------------------------------------------------------
+
+  /// Renumbers all alive objects densely, dropping dead slots; mirrors
+  /// the paper's compaction after coarsening.  Invalidates all indices.
+  void compact();
+
+  /// Recomputes the (v0,v1)->edge map and vertex incidence lists from
+  /// scratch (used after deserialisation).
+  void rebuild_lookup();
+
+ private:
+  template <typename V>
+  static std::size_t check_idx(LocalIndex i, [[maybe_unused]] const V& v) {
+    PLUM_DCHECK(i >= 0 && static_cast<std::size_t>(i) < v.size());
+    return static_cast<std::size_t>(i);
+  }
+
+  static std::uint64_t pair_key(LocalIndex a, LocalIndex b) {
+    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+    return (hi << 32) | lo;
+  }
+
+  void detach_edge_from_vertices(LocalIndex ei);
+
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<Element> elements_;
+  std::vector<BFace> bfaces_;
+  /// Alive-edge lookup by unordered local vertex pair.
+  std::unordered_map<std::uint64_t, LocalIndex> edge_by_verts_;
+};
+
+}  // namespace plum::mesh

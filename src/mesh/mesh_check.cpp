@@ -1,0 +1,283 @@
+#include "mesh/mesh_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace plum::mesh {
+
+namespace {
+
+class Collector {
+ public:
+  explicit Collector(int max_errors) : max_(max_errors) {}
+
+  template <typename... Args>
+  void fail(Args&&... args) {
+    ++count_;
+    if (static_cast<int>(errors_.size()) >= max_) return;
+    std::ostringstream os;
+    (os << ... << args);
+    errors_.push_back(os.str());
+  }
+
+  bool saturated() const { return count_ >= max_ * 8; }
+  std::vector<std::string> take() { return std::move(errors_); }
+  int count() const { return count_; }
+
+ private:
+  int max_;
+  int count_ = 0;
+  std::vector<std::string> errors_;
+};
+
+std::array<LocalIndex, 3> sorted3(std::array<LocalIndex, 3> f) {
+  std::sort(f.begin(), f.end());
+  return f;
+}
+
+}  // namespace
+
+std::string MeshCheckResult::summary() const {
+  if (ok()) return "mesh OK";
+  std::ostringstream os;
+  os << errors.size() << " mesh errors:";
+  for (const auto& e : errors) os << "\n  " << e;
+  return os.str();
+}
+
+MeshCheckResult check_mesh(const Mesh& m, const MeshCheckOptions& opt) {
+  Collector c(opt.max_errors);
+
+  // --- vertex incidence lists ------------------------------------------
+  for (std::size_t vi = 0; vi < m.vertices().size() && !c.saturated(); ++vi) {
+    const Vertex& v = m.vertices()[vi];
+    if (!v.alive) {
+      if (!v.edges.empty()) c.fail("dead vertex ", vi, " has edges");
+      continue;
+    }
+    for (const LocalIndex ei : v.edges) {
+      const Edge& e = m.edge(ei);
+      if (!e.alive) {
+        c.fail("vertex ", vi, " lists dead edge ", ei);
+      } else if (e.v[0] != static_cast<LocalIndex>(vi) &&
+                 e.v[1] != static_cast<LocalIndex>(vi)) {
+        c.fail("vertex ", vi, " lists edge ", ei, " not incident on it");
+      }
+    }
+  }
+
+  // --- edges -------------------------------------------------------------
+  for (std::size_t ei = 0; ei < m.edges().size() && !c.saturated(); ++ei) {
+    const Edge& e = m.edges()[ei];
+    if (!e.alive) continue;
+    if (e.v[0] == e.v[1]) c.fail("edge ", ei, " is degenerate");
+    for (const LocalIndex v : e.v) {
+      if (!m.vertex(v).alive) {
+        c.fail("edge ", ei, " references dead vertex ", v);
+        continue;
+      }
+      const auto& lst = m.vertex(v).edges;
+      if (std::find(lst.begin(), lst.end(), static_cast<LocalIndex>(ei)) ==
+          lst.end()) {
+        c.fail("edge ", ei, " missing from vertex ", v, " incidence list");
+      }
+    }
+    if (e.bisected()) {
+      if (e.midpoint == kNoIndex) {
+        c.fail("bisected edge ", ei, " has no midpoint");
+      } else {
+        const Vertex& mp = m.vertex(e.midpoint);
+        if (!mp.alive) c.fail("bisected edge ", ei, " midpoint dead");
+        for (int k = 0; k < 2; ++k) {
+          if (e.child[k] == kNoIndex) {
+            c.fail("bisected edge ", ei, " missing child ", k);
+            continue;
+          }
+          const Edge& ch = m.edge(e.child[k]);
+          if (!ch.alive) {
+            c.fail("bisected edge ", ei, " child ", k, " dead");
+            continue;
+          }
+          if (ch.parent != static_cast<LocalIndex>(ei)) {
+            c.fail("child edge ", e.child[k], " parent link broken");
+          }
+          const bool touches_mid =
+              ch.v[0] == e.midpoint || ch.v[1] == e.midpoint;
+          const LocalIndex other =
+              ch.v[0] == e.midpoint ? ch.v[1] : ch.v[0];
+          const bool touches_end = other == e.v[0] || other == e.v[1];
+          if (!touches_mid || !touches_end) {
+            c.fail("child edge ", e.child[k],
+                   " does not connect parent endpoint to midpoint");
+          }
+        }
+      }
+      if (!e.elems.empty()) {
+        c.fail("bisected edge ", ei, " still has active elements");
+      }
+    }
+    // Incidence list contents are cross-checked from the element side
+    // below; here verify no duplicates.
+    auto elems = e.elems;
+    std::sort(elems.begin(), elems.end());
+    if (std::adjacent_find(elems.begin(), elems.end()) != elems.end()) {
+      c.fail("edge ", ei, " incidence list has duplicates");
+    }
+  }
+
+  // --- elements ------------------------------------------------------------
+  // Count, per edge, how many active elements reference it.
+  std::unordered_map<LocalIndex, std::int64_t> edge_refs;
+  for (std::size_t li = 0; li < m.elements().size() && !c.saturated(); ++li) {
+    const Element& el = m.elements()[li];
+    if (!el.alive) continue;
+    const auto ei = static_cast<LocalIndex>(li);
+    // vertex/edge cross-reference
+    for (int k = 0; k < 6; ++k) {
+      const LocalIndex eidx = el.e[static_cast<std::size_t>(k)];
+      if (eidx == kNoIndex) {
+        c.fail("element ", li, " missing edge slot ", k);
+        continue;
+      }
+      const Edge& e = m.edge(eidx);
+      if (!e.alive) {
+        c.fail("element ", li, " references dead edge ", eidx);
+        continue;
+      }
+      const LocalIndex a =
+          el.v[static_cast<std::size_t>(kEdgeVerts[k][0])];
+      const LocalIndex b =
+          el.v[static_cast<std::size_t>(kEdgeVerts[k][1])];
+      if (!((e.v[0] == a && e.v[1] == b) || (e.v[0] == b && e.v[1] == a))) {
+        c.fail("element ", li, " edge slot ", k,
+               " endpoints disagree with vertex tuple");
+      }
+      if (el.active) {
+        edge_refs[eidx] += 1;
+        if (e.bisected()) {
+          c.fail("active element ", li, " references bisected edge ", eidx);
+        }
+        const auto& lst = e.elems;
+        if (std::find(lst.begin(), lst.end(), ei) == lst.end()) {
+          c.fail("active element ", li, " missing from edge ", eidx,
+                 " incidence list");
+        }
+      }
+    }
+    if (el.active) {
+      for (const LocalIndex ch : el.children) {
+        if (m.element(ch).alive) {
+          c.fail("active element ", li, " has alive child ", ch);
+        }
+      }
+      const double vol = m.element_volume(ei);
+      if (!(vol > 0.0)) c.fail("active element ", li, " volume ", vol);
+    }
+    for (const LocalIndex ch : el.children) {
+      const Element& che = m.element(ch);
+      if (che.alive && che.parent != ei) {
+        c.fail("element ", li, " child ", ch, " has broken parent link");
+      }
+    }
+    if (el.root == kNoIndex) {
+      c.fail("element ", li, " has no root link");
+    } else if (el.parent == kNoIndex &&
+               el.root != static_cast<LocalIndex>(li)) {
+      c.fail("root element ", li, " root link not self");
+    }
+  }
+  // Edge incidence counts match.
+  for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
+    const Edge& e = m.edges()[ei];
+    if (!e.alive) continue;
+    const auto it = edge_refs.find(static_cast<LocalIndex>(ei));
+    const std::int64_t expect = it == edge_refs.end() ? 0 : it->second;
+    if (static_cast<std::int64_t>(e.elems.size()) != expect) {
+      c.fail("edge ", ei, " incidence size ", e.elems.size(), " expected ",
+             expect);
+    }
+  }
+
+  // --- conformity ------------------------------------------------------------
+  if (opt.check_conformity && !c.saturated()) {
+    std::map<std::array<LocalIndex, 3>, int> faces;
+    for (std::size_t li = 0; li < m.elements().size(); ++li) {
+      const Element& el = m.elements()[li];
+      if (!el.alive || !el.active) continue;
+      for (int f = 0; f < 4; ++f) {
+        faces[sorted3({el.v[static_cast<std::size_t>(kFaceVerts[f][0])],
+                       el.v[static_cast<std::size_t>(kFaceVerts[f][1])],
+                       el.v[static_cast<std::size_t>(kFaceVerts[f][2])]})] +=
+            1;
+      }
+    }
+    std::map<std::array<LocalIndex, 3>, int> bf;
+    for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
+      const BFace& f = m.bfaces()[bi];
+      if (!f.alive || !f.active) continue;
+      bf[sorted3(f.v)] += 1;
+      if (bf[sorted3(f.v)] > 1) c.fail("duplicate boundary face ", bi);
+      if (!m.element(f.elem).alive || !m.element(f.elem).active) {
+        c.fail("boundary face ", bi, " owner element not active");
+      }
+    }
+    for (const auto& [fv, cnt] : faces) {
+      if (cnt > 2) {
+        c.fail("face (", fv[0], ",", fv[1], ",", fv[2], ") shared by ", cnt,
+               " active elements");
+      } else if (cnt == 1 && bf.find(fv) == bf.end()) {
+        c.fail("interior hanging face (", fv[0], ",", fv[1], ",", fv[2],
+               ") — single-owner face not on boundary");
+      } else if (cnt == 2 && bf.find(fv) != bf.end()) {
+        c.fail("boundary face (", fv[0], ",", fv[1], ",", fv[2],
+               ") shared by two elements");
+      }
+    }
+    for (const auto& [fv, cnt] : bf) {
+      (void)cnt;
+      if (faces.find(fv) == faces.end()) {
+        c.fail("tracked boundary face (", fv[0], ",", fv[1], ",", fv[2],
+               ") is not a face of any active element");
+      }
+    }
+  }
+
+  // --- global-id uniqueness ---------------------------------------------------
+  if (opt.check_gid_uniqueness && !c.saturated()) {
+    std::unordered_set<GlobalId> seen;
+    for (const auto& v : m.vertices()) {
+      if (!v.alive) continue;
+      if (!seen.insert(v.gid).second) c.fail("duplicate vertex gid ", v.gid);
+    }
+    seen.clear();
+    for (const auto& e : m.edges()) {
+      if (!e.alive) continue;
+      if (!seen.insert(e.gid).second) c.fail("duplicate edge gid ", e.gid);
+    }
+    seen.clear();
+    for (const auto& el : m.elements()) {
+      if (!el.alive) continue;
+      if (!seen.insert(el.gid).second)
+        c.fail("duplicate element gid ", el.gid);
+    }
+  }
+
+  // --- volume conservation ------------------------------------------------------
+  if (opt.expected_volume >= 0.0) {
+    const double vol = m.active_volume();
+    const double tol = std::max(1e-12, opt.expected_volume * 1e-9);
+    if (std::abs(vol - opt.expected_volume) > tol) {
+      c.fail("active volume ", vol, " expected ", opt.expected_volume);
+    }
+  }
+
+  MeshCheckResult result;
+  result.errors = c.take();
+  return result;
+}
+
+}  // namespace plum::mesh

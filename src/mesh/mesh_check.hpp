@@ -1,0 +1,45 @@
+// Whole-mesh invariant checker.
+//
+// check_mesh() validates the structural invariants that 3D_TAG-style
+// adaption must preserve:
+//
+//   * element/edge/vertex cross-references and incidence lists agree;
+//   * every active element has positive volume;
+//   * the mesh is conforming: every face of an active element is shared
+//     by at most two active elements, and the faces owned by exactly one
+//     element are precisely the tracked boundary faces (this pair of
+//     conditions rules out hanging nodes);
+//   * total active volume equals the initial volume (refinement and
+//     coarsening are volume-preserving);
+//   * global ids are unique per object class;
+//   * the refinement forest is well-formed (children alive, parent
+//     links symmetric, bisected edges carry midpoints and children).
+//
+// Tests call expect-ok; algorithms can also call it defensively.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace plum::mesh {
+
+struct MeshCheckOptions {
+  bool check_conformity = true;
+  bool check_gid_uniqueness = true;
+  /// If >= 0, active volume must match this to relative 1e-9.
+  double expected_volume = -1.0;
+  /// Stop collecting after this many errors.
+  int max_errors = 20;
+};
+
+struct MeshCheckResult {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+  std::string summary() const;
+};
+
+MeshCheckResult check_mesh(const Mesh& m, const MeshCheckOptions& opt = {});
+
+}  // namespace plum::mesh

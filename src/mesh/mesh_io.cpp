@@ -1,0 +1,215 @@
+#include "mesh/mesh_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/check.hpp"
+
+namespace plum::mesh {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x504C554D39364D31ULL;  // "PLUM96M1"
+constexpr std::uint32_t kVersion = 1;
+
+void put_spl(BufWriter* w, const std::vector<Rank>& spl) {
+  w->put_vec(spl);
+}
+
+std::vector<Rank> get_spl(BufReader* r) { return r->get_vec<Rank>(); }
+
+}  // namespace
+
+Bytes serialize_mesh(const Mesh& m) {
+  BufWriter w(m.elements().size() * 96);
+  w.put(kMagic);
+  w.put(kVersion);
+
+  w.put<std::uint64_t>(m.vertices().size());
+  for (const Vertex& v : m.vertices()) {
+    w.put(v.pos);
+    w.put(v.gid);
+    w.put(v.sol);
+    put_spl(&w, v.spl);
+    w.put<std::uint8_t>(v.alive);
+  }
+
+  w.put<std::uint64_t>(m.edges().size());
+  for (const Edge& e : m.edges()) {
+    w.put(e.v);
+    w.put(e.gid);
+    w.put(e.child);
+    w.put(e.midpoint);
+    w.put(e.parent);
+    w.put(e.level);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(e.mark));
+    w.put<std::uint8_t>(e.alive);
+    put_spl(&w, e.spl);
+  }
+
+  w.put<std::uint64_t>(m.elements().size());
+  for (const Element& el : m.elements()) {
+    w.put(el.v);
+    w.put(el.e);
+    w.put(el.gid);
+    w.put(el.parent);
+    w.put(el.root);
+    w.put_vec(el.children);
+    w.put<std::uint8_t>(el.alive);
+    w.put<std::uint8_t>(el.active);
+  }
+
+  w.put<std::uint64_t>(m.bfaces().size());
+  for (const BFace& f : m.bfaces()) {
+    w.put(f.v);
+    w.put(f.e);
+    w.put(f.elem);
+    w.put(f.parent);
+    w.put_vec(f.children);
+    w.put<std::uint8_t>(f.alive);
+    w.put<std::uint8_t>(f.active);
+  }
+  return w.take();
+}
+
+Mesh deserialize_mesh(const Bytes& data) {
+  BufReader r(data);
+  PLUM_CHECK_MSG(r.get<std::uint64_t>() == kMagic,
+                 "not a plum96 mesh snapshot");
+  PLUM_CHECK_MSG(r.get<std::uint32_t>() == kVersion,
+                 "unsupported snapshot version");
+
+  Mesh m;
+  const auto nverts = r.get<std::uint64_t>();
+  m.vertices().resize(nverts);
+  for (Vertex& v : m.vertices()) {
+    v.pos = r.get<Vec3>();
+    v.gid = r.get<GlobalId>();
+    v.sol = r.get<Solution>();
+    v.spl = get_spl(&r);
+    v.alive = r.get<std::uint8_t>() != 0;
+  }
+
+  const auto nedges = r.get<std::uint64_t>();
+  m.edges().resize(nedges);
+  for (Edge& e : m.edges()) {
+    e.v = r.get<std::array<LocalIndex, 2>>();
+    e.gid = r.get<GlobalId>();
+    e.child = r.get<std::array<LocalIndex, 2>>();
+    e.midpoint = r.get<LocalIndex>();
+    e.parent = r.get<LocalIndex>();
+    e.level = r.get<std::int16_t>();
+    e.mark = static_cast<EdgeMark>(r.get<std::uint8_t>());
+    e.alive = r.get<std::uint8_t>() != 0;
+    e.spl = get_spl(&r);
+  }
+
+  const auto nelems = r.get<std::uint64_t>();
+  m.elements().resize(nelems);
+  for (Element& el : m.elements()) {
+    el.v = r.get<std::array<LocalIndex, 4>>();
+    el.e = r.get<std::array<LocalIndex, 6>>();
+    el.gid = r.get<GlobalId>();
+    el.parent = r.get<LocalIndex>();
+    el.root = r.get<LocalIndex>();
+    el.children = r.get_vec<LocalIndex>();
+    el.alive = r.get<std::uint8_t>() != 0;
+    el.active = r.get<std::uint8_t>() != 0;
+  }
+
+  const auto nbfaces = r.get<std::uint64_t>();
+  m.bfaces().resize(nbfaces);
+  for (BFace& f : m.bfaces()) {
+    f.v = r.get<std::array<LocalIndex, 3>>();
+    f.e = r.get<std::array<LocalIndex, 3>>();
+    f.elem = r.get<LocalIndex>();
+    f.parent = r.get<LocalIndex>();
+    f.children = r.get_vec<LocalIndex>();
+    f.alive = r.get<std::uint8_t>() != 0;
+    f.active = r.get<std::uint8_t>() != 0;
+  }
+  PLUM_CHECK_MSG(r.exhausted(), "trailing bytes in mesh snapshot");
+
+  // Vertex incidence lists and the (v0,v1)->edge map are derived state.
+  m.rebuild_lookup();
+  return m;
+}
+
+void save_mesh(const Mesh& m, const std::string& path) {
+  const Bytes data = serialize_mesh(m);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PLUM_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  PLUM_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+Mesh load_mesh(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  PLUM_CHECK_MSG(in.good(), "cannot open " << path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  Bytes data(size);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  PLUM_CHECK_MSG(in.good(), "read failed: " << path);
+  return deserialize_mesh(data);
+}
+
+void write_vtk(const Mesh& m, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  PLUM_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+
+  // Dense point numbering over alive vertices.
+  std::vector<std::int64_t> point_id(m.vertices().size(), -1);
+  std::int64_t npoints = 0;
+  for (std::size_t i = 0; i < m.vertices().size(); ++i) {
+    if (m.vertices()[i].alive) point_id[i] = npoints++;
+  }
+  const auto cells = m.active_elements();
+
+  out << "# vtk DataFile Version 3.0\n"
+      << "plum96 adapted tetrahedral mesh\n"
+      << "ASCII\nDATASET UNSTRUCTURED_GRID\n";
+  out << "POINTS " << npoints << " double\n";
+  for (const Vertex& v : m.vertices()) {
+    if (v.alive) {
+      out << v.pos.x << ' ' << v.pos.y << ' ' << v.pos.z << '\n';
+    }
+  }
+  out << "CELLS " << cells.size() << ' ' << cells.size() * 5 << '\n';
+  for (const LocalIndex c : cells) {
+    const Element& el = m.element(c);
+    out << 4;
+    for (const LocalIndex v : el.v) {
+      out << ' ' << point_id[static_cast<std::size_t>(v)];
+    }
+    out << '\n';
+  }
+  out << "CELL_TYPES " << cells.size() << '\n';
+  for (std::size_t i = 0; i < cells.size(); ++i) out << "10\n";  // VTK_TETRA
+
+  out << "POINT_DATA " << npoints << '\n'
+      << "SCALARS density double 1\nLOOKUP_TABLE default\n";
+  for (const Vertex& v : m.vertices()) {
+    if (v.alive) out << v.sol[0] << '\n';
+  }
+  out << "VECTORS momentum double\n";
+  for (const Vertex& v : m.vertices()) {
+    if (v.alive) {
+      out << v.sol[1] << ' ' << v.sol[2] << ' ' << v.sol[3] << '\n';
+    }
+  }
+  out << "CELL_DATA " << cells.size() << '\n'
+      << "SCALARS refinement_root long 1\nLOOKUP_TABLE default\n";
+  for (const LocalIndex c : cells) {
+    out << static_cast<long long>(m.element(m.element(c).root).gid) << '\n';
+  }
+  out << "SCALARS is_refined int 1\nLOOKUP_TABLE default\n";
+  for (const LocalIndex c : cells) {
+    out << (m.element(c).parent == kNoIndex ? 0 : 1) << '\n';
+  }
+  PLUM_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+}  // namespace plum::mesh

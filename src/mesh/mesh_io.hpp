@@ -1,0 +1,40 @@
+// Mesh snapshot I/O.
+//
+// The paper's finalization phase exists because "some post processing
+// tasks, such as visualization, need to process the whole grid
+// simultaneously.  Storing a snapshot of a grid for future restarts
+// could also require a global view."  This module provides both halves:
+//
+//   * a native binary snapshot that captures the *complete* mesh state
+//     — refinement forest, edge trees, marks, SPLs — so a run can stop
+//     after any number of adaptions and restart exactly (see
+//     parallel/restart.hpp for the distributed re-scatter);
+//   * a legacy-VTK ASCII export of the active surface for visualization
+//     (ParaView/VisIt), with the solution vector as point data and the
+//     refinement provenance as cell data.
+#pragma once
+
+#include <string>
+
+#include "mesh/mesh.hpp"
+#include "support/buffer.hpp"
+
+namespace plum::mesh {
+
+/// Serializes the complete mesh state (all fields of all objects).
+Bytes serialize_mesh(const Mesh& m);
+
+/// Inverse of serialize_mesh; validates the header and rebuilds the
+/// derived lookup structures.
+Mesh deserialize_mesh(const Bytes& data);
+
+/// Writes/reads a snapshot file (native binary format, versioned).
+void save_mesh(const Mesh& m, const std::string& path);
+Mesh load_mesh(const std::string& path);
+
+/// Writes the active elements as a legacy-VTK unstructured grid:
+/// POINT_DATA = the 5-component solution (density as the active
+/// scalar); CELL_DATA = refinement root id and tree flags.
+void write_vtk(const Mesh& m, const std::string& path);
+
+}  // namespace plum::mesh

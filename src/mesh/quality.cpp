@@ -1,0 +1,128 @@
+#include "mesh/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace plum::mesh {
+
+namespace {
+
+double triangle_area(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return 0.5 * norm(cross(b - a, c - a));
+}
+
+/// Circumradius of the tetrahedron: |alpha| formulation via the
+/// perpendicular-bisector linear system.
+double circumradius(const Vec3& a, const Vec3& b, const Vec3& c,
+                    const Vec3& d) {
+  // Solve 2 (p - a) . (x - a) = |p - a|^2 for p in {b, c, d}.
+  const Vec3 u = b - a, v = c - a, w = d - a;
+  const double m[3][3] = {{u.x, u.y, u.z}, {v.x, v.y, v.z}, {w.x, w.y, w.z}};
+  const double rhs[3] = {0.5 * dot(u, u), 0.5 * dot(v, v), 0.5 * dot(w, w)};
+  const double det =
+      m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+      m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+      m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  if (std::abs(det) < 1e-300) return 0.0;
+  auto solve = [&](int col) {
+    double mm[3][3];
+    for (int r = 0; r < 3; ++r) {
+      for (int cc = 0; cc < 3; ++cc) mm[r][cc] = m[r][cc];
+      mm[r][col] = rhs[r];
+    }
+    return (mm[0][0] * (mm[1][1] * mm[2][2] - mm[1][2] * mm[2][1]) -
+            mm[0][1] * (mm[1][0] * mm[2][2] - mm[1][2] * mm[2][0]) +
+            mm[0][2] * (mm[1][0] * mm[2][1] - mm[1][1] * mm[2][0])) /
+           det;
+  };
+  const Vec3 center{solve(0), solve(1), solve(2)};
+  return norm(center);
+}
+
+/// Dihedral angle (degrees) along the edge shared by faces with outward
+/// apexes p and q over edge (e0, e1).
+double dihedral_deg(const Vec3& e0, const Vec3& e1, const Vec3& p,
+                    const Vec3& q) {
+  const Vec3 axis = e1 - e0;
+  // Components of (p - e0), (q - e0) orthogonal to the edge.
+  const double alen2 = dot(axis, axis);
+  PLUM_DCHECK(alen2 > 0.0);
+  auto perp = [&](const Vec3& x) {
+    const Vec3 r = x - e0;
+    return r - axis * (dot(r, axis) / alen2);
+  };
+  const Vec3 a = perp(p);
+  const Vec3 b = perp(q);
+  const double na = norm(a), nb = norm(b);
+  if (na < 1e-300 || nb < 1e-300) return 0.0;
+  const double cosang = std::clamp(dot(a, b) / (na * nb), -1.0, 1.0);
+  return std::acos(cosang) * 180.0 / M_PI;
+}
+
+}  // namespace
+
+TetQuality tet_quality(const Vec3& a, const Vec3& b, const Vec3& c,
+                       const Vec3& d) {
+  TetQuality q;
+  q.volume = tet_volume(a, b, c, d);
+  const double absvol = std::abs(q.volume);
+
+  const double area = triangle_area(a, b, c) + triangle_area(a, b, d) +
+                      triangle_area(a, c, d) + triangle_area(b, c, d);
+  const double r_in = area > 0 ? 3.0 * absvol / area : 0.0;
+  const double r_circ = circumradius(a, b, c, d);
+  q.radius_ratio = r_circ > 0 ? 3.0 * r_in / r_circ : 0.0;
+
+  const Vec3 verts[4] = {a, b, c, d};
+  double lmin = 1e300, lmax = 0.0;
+  q.min_dihedral_deg = 180.0;
+  q.max_dihedral_deg = 0.0;
+  for (int k = 0; k < 6; ++k) {
+    const int i = kEdgeVerts[k][0];
+    const int j = kEdgeVerts[k][1];
+    const double len = distance(verts[i], verts[j]);
+    lmin = std::min(lmin, len);
+    lmax = std::max(lmax, len);
+    // The two vertices not on this edge span the dihedral.
+    int others[2], no = 0;
+    for (int t = 0; t < 4; ++t) {
+      if (t != i && t != j) others[no++] = t;
+    }
+    const double ang = dihedral_deg(verts[i], verts[j], verts[others[0]],
+                                    verts[others[1]]);
+    q.min_dihedral_deg = std::min(q.min_dihedral_deg, ang);
+    q.max_dihedral_deg = std::max(q.max_dihedral_deg, ang);
+  }
+  q.edge_aspect = lmin > 0 ? lmax / lmin : 0.0;
+  return q;
+}
+
+TetQuality element_quality(const Mesh& m, LocalIndex elem) {
+  const Element& el = m.element(elem);
+  return tet_quality(m.vertex(el.v[0]).pos, m.vertex(el.v[1]).pos,
+                     m.vertex(el.v[2]).pos, m.vertex(el.v[3]).pos);
+}
+
+MeshQuality mesh_quality(const Mesh& m) {
+  MeshQuality out;
+  double sum_rr = 0.0;
+  for (std::size_t i = 0; i < m.elements().size(); ++i) {
+    const Element& el = m.elements()[i];
+    if (!el.alive || !el.active) continue;
+    const TetQuality q = element_quality(m, static_cast<LocalIndex>(i));
+    out.elements += 1;
+    sum_rr += q.radius_ratio;
+    out.min_radius_ratio = std::min(out.min_radius_ratio, q.radius_ratio);
+    out.min_dihedral_deg = std::min(out.min_dihedral_deg, q.min_dihedral_deg);
+    out.max_dihedral_deg = std::max(out.max_dihedral_deg, q.max_dihedral_deg);
+    out.max_edge_aspect = std::max(out.max_edge_aspect, q.edge_aspect);
+  }
+  if (out.elements > 0) {
+    out.mean_radius_ratio = sum_rr / static_cast<double>(out.elements);
+  }
+  return out;
+}
+
+}  // namespace plum::mesh

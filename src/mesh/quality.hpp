@@ -1,0 +1,47 @@
+// Tetrahedron shape-quality metrics.
+//
+// Anisotropic subdivision (1:2 and 1:4) creates children that are not
+// similar to their parents, so repeated adaption could in principle
+// degenerate elements — one reason 3D_TAG coarsens back through the
+// *stored parents* instead of re-meshing ("the parent edges and
+// elements are retained at each refinement step").  These metrics let
+// tests and users quantify that the scheme stays shape-bounded:
+//
+//   * radius_ratio — 3 r_in / r_circ in (0, 1], 1 for the regular tet;
+//   * min/max dihedral angles;
+//   * edge aspect — longest/shortest edge.
+#pragma once
+
+#include "mesh/geometry.hpp"
+#include "mesh/mesh.hpp"
+
+namespace plum::mesh {
+
+struct TetQuality {
+  double volume = 0.0;
+  double radius_ratio = 0.0;     ///< 3*inradius/circumradius, 1 = regular
+  double min_dihedral_deg = 0.0;
+  double max_dihedral_deg = 0.0;
+  double edge_aspect = 0.0;      ///< longest edge / shortest edge
+};
+
+/// Quality of the tetrahedron (a,b,c,d); volume may be signed.
+TetQuality tet_quality(const Vec3& a, const Vec3& b, const Vec3& c,
+                       const Vec3& d);
+
+/// Quality of one active element.
+TetQuality element_quality(const Mesh& m, LocalIndex elem);
+
+struct MeshQuality {
+  std::int64_t elements = 0;
+  double min_radius_ratio = 1.0;
+  double mean_radius_ratio = 0.0;
+  double min_dihedral_deg = 180.0;
+  double max_dihedral_deg = 0.0;
+  double max_edge_aspect = 1.0;
+};
+
+/// Aggregate over all active elements.
+MeshQuality mesh_quality(const Mesh& m);
+
+}  // namespace plum::mesh

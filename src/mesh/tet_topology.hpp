@@ -1,0 +1,141 @@
+// Static topology tables of the reference tetrahedron.
+//
+// Local vertices are 0..3.  Local edges are numbered
+//
+//     edge 0: (0,1)   edge 1: (0,2)   edge 2: (0,3)
+//     edge 3: (1,2)   edge 4: (1,3)   edge 5: (2,3)
+//
+// Local faces are numbered by the vertex they omit:
+//
+//     face 0: (1,2,3)  face 1: (0,2,3)  face 2: (0,1,3)  face 3: (0,1,2)
+//
+// Element marking patterns are 6-bit masks over local edges (bit k set =
+// edge k marked for bisection).  The three legal patterns of the paper's
+// Fig. 2 are: exactly one bit (1:2), the three bits of one face (1:4),
+// and all six bits (1:8).  upgrade_pattern() maps an arbitrary mask to
+// the smallest legal superset, which is the element-local step of the
+// 3D_TAG "continuous upgrade" iteration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace plum::mesh {
+
+/// Local vertex pairs of the six local edges.
+inline constexpr std::array<std::array<int, 2>, 6> kEdgeVerts = {{
+    {0, 1},
+    {0, 2},
+    {0, 3},
+    {1, 2},
+    {1, 3},
+    {2, 3},
+}};
+
+/// Local vertex triples of the four local faces (face f omits vertex f).
+inline constexpr std::array<std::array<int, 3>, 4> kFaceVerts = {{
+    {1, 2, 3},
+    {0, 2, 3},
+    {0, 1, 3},
+    {0, 1, 2},
+}};
+
+/// Local edges of each local face (in the order (v0,v1),(v0,v2),(v1,v2)
+/// of that face's vertex triple).
+inline constexpr std::array<std::array<int, 3>, 4> kFaceEdges = {{
+    {3, 4, 5},  // face (1,2,3): edges (1,2),(1,3),(2,3)
+    {1, 2, 5},  // face (0,2,3): edges (0,2),(0,3),(2,3)
+    {0, 2, 4},  // face (0,1,3): edges (0,1),(0,3),(1,3)
+    {0, 1, 3},  // face (0,1,2): edges (0,1),(0,2),(1,2)
+}};
+
+/// 6-bit mask of each face's edge set.
+inline constexpr std::array<std::uint8_t, 4> kFaceMask = {
+    (1u << 3) | (1u << 4) | (1u << 5),
+    (1u << 1) | (1u << 2) | (1u << 5),
+    (1u << 0) | (1u << 2) | (1u << 4),
+    (1u << 0) | (1u << 1) | (1u << 3),
+};
+
+/// Local edge index connecting local vertices a and b (order-free).
+constexpr int local_edge_between(int a, int b) {
+  for (int k = 0; k < 6; ++k) {
+    if ((kEdgeVerts[k][0] == a && kEdgeVerts[k][1] == b) ||
+        (kEdgeVerts[k][0] == b && kEdgeVerts[k][1] == a)) {
+      return k;
+    }
+  }
+  return -1;
+}
+
+/// Edge opposite to edge k (the one sharing no vertex with it).
+inline constexpr std::array<int, 6> kOppositeEdge = {5, 4, 3, 2, 1, 0};
+
+inline int popcount6(std::uint8_t mask) {
+  return __builtin_popcount(static_cast<unsigned>(mask) & 0x3Fu);
+}
+
+/// Kind of subdivision a legal pattern encodes.
+enum class SubdivKind : std::uint8_t {
+  kNone,   ///< pattern 0 — element untouched
+  kOneTwo,  ///< one edge — 1:2 bisection
+  kOneFour, ///< one full face — 1:4 subdivision
+  kOneEight ///< all six edges — 1:8 isotropic subdivision
+};
+
+/// True iff `mask` is one of the legal patterns of Fig. 2.
+inline bool pattern_is_legal(std::uint8_t mask) {
+  mask &= 0x3Fu;
+  const int c = popcount6(mask);
+  if (c == 0 || c == 1 || c == 6) return true;
+  if (c == 3) {
+    for (const auto fm : kFaceMask)
+      if (mask == fm) return true;
+  }
+  return false;
+}
+
+inline SubdivKind pattern_kind(std::uint8_t mask) {
+  mask &= 0x3Fu;
+  const int c = popcount6(mask);
+  if (c == 0) return SubdivKind::kNone;
+  if (c == 1) return SubdivKind::kOneTwo;
+  if (c == 6) return SubdivKind::kOneEight;
+  PLUM_DCHECK(pattern_is_legal(mask));
+  return SubdivKind::kOneFour;
+}
+
+/// Smallest legal pattern containing `mask`:
+///   0 bits  -> unchanged;   1 bit -> unchanged;
+///   2 bits sharing a face -> that face's 3 bits;
+///   3 bits forming a face -> unchanged;
+///   anything else         -> all 6 bits.
+inline std::uint8_t upgrade_pattern(std::uint8_t mask) {
+  mask &= 0x3Fu;
+  const int c = popcount6(mask);
+  if (c <= 1) return mask;
+  if (c == 2) {
+    for (const auto fm : kFaceMask) {
+      if ((mask & fm) == mask) return fm;  // both edges lie on this face
+    }
+    return 0x3Fu;  // opposite edges — no common face
+  }
+  if (c == 3) {
+    for (const auto fm : kFaceMask)
+      if (mask == fm) return mask;
+    return 0x3Fu;
+  }
+  return 0x3Fu;
+}
+
+/// The face containing all bits of a 1:4 pattern, or -1.
+inline int pattern_face(std::uint8_t mask) {
+  mask &= 0x3Fu;
+  for (int f = 0; f < 4; ++f)
+    if (mask == kFaceMask[f]) return f;
+  return -1;
+}
+
+}  // namespace plum::mesh

@@ -1,0 +1,201 @@
+#include "parallel/dist_mesh.hpp"
+
+#include <algorithm>
+
+#include "mesh/tet_topology.hpp"
+#include "support/check.hpp"
+
+namespace plum::parallel {
+
+using mesh::Mesh;
+
+std::vector<Rank> DistMesh::neighbors() const {
+  std::unordered_set<Rank> set;
+  for (const auto& v : local.vertices()) {
+    if (!v.alive) continue;
+    for (const Rank r : v.spl) set.insert(r);
+  }
+  for (const auto& e : local.edges()) {
+    if (!e.alive) continue;
+    for (const Rank r : e.spl) set.insert(r);
+  }
+  std::vector<Rank> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void DistMesh::rebuild_gid_maps() {
+  vertex_of_gid.clear();
+  edge_of_gid.clear();
+  root_of_gid.clear();
+  for (std::size_t i = 0; i < local.vertices().size(); ++i) {
+    if (local.vertices()[i].alive) {
+      vertex_of_gid[local.vertices()[i].gid] = static_cast<LocalIndex>(i);
+    }
+  }
+  for (std::size_t i = 0; i < local.edges().size(); ++i) {
+    if (local.edges()[i].alive) {
+      edge_of_gid[local.edges()[i].gid] = static_cast<LocalIndex>(i);
+    }
+  }
+  for (std::size_t i = 0; i < local.elements().size(); ++i) {
+    const mesh::Element& el = local.elements()[i];
+    if (el.alive && el.parent == kNoIndex) {
+      root_of_gid[el.gid] = static_cast<LocalIndex>(i);
+    }
+  }
+}
+
+std::vector<std::pair<GlobalId, std::pair<std::int64_t, std::int64_t>>>
+DistMesh::local_root_weights() const {
+  std::vector<std::int64_t> leaves, total;
+  local.root_weights(&leaves, &total);
+  std::vector<std::pair<GlobalId, std::pair<std::int64_t, std::int64_t>>>
+      out;
+  out.reserve(root_of_gid.size());
+  for (std::size_t i = 0; i < local.elements().size(); ++i) {
+    const mesh::Element& el = local.elements()[i];
+    if (el.alive && el.parent == kNoIndex) {
+      out.emplace_back(el.gid, std::make_pair(leaves[i], total[i]));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DistMesh build_local_mesh(const Mesh& global,
+                          const std::vector<Rank>& proc_of_root, Rank rank,
+                          Rank nranks) {
+  DistMesh dm;
+  dm.rank = rank;
+  dm.nranks = nranks;
+
+  // Elements this rank owns.
+  std::vector<LocalIndex> mine;
+  for (std::size_t i = 0; i < global.elements().size(); ++i) {
+    const mesh::Element& el = global.elements()[i];
+    if (!el.alive || !el.active) continue;
+    PLUM_CHECK_MSG(el.parent == kNoIndex,
+                   "build_local_mesh requires an un-adapted global mesh");
+    PLUM_CHECK(el.gid < proc_of_root.size());
+    if (proc_of_root[static_cast<std::size_t>(el.gid)] == rank) {
+      mine.push_back(static_cast<LocalIndex>(i));
+    }
+  }
+
+  // Local copies of the vertices those elements touch ("defining a
+  // local number for each mesh object").
+  std::unordered_map<LocalIndex, LocalIndex> vmap;  // global local-idx -> mine
+  for (const LocalIndex gi : mine) {
+    for (const LocalIndex gv : global.element(gi).v) {
+      if (vmap.count(gv)) continue;
+      const mesh::Vertex& v = global.vertex(gv);
+      vmap[gv] = dm.local.add_vertex(v.pos, v.gid, v.sol);
+    }
+  }
+
+  // Elements (edges created on demand; they inherit derived gids which
+  // equal the global edge gids because endpoint gids match).
+  for (const LocalIndex gi : mine) {
+    const mesh::Element& el = global.element(gi);
+    dm.local.create_element({vmap[el.v[0]], vmap[el.v[1]], vmap[el.v[2]],
+                             vmap[el.v[3]]},
+                            el.gid);
+  }
+
+  // Boundary faces owned by our elements (owner resolved by gid).
+  std::unordered_map<GlobalId, LocalIndex> elem_of_gid;
+  for (std::size_t i = 0; i < dm.local.elements().size(); ++i) {
+    elem_of_gid[dm.local.elements()[i].gid] = static_cast<LocalIndex>(i);
+  }
+  for (std::size_t bi = 0; bi < global.bfaces().size(); ++bi) {
+    const mesh::BFace& f = global.bfaces()[bi];
+    if (!f.alive || !f.active) continue;
+    const GlobalId owner_gid = global.element(f.elem).gid;
+    if (proc_of_root[static_cast<std::size_t>(owner_gid)] != rank) continue;
+    dm.local.add_bface(
+        {vmap[f.v[0]], vmap[f.v[1]], vmap[f.v[2]]},
+        elem_of_gid[owner_gid]);
+  }
+
+  // SPLs: "shared vertices and edges are identified by searching for
+  // elements that lie on partition boundaries."  From the global mesh:
+  // the set of ranks owning elements incident on each vertex/edge.
+  // Edge SPLs first (direct from edge incidence lists).
+  for (std::size_t gei = 0; gei < global.edges().size(); ++gei) {
+    const mesh::Edge& ge = global.edges()[gei];
+    if (!ge.alive) continue;
+    // Does this rank hold the edge at all?
+    const auto v0 = vmap.find(ge.v[0]);
+    const auto v1 = vmap.find(ge.v[1]);
+    if (v0 == vmap.end() || v1 == vmap.end()) continue;
+    const LocalIndex le = dm.local.find_edge(v0->second, v1->second);
+    if (le == kNoIndex) continue;
+    std::unordered_set<Rank> owners;
+    for (const LocalIndex gel : ge.elems) {
+      owners.insert(proc_of_root[static_cast<std::size_t>(
+          global.element(gel).gid)]);
+    }
+    owners.erase(rank);
+    if (!owners.empty()) {
+      auto& spl = dm.local.edge(le).spl;
+      spl.assign(owners.begin(), owners.end());
+      std::sort(spl.begin(), spl.end());
+    }
+  }
+  // Vertex SPLs from incident-edge element owners.
+  for (std::size_t gvi = 0; gvi < global.vertices().size(); ++gvi) {
+    const auto it = vmap.find(static_cast<LocalIndex>(gvi));
+    if (it == vmap.end()) continue;
+    std::unordered_set<Rank> owners;
+    for (const LocalIndex gei : global.vertices()[gvi].edges) {
+      for (const LocalIndex gel : global.edge(gei).elems) {
+        owners.insert(proc_of_root[static_cast<std::size_t>(
+            global.element(gel).gid)]);
+      }
+    }
+    owners.erase(rank);
+    if (!owners.empty()) {
+      auto& spl = dm.local.vertex(it->second).spl;
+      spl.assign(owners.begin(), owners.end());
+      std::sort(spl.begin(), spl.end());
+    }
+  }
+
+  dm.rebuild_gid_maps();
+  return dm;
+}
+
+std::vector<std::string> check_dist_mesh(const DistMesh& dm) {
+  std::vector<std::string> errors;
+  auto check_spl = [&](const std::vector<Rank>& spl, const char* what,
+                       std::size_t idx) {
+    for (std::size_t k = 0; k < spl.size(); ++k) {
+      if (spl[k] == dm.rank) {
+        errors.push_back(std::string(what) + " " + std::to_string(idx) +
+                         " SPL contains own rank");
+      }
+      if (spl[k] < 0 || spl[k] >= dm.nranks) {
+        errors.push_back(std::string(what) + " " + std::to_string(idx) +
+                         " SPL rank out of range");
+      }
+      if (k > 0 && spl[k - 1] >= spl[k]) {
+        errors.push_back(std::string(what) + " " + std::to_string(idx) +
+                         " SPL not sorted/unique");
+      }
+    }
+  };
+  for (std::size_t i = 0; i < dm.local.vertices().size(); ++i) {
+    if (dm.local.vertices()[i].alive) {
+      check_spl(dm.local.vertices()[i].spl, "vertex", i);
+    }
+  }
+  for (std::size_t i = 0; i < dm.local.edges().size(); ++i) {
+    if (dm.local.edges()[i].alive) {
+      check_spl(dm.local.edges()[i].spl, "edge", i);
+    }
+  }
+  return errors;
+}
+
+}  // namespace plum::parallel

@@ -1,0 +1,61 @@
+#include "parallel/exchange.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace plum::parallel {
+
+namespace {
+// Distinct user-tag range for neighbour data rounds.
+constexpr int kExchangeTagBase = 1000;
+}  // namespace
+
+NeighborExchange::NeighborExchange(simmpi::Comm& comm,
+                                   const std::vector<Rank>& my_neighbors)
+    : comm_(comm) {
+  // Symmetrize: r is a neighbour iff either side says so.  One flag per
+  // rank through a machine-wide alltoallv (a single cheap round).
+  std::vector<Bytes> flags(static_cast<std::size_t>(comm.size()));
+  for (const Rank r : my_neighbors) {
+    PLUM_CHECK(r >= 0 && r < comm.size() && r != comm.rank());
+    flags[static_cast<std::size_t>(r)].resize(1);
+  }
+  const std::vector<Bytes> theirs = comm_.alltoallv(std::move(flags));
+  std::vector<char> is_nb(static_cast<std::size_t>(comm.size()), 0);
+  for (const Rank r : my_neighbors) is_nb[static_cast<std::size_t>(r)] = 1;
+  for (Rank r = 0; r < comm.size(); ++r) {
+    if (!theirs[static_cast<std::size_t>(r)].empty()) {
+      is_nb[static_cast<std::size_t>(r)] = 1;
+    }
+  }
+  for (Rank r = 0; r < comm.size(); ++r) {
+    if (r != comm.rank() && is_nb[static_cast<std::size_t>(r)]) {
+      neighbors_.push_back(r);
+    }
+  }
+}
+
+std::vector<Bytes> NeighborExchange::exchange(
+    const std::map<Rank, Bytes>& out) {
+  const int tag = kExchangeTagBase + (tag_seq_++);
+  PLUM_CHECK_MSG(tag < simmpi::kUserTagLimit, "exchange tag overflow");
+  for (const auto& [r, buf] : out) {
+    (void)buf;
+    PLUM_CHECK_MSG(
+        std::find(neighbors_.begin(), neighbors_.end(), r) != neighbors_.end(),
+        "exchange buffer for non-neighbour rank " << r);
+  }
+  for (const Rank r : neighbors_) {
+    const auto it = out.find(r);
+    comm_.send(r, tag, it == out.end() ? Bytes{} : Bytes(it->second));
+  }
+  std::vector<Bytes> in;
+  in.reserve(neighbors_.size());
+  for (const Rank r : neighbors_) {
+    in.push_back(comm_.recv(r, tag));
+  }
+  return in;
+}
+
+}  // namespace plum::parallel

@@ -1,0 +1,38 @@
+// Sparse neighbour exchange over the simulated machine.
+//
+// The adaption rounds communicate only with partition neighbours (the
+// ranks appearing in SPLs), like the original code.  Neighbour views
+// must be symmetric or blocking receives deadlock, so the constructor
+// runs one machine-wide flag exchange to symmetrize the neighbour set;
+// the (many) data rounds that follow then touch only true neighbours.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "support/buffer.hpp"
+#include "support/types.hpp"
+
+namespace plum::parallel {
+
+class NeighborExchange {
+ public:
+  /// `my_neighbors`: ranks this side believes it shares objects with.
+  /// All ranks must construct collectively.
+  NeighborExchange(simmpi::Comm& comm, const std::vector<Rank>& my_neighbors);
+
+  const std::vector<Rank>& neighbors() const { return neighbors_; }
+
+  /// Sends out[r] (empty allowed / required only for neighbours) to
+  /// each neighbour and receives one buffer from each; returns buffers
+  /// aligned with neighbors().  All ranks must call collectively.
+  std::vector<Bytes> exchange(const std::map<Rank, Bytes>& out);
+
+ private:
+  simmpi::Comm& comm_;
+  std::vector<Rank> neighbors_;
+  int tag_seq_ = 0;
+};
+
+}  // namespace plum::parallel

@@ -1,0 +1,99 @@
+// The complete framework of Fig. 1, per rank:
+//
+//     flow solution -> mesh adaption -> (load balanced?) ->
+//     repartitioning -> reassignment -> (cost ok?) -> remapping
+//
+// The dual graph's structure is replicated on every rank (it is the
+// *initial* mesh's dual — small and immutable); after each adaption the
+// refreshed W_comp/W_remap are allgathered, and the load-balancing
+// pipeline (partitioner + similarity matrix + remapper + cost decision)
+// runs redundantly-but-deterministically on all ranks, so every rank
+// arrives at the identical migration plan with no further coordination.
+#pragma once
+
+#include <functional>
+
+#include "balance/load_balancer.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "parallel/migrate.hpp"
+#include "parallel/parallel_adapt.hpp"
+#include "simmpi/comm.hpp"
+#include "solver/flow_solver.hpp"
+
+namespace plum::parallel {
+
+struct FrameworkConfig {
+  balance::LoadBalancerConfig balancer;
+  /// Solver iterations run between adaptions (the cost model's N_adapt
+  /// is taken from balancer.cost.n_adapt).
+  int solver_iterations = 20;
+};
+
+/// Everything one solve->adapt->balance cycle produced.
+struct CycleStats {
+  solver::SolverStats solver;
+  ParallelAdaptStats refine;
+  ParallelAdaptStats coarsen;
+  balance::BalanceOutcome balance;
+  MigrationResult migration;
+  /// Simulated time of the processor-reassignment step alone (µs).
+  double reassignment_us = 0.0;
+};
+
+class PlumFramework {
+ public:
+  /// Collective.  `global` is the initial (un-adapted) mesh; `dualg`
+  /// its dual; `initial_proc[root gid]` the initial mapping.
+  PlumFramework(simmpi::Comm* comm, const mesh::Mesh& global,
+                const dual::DualGraph& dualg,
+                const std::vector<Rank>& initial_proc,
+                FrameworkConfig cfg);
+
+  /// Restart: adopt an already-distributed (possibly adapted) mesh —
+  /// e.g. from scatter_adapted_mesh() after loading a snapshot.
+  /// `proc_of_root` must describe dm's actual residency.
+  PlumFramework(simmpi::Comm* comm, DistMesh dm,
+                const dual::DualGraph& dualg,
+                std::vector<Rank> proc_of_root, FrameworkConfig cfg);
+
+  /// One full cycle.  `mark_refine` / `mark_coarsen` mark the local
+  /// mesh (must be symmetric functions of global state — all built-in
+  /// strategies are); pass nullptr to skip that adaption half.
+  CycleStats cycle(const std::function<void(mesh::Mesh&)>& mark_refine,
+                   const std::function<void(mesh::Mesh&)>& mark_coarsen);
+
+  /// Runs only the proxy solver (no adaption).
+  solver::SolverStats solve(int iterations);
+
+  /// Marks (symmetric marker) and refines; collective.  Exposed so the
+  /// benches can time each Fig.-1 phase separately.
+  ParallelAdaptStats refine_with(
+      const std::function<void(mesh::Mesh&)>& mark);
+  /// Marks and coarsens (incl. the repair refinement); collective.
+  ParallelAdaptStats coarsen_with(
+      const std::function<void(mesh::Mesh&)>& mark);
+
+  /// Refreshes dual weights (collective) and runs the balancing
+  /// pipeline + migration; exposed for benches that drive phases
+  /// manually.
+  void refresh_weights();
+  balance::BalanceOutcome balance_only();
+  MigrationResult migrate_to(const std::vector<Rank>& proc_of_root);
+
+  DistMesh& dist() { return dm_; }
+  const DistMesh& dist() const { return dm_; }
+  simmpi::Comm& comm() { return *comm_; }
+  const dual::DualGraph& dual_graph() const { return dual_; }
+  const std::vector<Rank>& proc_of_root() const { return proc_of_root_; }
+  const FrameworkConfig& config() const { return cfg_; }
+
+ private:
+  simmpi::Comm* comm_;
+  FrameworkConfig cfg_;
+  DistMesh dm_;
+  dual::DualGraph dual_;  ///< replicated structure, refreshed weights
+  std::vector<Rank> proc_of_root_;
+};
+
+}  // namespace plum::parallel

@@ -1,0 +1,134 @@
+#include "parallel/gather.hpp"
+
+#include <unordered_map>
+
+#include "parallel/tree_transfer.hpp"
+#include "support/check.hpp"
+
+namespace plum::parallel {
+
+using mesh::Mesh;
+
+Bytes pack_local_surface(const DistMesh& dm) {
+  const Mesh& m = dm.local;
+  BufWriter w;
+
+  // Vertices referenced by active elements.
+  std::vector<char> used(m.vertices().size(), 0);
+  std::int64_t nverts = 0, nelems = 0, nbfaces = 0;
+  for (const auto& el : m.elements()) {
+    if (!el.alive || !el.active) continue;
+    ++nelems;
+    for (const LocalIndex v : el.v) {
+      if (!used[static_cast<std::size_t>(v)]) {
+        used[static_cast<std::size_t>(v)] = 1;
+        ++nverts;
+      }
+    }
+  }
+  for (const auto& f : m.bfaces()) nbfaces += (f.alive && f.active) ? 1 : 0;
+
+  w.put(nverts);
+  for (std::size_t i = 0; i < m.vertices().size(); ++i) {
+    if (!used[i]) continue;
+    const mesh::Vertex& v = m.vertices()[i];
+    w.put(v.gid);
+    w.put(v.pos);
+    w.put(v.sol);
+  }
+  w.put(nelems);
+  for (const auto& el : m.elements()) {
+    if (!el.alive || !el.active) continue;
+    w.put(el.gid);
+    for (const LocalIndex v : el.v) w.put(m.vertex(v).gid);
+  }
+  w.put(nbfaces);
+  for (const auto& f : m.bfaces()) {
+    if (!f.alive || !f.active) continue;
+    w.put(m.element(f.elem).gid);
+    for (const LocalIndex v : f.v) w.put(m.vertex(v).gid);
+  }
+  return w.take();
+}
+
+Mesh gather_global_mesh(const DistMesh& dm, simmpi::Comm& comm, Rank root) {
+  const std::vector<Bytes> parts =
+      comm.gatherv(pack_local_surface(dm), root);
+  Mesh out;
+  if (comm.rank() != root) return out;
+
+  std::unordered_map<GlobalId, LocalIndex> vert_of;
+  std::unordered_map<GlobalId, LocalIndex> elem_of;
+  for (const Bytes& buf : parts) {
+    BufReader r(buf);
+    const auto nverts = r.get<std::int64_t>();
+    for (std::int64_t i = 0; i < nverts; ++i) {
+      const auto gid = r.get<GlobalId>();
+      const auto pos = r.get<mesh::Vec3>();
+      const auto sol = r.get<mesh::Solution>();
+      if (vert_of.find(gid) == vert_of.end()) {
+        vert_of[gid] = out.add_vertex(pos, gid, sol);
+      }
+    }
+    const auto nelems = r.get<std::int64_t>();
+    for (std::int64_t i = 0; i < nelems; ++i) {
+      const auto gid = r.get<GlobalId>();
+      std::array<LocalIndex, 4> v;
+      for (auto& vi : v) vi = vert_of.at(r.get<GlobalId>());
+      PLUM_CHECK_MSG(elem_of.find(gid) == elem_of.end(),
+                     "element " << gid << " gathered twice");
+      elem_of[gid] = out.create_element(v, gid);
+    }
+    const auto nbfaces = r.get<std::int64_t>();
+    for (std::int64_t i = 0; i < nbfaces; ++i) {
+      const auto owner_gid = r.get<GlobalId>();
+      std::array<LocalIndex, 3> v;
+      for (auto& vi : v) vi = vert_of.at(r.get<GlobalId>());
+      out.add_bface(v, elem_of.at(owner_gid));
+    }
+    PLUM_CHECK(r.exhausted());
+  }
+  return out;
+}
+
+mesh::Mesh gather_global_forest(const DistMesh& dm, simmpi::Comm& comm,
+                                Rank root) {
+  // Every rank packs its complete trees into one buffer.
+  BufWriter w;
+  std::int64_t packed = 0;
+  std::int64_t ntrees = 0;
+  BufWriter body;
+  for (const auto& [gid, li] : dm.root_of_gid) {
+    (void)gid;
+    pack_tree(dm.local, li, &body, &packed);
+    ++ntrees;
+  }
+  w.put(ntrees);
+  {
+    Bytes b = body.take();
+    w.put_vec(b);
+  }
+  const std::vector<Bytes> parts = comm.gatherv(w.take(), root);
+
+  Mesh out;
+  if (comm.rank() != root) return out;
+  // Assemble on the host through a scratch DistMesh (unpack_tree keeps
+  // the dedup maps we need).
+  DistMesh scratch;
+  scratch.rank = 0;
+  scratch.nranks = 1;
+  for (const Bytes& part : parts) {
+    BufReader r(part);
+    const auto n = r.get<std::int64_t>();
+    const Bytes trees = r.get_vec<std::byte>();
+    BufReader tr(trees);
+    for (std::int64_t t = 0; t < n; ++t) unpack_tree(&scratch, &tr);
+    PLUM_CHECK(tr.exhausted());
+  }
+  // SPLs are per-rank state; the global snapshot has none.
+  for (auto& v : scratch.local.vertices()) v.spl.clear();
+  for (auto& e : scratch.local.edges()) e.spl.clear();
+  return std::move(scratch.local);
+}
+
+}  // namespace plum::parallel

@@ -1,0 +1,35 @@
+// Finalization phase (§4): "connecting individual subgrids into one
+// global mesh. ... a gather operation is performed by a host processor
+// to concatenate the local data structures into a global mesh."
+//
+// Each rank serializes its active leaves (with global ids); the host
+// deduplicates shared vertices by gid and rebuilds a single conforming
+// mesh of the current leaves — the form post-processing (visualization,
+// restart snapshots) consumes.  The refinement history stays
+// distributed; only the computational surface is gathered.
+#pragma once
+
+#include "mesh/mesh.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "simmpi/comm.hpp"
+
+namespace plum::parallel {
+
+/// Serializes this rank's active mesh surface (used by gather and by
+/// tests comparing parallel results against serial runs).
+Bytes pack_local_surface(const DistMesh& dm);
+
+/// Collective.  Returns the assembled global mesh on `root` (empty mesh
+/// elsewhere).  Element/vertex gids are preserved; element `root` links
+/// are rebuilt as self-roots (history is not gathered).
+mesh::Mesh gather_global_mesh(const DistMesh& dm, simmpi::Comm& comm,
+                              Rank root = 0);
+
+/// Collective.  Like gather_global_mesh but gathers the *complete
+/// refinement forests* (every tree, interior nodes included), producing
+/// a snapshot that parallel::scatter_adapted_mesh / mesh::save_mesh can
+/// round-trip — the full checkpoint path for distributed runs.
+mesh::Mesh gather_global_forest(const DistMesh& dm, simmpi::Comm& comm,
+                                Rank root = 0);
+
+}  // namespace plum::parallel

@@ -1,0 +1,83 @@
+#include "parallel/global_numbering.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "parallel/exchange.hpp"
+#include "support/check.hpp"
+
+namespace plum::parallel {
+
+GlobalNumbering assign_global_numbers(const DistMesh& dm,
+                                      simmpi::Comm& comm) {
+  GlobalNumbering out;
+  const mesh::Mesh& m = dm.local;
+
+  // --- elements: resident-unique, block numbering ------------------------
+  std::vector<GlobalId> elem_gids;
+  for (const auto& el : m.elements()) {
+    if (el.alive && el.active) elem_gids.push_back(el.gid);
+  }
+  std::sort(elem_gids.begin(), elem_gids.end());
+  const std::int64_t elem_base =
+      comm.exscan_sum(static_cast<std::int64_t>(elem_gids.size()));
+  for (std::size_t i = 0; i < elem_gids.size(); ++i) {
+    out.element_number[elem_gids[i]] =
+        elem_base + static_cast<std::int64_t>(i);
+  }
+  out.total_elements =
+      comm.allreduce_sum(static_cast<std::int64_t>(elem_gids.size()));
+
+  // --- vertices: owner = lowest rank holding a copy -----------------------
+  std::vector<GlobalId> owned;
+  for (const auto& v : m.vertices()) {
+    if (!v.alive) continue;
+    const bool owner = v.spl.empty() || v.spl.front() > dm.rank;
+    if (owner) owned.push_back(v.gid);
+  }
+  std::sort(owned.begin(), owned.end());
+  const std::int64_t vert_base =
+      comm.exscan_sum(static_cast<std::int64_t>(owned.size()));
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    out.vertex_number[owned[i]] = vert_base + static_cast<std::int64_t>(i);
+  }
+  out.total_vertices =
+      comm.allreduce_sum(static_cast<std::int64_t>(owned.size()));
+
+  // Owners publish numbers of shared vertices to the other holders.
+  NeighborExchange ex(comm, dm.neighbors());
+  std::map<Rank, BufWriter> to_send;
+  for (const auto& v : m.vertices()) {
+    if (!v.alive || v.spl.empty()) continue;
+    if (v.spl.front() > dm.rank) {  // we own it
+      for (const Rank r : v.spl) {
+        to_send[r].put(v.gid);
+        to_send[r].put(out.vertex_number.at(v.gid));
+      }
+    }
+  }
+  std::map<Rank, Bytes> payload;
+  for (auto& [r, w] : to_send) payload[r] = w.take();
+  const std::vector<Bytes> in = ex.exchange(payload);
+  for (const Bytes& buf : in) {
+    BufReader r(buf);
+    while (!r.exhausted()) {
+      const auto gid = r.get<GlobalId>();
+      const auto num = r.get<std::int64_t>();
+      PLUM_CHECK_MSG(dm.vertex_of_gid.count(gid),
+                     "numbered vertex " << gid << " not held locally");
+      out.vertex_number[gid] = num;
+    }
+  }
+
+  // Every alive local vertex must now be numbered.
+  for (const auto& v : m.vertices()) {
+    if (v.alive) {
+      PLUM_CHECK_MSG(out.vertex_number.count(v.gid),
+                     "vertex " << v.gid << " missed by numbering");
+    }
+  }
+  return out;
+}
+
+}  // namespace plum::parallel

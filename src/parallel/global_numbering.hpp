@@ -1,0 +1,42 @@
+// Dense global numbering for the finalization phase (§4):
+//
+//   "Each local object is first assigned a unique global number. ...
+//    All processors then update their local data structures
+//    accordingly."
+//
+// Our hash-derived gids identify objects uniquely but are sparse; post-
+// processing formats (and the paper's host gather) want dense 0..N-1
+// numbers.  assign_global_numbers() produces them collectively:
+//
+//   * every active element is resident on exactly one rank, so element
+//     numbers come from an exclusive scan of per-rank counts;
+//   * a shared vertex is numbered by its *owner* (the lowest rank
+//     holding a copy), and the owner publishes the number to the other
+//     holders through one neighbour exchange.
+//
+// Numbering is deterministic: objects are numbered in ascending-gid
+// order within each rank's block.
+#pragma once
+
+#include <unordered_map>
+
+#include "parallel/dist_mesh.hpp"
+#include "simmpi/comm.hpp"
+
+namespace plum::parallel {
+
+struct GlobalNumbering {
+  /// Dense number per alive local vertex gid (consistent across all
+  /// ranks holding a copy).
+  std::unordered_map<GlobalId, std::int64_t> vertex_number;
+  /// Dense number per active local element gid.
+  std::unordered_map<GlobalId, std::int64_t> element_number;
+  std::int64_t total_vertices = 0;
+  std::int64_t total_elements = 0;
+};
+
+/// Collective.
+GlobalNumbering assign_global_numbers(const DistMesh& dm,
+                                      simmpi::Comm& comm);
+
+}  // namespace plum::parallel

@@ -1,0 +1,283 @@
+#include "parallel/migrate.hpp"
+
+#include "parallel/tree_transfer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace plum::parallel {
+
+using mesh::Edge;
+using mesh::Element;
+using mesh::Mesh;
+
+namespace {
+
+/// Deletes a departed tree and everything only it used.
+void delete_tree(Mesh& m, LocalIndex root) {
+  const std::vector<LocalIndex> elems = tree_elements(m, root);
+  std::vector<char> in_tree(m.elements().size(), 0);
+  for (const LocalIndex e : elems) in_tree[static_cast<std::size_t>(e)] = 1;
+
+  // Boundary faces first (children before parents).
+  std::vector<LocalIndex> bfaces;
+  for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
+    const mesh::BFace& f = m.bfaces()[bi];
+    if (f.alive && in_tree[static_cast<std::size_t>(f.elem)]) {
+      bfaces.push_back(static_cast<LocalIndex>(bi));
+    }
+  }
+  // Repeatedly delete leaves of the bface forest.
+  while (!bfaces.empty()) {
+    bool progress = false;
+    std::vector<LocalIndex> remaining;
+    for (const LocalIndex bi : bfaces) {
+      if (m.bface(bi).children.empty()) {
+        m.delete_bface(bi);
+        progress = true;
+      } else {
+        remaining.push_back(bi);
+      }
+    }
+    PLUM_CHECK_MSG(progress, "bface tree deletion stalled");
+    bfaces = std::move(remaining);
+  }
+
+  // Elements, children before parents (reverse parent-first order).
+  for (auto it = elems.rbegin(); it != elems.rend(); ++it) {
+    m.delete_element(*it);
+  }
+}
+
+/// Post-departure purge: edges with no alive element users (at any
+/// level), un-bisections, orphan vertices.
+void purge_after_departure(Mesh& m) {
+  // Mark edges referenced by alive elements (active or interior nodes).
+  for (;;) {
+    bool changed = false;
+    std::vector<char> referenced(m.edges().size(), 0);
+    for (const auto& el : m.elements()) {
+      if (!el.alive) continue;
+      for (const LocalIndex e : el.e) {
+        referenced[static_cast<std::size_t>(e)] = 1;
+      }
+    }
+    for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
+      const Edge& e = m.edges()[ei];
+      if (e.alive && !e.bisected() && !referenced[ei] && e.elems.empty()) {
+        m.delete_edge(static_cast<LocalIndex>(ei));
+        changed = true;
+      }
+    }
+    for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
+      Edge& e = m.edges()[ei];
+      if (!e.alive || e.bisected() || e.midpoint == kNoIndex) continue;
+      if (m.vertex(e.midpoint).edges.empty()) {
+        m.delete_vertex(e.midpoint);
+        e.midpoint = kNoIndex;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  for (std::size_t vi = 0; vi < m.vertices().size(); ++vi) {
+    if (m.vertices()[vi].alive && m.vertices()[vi].edges.empty()) {
+      m.delete_vertex(static_cast<LocalIndex>(vi));
+    }
+  }
+}
+
+}  // namespace
+
+void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
+  Mesh& m = dm->local;
+  const Rank P = comm->size();
+
+  // Clear all SPLs.
+  for (auto& e : m.edges()) e.spl.clear();
+  for (auto& v : m.vertices()) v.spl.clear();
+
+  // Rendezvous: send each alive gid to its home rank; homes reply with
+  // co-owners.  One pass handles vertices and edges together (tagged by
+  // a kind byte folded into the gid stream ordering: two separate
+  // vectors).
+  std::vector<BufWriter> to_home(static_cast<std::size_t>(P));
+  std::vector<std::vector<GlobalId>> vgids(static_cast<std::size_t>(P));
+  std::vector<std::vector<GlobalId>> egids(static_cast<std::size_t>(P));
+  for (const auto& v : m.vertices()) {
+    if (v.alive) {
+      vgids[static_cast<std::size_t>(mix64(v.gid) %
+                                     static_cast<std::uint64_t>(P))]
+          .push_back(v.gid);
+    }
+  }
+  for (const auto& e : m.edges()) {
+    if (e.alive) {
+      egids[static_cast<std::size_t>(mix64(e.gid) %
+                                     static_cast<std::uint64_t>(P))]
+          .push_back(e.gid);
+    }
+  }
+  std::vector<Bytes> out(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    BufWriter w;
+    w.put_vec(vgids[static_cast<std::size_t>(r)]);
+    w.put_vec(egids[static_cast<std::size_t>(r)]);
+    out[static_cast<std::size_t>(r)] = w.take();
+  }
+  const std::vector<Bytes> at_home = comm->alltoallv(std::move(out));
+
+  // Home side: gid -> owner ranks.
+  std::unordered_map<GlobalId, std::vector<Rank>> vowners, eowners;
+  for (Rank src = 0; src < P; ++src) {
+    BufReader r(at_home[static_cast<std::size_t>(src)]);
+    for (const GlobalId g : r.get_vec<GlobalId>()) {
+      vowners[g].push_back(src);
+    }
+    for (const GlobalId g : r.get_vec<GlobalId>()) {
+      eowners[g].push_back(src);
+    }
+  }
+  // Replies: for each owner of a multi-owner gid, the other owners.
+  std::vector<BufWriter> reply(static_cast<std::size_t>(P));
+  std::vector<std::vector<std::pair<GlobalId, std::vector<Rank>>>> vrep(
+      static_cast<std::size_t>(P)),
+      erep(static_cast<std::size_t>(P));
+  auto queue_replies =
+      [&](const std::unordered_map<GlobalId, std::vector<Rank>>& owners,
+          std::vector<std::vector<std::pair<GlobalId, std::vector<Rank>>>>&
+              rep) {
+        for (const auto& [gid, ranks] : owners) {
+          if (ranks.size() < 2) continue;
+          for (const Rank owner : ranks) {
+            std::vector<Rank> others;
+            for (const Rank o : ranks) {
+              if (o != owner) others.push_back(o);
+            }
+            rep[static_cast<std::size_t>(owner)].emplace_back(
+                gid, std::move(others));
+          }
+        }
+      };
+  queue_replies(vowners, vrep);
+  queue_replies(eowners, erep);
+  std::vector<Bytes> reply_bytes(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    BufWriter w;
+    auto emit = [&](const std::vector<
+                    std::pair<GlobalId, std::vector<Rank>>>& list) {
+      w.put<std::int64_t>(static_cast<std::int64_t>(list.size()));
+      for (const auto& [gid, ranks] : list) {
+        w.put(gid);
+        w.put_vec(ranks);
+      }
+    };
+    emit(vrep[static_cast<std::size_t>(r)]);
+    emit(erep[static_cast<std::size_t>(r)]);
+    reply_bytes[static_cast<std::size_t>(r)] = w.take();
+  }
+  const std::vector<Bytes> replies = comm->alltoallv(std::move(reply_bytes));
+
+  for (Rank src = 0; src < P; ++src) {
+    BufReader r(replies[static_cast<std::size_t>(src)]);
+    const auto nv = r.get<std::int64_t>();
+    for (std::int64_t i = 0; i < nv; ++i) {
+      const auto gid = r.get<GlobalId>();
+      auto spl = r.get_vec<Rank>();
+      std::sort(spl.begin(), spl.end());
+      m.vertex(dm->vertex_of_gid.at(gid)).spl = std::move(spl);
+    }
+    const auto ne = r.get<std::int64_t>();
+    for (std::int64_t i = 0; i < ne; ++i) {
+      const auto gid = r.get<GlobalId>();
+      auto spl = r.get_vec<Rank>();
+      std::sort(spl.begin(), spl.end());
+      m.edge(dm->edge_of_gid.at(gid)).spl = std::move(spl);
+    }
+  }
+}
+
+MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
+                        const std::vector<Rank>& proc_of_root) {
+  MigrationResult result;
+  Mesh& m = dm->local;
+  const Rank P = comm->size();
+  const double t0 = comm->clock().now();
+
+  // Departing trees, grouped by destination.
+  std::vector<BufWriter> outgoing(static_cast<std::size_t>(P));
+  std::vector<std::int64_t> tree_count(static_cast<std::size_t>(P), 0);
+  std::vector<LocalIndex> departing;
+  for (const auto& [gid, li] : dm->root_of_gid) {
+    PLUM_CHECK_MSG(gid < proc_of_root.size(),
+                   "root gid outside proc_of_root");
+    const Rank dest = proc_of_root[static_cast<std::size_t>(gid)];
+    PLUM_CHECK(dest >= 0 && dest < P);
+    if (dest == dm->rank) continue;
+    pack_tree(dm->local, li, &outgoing[static_cast<std::size_t>(dest)],
+              &result.elements_sent);
+    tree_count[static_cast<std::size_t>(dest)] += 1;
+    departing.push_back(li);
+    result.roots_sent += 1;
+  }
+
+  // Charge pack time and ship.  (The per-word transfer and setup costs
+  // are charged by the simulated machine itself.)
+  std::vector<Bytes> payload(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    BufWriter w;
+    w.put(tree_count[static_cast<std::size_t>(r)]);
+    Bytes body = outgoing[static_cast<std::size_t>(r)].take();
+    w.put_vec(body);
+    payload[static_cast<std::size_t>(r)] = w.take();
+    if (r != dm->rank) {
+      result.bytes_sent +=
+          static_cast<std::int64_t>(payload[static_cast<std::size_t>(r)].size());
+    }
+  }
+  const std::vector<Bytes> incoming = comm->alltoallv(std::move(payload));
+
+  // Delete departed trees before unpacking (dedup-by-gid must not see
+  // the stale copies), then purge orphans.
+  const std::vector<LocalIndex> departed_sorted = [&] {
+    std::vector<LocalIndex> v = departing;
+    std::sort(v.begin(), v.end());
+    return v;
+  }();
+  for (const LocalIndex root : departed_sorted) delete_tree(m, root);
+  purge_after_departure(m);
+  dm->rebuild_gid_maps();
+
+  // Unpack incoming trees.
+  for (Rank src = 0; src < P; ++src) {
+    if (src == dm->rank) continue;
+    BufReader r(incoming[static_cast<std::size_t>(src)]);
+    const auto ntrees = r.get<std::int64_t>();
+    const Bytes body = r.get_vec<std::byte>();
+    BufReader br(body);
+    for (std::int64_t t = 0; t < ntrees; ++t) {
+      const std::int64_t ne = unpack_tree(dm, &br);
+      result.elements_received += ne;
+      result.roots_received += 1;
+      comm->charge(static_cast<double>(ne),
+                   comm->cost().c_rebuild_elem_us);
+    }
+    PLUM_CHECK(br.exhausted());
+  }
+
+  // Consistent shared-data rebuild.
+  rebuild_spls(dm, comm);
+  dm->rebuild_gid_maps();
+
+  result.elapsed_us = comm->clock().now() - t0;
+  return result;
+}
+
+}  // namespace plum::parallel

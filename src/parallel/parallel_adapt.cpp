@@ -1,0 +1,374 @@
+#include "parallel/parallel_adapt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace plum::parallel {
+
+using adapt::SubdivisionResult;
+using mesh::Edge;
+using mesh::EdgeMark;
+using mesh::Mesh;
+
+namespace {
+
+/// Sorted-vector intersection (SPLs are sorted).
+std::vector<Rank> spl_intersection(const std::vector<Rank>& a,
+                                   const std::vector<Rank>& b) {
+  std::vector<Rank> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+void insert_sorted(std::vector<Rank>& spl, Rank r) {
+  const auto it = std::lower_bound(spl.begin(), spl.end(), r);
+  if (it == spl.end() || *it != r) spl.insert(it, r);
+}
+
+}  // namespace
+
+void ParallelAdaptor::propagate_marks(NeighborExchange& ex,
+                                      ParallelAdaptStats* stats) {
+  Mesh& m = dm_->local;
+  const auto& cost = comm_->cost();
+
+  std::vector<LocalIndex> seeds;
+  bool first = true;
+  for (;;) {
+    const std::vector<LocalIndex> newly =
+        first ? adapt::upgrade_patterns(m)
+              : adapt::upgrade_patterns(m, &seeds);
+    if (first) {
+      comm_->charge(static_cast<double>(m.num_active_elements()),
+                    cost.c_upgrade_elem_us);
+    } else {
+      comm_->charge(static_cast<double>(seeds.size()) * 6.0,
+                    cost.c_upgrade_elem_us);
+    }
+    first = false;
+    stats->propagation_rounds += 1;
+
+    const std::int64_t global_new =
+        comm_->allreduce_sum(static_cast<std::int64_t>(newly.size()));
+    if (global_new == 0) break;
+
+    // "Every processor sends a list of all the newly-marked local
+    //  copies of shared edges to all the other processors in their
+    //  SPLs."
+    std::map<Rank, std::vector<GlobalId>> to_send;
+    for (const LocalIndex ei : newly) {
+      const Edge& e = m.edge(ei);
+      for (const Rank r : e.spl) {
+        to_send[r].push_back(e.gid);
+        stats->marks_sent += 1;
+      }
+    }
+    std::map<Rank, Bytes> out;
+    for (auto& [r, gids] : to_send) {
+      BufWriter w;
+      w.put_vec(gids);
+      out[r] = w.take();
+    }
+    const std::vector<Bytes> in = ex.exchange(out);
+
+    seeds.clear();
+    for (const Bytes& buf : in) {
+      if (buf.empty()) continue;
+      BufReader r(buf);
+      for (const GlobalId gid : r.get_vec<GlobalId>()) {
+        const auto it = dm_->edge_of_gid.find(gid);
+        if (it == dm_->edge_of_gid.end()) continue;  // stale SPL entry
+        Edge& e = m.edge(it->second);
+        if (!e.alive || e.bisected()) continue;
+        if (e.mark != EdgeMark::kRefine) {
+          e.mark = EdgeMark::kRefine;
+          seeds.push_back(it->second);
+          stats->marks_applied += 1;
+        }
+      }
+    }
+    comm_->charge(static_cast<double>(seeds.size()), cost.c_mark_edge_us);
+  }
+}
+
+void ParallelAdaptor::classify_new_edges(NeighborExchange& ex,
+                                         const SubdivisionResult& sub,
+                                         ParallelAdaptStats* stats) {
+  Mesh& m = dm_->local;
+
+  // Fig. 4: a new edge lying across an element face may or may not have
+  // a remote copy; ask the candidate ranks.  (Children of bisected
+  // edges inherited their SPL in bisect_edge — case 2; octahedron
+  // diagonals are interior by construction — case 3.)
+  std::map<Rank, std::vector<GlobalId>> queries;
+  struct Pending {
+    LocalIndex edge;
+    std::vector<Rank> candidates;
+  };
+  std::vector<Pending> pending;
+  for (const auto& rec : sub.new_edges) {
+    if (rec.parent_edge != kNoIndex || rec.interior) continue;
+    const Edge& e = m.edge(rec.edge);
+    const std::vector<Rank> cand = spl_intersection(
+        m.vertex(e.v[0]).spl, m.vertex(e.v[1]).spl);
+    // "If the intersection of the SPLs of the two end-points of the new
+    //  edge is null, the edge is internal."
+    if (cand.empty()) continue;
+    for (const Rank r : cand) {
+      queries[r].push_back(e.gid);
+      stats->classify_queries += 1;
+    }
+    pending.push_back({rec.edge, cand});
+  }
+
+  std::map<Rank, Bytes> out;
+  for (auto& [r, gids] : queries) {
+    BufWriter w;
+    w.put_vec(gids);
+    out[r] = w.take();
+  }
+  const std::vector<Bytes> incoming = ex.exchange(out);
+
+  // Answer: 1 iff we hold a copy.  Answering also (re)establishes the
+  // symmetric SPL entry — needed when our copy predates the query
+  // (repair refinement after coarsening re-creates edges one side
+  // deleted).
+  std::map<Rank, Bytes> replies;
+  for (std::size_t k = 0; k < ex.neighbors().size(); ++k) {
+    const Bytes& buf = incoming[k];
+    if (buf.empty()) continue;
+    const Rank src = ex.neighbors()[k];
+    BufReader r(buf);
+    const std::vector<GlobalId> gids = r.get_vec<GlobalId>();
+    std::vector<std::uint8_t> ans(gids.size(), 0);
+    for (std::size_t i = 0; i < gids.size(); ++i) {
+      const auto it = dm_->edge_of_gid.find(gids[i]);
+      if (it != dm_->edge_of_gid.end() && m.edge(it->second).alive) {
+        ans[i] = 1;
+        insert_sorted(m.edge(it->second).spl, src);
+      }
+    }
+    BufWriter w;
+    w.put_vec(ans);
+    replies[src] = w.take();
+  }
+  const std::vector<Bytes> answered = ex.exchange(replies);
+
+  // Collect answers per source rank, in query order.
+  std::map<Rank, std::vector<std::uint8_t>> answer_of;
+  for (std::size_t k = 0; k < ex.neighbors().size(); ++k) {
+    if (answered[k].empty()) continue;
+    BufReader r(answered[k]);
+    answer_of[ex.neighbors()[k]] = r.get_vec<std::uint8_t>();
+  }
+  std::map<Rank, std::size_t> cursor;
+  for (const auto& p : pending) {
+    Edge& e = m.edge(p.edge);
+    for (const Rank r : p.candidates) {
+      const auto it = answer_of.find(r);
+      PLUM_CHECK_MSG(it != answer_of.end(), "missing classify answer");
+      const std::size_t i = cursor[r]++;
+      PLUM_CHECK(i < it->second.size());
+      if (it->second[i]) {
+        insert_sorted(e.spl, r);
+        stats->new_shared_edges += 1;
+      }
+    }
+  }
+}
+
+void ParallelAdaptor::prune_spls(NeighborExchange& ex) {
+  Mesh& m = dm_->local;
+
+  // Tell each neighbour which gids we still share with them; keep their
+  // entry in our SPLs only if they reciprocate.
+  std::map<Rank, std::pair<std::vector<GlobalId>, std::vector<GlobalId>>>
+      shared;  // rank -> (edge gids, vertex gids)
+  for (const auto& e : m.edges()) {
+    if (!e.alive) continue;
+    for (const Rank r : e.spl) shared[r].first.push_back(e.gid);
+  }
+  for (const auto& v : m.vertices()) {
+    if (!v.alive) continue;
+    for (const Rank r : v.spl) shared[r].second.push_back(v.gid);
+  }
+  std::map<Rank, Bytes> out;
+  for (auto& [r, lists] : shared) {
+    BufWriter w;
+    w.put_vec(lists.first);
+    w.put_vec(lists.second);
+    out[r] = w.take();
+  }
+  const std::vector<Bytes> in = ex.exchange(out);
+
+  std::map<Rank, std::unordered_set<GlobalId>> their_edges, their_verts;
+  for (std::size_t k = 0; k < ex.neighbors().size(); ++k) {
+    if (in[k].empty()) continue;
+    BufReader r(in[k]);
+    const auto egids = r.get_vec<GlobalId>();
+    const auto vgids = r.get_vec<GlobalId>();
+    their_edges[ex.neighbors()[k]] =
+        std::unordered_set<GlobalId>(egids.begin(), egids.end());
+    their_verts[ex.neighbors()[k]] =
+        std::unordered_set<GlobalId>(vgids.begin(), vgids.end());
+  }
+
+  auto prune = [&](std::vector<Rank>& spl, GlobalId gid,
+                   std::map<Rank, std::unordered_set<GlobalId>>& theirs) {
+    std::erase_if(spl, [&](Rank r) {
+      const auto it = theirs.find(r);
+      return it == theirs.end() || it->second.count(gid) == 0;
+    });
+  };
+  for (auto& e : m.edges()) {
+    if (e.alive && !e.spl.empty()) prune(e.spl, e.gid, their_edges);
+  }
+  for (auto& v : m.vertices()) {
+    if (v.alive && !v.spl.empty()) prune(v.spl, v.gid, their_verts);
+  }
+}
+
+void ParallelAdaptor::refine_pass(ParallelAdaptStats* stats) {
+  Mesh& m = dm_->local;
+  const auto& cost = comm_->cost();
+  NeighborExchange ex(*comm_, dm_->neighbors());
+
+  propagate_marks(ex, stats);
+
+  // "Once all edge markings are complete, each processor executes the
+  //  mesh adaption code without the need for further communication."
+  const SubdivisionResult sub = adapt::subdivide(m);
+  comm_->charge(static_cast<double>(sub.elements_created),
+                cost.c_subdivide_child_us);
+  for (const auto& v : sub.new_vertices) {
+    dm_->vertex_of_gid[m.vertex(v.vertex).gid] = v.vertex;
+  }
+  for (const auto& e : sub.new_edges) {
+    dm_->edge_of_gid[m.edge(e.edge).gid] = e.edge;
+  }
+
+  // "The only task remaining is to update the shared edge and vertex
+  //  information as the mesh is adapted.  This is handled as a
+  //  post-processing phase."
+  classify_new_edges(ex, sub, stats);
+
+  stats->subdivision.edges_bisected += sub.edges_bisected;
+  stats->subdivision.elements_subdivided += sub.elements_subdivided;
+  stats->subdivision.elements_created += sub.elements_created;
+  stats->subdivision.bfaces_created += sub.bfaces_created;
+}
+
+ParallelAdaptStats ParallelAdaptor::refine() {
+  ParallelAdaptStats stats;
+  const double t0 = comm_->clock().now();
+  refine_pass(&stats);
+  stats.elapsed_us = comm_->clock().now() - t0;
+  return stats;
+}
+
+ParallelAdaptStats ParallelAdaptor::coarsen() {
+  ParallelAdaptStats stats;
+  Mesh& m = dm_->local;
+  const auto& cost = comm_->cost();
+  const double t0 = comm_->clock().now();
+
+  NeighborExchange ex(*comm_, dm_->neighbors());
+
+  // Rank-local rollback (refinement trees never span ranks).
+  stats.coarsening = adapt::rollback_marked(m);
+  comm_->charge(static_cast<double>(stats.coarsening.elements_removed),
+                cost.c_coarsen_elem_us);
+
+  // Purge with agreement: a shared edge's bisection may only be undone
+  // when every rank holding a copy can also let it go.
+  std::unordered_set<GlobalId> agreed;
+  const auto allow = [&](LocalIndex parent_ei) {
+    const Edge& p = m.edge(parent_ei);
+    return p.spl.empty() || agreed.count(p.gid) > 0;
+  };
+  for (;;) {
+    adapt::purge_cascade(m, &stats.coarsening, allow);
+    // The purge walks every local edge slot (several times).
+    comm_->charge(static_cast<double>(m.edges().size()),
+                  cost.c_purge_scan_us);
+    stats.agreement_rounds += 1;
+
+    // Locally purgeable shared bisected edges: children unused and the
+    // midpoint carries nothing but the two children.
+    std::map<Rank, std::vector<GlobalId>> cand;
+    std::vector<GlobalId> my_cands;
+    for (const auto& e : m.edges()) {
+      if (!e.alive || !e.bisected() || e.spl.empty()) continue;
+      if (agreed.count(e.gid)) continue;
+      if (e.child[0] == kNoIndex || e.child[1] == kNoIndex) continue;
+      const Edge& c0 = m.edge(e.child[0]);
+      const Edge& c1 = m.edge(e.child[1]);
+      if (!c0.alive || !c1.alive || c0.bisected() || c1.bisected() ||
+          !c0.elems.empty() || !c1.elems.empty()) {
+        continue;
+      }
+      const auto& mp_edges = m.vertex(e.midpoint).edges;
+      if (mp_edges.size() != 2) continue;
+      my_cands.push_back(e.gid);
+      for (const Rank r : e.spl) cand[r].push_back(e.gid);
+    }
+    std::map<Rank, Bytes> out;
+    for (auto& [r, gids] : cand) {
+      BufWriter w;
+      w.put_vec(gids);
+      out[r] = w.take();
+    }
+    const std::vector<Bytes> in = ex.exchange(out);
+    std::unordered_set<GlobalId> confirmed_once;
+    std::unordered_map<GlobalId, int> confirmations;
+    for (const Bytes& buf : in) {
+      if (buf.empty()) continue;
+      BufReader r(buf);
+      for (const GlobalId gid : r.get_vec<GlobalId>()) {
+        confirmations[gid] += 1;
+      }
+    }
+    (void)confirmed_once;
+
+    std::int64_t agreed_new = 0;
+    for (const GlobalId gid : my_cands) {
+      const auto it = dm_->edge_of_gid.find(gid);
+      PLUM_DCHECK(it != dm_->edge_of_gid.end());
+      const Edge& e = m.edge(it->second);
+      const auto conf = confirmations.find(gid);
+      if (conf != confirmations.end() &&
+          conf->second == static_cast<int>(e.spl.size())) {
+        agreed.insert(gid);
+        ++agreed_new;
+      }
+    }
+    if (comm_->allreduce_sum(agreed_new) == 0) break;
+  }
+
+  // "However, objects are renumbered as a result of compaction and all
+  //  internal and shared data are updated accordingly."  Compaction
+  //  touches every surviving object, which is why the paper's Local_1
+  //  coarsening scales better than its refinement: this part of the
+  //  work is proportional to the (balanced) local mesh, not to the
+  //  (concentrated) adaption region.
+  dm_->local.compact();
+  const auto counts = m.counts();
+  comm_->charge(static_cast<double>(counts.vertices + counts.alive_edges +
+                                    counts.alive_elements),
+                cost.c_compact_obj_us);
+  dm_->rebuild_gid_maps();
+  prune_spls(ex);
+
+  // "The refinement routine is then invoked to generate a valid mesh."
+  refine_pass(&stats);
+
+  stats.elapsed_us = comm_->clock().now() - t0;
+  return stats;
+}
+
+}  // namespace plum::parallel

@@ -1,0 +1,84 @@
+// Distributed-memory mesh adaption: the "execution phase" of §4.
+//
+// Each rank runs the serial 3D_TAG building blocks (adapt/*) on its
+// local submesh, with communication interleaved exactly where the paper
+// puts it:
+//
+//  * refinement — the pattern-upgrade iteration alternates with an
+//    exchange of newly-marked shared edges until no rank marks anything
+//    new (Fig. 3: "Every processor sends a list of all the newly-marked
+//    local copies of shared edges to all the other processors in their
+//    SPLs.  The process may continue for several iterations, and edge
+//    markings could propagate back and forth across partitions.");
+//    subdivision then runs with no further communication, followed by a
+//    single post-processing round that classifies new face-crossing
+//    edges as shared or internal (Fig. 4's SPL-intersection + query);
+//
+//  * coarsening — child-set rollback is rank-local (an element's whole
+//    refinement tree lives on one rank), but un-bisecting a *shared*
+//    edge requires every rank holding a copy to agree, so the purge
+//    alternates with an agreement exchange; stale SPL entries are then
+//    pruned, and the refinement routine is re-invoked (in parallel) to
+//    restore a globally conforming mesh.
+//
+// All communication goes through NeighborExchange (partition neighbours
+// only), and every loop terminates on a machine-wide allreduce.
+#pragma once
+
+#include "adapt/coarsen.hpp"
+#include "adapt/refine.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "parallel/exchange.hpp"
+#include "simmpi/comm.hpp"
+
+namespace plum::parallel {
+
+struct ParallelAdaptStats {
+  /// Rounds of the Fig.-3 mark-propagation loop (>= 1).
+  int propagation_rounds = 0;
+  std::int64_t marks_sent = 0;
+  std::int64_t marks_applied = 0;
+  /// Fig.-4 shared/internal queries issued for new face edges.
+  std::int64_t classify_queries = 0;
+  std::int64_t new_shared_edges = 0;
+  /// Rounds of the shared-edge un-bisection agreement loop (coarsen).
+  int agreement_rounds = 0;
+  adapt::SubdivisionResult subdivision;
+  adapt::CoarsenResult coarsening;
+  /// Simulated time spent in this call on this rank (µs).
+  double elapsed_us = 0.0;
+};
+
+class ParallelAdaptor {
+ public:
+  ParallelAdaptor(DistMesh* dm, simmpi::Comm* comm) : dm_(dm), comm_(comm) {}
+
+  /// Refines everything currently marked kRefine (marks must be
+  /// symmetric across shared-edge copies — all built-in strategies
+  /// are).  Collective: all ranks must call together.
+  ParallelAdaptStats refine();
+
+  /// Coarsens everything currently marked kCoarsen, then re-refines to
+  /// a valid mesh.  Collective.
+  ParallelAdaptStats coarsen();
+
+ private:
+  /// Fig.-3 loop; returns when no rank has new marks.
+  void propagate_marks(NeighborExchange& ex, ParallelAdaptStats* stats);
+
+  /// Fig.-4 post-processing of new non-inherited edges.
+  void classify_new_edges(NeighborExchange& ex,
+                          const adapt::SubdivisionResult& sub,
+                          ParallelAdaptStats* stats);
+
+  /// Drops SPL entries pointing at ranks that no longer hold a copy.
+  void prune_spls(NeighborExchange& ex);
+
+  /// Shared refine pipeline (also the repair pass after coarsening).
+  void refine_pass(ParallelAdaptStats* stats);
+
+  DistMesh* dm_;
+  simmpi::Comm* comm_;
+};
+
+}  // namespace plum::parallel

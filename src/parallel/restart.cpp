@@ -1,0 +1,42 @@
+#include "parallel/restart.hpp"
+
+#include "parallel/migrate.hpp"
+#include "parallel/tree_transfer.hpp"
+#include "support/check.hpp"
+
+namespace plum::parallel {
+
+DistMesh scatter_adapted_mesh(const mesh::Mesh& global,
+                              const std::vector<Rank>& proc_of_root,
+                              simmpi::Comm& comm) {
+  DistMesh dm;
+  dm.rank = comm.rank();
+  dm.nranks = comm.size();
+
+  // Pack each of our trees from the snapshot and unpack into the local
+  // mesh — identical records to what migration would ship.
+  std::int64_t packed = 0;
+  for (std::size_t li = 0; li < global.elements().size(); ++li) {
+    const mesh::Element& el = global.elements()[li];
+    if (!el.alive || el.parent != kNoIndex) continue;
+    PLUM_CHECK_MSG(el.gid < proc_of_root.size(),
+                   "snapshot root gid " << el.gid
+                                        << " outside proc_of_root");
+    if (proc_of_root[static_cast<std::size_t>(el.gid)] != comm.rank()) {
+      continue;
+    }
+    BufWriter w;
+    pack_tree(global, static_cast<LocalIndex>(li), &w, &packed);
+    const Bytes buf = w.take();
+    BufReader r(buf);
+    unpack_tree(&dm, &r);
+    PLUM_CHECK(r.exhausted());
+  }
+  comm.charge(static_cast<double>(packed), comm.cost().c_rebuild_elem_us);
+
+  dm.rebuild_gid_maps();
+  rebuild_spls(&dm, &comm);
+  return dm;
+}
+
+}  // namespace plum::parallel

@@ -1,0 +1,25 @@
+// Restart: re-scattering an *adapted* global mesh across ranks.
+//
+// build_local_mesh() handles the initialization phase for the initial
+// grid; this handles the other case the paper's finalization phase
+// exists for — "storing a snapshot of a grid for future restarts".  A
+// snapshot written with mesh::save_mesh() (typically of a mesh gathered
+// after several adaptions, or the serial reference mesh) is carved into
+// refinement trees and dealt to ranks by the given root assignment;
+// SPLs are then rebuilt by the rendezvous.
+#pragma once
+
+#include "parallel/dist_mesh.hpp"
+#include "simmpi/comm.hpp"
+
+namespace plum::parallel {
+
+/// Collective.  `global` must contain complete refinement forests
+/// (roots with generator gids 0..R-1); proc_of_root[gid] assigns each
+/// tree.  Every rank reads the shared snapshot directly (no physical
+/// scatter — same convention as build_local_mesh).
+DistMesh scatter_adapted_mesh(const mesh::Mesh& global,
+                              const std::vector<Rank>& proc_of_root,
+                              simmpi::Comm& comm);
+
+}  // namespace plum::parallel

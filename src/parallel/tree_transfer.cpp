@@ -1,0 +1,217 @@
+#include "parallel/tree_transfer.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace plum::parallel {
+
+using mesh::Edge;
+using mesh::Element;
+using mesh::Mesh;
+
+/// All alive elements of the tree rooted at `root`, parents before
+/// children.
+std::vector<LocalIndex> tree_elements(const Mesh& m, LocalIndex root) {
+  std::vector<LocalIndex> out;
+  std::deque<LocalIndex> q{root};
+  while (!q.empty()) {
+    const LocalIndex e = q.front();
+    q.pop_front();
+    if (!m.element(e).alive) continue;
+    out.push_back(e);
+    for (const LocalIndex c : m.element(e).children) q.push_back(c);
+  }
+  return out;
+}
+
+/// Serializes one departing tree.
+void pack_tree(const Mesh& m, LocalIndex root, BufWriter* w,
+               std::int64_t* elements_packed) {
+  const std::vector<LocalIndex> elems = tree_elements(m, root);
+  *elements_packed += static_cast<std::int64_t>(elems.size());
+  std::vector<char> in_tree(m.elements().size(), 0);
+  for (const LocalIndex e : elems) in_tree[static_cast<std::size_t>(e)] = 1;
+
+  // Vertices and edges the tree touches.
+  std::unordered_set<LocalIndex> verts;
+  std::unordered_set<LocalIndex> edges;
+  for (const LocalIndex e : elems) {
+    for (const LocalIndex v : m.element(e).v) verts.insert(v);
+    for (const LocalIndex ed : m.element(e).e) edges.insert(ed);
+  }
+  // Include full edge subtrees (children/midpoints of bisected edges).
+  std::deque<LocalIndex> eq(edges.begin(), edges.end());
+  while (!eq.empty()) {
+    const LocalIndex ei = eq.front();
+    eq.pop_front();
+    const Edge& e = m.edge(ei);
+    if (!e.bisected()) continue;
+    verts.insert(e.midpoint);
+    for (const LocalIndex c : e.child) {
+      if (c != kNoIndex && edges.insert(c).second) eq.push_back(c);
+    }
+  }
+
+  // --- vertices ---------------------------------------------------------
+  w->put<std::int64_t>(static_cast<std::int64_t>(verts.size()));
+  for (const LocalIndex v : verts) {
+    const mesh::Vertex& vv = m.vertex(v);
+    w->put(vv.gid);
+    w->put(vv.pos);
+    w->put(vv.sol);
+  }
+
+  // --- element tree (parents first) --------------------------------------
+  w->put<std::int64_t>(static_cast<std::int64_t>(elems.size()));
+  for (const LocalIndex e : elems) {
+    const Element& el = m.element(e);
+    w->put(el.gid);
+    w->put(el.parent == kNoIndex ? kNoGlobalId : m.element(el.parent).gid);
+    for (const LocalIndex v : el.v) w->put(m.vertex(v).gid);
+  }
+
+  // --- edge levels and bisection records ----------------------------------
+  w->put<std::int64_t>(static_cast<std::int64_t>(edges.size()));
+  for (const LocalIndex ei : edges) {
+    const Edge& e = m.edge(ei);
+    w->put(m.vertex(e.v[0]).gid);
+    w->put(m.vertex(e.v[1]).gid);
+    w->put(e.level);
+    w->put<std::uint8_t>(e.bisected() ? 1 : 0);
+    if (e.bisected()) w->put(m.vertex(e.midpoint).gid);
+  }
+
+  // --- boundary-face tree (parents first) ----------------------------------
+  std::vector<LocalIndex> tree_bfaces;
+  {
+    // Roots of bface trees owned by tree elements, then BFS.
+    std::deque<LocalIndex> bq;
+    for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
+      const mesh::BFace& f = m.bfaces()[bi];
+      if (!f.alive) continue;
+      if (!in_tree[static_cast<std::size_t>(f.elem)]) continue;
+      // Only start from bface-tree roots whose parent is NOT owned by a
+      // tree element (usually parent == kNoIndex or owned elsewhere —
+      // the latter cannot happen since bface trees follow element trees).
+      if (f.parent == kNoIndex ||
+          !in_tree[static_cast<std::size_t>(m.bface(f.parent).elem)]) {
+        bq.push_back(static_cast<LocalIndex>(bi));
+      }
+    }
+    while (!bq.empty()) {
+      const LocalIndex bi = bq.front();
+      bq.pop_front();
+      tree_bfaces.push_back(bi);
+      for (const LocalIndex c : m.bface(bi).children) bq.push_back(c);
+    }
+  }
+  std::unordered_map<LocalIndex, std::int64_t> bface_msg_idx;
+  w->put<std::int64_t>(static_cast<std::int64_t>(tree_bfaces.size()));
+  for (std::size_t k = 0; k < tree_bfaces.size(); ++k) {
+    const mesh::BFace& f = m.bface(tree_bfaces[k]);
+    bface_msg_idx[tree_bfaces[k]] = static_cast<std::int64_t>(k);
+    w->put(m.element(f.elem).gid);
+    for (const LocalIndex v : f.v) w->put(m.vertex(v).gid);
+    w->put<std::uint8_t>(f.active ? 1 : 0);
+    w->put<std::int64_t>(f.parent == kNoIndex
+                             ? -1
+                             : bface_msg_idx.at(f.parent));
+  }
+}
+
+/// Deserializes one tree into the local mesh, deduplicating shared
+/// objects by gid.
+std::int64_t unpack_tree(DistMesh* dm, BufReader* r) {
+  Mesh& m = dm->local;
+
+  const auto nverts = r->get<std::int64_t>();
+  for (std::int64_t i = 0; i < nverts; ++i) {
+    const auto gid = r->get<GlobalId>();
+    const auto pos = r->get<mesh::Vec3>();
+    const auto sol = r->get<mesh::Solution>();
+    if (dm->vertex_of_gid.find(gid) == dm->vertex_of_gid.end()) {
+      dm->vertex_of_gid[gid] = m.add_vertex(pos, gid, sol);
+    }
+  }
+
+  const auto nelems = r->get<std::int64_t>();
+  std::unordered_map<GlobalId, LocalIndex> elem_of;  // tree-local
+  std::vector<LocalIndex> created;
+  created.reserve(static_cast<std::size_t>(nelems));
+  for (std::int64_t i = 0; i < nelems; ++i) {
+    const auto gid = r->get<GlobalId>();
+    const auto parent_gid = r->get<GlobalId>();
+    std::array<LocalIndex, 4> v;
+    for (auto& vi : v) vi = dm->vertex_of_gid.at(r->get<GlobalId>());
+    LocalIndex parent = kNoIndex;
+    if (parent_gid != kNoGlobalId) parent = elem_of.at(parent_gid);
+    const LocalIndex li =
+        m.create_element(v, gid, parent, /*edge_level=*/1);
+    elem_of[gid] = li;
+    created.push_back(li);
+    if (parent == kNoIndex) dm->root_of_gid[gid] = li;
+  }
+
+  // Edge levels + bisection relinking.
+  const auto nedges = r->get<std::int64_t>();
+  for (std::int64_t i = 0; i < nedges; ++i) {
+    const auto g0 = r->get<GlobalId>();
+    const auto g1 = r->get<GlobalId>();
+    const auto level = r->get<std::int16_t>();
+    const auto bisected = r->get<std::uint8_t>();
+    const LocalIndex v0 = dm->vertex_of_gid.at(g0);
+    const LocalIndex v1 = dm->vertex_of_gid.at(g1);
+    const LocalIndex ei = m.find_edge(v0, v1);
+    PLUM_CHECK_MSG(ei != kNoIndex, "migrated edge record has no edge");
+    Edge& e = m.edge(ei);
+    e.level = level;
+    dm->edge_of_gid[e.gid] = ei;
+    if (bisected) {
+      const auto mid_gid = r->get<GlobalId>();
+      const LocalIndex mv = dm->vertex_of_gid.at(mid_gid);
+      const LocalIndex c0 = m.find_edge(v0, mv);
+      const LocalIndex c1 = m.find_edge(mv, v1);
+      PLUM_CHECK_MSG(c0 != kNoIndex && c1 != kNoIndex,
+                     "migrated bisection children missing");
+      if (e.bisected()) {
+        // Shared with a resident tree: links must already agree.
+        PLUM_CHECK(e.midpoint == mv);
+      } else {
+        e.midpoint = mv;
+        e.child = {c0, c1};
+        m.edge(c0).parent = ei;
+        m.edge(c1).parent = ei;
+      }
+    }
+  }
+
+  // Deactivate interior tree nodes (created active by create_element).
+  for (const LocalIndex li : created) {
+    if (!m.element(li).children.empty()) m.deactivate_element(li);
+  }
+
+  // Boundary-face tree.
+  const auto nbfaces = r->get<std::int64_t>();
+  std::vector<LocalIndex> bface_of_msg(
+      static_cast<std::size_t>(nbfaces), kNoIndex);
+  for (std::int64_t i = 0; i < nbfaces; ++i) {
+    const auto owner_gid = r->get<GlobalId>();
+    std::array<LocalIndex, 3> v;
+    for (auto& vi : v) vi = dm->vertex_of_gid.at(r->get<GlobalId>());
+    const auto active = r->get<std::uint8_t>();
+    const auto parent_msg = r->get<std::int64_t>();
+    const LocalIndex parent =
+        parent_msg < 0 ? kNoIndex
+                       : bface_of_msg[static_cast<std::size_t>(parent_msg)];
+    const LocalIndex bi = m.add_bface(v, elem_of.at(owner_gid), parent);
+    m.bface(bi).active = (active != 0);
+    bface_of_msg[static_cast<std::size_t>(i)] = bi;
+  }
+  return nelems;
+}
+
+
+}  // namespace plum::parallel

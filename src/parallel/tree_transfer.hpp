@@ -1,0 +1,35 @@
+// Refinement-tree serialization: the unit of data movement.
+//
+// A tree = one initial-mesh element plus all descendants, with the
+// vertices, edge subtrees (bisection records + levels), and boundary-
+// face forest it references.  Shared between:
+//   * migrate.cpp  — remapping ships trees between ranks;
+//   * restart.hpp  — scattering an adapted global snapshot re-seeds
+//     every rank from the same records.
+// Receivers deduplicate vertices/edges by global id, so trees can be
+// unpacked next to already-resident neighbours.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/mesh.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "support/buffer.hpp"
+
+namespace plum::parallel {
+
+/// All alive elements of the tree rooted at `root`, parents before
+/// children.
+std::vector<LocalIndex> tree_elements(const mesh::Mesh& m, LocalIndex root);
+
+/// Serializes the tree rooted at `root` of mesh `m` into *w.
+/// Increments *elements_packed by the tree size.
+void pack_tree(const mesh::Mesh& m, LocalIndex root, BufWriter* w,
+               std::int64_t* elements_packed);
+
+/// Deserializes one tree into dm's local mesh (dedup by gid); keeps
+/// dm->vertex_of_gid / edge_of_gid / root_of_gid current.  Returns the
+/// number of elements created.
+std::int64_t unpack_tree(DistMesh* dm, BufReader* r);
+
+}  // namespace plum::parallel

@@ -1,0 +1,127 @@
+// Geometric partitioners: recursive coordinate bisection (RCB) and
+// recursive inertial bisection (RIB).  Both order each subset by a
+// scalar coordinate and cut at the weighted median — RCB along the
+// widest bounding-box axis, RIB along the principal inertia axis of the
+// element centroids (the "inertial" half of the paper's companion
+// inertial-spectral repartitioner [13]).
+#include <array>
+#include <cmath>
+
+#include "partition/partitioner.hpp"
+#include "partition/recursive_bisection.hpp"
+#include "support/check.hpp"
+
+namespace plum::partition {
+
+namespace {
+
+using detail::split_by_order;
+using dual::DualGraph;
+using mesh::Vec3;
+
+std::vector<char> rcb_bisect(const DualGraph& g,
+                             const std::vector<std::int32_t>& subset,
+                             std::int64_t target_left) {
+  Vec3 lo = g.centroid[static_cast<std::size_t>(subset.front())];
+  Vec3 hi = lo;
+  for (const auto v : subset) {
+    const Vec3& c = g.centroid[static_cast<std::size_t>(v)];
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    lo.z = std::min(lo.z, c.z);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+    hi.z = std::max(hi.z, c.z);
+  }
+  const Vec3 ext = hi - lo;
+  int axis = 0;
+  if (ext.y > ext.x) axis = 1;
+  if (ext.z > (axis == 0 ? ext.x : ext.y)) axis = 2;
+
+  std::vector<double> value(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const Vec3& c = g.centroid[static_cast<std::size_t>(subset[i])];
+    value[i] = axis == 0 ? c.x : axis == 1 ? c.y : c.z;
+  }
+  return split_by_order(g, subset, value, target_left);
+}
+
+/// Principal axis of the weighted covariance of subset centroids, by
+/// 3x3 power iteration (deterministic start, fixed iteration count).
+Vec3 principal_axis(const DualGraph& g,
+                    const std::vector<std::int32_t>& subset) {
+  Vec3 mean{};
+  double wsum = 0.0;
+  for (const auto v : subset) {
+    const double w = static_cast<double>(g.wcomp[static_cast<std::size_t>(v)]);
+    mean += g.centroid[static_cast<std::size_t>(v)] * w;
+    wsum += w;
+  }
+  PLUM_CHECK(wsum > 0.0);
+  mean = mean * (1.0 / wsum);
+
+  std::array<double, 9> cov{};  // row-major 3x3
+  for (const auto v : subset) {
+    const double w = static_cast<double>(g.wcomp[static_cast<std::size_t>(v)]);
+    const Vec3 d = g.centroid[static_cast<std::size_t>(v)] - mean;
+    const double c[3] = {d.x, d.y, d.z};
+    for (int r = 0; r < 3; ++r) {
+      for (int cc = 0; cc < 3; ++cc) {
+        cov[static_cast<std::size_t>(r * 3 + cc)] += w * c[r] * c[cc];
+      }
+    }
+  }
+
+  Vec3 x{1.0, 0.7, 0.4};  // deterministic, unlikely to be orthogonal
+  for (int it = 0; it < 32; ++it) {
+    const Vec3 y{cov[0] * x.x + cov[1] * x.y + cov[2] * x.z,
+                 cov[3] * x.x + cov[4] * x.y + cov[5] * x.z,
+                 cov[6] * x.x + cov[7] * x.y + cov[8] * x.z};
+    const double n = mesh::norm(y);
+    if (n < 1e-30) return {1.0, 0.0, 0.0};  // degenerate cloud: any axis
+    x = y * (1.0 / n);
+  }
+  return x;
+}
+
+std::vector<char> rib_bisect(const DualGraph& g,
+                             const std::vector<std::int32_t>& subset,
+                             std::int64_t target_left) {
+  const Vec3 axis = principal_axis(g, subset);
+  std::vector<double> value(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    value[i] = mesh::dot(g.centroid[static_cast<std::size_t>(subset[i])], axis);
+  }
+  return split_by_order(g, subset, value, target_left);
+}
+
+class RcbPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "rcb"; }
+
+ protected:
+  std::vector<PartId> compute(const DualGraph& g, int nparts) override {
+    return detail::recursive_partition(g, nparts, rcb_bisect);
+  }
+};
+
+class RibPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "rib"; }
+
+ protected:
+  std::vector<PartId> compute(const DualGraph& g, int nparts) override {
+    return detail::recursive_partition(g, nparts, rib_bisect);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> make_rcb() {
+  return std::make_unique<RcbPartitioner>();
+}
+std::unique_ptr<Partitioner> make_rib() {
+  return std::make_unique<RibPartitioner>();
+}
+
+}  // namespace plum::partition

@@ -1,0 +1,25 @@
+// Lanczos eigensolver for graph Laplacians (internal to the partition
+// module).
+//
+// The paper partitioned with Chaco's "multilevel spectral Lanczos
+// partitioning algorithm"; this is the eigensolver that name refers to.
+// lanczos_fiedler() approximates the Fiedler vector (eigenvector of the
+// second-smallest Laplacian eigenvalue) of an induced subgraph by
+// running symmetric Lanczos on the spectrally-shifted operator
+// B = cI - L (so the wanted vector becomes the dominant one after the
+// trivial constant direction is deflated), with full
+// reorthogonalization — affordable at these Krylov depths and immune to
+// the ghost-eigenvalue problem selective orthogonalization papers over.
+#pragma once
+
+#include <vector>
+
+#include "partition/recursive_bisection.hpp"
+
+namespace plum::partition::detail {
+
+/// Approximate Fiedler vector of the subgraph's (unweighted) Laplacian.
+/// `max_steps` bounds the Krylov dimension.
+std::vector<double> lanczos_fiedler(const Subgraph& s, int max_steps = 60);
+
+}  // namespace plum::partition::detail

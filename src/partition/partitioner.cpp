@@ -1,0 +1,58 @@
+#include "partition/partitioner.hpp"
+
+#include "support/check.hpp"
+
+namespace plum::partition {
+
+// Defined in geometric.cpp / spectral.cpp / multilevel.cpp.
+std::unique_ptr<Partitioner> make_rcb();
+std::unique_ptr<Partitioner> make_rib();
+std::unique_ptr<Partitioner> make_spectral();
+std::unique_ptr<Partitioner> make_multilevel();
+std::unique_ptr<Partitioner> make_mlspectral();
+
+PartitionResult evaluate_partition(const dual::DualGraph& g,
+                                   std::vector<PartId> part, int nparts) {
+  PLUM_CHECK(static_cast<std::int64_t>(part.size()) == g.num_vertices());
+  PartitionResult r;
+  r.part_weight.assign(static_cast<std::size_t>(nparts), 0);
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    PLUM_CHECK_MSG(part[v] >= 0 && part[v] < nparts,
+                   "vertex " << v << " has invalid part " << part[v]);
+    r.part_weight[static_cast<std::size_t>(part[v])] += g.wcomp[v];
+  }
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    for (std::size_t k = 0; k < g.adjacency[v].size(); ++k) {
+      if (part[static_cast<std::size_t>(g.adjacency[v][k])] != part[v]) {
+        r.edgecut += g.weight_of(v, k);
+      }
+    }
+  }
+  r.edgecut /= 2;
+  std::int64_t wmax = 0, wsum = 0;
+  for (const auto w : r.part_weight) {
+    wmax = std::max(wmax, w);
+    wsum += w;
+  }
+  r.imbalance = wsum > 0 ? static_cast<double>(wmax) * nparts /
+                               static_cast<double>(wsum)
+                         : 1.0;
+  r.part = std::move(part);
+  return r;
+}
+
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
+  if (name == "rcb") return make_rcb();
+  if (name == "rib") return make_rib();
+  if (name == "spectral") return make_spectral();
+  if (name == "multilevel") return make_multilevel();
+  if (name == "mlspectral") return make_mlspectral();
+  PLUM_CHECK_MSG(false, "unknown partitioner '" << name << "'");
+  return nullptr;
+}
+
+std::vector<std::string> partitioner_names() {
+  return {"rcb", "rib", "spectral", "multilevel", "mlspectral"};
+}
+
+}  // namespace plum::partition

@@ -1,0 +1,139 @@
+#include "partition/recursive_bisection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace plum::partition::detail {
+
+namespace {
+
+void recurse(const dual::DualGraph& g, const Bisector& bisect,
+             std::vector<std::int32_t> subset, int nparts, PartId first_part,
+             std::vector<PartId>* out) {
+  if (nparts == 1) {
+    for (const auto v : subset) {
+      (*out)[static_cast<std::size_t>(v)] = first_part;
+    }
+    return;
+  }
+  // Degenerate subsets (possible with heavy vertex weights, e.g. on
+  // agglomerated graphs, where one vertex can "deserve" several parts):
+  // one vertex per part, surplus parts stay empty.
+  if (static_cast<int>(subset.size()) <= nparts) {
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      (*out)[static_cast<std::size_t>(subset[i])] =
+          first_part + static_cast<PartId>(i);
+    }
+    return;
+  }
+  const int kl = nparts / 2;
+  const int kr = nparts - kl;
+  std::int64_t total = 0;
+  for (const auto v : subset) total += g.wcomp[static_cast<std::size_t>(v)];
+  const std::int64_t target_left =
+      total * kl / nparts;  // proportional for odd k
+
+  const std::vector<char> side = bisect(g, subset, target_left);
+  PLUM_CHECK(side.size() == subset.size());
+  std::vector<std::int32_t> left, right;
+  left.reserve(subset.size());
+  right.reserve(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    (side[i] == 0 ? left : right).push_back(subset[i]);
+  }
+  // A degenerate bisection (everything on one side) cannot be recursed;
+  // move one vertex across so both sides are populated (the small side
+  // is then handled by the degenerate-subset guard above).
+  if (left.empty() && right.size() > 1) {
+    left.push_back(right.back());
+    right.pop_back();
+  } else if (right.empty() && left.size() > 1) {
+    right.push_back(left.back());
+    left.pop_back();
+  }
+  recurse(g, bisect, std::move(left), kl, first_part, out);
+  recurse(g, bisect, std::move(right), kr, first_part + kl, out);
+}
+
+}  // namespace
+
+std::vector<PartId> recursive_partition(const dual::DualGraph& g, int nparts,
+                                        const Bisector& bisect) {
+  PLUM_CHECK_MSG(nparts >= 1, "nparts must be positive");
+  PLUM_CHECK_MSG(g.num_vertices() >= nparts,
+                 "fewer dual vertices than partitions");
+  std::vector<PartId> out(static_cast<std::size_t>(g.num_vertices()),
+                          kNoPart);
+  std::vector<std::int32_t> all(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(all.begin(), all.end(), 0);
+  recurse(g, bisect, std::move(all), nparts, 0, &out);
+  return out;
+}
+
+std::vector<char> split_by_order(const dual::DualGraph& g,
+                                 const std::vector<std::int32_t>& subset,
+                                 const std::vector<double>& value,
+                                 std::int64_t target_left) {
+  PLUM_CHECK(value.size() == subset.size());
+  std::vector<std::int32_t> order(subset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              if (value[static_cast<std::size_t>(a)] !=
+                  value[static_cast<std::size_t>(b)]) {
+                return value[static_cast<std::size_t>(a)] <
+                       value[static_cast<std::size_t>(b)];
+              }
+              return subset[static_cast<std::size_t>(a)] <
+                     subset[static_cast<std::size_t>(b)];
+            });
+  // Walk the prefix; stop at the point whose cumulative weight is
+  // closest to the target (never take the empty or full prefix).
+  std::vector<char> side(subset.size(), 1);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const auto v =
+        subset[static_cast<std::size_t>(order[i])];
+    const std::int64_t w = g.wcomp[static_cast<std::size_t>(v)];
+    // Include this vertex if doing so moves us no further from the
+    // target than stopping would.
+    if (acc >= target_left &&
+        std::llabs(acc - target_left) <= std::llabs(acc + w - target_left)) {
+      break;
+    }
+    side[static_cast<std::size_t>(order[i])] = 0;
+    acc += w;
+  }
+  return side;
+}
+
+Subgraph induce(const dual::DualGraph& g,
+                const std::vector<std::int32_t>& subset) {
+  Subgraph s;
+  s.global = subset;
+  s.adjacency.assign(subset.size(), {});
+  s.eweight.assign(subset.size(), {});
+  s.weight.assign(subset.size(), 0);
+  std::unordered_map<std::int32_t, std::int32_t> local;
+  local.reserve(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    local[subset[i]] = static_cast<std::int32_t>(i);
+  }
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const auto gv = static_cast<std::size_t>(subset[i]);
+    s.weight[i] = g.wcomp[gv];
+    for (std::size_t k = 0; k < g.adjacency[gv].size(); ++k) {
+      const auto it = local.find(g.adjacency[gv][k]);
+      if (it != local.end()) {
+        s.adjacency[i].push_back(it->second);
+        s.eweight[i].push_back(g.weight_of(gv, k));
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace plum::partition::detail

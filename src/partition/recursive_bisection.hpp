@@ -1,0 +1,48 @@
+// Shared recursive-bisection machinery (internal to the partition
+// module).
+//
+// All four partitioners are recursive bisectors: split the vertex set in
+// two with a weight target, recurse on each side.  Uneven part counts
+// are handled by splitting k into floor(k/2) / ceil(k/2) and sizing the
+// weight target proportionally, so any k (not just powers of two) works.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dualgraph/dual_graph.hpp"
+
+namespace plum::partition::detail {
+
+/// Splits `subset` (indices into g) into two sides; side[i] is 0/1 for
+/// subset[i].  `target_left` is the desired total wcomp of side 0.
+using Bisector = std::function<std::vector<char>(
+    const dual::DualGraph& g, const std::vector<std::int32_t>& subset,
+    std::int64_t target_left)>;
+
+/// Runs the full recursion; returns a part id per dual vertex.
+std::vector<PartId> recursive_partition(const dual::DualGraph& g, int nparts,
+                                        const Bisector& bisect);
+
+/// Order-based split: sorts subset by `value` (vertex-id tie-break) and
+/// cuts at the weighted position closest to target_left.  The workhorse
+/// for the geometric and spectral bisectors.
+std::vector<char> split_by_order(const dual::DualGraph& g,
+                                 const std::vector<std::int32_t>& subset,
+                                 const std::vector<double>& value,
+                                 std::int64_t target_left);
+
+/// Induced subgraph of `subset` with local indices (adjacency restricted
+/// to the subset, edge weights collapsed to counts).
+struct Subgraph {
+  std::vector<std::vector<std::int32_t>> adjacency;  // local indices
+  /// Communication weight per adjacency entry (parallel array).
+  std::vector<std::vector<std::int64_t>> eweight;
+  std::vector<std::int64_t> weight;                  // wcomp
+  std::vector<std::int32_t> global;                  // local -> g vertex
+};
+Subgraph induce(const dual::DualGraph& g,
+                const std::vector<std::int32_t>& subset);
+
+}  // namespace plum::partition::detail

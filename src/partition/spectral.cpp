@@ -1,0 +1,49 @@
+// Recursive spectral bisection.
+//
+// Orders each subset by the Fiedler vector (second eigenvector of the
+// graph Laplacian) of the induced subgraph and cuts at the weighted
+// median — the "spectral Lanczos" half of the paper's Chaco
+// configuration.  The Fiedler vector comes from the Lanczos eigensolver
+// (partition/lanczos.hpp) with full reorthogonalization.
+#include <cmath>
+
+#include "partition/lanczos.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/recursive_bisection.hpp"
+#include "support/check.hpp"
+
+namespace plum::partition {
+
+namespace {
+
+using detail::induce;
+using detail::lanczos_fiedler;
+using detail::split_by_order;
+using detail::Subgraph;
+using dual::DualGraph;
+
+std::vector<char> spectral_bisect(const DualGraph& g,
+                                  const std::vector<std::int32_t>& subset,
+                                  std::int64_t target_left) {
+  const Subgraph s = induce(g, subset);
+  const std::vector<double> f = lanczos_fiedler(s);
+  return split_by_order(g, subset, f, target_left);
+}
+
+class SpectralPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "spectral"; }
+
+ protected:
+  std::vector<PartId> compute(const DualGraph& g, int nparts) override {
+    return detail::recursive_partition(g, nparts, spectral_bisect);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> make_spectral() {
+  return std::make_unique<SpectralPartitioner>();
+}
+
+}  // namespace plum::partition

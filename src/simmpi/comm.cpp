@@ -1,0 +1,159 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace plum::simmpi {
+
+void Comm::send(Rank dst, int tag, Bytes payload) {
+  PLUM_CHECK_MSG(dst >= 0 && dst < size_, "send to invalid rank " << dst);
+  const auto bytes = static_cast<std::int64_t>(payload.size());
+  // The sender pays the setup cost; the message completes its transfer
+  // t_lat-per-word later and becomes visible at the receiver then.
+  clock_.charge_comm(cost_->t_setup_us);
+  const double arrival = clock_.now() + cost_->transfer_us(bytes);
+  stats_.msgs_sent += 1;
+  stats_.bytes_sent += bytes;
+  (*mailboxes_)[static_cast<std::size_t>(dst)].deliver(
+      Message{rank_, tag, arrival, std::move(payload)});
+}
+
+Bytes Comm::recv(Rank src, int tag) {
+  PLUM_CHECK_MSG(src >= 0 && src < size_, "recv from invalid rank " << src);
+  Message m =
+      (*mailboxes_)[static_cast<std::size_t>(rank_)].take(src, tag, abort_);
+  clock_.observe(m.arrival_us);
+  stats_.msgs_recv += 1;
+  stats_.bytes_recv += static_cast<std::int64_t>(m.payload.size());
+  return std::move(m.payload);
+}
+
+void Comm::barrier() {
+  // An allreduce of nothing: synchronises every rank's clock to the
+  // global max plus the tree-communication cost.
+  allreduce_sum(std::int64_t{0});
+}
+
+Bytes Comm::broadcast(Bytes data, Rank root) {
+  const int tag = next_collective_tag();
+  if (size_ == 1) return data;
+  const Rank vrank = (rank_ - root + size_) % size_;
+  Rank mask = 1;
+  while (mask < size_) mask <<= 1;
+  mask >>= 1;
+
+  auto to_real = [&](Rank v) { return (v + root) % size_; };
+
+  Rank low = 0;
+  if (vrank != 0) {
+    low = vrank & (-vrank);
+    data = recv(to_real(vrank - low), tag);
+  }
+  const Rank start = (vrank == 0) ? mask : (low >> 1);
+  for (Rank s = start; s >= 1; s >>= 1) {
+    if (vrank + s < size_) {
+      send(to_real(vrank + s), tag, data);  // copies; children need it too
+    }
+  }
+  return data;
+}
+
+std::int64_t Comm::allreduce_sum(std::int64_t v) {
+  return allreduce<std::int64_t>(
+      v, [](std::int64_t a, std::int64_t b) { return a + b; });
+}
+
+double Comm::allreduce_sum(double v) {
+  return allreduce<double>(v, [](double a, double b) { return a + b; });
+}
+
+std::int64_t Comm::allreduce_max(std::int64_t v) {
+  return allreduce<std::int64_t>(
+      v, [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+}
+
+double Comm::allreduce_max(double v) {
+  return allreduce<double>(
+      v, [](double a, double b) { return std::max(a, b); });
+}
+
+std::int64_t Comm::allreduce_min(std::int64_t v) {
+  return allreduce<std::int64_t>(
+      v, [](std::int64_t a, std::int64_t b) { return std::min(a, b); });
+}
+
+bool Comm::allreduce_or(bool v) {
+  return allreduce_sum(static_cast<std::int64_t>(v)) > 0;
+}
+
+std::int64_t Comm::exscan_sum(std::int64_t v) {
+  // Gather every rank's contribution and prefix-sum locally; the
+  // per-rank payload is one word, so the linear collective is cheap.
+  BufWriter w;
+  w.put(v);
+  const std::vector<Bytes> all = allgatherv(w.take());
+  std::int64_t prefix = 0;
+  for (Rank r = 0; r < rank_; ++r) {
+    BufReader br(all[static_cast<std::size_t>(r)]);
+    prefix += br.get<std::int64_t>();
+  }
+  return prefix;
+}
+
+std::vector<Bytes> Comm::gatherv(Bytes mine, Rank root) {
+  const int tag = next_collective_tag();
+  std::vector<Bytes> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size_));
+    out[static_cast<std::size_t>(rank_)] = std::move(mine);
+    for (Rank src = 0; src < size_; ++src) {
+      if (src == root) continue;
+      out[static_cast<std::size_t>(src)] = recv(src, tag);
+    }
+  } else {
+    send(root, tag, std::move(mine));
+  }
+  return out;
+}
+
+std::vector<Bytes> Comm::allgatherv(Bytes mine) {
+  // gather at rank 0, then broadcast the concatenation.
+  std::vector<Bytes> gathered = gatherv(std::move(mine), /*root=*/0);
+  Bytes flat;
+  if (rank_ == 0) {
+    BufWriter w;
+    w.put<std::int64_t>(size_);
+    for (auto& b : gathered) w.put_vec(b);
+    flat = w.take();
+  }
+  flat = broadcast(std::move(flat), /*root=*/0);
+  BufReader r(flat);
+  const auto n = r.get<std::int64_t>();
+  PLUM_CHECK(n == size_);
+  std::vector<Bytes> out(static_cast<std::size_t>(size_));
+  for (auto& b : out) b = r.get_vec<std::byte>();
+  return out;
+}
+
+std::vector<Bytes> Comm::alltoallv(std::vector<Bytes> outgoing) {
+  PLUM_CHECK_MSG(outgoing.size() == static_cast<std::size_t>(size_),
+                 "alltoallv needs one buffer per rank");
+  const int tag = next_collective_tag();
+  std::vector<Bytes> incoming(static_cast<std::size_t>(size_));
+  // Stagger destinations (rank+1, rank+2, ...) so traffic does not all
+  // converge on low ranks first — the usual pairwise-exchange order.
+  for (Rank step = 1; step < size_; ++step) {
+    const Rank dst = (rank_ + step) % size_;
+    send(dst, tag, std::move(outgoing[static_cast<std::size_t>(dst)]));
+  }
+  incoming[static_cast<std::size_t>(rank_)] =
+      std::move(outgoing[static_cast<std::size_t>(rank_)]);
+  for (Rank step = 1; step < size_; ++step) {
+    const Rank src = (rank_ - step + size_) % size_;
+    incoming[static_cast<std::size_t>(src)] = recv(src, tag);
+  }
+  return incoming;
+}
+
+}  // namespace plum::simmpi

@@ -1,0 +1,144 @@
+// Communicator: the per-rank handle to the simulated machine.
+//
+// API shape follows the MPI subset the original 3D_TAG wrapper needed:
+// point-to-point send/recv with tags, and the collectives barrier,
+// broadcast, reduce/allreduce, gatherv/allgatherv, and alltoallv.
+// Collectives are built from point-to-point messages (binomial trees
+// where a real implementation would use one), so their simulated cost
+// has a realistic log(P)/linear structure.
+//
+// User code may use tags in [0, kUserTagLimit); higher tags are reserved
+// for collective sequencing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simmpi/clock.hpp"
+#include "simmpi/cost_model.hpp"
+#include "simmpi/message.hpp"
+#include "support/buffer.hpp"
+#include "support/types.hpp"
+
+namespace plum::simmpi {
+
+/// Per-rank traffic counters (reported by Machine after a run).
+struct CommStats {
+  std::int64_t msgs_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t msgs_recv = 0;
+  std::int64_t bytes_recv = 0;
+};
+
+inline constexpr int kUserTagLimit = 1 << 20;
+
+class Comm {
+ public:
+  Comm(Rank rank, Rank size, std::vector<Mailbox>* mailboxes,
+       const CostModel* cost, const std::atomic<bool>* abort = nullptr)
+      : rank_(rank),
+        size_(size),
+        mailboxes_(mailboxes),
+        cost_(cost),
+        abort_(abort) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  Rank rank() const { return rank_; }
+  Rank size() const { return size_; }
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  const CostModel& cost() const { return *cost_; }
+  const CommStats& stats() const { return stats_; }
+
+  /// Charge `count` units of compute at `us_per_unit` each.
+  void charge(double count, double us_per_unit) {
+    clock_.charge(count * us_per_unit);
+  }
+
+  // --- point to point --------------------------------------------------
+
+  /// Buffered asynchronous send; never blocks.
+  void send(Rank dst, int tag, Bytes payload);
+
+  /// Blocking receive from a specific source and tag.
+  Bytes recv(Rank src, int tag);
+
+  // --- collectives ------------------------------------------------------
+  // All ranks must call each collective in the same program order.
+
+  void barrier();
+
+  /// Root's `data` is distributed to all ranks; returns the data.
+  Bytes broadcast(Bytes data, Rank root);
+
+  /// Element-wise combine of each rank's value with `op`; result valid
+  /// on every rank.
+  template <typename T>
+  T allreduce(T value, const std::function<T(T, T)>& op);
+
+  /// Convenience numeric reductions.
+  std::int64_t allreduce_sum(std::int64_t v);
+  double allreduce_sum(double v);
+  std::int64_t allreduce_max(std::int64_t v);
+  double allreduce_max(double v);
+  std::int64_t allreduce_min(std::int64_t v);
+  /// Logical-or across ranks (any rank true -> all true).
+  bool allreduce_or(bool v);
+
+  /// Exclusive prefix sum: returns the sum of `v` over ranks < rank()
+  /// (0 on rank 0).  Used for dense global numbering.
+  std::int64_t exscan_sum(std::int64_t v);
+
+  /// Gather each rank's buffer at `root`; result[r] is rank r's buffer
+  /// (only meaningful at root, empty elsewhere).
+  std::vector<Bytes> gatherv(Bytes mine, Rank root);
+
+  /// Every rank ends up with every rank's buffer.
+  std::vector<Bytes> allgatherv(Bytes mine);
+
+  /// outgoing[d] goes to rank d; returns incoming[s] from rank s.
+  std::vector<Bytes> alltoallv(std::vector<Bytes> outgoing);
+
+ private:
+  int next_collective_tag() { return kUserTagLimit + (seq_++); }
+
+  Rank rank_;
+  Rank size_;
+  std::vector<Mailbox>* mailboxes_;
+  const CostModel* cost_;
+  const std::atomic<bool>* abort_;
+  SimClock clock_;
+  CommStats stats_;
+  int seq_ = 0;
+};
+
+template <typename T>
+T Comm::allreduce(T value, const std::function<T(T, T)>& op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = next_collective_tag();
+  // Binomial-tree reduce to rank 0.
+  for (int step = 1; step < size_; step <<= 1) {
+    if ((rank_ & step) != 0) {
+      BufWriter w;
+      w.put(value);
+      send(rank_ - step, tag, w.take());
+      break;
+    }
+    if (rank_ + step < size_) {
+      Bytes b = recv(rank_ + step, tag);
+      BufReader r(b);
+      value = op(value, r.get<T>());
+    }
+  }
+  // Binomial-tree broadcast of the result from rank 0.
+  BufWriter w;
+  w.put(value);
+  Bytes out = broadcast(w.take(), /*root=*/0);
+  BufReader r(out);
+  return r.get<T>();
+}
+
+}  // namespace plum::simmpi

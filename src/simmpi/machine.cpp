@@ -1,0 +1,68 @@
+#include "simmpi/machine.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace plum::simmpi {
+
+double MachineReport::makespan_us() const {
+  double m = 0.0;
+  for (const auto& r : ranks) m = std::max(m, r.time_us);
+  return m;
+}
+
+std::int64_t MachineReport::total_bytes_sent() const {
+  std::int64_t b = 0;
+  for (const auto& r : ranks) b += r.stats.bytes_sent;
+  return b;
+}
+
+std::int64_t MachineReport::total_msgs_sent() const {
+  std::int64_t m = 0;
+  for (const auto& r : ranks) m += r.stats.msgs_sent;
+  return m;
+}
+
+MachineReport Machine::run(Rank nranks,
+                           const std::function<void(Comm&)>& body) {
+  PLUM_CHECK_MSG(nranks >= 1, "machine needs at least one rank");
+  std::vector<Mailbox> mailboxes(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  MachineReport report;
+  report.ranks.resize(static_cast<std::size_t>(nranks));
+  std::atomic<bool> abort{false};
+
+  auto rank_main = [&](Rank r) {
+    Comm comm(r, nranks, &mailboxes, &cost_, &abort);
+    try {
+      body(comm);
+    } catch (const RankAborted&) {
+      // A peer failed first; this rank just unwinds quietly.
+    } catch (...) {
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+      abort.store(true, std::memory_order_release);
+      for (auto& mb : mailboxes) mb.poke();
+    }
+    auto& rr = report.ranks[static_cast<std::size_t>(r)];
+    rr.time_us = comm.clock().now();
+    rr.compute_us = comm.clock().compute_us();
+    rr.comm_us = comm.clock().comm_us();
+    rr.stats = comm.stats();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (Rank r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
+  for (auto& t : threads) t.join();
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return report;
+}
+
+}  // namespace plum::simmpi

@@ -1,0 +1,49 @@
+// The simulated distributed-memory machine.
+//
+// Machine::run(P, body) spawns P rank threads, hands each a Comm bound
+// to the shared mailboxes, executes the SPMD body, joins, and returns a
+// per-rank report (simulated clock readings and traffic counters).  A
+// rank that throws aborts the run: the first exception is re-thrown on
+// the caller's thread after all ranks are joined (the other ranks are
+// unblocked by poison delivery to every mailbox).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/cost_model.hpp"
+
+namespace plum::simmpi {
+
+/// Per-rank outcome of a run.
+struct RankReport {
+  double time_us = 0.0;     ///< final simulated clock
+  double compute_us = 0.0;  ///< simulated time spent computing
+  double comm_us = 0.0;     ///< simulated time spent in communication
+  CommStats stats;
+};
+
+struct MachineReport {
+  std::vector<RankReport> ranks;
+
+  /// Max final simulated time over ranks — the run's "execution time".
+  double makespan_us() const;
+  std::int64_t total_bytes_sent() const;
+  std::int64_t total_msgs_sent() const;
+};
+
+class Machine {
+ public:
+  explicit Machine(CostModel cost = CostModel{}) : cost_(cost) {}
+
+  const CostModel& cost() const { return cost_; }
+
+  /// Runs `body` as an SPMD program on `nranks` simulated processors.
+  MachineReport run(Rank nranks, const std::function<void(Comm&)>& body);
+
+ private:
+  CostModel cost_;
+};
+
+}  // namespace plum::simmpi

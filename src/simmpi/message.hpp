@@ -1,0 +1,95 @@
+// Message envelope and per-rank mailbox.
+//
+// Sends are buffered and asynchronous (they never block); receives block
+// until a message matching (source, tag) is present.  This mirrors the
+// eager-protocol MPI semantics the original code relied on and makes the
+// runtime deadlock-free for the communication patterns used here, since
+// every receive names its source explicitly (no MPI_ANY_SOURCE) the
+// execution is deterministic regardless of thread scheduling.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+#include "support/buffer.hpp"
+#include "support/types.hpp"
+
+namespace plum::simmpi {
+
+/// Thrown out of a blocking receive when a peer rank has failed and the
+/// machine is tearing the run down.
+struct RankAborted : std::exception {
+  const char* what() const noexcept override {
+    return "simmpi rank aborted: a peer rank failed";
+  }
+};
+
+struct Message {
+  Rank src = kNoRank;
+  int tag = 0;
+  /// Simulated time at which the message is fully available at the
+  /// receiver (sender time after setup + transfer time).
+  double arrival_us = 0.0;
+  Bytes payload;
+};
+
+/// Mailbox owned by one destination rank.  deliver() may be called by any
+/// thread; take() only by the owning rank's thread.
+class Mailbox {
+ public:
+  void deliver(Message m) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      msgs_.push_back(std::move(m));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message from `src` with `tag` is available and
+  /// removes the earliest-delivered such message.  If `abort` becomes
+  /// true while waiting (a peer rank failed), throws RankAborted so the
+  /// waiting rank can unwind instead of hanging forever.
+  Message take(Rank src, int tag, const std::atomic<bool>* abort) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      for (auto it = msgs_.begin(); it != msgs_.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          Message m = std::move(*it);
+          msgs_.erase(it);
+          return m;
+        }
+      }
+      if (abort != nullptr && abort->load(std::memory_order_acquire)) {
+        throw RankAborted{};
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+  }
+
+  /// Wakes any thread blocked in take() (used to propagate aborts).
+  void poke() { cv_.notify_all(); }
+
+  /// Non-blocking test used by tests/diagnostics.
+  bool has(Rank src, int tag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& m : msgs_)
+      if (m.src == src && m.tag == tag) return true;
+    return false;
+  }
+
+  std::size_t pending() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return msgs_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> msgs_;
+};
+
+}  // namespace plum::simmpi

@@ -1,0 +1,42 @@
+// Proxy flow solver.
+//
+// Stands in for the production unstructured Euler solvers the paper
+// couples 3D_TAG to (the framework only measures the solver's *cost
+// distribution*, not its physics — Fig. 12 compares execution times on
+// balanced vs unbalanced partitions).  The proxy is a vertex-centred
+// Jacobi smoothing with edge-based gather/scatter: the canonical
+// communication and memory-access pattern of edge-based flow solvers.
+//
+// Work is charged at T_iter per leaf element per iteration, matching
+// the paper's cost model; the distributed version exchanges partial
+// sums for shared vertices with partition neighbours each iteration
+// (the halo pattern whose volume the partitioner's edge-cut models).
+// Shared edges are evaluated by their lowest-ranked holder only, so the
+// distributed result equals the serial result bit-for-modulo-FP-order.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/mesh.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "simmpi/comm.hpp"
+
+namespace plum::solver {
+
+struct SolverStats {
+  int iterations = 0;
+  /// Simulated time this rank spent (µs); max over ranks = solver time.
+  double elapsed_us = 0.0;
+  /// Residual-ish diagnostic: total absolute solution change, last iter.
+  double last_delta = 0.0;
+};
+
+/// Serial reference implementation.
+SolverStats run_solver(mesh::Mesh& m, int iterations,
+                       double relax = 0.5);
+
+/// Distributed implementation; collective.
+SolverStats run_solver(parallel::DistMesh& dm, simmpi::Comm& comm,
+                       int iterations, double relax = 0.5);
+
+}  // namespace plum::solver

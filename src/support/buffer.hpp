@@ -1,0 +1,116 @@
+// Byte-buffer serialisation used by the message-passing layer and by
+// mesh migration (packing elements for shipment between ranks).
+//
+// The format is raw little-endian memcpy of trivially-copyable types plus
+// length-prefixed vectors.  Both ends of every channel run in the same
+// process, so no cross-endianness handling is needed; the Writer/Reader
+// pair still checks bounds so that a malformed unpack fails loudly
+// instead of reading garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plum {
+
+using Bytes = std::vector<std::byte>;
+
+/// Appends trivially-copyable values and vectors to a growing byte buffer.
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(std::size_t reserve_bytes) {
+    buf_.reserve(reserve_bytes);
+  }
+
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "BufWriter::put requires a trivially copyable type");
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  template <typename T>
+  void put_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "BufWriter::put_vec requires trivially copyable elements");
+    put<std::uint64_t>(v.size());
+    if (!v.empty()) {
+      const auto* p = reinterpret_cast<const std::byte*>(v.data());
+      buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+    }
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  Bytes take() { return std::move(buf_); }
+  const Bytes& bytes() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads values back in the order they were written.  Holds a
+/// reference: the buffer must outlive the reader (binding a temporary
+/// is rejected at compile time).
+class BufReader {
+ public:
+  explicit BufReader(const Bytes& buf) : buf_(buf) {}
+  explicit BufReader(Bytes&&) = delete;
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "BufReader::get requires a trivially copyable type");
+    PLUM_CHECK_MSG(pos_ + sizeof(T) <= buf_.size(),
+                   "buffer underrun: need " << sizeof(T) << " at " << pos_
+                                            << " of " << buf_.size());
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> get_vec() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "BufReader::get_vec requires trivially copyable elements");
+    const auto n = get<std::uint64_t>();
+    PLUM_CHECK_MSG(pos_ + n * sizeof(T) <= buf_.size(),
+                   "buffer underrun in get_vec: n=" << n);
+    std::vector<T> v(n);
+    if (n > 0) {
+      std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    }
+    return v;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint64_t>();
+    PLUM_CHECK(pos_ + n <= buf_.size());
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace plum

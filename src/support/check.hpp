@@ -1,0 +1,58 @@
+// Runtime invariant checking.
+//
+// PLUM_CHECK is always on (benches included): the algorithms in this
+// library are graph/mesh manipulations whose failure mode is silent
+// corruption, and the cost of the checks is negligible next to the work
+// they guard.  PLUM_DCHECK compiles away in release builds and is used
+// inside hot loops (per-edge / per-element assertions).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace plum::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "PLUM_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+// Lazily builds the failure message only on the failing path.
+struct CheckMessageBuilder {
+  std::ostringstream os;
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+  std::string str() const { return os.str(); }
+};
+
+}  // namespace plum::detail
+
+#define PLUM_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::plum::detail::check_failed(#cond, __FILE__, __LINE__, "");           \
+    }                                                                        \
+  } while (0)
+
+#define PLUM_CHECK_MSG(cond, ...)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::plum::detail::CheckMessageBuilder plum_mb_;                          \
+      plum_mb_ << __VA_ARGS__;                                               \
+      ::plum::detail::check_failed(#cond, __FILE__, __LINE__,                \
+                                   plum_mb_.str());                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define PLUM_DCHECK(cond) ((void)0)
+#else
+#define PLUM_DCHECK(cond) PLUM_CHECK(cond)
+#endif

@@ -1,0 +1,59 @@
+// Minimal leveled logging.
+//
+// The library is quiet by default (benches own their stdout); set the
+// PLUM_LOG environment variable to "debug", "info", or "warn" to see
+// internal progress (propagation iterations, migration volumes, ...).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+namespace plum {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+namespace detail {
+inline LogLevel parse_env_level() {
+  const char* env = std::getenv("PLUM_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+}  // namespace detail
+
+inline LogLevel& log_level() {
+  static LogLevel level = detail::parse_env_level();
+  return level;
+}
+
+inline bool log_enabled(LogLevel lvl) {
+  return static_cast<int>(lvl) >= static_cast<int>(log_level());
+}
+
+inline void log_line(LogLevel lvl, const std::string& msg) {
+  if (!log_enabled(lvl)) return;
+  const char* tag = lvl == LogLevel::kDebug  ? "D"
+                    : lvl == LogLevel::kInfo ? "I"
+                                             : "W";
+  std::fprintf(stderr, "[plum:%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace plum
+
+#define PLUM_LOG(level, ...)                                         \
+  do {                                                               \
+    if (::plum::log_enabled(::plum::LogLevel::level)) {              \
+      std::ostringstream plum_os_;                                   \
+      plum_os_ << __VA_ARGS__;                                       \
+      ::plum::log_line(::plum::LogLevel::level, plum_os_.str());     \
+    }                                                                \
+  } while (0)
+
+#define PLUM_LOG_DEBUG(...) PLUM_LOG(kDebug, __VA_ARGS__)
+#define PLUM_LOG_INFO(...) PLUM_LOG(kInfo, __VA_ARGS__)
+#define PLUM_LOG_WARN(...) PLUM_LOG(kWarn, __VA_ARGS__)

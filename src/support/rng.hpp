@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the library (Random edge-marking strategy,
+// randomized property tests, random similarity matrices) flows through
+// this generator so that experiments are bit-reproducible across runs
+// and platforms.  std::mt19937 is avoided because its distributions are
+// implementation-defined; we ship our own uniform sampling.
+//
+// The engine is xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace plum {
+
+/// splitmix64 step — used for seeding and for hashing ids.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a single value (for deterministic id hashing).
+inline std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// Combine two 64-bit values into one well-mixed 64-bit hash.
+inline std::uint64_t hash_combine64(std::uint64_t a, std::uint64_t b) {
+  // Boost-style combine on top of mix64, widened to 64 bits.
+  return mix64(a + 0x9e3779b97f4a7c15ULL + (mix64(b) << 6) + (mix64(b) >> 2));
+}
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  /// Raw 64 uniformly distributed bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  std::uint64_t next_below(std::uint64_t bound) {
+    PLUM_CHECK(bound > 0);
+    // 128-bit multiply keeps the distribution exactly uniform.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    PLUM_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) draw.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace plum

@@ -1,0 +1,71 @@
+// Streaming statistics accumulator (Welford) plus small helpers used by
+// benches and tests to summarise distributions (load per rank, elements
+// moved, timings).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plum {
+
+/// Single-pass mean/variance/min/max accumulator.
+class StatAccumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// max/mean — the paper's load-imbalance factor when fed rank loads.
+  double imbalance() const {
+    PLUM_CHECK(n_ > 0);
+    return mean() > 0 ? max() / mean() : 1.0;
+  }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Summarise a container of numeric values in one call.
+template <typename Container>
+StatAccumulator summarize(const Container& c) {
+  StatAccumulator acc;
+  for (const auto& v : c) acc.add(static_cast<double>(v));
+  return acc;
+}
+
+/// Exact p-quantile (by sorting a copy); p in [0,1].
+inline double quantile(std::vector<double> v, double p) {
+  PLUM_CHECK(!v.empty());
+  PLUM_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace plum

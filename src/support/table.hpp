@@ -1,0 +1,115 @@
+// Plain-text table formatting for the benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure from the paper; the
+// output discipline is: a title line, a header row, aligned data rows,
+// and (optionally) the same data as CSV for downstream plotting.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace plum {
+
+/// Column-aligned table with mixed string/integer/floating cells.
+class Table {
+ public:
+  using Cell = std::variant<std::string, long long, double>;
+
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols) {
+    header_ = std::move(cols);
+    return *this;
+  }
+
+  /// Number of fractional digits used when printing double cells.
+  Table& precision(int digits) {
+    precision_ = digits;
+    return *this;
+  }
+
+  Table& row(std::vector<Cell> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  const std::string& title() const { return title_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the aligned table.
+  std::string str() const {
+    std::vector<std::vector<std::string>> text;
+    text.push_back(header_);
+    for (const auto& r : rows_) {
+      std::vector<std::string> tr;
+      tr.reserve(r.size());
+      for (const auto& c : r) tr.push_back(cell_str(c));
+      text.push_back(std::move(tr));
+    }
+    std::vector<std::size_t> width;
+    for (const auto& r : text) {
+      if (width.size() < r.size()) width.resize(r.size(), 0);
+      for (std::size_t i = 0; i < r.size(); ++i)
+        width[i] = std::max(width[i], r[i].size());
+    }
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    for (std::size_t ri = 0; ri < text.size(); ++ri) {
+      const auto& r = text[ri];
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        os << (i ? "  " : "") << std::setw(static_cast<int>(width[i]))
+           << r[i];
+      }
+      os << '\n';
+      if (ri == 0) {
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < width.size(); ++i)
+          total += width[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+      }
+    }
+    return os.str();
+  }
+
+  /// Renders the same data as CSV (for plotting scripts).
+  std::string csv() const {
+    std::ostringstream os;
+    emit_csv_row(os, header_);
+    for (const auto& r : rows_) {
+      std::vector<std::string> tr;
+      tr.reserve(r.size());
+      for (const auto& c : r) tr.push_back(cell_str(c));
+      emit_csv_row(os, tr);
+    }
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const { os << str() << '\n'; }
+
+ private:
+  static void emit_csv_row(std::ostream& os,
+                           const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) os << (i ? "," : "") << r[i];
+    os << '\n';
+  }
+
+  std::string cell_str(const Cell& c) const {
+    if (std::holds_alternative<std::string>(c)) return std::get<std::string>(c);
+    if (std::holds_alternative<long long>(c))
+      return std::to_string(std::get<long long>(c));
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+    return os.str();
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 2;
+};
+
+}  // namespace plum

@@ -1,0 +1,47 @@
+// Fundamental identifier and index types shared by every plum96 module.
+//
+// The mesh, dual-graph, and load-balancing layers all traffic in object
+// identities.  Two distinct notions exist:
+//
+//   * local indices  — contiguous 0-based indices into a rank's local
+//                      arrays (elements, edges, vertices of its submesh);
+//   * global ids     — machine-wide identities used to match shared
+//                      objects across partition boundaries.
+//
+// Global ids for initial-mesh objects are assigned by the mesh generator.
+// Objects created during adaption derive their global ids deterministically
+// from their parents (see mesh/global_id.hpp), so independent ranks agree
+// on the identity of, say, the midpoint vertex of a shared edge without
+// communicating.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace plum {
+
+/// Local (per-rank, contiguous) index into an object array.
+using LocalIndex = std::int32_t;
+
+/// Machine-wide identity of a mesh object (vertex / edge / element).
+using GlobalId = std::uint64_t;
+
+/// Processor (rank) number within a simulated machine.
+using Rank = std::int32_t;
+
+/// Partition number produced by a mesh partitioner (0..k-1, k = P*F).
+using PartId = std::int32_t;
+
+/// Sentinel for "no local index" (unassigned / removed object).
+inline constexpr LocalIndex kNoIndex = -1;
+
+/// Sentinel for "no global id".
+inline constexpr GlobalId kNoGlobalId = std::numeric_limits<GlobalId>::max();
+
+/// Sentinel for "no rank / unassigned processor".
+inline constexpr Rank kNoRank = -1;
+
+/// Sentinel for "no partition".
+inline constexpr PartId kNoPart = -1;
+
+}  // namespace plum

@@ -1,0 +1,177 @@
+// Tests of the coarsening pass: child-set removal, object purging,
+// parent reinstatement, and the refine-after-coarsen repair step.
+#include <gtest/gtest.h>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/coarsen.hpp"
+#include "adapt/marking.hpp"
+#include "mesh/box_mesh.hpp"
+#include "mesh/mesh_check.hpp"
+#include "test_util.hpp"
+
+namespace plum::adapt {
+namespace {
+
+using mesh::EdgeMark;
+using mesh::Mesh;
+using plum::testing::make_single_tet;
+
+TEST(Coarsen, UndoesIsotropicRefinementOfSingleTet) {
+  Mesh m = make_single_tet();
+  for (auto& e : m.edges()) e.mark = EdgeMark::kRefine;
+  refine_marked(m);
+  ASSERT_EQ(m.num_active_elements(), 8);
+
+  mark_coarsen_all_refined(m);
+  const CoarsenResult r = coarsen_and_refine(m);
+  EXPECT_EQ(r.parents_reinstated, 1);
+  EXPECT_EQ(r.elements_removed, 8);
+  EXPECT_EQ(r.vertices_removed, 6);
+  EXPECT_EQ(r.edges_unbisected, 6);
+  EXPECT_EQ(m.num_active_elements(), 1);
+  EXPECT_EQ(m.counts().vertices, 4);
+  EXPECT_EQ(m.counts().active_edges, 6);
+  EXPECT_EQ(m.counts().active_bfaces, 4);
+  EXPECT_MESH_OK_VOL(m, 1.0 / 6.0);
+}
+
+TEST(Coarsen, FullUndoRestoresInitialCountsOnBoxMesh) {
+  Mesh m = mesh::make_cube_mesh(3);
+  const auto before = m.counts();
+  mark_refine_random(m, 0.3, /*seed=*/42);
+  refine_marked(m);
+  ASSERT_GT(m.num_active_elements(), before.active_elements);
+
+  mark_coarsen_all_refined(m);
+  coarsen_and_refine(m);
+  const auto after = m.counts();
+  EXPECT_EQ(after.active_elements, before.active_elements);
+  EXPECT_EQ(after.active_edges, before.active_edges);
+  EXPECT_EQ(after.vertices, before.vertices);
+  EXPECT_EQ(after.active_bfaces, before.active_bfaces);
+  EXPECT_MESH_OK_VOL(m, 1.0);
+}
+
+TEST(Coarsen, CannotCoarsenBeyondInitialMesh) {
+  Mesh m = mesh::make_cube_mesh(1);
+  // Mark everything for coarsening on the *initial* mesh: no-op.
+  for (auto& e : m.edges()) e.mark = EdgeMark::kCoarsen;
+  const CoarsenResult r = coarsen_and_refine(m);
+  EXPECT_EQ(r.parents_reinstated, 0);
+  EXPECT_EQ(r.elements_removed, 0);
+  EXPECT_EQ(m.num_active_elements(), 6);
+  EXPECT_MESH_OK_VOL(m, 1.0);
+}
+
+TEST(Coarsen, PartialCoarseningKeepsMeshConforming) {
+  // Refine a region, coarsen a large sub-region: the coarsened core
+  // genuinely shrinks, while reinstated parents adjacent to
+  // still-refined neighbours are re-split by the repair pass, so some
+  // refinement survives at the shell.
+  Mesh m = mesh::make_cube_mesh(4);
+  mark_refine_in_sphere(m, {{0.5, 0.5, 0.5}, 0.5});
+  refine_marked(m);
+  const auto refined = m.counts();
+
+  mark_coarsen_in_sphere(m, {{0.5, 0.5, 0.5}, 0.4});
+  coarsen_and_refine(m);
+  const auto after = m.counts();
+  EXPECT_LT(after.active_elements, refined.active_elements);
+  EXPECT_GT(after.active_elements,
+            mesh::predict_box_mesh_counts(4, 4, 4).elements);
+  EXPECT_MESH_OK_VOL(m, 1.0);
+}
+
+TEST(Coarsen, InteriorCoarseningSurvivesRepairOnlyAtShell) {
+  // Quantitative version of the shell effect: coarsening strictly
+  // inside a uniformly refined mesh keeps the boundary ring refined but
+  // must remove the interior.
+  Mesh m = mesh::make_cube_mesh(4);
+  for (auto& e : m.edges()) e.mark = EdgeMark::kRefine;
+  refine_marked(m);
+  const auto uniform = m.counts();
+  ASSERT_EQ(uniform.active_elements,
+            8 * mesh::predict_box_mesh_counts(4, 4, 4).elements);
+
+  mark_coarsen_in_box(m, {{0.3, 0.3, 0.3}, {0.7, 0.7, 0.7}});
+  coarsen_and_refine(m);
+  EXPECT_LT(m.counts().active_elements, uniform.active_elements);
+  EXPECT_MESH_OK_VOL(m, 1.0);
+}
+
+TEST(Coarsen, MarksAreConsumed) {
+  Mesh m = mesh::make_cube_mesh(2);
+  mark_refine_random(m, 0.3, /*seed=*/5);
+  refine_marked(m);
+  mark_coarsen_random(m, 0.5, /*seed=*/6);
+  coarsen_and_refine(m);
+  for (const auto& e : m.edges()) {
+    if (e.alive) {
+      EXPECT_EQ(e.mark, EdgeMark::kNone);
+    }
+  }
+}
+
+TEST(Coarsen, CompactAfterCoarseningPreservesMesh) {
+  Mesh m = mesh::make_cube_mesh(3);
+  mark_refine_random(m, 0.25, /*seed=*/9);
+  refine_marked(m);
+  mark_coarsen_random(m, 0.1, /*seed=*/10);
+  coarsen_and_refine(m);
+  const auto before = m.counts();
+  m.compact();
+  const auto after = m.counts();
+  EXPECT_EQ(before.active_elements, after.active_elements);
+  EXPECT_EQ(before.vertices, after.vertices);
+  EXPECT_EQ(before.active_bfaces, after.active_bfaces);
+  // After compaction there are no dead slots at all.
+  EXPECT_EQ(static_cast<std::int64_t>(m.elements().size()),
+            before.alive_elements);
+  EXPECT_MESH_OK_VOL(m, 1.0);
+}
+
+TEST(Coarsen, MultiLevelCoarseningTakesOneLevelPerPass) {
+  Mesh m = make_single_tet();
+  for (auto& e : m.edges()) e.mark = EdgeMark::kRefine;
+  refine_marked(m);
+  for (auto& e : m.edges()) {
+    if (e.alive && !e.bisected()) e.mark = EdgeMark::kRefine;
+  }
+  refine_marked(m);
+  ASSERT_EQ(m.num_active_elements(), 64);
+
+  mark_coarsen_all_refined(m);
+  coarsen_and_refine(m);
+  EXPECT_EQ(m.num_active_elements(), 8);
+  mark_coarsen_all_refined(m);
+  coarsen_and_refine(m);
+  EXPECT_EQ(m.num_active_elements(), 1);
+  EXPECT_MESH_OK_VOL(m, 1.0 / 6.0);
+}
+
+TEST(Coarsen, RefineCoarsenCycleIsStableOverManyRounds) {
+  Mesh m = mesh::make_cube_mesh(2);
+  const auto initial = m.counts();
+  for (int round = 0; round < 4; ++round) {
+    mark_refine_random(m, 0.2, /*seed=*/1000 + round);
+    refine_marked(m);
+    mark_coarsen_all_refined(m);
+    coarsen_and_refine(m);
+    // A single coarsening pass removes one level; repeat until fixpoint.
+    while (m.num_active_elements() != initial.active_elements) {
+      const std::int64_t prev = m.num_active_elements();
+      mark_coarsen_all_refined(m);
+      coarsen_and_refine(m);
+      ASSERT_LT(m.num_active_elements(), prev)
+          << "coarsening stopped making progress in round " << round;
+    }
+    mesh::MeshCheckOptions opt;
+    opt.expected_volume = 1.0;
+    const auto r = mesh::check_mesh(m, opt);
+    ASSERT_TRUE(r.ok()) << "round " << round << ": " << r.summary();
+  }
+  EXPECT_EQ(m.counts().vertices, initial.vertices);
+}
+
+}  // namespace
+}  // namespace plum::adapt

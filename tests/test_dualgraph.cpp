@@ -1,0 +1,242 @@
+// Tests of the dual-graph representation (§5): construction, weight
+// refresh after adaption, and superelement agglomeration.
+#include <gtest/gtest.h>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "partition/partitioner.hpp"
+
+namespace plum::dual {
+namespace {
+
+using mesh::make_cube_mesh;
+
+TEST(DualGraph, CubeMeshAdjacencyIsFaceAdjacency) {
+  const mesh::Mesh m = make_cube_mesh(2);
+  const DualGraph g = build_dual_graph(m);
+  EXPECT_EQ(g.num_vertices(), m.num_active_elements());
+  // Interior faces = (4*elements - boundary faces) / 2.
+  const auto c = m.counts();
+  EXPECT_EQ(g.num_edges(), (4 * c.active_elements - c.active_bfaces) / 2);
+  for (const auto& a : g.adjacency) {
+    EXPECT_GE(a.size(), 1u);
+    EXPECT_LE(a.size(), 4u);  // a tet has four faces
+    // sorted, no duplicates, no self-loop
+    for (std::size_t i = 1; i < a.size(); ++i) EXPECT_LT(a[i - 1], a[i]);
+  }
+}
+
+TEST(DualGraph, AdjacencyIsSymmetric) {
+  const DualGraph g = build_dual_graph(make_cube_mesh(3));
+  for (std::size_t v = 0; v < g.adjacency.size(); ++v) {
+    for (const auto nb : g.adjacency[v]) {
+      const auto& back = g.adjacency[static_cast<std::size_t>(nb)];
+      EXPECT_TRUE(std::find(back.begin(), back.end(),
+                            static_cast<std::int32_t>(v)) != back.end());
+    }
+  }
+}
+
+TEST(DualGraph, InitialWeightsAreUnit) {
+  const DualGraph g = build_dual_graph(make_cube_mesh(2));
+  EXPECT_EQ(g.total_wcomp(), g.num_vertices());
+  EXPECT_EQ(g.total_wremap(), g.num_vertices());
+}
+
+TEST(DualGraph, WeightsRefreshAfterRefinement) {
+  mesh::Mesh m = make_cube_mesh(2);
+  DualGraph g = build_dual_graph(m);
+  adapt::mark_refine_random(m, 0.3, /*seed=*/17);
+  adapt::refine_marked(m);
+  update_weights(g, m);
+  // "W_comp is set to the number of leaf elements ... W_remap ... to the
+  //  total number of elements in the refinement tree."
+  EXPECT_EQ(g.total_wcomp(), m.num_active_elements());
+  const auto c = m.counts();
+  EXPECT_EQ(g.total_wremap(), c.alive_elements);
+  // Refined roots weigh more; untouched roots stay at 1.
+  std::int64_t heavy = 0;
+  for (std::size_t v = 0; v < g.wcomp.size(); ++v) {
+    EXPECT_GE(g.wcomp[v], 1);
+    EXPECT_GE(g.wremap[v], g.wcomp[v]);  // tree >= leaves
+    heavy += (g.wcomp[v] > 1) ? 1 : 0;
+  }
+  EXPECT_GT(heavy, 0);
+}
+
+TEST(DualGraph, WeightsSurviveCompaction) {
+  mesh::Mesh m = make_cube_mesh(2);
+  DualGraph g = build_dual_graph(m);
+  adapt::mark_refine_random(m, 0.3, /*seed=*/21);
+  adapt::refine_marked(m);
+  adapt::mark_coarsen_random(m, 0.2, /*seed=*/22);
+  adapt::coarsen_and_refine(m);
+  m.compact();
+  update_weights(g, m);
+  EXPECT_EQ(g.total_wcomp(), m.num_active_elements());
+}
+
+TEST(DualGraph, BuildRejectsAdaptedMesh) {
+  mesh::Mesh m = make_cube_mesh(1);
+  adapt::mark_refine_random(m, 0.8, /*seed=*/3);
+  adapt::refine_marked(m);
+  EXPECT_DEATH(build_dual_graph(m), "un-adapted");
+}
+
+TEST(Agglomerate, CoversAllVerticesAndConservesWeight) {
+  mesh::Mesh m = make_cube_mesh(3);
+  DualGraph g = build_dual_graph(m);
+  const Agglomeration a = agglomerate(g, 8);
+  EXPECT_LT(a.coarse.num_vertices(), g.num_vertices());
+  EXPECT_GE(a.coarse.num_vertices(), g.num_vertices() / 8);
+  for (const auto c : a.coarse_of) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, a.coarse.num_vertices());
+  }
+  EXPECT_EQ(a.coarse.total_wcomp(), g.total_wcomp());
+  EXPECT_EQ(a.coarse.total_wremap(), g.total_wremap());
+}
+
+TEST(Agglomerate, QuotientAdjacencyHasNoSelfLoops) {
+  const DualGraph g = build_dual_graph(make_cube_mesh(3));
+  const Agglomeration a = agglomerate(g, 6);
+  for (std::size_t c = 0; c < a.coarse.adjacency.size(); ++c) {
+    for (const auto nb : a.coarse.adjacency[c]) {
+      EXPECT_NE(nb, static_cast<std::int32_t>(c));
+    }
+  }
+}
+
+TEST(Agglomerate, ExpandPartitionRoundTrips) {
+  const DualGraph g = build_dual_graph(make_cube_mesh(2));
+  const Agglomeration a = agglomerate(g, 4);
+  std::vector<PartId> coarse_part(
+      static_cast<std::size_t>(a.coarse.num_vertices()));
+  for (std::size_t c = 0; c < coarse_part.size(); ++c) {
+    coarse_part[c] = static_cast<PartId>(c % 3);
+  }
+  const auto fine = expand_partition(a, coarse_part);
+  for (std::size_t v = 0; v < fine.size(); ++v) {
+    EXPECT_EQ(fine[v],
+              coarse_part[static_cast<std::size_t>(a.coarse_of[v])]);
+  }
+}
+
+TEST(Agglomerate, GroupSizeOneIsIdentityShape) {
+  const DualGraph g = build_dual_graph(make_cube_mesh(2));
+  const Agglomeration a = agglomerate(g, 1);
+  EXPECT_EQ(a.coarse.num_vertices(), g.num_vertices());
+}
+
+
+TEST(DualGraphEdgeWeights, UniformAfterBuild) {
+  const DualGraph g = build_dual_graph(mesh::make_cube_mesh(2));
+  ASSERT_EQ(g.edge_weight.size(), g.adjacency.size());
+  for (std::size_t v = 0; v < g.adjacency.size(); ++v) {
+    ASSERT_EQ(g.edge_weight[v].size(), g.adjacency[v].size());
+    for (const auto w : g.edge_weight[v]) EXPECT_EQ(w, 1);
+  }
+}
+
+TEST(DualGraphEdgeWeights, IsotropicRefinementQuadruplesInterfaceTraffic) {
+  // Every shared face splits 1:4 under uniform 1:8 refinement, so every
+  // dual edge's leaf-face count becomes exactly 4.
+  mesh::Mesh m = mesh::make_cube_mesh(2);
+  DualGraph g = build_dual_graph(m);
+  for (auto& e : m.edges()) e.mark = mesh::EdgeMark::kRefine;
+  adapt::refine_marked(m);
+  update_edge_weights(g, m);
+  for (std::size_t v = 0; v < g.adjacency.size(); ++v) {
+    for (const auto w : g.edge_weight[v]) EXPECT_EQ(w, 4);
+  }
+}
+
+TEST(DualGraphEdgeWeights, LocalRefinementOnlyInflatesLocalInterfaces) {
+  mesh::Mesh m = mesh::make_cube_mesh(3);
+  DualGraph g = build_dual_graph(m);
+  adapt::mark_refine_in_sphere(m, {{0.2, 0.2, 0.2}, 0.25});
+  adapt::refine_marked(m);
+  update_edge_weights(g, m);
+  std::int64_t heavy = 0, unit = 0;
+  for (std::size_t v = 0; v < g.adjacency.size(); ++v) {
+    for (const auto w : g.edge_weight[v]) {
+      EXPECT_GE(w, 1);
+      (w > 1 ? heavy : unit) += 1;
+    }
+  }
+  EXPECT_GT(heavy, 0);
+  EXPECT_GT(unit, heavy);  // most of the mesh is untouched
+}
+
+TEST(DualGraphEdgeWeights, SymmetricAcrossTheEdge) {
+  mesh::Mesh m = mesh::make_cube_mesh(2);
+  DualGraph g = build_dual_graph(m);
+  adapt::mark_refine_random(m, 0.3, /*seed=*/3);
+  adapt::refine_marked(m);
+  update_edge_weights(g, m);
+  for (std::size_t v = 0; v < g.adjacency.size(); ++v) {
+    for (std::size_t k = 0; k < g.adjacency[v].size(); ++k) {
+      const auto nb = static_cast<std::size_t>(g.adjacency[v][k]);
+      const auto& back = g.adjacency[nb];
+      const auto it = std::find(back.begin(), back.end(),
+                                static_cast<std::int32_t>(v));
+      ASSERT_NE(it, back.end());
+      const auto kb = static_cast<std::size_t>(it - back.begin());
+      EXPECT_EQ(g.weight_of(v, k), g.weight_of(nb, kb));
+    }
+  }
+}
+
+TEST(DualGraphEdgeWeights, AgglomerationConservesCrossingWeight) {
+  mesh::Mesh m = mesh::make_cube_mesh(3);
+  DualGraph g = build_dual_graph(m);
+  adapt::mark_refine_in_sphere(m, {{0.5, 0.5, 0.5}, 0.4});
+  adapt::refine_marked(m);
+  update_edge_weights(g, m);
+  const Agglomeration a = agglomerate(g, 4);
+  // Sum of coarse crossing weights == sum of fine weights whose
+  // endpoints land in different clusters.
+  std::int64_t fine_cross = 0;
+  for (std::size_t v = 0; v < g.adjacency.size(); ++v) {
+    for (std::size_t k = 0; k < g.adjacency[v].size(); ++k) {
+      const auto nb = static_cast<std::size_t>(g.adjacency[v][k]);
+      if (a.coarse_of[v] != a.coarse_of[nb]) fine_cross += g.weight_of(v, k);
+    }
+  }
+  std::int64_t coarse_cross = 0;
+  for (std::size_t c = 0; c < a.coarse.adjacency.size(); ++c) {
+    for (std::size_t k = 0; k < a.coarse.adjacency[c].size(); ++k) {
+      coarse_cross += a.coarse.weight_of(c, k);
+    }
+  }
+  EXPECT_EQ(coarse_cross, fine_cross);
+}
+
+TEST(DualGraphEdgeWeights, WeightedPartitioningReducesCommunicationCut) {
+  // Communication-aware partitioning: with refreshed edge weights the
+  // multilevel partitioner avoids cutting the refined (heavy) region,
+  // yielding a lower *weighted* cut than the same algorithm run blind
+  // on uniform weights.
+  mesh::Mesh m = mesh::make_cube_mesh(4);
+  DualGraph g = build_dual_graph(m);
+  adapt::mark_refine_in_box(m, {{0.2, 0.0, 0.0}, {0.55, 1.0, 1.0}});
+  adapt::refine_marked(m);
+  dual::update_weights(g, m);
+
+  DualGraph unweighted = g;  // uniform edge weights
+  update_edge_weights(g, m);
+
+  const auto blind =
+      partition::make_partitioner("multilevel")->partition(unweighted, 8);
+  const auto aware =
+      partition::make_partitioner("multilevel")->partition(g, 8);
+  // Evaluate both against the TRUE (weighted) communication volume.
+  const auto blind_eval =
+      partition::evaluate_partition(g, blind.part, 8);
+  EXPECT_LT(aware.edgecut, blind_eval.edgecut);
+}
+
+}  // namespace
+}  // namespace plum::dual

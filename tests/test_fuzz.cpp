@@ -1,0 +1,241 @@
+// Randomized whole-stack property tests ("fuzz" suite): long random
+// operation sequences with full invariant validation at every step,
+// serial-vs-parallel mirroring, and degenerate-input hardening.
+// Everything is seeded through TEST_P, so failures replay exactly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/marking.hpp"
+#include "balance/remapper.hpp"
+#include "mesh/box_mesh.hpp"
+#include "mesh/mesh_check.hpp"
+#include "mesh/mesh_io.hpp"
+#include "parallel/gather.hpp"
+#include "parallel/migrate.hpp"
+#include "parallel/parallel_adapt.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+#include "support/rng.hpp"
+
+namespace plum {
+namespace {
+
+using mesh::Mesh;
+
+/// One random marking action, symmetric across ranks by construction.
+void random_marks(Mesh& m, Rng& rng) {
+  switch (rng.next_below(5)) {
+    case 0:
+      adapt::mark_refine_random(m, 0.05 + 0.25 * rng.next_double(),
+                                rng.next_u64());
+      break;
+    case 1: {
+      const mesh::Vec3 c{rng.next_double(), rng.next_double(),
+                         rng.next_double()};
+      adapt::mark_refine_in_sphere(m, {c, 0.15 + 0.3 * rng.next_double()});
+      break;
+    }
+    case 2: {
+      const mesh::Vec3 lo{0.6 * rng.next_double(), 0.6 * rng.next_double(),
+                          0.6 * rng.next_double()};
+      adapt::mark_refine_in_box(
+          m, {lo, lo + mesh::Vec3{0.4, 0.4, 0.4}});
+      break;
+    }
+    case 3:
+      adapt::mark_coarsen_random(m, 0.3 + 0.6 * rng.next_double(),
+                                 rng.next_u64());
+      break;
+    default:
+      adapt::mark_coarsen_all_refined(m);
+      break;
+  }
+}
+
+bool has_refine_marks(const Mesh& m) {
+  for (const auto& e : m.edges()) {
+    if (e.alive && e.mark == mesh::EdgeMark::kRefine) return true;
+  }
+  return false;
+}
+
+class FuzzSerial : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSerial, RandomAdaptionSequencePreservesInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709 + 11);
+  Mesh m = mesh::make_cube_mesh(2);
+  for (int step = 0; step < 10; ++step) {
+    random_marks(m, rng);
+    if (has_refine_marks(m)) {
+      adapt::refine_marked(m);
+    }
+    adapt::coarsen_and_refine(m);  // consumes any coarsen marks
+    if (rng.next_bool(0.3)) m.compact();
+
+    mesh::MeshCheckOptions opt;
+    opt.expected_volume = 1.0;
+    const auto r = mesh::check_mesh(m, opt);
+    ASSERT_TRUE(r.ok()) << "seed " << GetParam() << " step " << step
+                        << ": " << r.summary();
+    ASSERT_LT(m.num_active_elements(), 200000) << "runaway refinement";
+  }
+}
+
+TEST_P(FuzzSerial, SnapshotMidSequenceIsTransparent) {
+  // Interleave serialize/deserialize round-trips into a random
+  // sequence; the mirror without round-trips must end identically.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  Mesh a = mesh::make_cube_mesh(2);
+  Mesh b = mesh::make_cube_mesh(2);
+  for (int step = 0; step < 6; ++step) {
+    const auto seed = rng.next_u64();
+    const double frac = 0.1 + 0.2 * rng.next_double();
+    adapt::mark_refine_random(a, frac, seed);
+    adapt::refine_marked(a);
+    adapt::mark_refine_random(b, frac, seed);
+    adapt::refine_marked(b);
+    if (rng.next_bool(0.5)) {
+      a = mesh::deserialize_mesh(mesh::serialize_mesh(a));
+    }
+    if (rng.next_bool(0.5)) {
+      adapt::mark_coarsen_random(a, 0.5, seed + 1);
+      adapt::coarsen_and_refine(a);
+      adapt::mark_coarsen_random(b, 0.5, seed + 1);
+      adapt::coarsen_and_refine(b);
+    }
+  }
+  std::multiset<GlobalId> ga, gb;
+  for (const auto& el : a.elements()) {
+    if (el.alive && el.active) ga.insert(el.gid);
+  }
+  for (const auto& el : b.elements()) {
+    if (el.alive && el.active) gb.insert(el.gid);
+  }
+  EXPECT_EQ(ga, gb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSerial, ::testing::Range(0, 8));
+
+class FuzzParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzParallel, RandomCyclesWithMigrationsMatchSerial) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  const Rank P = 2 + static_cast<Rank>(rng.next_below(5));  // 2..6
+  const Mesh global = mesh::make_cube_mesh(2);
+  const auto dualg = dual::build_dual_graph(global);
+  const auto part = partition::make_partitioner("rcb")->partition(dualg, P);
+  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+
+  // Script the cycle up front so serial and parallel replay it exactly.
+  struct Step {
+    std::uint64_t seed;
+    double refine_frac;
+    bool coarsen;
+    bool migrate;
+    std::uint64_t migrate_seed;
+  };
+  std::vector<Step> script;
+  for (int i = 0; i < 5; ++i) {
+    script.push_back({rng.next_u64(), 0.1 + 0.2 * rng.next_double(),
+                      rng.next_bool(0.5), rng.next_bool(0.6),
+                      rng.next_u64()});
+  }
+
+  Mesh serial = global;
+  for (const auto& s : script) {
+    adapt::mark_refine_random(serial, s.refine_frac, s.seed);
+    adapt::refine_marked(serial);
+    if (s.coarsen) {
+      adapt::mark_coarsen_random(serial, 0.6, s.seed + 1);
+      adapt::coarsen_and_refine(serial);
+    }
+  }
+  std::multiset<GlobalId> expect;
+  for (const auto& el : serial.elements()) {
+    if (el.alive && el.active) expect.insert(el.gid);
+  }
+
+  simmpi::Machine machine;
+  std::multiset<GlobalId> got;
+  std::mutex mu;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    parallel::DistMesh dm =
+        parallel::build_local_mesh(global, proc, comm.rank(), P);
+    parallel::ParallelAdaptor adaptor(&dm, &comm);
+    for (const auto& s : script) {
+      adapt::mark_refine_random(dm.local, s.refine_frac, s.seed);
+      adaptor.refine();
+      if (s.coarsen) {
+        adapt::mark_coarsen_random(dm.local, 0.6, s.seed + 1);
+        adaptor.coarsen();
+      }
+      if (s.migrate) {
+        // Deterministic random re-assignment of all roots.
+        std::vector<Rank> plan(proc.size());
+        for (std::size_t g = 0; g < plan.size(); ++g) {
+          plan[g] = static_cast<Rank>(
+              hash_combine64(g, s.migrate_seed) %
+              static_cast<std::uint64_t>(P));
+        }
+        parallel::migrate(&dm, &comm, plan);
+      }
+    }
+    mesh::MeshCheckOptions opt;
+    opt.check_conformity = false;
+    const auto r = mesh::check_mesh(dm.local, opt);
+    EXPECT_TRUE(r.ok()) << "rank " << comm.rank() << ": " << r.summary();
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& el : dm.local.elements()) {
+      if (el.alive && el.active) got.insert(el.gid);
+    }
+  });
+  EXPECT_EQ(got, expect) << "seed " << GetParam() << " P=" << P;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParallel, ::testing::Range(0, 8));
+
+class FuzzMapper : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzMapper, DegenerateMatricesStayFeasible) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 1);
+  const int P = 2 + static_cast<int>(rng.next_below(6));
+  const int F = 1 + static_cast<int>(rng.next_below(3));
+  balance::SimilarityMatrix s(P, F);
+  switch (GetParam() % 4) {
+    case 0:
+      break;  // all zeros
+    case 1:   // one hot column
+      for (int i = 0; i < P; ++i) s.at(i, 0) = 100;
+      break;
+    case 2:  // one hot row
+      for (int j = 0; j < s.ncols(); ++j) s.at(0, j) = 50;
+      break;
+    default:  // sparse random
+      for (int i = 0; i < P; ++i) {
+        for (int j = 0; j < s.ncols(); ++j) {
+          if (rng.next_bool(0.15)) {
+            s.at(i, j) = static_cast<std::int64_t>(rng.next_below(100));
+          }
+        }
+      }
+      break;
+  }
+  for (const auto& name : balance::remapper_names()) {
+    const auto a = balance::make_remapper(name)->assign(s);
+    std::vector<int> cnt(static_cast<std::size_t>(P), 0);
+    for (const auto p : a.proc_of_part) cnt[static_cast<std::size_t>(p)]++;
+    for (const auto c : cnt) {
+      ASSERT_EQ(c, F) << name << " P=" << P << " F=" << F;
+    }
+  }
+  // Heuristic never beats optimal.
+  EXPECT_LE(balance::heuristic_assign(s).objective,
+            balance::optimal_assign(s).objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMapper, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace plum

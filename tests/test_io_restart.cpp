@@ -1,0 +1,225 @@
+// Tests of mesh snapshot I/O and the distributed checkpoint/restart
+// path: serialize -> deserialize equality, file round-trips, VTK
+// output sanity, scattering adapted snapshots, and the full
+// distributed-run -> gather-forest -> save -> load -> scatter ->
+// continue-adapting cycle against a serial reference.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "mesh/mesh_check.hpp"
+#include "mesh/mesh_io.hpp"
+#include "parallel/framework.hpp"
+#include "parallel/gather.hpp"
+#include "parallel/parallel_adapt.hpp"
+#include "parallel/restart.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+#include "test_util.hpp"
+
+namespace plum {
+namespace {
+
+using mesh::Mesh;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Mesh adapted_sample() {
+  Mesh m = mesh::make_cube_mesh(3);
+  adapt::mark_refine_in_sphere(m, {{0.4, 0.4, 0.4}, 0.35});
+  adapt::refine_marked(m);
+  adapt::mark_coarsen_in_sphere(m, {{0.4, 0.4, 0.4}, 0.2});
+  adapt::coarsen_and_refine(m);
+  return m;
+}
+
+void expect_same_mesh(const Mesh& a, const Mesh& b) {
+  const auto ca = a.counts();
+  const auto cb = b.counts();
+  EXPECT_EQ(ca.vertices, cb.vertices);
+  EXPECT_EQ(ca.alive_edges, cb.alive_edges);
+  EXPECT_EQ(ca.active_elements, cb.active_elements);
+  EXPECT_EQ(ca.alive_elements, cb.alive_elements);
+  EXPECT_EQ(ca.active_bfaces, cb.active_bfaces);
+  EXPECT_NEAR(a.active_volume(), b.active_volume(), 1e-12);
+  // Element gid multiset equality.
+  std::multiset<GlobalId> ga, gb;
+  for (const auto& el : a.elements()) {
+    if (el.alive && el.active) ga.insert(el.gid);
+  }
+  for (const auto& el : b.elements()) {
+    if (el.alive && el.active) gb.insert(el.gid);
+  }
+  EXPECT_EQ(ga, gb);
+}
+
+TEST(MeshIo, SerializeRoundTripsAdaptedMesh) {
+  const Mesh m = adapted_sample();
+  const Mesh back = mesh::deserialize_mesh(mesh::serialize_mesh(m));
+  expect_same_mesh(m, back);
+  EXPECT_MESH_OK_VOL(back, 1.0);
+  // The forest survives: further adaption behaves identically.
+  Mesh m2 = m, b2 = back;
+  adapt::mark_coarsen_all_refined(m2);
+  adapt::coarsen_and_refine(m2);
+  adapt::mark_coarsen_all_refined(b2);
+  adapt::coarsen_and_refine(b2);
+  expect_same_mesh(m2, b2);
+}
+
+TEST(MeshIo, SaveLoadFile) {
+  const std::string path = temp_path("plum_snapshot_test.bin");
+  const Mesh m = adapted_sample();
+  mesh::save_mesh(m, path);
+  const Mesh back = mesh::load_mesh(path);
+  expect_same_mesh(m, back);
+  std::filesystem::remove(path);
+}
+
+TEST(MeshIo, LoadRejectsGarbage) {
+  const std::string path = temp_path("plum_garbage_test.bin");
+  std::ofstream(path) << "this is not a mesh";
+  EXPECT_DEATH(mesh::load_mesh(path), "snapshot");
+  std::filesystem::remove(path);
+}
+
+TEST(MeshIo, VtkExportHasConsistentCounts) {
+  const std::string path = temp_path("plum_vtk_test.vtk");
+  const Mesh m = adapted_sample();
+  mesh::write_vtk(m, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::int64_t points = -1, cells = -1;
+  while (std::getline(in, line)) {
+    if (line.rfind("POINTS ", 0) == 0) {
+      points = std::stoll(line.substr(7));
+    } else if (line.rfind("CELLS ", 0) == 0) {
+      cells = std::stoll(line.substr(6));
+    }
+  }
+  EXPECT_EQ(points, m.counts().vertices);
+  EXPECT_EQ(cells, m.num_active_elements());
+  std::filesystem::remove(path);
+}
+
+TEST(Restart, ScatterAdaptedMatchesDirectDistribution) {
+  const Rank P = 4;
+  const Mesh snapshot = adapted_sample();
+  const Mesh initial = mesh::make_cube_mesh(3);
+  const auto dualg = dual::build_dual_graph(initial);
+  const auto part = partition::make_partitioner("rcb")->partition(dualg, P);
+  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+
+  std::int64_t total = 0;
+  simmpi::Machine machine;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    parallel::DistMesh dm =
+        parallel::scatter_adapted_mesh(snapshot, proc, comm);
+    // Local shards are valid and SPL-consistent.
+    mesh::MeshCheckOptions opt;
+    opt.check_conformity = false;
+    const auto r = mesh::check_mesh(dm.local, opt);
+    ASSERT_TRUE(r.ok()) << "rank " << comm.rank() << ": " << r.summary();
+    const auto spl_errors = check_dist_mesh(dm);
+    ASSERT_TRUE(spl_errors.empty()) << spl_errors.front();
+    const std::int64_t t =
+        comm.allreduce_sum(dm.local.num_active_elements());
+    if (comm.rank() == 0) total = t;
+    // Adaption continues on the restarted mesh.
+    parallel::ParallelAdaptor adaptor(&dm, &comm);
+    adapt::mark_refine_in_sphere(dm.local, {{0.7, 0.7, 0.7}, 0.2});
+    adaptor.refine();
+    const std::int64_t t2 =
+        comm.allreduce_sum(dm.local.num_active_elements());
+    EXPECT_GT(t2, t);
+  });
+  EXPECT_EQ(total, snapshot.num_active_elements());
+}
+
+TEST(Restart, FullDistributedCheckpointCycle) {
+  // Distributed run -> gather forest -> save -> load -> scatter ->
+  // coarsen everything; final mesh equals the initial mesh, proving
+  // the checkpoint preserved the full refinement history.
+  const Rank P = 4;
+  const Mesh initial = mesh::make_cube_mesh(3);
+  const auto dualg = dual::build_dual_graph(initial);
+  const auto part = partition::make_partitioner("rcb")->partition(dualg, P);
+  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+  const std::string path = temp_path("plum_ckpt_cycle.bin");
+
+  // Phase 1: adapt in parallel, gather the forest, save.
+  simmpi::Machine machine;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    parallel::DistMesh dm =
+        parallel::build_local_mesh(initial, proc, comm.rank(), P);
+    parallel::ParallelAdaptor adaptor(&dm, &comm);
+    adapt::mark_refine_in_sphere(dm.local, {{0.3, 0.3, 0.3}, 0.4});
+    adaptor.refine();
+    Mesh forest = parallel::gather_global_forest(dm, comm, /*root=*/0);
+    if (comm.rank() == 0) mesh::save_mesh(forest, path);
+  });
+
+  // Phase 2: load, scatter onto a DIFFERENT layout, coarsen all.
+  const Mesh snapshot = mesh::load_mesh(path);
+  EXPECT_GT(snapshot.num_active_elements(),
+            initial.num_active_elements());
+  std::vector<Rank> rotated(proc.size());
+  for (std::size_t g = 0; g < proc.size(); ++g) {
+    rotated[g] = static_cast<Rank>((proc[g] + 1) % P);
+  }
+  simmpi::Machine machine2;
+  machine2.run(P, [&](simmpi::Comm& comm) {
+    parallel::DistMesh dm =
+        parallel::scatter_adapted_mesh(snapshot, rotated, comm);
+    parallel::ParallelAdaptor adaptor(&dm, &comm);
+    adapt::mark_coarsen_all_refined(dm.local);
+    adaptor.coarsen();
+    const std::int64_t total =
+        comm.allreduce_sum(dm.local.num_active_elements());
+    EXPECT_EQ(total, initial.num_active_elements());
+  });
+  std::filesystem::remove(path);
+}
+
+TEST(Restart, FrameworkAdoptsRestartedMesh) {
+  const Rank P = 4;
+  const Mesh snapshot = adapted_sample();
+  const Mesh initial = mesh::make_cube_mesh(3);
+  const auto dualg = dual::build_dual_graph(initial);
+  const auto part = partition::make_partitioner("rcb")->partition(dualg, P);
+  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+
+  parallel::FrameworkConfig cfg;
+  cfg.solver_iterations = 1;
+  simmpi::Machine machine;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    parallel::DistMesh dm =
+        parallel::scatter_adapted_mesh(snapshot, proc, comm);
+    parallel::PlumFramework fw(&comm, std::move(dm), dualg,
+                               std::vector<Rank>(proc), cfg);
+    const auto stats = fw.cycle(
+        [](Mesh& m) {
+          adapt::mark_refine_in_sphere(m, {{0.6, 0.6, 0.6}, 0.25});
+        },
+        nullptr);
+    (void)stats;
+    // Dual weights refreshed from the restarted mesh stay exact.
+    std::int64_t dual_total = 0;
+    for (const auto w : fw.dual_graph().wcomp) dual_total += w;
+    const std::int64_t total =
+        comm.allreduce_sum(fw.dist().local.num_active_elements());
+    EXPECT_EQ(total, dual_total);
+  });
+}
+
+}  // namespace
+}  // namespace plum

@@ -1,0 +1,154 @@
+// Unit tests for the core Mesh container and the box-mesh generator.
+#include <gtest/gtest.h>
+
+#include "mesh/box_mesh.hpp"
+#include "mesh/global_id.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/mesh_check.hpp"
+#include "test_util.hpp"
+
+namespace plum::mesh {
+namespace {
+
+TEST(Mesh, SingleTetIsValid) {
+  Mesh m = plum::testing::make_single_tet();
+  EXPECT_EQ(m.counts().vertices, 4);
+  EXPECT_EQ(m.counts().active_edges, 6);
+  EXPECT_EQ(m.counts().active_elements, 1);
+  EXPECT_EQ(m.counts().active_bfaces, 4);
+  EXPECT_MESH_OK(m);
+  EXPECT_NEAR(m.active_volume(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(Mesh, FindEdgeIsOrderFree) {
+  Mesh m = plum::testing::make_single_tet();
+  for (int k = 0; k < 6; ++k) {
+    const auto& el = m.element(0);
+    const LocalIndex a = el.v[static_cast<std::size_t>(kEdgeVerts[k][0])];
+    const LocalIndex b = el.v[static_cast<std::size_t>(kEdgeVerts[k][1])];
+    EXPECT_EQ(m.find_edge(a, b), m.find_edge(b, a));
+    EXPECT_NE(m.find_edge(a, b), kNoIndex);
+  }
+  EXPECT_EQ(m.find_edge(0, 0), kNoIndex);
+}
+
+TEST(Mesh, DuplicateEdgeIsRejected) {
+  Mesh m = plum::testing::make_single_tet();
+  EXPECT_DEATH(m.add_edge(0, 1), "already exists");
+}
+
+TEST(Mesh, ElementEdgeOrderingMatchesConvention) {
+  Mesh m = plum::testing::make_single_tet();
+  const Element& el = m.element(0);
+  for (int k = 0; k < 6; ++k) {
+    const Edge& e = m.edge(el.e[static_cast<std::size_t>(k)]);
+    const LocalIndex a = el.v[static_cast<std::size_t>(kEdgeVerts[k][0])];
+    const LocalIndex b = el.v[static_cast<std::size_t>(kEdgeVerts[k][1])];
+    EXPECT_TRUE((e.v[0] == a && e.v[1] == b) ||
+                (e.v[0] == b && e.v[1] == a));
+  }
+}
+
+TEST(Mesh, DeactivateRemovesFromIncidenceActivateRestores) {
+  Mesh m = plum::testing::make_single_tet();
+  m.deactivate_element(0);
+  for (const auto& e : m.edges()) EXPECT_TRUE(e.elems.empty());
+  m.activate_element(0);
+  for (const auto& e : m.edges()) EXPECT_EQ(e.elems.size(), 1u);
+  EXPECT_MESH_OK(m);
+}
+
+class BoxMesh : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxMesh, CountsMatchClosedForm) {
+  const int n = GetParam();
+  const Mesh m = make_cube_mesh(n);
+  const BoxMeshCounts expect = predict_box_mesh_counts(n, n, n);
+  const MeshCounts c = m.counts();
+  EXPECT_EQ(c.vertices, expect.vertices);
+  EXPECT_EQ(c.active_edges, expect.edges);
+  EXPECT_EQ(c.active_elements, expect.elements);
+  EXPECT_EQ(c.active_bfaces, expect.bfaces);
+}
+
+TEST_P(BoxMesh, IsValidAndFillsUnitCube) {
+  const int n = GetParam();
+  const Mesh m = make_cube_mesh(n);
+  MeshCheckOptions opt;
+  opt.expected_volume = 1.0;
+  const auto r = check_mesh(m, opt);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoxMesh, ::testing::Values(1, 2, 3, 5));
+
+TEST(BoxMesh, PaperScaleCountsAreCloseToRotorMesh) {
+  // n=22 is the substitution for the 60,968-element / 78,343-edge
+  // UH-1H rotor mesh (DESIGN.md §1).
+  const BoxMeshCounts c = predict_box_mesh_counts(22, 22, 22);
+  EXPECT_EQ(c.elements, 63888);
+  EXPECT_EQ(c.edges, 78958);
+  EXPECT_NEAR(static_cast<double>(c.elements), 60968.0, 0.05 * 60968.0);
+  EXPECT_NEAR(static_cast<double>(c.edges), 78343.0, 0.05 * 78343.0);
+}
+
+TEST(BoxMesh, AnisotropicBoxWorks) {
+  BoxMeshSpec spec;
+  spec.nx = 4;
+  spec.ny = 2;
+  spec.nz = 3;
+  spec.size = {2.0, 1.0, 1.5};
+  const Mesh m = make_box_mesh(spec);
+  const BoxMeshCounts expect = predict_box_mesh_counts(4, 2, 3);
+  EXPECT_EQ(m.counts().active_elements, expect.elements);
+  MeshCheckOptions opt;
+  opt.expected_volume = 2.0 * 1.0 * 1.5;
+  const auto r = check_mesh(m, opt);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Mesh, CompactIsIdentityOnFullyAliveMesh) {
+  Mesh m = make_cube_mesh(2);
+  const auto before = m.counts();
+  const double vol_before = m.active_volume();
+  m.compact();
+  const auto after = m.counts();
+  EXPECT_EQ(before.vertices, after.vertices);
+  EXPECT_EQ(before.active_edges, after.active_edges);
+  EXPECT_EQ(before.active_elements, after.active_elements);
+  EXPECT_EQ(before.active_bfaces, after.active_bfaces);
+  EXPECT_NEAR(m.active_volume(), vol_before, 1e-12);
+  EXPECT_MESH_OK(m);
+}
+
+TEST(Mesh, RootWeightsOfUnrefinedMeshAreAllOne) {
+  const Mesh m = make_cube_mesh(2);
+  std::vector<std::int64_t> leaves, total;
+  m.root_weights(&leaves, &total);
+  for (std::size_t i = 0; i < m.elements().size(); ++i) {
+    EXPECT_EQ(leaves[i], 1);
+    EXPECT_EQ(total[i], 1);
+  }
+}
+
+TEST(GlobalId, DerivedIdsAreDistinctAndStable) {
+  EXPECT_EQ(midpoint_vertex_gid(3, 7), midpoint_vertex_gid(7, 3));
+  EXPECT_EQ(edge_gid(3, 7), edge_gid(7, 3));
+  EXPECT_NE(midpoint_vertex_gid(3, 7), edge_gid(3, 7));
+  EXPECT_NE(midpoint_vertex_gid(3, 7), midpoint_vertex_gid(3, 8));
+  // Derived ids never collide with generator ids (top bit).
+  EXPECT_TRUE(midpoint_vertex_gid(1, 2) & kDerivedBit);
+  EXPECT_TRUE(child_element_gid(5, 0) & kDerivedBit);
+  EXPECT_NE(child_element_gid(5, 0), child_element_gid(5, 1));
+}
+
+TEST(Mesh, DefaultFieldHasLocalizedFeature) {
+  // The synthetic field must actually vary so indicator tests have
+  // something to find.
+  const Solution near = default_field({0.35, 0.35, 0.35});
+  const Solution far = default_field({1.0, 1.0, 1.0});
+  EXPECT_GT(near[0], far[0] + 0.5);
+}
+
+}  // namespace
+}  // namespace plum::mesh

@@ -1,0 +1,152 @@
+// Tests of the four dual-graph partitioners, parameterized over
+// (algorithm, part count): feasibility, balance, cut sanity, and
+// determinism, on both uniform and post-adaption weights.
+#include <gtest/gtest.h>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "partition/partitioner.hpp"
+
+namespace plum::partition {
+namespace {
+
+using dual::build_dual_graph;
+using dual::DualGraph;
+using mesh::make_cube_mesh;
+
+DualGraph uniform_graph() { return build_dual_graph(make_cube_mesh(4)); }
+
+DualGraph refined_graph() {
+  mesh::Mesh m = make_cube_mesh(4);
+  DualGraph g = build_dual_graph(m);
+  adapt::mark_refine_in_sphere(m, {{0.3, 0.3, 0.3}, 0.35});
+  adapt::refine_marked(m);
+  dual::update_weights(g, m);
+  return g;
+}
+
+struct Case {
+  std::string algo;
+  int k;
+};
+
+class PartitionerTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PartitionerTest, EveryVertexGetsAValidPart) {
+  const auto [algo, k] = GetParam();
+  const DualGraph g = uniform_graph();
+  const PartitionResult r = make_partitioner(algo)->partition(g, k);
+  ASSERT_EQ(static_cast<std::int64_t>(r.part.size()), g.num_vertices());
+  for (const auto p : r.part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, k);
+  }
+  // Every part is non-empty.
+  for (const auto w : r.part_weight) EXPECT_GT(w, 0);
+}
+
+TEST_P(PartitionerTest, UniformWeightsAreWellBalanced) {
+  const auto [algo, k] = GetParam();
+  const DualGraph g = uniform_graph();
+  const PartitionResult r = make_partitioner(algo)->partition(g, k);
+  EXPECT_LT(r.imbalance, 1.1) << algo << " k=" << k;
+}
+
+TEST_P(PartitionerTest, RefinedWeightsAreReasonablyBalanced) {
+  const auto [algo, k] = GetParam();
+  const DualGraph g = refined_graph();
+  const PartitionResult r = make_partitioner(algo)->partition(g, k);
+  // Vertex weights after one refinement reach ~8, so perfect balance is
+  // impossible; "reasonably balanced" (the paper's bar) is enough.
+  EXPECT_LT(r.imbalance, 1.35) << algo << " k=" << k;
+}
+
+TEST_P(PartitionerTest, CutIsFarBelowTotalEdges) {
+  const auto [algo, k] = GetParam();
+  const DualGraph g = uniform_graph();
+  const PartitionResult r = make_partitioner(algo)->partition(g, k);
+  EXPECT_GT(r.edgecut, 0);
+  EXPECT_LT(r.edgecut, g.num_edges() / 2) << algo << " k=" << k;
+}
+
+TEST_P(PartitionerTest, IsDeterministic) {
+  const auto [algo, k] = GetParam();
+  const DualGraph g = refined_graph();
+  const PartitionResult a = make_partitioner(algo)->partition(g, k);
+  const PartitionResult b = make_partitioner(algo)->partition(g, k);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.edgecut, b.edgecut);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const auto& algo : partitioner_names()) {
+    for (const int k : {2, 3, 4, 8, 16}) {
+      cases.push_back({algo, k});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoByK, PartitionerTest, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.algo + "_k" + std::to_string(info.param.k);
+    });
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  const DualGraph g = uniform_graph();
+  const PartitionResult r = make_partitioner("rcb")->partition(g, 1);
+  EXPECT_EQ(r.edgecut, 0);
+  EXPECT_DOUBLE_EQ(r.imbalance, 1.0);
+}
+
+TEST(Partitioner, UnknownNameDies) {
+  EXPECT_DEATH(make_partitioner("metis"), "unknown partitioner");
+}
+
+TEST(Partitioner, GeometricPartsAreSpatiallyCompact) {
+  // RCB parts of a uniform cube should have near-minimal surface: check
+  // the cut against the ideal slab cut within a generous factor.
+  const DualGraph g = uniform_graph();
+  const PartitionResult r = make_partitioner("rcb")->partition(g, 2);
+  // Ideal bisection of a 4x4x4 cube of 6-tet cubes cuts ~2 faces per
+  // surface cube-face pair * 16 cube faces = low hundreds; allow 3x.
+  EXPECT_LT(r.edgecut, 3 * 16 * 9);
+}
+
+TEST(Partitioner, MultilevelBeatsNaiveSplitOnCut) {
+  // The FM-refined multilevel cut should beat a naive index-order slab
+  // of equal balance on a refined-weight graph.
+  const DualGraph g = refined_graph();
+  const int k = 8;
+  const PartitionResult ml = make_partitioner("multilevel")->partition(g, k);
+
+  std::vector<PartId> naive(static_cast<std::size_t>(g.num_vertices()));
+  std::int64_t acc = 0;
+  const std::int64_t per = (g.total_wcomp() + k - 1) / k;
+  for (std::size_t v = 0; v < naive.size(); ++v) {
+    naive[v] = static_cast<PartId>(std::min<std::int64_t>(acc / per, k - 1));
+    acc += g.wcomp[v];
+  }
+  const PartitionResult nv = evaluate_partition(g, naive, k);
+  EXPECT_LT(ml.edgecut, nv.edgecut);
+}
+
+TEST(Partitioner, WorksOnAgglomeratedGraph) {
+  // The paper's superelement escape hatch composes with partitioning.
+  mesh::Mesh m = make_cube_mesh(4);
+  DualGraph g = build_dual_graph(m);
+  const dual::Agglomeration a = dual::agglomerate(g, 6);
+  const PartitionResult coarse =
+      make_partitioner("multilevel")->partition(a.coarse, 4);
+  const auto fine = dual::expand_partition(a, coarse.part);
+  const PartitionResult r = evaluate_partition(g, fine, 4);
+  EXPECT_LT(r.imbalance, 1.5);
+  for (const auto w : r.part_weight) EXPECT_GT(w, 0);
+}
+
+}  // namespace
+}  // namespace plum::partition

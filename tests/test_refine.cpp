@@ -1,0 +1,209 @@
+// Tests of the 3D_TAG refinement pipeline: pattern upgrade propagation,
+// the three subdivision types, boundary-face handling, and invariant
+// preservation on whole meshes.
+#include <gtest/gtest.h>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/marking.hpp"
+#include "adapt/refine.hpp"
+#include "mesh/global_id.hpp"
+#include "mesh/box_mesh.hpp"
+#include "mesh/mesh_check.hpp"
+#include "test_util.hpp"
+
+namespace plum::adapt {
+namespace {
+
+using mesh::EdgeMark;
+using mesh::Mesh;
+using plum::testing::make_single_tet;
+using plum::testing::mark_edge_between;
+
+TEST(Refine, OneTwoSplitOfSingleTet) {
+  Mesh m = make_single_tet();
+  mark_edge_between(m, 0, 1, EdgeMark::kRefine);
+  const SubdivisionResult r = refine_marked(m);
+  EXPECT_EQ(r.edges_bisected, 1);
+  EXPECT_EQ(r.elements_subdivided, 1);
+  EXPECT_EQ(r.elements_created, 2);
+  EXPECT_EQ(m.num_active_elements(), 2);
+  // 1 midpoint vertex; 2 child edges + 2 new face edges.
+  EXPECT_EQ(m.counts().vertices, 5);
+  EXPECT_EQ(m.counts().active_edges, 6 - 1 + 4);
+  // 3 of 4 boundary faces touch the split edge's two faces: the two
+  // faces containing edge (0,1) split 1:2 -> 4 children; others re-own.
+  EXPECT_EQ(r.bfaces_created, 4);
+  EXPECT_EQ(m.counts().active_bfaces, 6);
+  EXPECT_MESH_OK_VOL(m, 1.0 / 6.0);
+}
+
+TEST(Refine, OneFourSplitOfSingleTet) {
+  Mesh m = make_single_tet();
+  // Mark all three edges of the face (0,1,2) (gids 0,1,2).
+  mark_edge_between(m, 0, 1, EdgeMark::kRefine);
+  mark_edge_between(m, 1, 2, EdgeMark::kRefine);
+  mark_edge_between(m, 0, 2, EdgeMark::kRefine);
+  const SubdivisionResult r = refine_marked(m);
+  EXPECT_EQ(r.edges_bisected, 3);
+  EXPECT_EQ(r.elements_created, 4);
+  EXPECT_EQ(m.num_active_elements(), 4);
+  EXPECT_EQ(m.counts().vertices, 7);
+  // Boundary: face (0,1,2) splits 1:4; the other three faces split 1:2.
+  EXPECT_EQ(m.counts().active_bfaces, 4 + 3 * 2);
+  EXPECT_MESH_OK_VOL(m, 1.0 / 6.0);
+}
+
+TEST(Refine, OneEightSplitOfSingleTet) {
+  Mesh m = make_single_tet();
+  for (auto& e : m.edges()) e.mark = EdgeMark::kRefine;
+  const SubdivisionResult r = refine_marked(m);
+  EXPECT_EQ(r.edges_bisected, 6);
+  EXPECT_EQ(r.elements_created, 8);
+  EXPECT_EQ(m.num_active_elements(), 8);
+  EXPECT_EQ(m.counts().vertices, 10);
+  // All four boundary faces split 1:4.
+  EXPECT_EQ(m.counts().active_bfaces, 16);
+  // Exactly one interior (octahedron-diagonal) edge was created.
+  int interior = 0;
+  for (const auto& rec : r.new_edges) interior += rec.interior ? 1 : 0;
+  EXPECT_EQ(interior, 1);
+  EXPECT_MESH_OK_VOL(m, 1.0 / 6.0);
+}
+
+TEST(Refine, TwoAdjacentMarksUpgradeToFace) {
+  Mesh m = make_single_tet();
+  // Edges (0,1) and (1,2) share face (0,1,2): upgrade must complete it.
+  mark_edge_between(m, 0, 1, EdgeMark::kRefine);
+  mark_edge_between(m, 1, 2, EdgeMark::kRefine);
+  const auto newly = upgrade_patterns(m);
+  EXPECT_EQ(newly.size(), 1u);
+  const SubdivisionResult r = subdivide(m);
+  EXPECT_EQ(r.elements_created, 4);  // 1:4, not 1:8
+  EXPECT_MESH_OK_VOL(m, 1.0 / 6.0);
+}
+
+TEST(Refine, OppositeMarksUpgradeToIsotropic) {
+  Mesh m = make_single_tet();
+  // Edges (0,1) and (2,3) are opposite: no common face -> 1:8.
+  mark_edge_between(m, 0, 1, EdgeMark::kRefine);
+  mark_edge_between(m, 2, 3, EdgeMark::kRefine);
+  upgrade_patterns(m);
+  const SubdivisionResult r = subdivide(m);
+  EXPECT_EQ(r.elements_created, 8);
+  EXPECT_MESH_OK_VOL(m, 1.0 / 6.0);
+}
+
+TEST(Refine, UpgradePropagatesAcrossElements) {
+  // In a 1x1x1 box (6 tets), marking two opposite edges of one element
+  // upgrades it to 1:8 (4 new marks), and those marks land on edges
+  // shared with neighbours, which must then upgrade too (Fig. 3's
+  // mechanism, serial case).
+  Mesh m = mesh::make_cube_mesh(1);
+  const auto el = m.element(0);
+  m.edge(el.e[0]).mark = EdgeMark::kRefine;
+  m.edge(el.e[static_cast<std::size_t>(mesh::kOppositeEdge[0])]).mark =
+      EdgeMark::kRefine;
+  const auto newly = upgrade_patterns(m);
+  EXPECT_GE(newly.size(), 4u);
+  const SubdivisionResult r = subdivide(m);
+  EXPECT_GT(r.elements_subdivided, 1);
+  EXPECT_MESH_OK_VOL(m, 1.0);
+}
+
+TEST(Refine, UpgradeFixpointIsStable) {
+  Mesh m = mesh::make_cube_mesh(2);
+  mark_refine_random(m, 0.2, /*seed=*/7);
+  upgrade_patterns(m);
+  // A second sweep from scratch must find nothing new.
+  const auto again = upgrade_patterns(m);
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(Refine, SubdivideWithoutUpgradeDiesOnIllegalPattern) {
+  Mesh m = make_single_tet();
+  mark_edge_between(m, 0, 1, EdgeMark::kRefine);
+  mark_edge_between(m, 2, 3, EdgeMark::kRefine);
+  EXPECT_DEATH(subdivide(m), "upgrade fixpoint");
+}
+
+TEST(Refine, MarksAreConsumed) {
+  Mesh m = mesh::make_cube_mesh(2);
+  mark_refine_random(m, 0.3, /*seed=*/3);
+  refine_marked(m);
+  for (const auto& e : m.edges()) {
+    if (e.alive) {
+      EXPECT_NE(e.mark, EdgeMark::kRefine);
+    }
+  }
+}
+
+TEST(Refine, SolutionIsInterpolatedAtMidpoints) {
+  Mesh m = make_single_tet();
+  for (int d = 0; d < mesh::kSolDim; ++d) {
+    m.vertex(0).sol[static_cast<std::size_t>(d)] = 1.0 + d;
+    m.vertex(1).sol[static_cast<std::size_t>(d)] = 3.0 + d;
+  }
+  mark_edge_between(m, 0, 1, EdgeMark::kRefine);
+  const SubdivisionResult r = refine_marked(m);
+  ASSERT_EQ(r.new_vertices.size(), 1u);
+  const auto& mv = m.vertex(r.new_vertices[0].vertex);
+  for (int d = 0; d < mesh::kSolDim; ++d) {
+    EXPECT_DOUBLE_EQ(mv.sol[static_cast<std::size_t>(d)], 2.0 + d);
+  }
+}
+
+TEST(Refine, MidpointGidIsDerivedFromParentEdge) {
+  Mesh m = make_single_tet();
+  mark_edge_between(m, 0, 1, EdgeMark::kRefine);
+  const SubdivisionResult r = refine_marked(m);
+  ASSERT_EQ(r.new_vertices.size(), 1u);
+  EXPECT_EQ(m.vertex(r.new_vertices[0].vertex).gid,
+            mesh::midpoint_vertex_gid(0, 1));
+}
+
+TEST(Refine, RepeatedRefinementKeepsMeshValid) {
+  Mesh m = mesh::make_cube_mesh(2);
+  for (int step = 0; step < 3; ++step) {
+    mark_refine_random(m, 0.15, /*seed=*/100 + step);
+    refine_marked(m);
+    mesh::MeshCheckOptions opt;
+    opt.expected_volume = 1.0;
+    const auto res = mesh::check_mesh(m, opt);
+    ASSERT_TRUE(res.ok()) << "step " << step << ": " << res.summary();
+  }
+  EXPECT_GT(m.num_active_elements(), 48);
+}
+
+TEST(Refine, ChildRootLinksPointToInitialElements) {
+  Mesh m = mesh::make_cube_mesh(1);
+  const std::int64_t roots = m.num_active_elements();
+  mark_refine_random(m, 0.5, /*seed=*/11);
+  refine_marked(m);
+  for (const auto& el : m.elements()) {
+    if (!el.alive) continue;
+    EXPECT_GE(el.root, 0);
+    EXPECT_LT(el.root, roots);
+    EXPECT_EQ(m.element(el.root).parent, kNoIndex);
+  }
+}
+
+// Property sweep over marking fractions: refinement always preserves
+// the invariant battery and volume on a small box mesh.
+class RefineFraction : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefineFraction, InvariantsHoldAtAnyMarkingDensity) {
+  const double frac = GetParam() / 100.0;
+  Mesh m = mesh::make_cube_mesh(3);
+  mark_refine_random(m, frac, /*seed=*/GetParam());
+  refine_marked(m);
+  mesh::MeshCheckOptions opt;
+  opt.expected_volume = 1.0;
+  const auto r = mesh::check_mesh(m, opt);
+  EXPECT_TRUE(r.ok()) << "frac " << frac << ": " << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, RefineFraction,
+                         ::testing::Values(0, 2, 5, 10, 25, 50, 75, 100));
+
+}  // namespace
+}  // namespace plum::adapt

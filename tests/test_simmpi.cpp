@@ -1,0 +1,273 @@
+// Tests of the simulated message-passing machine: point-to-point
+// semantics, collectives, the virtual-clock cost model, determinism,
+// and failure propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "simmpi/machine.hpp"
+
+namespace plum::simmpi {
+namespace {
+
+TEST(SimMpi, PingPongDeliversPayload) {
+  Machine machine;
+  std::atomic<int> checks{0};
+  machine.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      BufWriter w;
+      w.put<std::int32_t>(42);
+      w.put_string("hello");
+      comm.send(1, /*tag=*/7, w.take());
+      Bytes back = comm.recv(1, 8);
+      BufReader r(back);
+      EXPECT_EQ(r.get<std::int32_t>(), 43);
+      ++checks;
+    } else {
+      Bytes b = comm.recv(0, 7);
+      BufReader r(b);
+      EXPECT_EQ(r.get<std::int32_t>(), 42);
+      EXPECT_EQ(r.get_string(), "hello");
+      BufWriter w;
+      w.put<std::int32_t>(43);
+      comm.send(0, 8, w.take());
+      ++checks;
+    }
+  });
+  EXPECT_EQ(checks.load(), 2);
+}
+
+TEST(SimMpi, MessagesWithSameTagArriveInSendOrder) {
+  Machine machine;
+  machine.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        BufWriter w;
+        w.put(i);
+        comm.send(1, 5, w.take());
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        const Bytes b = comm.recv(0, 5);
+        BufReader r(b);
+        EXPECT_EQ(r.get<int>(), i);
+      }
+    }
+  });
+}
+
+TEST(SimMpi, TagsDemultiplex) {
+  Machine machine;
+  machine.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      BufWriter a, b;
+      a.put<int>(1);
+      b.put<int>(2);
+      comm.send(1, 100, a.take());
+      comm.send(1, 200, b.take());
+    } else {
+      // Receive in reverse tag order; matching must be by tag.
+      const Bytes b2 = comm.recv(0, 200);
+      BufReader r2(b2);
+      EXPECT_EQ(r2.get<int>(), 2);
+      const Bytes b1 = comm.recv(0, 100);
+      BufReader r1(b1);
+      EXPECT_EQ(r1.get<int>(), 1);
+    }
+  });
+}
+
+class SimMpiRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimMpiRanks, AllreduceSumMaxMin) {
+  const Rank P = GetParam();
+  Machine machine;
+  machine.run(P, [&](Comm& comm) {
+    const std::int64_t r = comm.rank();
+    EXPECT_EQ(comm.allreduce_sum(r), static_cast<std::int64_t>(P) * (P - 1) / 2);
+    EXPECT_EQ(comm.allreduce_max(r), P - 1);
+    EXPECT_EQ(comm.allreduce_min(r), 0);
+    EXPECT_TRUE(comm.allreduce_or(comm.rank() == P - 1));
+    EXPECT_FALSE(comm.allreduce_or(false));
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(0.5), 0.5 * P);
+  });
+}
+
+TEST_P(SimMpiRanks, BroadcastFromEveryRoot) {
+  const Rank P = GetParam();
+  Machine machine;
+  machine.run(P, [&](Comm& comm) {
+    for (Rank root = 0; root < P; ++root) {
+      BufWriter w;
+      if (comm.rank() == root) w.put<std::int64_t>(root * 100 + 7);
+      Bytes b = comm.broadcast(w.take(), root);
+      BufReader r(b);
+      EXPECT_EQ(r.get<std::int64_t>(), root * 100 + 7);
+    }
+  });
+}
+
+TEST_P(SimMpiRanks, AllgathervCollectsEveryRanksBuffer) {
+  const Rank P = GetParam();
+  Machine machine;
+  machine.run(P, [&](Comm& comm) {
+    BufWriter w;
+    for (int i = 0; i <= comm.rank(); ++i) w.put<std::int32_t>(comm.rank());
+    const std::vector<Bytes> all = comm.allgatherv(w.take());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(P));
+    for (Rank r = 0; r < P; ++r) {
+      BufReader br(all[static_cast<std::size_t>(r)]);
+      for (int i = 0; i <= r; ++i) EXPECT_EQ(br.get<std::int32_t>(), r);
+      EXPECT_TRUE(br.exhausted());
+    }
+  });
+}
+
+TEST_P(SimMpiRanks, AlltoallvRoutesEveryPair) {
+  const Rank P = GetParam();
+  Machine machine;
+  machine.run(P, [&](Comm& comm) {
+    std::vector<Bytes> out(static_cast<std::size_t>(P));
+    for (Rank dst = 0; dst < P; ++dst) {
+      BufWriter w;
+      w.put<std::int64_t>(comm.rank() * 1000 + dst);
+      out[static_cast<std::size_t>(dst)] = w.take();
+    }
+    const std::vector<Bytes> in = comm.alltoallv(std::move(out));
+    for (Rank src = 0; src < P; ++src) {
+      BufReader r(in[static_cast<std::size_t>(src)]);
+      EXPECT_EQ(r.get<std::int64_t>(), src * 1000 + comm.rank());
+    }
+  });
+}
+
+
+TEST_P(SimMpiRanks, ExscanSumIsExclusivePrefix) {
+  const Rank P = GetParam();
+  Machine machine;
+  machine.run(P, [&](Comm& comm) {
+    // Rank r contributes r+1; exclusive prefix = sum of 1..r.
+    const std::int64_t prefix = comm.exscan_sum(comm.rank() + 1);
+    EXPECT_EQ(prefix,
+              static_cast<std::int64_t>(comm.rank()) * (comm.rank() + 1) / 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SimMpiRanks, ::testing::Values(1, 2, 3, 4, 8, 17));
+
+TEST(SimMpi, ClockChargesComputeAndComm) {
+  Machine machine;
+  const auto report = machine.run(2, [&](Comm& comm) {
+    comm.clock().charge(100.0);
+    if (comm.rank() == 0) {
+      comm.send(1, 1, Bytes(800));  // 100 words
+    } else {
+      comm.recv(0, 1);
+    }
+  });
+  const CostModel cost;
+  // Sender: 100 compute + setup.
+  EXPECT_DOUBLE_EQ(report.ranks[0].time_us, 100.0 + cost.t_setup_us);
+  // Receiver: clock advances to the arrival time (same start, so
+  // compute overlaps; arrival = 100 + setup + 100 words * t_lat).
+  EXPECT_DOUBLE_EQ(report.ranks[1].time_us,
+                   100.0 + cost.t_setup_us + 100.0 * cost.t_lat_us_per_word);
+  EXPECT_DOUBLE_EQ(report.ranks[1].compute_us, 100.0);
+  EXPECT_GT(report.ranks[1].comm_us, 0.0);
+}
+
+TEST(SimMpi, BarrierSynchronizesClocks) {
+  Machine machine;
+  const auto report = machine.run(4, [&](Comm& comm) {
+    comm.clock().charge(comm.rank() * 1000.0);  // skewed loads
+    comm.barrier();
+  });
+  // After the barrier every clock is at least the slowest rank's time.
+  for (const auto& r : report.ranks) {
+    EXPECT_GE(r.time_us, 3000.0);
+  }
+}
+
+TEST(SimMpi, SimulatedTimeIsDeterministicAcrossRuns) {
+  auto run_once = [] {
+    Machine machine;
+    return machine
+        .run(6,
+             [&](Comm& comm) {
+               comm.clock().charge(10.0 * (comm.rank() + 1));
+               const std::int64_t s = comm.allreduce_sum(
+                   static_cast<std::int64_t>(comm.rank()));
+               comm.clock().charge(static_cast<double>(s));
+               comm.barrier();
+             })
+        .makespan_us();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SimMpi, TrafficCountersTrackBytes) {
+  Machine machine;
+  const auto report = machine.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 3, Bytes(123));
+    } else {
+      comm.recv(0, 3);
+    }
+  });
+  EXPECT_EQ(report.ranks[0].stats.msgs_sent, 1);
+  EXPECT_EQ(report.ranks[0].stats.bytes_sent, 123);
+  EXPECT_EQ(report.ranks[1].stats.msgs_recv, 1);
+  EXPECT_EQ(report.ranks[1].stats.bytes_recv, 123);
+}
+
+TEST(SimMpi, RankExceptionPropagatesAndPeersUnwind) {
+  Machine machine;
+  EXPECT_THROW(machine.run(3,
+                           [&](Comm& comm) {
+                             if (comm.rank() == 1) {
+                               throw std::runtime_error("rank 1 failed");
+                             }
+                             // Peers block on a message that never
+                             // comes; the abort flag must free them.
+                             comm.recv((comm.rank() + 1) % 3, 99);
+                           }),
+               std::runtime_error);
+}
+
+TEST(SimMpi, SelfSendIsDelivered) {
+  Machine machine;
+  machine.run(1, [&](Comm& comm) {
+    BufWriter w;
+    w.put<int>(5);
+    comm.send(0, 1, w.take());
+    const Bytes b = comm.recv(0, 1);
+    BufReader r(b);
+    EXPECT_EQ(r.get<int>(), 5);
+  });
+}
+
+TEST(SimMpi, ManyRanksManyMessagesStress) {
+  Machine machine;
+  const Rank P = 16;
+  const auto report = machine.run(P, [&](Comm& comm) {
+    // Ring circulation with per-hop verification.
+    std::int64_t token = comm.rank();
+    for (int hop = 0; hop < 8; ++hop) {
+      BufWriter w;
+      w.put(token);
+      comm.send((comm.rank() + 1) % P, hop, w.take());
+      const Bytes b = comm.recv((comm.rank() + P - 1) % P, hop);
+      BufReader r(b);
+      token = r.get<std::int64_t>() + 1;
+    }
+    // After 8 hops the token originated at rank-8 (mod P) and was
+    // incremented once per hop.
+    EXPECT_EQ(token, (comm.rank() + P - 8) % P + 8);
+  });
+  EXPECT_EQ(report.total_msgs_sent(), P * 8);
+}
+
+}  // namespace
+}  // namespace plum::simmpi

@@ -1,0 +1,151 @@
+// Unit tests for the support layer: RNG, byte buffers, statistics,
+// tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/buffer.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace plum {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowIsInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  const int N = 100000;
+  for (int i = 0; i < N; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    counts[static_cast<std::size_t>(v)] += 1;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, N / 10, N / 10 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, NextInCoversInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_in(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnit) {
+  Rng rng(11);
+  double mean = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    mean += d;
+  }
+  EXPECT_NEAR(mean / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Hash, Mix64AndCombineAreStable) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+  EXPECT_EQ(hash_combine64(1, 2), hash_combine64(1, 2));
+  EXPECT_NE(hash_combine64(1, 2), hash_combine64(2, 1));
+}
+
+TEST(Buffer, RoundTripsScalarsVectorsStrings) {
+  BufWriter w;
+  w.put<std::int32_t>(-7);
+  w.put<double>(3.25);
+  w.put_vec(std::vector<std::uint64_t>{1, 2, 3});
+  w.put_string("plum");
+  w.put_vec(std::vector<std::uint8_t>{});
+  const Bytes b = w.take();
+  BufReader r(b);
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get_vec<std::uint64_t>(), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(r.get_string(), "plum");
+  EXPECT_TRUE(r.get_vec<std::uint8_t>().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, UnderrunDiesLoudly) {
+  BufWriter w;
+  w.put<std::int32_t>(1);
+  const Bytes b = w.take();
+  BufReader r(b);
+  r.get<std::int32_t>();
+  EXPECT_DEATH(r.get<std::int64_t>(), "underrun");
+}
+
+TEST(Buffer, VecLengthLieDies) {
+  BufWriter w;
+  w.put<std::uint64_t>(1000);  // claims 1000 elements, provides none
+  const Bytes b = w.take();
+  BufReader r(b);
+  EXPECT_DEATH(r.get_vec<std::uint64_t>(), "underrun");
+}
+
+TEST(Stats, AccumulatorMatchesClosedForms) {
+  StatAccumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.imbalance(), 9.0 / 5.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({5.0}, 0.7), 5.0);
+}
+
+TEST(Table, AlignsAndEmitsCsv) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({std::string("alpha"), 42LL});
+  t.row({std::string("b"), 3.14159});
+  t.precision(2);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("b,3.14"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace plum

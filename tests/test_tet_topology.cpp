@@ -1,0 +1,121 @@
+// Unit tests for the static tetrahedron topology tables and the pattern
+// upgrade rule (the element-local step of 3D_TAG's marking iteration).
+#include <gtest/gtest.h>
+
+#include "mesh/tet_topology.hpp"
+
+namespace plum::mesh {
+namespace {
+
+TEST(TetTopology, EdgeVertsCoverAllPairs) {
+  bool seen[4][4] = {};
+  for (const auto& ev : kEdgeVerts) {
+    EXPECT_NE(ev[0], ev[1]);
+    seen[ev[0]][ev[1]] = seen[ev[1]][ev[0]] = true;
+  }
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) EXPECT_TRUE(seen[a][b]) << a << "," << b;
+    }
+  }
+}
+
+TEST(TetTopology, FaceEdgesMatchFaceVerts) {
+  for (int f = 0; f < 4; ++f) {
+    // Every edge listed for face f must connect two of its vertices.
+    for (const int e : kFaceEdges[f]) {
+      const int a = kEdgeVerts[e][0];
+      const int b = kEdgeVerts[e][1];
+      int hits = 0;
+      for (const int v : kFaceVerts[f]) hits += (v == a) + (v == b);
+      EXPECT_EQ(hits, 2) << "face " << f << " edge " << e;
+    }
+    // And the face mask is exactly those three bits.
+    std::uint8_t mask = 0;
+    for (const int e : kFaceEdges[f]) mask |= static_cast<std::uint8_t>(1u << e);
+    EXPECT_EQ(mask, kFaceMask[f]);
+  }
+}
+
+TEST(TetTopology, LocalEdgeBetweenIsInverseOfEdgeVerts) {
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_EQ(local_edge_between(kEdgeVerts[k][0], kEdgeVerts[k][1]), k);
+    EXPECT_EQ(local_edge_between(kEdgeVerts[k][1], kEdgeVerts[k][0]), k);
+  }
+  EXPECT_EQ(local_edge_between(0, 0), -1);
+}
+
+TEST(TetTopology, OppositeEdgesShareNoVertex) {
+  for (int k = 0; k < 6; ++k) {
+    const int o = kOppositeEdge[k];
+    EXPECT_EQ(kOppositeEdge[o], k);
+    for (const int a : kEdgeVerts[k]) {
+      for (const int b : kEdgeVerts[o]) EXPECT_NE(a, b);
+    }
+  }
+}
+
+TEST(TetTopology, LegalPatternsAreExactlyTheElevenOfFig2) {
+  // 1 empty + 6 single-edge (1:2) + 4 face (1:4) + 1 full (1:8) = 12.
+  int legal = 0;
+  for (unsigned mask = 0; mask < 64; ++mask) {
+    legal += pattern_is_legal(static_cast<std::uint8_t>(mask)) ? 1 : 0;
+  }
+  EXPECT_EQ(legal, 12);
+}
+
+TEST(TetTopology, PatternKindMatchesPopcount) {
+  EXPECT_EQ(pattern_kind(0), SubdivKind::kNone);
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_EQ(pattern_kind(static_cast<std::uint8_t>(1u << k)),
+              SubdivKind::kOneTwo);
+  }
+  for (const auto fm : kFaceMask) {
+    EXPECT_EQ(pattern_kind(fm), SubdivKind::kOneFour);
+  }
+  EXPECT_EQ(pattern_kind(0x3F), SubdivKind::kOneEight);
+}
+
+// Property sweep: for every possible 6-bit mask, the upgrade must be a
+// legal superset, and must be *minimal* in the sense that a legal mask
+// upgrades to itself.
+class UpgradePattern : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UpgradePattern, UpgradeIsLegalSuperset) {
+  const auto mask = static_cast<std::uint8_t>(GetParam());
+  const std::uint8_t up = upgrade_pattern(mask);
+  EXPECT_TRUE(pattern_is_legal(up)) << "mask " << GetParam();
+  EXPECT_EQ(up & mask, mask) << "upgrade dropped bits";
+  if (pattern_is_legal(mask)) {
+    EXPECT_EQ(up, mask) << "legal mask must be a fixpoint";
+  }
+}
+
+TEST_P(UpgradePattern, UpgradeIsIdempotent) {
+  const auto mask = static_cast<std::uint8_t>(GetParam());
+  const std::uint8_t up = upgrade_pattern(mask);
+  EXPECT_EQ(upgrade_pattern(up), up);
+}
+
+TEST_P(UpgradePattern, TwoBitUpgradesFollowFaceRule) {
+  const auto mask = static_cast<std::uint8_t>(GetParam());
+  if (popcount6(mask) != 2) return;
+  // Two marked edges either span a common face (-> that face) or are
+  // opposite (-> 1:8).
+  bool on_common_face = false;
+  for (const auto fm : kFaceMask) {
+    if ((mask & fm) == mask) on_common_face = true;
+  }
+  const std::uint8_t up = upgrade_pattern(mask);
+  if (on_common_face) {
+    EXPECT_EQ(popcount6(up), 3);
+    EXPECT_NE(pattern_face(up), -1);
+  } else {
+    EXPECT_EQ(up, 0x3F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, UpgradePattern, ::testing::Range(0u, 64u));
+
+}  // namespace
+}  // namespace plum::mesh

@@ -1,0 +1,63 @@
+// Shared helpers for the plum96 test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "mesh/box_mesh.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/mesh_check.hpp"
+
+namespace plum::testing {
+
+/// A single positively-oriented tetrahedron with its four boundary
+/// faces, global vertex ids 0..3.
+inline mesh::Mesh make_single_tet() {
+  mesh::Mesh m;
+  const LocalIndex v0 = m.add_vertex({0, 0, 0}, 0);
+  const LocalIndex v1 = m.add_vertex({1, 0, 0}, 1);
+  const LocalIndex v2 = m.add_vertex({0, 1, 0}, 2);
+  const LocalIndex v3 = m.add_vertex({0, 0, 1}, 3);
+  const LocalIndex el = m.create_element({v0, v1, v2, v3}, /*gid=*/0);
+  for (int f = 0; f < 4; ++f) {
+    m.add_bface({m.element(el).v[static_cast<std::size_t>(
+                     mesh::kFaceVerts[f][0])],
+                 m.element(el).v[static_cast<std::size_t>(
+                     mesh::kFaceVerts[f][1])],
+                 m.element(el).v[static_cast<std::size_t>(
+                     mesh::kFaceVerts[f][2])]},
+                el);
+  }
+  return m;
+}
+
+/// Marks the edge between the vertices with global ids ga and gb.
+inline void mark_edge_between(mesh::Mesh& m, GlobalId ga, GlobalId gb,
+                              mesh::EdgeMark mark) {
+  for (auto& e : m.edges()) {
+    if (!e.alive || e.bisected()) continue;
+    const GlobalId a = m.vertex(e.v[0]).gid;
+    const GlobalId b = m.vertex(e.v[1]).gid;
+    if ((a == ga && b == gb) || (a == gb && b == ga)) {
+      e.mark = mark;
+      return;
+    }
+  }
+  FAIL() << "no active edge between gids " << ga << " and " << gb;
+}
+
+}  // namespace plum::testing
+
+/// Asserts the full mesh-invariant battery.
+#define EXPECT_MESH_OK(m)                                      \
+  do {                                                         \
+    const auto plum_r_ = ::plum::mesh::check_mesh(m);          \
+    EXPECT_TRUE(plum_r_.ok()) << plum_r_.summary();            \
+  } while (0)
+
+#define EXPECT_MESH_OK_VOL(m, vol)                             \
+  do {                                                         \
+    ::plum::mesh::MeshCheckOptions plum_o_;                    \
+    plum_o_.expected_volume = (vol);                           \
+    const auto plum_r_ = ::plum::mesh::check_mesh(m, plum_o_); \
+    EXPECT_TRUE(plum_r_.ok()) << plum_r_.summary();            \
+  } while (0)

@@ -1,0 +1,271 @@
+// plum — command-line driver for the library.
+//
+//   plum mesh      --n 12 [--out mesh.bin] [--vtk mesh.vtk]
+//   plum adapt     --in mesh.bin --strategy local1|local2|random|indicator
+//                  [--out out.bin] [--vtk out.vtk] [--coarsen]
+//   plum quality   --in mesh.bin
+//   plum partition --in mesh.bin --algo rcb|rib|spectral|multilevel|mlspectral
+//                  --k 16
+//   plum cycle     --n 12 --procs 8 --cycles 3 --strategy local1
+//                  [--partitioner mlspectral] [--remapper heuristic]
+//                  [--factor 1] [--vtk-prefix step]
+//
+// `mesh` generates and snapshots the box mesh; `adapt` runs one serial
+// refinement (+ optional coarsening) on a snapshot; `partition` reports
+// partitioner quality; `cycle` runs the full Fig.-1 framework on the
+// simulated machine and prints a per-cycle report.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/error_indicator.hpp"
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "mesh/mesh_check.hpp"
+#include "mesh/mesh_io.hpp"
+#include "mesh/quality.hpp"
+#include "parallel/framework.hpp"
+#include "parallel/gather.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+#include "support/table.hpp"
+
+using namespace plum;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      PLUM_CHECK_MSG(key.rfind("--", 0) == 0, "expected --flag, got " << key);
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        kv_[key] = argv[++i];
+      } else {
+        kv_[key] = "";
+      }
+    }
+  }
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  int get_int(const std::string& key, int dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stoi(it->second);
+  }
+  bool has(const std::string& key) const { return kv_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+mesh::Mesh load_or_make(const Args& args) {
+  if (args.has("in")) return mesh::load_mesh(args.get("in", ""));
+  return mesh::make_cube_mesh(args.get_int("n", 8));
+}
+
+void maybe_write(const mesh::Mesh& m, const Args& args) {
+  if (args.has("out")) {
+    mesh::save_mesh(m, args.get("out", ""));
+    std::printf("wrote snapshot %s\n", args.get("out", "").c_str());
+  }
+  if (args.has("vtk")) {
+    mesh::write_vtk(m, args.get("vtk", ""));
+    std::printf("wrote VTK %s\n", args.get("vtk", "").c_str());
+  }
+}
+
+void print_counts(const mesh::Mesh& m) {
+  const auto c = m.counts();
+  std::printf("vertices %lld | active edges %lld | active elements %lld | "
+              "boundary faces %lld | volume %.6g\n",
+              static_cast<long long>(c.vertices),
+              static_cast<long long>(c.active_edges),
+              static_cast<long long>(c.active_elements),
+              static_cast<long long>(c.active_bfaces), m.active_volume());
+}
+
+int cmd_mesh(const Args& args) {
+  const mesh::Mesh m = mesh::make_cube_mesh(args.get_int("n", 8));
+  print_counts(m);
+  maybe_write(m, args);
+  return 0;
+}
+
+int cmd_adapt(const Args& args) {
+  mesh::Mesh m = load_or_make(args);
+  const std::string strategy = args.get("strategy", "local1");
+  std::printf("before: ");
+  print_counts(m);
+
+  if (strategy == "indicator") {
+    const auto err = adapt::compute_edge_errors(m);
+    const auto thr = adapt::thresholds_by_quantile(m, err, 0.95, 0.2);
+    adapt::apply_error_thresholds(m, err, thr);
+    adapt::refine_marked(m);
+  } else {
+    const std::map<std::string, adapt::StrategyKind> kinds = {
+        {"local1", adapt::StrategyKind::kLocal1},
+        {"local2", adapt::StrategyKind::kLocal2},
+        {"random", adapt::StrategyKind::kRandom}};
+    PLUM_CHECK_MSG(kinds.count(strategy), "unknown strategy " << strategy);
+    const auto s = adapt::make_strategy(kinds.at(strategy), m);
+    s.apply_refine(m);
+    adapt::refine_marked(m);
+    if (args.has("coarsen")) {
+      std::printf("refined:   ");
+      print_counts(m);
+      s.apply_coarsen(m);
+      adapt::coarsen_and_refine(m);
+    }
+  }
+  std::printf("after:  ");
+  print_counts(m);
+  const auto check = mesh::check_mesh(m);
+  std::printf("mesh %s\n", check.ok() ? "valid" : check.summary().c_str());
+  maybe_write(m, args);
+  return check.ok() ? 0 : 1;
+}
+
+int cmd_quality(const Args& args) {
+  const mesh::Mesh m = load_or_make(args);
+  const mesh::MeshQuality q = mesh::mesh_quality(m);
+  Table t("mesh quality (" + std::to_string(q.elements) + " elements)");
+  t.header({"metric", "value"}).precision(4);
+  t.row({std::string("min radius ratio"), q.min_radius_ratio});
+  t.row({std::string("mean radius ratio"), q.mean_radius_ratio});
+  t.row({std::string("min dihedral (deg)"), q.min_dihedral_deg});
+  t.row({std::string("max dihedral (deg)"), q.max_dihedral_deg});
+  t.row({std::string("max edge aspect"), q.max_edge_aspect});
+  t.print();
+  return 0;
+}
+
+int cmd_partition(const Args& args) {
+  mesh::Mesh m = load_or_make(args);
+  const int k = args.get_int("k", 8);
+  const std::string algo = args.get("algo", "mlspectral");
+  // The dual graph lives on the *initial* elements; if the snapshot is
+  // adapted, weights come from its refinement forest.
+  mesh::Mesh initial = mesh::make_cube_mesh(args.get_int("n", 8));
+  dual::DualGraph g;
+  if (args.has("in")) {
+    // Root gids are dense: infer the initial mesh size from them.
+    std::int64_t roots = 0;
+    for (const auto& el : m.elements()) {
+      roots += (el.alive && el.parent == kNoIndex) ? 1 : 0;
+    }
+    PLUM_CHECK_MSG(initial.num_active_elements() == roots,
+                   "pass --n so the initial mesh matches the snapshot ("
+                       << roots << " roots)");
+  }
+  g = dual::build_dual_graph(initial);
+  dual::update_weights(g, m);
+  const auto r = partition::make_partitioner(algo)->partition(g, k);
+  std::printf("%s into %d parts: edge cut %lld, imbalance %.4f\n",
+              algo.c_str(), k, static_cast<long long>(r.edgecut),
+              r.imbalance);
+  return 0;
+}
+
+int cmd_cycle(const Args& args) {
+  const int n = args.get_int("n", 8);
+  const Rank P = args.get_int("procs", 8);
+  const int cycles = args.get_int("cycles", 3);
+  const std::string strategy_name = args.get("strategy", "local1");
+
+  const mesh::Mesh global = mesh::make_cube_mesh(n);
+  const dual::DualGraph dualg = dual::build_dual_graph(global);
+  const auto part = partition::make_partitioner("rcb")->partition(dualg, P);
+  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+
+  parallel::FrameworkConfig cfg;
+  cfg.solver_iterations = args.get_int("solver-iters", 10);
+  cfg.balancer.partitioner = args.get("partitioner", "mlspectral");
+  cfg.balancer.remapper = args.get("remapper", "heuristic");
+  cfg.balancer.factor = args.get_int("factor", 1);
+
+  const std::map<std::string, adapt::StrategyKind> kinds = {
+      {"local1", adapt::StrategyKind::kLocal1},
+      {"local2", adapt::StrategyKind::kLocal2},
+      {"random", adapt::StrategyKind::kRandom}};
+  PLUM_CHECK_MSG(kinds.count(strategy_name),
+                 "unknown strategy " << strategy_name);
+  const auto strategy = adapt::make_strategy(kinds.at(strategy_name), global);
+
+  Table t("plum cycle: " + strategy_name + " on P=" + std::to_string(P));
+  t.header({"cycle", "elements", "imb before", "imb after", "decision",
+            "moved", "solver ms", "adapt ms", "remap ms"})
+      .precision(2);
+
+  simmpi::Machine machine;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    parallel::PlumFramework fw(&comm, global, dualg, proc, cfg);
+    for (int c = 0; c < cycles; ++c) {
+      const auto stats = fw.cycle(
+          [&](mesh::Mesh& m) { strategy.apply_refine(m); },
+          c + 1 < cycles
+              ? std::function<void(mesh::Mesh&)>(
+                    [&](mesh::Mesh& m) { strategy.apply_coarsen(m); })
+              : nullptr);
+      const std::int64_t total =
+          comm.allreduce_sum(fw.dist().local.num_active_elements());
+      const double adapt_ms = comm.allreduce_max(
+          (stats.refine.elapsed_us + stats.coarsen.elapsed_us) / 1000.0);
+      const double remap_ms =
+          comm.allreduce_max(stats.migration.elapsed_us / 1000.0);
+      const double solver_ms =
+          comm.allreduce_max(stats.solver.elapsed_us / 1000.0);
+      if (comm.rank() == 0) {
+        t.row({static_cast<long long>(c), static_cast<long long>(total),
+               stats.balance.old_load.imbalance,
+               stats.balance.new_load.imbalance,
+               std::string(!stats.balance.repartitioned ? "balanced"
+                           : stats.balance.accepted    ? "remapped"
+                                                        : "rejected"),
+               static_cast<long long>(
+                   stats.balance.decision.cost.elements_moved),
+               solver_ms, adapt_ms, remap_ms});
+      }
+      if (args.has("vtk-prefix") && comm.rank() == 0) {
+        // Gathered surface per cycle for visualization.
+      }
+      if (args.has("vtk-prefix")) {
+        mesh::Mesh g = parallel::gather_global_mesh(fw.dist(), comm, 0);
+        if (comm.rank() == 0) {
+          mesh::write_vtk(g, args.get("vtk-prefix", "step") + "_" +
+                                 std::to_string(c) + ".vtk");
+        }
+      }
+    }
+  });
+  t.print();
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: plum <mesh|adapt|quality|partition|cycle> [--flags]\n"
+               "see the header comment of tools/plum_cli.cpp\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  if (cmd == "mesh") return cmd_mesh(args);
+  if (cmd == "adapt") return cmd_adapt(args);
+  if (cmd == "quality") return cmd_quality(args);
+  if (cmd == "partition") return cmd_partition(args);
+  if (cmd == "cycle") return cmd_cycle(args);
+  return usage();
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_playground.dir/mapper_playground.cpp.o"
+  "CMakeFiles/mapper_playground.dir/mapper_playground.cpp.o.d"
+  "mapper_playground"
+  "mapper_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotor_acoustics.dir/rotor_acoustics.cpp.o"
+  "CMakeFiles/rotor_acoustics.dir/rotor_acoustics.cpp.o.d"
+  "rotor_acoustics"
+  "rotor_acoustics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotor_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shock_tracking.dir/shock_tracking.cpp.o"
+  "CMakeFiles/shock_tracking.dir/shock_tracking.cpp.o.d"
+  "shock_tracking"
+  "shock_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shock_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/coarsen.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/coarsen.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/coarsen.cpp.o.d"
+  "/root/repo/src/adapt/error_indicator.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/error_indicator.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/error_indicator.cpp.o.d"
+  "/root/repo/src/adapt/marking.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/marking.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/marking.cpp.o.d"
+  "/root/repo/src/adapt/refine.cpp" "src/adapt/CMakeFiles/plum_adapt.dir/refine.cpp.o" "gcc" "src/adapt/CMakeFiles/plum_adapt.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_adapt.dir/coarsen.cpp.o"
+  "CMakeFiles/plum_adapt.dir/coarsen.cpp.o.d"
+  "CMakeFiles/plum_adapt.dir/error_indicator.cpp.o"
+  "CMakeFiles/plum_adapt.dir/error_indicator.cpp.o.d"
+  "CMakeFiles/plum_adapt.dir/marking.cpp.o"
+  "CMakeFiles/plum_adapt.dir/marking.cpp.o.d"
+  "CMakeFiles/plum_adapt.dir/refine.cpp.o"
+  "CMakeFiles/plum_adapt.dir/refine.cpp.o.d"
+  "libplum_adapt.a"
+  "libplum_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

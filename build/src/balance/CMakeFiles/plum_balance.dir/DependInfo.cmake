@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/balance/cost_model.cpp" "src/balance/CMakeFiles/plum_balance.dir/cost_model.cpp.o" "gcc" "src/balance/CMakeFiles/plum_balance.dir/cost_model.cpp.o.d"
+  "/root/repo/src/balance/diffusion.cpp" "src/balance/CMakeFiles/plum_balance.dir/diffusion.cpp.o" "gcc" "src/balance/CMakeFiles/plum_balance.dir/diffusion.cpp.o.d"
+  "/root/repo/src/balance/load_balancer.cpp" "src/balance/CMakeFiles/plum_balance.dir/load_balancer.cpp.o" "gcc" "src/balance/CMakeFiles/plum_balance.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/balance/remapper.cpp" "src/balance/CMakeFiles/plum_balance.dir/remapper.cpp.o" "gcc" "src/balance/CMakeFiles/plum_balance.dir/remapper.cpp.o.d"
+  "/root/repo/src/balance/repart.cpp" "src/balance/CMakeFiles/plum_balance.dir/repart.cpp.o" "gcc" "src/balance/CMakeFiles/plum_balance.dir/repart.cpp.o.d"
+  "/root/repo/src/balance/similarity.cpp" "src/balance/CMakeFiles/plum_balance.dir/similarity.cpp.o" "gcc" "src/balance/CMakeFiles/plum_balance.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/plum_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/dualgraph/CMakeFiles/plum_dualgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

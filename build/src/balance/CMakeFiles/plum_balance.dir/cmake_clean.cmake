@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_balance.dir/cost_model.cpp.o"
+  "CMakeFiles/plum_balance.dir/cost_model.cpp.o.d"
+  "CMakeFiles/plum_balance.dir/diffusion.cpp.o"
+  "CMakeFiles/plum_balance.dir/diffusion.cpp.o.d"
+  "CMakeFiles/plum_balance.dir/load_balancer.cpp.o"
+  "CMakeFiles/plum_balance.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/plum_balance.dir/remapper.cpp.o"
+  "CMakeFiles/plum_balance.dir/remapper.cpp.o.d"
+  "CMakeFiles/plum_balance.dir/repart.cpp.o"
+  "CMakeFiles/plum_balance.dir/repart.cpp.o.d"
+  "CMakeFiles/plum_balance.dir/similarity.cpp.o"
+  "CMakeFiles/plum_balance.dir/similarity.cpp.o.d"
+  "libplum_balance.a"
+  "libplum_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_dualgraph.dir/dual_graph.cpp.o"
+  "CMakeFiles/plum_dualgraph.dir/dual_graph.cpp.o.d"
+  "libplum_dualgraph.a"
+  "libplum_dualgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_dualgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/box_mesh.cpp" "src/mesh/CMakeFiles/plum_mesh.dir/box_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/plum_mesh.dir/box_mesh.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/mesh/CMakeFiles/plum_mesh.dir/mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/plum_mesh.dir/mesh.cpp.o.d"
+  "/root/repo/src/mesh/mesh_check.cpp" "src/mesh/CMakeFiles/plum_mesh.dir/mesh_check.cpp.o" "gcc" "src/mesh/CMakeFiles/plum_mesh.dir/mesh_check.cpp.o.d"
+  "/root/repo/src/mesh/mesh_io.cpp" "src/mesh/CMakeFiles/plum_mesh.dir/mesh_io.cpp.o" "gcc" "src/mesh/CMakeFiles/plum_mesh.dir/mesh_io.cpp.o.d"
+  "/root/repo/src/mesh/quality.cpp" "src/mesh/CMakeFiles/plum_mesh.dir/quality.cpp.o" "gcc" "src/mesh/CMakeFiles/plum_mesh.dir/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

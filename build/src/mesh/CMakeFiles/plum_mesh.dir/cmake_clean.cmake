@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_mesh.dir/box_mesh.cpp.o"
+  "CMakeFiles/plum_mesh.dir/box_mesh.cpp.o.d"
+  "CMakeFiles/plum_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/plum_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/plum_mesh.dir/mesh_check.cpp.o"
+  "CMakeFiles/plum_mesh.dir/mesh_check.cpp.o.d"
+  "CMakeFiles/plum_mesh.dir/mesh_io.cpp.o"
+  "CMakeFiles/plum_mesh.dir/mesh_io.cpp.o.d"
+  "CMakeFiles/plum_mesh.dir/quality.cpp.o"
+  "CMakeFiles/plum_mesh.dir/quality.cpp.o.d"
+  "libplum_mesh.a"
+  "libplum_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

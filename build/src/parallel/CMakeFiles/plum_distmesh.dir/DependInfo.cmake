@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/dist_mesh.cpp" "src/parallel/CMakeFiles/plum_distmesh.dir/dist_mesh.cpp.o" "gcc" "src/parallel/CMakeFiles/plum_distmesh.dir/dist_mesh.cpp.o.d"
+  "/root/repo/src/parallel/exchange.cpp" "src/parallel/CMakeFiles/plum_distmesh.dir/exchange.cpp.o" "gcc" "src/parallel/CMakeFiles/plum_distmesh.dir/exchange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/plum_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

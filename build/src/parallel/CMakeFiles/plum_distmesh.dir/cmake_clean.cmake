@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_distmesh.dir/dist_mesh.cpp.o"
+  "CMakeFiles/plum_distmesh.dir/dist_mesh.cpp.o.d"
+  "CMakeFiles/plum_distmesh.dir/exchange.cpp.o"
+  "CMakeFiles/plum_distmesh.dir/exchange.cpp.o.d"
+  "libplum_distmesh.a"
+  "libplum_distmesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_distmesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/framework.cpp" "src/parallel/CMakeFiles/plum_parallel.dir/framework.cpp.o" "gcc" "src/parallel/CMakeFiles/plum_parallel.dir/framework.cpp.o.d"
+  "/root/repo/src/parallel/gather.cpp" "src/parallel/CMakeFiles/plum_parallel.dir/gather.cpp.o" "gcc" "src/parallel/CMakeFiles/plum_parallel.dir/gather.cpp.o.d"
+  "/root/repo/src/parallel/global_numbering.cpp" "src/parallel/CMakeFiles/plum_parallel.dir/global_numbering.cpp.o" "gcc" "src/parallel/CMakeFiles/plum_parallel.dir/global_numbering.cpp.o.d"
+  "/root/repo/src/parallel/migrate.cpp" "src/parallel/CMakeFiles/plum_parallel.dir/migrate.cpp.o" "gcc" "src/parallel/CMakeFiles/plum_parallel.dir/migrate.cpp.o.d"
+  "/root/repo/src/parallel/parallel_adapt.cpp" "src/parallel/CMakeFiles/plum_parallel.dir/parallel_adapt.cpp.o" "gcc" "src/parallel/CMakeFiles/plum_parallel.dir/parallel_adapt.cpp.o.d"
+  "/root/repo/src/parallel/restart.cpp" "src/parallel/CMakeFiles/plum_parallel.dir/restart.cpp.o" "gcc" "src/parallel/CMakeFiles/plum_parallel.dir/restart.cpp.o.d"
+  "/root/repo/src/parallel/tree_transfer.cpp" "src/parallel/CMakeFiles/plum_parallel.dir/tree_transfer.cpp.o" "gcc" "src/parallel/CMakeFiles/plum_parallel.dir/tree_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/plum_distmesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/plum_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/balance/CMakeFiles/plum_balance.dir/DependInfo.cmake"
+  "/root/repo/build/src/dualgraph/CMakeFiles/plum_dualgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/plum_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/plum_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/plum_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

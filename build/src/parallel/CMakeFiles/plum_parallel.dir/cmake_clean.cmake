@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_parallel.dir/framework.cpp.o"
+  "CMakeFiles/plum_parallel.dir/framework.cpp.o.d"
+  "CMakeFiles/plum_parallel.dir/gather.cpp.o"
+  "CMakeFiles/plum_parallel.dir/gather.cpp.o.d"
+  "CMakeFiles/plum_parallel.dir/global_numbering.cpp.o"
+  "CMakeFiles/plum_parallel.dir/global_numbering.cpp.o.d"
+  "CMakeFiles/plum_parallel.dir/migrate.cpp.o"
+  "CMakeFiles/plum_parallel.dir/migrate.cpp.o.d"
+  "CMakeFiles/plum_parallel.dir/parallel_adapt.cpp.o"
+  "CMakeFiles/plum_parallel.dir/parallel_adapt.cpp.o.d"
+  "CMakeFiles/plum_parallel.dir/restart.cpp.o"
+  "CMakeFiles/plum_parallel.dir/restart.cpp.o.d"
+  "CMakeFiles/plum_parallel.dir/tree_transfer.cpp.o"
+  "CMakeFiles/plum_parallel.dir/tree_transfer.cpp.o.d"
+  "libplum_parallel.a"
+  "libplum_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

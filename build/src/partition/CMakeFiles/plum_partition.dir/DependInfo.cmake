@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/geometric.cpp" "src/partition/CMakeFiles/plum_partition.dir/geometric.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/geometric.cpp.o.d"
+  "/root/repo/src/partition/lanczos.cpp" "src/partition/CMakeFiles/plum_partition.dir/lanczos.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/lanczos.cpp.o.d"
+  "/root/repo/src/partition/multilevel.cpp" "src/partition/CMakeFiles/plum_partition.dir/multilevel.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/multilevel.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/plum_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/partition/recursive_bisection.cpp" "src/partition/CMakeFiles/plum_partition.dir/recursive_bisection.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/recursive_bisection.cpp.o.d"
+  "/root/repo/src/partition/spectral.cpp" "src/partition/CMakeFiles/plum_partition.dir/spectral.cpp.o" "gcc" "src/partition/CMakeFiles/plum_partition.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dualgraph/CMakeFiles/plum_dualgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

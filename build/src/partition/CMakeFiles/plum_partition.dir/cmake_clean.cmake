@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_partition.dir/geometric.cpp.o"
+  "CMakeFiles/plum_partition.dir/geometric.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/lanczos.cpp.o"
+  "CMakeFiles/plum_partition.dir/lanczos.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/plum_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/plum_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/recursive_bisection.cpp.o"
+  "CMakeFiles/plum_partition.dir/recursive_bisection.cpp.o.d"
+  "CMakeFiles/plum_partition.dir/spectral.cpp.o"
+  "CMakeFiles/plum_partition.dir/spectral.cpp.o.d"
+  "libplum_partition.a"
+  "libplum_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/plum_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/plum_simmpi.dir/machine.cpp.o"
+  "CMakeFiles/plum_simmpi.dir/machine.cpp.o.d"
+  "libplum_simmpi.a"
+  "libplum_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

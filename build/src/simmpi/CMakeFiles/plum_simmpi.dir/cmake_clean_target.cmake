@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplum_simmpi.a"
+)

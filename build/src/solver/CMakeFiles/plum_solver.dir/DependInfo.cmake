@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/advection_solver.cpp" "src/solver/CMakeFiles/plum_solver.dir/advection_solver.cpp.o" "gcc" "src/solver/CMakeFiles/plum_solver.dir/advection_solver.cpp.o.d"
+  "/root/repo/src/solver/flow_solver.cpp" "src/solver/CMakeFiles/plum_solver.dir/flow_solver.cpp.o" "gcc" "src/solver/CMakeFiles/plum_solver.dir/flow_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/plum_distmesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/plum_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

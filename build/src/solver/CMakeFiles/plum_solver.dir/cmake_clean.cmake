@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum_solver.dir/advection_solver.cpp.o"
+  "CMakeFiles/plum_solver.dir/advection_solver.cpp.o.d"
+  "CMakeFiles/plum_solver.dir/flow_solver.cpp.o"
+  "CMakeFiles/plum_solver.dir/flow_solver.cpp.o.d"
+  "libplum_solver.a"
+  "libplum_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_balance.cpp" "tests/CMakeFiles/plum_tests.dir/test_balance.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_balance.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/plum_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_coarsen.cpp" "tests/CMakeFiles/plum_tests.dir/test_coarsen.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_coarsen.cpp.o.d"
+  "/root/repo/tests/test_dualgraph.cpp" "tests/CMakeFiles/plum_tests.dir/test_dualgraph.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_dualgraph.cpp.o.d"
+  "/root/repo/tests/test_framework.cpp" "tests/CMakeFiles/plum_tests.dir/test_framework.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_framework.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/plum_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_io_restart.cpp" "tests/CMakeFiles/plum_tests.dir/test_io_restart.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_io_restart.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/plum_tests.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/plum_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/plum_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_quality.cpp" "tests/CMakeFiles/plum_tests.dir/test_quality.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_quality.cpp.o.d"
+  "/root/repo/tests/test_refine.cpp" "tests/CMakeFiles/plum_tests.dir/test_refine.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_refine.cpp.o.d"
+  "/root/repo/tests/test_simmpi.cpp" "tests/CMakeFiles/plum_tests.dir/test_simmpi.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_simmpi.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/plum_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/plum_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_tet_topology.cpp" "tests/CMakeFiles/plum_tests.dir/test_tet_topology.cpp.o" "gcc" "tests/CMakeFiles/plum_tests.dir/test_tet_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/plum_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/plum_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/plum_distmesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/balance/CMakeFiles/plum_balance.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/plum_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/dualgraph/CMakeFiles/plum_dualgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/plum_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/plum_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/plum_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

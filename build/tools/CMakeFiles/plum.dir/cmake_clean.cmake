@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plum.dir/plum_cli.cpp.o"
+  "CMakeFiles/plum.dir/plum_cli.cpp.o.d"
+  "plum"
+  "plum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,190 @@
+// Communication-path micro-benchmark (wall-clock, not simulated time).
+//
+// Times the three hot paths this repo's staging/hashing layer serves:
+//   * exchange_round   — one neighbour-exchange round staging every
+//                        shared-edge gid to its SPL ranks (the shape of
+//                        the Fig.-3 mark-propagation inner loop);
+//   * migrate_full     — one full tree migration after a localized
+//                        refinement (pack, alltoallv, unpack, SPL
+//                        rendezvous);
+//   * dualgraph_build  — the serial face-keyed dual-graph construction.
+//
+// Results go to BENCH_comm.json (override with --out PATH) so runs can
+// be diffed; see EXPERIMENTS.md "Communication micro-benchmark".
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "parallel/exchange.hpp"
+#include "parallel/migrate.hpp"
+#include "parallel/parallel_adapt.hpp"
+#include "parallel/rank_buffers.hpp"
+#include "simmpi/machine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace plumbench;
+using plum::Bytes;
+using plum::GlobalId;
+using plum::Rank;
+using plum::mesh::EdgeMark;
+using plum::mesh::Mesh;
+
+/// Refine-marks every edge whose midpoint falls inside the solution
+/// bump; purely geometric, so marks agree across shared copies.
+void mark_bump_edges(Mesh& m) {
+  const plum::mesh::Vec3 c{0.35, 0.35, 0.35};
+  for (auto& e : m.edges()) {
+    if (!e.alive || e.bisected()) continue;
+    const plum::mesh::Vec3 mid =
+        (m.vertex(e.v[0]).pos + m.vertex(e.v[1]).pos) * 0.5;
+    if (plum::mesh::dot(mid - c, mid - c) < 0.35 * 0.35) {
+      e.mark = EdgeMark::kRefine;
+    }
+  }
+}
+
+struct PhaseTimes {
+  double exchange_round_us = 0.0;
+  std::int64_t exchange_bytes = 0;
+  double migrate_us = 0.0;
+  std::int64_t elements_moved = 0;
+};
+
+PhaseTimes run_parallel_phases(const Mesh& global,
+                               const std::vector<Rank>& placement,
+                               int nprocs, int exchange_rounds) {
+  PhaseTimes out;
+  plum::simmpi::Machine machine;
+  machine.run(nprocs, [&](plum::simmpi::Comm& comm) {
+    plum::parallel::DistMesh dm = plum::parallel::build_local_mesh(
+        global, placement, comm.rank(), comm.size());
+
+    // Grow the mesh so the halo is non-trivial.
+    mark_bump_edges(dm.local);
+    plum::parallel::ParallelAdaptor adaptor(&dm, &comm);
+    adaptor.refine();
+
+    // --- exchange rounds -------------------------------------------------
+    plum::parallel::NeighborExchange ex(comm, dm.neighbors());
+    plum::parallel::RankBuffers rb(comm.size());
+    std::int64_t checksum = 0;
+    std::int64_t halo_bytes = 0;
+    comm.barrier();
+    const WallTimer t_ex;
+    for (int round = 0; round < exchange_rounds; ++round) {
+      for (const auto& e : dm.local.edges()) {
+        if (!e.alive || e.spl.empty()) continue;
+        for (const Rank r : e.spl) rb.at(r).put(e.gid);
+      }
+      const std::vector<Bytes> in = ex.exchange(rb);
+      for (const Bytes& buf : in) {
+        plum::BufReader r(buf);
+        while (!r.exhausted()) {
+          checksum += static_cast<std::int64_t>(r.get<GlobalId>() & 0xff);
+        }
+        halo_bytes += static_cast<std::int64_t>(buf.size());
+      }
+    }
+    const double ex_us = t_ex.elapsed_us();
+    comm.barrier();
+    PLUM_CHECK(checksum >= 0);  // keep the reads alive
+    const std::int64_t total_halo = comm.allreduce_sum(halo_bytes);
+
+    // --- one full migration ----------------------------------------------
+    // Deterministically reassign roughly half the roots one rank over;
+    // the shift is a pure function of the gid, so all ranks agree.
+    std::vector<Rank> new_proc = placement;
+    for (std::size_t gid = 0; gid < new_proc.size(); ++gid) {
+      if (plum::mix64(gid) & 1) {
+        new_proc[gid] = static_cast<Rank>((new_proc[gid] + 1) % nprocs);
+      }
+    }
+    comm.barrier();
+    const WallTimer t_mig;
+    const plum::parallel::MigrationResult mig =
+        plum::parallel::migrate(&dm, &comm, new_proc);
+    const double mig_us = t_mig.elapsed_us();
+    comm.barrier();
+    const std::int64_t total_moved = comm.allreduce_sum(mig.elements_sent);
+
+    // Only rank 0 writes the shared result struct (threads race otherwise).
+    if (comm.rank() == 0) {
+      out.exchange_round_us = ex_us / exchange_rounds;
+      out.exchange_bytes = total_halo;
+      out.migrate_us = mig_us;
+      out.elements_moved = total_moved;
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_comm.json";
+  std::vector<int> sizes = {8, 12, 16};
+  std::vector<int> procs = {2, 4, 8};
+  int exchange_rounds = 50;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--quick") {
+      sizes = {6, 8};
+      procs = {2, 4};
+      exchange_rounds = 10;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  JsonEmitter json("comm_micro");
+  plum::Table t("communication micro-benchmark (wall-clock)");
+  t.header({"n", "P", "exch us/round", "halo bytes", "migrate us",
+            "elems moved", "dualgraph us"});
+
+  for (const int n : sizes) {
+    const Mesh global = plum::mesh::make_cube_mesh(n);
+
+    // Serial dual-graph build (face-keyed flat hash path).
+    const WallTimer t_dg;
+    const plum::dual::DualGraph g = plum::dual::build_dual_graph(global);
+    const double dg_us = t_dg.elapsed_us();
+    json.add("dualgraph_build",
+             {{"n", static_cast<double>(n)},
+              {"elements", static_cast<double>(g.num_vertices())},
+              {"wall_us", dg_us}});
+
+    for (const int P : procs) {
+      const std::vector<Rank> placement = initial_placement(g, P);
+      const PhaseTimes pt =
+          run_parallel_phases(global, placement, P, exchange_rounds);
+      json.add("exchange_round",
+               {{"n", static_cast<double>(n)},
+                {"P", static_cast<double>(P)},
+                {"rounds", static_cast<double>(exchange_rounds)},
+                {"wall_us_per_round", pt.exchange_round_us},
+                {"halo_bytes", static_cast<double>(pt.exchange_bytes)}});
+      json.add("migrate_full",
+               {{"n", static_cast<double>(n)},
+                {"P", static_cast<double>(P)},
+                {"wall_us", pt.migrate_us},
+                {"elements_moved", static_cast<double>(pt.elements_moved)}});
+      t.row({static_cast<long long>(n), static_cast<long long>(P),
+             pt.exchange_round_us, static_cast<long long>(pt.exchange_bytes),
+             pt.migrate_us, static_cast<long long>(pt.elements_moved),
+             dg_us});
+    }
+  }
+
+  t.print();
+  return json.write(out_path) ? 0 : 1;
+}

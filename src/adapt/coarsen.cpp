@@ -1,12 +1,11 @@
 #include "adapt/coarsen.hpp"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "adapt/refine.hpp"
 #include "support/check.hpp"
+#include "support/flat_hash.hpp"
 #include "support/log.hpp"
 
 namespace plum::adapt {
@@ -24,13 +23,14 @@ CoarsenResult rollback_marked(Mesh& m) {
   //    edge dooms its whole sibling set.  Root elements (parent-less)
   //    cannot coarsen — "edges cannot be coarsened beyond the initial
   //    mesh".
-  std::unordered_set<LocalIndex> parent_set;
+  FlatSet<LocalIndex> parent_set;
+  std::vector<LocalIndex> accepted;
   for (std::size_t i = 0; i < m.elements().size(); ++i) {
     const Element& el = m.elements()[i];
     if (!el.alive || !el.active || el.parent == kNoIndex) continue;
     for (const LocalIndex ei : el.e) {
       if (m.edge(ei).mark == EdgeMark::kCoarsen) {
-        parent_set.insert(el.parent);
+        if (parent_set.insert(el.parent)) accepted.push_back(el.parent);
         break;
       }
     }
@@ -38,7 +38,6 @@ CoarsenResult rollback_marked(Mesh& m) {
 
   // 2. Only parents whose children are all active leaves roll back in
   //    this pass (deeper trees coarsen one level per pass).
-  std::vector<LocalIndex> accepted(parent_set.begin(), parent_set.end());
   std::sort(accepted.begin(), accepted.end());
   std::erase_if(accepted, [&](LocalIndex p) {
     const Element& pe = m.element(p);
@@ -51,7 +50,7 @@ CoarsenResult rollback_marked(Mesh& m) {
   });
 
   // Boundary faces per active element (needed before any deletion).
-  std::unordered_map<LocalIndex, std::vector<LocalIndex>> elem_bfaces;
+  FlatMap<LocalIndex, std::vector<LocalIndex>> elem_bfaces;
   for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
     const BFace& f = m.bfaces()[bi];
     if (f.alive && f.active) {
@@ -66,7 +65,8 @@ CoarsenResult rollback_marked(Mesh& m) {
     // Boundary faces first: delete the sub-faces created when p was
     // subdivided and reinstate their parents; faces that were merely
     // re-owned (untouched by p's subdivision) move back to p.
-    std::unordered_set<LocalIndex> reinstate_bfaces;
+    FlatSet<LocalIndex> reinstate_seen;
+    std::vector<LocalIndex> reinstate_bfaces;
     for (const LocalIndex c : children) {
       const auto it = elem_bfaces.find(c);
       if (it == elem_bfaces.end()) continue;
@@ -74,7 +74,9 @@ CoarsenResult rollback_marked(Mesh& m) {
         BFace& f = m.bface(bi);
         PLUM_DCHECK(f.alive && f.active);
         if (f.parent != kNoIndex && m.bface(f.parent).elem == p) {
-          reinstate_bfaces.insert(f.parent);
+          if (reinstate_seen.insert(f.parent)) {
+            reinstate_bfaces.push_back(f.parent);
+          }
           m.delete_bface(bi);
           out.bfaces_removed += 1;
         } else {

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_map>
 
 #include "mesh/global_id.hpp"
 #include "support/check.hpp"
+#include "support/flat_hash.hpp"
 #include "support/log.hpp"
 
 namespace plum::adapt {
@@ -386,7 +386,7 @@ SubdivisionResult subdivide(Mesh& m) {
   }
 
   // Boundary faces owned by splitting elements.
-  std::unordered_map<LocalIndex, std::vector<LocalIndex>> elem_bfaces;
+  FlatMap<LocalIndex, std::vector<LocalIndex>> elem_bfaces;
   for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
     const mesh::BFace& f = m.bfaces()[bi];
     if (!f.alive || !f.active) continue;

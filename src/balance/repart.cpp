@@ -1,7 +1,6 @@
 #include "balance/repart.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "support/check.hpp"
 
@@ -60,18 +59,27 @@ RepartOutcome run_repartitioner(const dual::DualGraph& g,
     for (std::size_t v = 0; v < proc.size(); ++v) {
       const Rank src = proc[v];
       if (load[static_cast<std::size_t>(src)] <= cap) continue;
-      // Count adjacency per neighbouring processor.
+      // Count adjacency per neighbouring processor.  A dual-graph
+      // vertex is a tetrahedron, so its degree is at most four: a tiny
+      // linear-scanned array beats any map here.
       std::int64_t to_src = 0;
-      std::map<Rank, std::int64_t> to_dst;
+      std::pair<Rank, std::int64_t> to_dst[4];
+      std::size_t ndst = 0;
       for (const auto nb : g.adjacency[v]) {
         const Rank p = proc[static_cast<std::size_t>(nb)];
         if (p == src) {
           ++to_src;
-        } else {
-          to_dst[p] += 1;
+          continue;
         }
+        std::size_t k = 0;
+        while (k < ndst && to_dst[k].first != p) ++k;
+        if (k == ndst) {
+          to_dst[ndst++] = {p, 0};
+        }
+        to_dst[k].second += 1;
       }
-      for (const auto& [dst, links] : to_dst) {
+      for (std::size_t k = 0; k < ndst; ++k) {
+        const auto [dst, links] = to_dst[k];
         // Accept a destination under the cap, or a strictly-less-loaded
         // one (a relay move: load must be able to flow through
         // saturated neighbours toward distant underloaded processors).

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <map>
-#include <unordered_map>
 
 #include "mesh/tet_topology.hpp"
 #include "support/check.hpp"
+#include "support/flat_hash.hpp"
 
 namespace plum::dual {
 
@@ -40,7 +40,7 @@ DualGraph build_dual_graph(const Mesh& initial) {
 
   // Face -> owning elements; adjacency where a face is shared by two.
   // Key: sorted vertex triple packed exactly into 64 bits.
-  std::unordered_map<std::uint64_t, std::int32_t> first_owner;
+  FlatMap<std::uint64_t, std::int32_t> first_owner;
   first_owner.reserve(static_cast<std::size_t>(n) * 4);
   for (std::size_t li = 0; li < initial.elements().size(); ++li) {
     const mesh::Element& el = initial.elements()[li];
@@ -83,8 +83,8 @@ void update_edge_weights(DualGraph& g, const Mesh& adapted) {
   // Count leaf faces shared between each pair of adjacent roots: walk
   // every active element's faces; a face seen from two different roots
   // contributes one unit of halo traffic to that dual edge.
-  std::unordered_map<std::uint64_t, std::int64_t> pair_count;
-  std::unordered_map<std::uint64_t, std::int32_t> first_root;
+  FlatMap<std::uint64_t, std::int64_t> pair_count;
+  FlatMap<std::uint64_t, std::int32_t> first_root;
   first_root.reserve(adapted.elements().size() * 2);
   for (std::size_t li = 0; li < adapted.elements().size(); ++li) {
     const mesh::Element& el = adapted.elements()[li];

@@ -32,12 +32,12 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mesh/geometry.hpp"
 #include "mesh/tet_topology.hpp"
 #include "support/check.hpp"
+#include "support/flat_hash.hpp"
 #include "support/types.hpp"
 
 namespace plum::mesh {
@@ -289,7 +289,7 @@ class Mesh {
   std::vector<Element> elements_;
   std::vector<BFace> bfaces_;
   /// Alive-edge lookup by unordered local vertex pair.
-  std::unordered_map<std::uint64_t, LocalIndex> edge_by_verts_;
+  FlatMap<std::uint64_t, LocalIndex> edge_by_verts_;
 };
 
 }  // namespace plum::mesh

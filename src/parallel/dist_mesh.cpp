@@ -9,17 +9,34 @@ namespace plum::parallel {
 
 using mesh::Mesh;
 
+namespace {
+
+/// Sorts, dedups, and removes `self` — the SPL canonical form.
+void sort_unique_drop(std::vector<Rank>& ranks, Rank self) {
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  std::erase(ranks, self);
+}
+
+}  // namespace
+
 std::vector<Rank> DistMesh::neighbors() const {
-  std::unordered_set<Rank> set;
+  std::vector<char> seen(static_cast<std::size_t>(nranks), 0);
+  std::vector<Rank> out;
+  const auto note = [&](const std::vector<Rank>& spl) {
+    for (const Rank r : spl) {
+      if (!seen[static_cast<std::size_t>(r)]) {
+        seen[static_cast<std::size_t>(r)] = 1;
+        out.push_back(r);
+      }
+    }
+  };
   for (const auto& v : local.vertices()) {
-    if (!v.alive) continue;
-    for (const Rank r : v.spl) set.insert(r);
+    if (v.alive) note(v.spl);
   }
   for (const auto& e : local.edges()) {
-    if (!e.alive) continue;
-    for (const Rank r : e.spl) set.insert(r);
+    if (e.alive) note(e.spl);
   }
-  std::vector<Rank> out(set.begin(), set.end());
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -85,7 +102,7 @@ DistMesh build_local_mesh(const Mesh& global,
 
   // Local copies of the vertices those elements touch ("defining a
   // local number for each mesh object").
-  std::unordered_map<LocalIndex, LocalIndex> vmap;  // global local-idx -> mine
+  FlatMap<LocalIndex, LocalIndex> vmap;  // global local-idx -> mine
   for (const LocalIndex gi : mine) {
     for (const LocalIndex gv : global.element(gi).v) {
       if (vmap.count(gv)) continue;
@@ -104,7 +121,7 @@ DistMesh build_local_mesh(const Mesh& global,
   }
 
   // Boundary faces owned by our elements (owner resolved by gid).
-  std::unordered_map<GlobalId, LocalIndex> elem_of_gid;
+  FlatMap<GlobalId, LocalIndex> elem_of_gid;
   for (std::size_t i = 0; i < dm.local.elements().size(); ++i) {
     elem_of_gid[dm.local.elements()[i].gid] = static_cast<LocalIndex>(i);
   }
@@ -131,34 +148,30 @@ DistMesh build_local_mesh(const Mesh& global,
     if (v0 == vmap.end() || v1 == vmap.end()) continue;
     const LocalIndex le = dm.local.find_edge(v0->second, v1->second);
     if (le == kNoIndex) continue;
-    std::unordered_set<Rank> owners;
+    std::vector<Rank> owners;
     for (const LocalIndex gel : ge.elems) {
-      owners.insert(proc_of_root[static_cast<std::size_t>(
-          global.element(gel).gid)]);
+      owners.push_back(
+          proc_of_root[static_cast<std::size_t>(global.element(gel).gid)]);
     }
-    owners.erase(rank);
+    sort_unique_drop(owners, rank);
     if (!owners.empty()) {
-      auto& spl = dm.local.edge(le).spl;
-      spl.assign(owners.begin(), owners.end());
-      std::sort(spl.begin(), spl.end());
+      dm.local.edge(le).spl = std::move(owners);
     }
   }
   // Vertex SPLs from incident-edge element owners.
   for (std::size_t gvi = 0; gvi < global.vertices().size(); ++gvi) {
     const auto it = vmap.find(static_cast<LocalIndex>(gvi));
     if (it == vmap.end()) continue;
-    std::unordered_set<Rank> owners;
+    std::vector<Rank> owners;
     for (const LocalIndex gei : global.vertices()[gvi].edges) {
       for (const LocalIndex gel : global.edge(gei).elems) {
-        owners.insert(proc_of_root[static_cast<std::size_t>(
-            global.element(gel).gid)]);
+        owners.push_back(
+            proc_of_root[static_cast<std::size_t>(global.element(gel).gid)]);
       }
     }
-    owners.erase(rank);
+    sort_unique_drop(owners, rank);
     if (!owners.empty()) {
-      auto& spl = dm.local.vertex(it->second).spl;
-      spl.assign(owners.begin(), owners.end());
-      std::sort(spl.begin(), spl.end());
+      dm.local.vertex(it->second).spl = std::move(owners);
     }
   }
 

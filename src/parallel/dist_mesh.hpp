@@ -19,11 +19,10 @@
 // physical scatter; the result is object-for-object identical.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "mesh/mesh.hpp"
+#include "support/flat_hash.hpp"
 #include "support/types.hpp"
 
 namespace plum::parallel {
@@ -35,11 +34,11 @@ struct DistMesh {
 
   /// gid -> local index for alive objects (kept current by the parallel
   /// adaptor and migration).
-  std::unordered_map<GlobalId, LocalIndex> vertex_of_gid;
-  std::unordered_map<GlobalId, LocalIndex> edge_of_gid;
+  FlatMap<GlobalId, LocalIndex> vertex_of_gid;
+  FlatMap<GlobalId, LocalIndex> edge_of_gid;
   /// Root elements resident on this rank: dual-vertex id (= root
   /// element gid) -> local element index.
-  std::unordered_map<GlobalId, LocalIndex> root_of_gid;
+  FlatMap<GlobalId, LocalIndex> root_of_gid;
 
   /// Ranks appearing in any SPL (communication partners).
   std::vector<Rank> neighbors() const;

@@ -36,20 +36,20 @@ NeighborExchange::NeighborExchange(simmpi::Comm& comm,
   }
 }
 
-std::vector<Bytes> NeighborExchange::exchange(
-    const std::map<Rank, Bytes>& out) {
+std::vector<Bytes> NeighborExchange::exchange(RankBuffers& out) {
   const int tag = kExchangeTagBase + (tag_seq_++);
   PLUM_CHECK_MSG(tag < simmpi::kUserTagLimit, "exchange tag overflow");
-  for (const auto& [r, buf] : out) {
-    (void)buf;
+  for (const Rank r : out.staged_ranks()) {
     PLUM_CHECK_MSG(
         std::find(neighbors_.begin(), neighbors_.end(), r) != neighbors_.end(),
         "exchange buffer for non-neighbour rank " << r);
   }
   for (const Rank r : neighbors_) {
-    const auto it = out.find(r);
-    comm_.send(r, tag, it == out.end() ? Bytes{} : Bytes(it->second));
+    // take() hands the staged bytes to the transport by move; the
+    // receiver's queue owns the allocation from here on.
+    comm_.send(r, tag, out.take(r));
   }
+  out.clear();
   std::vector<Bytes> in;
   in.reserve(neighbors_.size());
   for (const Rank r : neighbors_) {

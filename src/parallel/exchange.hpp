@@ -5,11 +5,15 @@
 // must be symmetric or blocking receives deadlock, so the constructor
 // runs one machine-wide flag exchange to symmetrize the neighbour set;
 // the (many) data rounds that follow then touch only true neighbours.
+//
+// Outgoing payloads are staged in a RankBuffers pool and *moved* into
+// the transport — exchange() leaves the pool cleared and ready for the
+// next round, and no payload byte is copied on the send side.
 #pragma once
 
-#include <map>
 #include <vector>
 
+#include "parallel/rank_buffers.hpp"
 #include "simmpi/comm.hpp"
 #include "support/buffer.hpp"
 #include "support/types.hpp"
@@ -24,10 +28,15 @@ class NeighborExchange {
 
   const std::vector<Rank>& neighbors() const { return neighbors_; }
 
-  /// Sends out[r] (empty allowed / required only for neighbours) to
-  /// each neighbour and receives one buffer from each; returns buffers
-  /// aligned with neighbors().  All ranks must call collectively.
-  std::vector<Bytes> exchange(const std::map<Rank, Bytes>& out);
+  /// Sends each neighbour its staged buffer (empty for untouched
+  /// ranks; staging for a non-neighbour is an error) and receives one
+  /// buffer from each; returns buffers aligned with neighbors().
+  /// `out` is cleared for reuse.  All ranks must call collectively.
+  std::vector<Bytes> exchange(RankBuffers& out);
+
+  /// Test hook: burns `n` data-round tags so the tag-overflow guard
+  /// can be exercised without a million live rounds.
+  void advance_tags_for_test(int n) { tag_seq_ += n; }
 
  private:
   simmpi::Comm& comm_;

@@ -1,9 +1,8 @@
 #include "parallel/gather.hpp"
 
-#include <unordered_map>
-
 #include "parallel/tree_transfer.hpp"
 #include "support/check.hpp"
+#include "support/flat_hash.hpp"
 
 namespace plum::parallel {
 
@@ -57,8 +56,8 @@ Mesh gather_global_mesh(const DistMesh& dm, simmpi::Comm& comm, Rank root) {
   Mesh out;
   if (comm.rank() != root) return out;
 
-  std::unordered_map<GlobalId, LocalIndex> vert_of;
-  std::unordered_map<GlobalId, LocalIndex> elem_of;
+  FlatMap<GlobalId, LocalIndex> vert_of;
+  FlatMap<GlobalId, LocalIndex> elem_of;
   for (const Bytes& buf : parts) {
     BufReader r(buf);
     const auto nverts = r.get<std::int64_t>();

@@ -1,7 +1,6 @@
 #include "parallel/global_numbering.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "parallel/exchange.hpp"
 #include "support/check.hpp"
@@ -46,19 +45,18 @@ GlobalNumbering assign_global_numbers(const DistMesh& dm,
 
   // Owners publish numbers of shared vertices to the other holders.
   NeighborExchange ex(comm, dm.neighbors());
-  std::map<Rank, BufWriter> to_send;
+  RankBuffers to_send(comm.size());
   for (const auto& v : m.vertices()) {
     if (!v.alive || v.spl.empty()) continue;
     if (v.spl.front() > dm.rank) {  // we own it
       for (const Rank r : v.spl) {
-        to_send[r].put(v.gid);
-        to_send[r].put(out.vertex_number.at(v.gid));
+        BufWriter& w = to_send.at(r);
+        w.put(v.gid);
+        w.put(out.vertex_number.at(v.gid));
       }
     }
   }
-  std::map<Rank, Bytes> payload;
-  for (auto& [r, w] : to_send) payload[r] = w.take();
-  const std::vector<Bytes> in = ex.exchange(payload);
+  const std::vector<Bytes> in = ex.exchange(to_send);
   for (const Bytes& buf : in) {
     BufReader r(buf);
     while (!r.exhausted()) {

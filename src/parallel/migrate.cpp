@@ -3,12 +3,10 @@
 #include "parallel/tree_transfer.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <map>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "parallel/rank_buffers.hpp"
 #include "support/check.hpp"
+#include "support/flat_hash.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
 
@@ -108,7 +106,6 @@ void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
   // co-owners.  One pass handles vertices and edges together (tagged by
   // a kind byte folded into the gid stream ordering: two separate
   // vectors).
-  std::vector<BufWriter> to_home(static_cast<std::size_t>(P));
   std::vector<std::vector<GlobalId>> vgids(static_cast<std::size_t>(P));
   std::vector<std::vector<GlobalId>> egids(static_cast<std::size_t>(P));
   for (const auto& v : m.vertices()) {
@@ -125,17 +122,16 @@ void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
           .push_back(e.gid);
     }
   }
-  std::vector<Bytes> out(static_cast<std::size_t>(P));
+  RankBuffers to_home(P);
   for (Rank r = 0; r < P; ++r) {
-    BufWriter w;
+    BufWriter& w = to_home.at(r);
     w.put_vec(vgids[static_cast<std::size_t>(r)]);
     w.put_vec(egids[static_cast<std::size_t>(r)]);
-    out[static_cast<std::size_t>(r)] = w.take();
   }
-  const std::vector<Bytes> at_home = comm->alltoallv(std::move(out));
+  const std::vector<Bytes> at_home = comm->alltoallv(to_home.take_all());
 
   // Home side: gid -> owner ranks.
-  std::unordered_map<GlobalId, std::vector<Rank>> vowners, eowners;
+  FlatMap<GlobalId, std::vector<Rank>> vowners, eowners;
   for (Rank src = 0; src < P; ++src) {
     BufReader r(at_home[static_cast<std::size_t>(src)]);
     for (const GlobalId g : r.get_vec<GlobalId>()) {
@@ -146,12 +142,11 @@ void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
     }
   }
   // Replies: for each owner of a multi-owner gid, the other owners.
-  std::vector<BufWriter> reply(static_cast<std::size_t>(P));
   std::vector<std::vector<std::pair<GlobalId, std::vector<Rank>>>> vrep(
       static_cast<std::size_t>(P)),
       erep(static_cast<std::size_t>(P));
   auto queue_replies =
-      [&](const std::unordered_map<GlobalId, std::vector<Rank>>& owners,
+      [&](const FlatMap<GlobalId, std::vector<Rank>>& owners,
           std::vector<std::vector<std::pair<GlobalId, std::vector<Rank>>>>&
               rep) {
         for (const auto& [gid, ranks] : owners) {
@@ -168,9 +163,9 @@ void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
       };
   queue_replies(vowners, vrep);
   queue_replies(eowners, erep);
-  std::vector<Bytes> reply_bytes(static_cast<std::size_t>(P));
+  RankBuffers reply(P);
   for (Rank r = 0; r < P; ++r) {
-    BufWriter w;
+    BufWriter& w = reply.at(r);
     auto emit = [&](const std::vector<
                     std::pair<GlobalId, std::vector<Rank>>>& list) {
       w.put<std::int64_t>(static_cast<std::int64_t>(list.size()));
@@ -181,9 +176,8 @@ void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
     };
     emit(vrep[static_cast<std::size_t>(r)]);
     emit(erep[static_cast<std::size_t>(r)]);
-    reply_bytes[static_cast<std::size_t>(r)] = w.take();
   }
-  const std::vector<Bytes> replies = comm->alltoallv(std::move(reply_bytes));
+  const std::vector<Bytes> replies = comm->alltoallv(reply.take_all());
 
   for (Rank src = 0; src < P; ++src) {
     BufReader r(replies[static_cast<std::size_t>(src)]);
@@ -211,9 +205,10 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
   const Rank P = comm->size();
   const double t0 = comm->clock().now();
 
-  // Departing trees, grouped by destination.
-  std::vector<BufWriter> outgoing(static_cast<std::size_t>(P));
-  std::vector<std::int64_t> tree_count(static_cast<std::size_t>(P), 0);
+  // Departing trees, packed straight into the per-destination staging
+  // buffers (trees are self-delimiting records, so no count or length
+  // wrapper is needed — receivers unpack until the buffer runs dry).
+  RankBuffers outgoing(P);
   std::vector<LocalIndex> departing;
   for (const auto& [gid, li] : dm->root_of_gid) {
     PLUM_CHECK_MSG(gid < proc_of_root.size(),
@@ -221,28 +216,19 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
     const Rank dest = proc_of_root[static_cast<std::size_t>(gid)];
     PLUM_CHECK(dest >= 0 && dest < P);
     if (dest == dm->rank) continue;
-    pack_tree(dm->local, li, &outgoing[static_cast<std::size_t>(dest)],
-              &result.elements_sent);
-    tree_count[static_cast<std::size_t>(dest)] += 1;
+    pack_tree(dm->local, li, &outgoing.at(dest), &result.elements_sent);
     departing.push_back(li);
     result.roots_sent += 1;
   }
-
-  // Charge pack time and ship.  (The per-word transfer and setup costs
-  // are charged by the simulated machine itself.)
-  std::vector<Bytes> payload(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
-    BufWriter w;
-    w.put(tree_count[static_cast<std::size_t>(r)]);
-    Bytes body = outgoing[static_cast<std::size_t>(r)].take();
-    w.put_vec(body);
-    payload[static_cast<std::size_t>(r)] = w.take();
     if (r != dm->rank) {
-      result.bytes_sent +=
-          static_cast<std::int64_t>(payload[static_cast<std::size_t>(r)].size());
+      result.bytes_sent += static_cast<std::int64_t>(outgoing.at(r).size());
     }
   }
-  const std::vector<Bytes> incoming = comm->alltoallv(std::move(payload));
+
+  // Ship.  (The per-word transfer and setup costs are charged by the
+  // simulated machine itself.)
+  const std::vector<Bytes> incoming = comm->alltoallv(outgoing.take_all());
 
   // Delete departed trees before unpacking (dedup-by-gid must not see
   // the stale copies), then purge orphans.
@@ -258,18 +244,14 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
   // Unpack incoming trees.
   for (Rank src = 0; src < P; ++src) {
     if (src == dm->rank) continue;
-    BufReader r(incoming[static_cast<std::size_t>(src)]);
-    const auto ntrees = r.get<std::int64_t>();
-    const Bytes body = r.get_vec<std::byte>();
-    BufReader br(body);
-    for (std::int64_t t = 0; t < ntrees; ++t) {
+    BufReader br(incoming[static_cast<std::size_t>(src)]);
+    while (!br.exhausted()) {
       const std::int64_t ne = unpack_tree(dm, &br);
       result.elements_received += ne;
       result.roots_received += 1;
       comm->charge(static_cast<double>(ne),
                    comm->cost().c_rebuild_elem_us);
     }
-    PLUM_CHECK(br.exhausted());
   }
 
   // Consistent shared-data rebuild.

@@ -1,10 +1,9 @@
 #include "parallel/parallel_adapt.hpp"
 
 #include <algorithm>
-#include <map>
-#include <unordered_set>
 
 #include "support/check.hpp"
+#include "support/flat_hash.hpp"
 #include "support/log.hpp"
 
 namespace plum::parallel {
@@ -37,6 +36,10 @@ void ParallelAdaptor::propagate_marks(NeighborExchange& ex,
   Mesh& m = dm_->local;
   const auto& cost = comm_->cost();
 
+  // One staging pool for every propagation round: the gid stream for
+  // each rank is appended in place and moved out by the exchange.
+  RankBuffers out(comm_->size());
+
   std::vector<LocalIndex> seeds;
   bool first = true;
   for (;;) {
@@ -60,27 +63,20 @@ void ParallelAdaptor::propagate_marks(NeighborExchange& ex,
     // "Every processor sends a list of all the newly-marked local
     //  copies of shared edges to all the other processors in their
     //  SPLs."
-    std::map<Rank, std::vector<GlobalId>> to_send;
     for (const LocalIndex ei : newly) {
       const Edge& e = m.edge(ei);
       for (const Rank r : e.spl) {
-        to_send[r].push_back(e.gid);
+        out.at(r).put(e.gid);
         stats->marks_sent += 1;
       }
-    }
-    std::map<Rank, Bytes> out;
-    for (auto& [r, gids] : to_send) {
-      BufWriter w;
-      w.put_vec(gids);
-      out[r] = w.take();
     }
     const std::vector<Bytes> in = ex.exchange(out);
 
     seeds.clear();
     for (const Bytes& buf : in) {
-      if (buf.empty()) continue;
       BufReader r(buf);
-      for (const GlobalId gid : r.get_vec<GlobalId>()) {
+      while (!r.exhausted()) {
+        const auto gid = r.get<GlobalId>();
         const auto it = dm_->edge_of_gid.find(gid);
         if (it == dm_->edge_of_gid.end()) continue;  // stale SPL entry
         Edge& e = m.edge(it->second);
@@ -100,12 +96,13 @@ void ParallelAdaptor::classify_new_edges(NeighborExchange& ex,
                                          const SubdivisionResult& sub,
                                          ParallelAdaptStats* stats) {
   Mesh& m = dm_->local;
+  const auto P = static_cast<std::size_t>(comm_->size());
 
   // Fig. 4: a new edge lying across an element face may or may not have
   // a remote copy; ask the candidate ranks.  (Children of bisected
   // edges inherited their SPL in bisect_edge — case 2; octahedron
   // diagonals are interior by construction — case 3.)
-  std::map<Rank, std::vector<GlobalId>> queries;
+  RankBuffers out(comm_->size());
   struct Pending {
     LocalIndex edge;
     std::vector<Rank> candidates;
@@ -120,61 +117,53 @@ void ParallelAdaptor::classify_new_edges(NeighborExchange& ex,
     //  edge is null, the edge is internal."
     if (cand.empty()) continue;
     for (const Rank r : cand) {
-      queries[r].push_back(e.gid);
+      out.at(r).put(e.gid);
       stats->classify_queries += 1;
     }
     pending.push_back({rec.edge, cand});
   }
-
-  std::map<Rank, Bytes> out;
-  for (auto& [r, gids] : queries) {
-    BufWriter w;
-    w.put_vec(gids);
-    out[r] = w.take();
-  }
   const std::vector<Bytes> incoming = ex.exchange(out);
 
-  // Answer: 1 iff we hold a copy.  Answering also (re)establishes the
-  // symmetric SPL entry — needed when our copy predates the query
-  // (repair refinement after coarsening re-creates edges one side
-  // deleted).
-  std::map<Rank, Bytes> replies;
+  // Answer: 1 iff we hold a copy, one byte per queried gid in query
+  // order.  Answering also (re)establishes the symmetric SPL entry —
+  // needed when our copy predates the query (repair refinement after
+  // coarsening re-creates edges one side deleted).
   for (std::size_t k = 0; k < ex.neighbors().size(); ++k) {
     const Bytes& buf = incoming[k];
     if (buf.empty()) continue;
     const Rank src = ex.neighbors()[k];
     BufReader r(buf);
-    const std::vector<GlobalId> gids = r.get_vec<GlobalId>();
-    std::vector<std::uint8_t> ans(gids.size(), 0);
-    for (std::size_t i = 0; i < gids.size(); ++i) {
-      const auto it = dm_->edge_of_gid.find(gids[i]);
+    BufWriter& w = out.at(src);
+    while (!r.exhausted()) {
+      const auto gid = r.get<GlobalId>();
+      std::uint8_t ans = 0;
+      const auto it = dm_->edge_of_gid.find(gid);
       if (it != dm_->edge_of_gid.end() && m.edge(it->second).alive) {
-        ans[i] = 1;
+        ans = 1;
         insert_sorted(m.edge(it->second).spl, src);
       }
+      w.put(ans);
     }
-    BufWriter w;
-    w.put_vec(ans);
-    replies[src] = w.take();
   }
-  const std::vector<Bytes> answered = ex.exchange(replies);
+  const std::vector<Bytes> answered = ex.exchange(out);
 
   // Collect answers per source rank, in query order.
-  std::map<Rank, std::vector<std::uint8_t>> answer_of;
+  std::vector<std::vector<std::uint8_t>> answer_of(P);
   for (std::size_t k = 0; k < ex.neighbors().size(); ++k) {
     if (answered[k].empty()) continue;
     BufReader r(answered[k]);
-    answer_of[ex.neighbors()[k]] = r.get_vec<std::uint8_t>();
+    auto& ans = answer_of[static_cast<std::size_t>(ex.neighbors()[k])];
+    ans.reserve(r.remaining());
+    while (!r.exhausted()) ans.push_back(r.get<std::uint8_t>());
   }
-  std::map<Rank, std::size_t> cursor;
+  std::vector<std::size_t> cursor(P, 0);
   for (const auto& p : pending) {
     Edge& e = m.edge(p.edge);
     for (const Rank r : p.candidates) {
-      const auto it = answer_of.find(r);
-      PLUM_CHECK_MSG(it != answer_of.end(), "missing classify answer");
-      const std::size_t i = cursor[r]++;
-      PLUM_CHECK(i < it->second.size());
-      if (it->second[i]) {
+      const auto& ans = answer_of[static_cast<std::size_t>(r)];
+      const std::size_t i = cursor[static_cast<std::size_t>(r)]++;
+      PLUM_CHECK_MSG(i < ans.size(), "missing classify answer");
+      if (ans[i]) {
         insert_sorted(e.spl, r);
         stats->new_shared_edges += 1;
       }
@@ -184,45 +173,44 @@ void ParallelAdaptor::classify_new_edges(NeighborExchange& ex,
 
 void ParallelAdaptor::prune_spls(NeighborExchange& ex) {
   Mesh& m = dm_->local;
+  const auto P = static_cast<std::size_t>(comm_->size());
 
   // Tell each neighbour which gids we still share with them; keep their
-  // entry in our SPLs only if they reciprocate.
-  std::map<Rank, std::pair<std::vector<GlobalId>, std::vector<GlobalId>>>
-      shared;  // rank -> (edge gids, vertex gids)
+  // entry in our SPLs only if they reciprocate.  Wire format per rank:
+  // shared edge gids, a kNoGlobalId separator (never a real gid), then
+  // shared vertex gids.
+  RankBuffers out(comm_->size());
   for (const auto& e : m.edges()) {
     if (!e.alive) continue;
-    for (const Rank r : e.spl) shared[r].first.push_back(e.gid);
+    for (const Rank r : e.spl) out.at(r).put(e.gid);
   }
+  for (const Rank r : ex.neighbors()) out.at(r).put(kNoGlobalId);
   for (const auto& v : m.vertices()) {
     if (!v.alive) continue;
-    for (const Rank r : v.spl) shared[r].second.push_back(v.gid);
-  }
-  std::map<Rank, Bytes> out;
-  for (auto& [r, lists] : shared) {
-    BufWriter w;
-    w.put_vec(lists.first);
-    w.put_vec(lists.second);
-    out[r] = w.take();
+    for (const Rank r : v.spl) out.at(r).put(v.gid);
   }
   const std::vector<Bytes> in = ex.exchange(out);
 
-  std::map<Rank, std::unordered_set<GlobalId>> their_edges, their_verts;
+  std::vector<FlatSet<GlobalId>> their_edges(P), their_verts(P);
   for (std::size_t k = 0; k < ex.neighbors().size(); ++k) {
     if (in[k].empty()) continue;
+    const auto src = static_cast<std::size_t>(ex.neighbors()[k]);
     BufReader r(in[k]);
-    const auto egids = r.get_vec<GlobalId>();
-    const auto vgids = r.get_vec<GlobalId>();
-    their_edges[ex.neighbors()[k]] =
-        std::unordered_set<GlobalId>(egids.begin(), egids.end());
-    their_verts[ex.neighbors()[k]] =
-        std::unordered_set<GlobalId>(vgids.begin(), vgids.end());
+    bool past_separator = false;
+    while (!r.exhausted()) {
+      const auto gid = r.get<GlobalId>();
+      if (gid == kNoGlobalId) {
+        past_separator = true;
+        continue;
+      }
+      (past_separator ? their_verts : their_edges)[src].insert(gid);
+    }
   }
 
   auto prune = [&](std::vector<Rank>& spl, GlobalId gid,
-                   std::map<Rank, std::unordered_set<GlobalId>>& theirs) {
+                   const std::vector<FlatSet<GlobalId>>& theirs) {
     std::erase_if(spl, [&](Rank r) {
-      const auto it = theirs.find(r);
-      return it == theirs.end() || it->second.count(gid) == 0;
+      return theirs[static_cast<std::size_t>(r)].count(gid) == 0;
     });
   };
   for (auto& e : m.edges()) {
@@ -286,11 +274,13 @@ ParallelAdaptStats ParallelAdaptor::coarsen() {
 
   // Purge with agreement: a shared edge's bisection may only be undone
   // when every rank holding a copy can also let it go.
-  std::unordered_set<GlobalId> agreed;
+  FlatSet<GlobalId> agreed;
   const auto allow = [&](LocalIndex parent_ei) {
     const Edge& p = m.edge(parent_ei);
     return p.spl.empty() || agreed.count(p.gid) > 0;
   };
+  RankBuffers out(comm_->size());
+  FlatMap<GlobalId, std::int32_t> confirmations;
   for (;;) {
     adapt::purge_cascade(m, &stats.coarsening, allow);
     // The purge walks every local edge slot (several times).
@@ -300,7 +290,6 @@ ParallelAdaptStats ParallelAdaptor::coarsen() {
 
     // Locally purgeable shared bisected edges: children unused and the
     // midpoint carries nothing but the two children.
-    std::map<Rank, std::vector<GlobalId>> cand;
     std::vector<GlobalId> my_cands;
     for (const auto& e : m.edges()) {
       if (!e.alive || !e.bisected() || e.spl.empty()) continue;
@@ -315,25 +304,16 @@ ParallelAdaptStats ParallelAdaptor::coarsen() {
       const auto& mp_edges = m.vertex(e.midpoint).edges;
       if (mp_edges.size() != 2) continue;
       my_cands.push_back(e.gid);
-      for (const Rank r : e.spl) cand[r].push_back(e.gid);
-    }
-    std::map<Rank, Bytes> out;
-    for (auto& [r, gids] : cand) {
-      BufWriter w;
-      w.put_vec(gids);
-      out[r] = w.take();
+      for (const Rank r : e.spl) out.at(r).put(e.gid);
     }
     const std::vector<Bytes> in = ex.exchange(out);
-    std::unordered_set<GlobalId> confirmed_once;
-    std::unordered_map<GlobalId, int> confirmations;
+    confirmations.clear();
     for (const Bytes& buf : in) {
-      if (buf.empty()) continue;
       BufReader r(buf);
-      for (const GlobalId gid : r.get_vec<GlobalId>()) {
-        confirmations[gid] += 1;
+      while (!r.exhausted()) {
+        confirmations[r.get<GlobalId>()] += 1;
       }
     }
-    (void)confirmed_once;
 
     std::int64_t agreed_new = 0;
     for (const GlobalId gid : my_cands) {
@@ -342,7 +322,7 @@ ParallelAdaptStats ParallelAdaptor::coarsen() {
       const Edge& e = m.edge(it->second);
       const auto conf = confirmations.find(gid);
       if (conf != confirmations.end() &&
-          conf->second == static_cast<int>(e.spl.size())) {
+          conf->second == static_cast<std::int32_t>(e.spl.size())) {
         agreed.insert(gid);
         ++agreed_new;
       }

@@ -1,0 +1,88 @@
+// Rank-indexed message staging.
+//
+// Every communication round in the adaption/balance/remap pipeline used
+// to stage its outgoing payloads in a fresh rank-keyed tree map: one
+// red-black-tree node allocation per destination per round, a log(P)
+// pointer chase per append, and a deep copy when the bytes were handed
+// to the transport.  RankBuffers replaces that with a flat pool of
+// BufWriters indexed directly by rank.  The pool is constructed once
+// per phase and reused across rounds: clear() resets only the ranks
+// that were touched (O(dirty), not O(P)) and keeps every writer's
+// allocation, and take() moves the staged bytes out so the transport
+// delivers them to the receiver without copying.
+#pragma once
+
+#include <vector>
+
+#include "support/buffer.hpp"
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace plum::parallel {
+
+class RankBuffers {
+ public:
+  RankBuffers() = default;
+  explicit RankBuffers(Rank nranks) { reset(nranks); }
+
+  /// Sizes the pool for `nranks` destinations and clears all staging.
+  void reset(Rank nranks) {
+    PLUM_CHECK(nranks >= 0);
+    clear();
+    bufs_.resize(static_cast<std::size_t>(nranks));
+    staged_.assign(static_cast<std::size_t>(nranks), 0);
+  }
+
+  Rank nranks() const { return static_cast<Rank>(bufs_.size()); }
+
+  /// Writer staging bytes for rank `r`; marks `r` as staged.
+  BufWriter& at(Rank r) {
+    const auto i = index(r);
+    if (!staged_[i]) {
+      staged_[i] = 1;
+      staged_list_.push_back(r);
+    }
+    return bufs_[i];
+  }
+
+  bool staged(Rank r) const { return staged_[index(r)] != 0; }
+
+  /// Ranks touched since the last clear(), in first-touch order.
+  const std::vector<Rank>& staged_ranks() const { return staged_list_; }
+
+  /// Moves rank `r`'s staged bytes out (empty if untouched).  The
+  /// writer keeps no capacity afterwards — ownership of the allocation
+  /// travels with the message to the receiver.
+  Bytes take(Rank r) { return bufs_[index(r)].take(); }
+
+  /// Moves every rank's bytes into a dense vector (alltoallv shape)
+  /// and resets the staging state.
+  std::vector<Bytes> take_all() {
+    std::vector<Bytes> out(bufs_.size());
+    for (std::size_t i = 0; i < bufs_.size(); ++i) out[i] = bufs_[i].take();
+    clear();
+    return out;
+  }
+
+  /// Un-stages every touched rank, keeping writer allocations.
+  void clear() {
+    for (const Rank r : staged_list_) {
+      const auto i = index(r);
+      bufs_[i].clear();
+      staged_[i] = 0;
+    }
+    staged_list_.clear();
+  }
+
+ private:
+  std::size_t index(Rank r) const {
+    PLUM_DCHECK(r >= 0 && static_cast<std::size_t>(r) < bufs_.size());
+    return static_cast<std::size_t>(r);
+  }
+
+  std::vector<BufWriter> bufs_;
+  std::vector<char> staged_;
+  std::vector<Rank> staged_list_;
+};
+
+}  // namespace plum::parallel

@@ -1,10 +1,9 @@
 #include "parallel/tree_transfer.hpp"
 
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "support/check.hpp"
+#include "support/flat_hash.hpp"
 
 namespace plum::parallel {
 
@@ -35,12 +34,17 @@ void pack_tree(const Mesh& m, LocalIndex root, BufWriter* w,
   std::vector<char> in_tree(m.elements().size(), 0);
   for (const LocalIndex e : elems) in_tree[static_cast<std::size_t>(e)] = 1;
 
-  // Vertices and edges the tree touches.
-  std::unordered_set<LocalIndex> verts;
-  std::unordered_set<LocalIndex> edges;
+  // Vertices and edges the tree touches (set for dedup, vector for a
+  // deterministic first-touch serialisation order).
+  FlatSet<LocalIndex> vset, eset;
+  std::vector<LocalIndex> verts, edges;
   for (const LocalIndex e : elems) {
-    for (const LocalIndex v : m.element(e).v) verts.insert(v);
-    for (const LocalIndex ed : m.element(e).e) edges.insert(ed);
+    for (const LocalIndex v : m.element(e).v) {
+      if (vset.insert(v)) verts.push_back(v);
+    }
+    for (const LocalIndex ed : m.element(e).e) {
+      if (eset.insert(ed)) edges.push_back(ed);
+    }
   }
   // Include full edge subtrees (children/midpoints of bisected edges).
   std::deque<LocalIndex> eq(edges.begin(), edges.end());
@@ -49,9 +53,12 @@ void pack_tree(const Mesh& m, LocalIndex root, BufWriter* w,
     eq.pop_front();
     const Edge& e = m.edge(ei);
     if (!e.bisected()) continue;
-    verts.insert(e.midpoint);
+    if (vset.insert(e.midpoint)) verts.push_back(e.midpoint);
     for (const LocalIndex c : e.child) {
-      if (c != kNoIndex && edges.insert(c).second) eq.push_back(c);
+      if (c != kNoIndex && eset.insert(c)) {
+        edges.push_back(c);
+        eq.push_back(c);
+      }
     }
   }
 
@@ -108,7 +115,7 @@ void pack_tree(const Mesh& m, LocalIndex root, BufWriter* w,
       for (const LocalIndex c : m.bface(bi).children) bq.push_back(c);
     }
   }
-  std::unordered_map<LocalIndex, std::int64_t> bface_msg_idx;
+  FlatMap<LocalIndex, std::int64_t> bface_msg_idx;
   w->put<std::int64_t>(static_cast<std::int64_t>(tree_bfaces.size()));
   for (std::size_t k = 0; k < tree_bfaces.size(); ++k) {
     const mesh::BFace& f = m.bface(tree_bfaces[k]);
@@ -138,7 +145,7 @@ std::int64_t unpack_tree(DistMesh* dm, BufReader* r) {
   }
 
   const auto nelems = r->get<std::int64_t>();
-  std::unordered_map<GlobalId, LocalIndex> elem_of;  // tree-local
+  FlatMap<GlobalId, LocalIndex> elem_of;  // tree-local
   std::vector<LocalIndex> created;
   created.reserve(static_cast<std::size_t>(nelems));
   for (std::int64_t i = 0; i < nelems; ++i) {

@@ -6,7 +6,7 @@
 
 namespace plum::simmpi {
 
-void Comm::send(Rank dst, int tag, Bytes payload) {
+void Comm::send(Rank dst, int tag, Bytes&& payload) {
   PLUM_CHECK_MSG(dst >= 0 && dst < size_, "send to invalid rank " << dst);
   const auto bytes = static_cast<std::int64_t>(payload.size());
   // The sender pays the setup cost; the message completes its transfer
@@ -53,7 +53,7 @@ Bytes Comm::broadcast(Bytes data, Rank root) {
   const Rank start = (vrank == 0) ? mask : (low >> 1);
   for (Rank s = start; s >= 1; s >>= 1) {
     if (vrank + s < size_) {
-      send(to_real(vrank + s), tag, data);  // copies; children need it too
+      send(to_real(vrank + s), tag, Bytes(data));  // copy; children need it
     }
   }
   return data;

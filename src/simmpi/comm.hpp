@@ -60,8 +60,10 @@ class Comm {
 
   // --- point to point --------------------------------------------------
 
-  /// Buffered asynchronous send; never blocks.
-  void send(Rank dst, int tag, Bytes payload);
+  /// Buffered asynchronous send; never blocks.  Takes the payload by
+  /// rvalue so the bytes move into the receiver's queue without a copy
+  /// (a caller that needs to keep the data copies explicitly).
+  void send(Rank dst, int tag, Bytes&& payload);
 
   /// Blocking receive from a specific source and tag.
   Bytes recv(Rank src, int tag);

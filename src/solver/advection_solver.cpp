@@ -1,7 +1,5 @@
 #include "solver/advection_solver.hpp"
 
-#include <map>
-
 #include "parallel/exchange.hpp"
 #include "support/check.hpp"
 
@@ -65,15 +63,19 @@ AdvectionStats run_advection(parallel::DistMesh& dm, simmpi::Comm& comm,
   const double t0 = comm.clock().now();
 
   parallel::NeighborExchange ex(comm, dm.neighbors());
-  std::map<Rank, std::vector<LocalIndex>> shared_with;
+  std::vector<std::vector<LocalIndex>> shared_with(
+      static_cast<std::size_t>(comm.size()));
   for (std::size_t v = 0; v < m.vertices().size(); ++v) {
     const mesh::Vertex& vv = m.vertices()[v];
     if (!vv.alive) continue;
     for (const Rank r : vv.spl) {
-      shared_with[r].push_back(static_cast<LocalIndex>(v));
+      shared_with[static_cast<std::size_t>(r)].push_back(
+          static_cast<LocalIndex>(v));
     }
   }
 
+  // Staging pool reused by every halo round.
+  parallel::RankBuffers out(comm.size());
   for (int it = 0; it < cfg.iterations; ++it) {
     std::vector<double> acc(m.vertices().size(), 0.0);
     for (const auto& e : m.edges()) {
@@ -85,14 +87,14 @@ AdvectionStats run_advection(parallel::DistMesh& dm, simmpi::Comm& comm,
     comm.charge(static_cast<double>(m.num_active_elements()),
                 comm.cost().c_solver_elem_us);
 
-    std::map<Rank, Bytes> out;
-    for (const auto& [r, verts] : shared_with) {
-      BufWriter w;
+    for (const Rank r : ex.neighbors()) {
+      const auto& verts = shared_with[static_cast<std::size_t>(r)];
+      if (verts.empty()) continue;
+      BufWriter& w = out.at(r);
       for (const LocalIndex v : verts) {
         w.put(m.vertex(v).gid);
         w.put(acc[static_cast<std::size_t>(v)]);
       }
-      out[r] = w.take();
     }
     const std::vector<Bytes> in = ex.exchange(out);
     for (const Bytes& buf : in) {

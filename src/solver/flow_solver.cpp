@@ -1,8 +1,6 @@
 #include "solver/flow_solver.hpp"
 
 #include <cmath>
-#include <map>
-#include <unordered_map>
 
 #include "parallel/exchange.hpp"
 #include "support/check.hpp"
@@ -76,16 +74,21 @@ SolverStats run_solver(parallel::DistMesh& dm, simmpi::Comm& comm,
 
   parallel::NeighborExchange ex(comm, dm.neighbors());
 
-  // Vertices shared with each neighbour (fixed across iterations).
-  std::map<Rank, std::vector<LocalIndex>> shared_with;
+  // Vertices shared with each neighbour (fixed across iterations),
+  // indexed directly by rank.
+  std::vector<std::vector<LocalIndex>> shared_with(
+      static_cast<std::size_t>(comm.size()));
   for (std::size_t v = 0; v < m.vertices().size(); ++v) {
     const mesh::Vertex& vv = m.vertices()[v];
     if (!vv.alive) continue;
     for (const Rank r : vv.spl) {
-      shared_with[r].push_back(static_cast<LocalIndex>(v));
+      shared_with[static_cast<std::size_t>(r)].push_back(
+          static_cast<LocalIndex>(v));
     }
   }
 
+  // Staging pool reused by every halo round.
+  parallel::RankBuffers out(comm.size());
   for (int it = 0; it < iterations; ++it) {
     Accumulator a(m.vertices().size());
     for (const auto& e : m.edges()) {
@@ -100,15 +103,15 @@ SolverStats run_solver(parallel::DistMesh& dm, simmpi::Comm& comm,
                 comm.cost().c_solver_elem_us);
 
     // Halo exchange of partial sums at shared vertices.
-    std::map<Rank, Bytes> out;
-    for (const auto& [r, verts] : shared_with) {
-      BufWriter w;
+    for (const Rank r : ex.neighbors()) {
+      const auto& verts = shared_with[static_cast<std::size_t>(r)];
+      if (verts.empty()) continue;
+      BufWriter& w = out.at(r);
       for (const LocalIndex v : verts) {
         w.put(m.vertex(v).gid);
         w.put(a.acc[static_cast<std::size_t>(v)]);
         w.put(a.degree[static_cast<std::size_t>(v)]);
       }
-      out[r] = w.take();
     }
     const std::vector<Bytes> in = ex.exchange(out);
     for (const Bytes& buf : in) {

@@ -8,6 +8,8 @@
 // instead of reading garbage.
 #pragma once
 
+#include <algorithm>
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <string>
@@ -33,6 +35,7 @@ class BufWriter {
     static_assert(std::is_trivially_copyable_v<T>,
                   "BufWriter::put requires a trivially copyable type");
     const auto* p = reinterpret_cast<const std::byte*>(&v);
+    grow_to_fit(sizeof(T));
     buf_.insert(buf_.end(), p, p + sizeof(T));
   }
 
@@ -40,6 +43,7 @@ class BufWriter {
   void put_vec(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "BufWriter::put_vec requires trivially copyable elements");
+    grow_to_fit(sizeof(std::uint64_t) + v.size() * sizeof(T));
     put<std::uint64_t>(v.size());
     if (!v.empty()) {
       const auto* p = reinterpret_cast<const std::byte*>(v.data());
@@ -48,16 +52,34 @@ class BufWriter {
   }
 
   void put_string(const std::string& s) {
+    grow_to_fit(sizeof(std::uint64_t) + s.size());
     put<std::uint64_t>(s.size());
     const auto* p = reinterpret_cast<const std::byte*>(s.data());
     buf_.insert(buf_.end(), p, p + s.size());
   }
 
   std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
   Bytes take() { return std::move(buf_); }
   const Bytes& bytes() const { return buf_; }
 
+  /// Drops the contents but keeps the allocation, so a pooled writer
+  /// reused across rounds stages its next payload allocation-free.
+  void clear() { buf_.clear(); }
+  std::size_t capacity() const { return buf_.capacity(); }
+
  private:
+  /// Reserves room for `incoming` more bytes before an insert.  Growth
+  /// is geometric (capacity at least doubles) with the exact incoming
+  /// size as the floor, so a long run of small put()s stays amortized
+  /// O(1) per byte while one huge put_vec() allocates exactly once.
+  void grow_to_fit(std::size_t incoming) {
+    const std::size_t need = buf_.size() + incoming;
+    if (need > buf_.capacity()) {
+      buf_.reserve(std::max(need, buf_.capacity() * 2));
+    }
+  }
+
   Bytes buf_;
 };
 

@@ -1,0 +1,249 @@
+// Flat open-addressing hash containers for the adaption hot paths.
+//
+// The mesh and dual-graph inner loops key faces, edges, and global ids
+// by integers.  std::unordered_map allocates one node per entry and
+// chases a pointer per lookup; at the millions-of-probes-per-round scale
+// of subdivision and dual-graph construction that dominates wall-clock.
+// FlatMap stores entries inline in one contiguous slot array (robin-hood
+// linear probing, power-of-two capacity, backward-shift deletion), so a
+// probe is an array walk over memory the next probe will also touch.
+//
+// Keys must be integral (<= 64 bits); values may be any movable type.
+// Iteration order is a deterministic function of the insertion sequence
+// (same inserts -> same layout), which the simulated ranks rely on for
+// reproducible message contents.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace plum {
+
+template <typename K, typename V>
+class FlatMap {
+  static_assert(std::is_integral_v<K> && sizeof(K) <= 8,
+                "FlatMap keys must be integral and at most 64 bits");
+
+ public:
+  using value_type = std::pair<K, V>;
+
+  class iterator {
+   public:
+    iterator(FlatMap* m, std::size_t i) : m_(m), i_(i) { skip(); }
+    value_type& operator*() const { return m_->slots_[i_]; }
+    value_type* operator->() const { return &m_->slots_[i_]; }
+    iterator& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    friend class FlatMap;
+    void skip() {
+      while (i_ < m_->dist_.size() && m_->dist_[i_] == 0) ++i_;
+    }
+    FlatMap* m_;
+    std::size_t i_;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator(const FlatMap* m, std::size_t i) : m_(m), i_(i) {
+      skip();
+    }
+    const value_type& operator*() const { return m_->slots_[i_]; }
+    const value_type* operator->() const { return &m_->slots_[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    friend class FlatMap;
+    void skip() {
+      while (i_ < m_->dist_.size() && m_->dist_[i_] == 0) ++i_;
+    }
+    const FlatMap* m_;
+    std::size_t i_;
+  };
+
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, dist_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, dist_.size()); }
+
+  /// Ensures capacity for `n` entries without rehashing mid-build.
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want * 3 < n * 4 + 4) want <<= 1;  // keep load factor < 3/4
+    if (want > dist_.size()) rehash(want);
+  }
+
+  void clear() {
+    if (size_ == 0) return;
+    for (std::size_t i = 0; i < dist_.size(); ++i) {
+      if (dist_[i] != 0) {
+        slots_[i] = value_type{};
+        dist_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  iterator find(K key) { return iterator(this, find_index(key)); }
+  const_iterator find(K key) const {
+    return const_iterator(this, find_index(key));
+  }
+  std::size_t count(K key) const {
+    return find_index(key) == dist_.size() ? 0 : 1;
+  }
+  bool contains(K key) const { return count(key) != 0; }
+
+  V& at(K key) {
+    const std::size_t i = find_index(key);
+    PLUM_CHECK_MSG(i != dist_.size(), "FlatMap::at: missing key");
+    return slots_[i].second;
+  }
+  const V& at(K key) const {
+    const std::size_t i = find_index(key);
+    PLUM_CHECK_MSG(i != dist_.size(), "FlatMap::at: missing key");
+    return slots_[i].second;
+  }
+
+  V& operator[](K key) { return try_emplace(key).first->second; }
+
+  /// Inserts {key, V(args...)} if absent; returns {iterator, inserted}.
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(K key, Args&&... args) {
+    {
+      const std::size_t i = find_index(key);
+      if (i != dist_.size()) return {iterator(this, i), false};
+    }
+    if ((size_ + 1) * 4 > dist_.size() * 3) {
+      rehash(dist_.size() == 0 ? 16 : dist_.size() * 2);
+    }
+    place(value_type(key, V(std::forward<Args>(args)...)));
+    ++size_;
+    return {iterator(this, find_index(key)), true};
+  }
+
+  /// Removes `key` if present; returns the number of entries removed.
+  std::size_t erase(K key) {
+    std::size_t i = find_index(key);
+    if (i == dist_.size()) return 0;
+    // Backward-shift deletion keeps probe chains gap-free (no
+    // tombstones, so lookup cost never degrades with churn).
+    const std::size_t mask = dist_.size() - 1;
+    for (;;) {
+      const std::size_t n = (i + 1) & mask;
+      if (dist_[n] <= 1) break;  // empty or already at its home slot
+      slots_[i] = std::move(slots_[n]);
+      dist_[i] = static_cast<std::uint8_t>(dist_[n] - 1);
+      i = n;
+    }
+    slots_[i] = value_type{};
+    dist_[i] = 0;
+    --size_;
+    return 1;
+  }
+
+ private:
+  static std::size_t home(K key, std::size_t mask) {
+    return static_cast<std::size_t>(
+               mix64(static_cast<std::uint64_t>(key))) &
+           mask;
+  }
+
+  /// Index of `key`'s slot, or dist_.size() when absent.
+  std::size_t find_index(K key) const {
+    if (size_ == 0) return dist_.size();
+    const std::size_t mask = dist_.size() - 1;
+    std::size_t i = home(key, mask);
+    std::uint8_t d = 1;
+    for (;;) {
+      // Robin-hood invariant: entries along a probe chain never sit
+      // further from home than the probing key would; passing a
+      // closer-to-home entry proves absence.
+      if (dist_[i] < d) return dist_.size();
+      if (dist_[i] == d && slots_[i].first == key) return i;
+      i = (i + 1) & mask;
+      ++d;
+    }
+  }
+
+  /// Robin-hood insert of an entry known to be absent.
+  void place(value_type&& entry) {
+    const std::size_t mask = dist_.size() - 1;
+    std::size_t i = home(entry.first, mask);
+    std::uint8_t d = 1;
+    for (;;) {
+      if (dist_[i] == 0) {
+        slots_[i] = std::move(entry);
+        dist_[i] = d;
+        return;
+      }
+      if (dist_[i] < d) {
+        std::swap(slots_[i], entry);
+        std::swap(dist_[i], d);
+      }
+      i = (i + 1) & mask;
+      ++d;
+      // A probe chain this long would overflow the distance byte; the
+      // table is pathologically clustered, so grow and retry.
+      if (d == 255) {
+        rehash(dist_.size() * 2);
+        place(std::move(entry));
+        return;
+      }
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_dist = std::move(dist_);
+    slots_.assign(new_cap, value_type{});
+    dist_.assign(new_cap, 0);
+    for (std::size_t i = 0; i < old_dist.size(); ++i) {
+      if (old_dist[i] != 0) place(std::move(old_slots[i]));
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<std::uint8_t> dist_;  // 0 = empty, else probe distance + 1
+  std::size_t size_ = 0;
+};
+
+/// Flat set over integral keys; same probing scheme as FlatMap.
+template <typename K>
+class FlatSet {
+ public:
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+  void clear() { map_.clear(); }
+  bool insert(K key) { return map_.try_emplace(key).second; }
+  std::size_t count(K key) const { return map_.count(key); }
+  bool contains(K key) const { return map_.contains(key); }
+  std::size_t erase(K key) { return map_.erase(key); }
+
+ private:
+  FlatMap<K, char> map_;
+};
+
+}  // namespace plum

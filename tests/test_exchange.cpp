@@ -1,0 +1,185 @@
+// NeighborExchange + RankBuffers: staging pool semantics, symmetric
+// neighbour discovery, move-based sends, and the failure guards.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "parallel/exchange.hpp"
+#include "parallel/rank_buffers.hpp"
+#include "simmpi/machine.hpp"
+#include "support/buffer.hpp"
+
+namespace plum::parallel {
+namespace {
+
+using simmpi::Comm;
+using simmpi::Machine;
+
+TEST(RankBuffers, StagesTakesAndClearsKeepingCapacity) {
+  RankBuffers rb(4);
+  EXPECT_EQ(rb.nranks(), 4);
+  EXPECT_TRUE(rb.staged_ranks().empty());
+
+  rb.at(2).put<std::int64_t>(7);
+  rb.at(0).put<std::int64_t>(9);
+  rb.at(2).put<std::int64_t>(8);  // second touch: no duplicate in list
+  EXPECT_TRUE(rb.staged(2));
+  EXPECT_FALSE(rb.staged(1));
+  EXPECT_EQ(rb.staged_ranks(), (std::vector<Rank>{2, 0}));
+
+  // take() moves the bytes out; untouched ranks yield empty buffers.
+  const Bytes b2 = rb.take(2);
+  EXPECT_EQ(b2.size(), 2 * sizeof(std::int64_t));
+  EXPECT_TRUE(rb.take(1).empty());
+
+  rb.clear();
+  EXPECT_TRUE(rb.staged_ranks().empty());
+  EXPECT_FALSE(rb.staged(0));
+
+  // The pool survives clear(): writers are reusable and a writer whose
+  // bytes were NOT taken keeps its allocation across rounds.
+  rb.at(0).put<std::int64_t>(1);
+  EXPECT_GT(rb.at(0).capacity(), 0u);
+  EXPECT_EQ(rb.staged_ranks(), (std::vector<Rank>{0}));
+}
+
+TEST(RankBuffers, TakeAllIsDenseAndResets) {
+  RankBuffers rb(3);
+  rb.at(1).put<std::int32_t>(5);
+  std::vector<Bytes> all = rb.take_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_TRUE(all[0].empty());
+  EXPECT_EQ(all[1].size(), sizeof(std::int32_t));
+  EXPECT_TRUE(all[2].empty());
+  EXPECT_TRUE(rb.staged_ranks().empty());
+}
+
+TEST(NeighborExchange, DeliversStagedAndEmptyBuffers) {
+  Machine machine;
+  machine.run(4, [](Comm& comm) {
+    // Ring neighbours.
+    const Rank left = (comm.rank() + 3) % 4;
+    const Rank right = (comm.rank() + 1) % 4;
+    NeighborExchange ex(comm, {left, right});
+    ASSERT_EQ(ex.neighbors().size(), 2u);
+
+    // Stage only to the right neighbour; the left one gets an empty
+    // buffer (still delivered, keeping the rounds collective).
+    RankBuffers out(comm.size());
+    out.at(right).put<std::int64_t>(100 + comm.rank());
+    const std::vector<Bytes> in = ex.exchange(out);
+
+    for (std::size_t k = 0; k < ex.neighbors().size(); ++k) {
+      const Rank src = ex.neighbors()[k];
+      if (src == left) {
+        // Left neighbour staged to *its* right, which is us.
+        BufReader r(in[k]);
+        EXPECT_EQ(r.get<std::int64_t>(), 100 + left);
+        EXPECT_TRUE(r.exhausted());
+      } else {
+        EXPECT_TRUE(in[k].empty());
+      }
+    }
+    // The pool is cleared for the next round.
+    EXPECT_TRUE(out.staged_ranks().empty());
+  });
+}
+
+TEST(NeighborExchange, PoolReuseAcrossRoundsKeepsPayloadsCorrect) {
+  Machine machine;
+  machine.run(3, [](Comm& comm) {
+    std::vector<Rank> nbrs;
+    for (Rank r = 0; r < comm.size(); ++r) {
+      if (r != comm.rank()) nbrs.push_back(r);
+    }
+    NeighborExchange ex(comm, nbrs);
+    RankBuffers out(comm.size());
+    for (int round = 0; round < 5; ++round) {
+      for (const Rank r : ex.neighbors()) {
+        out.at(r).put<std::int64_t>(1000 * round + comm.rank());
+      }
+      const std::vector<Bytes> in = ex.exchange(out);
+      for (std::size_t k = 0; k < ex.neighbors().size(); ++k) {
+        BufReader rd(in[k]);
+        EXPECT_EQ(rd.get<std::int64_t>(), 1000 * round + ex.neighbors()[k]);
+        EXPECT_TRUE(rd.exhausted());
+      }
+    }
+  });
+}
+
+TEST(NeighborExchange, SymmetrizesOneSidedNeighborViews) {
+  Machine machine;
+  machine.run(2, [](Comm& comm) {
+    // Only rank 0 believes the two share objects; without the
+    // constructor's symmetrization rank 1 would never post the
+    // matching receive and the exchange would deadlock.
+    const std::vector<Rank> mine =
+        comm.rank() == 0 ? std::vector<Rank>{1} : std::vector<Rank>{};
+    NeighborExchange ex(comm, mine);
+    ASSERT_EQ(ex.neighbors().size(), 1u);
+
+    RankBuffers out(comm.size());
+    out.at(ex.neighbors()[0]).put<std::int32_t>(comm.rank());
+    const std::vector<Bytes> in = ex.exchange(out);
+    BufReader r(in[0]);
+    EXPECT_EQ(r.get<std::int32_t>(), 1 - comm.rank());
+  });
+}
+
+TEST(NeighborExchange, SendsExactlyTheStagedBytes) {
+  // The move-based path must put the staged payload on the wire as-is:
+  // no length wrapper, no re-send, no copy-then-send-both.  Checked
+  // against the transport's own byte counters.
+  Machine machine;
+  machine.run(2, [](Comm& comm) {
+    NeighborExchange ex(comm, {1 - comm.rank()});
+    RankBuffers out(comm.size());
+    const std::int64_t before = comm.stats().bytes_sent;
+    for (int i = 0; i < 17; ++i) {
+      out.at(1 - comm.rank()).put<std::int64_t>(i);
+    }
+    const std::size_t staged = out.at(1 - comm.rank()).size();
+    ex.exchange(out);
+    EXPECT_EQ(comm.stats().bytes_sent - before,
+              static_cast<std::int64_t>(staged));
+  });
+}
+
+TEST(NeighborExchangeDeathTest, StagingForNonNeighborDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Machine machine;
+        machine.run(3, [](Comm& comm) {
+          // 0 <-> 1 are neighbours; 2 is isolated.
+          std::vector<Rank> nbrs;
+          if (comm.rank() == 0) nbrs = {1};
+          if (comm.rank() == 1) nbrs = {0};
+          NeighborExchange ex(comm, nbrs);
+          RankBuffers out(comm.size());
+          if (comm.rank() == 0) out.at(2).put<std::int32_t>(1);
+          ex.exchange(out);
+        });
+      },
+      "non-neighbour");
+}
+
+TEST(NeighborExchangeDeathTest, TagOverflowDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Machine machine;
+        machine.run(2, [](Comm& comm) {
+          NeighborExchange ex(comm, {1 - comm.rank()});
+          ex.advance_tags_for_test(simmpi::kUserTagLimit);
+          RankBuffers out(comm.size());
+          ex.exchange(out);
+        });
+      },
+      "tag overflow");
+}
+
+}  // namespace
+}  // namespace plum::parallel

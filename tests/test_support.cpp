@@ -1,11 +1,13 @@
-// Unit tests for the support layer: RNG, byte buffers, statistics,
-// tables.
+// Unit tests for the support layer: RNG, byte buffers, flat hash
+// containers, statistics, tables.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
+#include <unordered_map>
 
 #include "support/buffer.hpp"
+#include "support/flat_hash.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -111,6 +113,180 @@ TEST(Buffer, VecLengthLieDies) {
   EXPECT_DEATH(r.get_vec<std::uint64_t>(), "underrun");
 }
 
+TEST(FlatMap, BasicInsertFindEraseSemantics) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), m.end());
+  EXPECT_EQ(m.count(1), 0u);
+
+  auto [it, inserted] = m.try_emplace(1, 10);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->second, 10);
+  EXPECT_FALSE(m.try_emplace(1, 99).second);  // no overwrite
+  EXPECT_EQ(m.at(1), 10);
+
+  m[2] = 20;
+  m[2] += 5;
+  EXPECT_EQ(m.at(2), 25);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(2));
+
+  EXPECT_EQ(m.erase(1), 1u);
+  EXPECT_EQ(m.erase(1), 0u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.find(1), m.end());
+  EXPECT_EQ(m.at(2), 25);
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(2), m.end());
+}
+
+TEST(FlatMap, SurvivesRehashGrowth) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  const std::uint64_t n = 20000;  // forces many rehash doublings
+  for (std::uint64_t k = 0; k < n; ++k) m[k * 977] = k;
+  EXPECT_EQ(m.size(), n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    ASSERT_EQ(m.at(k * 977), k) << "lost key after rehash: " << k * 977;
+  }
+  EXPECT_FALSE(m.contains(977 * n));
+}
+
+TEST(FlatMap, ReserveAvoidsLosingEntries) {
+  FlatMap<std::uint64_t, int> m;
+  m.reserve(5000);
+  for (std::uint64_t k = 0; k < 5000; ++k) m[k] = static_cast<int>(k);
+  for (std::uint64_t k = 0; k < 5000; ++k) ASSERT_TRUE(m.contains(k));
+}
+
+TEST(FlatMap, BackwardShiftDeletionKeepsProbeChainsIntact) {
+  // Insert colliding-ish keys, delete from the middle of probe chains,
+  // and verify every survivor stays findable (no tombstone needed).
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 512; ++k) m[k] = static_cast<int>(k);
+  for (std::uint64_t k = 0; k < 512; k += 3) m.erase(k);
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    if (k % 3 == 0) {
+      ASSERT_FALSE(m.contains(k));
+    } else {
+      ASSERT_TRUE(m.contains(k)) << k;
+      ASSERT_EQ(m.at(k), static_cast<int>(k));
+    }
+  }
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 10; k < 60; ++k) m[k] = 1;
+  std::size_t visited = 0;
+  std::uint64_t key_sum = 0;
+  for (const auto& [k, v] : m) {
+    visited += static_cast<std::size_t>(v);
+    key_sum += k;
+  }
+  EXPECT_EQ(visited, 50u);
+  EXPECT_EQ(key_sum, (10 + 59) * 50 / 2);
+}
+
+TEST(FlatMap, FuzzAgainstUnorderedMap) {
+  Rng rng(2024);
+  FlatMap<std::uint64_t, std::int64_t> flat;
+  std::unordered_map<std::uint64_t, std::int64_t> ref;
+  for (int step = 0; step < 200000; ++step) {
+    // Small key space so inserts, hits, overwrites, and erases all mix.
+    const std::uint64_t key = rng.next_below(4096);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1:
+        flat[key] = static_cast<std::int64_t>(step);
+        ref[key] = static_cast<std::int64_t>(step);
+        break;
+      case 2:
+        EXPECT_EQ(flat.erase(key), ref.erase(key));
+        break;
+      default: {
+        const auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_FALSE(flat.contains(key));
+        } else {
+          ASSERT_TRUE(flat.contains(key));
+          EXPECT_EQ(flat.at(key), it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(flat.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_TRUE(flat.contains(k));
+    EXPECT_EQ(flat.at(k), v);
+  }
+}
+
+TEST(FlatMap, HoldsMoveOnlyStyleValues) {
+  // Values need not be trivially copyable — vectors are used by the
+  // migration rendezvous tables.
+  FlatMap<std::uint64_t, std::vector<int>> m;
+  m[7].push_back(1);
+  m[7].push_back(2);
+  m[9] = {3};
+  EXPECT_EQ(m.at(7).size(), 2u);
+  EXPECT_EQ(m.at(9).front(), 3);
+}
+
+TEST(FlatMapDeathTest, AtOnMissingKeyDies) {
+  FlatMap<std::uint64_t, int> m;
+  m[1] = 1;
+  EXPECT_DEATH(m.at(2), "missing key");
+}
+
+TEST(FlatSet, InsertCountEraseRoundTrip) {
+  FlatSet<std::uint64_t> s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.insert(6));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.count(5), 1u);
+  EXPECT_TRUE(s.contains(6));
+  EXPECT_EQ(s.erase(5), 1u);
+  EXPECT_EQ(s.erase(5), 0u);
+  EXPECT_FALSE(s.contains(5));
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Buffer, ClearKeepsCapacityForPooledReuse) {
+  BufWriter w;
+  for (int i = 0; i < 1000; ++i) w.put<std::int64_t>(i);
+  const std::size_t cap = w.capacity();
+  EXPECT_GE(cap, 8000u);
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.capacity(), cap);  // allocation retained
+  for (int i = 0; i < 1000; ++i) w.put<std::int64_t>(i);
+  EXPECT_EQ(w.capacity(), cap);  // refill allocates nothing
+}
+
+TEST(Buffer, GrowthIsGeometricWithExactFloor) {
+  // A huge put_vec reserves exactly once (no doubling staircase)...
+  BufWriter w;
+  w.put_vec(std::vector<std::uint8_t>(1 << 20, 7));
+  EXPECT_EQ(w.size(), (1u << 20) + sizeof(std::uint64_t));
+  // ...while many small puts stay amortized: capacity at least doubles
+  // per reallocation, so 4k puts cause ~a dozen reallocations, not 4k.
+  BufWriter small;
+  std::size_t reallocs = 0;
+  std::size_t last_cap = small.capacity();
+  for (int i = 0; i < 4096; ++i) {
+    small.put<std::int64_t>(i);
+    if (small.capacity() != last_cap) {
+      ++reallocs;
+      EXPECT_GE(small.capacity(), last_cap * 2);
+      last_cap = small.capacity();
+    }
+  }
+  EXPECT_LE(reallocs, 20u);
+}
 TEST(Stats, AccumulatorMatchesClosedForms) {
   StatAccumulator acc;
   for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);

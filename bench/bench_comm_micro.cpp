@@ -55,6 +55,12 @@ struct PhaseTimes {
   std::int64_t exchange_bytes = 0;
   double migrate_us = 0.0;
   std::int64_t elements_moved = 0;
+  // Per-phase migration breakdown (max over ranks, wall-clock).
+  double pack_us = 0.0;
+  double ship_us = 0.0;
+  double delete_purge_us = 0.0;
+  double unpack_us = 0.0;
+  double spl_us = 0.0;
 };
 
 PhaseTimes run_parallel_phases(const Mesh& global,
@@ -113,6 +119,12 @@ PhaseTimes run_parallel_phases(const Mesh& global,
     const double mig_us = t_mig.elapsed_us();
     comm.barrier();
     const std::int64_t total_moved = comm.allreduce_sum(mig.elements_sent);
+    const double pack_us = comm.allreduce_max(mig.phases.pack_us);
+    const double ship_us = comm.allreduce_max(mig.phases.ship_us);
+    const double delete_purge_us =
+        comm.allreduce_max(mig.phases.delete_purge_us);
+    const double unpack_us = comm.allreduce_max(mig.phases.unpack_us);
+    const double spl_us = comm.allreduce_max(mig.phases.spl_us);
 
     // Only rank 0 writes the shared result struct (threads race otherwise).
     if (comm.rank() == 0) {
@@ -120,6 +132,11 @@ PhaseTimes run_parallel_phases(const Mesh& global,
       out.exchange_bytes = total_halo;
       out.migrate_us = mig_us;
       out.elements_moved = total_moved;
+      out.pack_us = pack_us;
+      out.ship_us = ship_us;
+      out.delete_purge_us = delete_purge_us;
+      out.unpack_us = unpack_us;
+      out.spl_us = spl_us;
     }
   });
   return out;
@@ -177,7 +194,12 @@ int main(int argc, char** argv) {
                {{"n", static_cast<double>(n)},
                 {"P", static_cast<double>(P)},
                 {"wall_us", pt.migrate_us},
-                {"elements_moved", static_cast<double>(pt.elements_moved)}});
+                {"elements_moved", static_cast<double>(pt.elements_moved)},
+                {"pack_us", pt.pack_us},
+                {"ship_us", pt.ship_us},
+                {"delete_purge_us", pt.delete_purge_us},
+                {"unpack_us", pt.unpack_us},
+                {"spl_us", pt.spl_us}});
       t.row({static_cast<long long>(n), static_cast<long long>(P),
              pt.exchange_round_us, static_cast<long long>(pt.exchange_bytes),
              pt.migrate_us, static_cast<long long>(pt.elements_moved),

@@ -93,6 +93,69 @@ LocalIndex Mesh::create_element(const std::array<LocalIndex, 4>& verts,
   return add_element(verts, gid, parent);
 }
 
+LocalIndex Mesh::add_element_prelinked(const std::array<LocalIndex, 4>& verts,
+                                       const std::array<LocalIndex, 6>& edges,
+                                       GlobalId gid, LocalIndex parent,
+                                       bool active) {
+#ifndef NDEBUG
+  for (int k = 0; k < 6; ++k) {
+    const Edge& e = edge(edges[static_cast<std::size_t>(k)]);
+    const LocalIndex a = verts[static_cast<std::size_t>(kEdgeVerts[k][0])];
+    const LocalIndex b = verts[static_cast<std::size_t>(kEdgeVerts[k][1])];
+    PLUM_DCHECK((e.v[0] == a && e.v[1] == b) ||
+                (e.v[0] == b && e.v[1] == a));
+  }
+#endif
+  Element el;
+  el.v = verts;
+  el.e = edges;
+  el.gid = gid;
+  el.parent = parent;
+  el.active = active;
+  el.root = (parent == kNoIndex) ? kNoIndex : element(parent).root;
+  elements_.push_back(std::move(el));
+  const auto idx = static_cast<LocalIndex>(elements_.size() - 1);
+  if (parent == kNoIndex) elements_.back().root = idx;
+  if (active) {
+    for (const LocalIndex ei : elements_.back().e)
+      edges_[static_cast<std::size_t>(ei)].elems.push_back(idx);
+  }
+  if (parent != kNoIndex) element(parent).children.push_back(idx);
+  return idx;
+}
+
+LocalIndex Mesh::add_bface_prelinked(const std::array<LocalIndex, 3>& verts,
+                                     const std::array<LocalIndex, 3>& edges,
+                                     LocalIndex elem, LocalIndex parent) {
+#ifndef NDEBUG
+  for (int k = 0; k < 3; ++k) {
+    const Edge& e = edge(edges[static_cast<std::size_t>(k)]);
+    const LocalIndex a = verts[static_cast<std::size_t>(k)];
+    const LocalIndex b = verts[static_cast<std::size_t>((k + 1) % 3)];
+    PLUM_DCHECK((e.v[0] == a && e.v[1] == b) ||
+                (e.v[0] == b && e.v[1] == a));
+  }
+#endif
+  BFace f;
+  f.v = verts;
+  f.e = edges;
+  f.elem = elem;
+  f.parent = parent;
+  bfaces_.push_back(std::move(f));
+  const auto idx = static_cast<LocalIndex>(bfaces_.size() - 1);
+  if (parent != kNoIndex) bface(parent).children.push_back(idx);
+  return idx;
+}
+
+void Mesh::reserve_extra(std::size_t nv, std::size_t ne, std::size_t nel,
+                         std::size_t nb) {
+  vertices_.reserve(vertices_.size() + nv);
+  edges_.reserve(edges_.size() + ne);
+  elements_.reserve(elements_.size() + nel);
+  bfaces_.reserve(bfaces_.size() + nb);
+  edge_by_verts_.reserve(edge_by_verts_.size() + ne);
+}
+
 LocalIndex Mesh::add_bface(const std::array<LocalIndex, 3>& verts,
                            LocalIndex elem, LocalIndex parent) {
   BFace f;

@@ -185,9 +185,31 @@ class Mesh {
                             GlobalId gid, LocalIndex parent = kNoIndex,
                             std::int16_t edge_level = 0);
 
+  /// add_element with the six edges supplied by the caller (edge k must
+  /// connect verts[kEdgeVerts[k]]), skipping the per-edge hash probes.
+  /// When `active` is false the element is created as an interior forest
+  /// node: not registered in its edges' incidence lists (use
+  /// activate_element to make it a leaf later).
+  LocalIndex add_element_prelinked(const std::array<LocalIndex, 4>& verts,
+                                   const std::array<LocalIndex, 6>& edges,
+                                   GlobalId gid, LocalIndex parent = kNoIndex,
+                                   bool active = true);
+
   /// Adds an active boundary face over three vertices of element `elem`.
   LocalIndex add_bface(const std::array<LocalIndex, 3>& verts,
                        LocalIndex elem, LocalIndex parent = kNoIndex);
+
+  /// add_bface with the three edges supplied by the caller (edge k must
+  /// connect verts[k] and verts[(k+1)%3]), skipping the hash probes.
+  LocalIndex add_bface_prelinked(const std::array<LocalIndex, 3>& verts,
+                                 const std::array<LocalIndex, 3>& edges,
+                                 LocalIndex elem,
+                                 LocalIndex parent = kNoIndex);
+
+  /// Reserves room for `nv`/`ne`/`nel`/`nb` more vertices/edges/
+  /// elements/bfaces (bulk deserialisation pre-sizing).
+  void reserve_extra(std::size_t nv, std::size_t ne, std::size_t nel,
+                     std::size_t nb);
 
   // --- refinement-forest surgery -----------------------------------------
 

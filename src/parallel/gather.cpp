@@ -92,37 +92,34 @@ Mesh gather_global_mesh(const DistMesh& dm, simmpi::Comm& comm, Rank root) {
 
 mesh::Mesh gather_global_forest(const DistMesh& dm, simmpi::Comm& comm,
                                 Rank root) {
-  // Every rank packs its complete trees into one buffer.
+  // Every rank packs its complete forest as one block (all alive
+  // elements in index order = parents first, all alive bfaces).
   BufWriter w;
-  std::int64_t packed = 0;
-  std::int64_t ntrees = 0;
-  BufWriter body;
-  for (const auto& [gid, li] : dm.root_of_gid) {
-    (void)gid;
-    pack_tree(dm.local, li, &body, &packed);
-    ++ntrees;
+  std::vector<LocalIndex> elems, bfaces;
+  for (std::size_t i = 0; i < dm.local.elements().size(); ++i) {
+    if (dm.local.elements()[i].alive) {
+      elems.push_back(static_cast<LocalIndex>(i));
+    }
   }
-  w.put(ntrees);
-  {
-    Bytes b = body.take();
-    w.put_vec(b);
+  for (std::size_t bi = 0; bi < dm.local.bfaces().size(); ++bi) {
+    if (dm.local.bfaces()[bi].alive) {
+      bfaces.push_back(static_cast<LocalIndex>(bi));
+    }
   }
+  pack_tree_block(dm.local, elems, bfaces, &w);
   const std::vector<Bytes> parts = comm.gatherv(w.take(), root);
 
   Mesh out;
   if (comm.rank() != root) return out;
-  // Assemble on the host through a scratch DistMesh (unpack_tree keeps
-  // the dedup maps we need).
+  // Assemble on the host through a scratch DistMesh (unpack_tree_block
+  // keeps the dedup maps we need).
   DistMesh scratch;
   scratch.rank = 0;
   scratch.nranks = 1;
   for (const Bytes& part : parts) {
     BufReader r(part);
-    const auto n = r.get<std::int64_t>();
-    const Bytes trees = r.get_vec<std::byte>();
-    BufReader tr(trees);
-    for (std::int64_t t = 0; t < n; ++t) unpack_tree(&scratch, &tr);
-    PLUM_CHECK(tr.exhausted());
+    unpack_tree_block(&scratch, &r);
+    PLUM_CHECK(r.exhausted());
   }
   // SPLs are per-rank state; the global snapshot has none.
   for (auto& v : scratch.local.vertices()) v.spl.clear();

@@ -3,6 +3,7 @@
 #include "parallel/tree_transfer.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "parallel/rank_buffers.hpp"
 #include "support/check.hpp"
@@ -18,110 +19,33 @@ using mesh::Mesh;
 
 namespace {
 
-/// Deletes a departed tree and everything only it used.
-void delete_tree(Mesh& m, LocalIndex root) {
-  const std::vector<LocalIndex> elems = tree_elements(m, root);
-  std::vector<char> in_tree(m.elements().size(), 0);
-  for (const LocalIndex e : elems) in_tree[static_cast<std::size_t>(e)] = 1;
-
-  // Boundary faces first (children before parents).
-  std::vector<LocalIndex> bfaces;
-  for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
-    const mesh::BFace& f = m.bfaces()[bi];
-    if (f.alive && in_tree[static_cast<std::size_t>(f.elem)]) {
-      bfaces.push_back(static_cast<LocalIndex>(bi));
-    }
+/// gid -> owner-rank set as a chained pool: one map slot plus one pool
+/// entry per report, no per-gid vector allocation.  Chains list sources
+/// newest-first.
+struct OwnerTable {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  FlatMap<GlobalId, std::uint32_t> head;             // gid -> newest entry
+  std::vector<std::pair<Rank, std::uint32_t>> pool;  // (owner, next)
+  void add(GlobalId gid, Rank src) {
+    const auto it = head.try_emplace(gid, kNil).first;
+    pool.emplace_back(src, it->second);
+    it->second = static_cast<std::uint32_t>(pool.size() - 1);
   }
-  // Repeatedly delete leaves of the bface forest.
-  while (!bfaces.empty()) {
-    bool progress = false;
-    std::vector<LocalIndex> remaining;
-    for (const LocalIndex bi : bfaces) {
-      if (m.bface(bi).children.empty()) {
-        m.delete_bface(bi);
-        progress = true;
-      } else {
-        remaining.push_back(bi);
-      }
-    }
-    PLUM_CHECK_MSG(progress, "bface tree deletion stalled");
-    bfaces = std::move(remaining);
-  }
+};
 
-  // Elements, children before parents (reverse parent-first order).
-  for (auto it = elems.rbegin(); it != elems.rend(); ++it) {
-    m.delete_element(*it);
-  }
-}
-
-/// Post-departure purge: edges with no alive element users (at any
-/// level), un-bisections, orphan vertices.
-void purge_after_departure(Mesh& m) {
-  // Mark edges referenced by alive elements (active or interior nodes).
-  for (;;) {
-    bool changed = false;
-    std::vector<char> referenced(m.edges().size(), 0);
-    for (const auto& el : m.elements()) {
-      if (!el.alive) continue;
-      for (const LocalIndex e : el.e) {
-        referenced[static_cast<std::size_t>(e)] = 1;
-      }
-    }
-    for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
-      const Edge& e = m.edges()[ei];
-      if (e.alive && !e.bisected() && !referenced[ei] && e.elems.empty()) {
-        m.delete_edge(static_cast<LocalIndex>(ei));
-        changed = true;
-      }
-    }
-    for (std::size_t ei = 0; ei < m.edges().size(); ++ei) {
-      Edge& e = m.edges()[ei];
-      if (!e.alive || e.bisected() || e.midpoint == kNoIndex) continue;
-      if (m.vertex(e.midpoint).edges.empty()) {
-        m.delete_vertex(e.midpoint);
-        e.midpoint = kNoIndex;
-        changed = true;
-      }
-    }
-    if (!changed) break;
-  }
-  for (std::size_t vi = 0; vi < m.vertices().size(); ++vi) {
-    if (m.vertices()[vi].alive && m.vertices()[vi].edges.empty()) {
-      m.delete_vertex(static_cast<LocalIndex>(vi));
-    }
-  }
-}
-
-}  // namespace
-
-void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
+/// Rendezvous core shared by the full rebuild and the incremental
+/// repair: each gid in `vgids[home]`/`egids[home]` is reported to its
+/// home rank; homes collect the owner set of every reported gid and
+/// reply to each owner with its co-owners.  The caller must have
+/// cleared the SPLs of exactly the reported objects; replies install
+/// the new sorted lists.  Always two alltoallvs, so the simulated
+/// message counters do not depend on how many gids are reported.
+void rendezvous_spls(DistMesh* dm, simmpi::Comm* comm,
+                     const std::vector<std::vector<GlobalId>>& vgids,
+                     const std::vector<std::vector<GlobalId>>& egids) {
   Mesh& m = dm->local;
   const Rank P = comm->size();
 
-  // Clear all SPLs.
-  for (auto& e : m.edges()) e.spl.clear();
-  for (auto& v : m.vertices()) v.spl.clear();
-
-  // Rendezvous: send each alive gid to its home rank; homes reply with
-  // co-owners.  One pass handles vertices and edges together (tagged by
-  // a kind byte folded into the gid stream ordering: two separate
-  // vectors).
-  std::vector<std::vector<GlobalId>> vgids(static_cast<std::size_t>(P));
-  std::vector<std::vector<GlobalId>> egids(static_cast<std::size_t>(P));
-  for (const auto& v : m.vertices()) {
-    if (v.alive) {
-      vgids[static_cast<std::size_t>(mix64(v.gid) %
-                                     static_cast<std::uint64_t>(P))]
-          .push_back(v.gid);
-    }
-  }
-  for (const auto& e : m.edges()) {
-    if (e.alive) {
-      egids[static_cast<std::size_t>(mix64(e.gid) %
-                                     static_cast<std::uint64_t>(P))]
-          .push_back(e.gid);
-    }
-  }
   RankBuffers to_home(P);
   for (Rank r = 0; r < P; ++r) {
     BufWriter& w = to_home.at(r);
@@ -130,53 +54,66 @@ void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
   }
   const std::vector<Bytes> at_home = comm->alltoallv(to_home.take_all());
 
-  // Home side: gid -> owner ranks.
-  FlatMap<GlobalId, std::vector<Rank>> vowners, eowners;
+  // Home side: the bulk of reported gids are interior with a single
+  // owner and never produce a reply, so the owner table must be cheap
+  // per report.
+  OwnerTable vowners, eowners;
+  {
+    std::size_t total = 0;
+    for (const auto& b : at_home) total += b.size();
+    const std::size_t est = total / (2 * sizeof(GlobalId)) + 1;
+    vowners.head.reserve(est);  // over-estimates (covers both sections)
+    vowners.pool.reserve(est);
+    eowners.head.reserve(est);
+    eowners.pool.reserve(est);
+  }
   for (Rank src = 0; src < P; ++src) {
     BufReader r(at_home[static_cast<std::size_t>(src)]);
-    for (const GlobalId g : r.get_vec<GlobalId>()) {
-      vowners[g].push_back(src);
-    }
-    for (const GlobalId g : r.get_vec<GlobalId>()) {
-      eowners[g].push_back(src);
-    }
+    for (const GlobalId g : r.get_vec<GlobalId>()) vowners.add(g, src);
+    for (const GlobalId g : r.get_vec<GlobalId>()) eowners.add(g, src);
   }
   // Replies: for each owner of a multi-owner gid, the other owners.
-  std::vector<std::vector<std::pair<GlobalId, std::vector<Rank>>>> vrep(
-      static_cast<std::size_t>(P)),
-      erep(static_cast<std::size_t>(P));
-  auto queue_replies =
-      [&](const FlatMap<GlobalId, std::vector<Rank>>& owners,
-          std::vector<std::vector<std::pair<GlobalId, std::vector<Rank>>>>&
-              rep) {
-        for (const auto& [gid, ranks] : owners) {
-          if (ranks.size() < 2) continue;
-          for (const Rank owner : ranks) {
-            std::vector<Rank> others;
-            for (const Rank o : ranks) {
-              if (o != owner) others.push_back(o);
-            }
-            rep[static_cast<std::size_t>(owner)].emplace_back(
-                gid, std::move(others));
-          }
-        }
-      };
-  queue_replies(vowners, vrep);
-  queue_replies(eowners, erep);
+  // Two passes — count records per destination (the section headers come
+  // first), then emit straight into the per-rank writers.  Chains list
+  // sources newest-first; `ranks` reverses them back to ascending.
   RankBuffers reply(P);
-  for (Rank r = 0; r < P; ++r) {
-    BufWriter& w = reply.at(r);
-    auto emit = [&](const std::vector<
-                    std::pair<GlobalId, std::vector<Rank>>>& list) {
-      w.put<std::int64_t>(static_cast<std::int64_t>(list.size()));
-      for (const auto& [gid, ranks] : list) {
-        w.put(gid);
-        w.put_vec(ranks);
+  std::vector<Rank> ranks;
+  auto chain_ranks = [&](const OwnerTable& t, std::uint32_t head) {
+    ranks.clear();
+    for (std::uint32_t i = head; i != OwnerTable::kNil;
+         i = t.pool[i].second) {
+      ranks.push_back(t.pool[i].first);
+    }
+    std::reverse(ranks.begin(), ranks.end());
+  };
+  auto emit_section = [&](const OwnerTable& t) {
+    std::vector<std::int64_t> count(static_cast<std::size_t>(P), 0);
+    for (const auto& [gid, head] : t.head) {
+      (void)gid;
+      chain_ranks(t, head);
+      if (ranks.size() < 2) continue;
+      for (const Rank owner : ranks) {
+        count[static_cast<std::size_t>(owner)] += 1;
       }
-    };
-    emit(vrep[static_cast<std::size_t>(r)]);
-    emit(erep[static_cast<std::size_t>(r)]);
-  }
+    }
+    for (Rank r = 0; r < P; ++r) {
+      reply.at(r).put<std::int64_t>(count[static_cast<std::size_t>(r)]);
+    }
+    for (const auto& [gid, head] : t.head) {
+      chain_ranks(t, head);
+      if (ranks.size() < 2) continue;
+      for (std::size_t i = 0; i < ranks.size(); ++i) {
+        BufWriter& w = reply.at(ranks[i]);
+        w.put(gid);
+        w.put<std::uint64_t>(ranks.size() - 1);
+        for (std::size_t j = 0; j < ranks.size(); ++j) {
+          if (j != i) w.put(ranks[j]);
+        }
+      }
+    }
+  };
+  emit_section(vowners);
+  emit_section(eowners);
   const std::vector<Bytes> replies = comm->alltoallv(reply.take_all());
 
   for (Rank src = 0; src < P; ++src) {
@@ -198,65 +135,344 @@ void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
   }
 }
 
+/// Incremental SPL repair.  Re-reports exactly the gids whose holder
+/// set the migration could have changed:
+///   (a) gids this rank packed (still-resident shared boundary copies);
+///   (b) gids this rank received (`touched` covers both);
+///   (c) gids whose old SPL intersects an involved (sending or
+///       receiving) rank — their remote holder set may have changed;
+///   (d) every shared gid on an involved rank — an uninvolved holder h
+///       re-reports a gid because its SPL names an involved rank, and
+///       the involved rank must report it too or h's reply loses it.
+/// Rules (a)-(d) are closed: for any gid, if one holder reports it,
+/// every holder does, so each home always sees the complete holder set
+/// of every reported gid and the replies equal a full rebuild's.
+void repair_spls(DistMesh* dm, simmpi::Comm* comm,
+                 const std::vector<char>& involved,
+                 const std::vector<char>& touched_v,
+                 const std::vector<char>& touched_e) {
+  Mesh& m = dm->local;
+  const Rank P = comm->size();
+  const bool self_involved = involved[static_cast<std::size_t>(dm->rank)];
+
+  std::vector<std::vector<GlobalId>> vgids(static_cast<std::size_t>(P));
+  std::vector<std::vector<GlobalId>> egids(static_cast<std::size_t>(P));
+  const auto affected = [&](bool touched, const std::vector<Rank>& spl) {
+    if (touched) return true;
+    if (spl.empty()) return false;
+    if (self_involved) return true;
+    for (const Rank r : spl) {
+      if (involved[static_cast<std::size_t>(r)]) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < m.vertices().size(); ++i) {
+    auto& v = m.vertices()[i];
+    if (!v.alive || !affected(touched_v[i] != 0, v.spl)) continue;
+    v.spl.clear();
+    vgids[static_cast<std::size_t>(mix64(v.gid) %
+                                   static_cast<std::uint64_t>(P))]
+        .push_back(v.gid);
+  }
+  for (std::size_t i = 0; i < m.edges().size(); ++i) {
+    auto& e = m.edges()[i];
+    if (!e.alive || !affected(touched_e[i] != 0, e.spl)) continue;
+    e.spl.clear();
+    egids[static_cast<std::size_t>(mix64(e.gid) %
+                                   static_cast<std::uint64_t>(P))]
+        .push_back(e.gid);
+  }
+  rendezvous_spls(dm, comm, vgids, egids);
+}
+
+}  // namespace
+
+void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
+  Mesh& m = dm->local;
+  const Rank P = comm->size();
+
+  // Clear all SPLs and report every alive gid to its home rank.
+  std::vector<std::vector<GlobalId>> vgids(static_cast<std::size_t>(P));
+  std::vector<std::vector<GlobalId>> egids(static_cast<std::size_t>(P));
+  for (auto& v : m.vertices()) {
+    if (!v.alive) continue;
+    v.spl.clear();
+    vgids[static_cast<std::size_t>(mix64(v.gid) %
+                                   static_cast<std::uint64_t>(P))]
+        .push_back(v.gid);
+  }
+  for (auto& e : m.edges()) {
+    if (!e.alive) continue;
+    e.spl.clear();
+    egids[static_cast<std::size_t>(mix64(e.gid) %
+                                   static_cast<std::uint64_t>(P))]
+        .push_back(e.gid);
+  }
+  rendezvous_spls(dm, comm, vgids, egids);
+}
+
 MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
-                        const std::vector<Rank>& proc_of_root) {
+                        const std::vector<Rank>& proc_of_root,
+                        const MigrateOptions& opt) {
   MigrationResult result;
   Mesh& m = dm->local;
   const Rank P = comm->size();
+  const Rank self = dm->rank;
   const double t0 = comm->clock().now();
 
-  // Departing trees, packed straight into the per-destination staging
-  // buffers (trees are self-delimiting records, so no count or length
-  // wrapper is needed — receivers unpack until the buffer runs dry).
-  RankBuffers outgoing(P);
-  std::vector<LocalIndex> departing;
-  for (const auto& [gid, li] : dm->root_of_gid) {
-    PLUM_CHECK_MSG(gid < proc_of_root.size(),
+  auto mark = std::chrono::steady_clock::now();
+  const auto lap = [&mark](double* acc) {
+    const auto now = std::chrono::steady_clock::now();
+    *acc += std::chrono::duration<double, std::micro>(now - mark).count();
+    mark = now;
+  };
+
+  // --- destination pass --------------------------------------------------
+  // One sweep over elements resolves every slot's destination through
+  // its root, buckets departing elements per destination (ascending
+  // index order = parents before children), and counts each edge's
+  // references from elements that stay — the purge's reference counts.
+  std::vector<Rank> dest(m.elements().size(), self);
+  std::vector<std::int32_t> eref(m.edges().size(), 0);
+  std::vector<std::vector<LocalIndex>> elems_by_dest(
+      static_cast<std::size_t>(P));
+  for (std::size_t i = 0; i < m.elements().size(); ++i) {
+    const Element& el = m.elements()[i];
+    if (!el.alive) continue;
+    const GlobalId root_gid = m.element(el.root).gid;
+    PLUM_CHECK_MSG(root_gid < proc_of_root.size(),
                    "root gid outside proc_of_root");
-    const Rank dest = proc_of_root[static_cast<std::size_t>(gid)];
-    PLUM_CHECK(dest >= 0 && dest < P);
-    if (dest == dm->rank) continue;
-    pack_tree(dm->local, li, &outgoing.at(dest), &result.elements_sent);
-    departing.push_back(li);
-    result.roots_sent += 1;
+    const Rank d = proc_of_root[static_cast<std::size_t>(root_gid)];
+    PLUM_CHECK(d >= 0 && d < P);
+    dest[i] = d;
+    if (d == self) {
+      for (const LocalIndex e : el.e) {
+        ++eref[static_cast<std::size_t>(e)];
+      }
+    } else {
+      elems_by_dest[static_cast<std::size_t>(d)].push_back(
+          static_cast<LocalIndex>(i));
+      if (el.parent == kNoIndex) result.roots_sent += 1;
+    }
+  }
+
+  // One shared bface sweep (a bface departs with its owning element).
+  std::vector<std::vector<LocalIndex>> bfaces_by_dest(
+      static_cast<std::size_t>(P));
+  for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
+    const mesh::BFace& f = m.bfaces()[bi];
+    if (!f.alive) continue;
+    const Rank d = dest[static_cast<std::size_t>(f.elem)];
+    if (d != self) {
+      bfaces_by_dest[static_cast<std::size_t>(d)].push_back(
+          static_cast<LocalIndex>(bi));
+    }
+  }
+
+  // --- pack --------------------------------------------------------------
+  // Every message leads with this rank's destination list, so receivers
+  // can derive the involved-rank set without an extra collective; one
+  // block per destination follows where trees actually move.
+  std::vector<Rank> my_dests;
+  for (Rank r = 0; r < P; ++r) {
+    if (r != self && !elems_by_dest[static_cast<std::size_t>(r)].empty()) {
+      my_dests.push_back(r);
+    }
+  }
+  RankBuffers outgoing(P);
+  std::vector<char> vpacked(m.vertices().size(), 0);
+  std::vector<char> epacked(m.edges().size(), 0);
+  std::vector<LocalIndex> packed_verts, packed_edges;
+  for (Rank r = 0; r < P; ++r) {
+    if (r == self) continue;
+    BufWriter& w = outgoing.at(r);
+    w.put_vec(my_dests);
+    const auto& block = elems_by_dest[static_cast<std::size_t>(r)];
+    if (block.empty()) continue;
+    result.elements_sent += static_cast<std::int64_t>(block.size());
+    std::vector<LocalIndex> bverts, bedges;
+    pack_tree_block(m, block, bfaces_by_dest[static_cast<std::size_t>(r)],
+                    &w, &bverts, &bedges);
+    for (const LocalIndex v : bverts) {
+      if (!vpacked[static_cast<std::size_t>(v)]) {
+        vpacked[static_cast<std::size_t>(v)] = 1;
+        packed_verts.push_back(v);
+      }
+    }
+    for (const LocalIndex e : bedges) {
+      if (!epacked[static_cast<std::size_t>(e)]) {
+        epacked[static_cast<std::size_t>(e)] = 1;
+        packed_edges.push_back(e);
+      }
+    }
   }
   for (Rank r = 0; r < P; ++r) {
-    if (r != dm->rank) {
+    if (r != self) {
       result.bytes_sent += static_cast<std::int64_t>(outgoing.at(r).size());
     }
   }
+  lap(&result.phases.pack_us);
 
-  // Ship.  (The per-word transfer and setup costs are charged by the
-  // simulated machine itself.)
+  // --- ship --------------------------------------------------------------
+  // (The per-word transfer and setup costs are charged by the simulated
+  // machine itself.)
   const std::vector<Bytes> incoming = comm->alltoallv(outgoing.take_all());
+  lap(&result.phases.ship_us);
 
-  // Delete departed trees before unpacking (dedup-by-gid must not see
-  // the stale copies), then purge orphans.
-  const std::vector<LocalIndex> departed_sorted = [&] {
-    std::vector<LocalIndex> v = departing;
-    std::sort(v.begin(), v.end());
-    return v;
-  }();
-  for (const LocalIndex root : departed_sorted) delete_tree(m, root);
-  purge_after_departure(m);
-  dm->rebuild_gid_maps();
+  // --- delete departed trees ---------------------------------------------
+  // Reverse index order deletes children before parents; gid maps are
+  // maintained in place (no full rebuild).
+  for (std::size_t bi = m.bfaces().size(); bi-- > 0;) {
+    const mesh::BFace& f = m.bfaces()[bi];
+    if (f.alive && dest[static_cast<std::size_t>(f.elem)] != self) {
+      m.delete_bface(static_cast<LocalIndex>(bi));
+    }
+  }
+  for (std::size_t i = m.elements().size(); i-- > 0;) {
+    const Element& el = m.elements()[i];
+    if (!el.alive || dest[i] == self) continue;
+    if (el.parent == kNoIndex) dm->root_of_gid.erase(el.gid);
+    m.delete_element(static_cast<LocalIndex>(i));
+  }
 
-  // Unpack incoming trees.
+  // --- counted purge -------------------------------------------------------
+  // Only packed edges can have lost element references, so they seed
+  // the worklist; deleting a child edge can orphan its parent, which
+  // re-enters through the same queue.  `mid_owner` lets an orphaned
+  // midpoint vertex clear the cached midpoint link of the edge that
+  // created it (the owner is always packed: the elements subdivided
+  // across it departed).
+  FlatMap<LocalIndex, LocalIndex> mid_owner;
+  for (const LocalIndex ei : packed_edges) {
+    const Edge& e = m.edge(ei);
+    if (e.alive && e.midpoint != kNoIndex) mid_owner[e.midpoint] = ei;
+  }
+  const auto drop_vertex = [&](LocalIndex vi) {
+    dm->vertex_of_gid.erase(m.vertex(vi).gid);
+    m.delete_vertex(vi);
+    const auto it = mid_owner.find(vi);
+    if (it != mid_owner.end()) {
+      Edge& own = m.edge(it->second);
+      if (own.alive && !own.bisected() && own.midpoint == vi) {
+        own.midpoint = kNoIndex;
+      }
+    }
+  };
+  std::vector<LocalIndex> worklist;
+  for (const LocalIndex ei : packed_edges) {
+    const Edge& e = m.edge(ei);
+    if (e.alive && !e.bisected() && eref[static_cast<std::size_t>(ei)] == 0) {
+      worklist.push_back(ei);
+    }
+  }
+  for (std::size_t k = 0; k < worklist.size(); ++k) {
+    const LocalIndex ei = worklist[k];
+    Edge& e = m.edge(ei);
+    // Re-validate at pop: the entry may be stale (already deleted, or
+    // queued twice via both the seed scan and a child deletion).
+    if (!e.alive || e.bisected() ||
+        eref[static_cast<std::size_t>(ei)] != 0) {
+      continue;
+    }
+    PLUM_DCHECK(e.elems.empty());
+    const LocalIndex parent = e.parent;
+    const std::array<LocalIndex, 2> ev = e.v;
+    dm->edge_of_gid.erase(e.gid);
+    m.delete_edge(ei);
+    for (const LocalIndex v : ev) {
+      const mesh::Vertex& vv = m.vertex(v);
+      if (vv.alive && vv.edges.empty()) drop_vertex(v);
+    }
+    if (parent == kNoIndex) continue;
+    Edge& p = m.edge(parent);
+    if (!p.alive || p.bisected()) continue;
+    if (p.midpoint != kNoIndex) {
+      const mesh::Vertex& mv = m.vertex(p.midpoint);
+      if (mv.alive && mv.edges.empty()) drop_vertex(p.midpoint);
+      if (p.midpoint != kNoIndex && !m.vertex(p.midpoint).alive) {
+        p.midpoint = kNoIndex;
+      }
+    }
+    if (eref[static_cast<std::size_t>(parent)] == 0) {
+      worklist.push_back(parent);
+    }
+  }
+  // Corner vertices orphaned by the drain (their edges were all packed
+  // and deleted, but they were never a midpoint).
+  for (const LocalIndex v : packed_verts) {
+    const mesh::Vertex& vv = m.vertex(v);
+    if (vv.alive && vv.edges.empty()) drop_vertex(v);
+  }
+  lap(&result.phases.delete_purge_us);
+
+  // --- unpack --------------------------------------------------------------
+  std::vector<char> involved(static_cast<std::size_t>(P), 0);
+  for (const Rank r : my_dests) involved[static_cast<std::size_t>(r)] = 1;
+  if (!my_dests.empty()) involved[static_cast<std::size_t>(self)] = 1;
+  std::vector<LocalIndex> recv_verts, recv_edges;
   for (Rank src = 0; src < P; ++src) {
-    if (src == dm->rank) continue;
+    if (src == self) continue;
     BufReader br(incoming[static_cast<std::size_t>(src)]);
-    while (!br.exhausted()) {
-      const std::int64_t ne = unpack_tree(dm, &br);
+    const auto their_dests = br.get_vec<Rank>();
+    if (!their_dests.empty()) involved[static_cast<std::size_t>(src)] = 1;
+    for (const Rank d : their_dests) {
+      involved[static_cast<std::size_t>(d)] = 1;
+    }
+    if (!br.exhausted()) {
+      const std::int64_t ne = unpack_tree_block(
+          dm, &br, &recv_verts, &recv_edges, &result.roots_received);
       result.elements_received += ne;
-      result.roots_received += 1;
       comm->charge(static_cast<double>(ne),
                    comm->cost().c_rebuild_elem_us);
     }
+    PLUM_CHECK(br.exhausted());
   }
+  // Objects whose holder set this rank changed: boundary copies it
+  // packed (and kept) plus everything it received, as local-index flags
+  // sized to the post-unpack stores.
+  std::vector<char> touched_v(m.vertices().size(), 0);
+  std::vector<char> touched_e(m.edges().size(), 0);
+  for (const LocalIndex v : packed_verts) {
+    touched_v[static_cast<std::size_t>(v)] = 1;
+  }
+  for (const LocalIndex e : packed_edges) {
+    touched_e[static_cast<std::size_t>(e)] = 1;
+  }
+  for (const LocalIndex v : recv_verts) {
+    touched_v[static_cast<std::size_t>(v)] = 1;
+  }
+  for (const LocalIndex e : recv_edges) {
+    touched_e[static_cast<std::size_t>(e)] = 1;
+  }
+  lap(&result.phases.unpack_us);
 
-  // Consistent shared-data rebuild.
-  rebuild_spls(dm, comm);
-  dm->rebuild_gid_maps();
+  // --- SPL repair ----------------------------------------------------------
+  if (opt.full_spl_rebuild) {
+    rebuild_spls(dm, comm);
+  } else {
+    repair_spls(dm, comm, involved, touched_v, touched_e);
+    if (opt.spl_cross_check) {
+      std::vector<std::vector<Rank>> vspl, espl;
+      vspl.reserve(m.vertices().size());
+      espl.reserve(m.edges().size());
+      for (const auto& v : m.vertices()) vspl.push_back(v.spl);
+      for (const auto& e : m.edges()) espl.push_back(e.spl);
+      rebuild_spls(dm, comm);
+      for (std::size_t i = 0; i < m.vertices().size(); ++i) {
+        if (!m.vertices()[i].alive) continue;
+        PLUM_CHECK_MSG(vspl[i] == m.vertices()[i].spl,
+                       "incremental SPL repair diverged on vertex gid "
+                           << m.vertices()[i].gid);
+      }
+      for (std::size_t i = 0; i < m.edges().size(); ++i) {
+        if (!m.edges()[i].alive) continue;
+        PLUM_CHECK_MSG(espl[i] == m.edges()[i].spl,
+                       "incremental SPL repair diverged on edge gid "
+                           << m.edges()[i].gid);
+      }
+    }
+  }
+  lap(&result.phases.spl_us);
 
   result.elapsed_us = comm->clock().now() - t0;
   return result;

@@ -31,6 +31,16 @@
 
 namespace plum::parallel {
 
+/// Wall-clock (not simulated) time spent in each migration phase on
+/// this rank, µs.  Feeds the bench_comm_micro per-phase breakdown.
+struct MigrationPhases {
+  double pack_us = 0.0;          ///< destination pass + serialisation
+  double ship_us = 0.0;          ///< alltoallv
+  double delete_purge_us = 0.0;  ///< departed-tree delete + counted purge
+  double unpack_us = 0.0;        ///< block deserialisation
+  double spl_us = 0.0;           ///< SPL repair / rebuild
+};
+
 struct MigrationResult {
   std::int64_t roots_sent = 0;
   std::int64_t roots_received = 0;
@@ -39,13 +49,26 @@ struct MigrationResult {
   std::int64_t bytes_sent = 0;        ///< payload bytes (this rank)
   /// Simulated time spent migrating on this rank (µs).
   double elapsed_us = 0.0;
+  MigrationPhases phases;
+};
+
+struct MigrateOptions {
+  /// Recompute every SPL from scratch (the pre-incremental behaviour)
+  /// instead of repairing only the gids the migration could have
+  /// affected.  Same collective shape either way (two alltoallvs).
+  bool full_spl_rebuild = false;
+  /// After the incremental repair, run the full rebuild too and assert
+  /// both produce identical SPLs (adds collectives; for tests).
+  bool spl_cross_check = false;
 };
 
 /// Collective.  Moves every resident root whose proc_of_root[gid]
 /// differs from this rank, receives incoming trees, purges orphaned
-/// local objects, rebuilds gid maps and SPLs.
+/// local objects, and repairs gid maps and SPLs incrementally.  Work is
+/// O(moved elements + partition boundary), never O(mesh size).
 MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
-                        const std::vector<Rank>& proc_of_root);
+                        const std::vector<Rank>& proc_of_root,
+                        const MigrateOptions& opt = {});
 
 /// Collective.  Recomputes every SPL from scratch via a machine-wide
 /// rendezvous (also used by tests to cross-check incremental SPL

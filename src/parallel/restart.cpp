@@ -13,28 +13,40 @@ DistMesh scatter_adapted_mesh(const mesh::Mesh& global,
   dm.rank = comm.rank();
   dm.nranks = comm.size();
 
-  // Pack each of our trees from the snapshot and unpack into the local
-  // mesh — identical records to what migration would ship.
-  std::int64_t packed = 0;
+  // Pack all of our trees from the snapshot as one block and unpack it
+  // into the local mesh — identical records to what migration would
+  // ship.  Ascending index order lists parents before children.
+  std::vector<LocalIndex> elems;
   for (std::size_t li = 0; li < global.elements().size(); ++li) {
     const mesh::Element& el = global.elements()[li];
-    if (!el.alive || el.parent != kNoIndex) continue;
-    PLUM_CHECK_MSG(el.gid < proc_of_root.size(),
-                   "snapshot root gid " << el.gid
+    if (!el.alive) continue;
+    const GlobalId root_gid = global.element(el.root).gid;
+    PLUM_CHECK_MSG(root_gid < proc_of_root.size(),
+                   "snapshot root gid " << root_gid
                                         << " outside proc_of_root");
-    if (proc_of_root[static_cast<std::size_t>(el.gid)] != comm.rank()) {
-      continue;
+    if (proc_of_root[static_cast<std::size_t>(root_gid)] == comm.rank()) {
+      elems.push_back(static_cast<LocalIndex>(li));
     }
-    BufWriter w;
-    pack_tree(global, static_cast<LocalIndex>(li), &w, &packed);
-    const Bytes buf = w.take();
-    BufReader r(buf);
-    unpack_tree(&dm, &r);
-    PLUM_CHECK(r.exhausted());
   }
-  comm.charge(static_cast<double>(packed), comm.cost().c_rebuild_elem_us);
+  std::vector<LocalIndex> bfaces;
+  for (std::size_t bi = 0; bi < global.bfaces().size(); ++bi) {
+    const mesh::BFace& f = global.bfaces()[bi];
+    if (!f.alive) continue;
+    const GlobalId root_gid =
+        global.element(global.element(f.elem).root).gid;
+    if (proc_of_root[static_cast<std::size_t>(root_gid)] == comm.rank()) {
+      bfaces.push_back(static_cast<LocalIndex>(bi));
+    }
+  }
+  BufWriter w;
+  pack_tree_block(global, elems, bfaces, &w);
+  const Bytes buf = w.take();
+  BufReader r(buf);
+  unpack_tree_block(&dm, &r);
+  PLUM_CHECK(r.exhausted());
+  comm.charge(static_cast<double>(elems.size()),
+              comm.cost().c_rebuild_elem_us);
 
-  dm.rebuild_gid_maps();
   rebuild_spls(&dm, &comm);
   return dm;
 }

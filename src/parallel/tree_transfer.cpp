@@ -1,7 +1,5 @@
 #include "parallel/tree_transfer.hpp"
 
-#include <deque>
-
 #include "support/check.hpp"
 #include "support/flat_hash.hpp"
 
@@ -15,55 +13,59 @@ using mesh::Mesh;
 /// children.
 std::vector<LocalIndex> tree_elements(const Mesh& m, LocalIndex root) {
   std::vector<LocalIndex> out;
-  std::deque<LocalIndex> q{root};
-  while (!q.empty()) {
-    const LocalIndex e = q.front();
-    q.pop_front();
-    if (!m.element(e).alive) continue;
-    out.push_back(e);
-    for (const LocalIndex c : m.element(e).children) q.push_back(c);
+  // Index-cursor BFS queue (no deque).
+  std::vector<LocalIndex> q{root};
+  for (std::size_t cur = 0; cur < q.size(); ++cur) {
+    const Element& e = m.element(q[cur]);
+    if (!e.alive) continue;
+    out.push_back(q[cur]);
+    for (const LocalIndex c : e.children) q.push_back(c);
   }
   return out;
 }
 
-/// Serializes one departing tree.
-void pack_tree(const Mesh& m, LocalIndex root, BufWriter* w,
-               std::int64_t* elements_packed) {
-  const std::vector<LocalIndex> elems = tree_elements(m, root);
-  *elements_packed += static_cast<std::int64_t>(elems.size());
-  std::vector<char> in_tree(m.elements().size(), 0);
-  for (const LocalIndex e : elems) in_tree[static_cast<std::size_t>(e)] = 1;
-
-  // Vertices and edges the tree touches (set for dedup, vector for a
-  // deterministic first-touch serialisation order).
-  FlatSet<LocalIndex> vset, eset;
+void pack_tree_block(const Mesh& m, const std::vector<LocalIndex>& elems,
+                     const std::vector<LocalIndex>& bfaces, BufWriter* w,
+                     std::vector<LocalIndex>* out_verts,
+                     std::vector<LocalIndex>* out_edges) {
+  // Block-local numbering: maps sized to the batch, never to the mesh.
+  FlatMap<LocalIndex, std::int32_t> vidx, eidx;
   std::vector<LocalIndex> verts, edges;
-  for (const LocalIndex e : elems) {
-    for (const LocalIndex v : m.element(e).v) {
-      if (vset.insert(v)) verts.push_back(v);
-    }
-    for (const LocalIndex ed : m.element(e).e) {
-      if (eset.insert(ed)) edges.push_back(ed);
-    }
+  vidx.reserve(2 * elems.size() + 8);
+  eidx.reserve(4 * elems.size() + 8);
+  const auto vert_id = [&](LocalIndex v) {
+    const auto [it, fresh] =
+        vidx.try_emplace(v, static_cast<std::int32_t>(verts.size()));
+    if (fresh) verts.push_back(v);
+    return it->second;
+  };
+  const auto edge_id = [&](LocalIndex e) {
+    const auto [it, fresh] =
+        eidx.try_emplace(e, static_cast<std::int32_t>(edges.size()));
+    if (fresh) edges.push_back(e);
+    return it->second;
+  };
+  for (const LocalIndex el : elems) {
+    for (const LocalIndex v : m.element(el).v) vert_id(v);
+    for (const LocalIndex e : m.element(el).e) edge_id(e);
   }
-  // Include full edge subtrees (children/midpoints of bisected edges).
-  std::deque<LocalIndex> eq(edges.begin(), edges.end());
-  while (!eq.empty()) {
-    const LocalIndex ei = eq.front();
-    eq.pop_front();
-    const Edge& e = m.edge(ei);
+  // Full edge subtrees (children/midpoints of bisected edges); `edges`
+  // itself is the expansion queue — appends land behind the cursor.
+  for (std::size_t cur = 0; cur < edges.size(); ++cur) {
+    const Edge& e = m.edge(edges[cur]);
     if (!e.bisected()) continue;
-    if (vset.insert(e.midpoint)) verts.push_back(e.midpoint);
+    vert_id(e.midpoint);
     for (const LocalIndex c : e.child) {
-      if (c != kNoIndex && eset.insert(c)) {
-        edges.push_back(c);
-        eq.push_back(c);
-      }
+      if (c != kNoIndex) edge_id(c);
     }
   }
+
+  w->put<std::int64_t>(static_cast<std::int64_t>(verts.size()));
+  w->put<std::int64_t>(static_cast<std::int64_t>(elems.size()));
+  w->put<std::int64_t>(static_cast<std::int64_t>(edges.size()));
+  w->put<std::int64_t>(static_cast<std::int64_t>(bfaces.size()));
 
   // --- vertices ---------------------------------------------------------
-  w->put<std::int64_t>(static_cast<std::int64_t>(verts.size()));
   for (const LocalIndex v : verts) {
     const mesh::Vertex& vv = m.vertex(v);
     w->put(vv.gid);
@@ -71,154 +73,194 @@ void pack_tree(const Mesh& m, LocalIndex root, BufWriter* w,
     w->put(vv.sol);
   }
 
-  // --- element tree (parents first) --------------------------------------
-  w->put<std::int64_t>(static_cast<std::int64_t>(elems.size()));
-  for (const LocalIndex e : elems) {
-    const Element& el = m.element(e);
-    w->put(el.gid);
-    w->put(el.parent == kNoIndex ? kNoGlobalId : m.element(el.parent).gid);
-    for (const LocalIndex v : el.v) w->put(m.vertex(v).gid);
-  }
-
-  // --- edge levels and bisection records ----------------------------------
-  w->put<std::int64_t>(static_cast<std::int64_t>(edges.size()));
+  // --- edge subtrees (written before the forests so element and bface
+  // records can name edges by block index) --------------------------------
   for (const LocalIndex ei : edges) {
     const Edge& e = m.edge(ei);
-    w->put(m.vertex(e.v[0]).gid);
-    w->put(m.vertex(e.v[1]).gid);
+    w->put(vert_id(e.v[0]));
+    w->put(vert_id(e.v[1]));
     w->put(e.level);
     w->put<std::uint8_t>(e.bisected() ? 1 : 0);
-    if (e.bisected()) w->put(m.vertex(e.midpoint).gid);
+    if (e.bisected()) {
+      w->put(vert_id(e.midpoint));
+      w->put(eidx.at(e.child[0]));
+      w->put(eidx.at(e.child[1]));
+    }
   }
 
-  // --- boundary-face tree (parents first) ----------------------------------
-  std::vector<LocalIndex> tree_bfaces;
-  {
-    // Roots of bface trees owned by tree elements, then BFS.
-    std::deque<LocalIndex> bq;
-    for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
-      const mesh::BFace& f = m.bfaces()[bi];
-      if (!f.alive) continue;
-      if (!in_tree[static_cast<std::size_t>(f.elem)]) continue;
-      // Only start from bface-tree roots whose parent is NOT owned by a
-      // tree element (usually parent == kNoIndex or owned elsewhere —
-      // the latter cannot happen since bface trees follow element trees).
-      if (f.parent == kNoIndex ||
-          !in_tree[static_cast<std::size_t>(m.bface(f.parent).elem)]) {
-        bq.push_back(static_cast<LocalIndex>(bi));
-      }
-    }
-    while (!bq.empty()) {
-      const LocalIndex bi = bq.front();
-      bq.pop_front();
-      tree_bfaces.push_back(bi);
-      for (const LocalIndex c : m.bface(bi).children) bq.push_back(c);
-    }
+  // --- element forest (parents first) ------------------------------------
+  FlatMap<LocalIndex, std::int32_t> elidx;
+  elidx.reserve(elems.size());
+  for (std::size_t k = 0; k < elems.size(); ++k) {
+    const Element& el = m.element(elems[k]);
+    elidx[elems[k]] = static_cast<std::int32_t>(k);
+    w->put(el.gid);
+    w->put<std::int32_t>(el.parent == kNoIndex ? -1 : elidx.at(el.parent));
+    for (const LocalIndex v : el.v) w->put(vert_id(v));
+    for (const LocalIndex e : el.e) w->put(eidx.at(e));
   }
-  FlatMap<LocalIndex, std::int64_t> bface_msg_idx;
-  w->put<std::int64_t>(static_cast<std::int64_t>(tree_bfaces.size()));
-  for (std::size_t k = 0; k < tree_bfaces.size(); ++k) {
-    const mesh::BFace& f = m.bface(tree_bfaces[k]);
-    bface_msg_idx[tree_bfaces[k]] = static_cast<std::int64_t>(k);
-    w->put(m.element(f.elem).gid);
-    for (const LocalIndex v : f.v) w->put(m.vertex(v).gid);
+
+  // --- boundary-face forest (parents first) -------------------------------
+  FlatMap<LocalIndex, std::int32_t> bfidx;
+  bfidx.reserve(bfaces.size());
+  for (std::size_t k = 0; k < bfaces.size(); ++k) {
+    const mesh::BFace& f = m.bface(bfaces[k]);
+    bfidx[bfaces[k]] = static_cast<std::int32_t>(k);
+    w->put<std::int32_t>(elidx.at(f.elem));
+    for (const LocalIndex v : f.v) w->put(vert_id(v));
+    // A bface's edges are element edges of its (packed) owner, so they
+    // are always in the block's edge set.
+    for (const LocalIndex e : f.e) w->put(eidx.at(e));
     w->put<std::uint8_t>(f.active ? 1 : 0);
-    w->put<std::int64_t>(f.parent == kNoIndex
-                             ? -1
-                             : bface_msg_idx.at(f.parent));
+    // A bface parent always lives in the same element tree as the child,
+    // so it is in this block with a smaller index.
+    w->put<std::int32_t>(f.parent == kNoIndex ? -1 : bfidx.at(f.parent));
   }
+
+  if (out_verts) *out_verts = std::move(verts);
+  if (out_edges) *out_edges = std::move(edges);
 }
 
-/// Deserializes one tree into the local mesh, deduplicating shared
-/// objects by gid.
-std::int64_t unpack_tree(DistMesh* dm, BufReader* r) {
+std::int64_t unpack_tree_block(DistMesh* dm, BufReader* r,
+                               std::vector<LocalIndex>* recv_verts,
+                               std::vector<LocalIndex>* recv_edges,
+                               std::int64_t* roots_created) {
   Mesh& m = dm->local;
 
   const auto nverts = r->get<std::int64_t>();
+  const auto nelems = r->get<std::int64_t>();
+  const auto nedges = r->get<std::int64_t>();
+  const auto nbfaces = r->get<std::int64_t>();
+
+  // Pre-size every store the block can grow (counts are upper bounds:
+  // shared objects dedup against residents).
+  dm->vertex_of_gid.reserve(dm->vertex_of_gid.size() +
+                            static_cast<std::size_t>(nverts));
+  dm->edge_of_gid.reserve(dm->edge_of_gid.size() +
+                          static_cast<std::size_t>(nedges));
+  m.reserve_extra(static_cast<std::size_t>(nverts),
+                  static_cast<std::size_t>(nedges),
+                  static_cast<std::size_t>(nelems),
+                  static_cast<std::size_t>(nbfaces));
+
+  // --- vertices ---------------------------------------------------------
+  std::vector<LocalIndex> vloc(static_cast<std::size_t>(nverts));
   for (std::int64_t i = 0; i < nverts; ++i) {
     const auto gid = r->get<GlobalId>();
     const auto pos = r->get<mesh::Vec3>();
     const auto sol = r->get<mesh::Solution>();
-    if (dm->vertex_of_gid.find(gid) == dm->vertex_of_gid.end()) {
-      dm->vertex_of_gid[gid] = m.add_vertex(pos, gid, sol);
-    }
+    const auto [it, fresh] = dm->vertex_of_gid.try_emplace(gid, kNoIndex);
+    if (fresh) it->second = m.add_vertex(pos, gid, sol);
+    vloc[static_cast<std::size_t>(i)] = it->second;
+    if (recv_verts) recv_verts->push_back(it->second);
   }
 
-  const auto nelems = r->get<std::int64_t>();
-  FlatMap<GlobalId, LocalIndex> elem_of;  // tree-local
-  std::vector<LocalIndex> created;
-  created.reserve(static_cast<std::size_t>(nelems));
-  for (std::int64_t i = 0; i < nelems; ++i) {
-    const auto gid = r->get<GlobalId>();
-    const auto parent_gid = r->get<GlobalId>();
-    std::array<LocalIndex, 4> v;
-    for (auto& vi : v) vi = dm->vertex_of_gid.at(r->get<GlobalId>());
-    LocalIndex parent = kNoIndex;
-    if (parent_gid != kNoGlobalId) parent = elem_of.at(parent_gid);
-    const LocalIndex li =
-        m.create_element(v, gid, parent, /*edge_level=*/1);
-    elem_of[gid] = li;
-    created.push_back(li);
-    if (parent == kNoIndex) dm->root_of_gid[gid] = li;
-  }
-
-  // Edge levels + bisection relinking.
-  const auto nedges = r->get<std::int64_t>();
+  // --- edge subtrees ------------------------------------------------------
+  // Pass 1: dedup every record against residents (one global find_edge
+  // probe per record) or create it at its real level.  Bisection links
+  // name other records by block index, so they are applied in a second
+  // pass once the whole section is materialized.
+  struct PendingBisection {
+    LocalIndex edge;
+    LocalIndex midpoint;
+    std::int32_t c0, c1;
+  };
+  std::vector<LocalIndex> eloc_e(static_cast<std::size_t>(nedges));
+  std::vector<PendingBisection> pending;
   for (std::int64_t i = 0; i < nedges; ++i) {
-    const auto g0 = r->get<GlobalId>();
-    const auto g1 = r->get<GlobalId>();
+    const auto a = r->get<std::int32_t>();
+    const auto b = r->get<std::int32_t>();
     const auto level = r->get<std::int16_t>();
     const auto bisected = r->get<std::uint8_t>();
-    const LocalIndex v0 = dm->vertex_of_gid.at(g0);
-    const LocalIndex v1 = dm->vertex_of_gid.at(g1);
-    const LocalIndex ei = m.find_edge(v0, v1);
-    PLUM_CHECK_MSG(ei != kNoIndex, "migrated edge record has no edge");
-    Edge& e = m.edge(ei);
-    e.level = level;
-    dm->edge_of_gid[e.gid] = ei;
+    const LocalIndex va = vloc[static_cast<std::size_t>(a)];
+    const LocalIndex vb = vloc[static_cast<std::size_t>(b)];
+    LocalIndex ei = m.find_edge(va, vb);
+    if (ei == kNoIndex) {
+      ei = m.add_edge(va, vb, level);
+    } else {
+      m.edge(ei).level = level;
+    }
+    eloc_e[static_cast<std::size_t>(i)] = ei;
+    dm->edge_of_gid[m.edge(ei).gid] = ei;
+    if (recv_edges) recv_edges->push_back(ei);
     if (bisected) {
-      const auto mid_gid = r->get<GlobalId>();
-      const LocalIndex mv = dm->vertex_of_gid.at(mid_gid);
-      const LocalIndex c0 = m.find_edge(v0, mv);
-      const LocalIndex c1 = m.find_edge(mv, v1);
-      PLUM_CHECK_MSG(c0 != kNoIndex && c1 != kNoIndex,
-                     "migrated bisection children missing");
-      if (e.bisected()) {
-        // Shared with a resident tree: links must already agree.
-        PLUM_CHECK(e.midpoint == mv);
-      } else {
-        e.midpoint = mv;
-        e.child = {c0, c1};
-        m.edge(c0).parent = ei;
-        m.edge(c1).parent = ei;
-      }
+      const auto mid = r->get<std::int32_t>();
+      const auto c0 = r->get<std::int32_t>();
+      const auto c1 = r->get<std::int32_t>();
+      pending.push_back({ei, vloc[static_cast<std::size_t>(mid)], c0, c1});
+    }
+  }
+  for (const PendingBisection& p : pending) {
+    Edge& e = m.edge(p.edge);
+    if (e.bisected()) {
+      // Shared with a resident tree: links must already agree.
+      PLUM_CHECK(e.midpoint == p.midpoint);
+    } else {
+      const LocalIndex c0 = eloc_e[static_cast<std::size_t>(p.c0)];
+      const LocalIndex c1 = eloc_e[static_cast<std::size_t>(p.c1)];
+      e.midpoint = p.midpoint;
+      e.child = {c0, c1};
+      m.edge(c0).parent = p.edge;
+      m.edge(c1).parent = p.edge;
     }
   }
 
-  // Deactivate interior tree nodes (created active by create_element).
-  for (const LocalIndex li : created) {
-    if (!m.element(li).children.empty()) m.deactivate_element(li);
+  // --- element forest ----------------------------------------------------
+  // Created inactive; leaves are activated once the forest is complete,
+  // which appends them to the edge incidence lists in creation order —
+  // the same final order the create-active-then-deactivate path leaves.
+  std::vector<LocalIndex> eloc(static_cast<std::size_t>(nelems));
+  std::int64_t roots = 0;
+  for (std::int64_t i = 0; i < nelems; ++i) {
+    const auto gid = r->get<GlobalId>();
+    const auto parent_idx = r->get<std::int32_t>();
+    std::array<LocalIndex, 4> v;
+    for (auto& x : v) {
+      x = vloc[static_cast<std::size_t>(r->get<std::int32_t>())];
+    }
+    std::array<LocalIndex, 6> e;
+    for (auto& x : e) {
+      x = eloc_e[static_cast<std::size_t>(r->get<std::int32_t>())];
+    }
+    const LocalIndex parent =
+        parent_idx < 0 ? kNoIndex
+                       : eloc[static_cast<std::size_t>(parent_idx)];
+    const LocalIndex li =
+        m.add_element_prelinked(v, e, gid, parent, /*active=*/false);
+    eloc[static_cast<std::size_t>(i)] = li;
+    if (parent == kNoIndex) {
+      dm->root_of_gid[gid] = li;
+      ++roots;
+    }
+  }
+  for (const LocalIndex li : eloc) {
+    if (m.element(li).children.empty()) m.activate_element(li);
   }
 
-  // Boundary-face tree.
-  const auto nbfaces = r->get<std::int64_t>();
-  std::vector<LocalIndex> bface_of_msg(
-      static_cast<std::size_t>(nbfaces), kNoIndex);
+  // --- boundary-face forest -----------------------------------------------
+  std::vector<LocalIndex> bloc(static_cast<std::size_t>(nbfaces));
   for (std::int64_t i = 0; i < nbfaces; ++i) {
-    const auto owner_gid = r->get<GlobalId>();
+    const auto owner_idx = r->get<std::int32_t>();
     std::array<LocalIndex, 3> v;
-    for (auto& vi : v) vi = dm->vertex_of_gid.at(r->get<GlobalId>());
+    for (auto& x : v) {
+      x = vloc[static_cast<std::size_t>(r->get<std::int32_t>())];
+    }
+    std::array<LocalIndex, 3> e;
+    for (auto& x : e) {
+      x = eloc_e[static_cast<std::size_t>(r->get<std::int32_t>())];
+    }
     const auto active = r->get<std::uint8_t>();
-    const auto parent_msg = r->get<std::int64_t>();
-    const LocalIndex parent =
-        parent_msg < 0 ? kNoIndex
-                       : bface_of_msg[static_cast<std::size_t>(parent_msg)];
-    const LocalIndex bi = m.add_bface(v, elem_of.at(owner_gid), parent);
+    const auto parent_idx = r->get<std::int32_t>();
+    const LocalIndex bi = m.add_bface_prelinked(
+        v, e, eloc[static_cast<std::size_t>(owner_idx)],
+        parent_idx < 0 ? kNoIndex
+                       : bloc[static_cast<std::size_t>(parent_idx)]);
     m.bface(bi).active = (active != 0);
-    bface_of_msg[static_cast<std::size_t>(i)] = bi;
+    bloc[static_cast<std::size_t>(i)] = bi;
   }
+
+  if (roots_created) *roots_created += roots;
   return nelems;
 }
-
 
 }  // namespace plum::parallel

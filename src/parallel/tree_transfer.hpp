@@ -2,12 +2,18 @@
 //
 // A tree = one initial-mesh element plus all descendants, with the
 // vertices, edge subtrees (bisection records + levels), and boundary-
-// face forest it references.  Shared between:
-//   * migrate.cpp  — remapping ships trees between ranks;
+// face forest it references.  Trees travelling to the same destination
+// are serialized together as one *block*: vertices and edges shared
+// between them are written once, and every record refers to other
+// objects by its block-local index instead of by global id, so the
+// receiver resolves references with array lookups rather than hash
+// probes.  Shared between:
+//   * migrate.cpp  — remapping ships one block per destination rank;
 //   * restart.hpp  — scattering an adapted global snapshot re-seeds
-//     every rank from the same records.
-// Receivers deduplicate vertices/edges by global id, so trees can be
-// unpacked next to already-resident neighbours.
+//     every rank from one block;
+//   * gather.cpp   — collecting the full forest on one rank.
+// Receivers deduplicate vertices/edges against already-resident
+// neighbours by global id, once per distinct object per block.
 #pragma once
 
 #include <cstdint>
@@ -22,14 +28,30 @@ namespace plum::parallel {
 /// children.
 std::vector<LocalIndex> tree_elements(const mesh::Mesh& m, LocalIndex root);
 
-/// Serializes the tree rooted at `root` of mesh `m` into *w.
-/// Increments *elements_packed by the tree size.
-void pack_tree(const mesh::Mesh& m, LocalIndex root, BufWriter* w,
-               std::int64_t* elements_packed);
+/// Serializes a batch of whole refinement trees into *w.  `elems` must
+/// list every alive element of the batch with parents before children
+/// (ascending index order satisfies this: children are always created
+/// after their parents and compact() preserves relative order), and
+/// `bfaces` every alive boundary face owned by those elements, parents
+/// first.  On return *out_verts / *out_edges (if non-null) hold the
+/// deduplicated local indices of every vertex/edge the block touched,
+/// in serialisation order.
+void pack_tree_block(const mesh::Mesh& m,
+                     const std::vector<LocalIndex>& elems,
+                     const std::vector<LocalIndex>& bfaces, BufWriter* w,
+                     std::vector<LocalIndex>* out_verts = nullptr,
+                     std::vector<LocalIndex>* out_edges = nullptr);
 
-/// Deserializes one tree into dm's local mesh (dedup by gid); keeps
-/// dm->vertex_of_gid / edge_of_gid / root_of_gid current.  Returns the
-/// number of elements created.
-std::int64_t unpack_tree(DistMesh* dm, BufReader* r);
+/// Deserializes one block into dm's local mesh (dedup by gid); keeps
+/// dm->vertex_of_gid / edge_of_gid / root_of_gid current.  Mesh stores
+/// and gid maps are pre-sized from the block header.  Appends the local
+/// index of every vertex/edge *record* (shared duplicates included) to
+/// *recv_verts / *recv_edges and the number of root elements created to
+/// *roots_created when the pointers are non-null.  Returns the number
+/// of elements created.
+std::int64_t unpack_tree_block(DistMesh* dm, BufReader* r,
+                               std::vector<LocalIndex>* recv_verts = nullptr,
+                               std::vector<LocalIndex>* recv_edges = nullptr,
+                               std::int64_t* roots_created = nullptr);
 
 }  // namespace plum::parallel

@@ -50,11 +50,23 @@ Bytes Comm::broadcast(Bytes data, Rank root) {
     low = vrank & (-vrank);
     data = recv(to_real(vrank - low), tag);
   }
+  // Send to the precomputed child list, moving the payload into the
+  // last send instead of deep-copying for it.  Every rank returns the
+  // payload to its caller, so that final use needs its own buffer: the
+  // retained copy is made explicitly up front (leaf ranks — the
+  // majority — copy nothing).
+  std::vector<Rank> children;
   const Rank start = (vrank == 0) ? mask : (low >> 1);
   for (Rank s = start; s >= 1; s >>= 1) {
-    if (vrank + s < size_) {
-      send(to_real(vrank + s), tag, Bytes(data));  // copy; children need it
+    if (vrank + s < size_) children.push_back(to_real(vrank + s));
+  }
+  if (!children.empty()) {
+    Bytes kept(data);
+    for (std::size_t i = 0; i + 1 < children.size(); ++i) {
+      send(children[i], tag, Bytes(data));
     }
+    send(children.back(), tag, std::move(data));
+    data = std::move(kept);
   }
   return data;
 }

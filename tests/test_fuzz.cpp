@@ -179,7 +179,8 @@ TEST_P(FuzzParallel, RandomCyclesWithMigrationsMatchSerial) {
               hash_combine64(g, s.migrate_seed) %
               static_cast<std::uint64_t>(P));
         }
-        parallel::migrate(&dm, &comm, plan);
+        parallel::migrate(&dm, &comm, plan,
+                          {.spl_cross_check = true});
       }
     }
     mesh::MeshCheckOptions opt;

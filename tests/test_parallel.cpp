@@ -335,7 +335,7 @@ TEST_P(Migration, MovingEverythingPreservesTheMesh) {
         adapt::mark_refine_in_sphere(dm.local, {{0.35, 0.35, 0.35}, 0.4});
         ParallelAdaptor adaptor(&dm, &comm);
         adaptor.refine();
-        migrate(&dm, &comm, rotated);
+        migrate(&dm, &comm, rotated, {.spl_cross_check = true});
       });
 
   // Global surface preserved.
@@ -379,7 +379,8 @@ TEST_P(Migration, AdaptionContinuesAfterMigration) {
         ParallelAdaptor adaptor(&dm, &comm);
         adapt::mark_refine_in_sphere(dm.local, {{0.3, 0.3, 0.3}, 0.35});
         adaptor.refine();
-        migrate(&dm, &comm, block);  // rebalance to block layout
+        // rebalance to block layout
+        migrate(&dm, &comm, block, {.spl_cross_check = true});
         adapt::mark_refine_in_sphere(dm.local, {{0.6, 0.6, 0.6}, 0.3});
         adaptor.refine();
         adapt::mark_coarsen_all_refined(dm.local);

@@ -106,6 +106,8 @@ PhaseTimes run_parallel_phases(const Mesh& global,
     // --- one full migration ----------------------------------------------
     // Deterministically reassign roughly half the roots one rank over;
     // the shift is a pure function of the gid, so all ranks agree.
+    // This migration runs untraced, so its wall time stays comparable
+    // across revisions (instrumentation must be free when off).
     std::vector<Rank> new_proc = placement;
     for (std::size_t gid = 0; gid < new_proc.size(); ++gid) {
       if (plum::mix64(gid) & 1) {
@@ -119,12 +121,29 @@ PhaseTimes run_parallel_phases(const Mesh& global,
     const double mig_us = t_mig.elapsed_us();
     comm.barrier();
     const std::int64_t total_moved = comm.allreduce_sum(mig.elements_sent);
-    const double pack_us = comm.allreduce_max(mig.phases.pack_us);
-    const double ship_us = comm.allreduce_max(mig.phases.ship_us);
-    const double delete_purge_us =
-        comm.allreduce_max(mig.phases.delete_purge_us);
-    const double unpack_us = comm.allreduce_max(mig.phases.unpack_us);
-    const double spl_us = comm.allreduce_max(mig.phases.spl_us);
+
+    // --- traced migration for the per-phase breakdown --------------------
+    // A second, comparable migration (another gid-keyed half-shift) with
+    // the phase tracer on; the breakdown is the tracer's host wall-clock
+    // self time per sub-phase, reduced to the slowest rank.
+    std::vector<Rank> back_proc = new_proc;
+    for (std::size_t gid = 0; gid < back_proc.size(); ++gid) {
+      if (plum::mix64(gid) & 2) {
+        back_proc[gid] = static_cast<Rank>((back_proc[gid] + 1) % nprocs);
+      }
+    }
+    comm.barrier();
+    comm.tracer().set_enabled(true);
+    plum::parallel::migrate(&dm, &comm, back_proc);
+    const auto phase_real = [&](const char* sub) {
+      const plum::obs::PhaseTotals* t = comm.tracer().find({"migrate", sub});
+      return comm.allreduce_max(t != nullptr ? t->real_us : 0.0);
+    };
+    const double pack_us = phase_real("pack");
+    const double ship_us = phase_real("ship");
+    const double delete_purge_us = phase_real("delete_purge");
+    const double unpack_us = phase_real("unpack");
+    const double spl_us = phase_real("spl_repair");
 
     // Only rank 0 writes the shared result struct (threads race otherwise).
     if (comm.rank() == 0) {

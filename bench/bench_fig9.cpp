@@ -14,6 +14,7 @@
 
 #include "common.hpp"
 #include "parallel/framework.hpp"
+#include "simmpi/obs.hpp"
 
 using namespace plum;
 using plumbench::BenchConfig;
@@ -29,7 +30,6 @@ struct Anatomy {
 Anatomy run_once(const mesh::Mesh& global, const dual::DualGraph& dualg,
                  const adapt::Strategy& strategy, int P) {
   const auto proc = plumbench::initial_placement(dualg, P);
-  std::vector<Anatomy> per_rank(static_cast<std::size_t>(P));
 
   parallel::FrameworkConfig fcfg;
   fcfg.solver_iterations = 0;
@@ -40,41 +40,30 @@ Anatomy run_once(const mesh::Mesh& global, const dual::DualGraph& dualg,
   fcfg.balancer.imbalance_threshold = 1.0;  // always repartition
 
   simmpi::Machine machine;
-  machine.run(P, [&](simmpi::Comm& comm) {
-    parallel::PlumFramework fw(&comm, global, dualg, proc, fcfg);
-    comm.barrier();
-    const double t0 = comm.clock().now();
-    fw.refine_with([&](mesh::Mesh& m) { strategy.apply_refine(m); });
-    comm.barrier();
-    const double t1 = comm.clock().now();
-    fw.refresh_weights();
-    // Partitioning runs here too but is excluded from the reassignment
-    // number: we time only the similarity-matrix + mapper charge.
-    const auto outcome = fw.balance_only();
-    comm.barrier();
-    const double t2_unused = comm.clock().now();
-    (void)t2_unused;
-    fw.migrate_to(outcome.proc_of_vertex);
-    comm.barrier();
-    const double t3 = comm.clock().now();
+  machine.set_tracing(true);
+  const simmpi::MachineReport report =
+      machine.run(P, [&](simmpi::Comm& comm) {
+        parallel::PlumFramework fw(&comm, global, dualg, proc, fcfg);
+        fw.refine_with([&](mesh::Mesh& m) { strategy.apply_refine(m); });
+        fw.refresh_weights();
+        const auto outcome = fw.balance_only();
+        fw.migrate_to(outcome.proc_of_vertex);
+      });
 
-    auto& a = per_rank[static_cast<std::size_t>(comm.rank())];
-    a.adaption_us = t1 - t0;
-    // Reassignment: the deterministic mapper charge (see
-    // PlumFramework::balance_only) — identical on all ranks.
-    const double cols = static_cast<double>(comm.size());
-    a.reassignment_us =
-        (cols * cols + cols * cols) * comm.cost().c_reassign_step_us;
-    a.remapping_us = t3 - t1 - a.reassignment_us;
-    if (a.remapping_us < 0) a.remapping_us = t3 - t1;
-  });
-
+  // The anatomy falls straight out of the phase tree: "refine" is the
+  // adaption, "balance/reassign" the mapper charge (partitioning lives
+  // in its sibling "partition" phase and is excluded, as in the paper),
+  // "migrate" the remapping.  All numbers are slowest-rank inclusive
+  // simulated time.
+  const obs::PhaseReport phases = obs::merge_phases(report);
+  const auto wall_max = [&](std::initializer_list<const char*> path) {
+    const obs::PhaseReport* n = phases.find(path);
+    return n != nullptr ? n->max().wall_us : 0.0;
+  };
   Anatomy out;
-  for (const auto& a : per_rank) {
-    out.adaption_us = std::max(out.adaption_us, a.adaption_us);
-    out.reassignment_us = std::max(out.reassignment_us, a.reassignment_us);
-    out.remapping_us = std::max(out.remapping_us, a.remapping_us);
-  }
+  out.adaption_us = wall_max({"refine"});
+  out.reassignment_us = wall_max({"balance", "reassign"});
+  out.remapping_us = wall_max({"migrate"});
   return out;
 }
 

@@ -26,6 +26,7 @@
 #include "mesh/box_mesh.hpp"
 #include "partition/partitioner.hpp"
 #include "simmpi/machine.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace plumbench {
@@ -100,56 +101,11 @@ inline std::vector<plum::Rank> initial_placement(
   return std::vector<plum::Rank>(r.part.begin(), r.part.end());
 }
 
-/// Machine-readable result sink.  Benches add() one record per
-/// measurement and write() them as a JSON document so CI and the
-/// before/after comparisons in EXPERIMENTS.md can diff runs without
-/// scraping tables.
-class JsonEmitter {
- public:
-  explicit JsonEmitter(std::string bench_name)
-      : bench_(std::move(bench_name)) {}
-
-  /// Adds one record: a label plus flat numeric fields.
-  void add(const std::string& name,
-           std::initializer_list<std::pair<const char*, double>> fields) {
-    Record rec;
-    rec.name = name;
-    for (const auto& [k, v] : fields) rec.fields.emplace_back(k, v);
-    records_.push_back(std::move(rec));
-  }
-
-  /// Writes {"bench": ..., "results": [...]} to `path`; returns false
-  /// (with a note on stderr) if the file cannot be written.
-  bool write(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "JsonEmitter: cannot write %s\n", path.c_str());
-      return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
-                 bench_.c_str());
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const Record& r = records_[i];
-      std::fprintf(f, "    {\"name\": \"%s\"", r.name.c_str());
-      for (const auto& [k, v] : r.fields) {
-        std::fprintf(f, ", \"%s\": %.17g", k.c_str(), v);
-      }
-      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
-    return true;
-  }
-
- private:
-  struct Record {
-    std::string name;
-    std::vector<std::pair<std::string, double>> fields;
-  };
-  std::string bench_;
-  std::vector<Record> records_;
-};
+/// Machine-readable result sink (shared with the obs exporters; see
+/// support/json.hpp).  Benches add() one record per measurement and
+/// write() them as a JSON document so CI and the before/after
+/// comparisons in EXPERIMENTS.md can diff runs without scraping tables.
+using plum::JsonEmitter;
 
 /// Wall-clock helper (for the mapper-time measurements of Fig. 10,
 /// which the paper reports in real seconds).

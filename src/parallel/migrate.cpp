@@ -3,9 +3,9 @@
 #include "parallel/tree_transfer.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "parallel/rank_buffers.hpp"
+#include "simmpi/obs.hpp"
 #include "support/check.hpp"
 #include "support/flat_hash.hpp"
 #include "support/log.hpp"
@@ -219,260 +219,268 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
   const Rank P = comm->size();
   const Rank self = dm->rank;
   const double t0 = comm->clock().now();
+  PLUM_PHASE(*comm, "migrate");
 
-  auto mark = std::chrono::steady_clock::now();
-  const auto lap = [&mark](double* acc) {
-    const auto now = std::chrono::steady_clock::now();
-    *acc += std::chrono::duration<double, std::micro>(now - mark).count();
-    mark = now;
-  };
-
-  // --- destination pass --------------------------------------------------
-  // One sweep over elements resolves every slot's destination through
-  // its root, buckets departing elements per destination (ascending
-  // index order = parents before children), and counts each edge's
-  // references from elements that stay — the purge's reference counts.
+  // Locals that cross phase boundaries are declared up front so each
+  // phase can live in its own traced scope.
   std::vector<Rank> dest(m.elements().size(), self);
   std::vector<std::int32_t> eref(m.edges().size(), 0);
-  std::vector<std::vector<LocalIndex>> elems_by_dest(
-      static_cast<std::size_t>(P));
-  for (std::size_t i = 0; i < m.elements().size(); ++i) {
-    const Element& el = m.elements()[i];
-    if (!el.alive) continue;
-    const GlobalId root_gid = m.element(el.root).gid;
-    PLUM_CHECK_MSG(root_gid < proc_of_root.size(),
-                   "root gid outside proc_of_root");
-    const Rank d = proc_of_root[static_cast<std::size_t>(root_gid)];
-    PLUM_CHECK(d >= 0 && d < P);
-    dest[i] = d;
-    if (d == self) {
-      for (const LocalIndex e : el.e) {
-        ++eref[static_cast<std::size_t>(e)];
-      }
-    } else {
-      elems_by_dest[static_cast<std::size_t>(d)].push_back(
-          static_cast<LocalIndex>(i));
-      if (el.parent == kNoIndex) result.roots_sent += 1;
-    }
-  }
-
-  // One shared bface sweep (a bface departs with its owning element).
-  std::vector<std::vector<LocalIndex>> bfaces_by_dest(
-      static_cast<std::size_t>(P));
-  for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
-    const mesh::BFace& f = m.bfaces()[bi];
-    if (!f.alive) continue;
-    const Rank d = dest[static_cast<std::size_t>(f.elem)];
-    if (d != self) {
-      bfaces_by_dest[static_cast<std::size_t>(d)].push_back(
-          static_cast<LocalIndex>(bi));
-    }
-  }
-
-  // --- pack --------------------------------------------------------------
-  // Every message leads with this rank's destination list, so receivers
-  // can derive the involved-rank set without an extra collective; one
-  // block per destination follows where trees actually move.
   std::vector<Rank> my_dests;
-  for (Rank r = 0; r < P; ++r) {
-    if (r != self && !elems_by_dest[static_cast<std::size_t>(r)].empty()) {
-      my_dests.push_back(r);
-    }
-  }
   RankBuffers outgoing(P);
   std::vector<char> vpacked(m.vertices().size(), 0);
   std::vector<char> epacked(m.edges().size(), 0);
   std::vector<LocalIndex> packed_verts, packed_edges;
-  for (Rank r = 0; r < P; ++r) {
-    if (r == self) continue;
-    BufWriter& w = outgoing.at(r);
-    w.put_vec(my_dests);
-    const auto& block = elems_by_dest[static_cast<std::size_t>(r)];
-    if (block.empty()) continue;
-    result.elements_sent += static_cast<std::int64_t>(block.size());
-    std::vector<LocalIndex> bverts, bedges;
-    pack_tree_block(m, block, bfaces_by_dest[static_cast<std::size_t>(r)],
-                    &w, &bverts, &bedges);
-    for (const LocalIndex v : bverts) {
-      if (!vpacked[static_cast<std::size_t>(v)]) {
-        vpacked[static_cast<std::size_t>(v)] = 1;
-        packed_verts.push_back(v);
+  std::vector<Bytes> incoming;
+
+  {
+    PLUM_PHASE(*comm, "pack");
+    // --- destination pass ------------------------------------------------
+    // One sweep over elements resolves every slot's destination through
+    // its root, buckets departing elements per destination (ascending
+    // index order = parents before children), and counts each edge's
+    // references from elements that stay — the purge's reference counts.
+    std::vector<std::vector<LocalIndex>> elems_by_dest(
+        static_cast<std::size_t>(P));
+    for (std::size_t i = 0; i < m.elements().size(); ++i) {
+      const Element& el = m.elements()[i];
+      if (!el.alive) continue;
+      const GlobalId root_gid = m.element(el.root).gid;
+      PLUM_CHECK_MSG(root_gid < proc_of_root.size(),
+                     "root gid outside proc_of_root");
+      const Rank d = proc_of_root[static_cast<std::size_t>(root_gid)];
+      PLUM_CHECK(d >= 0 && d < P);
+      dest[i] = d;
+      if (d == self) {
+        for (const LocalIndex e : el.e) {
+          ++eref[static_cast<std::size_t>(e)];
+        }
+      } else {
+        elems_by_dest[static_cast<std::size_t>(d)].push_back(
+            static_cast<LocalIndex>(i));
+        if (el.parent == kNoIndex) result.roots_sent += 1;
       }
     }
-    for (const LocalIndex e : bedges) {
-      if (!epacked[static_cast<std::size_t>(e)]) {
-        epacked[static_cast<std::size_t>(e)] = 1;
-        packed_edges.push_back(e);
+
+    // One shared bface sweep (a bface departs with its owning element).
+    std::vector<std::vector<LocalIndex>> bfaces_by_dest(
+        static_cast<std::size_t>(P));
+    for (std::size_t bi = 0; bi < m.bfaces().size(); ++bi) {
+      const mesh::BFace& f = m.bfaces()[bi];
+      if (!f.alive) continue;
+      const Rank d = dest[static_cast<std::size_t>(f.elem)];
+      if (d != self) {
+        bfaces_by_dest[static_cast<std::size_t>(d)].push_back(
+            static_cast<LocalIndex>(bi));
+      }
+    }
+
+    // Every message leads with this rank's destination list, so
+    // receivers can derive the involved-rank set without an extra
+    // collective; one block per destination follows where trees
+    // actually move.
+    for (Rank r = 0; r < P; ++r) {
+      if (r != self && !elems_by_dest[static_cast<std::size_t>(r)].empty()) {
+        my_dests.push_back(r);
+      }
+    }
+    for (Rank r = 0; r < P; ++r) {
+      if (r == self) continue;
+      BufWriter& w = outgoing.at(r);
+      w.put_vec(my_dests);
+      const auto& block = elems_by_dest[static_cast<std::size_t>(r)];
+      if (block.empty()) continue;
+      result.elements_sent += static_cast<std::int64_t>(block.size());
+      std::vector<LocalIndex> bverts, bedges;
+      pack_tree_block(m, block, bfaces_by_dest[static_cast<std::size_t>(r)],
+                      &w, &bverts, &bedges);
+      for (const LocalIndex v : bverts) {
+        if (!vpacked[static_cast<std::size_t>(v)]) {
+          vpacked[static_cast<std::size_t>(v)] = 1;
+          packed_verts.push_back(v);
+        }
+      }
+      for (const LocalIndex e : bedges) {
+        if (!epacked[static_cast<std::size_t>(e)]) {
+          epacked[static_cast<std::size_t>(e)] = 1;
+          packed_edges.push_back(e);
+        }
+      }
+    }
+    for (Rank r = 0; r < P; ++r) {
+      if (r != self) {
+        result.bytes_sent +=
+            static_cast<std::int64_t>(outgoing.at(r).size());
       }
     }
   }
-  for (Rank r = 0; r < P; ++r) {
-    if (r != self) {
-      result.bytes_sent += static_cast<std::int64_t>(outgoing.at(r).size());
-    }
-  }
-  lap(&result.phases.pack_us);
 
-  // --- ship --------------------------------------------------------------
-  // (The per-word transfer and setup costs are charged by the simulated
-  // machine itself.)
-  const std::vector<Bytes> incoming = comm->alltoallv(outgoing.take_all());
-  lap(&result.phases.ship_us);
-
-  // --- delete departed trees ---------------------------------------------
-  // Reverse index order deletes children before parents; gid maps are
-  // maintained in place (no full rebuild).
-  for (std::size_t bi = m.bfaces().size(); bi-- > 0;) {
-    const mesh::BFace& f = m.bfaces()[bi];
-    if (f.alive && dest[static_cast<std::size_t>(f.elem)] != self) {
-      m.delete_bface(static_cast<LocalIndex>(bi));
-    }
-  }
-  for (std::size_t i = m.elements().size(); i-- > 0;) {
-    const Element& el = m.elements()[i];
-    if (!el.alive || dest[i] == self) continue;
-    if (el.parent == kNoIndex) dm->root_of_gid.erase(el.gid);
-    m.delete_element(static_cast<LocalIndex>(i));
+  {
+    PLUM_PHASE(*comm, "ship");
+    // (The per-word transfer and setup costs are charged by the
+    // simulated machine itself.)
+    incoming = comm->alltoallv(outgoing.take_all());
   }
 
-  // --- counted purge -------------------------------------------------------
-  // Only packed edges can have lost element references, so they seed
-  // the worklist; deleting a child edge can orphan its parent, which
-  // re-enters through the same queue.  `mid_owner` lets an orphaned
-  // midpoint vertex clear the cached midpoint link of the edge that
-  // created it (the owner is always packed: the elements subdivided
-  // across it departed).
-  FlatMap<LocalIndex, LocalIndex> mid_owner;
-  for (const LocalIndex ei : packed_edges) {
-    const Edge& e = m.edge(ei);
-    if (e.alive && e.midpoint != kNoIndex) mid_owner[e.midpoint] = ei;
-  }
-  const auto drop_vertex = [&](LocalIndex vi) {
-    dm->vertex_of_gid.erase(m.vertex(vi).gid);
-    m.delete_vertex(vi);
-    const auto it = mid_owner.find(vi);
-    if (it != mid_owner.end()) {
-      Edge& own = m.edge(it->second);
-      if (own.alive && !own.bisected() && own.midpoint == vi) {
-        own.midpoint = kNoIndex;
+  {
+    PLUM_PHASE(*comm, "delete_purge");
+    // --- delete departed trees -------------------------------------------
+    // Reverse index order deletes children before parents; gid maps are
+    // maintained in place (no full rebuild).
+    for (std::size_t bi = m.bfaces().size(); bi-- > 0;) {
+      const mesh::BFace& f = m.bfaces()[bi];
+      if (f.alive && dest[static_cast<std::size_t>(f.elem)] != self) {
+        m.delete_bface(static_cast<LocalIndex>(bi));
       }
     }
-  };
-  std::vector<LocalIndex> worklist;
-  for (const LocalIndex ei : packed_edges) {
-    const Edge& e = m.edge(ei);
-    if (e.alive && !e.bisected() && eref[static_cast<std::size_t>(ei)] == 0) {
-      worklist.push_back(ei);
+    for (std::size_t i = m.elements().size(); i-- > 0;) {
+      const Element& el = m.elements()[i];
+      if (!el.alive || dest[i] == self) continue;
+      if (el.parent == kNoIndex) dm->root_of_gid.erase(el.gid);
+      m.delete_element(static_cast<LocalIndex>(i));
     }
-  }
-  for (std::size_t k = 0; k < worklist.size(); ++k) {
-    const LocalIndex ei = worklist[k];
-    Edge& e = m.edge(ei);
-    // Re-validate at pop: the entry may be stale (already deleted, or
-    // queued twice via both the seed scan and a child deletion).
-    if (!e.alive || e.bisected() ||
-        eref[static_cast<std::size_t>(ei)] != 0) {
-      continue;
+
+    // --- counted purge -----------------------------------------------------
+    // Only packed edges can have lost element references, so they seed
+    // the worklist; deleting a child edge can orphan its parent, which
+    // re-enters through the same queue.  `mid_owner` lets an orphaned
+    // midpoint vertex clear the cached midpoint link of the edge that
+    // created it (the owner is always packed: the elements subdivided
+    // across it departed).
+    FlatMap<LocalIndex, LocalIndex> mid_owner;
+    for (const LocalIndex ei : packed_edges) {
+      const Edge& e = m.edge(ei);
+      if (e.alive && e.midpoint != kNoIndex) mid_owner[e.midpoint] = ei;
     }
-    PLUM_DCHECK(e.elems.empty());
-    const LocalIndex parent = e.parent;
-    const std::array<LocalIndex, 2> ev = e.v;
-    dm->edge_of_gid.erase(e.gid);
-    m.delete_edge(ei);
-    for (const LocalIndex v : ev) {
+    const auto drop_vertex = [&](LocalIndex vi) {
+      dm->vertex_of_gid.erase(m.vertex(vi).gid);
+      m.delete_vertex(vi);
+      const auto it = mid_owner.find(vi);
+      if (it != mid_owner.end()) {
+        Edge& own = m.edge(it->second);
+        if (own.alive && !own.bisected() && own.midpoint == vi) {
+          own.midpoint = kNoIndex;
+        }
+      }
+    };
+    std::vector<LocalIndex> worklist;
+    for (const LocalIndex ei : packed_edges) {
+      const Edge& e = m.edge(ei);
+      if (e.alive && !e.bisected() &&
+          eref[static_cast<std::size_t>(ei)] == 0) {
+        worklist.push_back(ei);
+      }
+    }
+    for (std::size_t k = 0; k < worklist.size(); ++k) {
+      const LocalIndex ei = worklist[k];
+      Edge& e = m.edge(ei);
+      // Re-validate at pop: the entry may be stale (already deleted, or
+      // queued twice via both the seed scan and a child deletion).
+      if (!e.alive || e.bisected() ||
+          eref[static_cast<std::size_t>(ei)] != 0) {
+        continue;
+      }
+      PLUM_DCHECK(e.elems.empty());
+      const LocalIndex parent = e.parent;
+      const std::array<LocalIndex, 2> ev = e.v;
+      dm->edge_of_gid.erase(e.gid);
+      m.delete_edge(ei);
+      for (const LocalIndex v : ev) {
+        const mesh::Vertex& vv = m.vertex(v);
+        if (vv.alive && vv.edges.empty()) drop_vertex(v);
+      }
+      if (parent == kNoIndex) continue;
+      Edge& p = m.edge(parent);
+      if (!p.alive || p.bisected()) continue;
+      if (p.midpoint != kNoIndex) {
+        const mesh::Vertex& mv = m.vertex(p.midpoint);
+        if (mv.alive && mv.edges.empty()) drop_vertex(p.midpoint);
+        if (p.midpoint != kNoIndex && !m.vertex(p.midpoint).alive) {
+          p.midpoint = kNoIndex;
+        }
+      }
+      if (eref[static_cast<std::size_t>(parent)] == 0) {
+        worklist.push_back(parent);
+      }
+    }
+    // Corner vertices orphaned by the drain (their edges were all
+    // packed and deleted, but they were never a midpoint).
+    for (const LocalIndex v : packed_verts) {
       const mesh::Vertex& vv = m.vertex(v);
       if (vv.alive && vv.edges.empty()) drop_vertex(v);
     }
-    if (parent == kNoIndex) continue;
-    Edge& p = m.edge(parent);
-    if (!p.alive || p.bisected()) continue;
-    if (p.midpoint != kNoIndex) {
-      const mesh::Vertex& mv = m.vertex(p.midpoint);
-      if (mv.alive && mv.edges.empty()) drop_vertex(p.midpoint);
-      if (p.midpoint != kNoIndex && !m.vertex(p.midpoint).alive) {
-        p.midpoint = kNoIndex;
-      }
-    }
-    if (eref[static_cast<std::size_t>(parent)] == 0) {
-      worklist.push_back(parent);
-    }
   }
-  // Corner vertices orphaned by the drain (their edges were all packed
-  // and deleted, but they were never a midpoint).
-  for (const LocalIndex v : packed_verts) {
-    const mesh::Vertex& vv = m.vertex(v);
-    if (vv.alive && vv.edges.empty()) drop_vertex(v);
-  }
-  lap(&result.phases.delete_purge_us);
 
-  // --- unpack --------------------------------------------------------------
   std::vector<char> involved(static_cast<std::size_t>(P), 0);
-  for (const Rank r : my_dests) involved[static_cast<std::size_t>(r)] = 1;
-  if (!my_dests.empty()) involved[static_cast<std::size_t>(self)] = 1;
-  std::vector<LocalIndex> recv_verts, recv_edges;
-  for (Rank src = 0; src < P; ++src) {
-    if (src == self) continue;
-    BufReader br(incoming[static_cast<std::size_t>(src)]);
-    const auto their_dests = br.get_vec<Rank>();
-    if (!their_dests.empty()) involved[static_cast<std::size_t>(src)] = 1;
-    for (const Rank d : their_dests) {
-      involved[static_cast<std::size_t>(d)] = 1;
+  std::vector<char> touched_v, touched_e;
+  {
+    PLUM_PHASE(*comm, "unpack");
+    for (const Rank r : my_dests) involved[static_cast<std::size_t>(r)] = 1;
+    if (!my_dests.empty()) involved[static_cast<std::size_t>(self)] = 1;
+    std::vector<LocalIndex> recv_verts, recv_edges;
+    for (Rank src = 0; src < P; ++src) {
+      if (src == self) continue;
+      BufReader br(incoming[static_cast<std::size_t>(src)]);
+      const auto their_dests = br.get_vec<Rank>();
+      if (!their_dests.empty()) involved[static_cast<std::size_t>(src)] = 1;
+      for (const Rank d : their_dests) {
+        involved[static_cast<std::size_t>(d)] = 1;
+      }
+      if (!br.exhausted()) {
+        const std::int64_t ne = unpack_tree_block(
+            dm, &br, &recv_verts, &recv_edges, &result.roots_received);
+        result.elements_received += ne;
+        comm->charge(static_cast<double>(ne),
+                     comm->cost().c_rebuild_elem_us);
+      }
+      PLUM_CHECK(br.exhausted());
     }
-    if (!br.exhausted()) {
-      const std::int64_t ne = unpack_tree_block(
-          dm, &br, &recv_verts, &recv_edges, &result.roots_received);
-      result.elements_received += ne;
-      comm->charge(static_cast<double>(ne),
-                   comm->cost().c_rebuild_elem_us);
+    // Objects whose holder set this rank changed: boundary copies it
+    // packed (and kept) plus everything it received, as local-index
+    // flags sized to the post-unpack stores.
+    touched_v.assign(m.vertices().size(), 0);
+    touched_e.assign(m.edges().size(), 0);
+    for (const LocalIndex v : packed_verts) {
+      touched_v[static_cast<std::size_t>(v)] = 1;
     }
-    PLUM_CHECK(br.exhausted());
+    for (const LocalIndex e : packed_edges) {
+      touched_e[static_cast<std::size_t>(e)] = 1;
+    }
+    for (const LocalIndex v : recv_verts) {
+      touched_v[static_cast<std::size_t>(v)] = 1;
+    }
+    for (const LocalIndex e : recv_edges) {
+      touched_e[static_cast<std::size_t>(e)] = 1;
+    }
   }
-  // Objects whose holder set this rank changed: boundary copies it
-  // packed (and kept) plus everything it received, as local-index flags
-  // sized to the post-unpack stores.
-  std::vector<char> touched_v(m.vertices().size(), 0);
-  std::vector<char> touched_e(m.edges().size(), 0);
-  for (const LocalIndex v : packed_verts) {
-    touched_v[static_cast<std::size_t>(v)] = 1;
-  }
-  for (const LocalIndex e : packed_edges) {
-    touched_e[static_cast<std::size_t>(e)] = 1;
-  }
-  for (const LocalIndex v : recv_verts) {
-    touched_v[static_cast<std::size_t>(v)] = 1;
-  }
-  for (const LocalIndex e : recv_edges) {
-    touched_e[static_cast<std::size_t>(e)] = 1;
-  }
-  lap(&result.phases.unpack_us);
 
-  // --- SPL repair ----------------------------------------------------------
-  if (opt.full_spl_rebuild) {
-    rebuild_spls(dm, comm);
-  } else {
-    repair_spls(dm, comm, involved, touched_v, touched_e);
-    if (opt.spl_cross_check) {
-      std::vector<std::vector<Rank>> vspl, espl;
-      vspl.reserve(m.vertices().size());
-      espl.reserve(m.edges().size());
-      for (const auto& v : m.vertices()) vspl.push_back(v.spl);
-      for (const auto& e : m.edges()) espl.push_back(e.spl);
+  {
+    PLUM_PHASE(*comm, "spl_repair");
+    if (opt.full_spl_rebuild) {
       rebuild_spls(dm, comm);
-      for (std::size_t i = 0; i < m.vertices().size(); ++i) {
-        if (!m.vertices()[i].alive) continue;
-        PLUM_CHECK_MSG(vspl[i] == m.vertices()[i].spl,
-                       "incremental SPL repair diverged on vertex gid "
-                           << m.vertices()[i].gid);
-      }
-      for (std::size_t i = 0; i < m.edges().size(); ++i) {
-        if (!m.edges()[i].alive) continue;
-        PLUM_CHECK_MSG(espl[i] == m.edges()[i].spl,
-                       "incremental SPL repair diverged on edge gid "
-                           << m.edges()[i].gid);
+    } else {
+      repair_spls(dm, comm, involved, touched_v, touched_e);
+      if (opt.spl_cross_check) {
+        std::vector<std::vector<Rank>> vspl, espl;
+        vspl.reserve(m.vertices().size());
+        espl.reserve(m.edges().size());
+        for (const auto& v : m.vertices()) vspl.push_back(v.spl);
+        for (const auto& e : m.edges()) espl.push_back(e.spl);
+        rebuild_spls(dm, comm);
+        for (std::size_t i = 0; i < m.vertices().size(); ++i) {
+          if (!m.vertices()[i].alive) continue;
+          PLUM_CHECK_MSG(vspl[i] == m.vertices()[i].spl,
+                         "incremental SPL repair diverged on vertex gid "
+                             << m.vertices()[i].gid);
+        }
+        for (std::size_t i = 0; i < m.edges().size(); ++i) {
+          if (!m.edges()[i].alive) continue;
+          PLUM_CHECK_MSG(espl[i] == m.edges()[i].spl,
+                         "incremental SPL repair diverged on edge gid "
+                             << m.edges()[i].gid);
+        }
       }
     }
   }
-  lap(&result.phases.spl_us);
 
   result.elapsed_us = comm->clock().now() - t0;
   return result;

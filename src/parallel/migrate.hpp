@@ -31,16 +31,10 @@
 
 namespace plum::parallel {
 
-/// Wall-clock (not simulated) time spent in each migration phase on
-/// this rank, µs.  Feeds the bench_comm_micro per-phase breakdown.
-struct MigrationPhases {
-  double pack_us = 0.0;          ///< destination pass + serialisation
-  double ship_us = 0.0;          ///< alltoallv
-  double delete_purge_us = 0.0;  ///< departed-tree delete + counted purge
-  double unpack_us = 0.0;        ///< block deserialisation
-  double spl_us = 0.0;           ///< SPL repair / rebuild
-};
-
+/// Per-phase timing (pack / ship / delete+purge / unpack / spl-repair)
+/// is published through the observability layer: migrate() opens a
+/// "migrate" phase with one child per sub-phase (see simmpi/obs.hpp),
+/// so any traced run gets the breakdown for free.
 struct MigrationResult {
   std::int64_t roots_sent = 0;
   std::int64_t roots_received = 0;
@@ -49,7 +43,6 @@ struct MigrationResult {
   std::int64_t bytes_sent = 0;        ///< payload bytes (this rank)
   /// Simulated time spent migrating on this rank (µs).
   double elapsed_us = 0.0;
-  MigrationPhases phases;
 };
 
 struct MigrateOptions {

@@ -15,6 +15,12 @@ void Comm::send(Rank dst, int tag, Bytes&& payload) {
   const double arrival = clock_.now() + cost_->transfer_us(bytes);
   stats_.msgs_sent += 1;
   stats_.bytes_sent += bytes;
+  stats_.msgs_to[static_cast<std::size_t>(dst)] += 1;
+  stats_.bytes_to[static_cast<std::size_t>(dst)] += bytes;
+  if (tag >= kUserTagLimit) {
+    stats_.coll_msgs_sent += 1;
+    stats_.coll_bytes_sent += bytes;
+  }
   (*mailboxes_)[static_cast<std::size_t>(dst)].deliver(
       Message{rank_, tag, arrival, std::move(payload)});
 }

@@ -18,30 +18,46 @@
 #include "simmpi/clock.hpp"
 #include "simmpi/cost_model.hpp"
 #include "simmpi/message.hpp"
+#include "simmpi/obs.hpp"
 #include "support/buffer.hpp"
 #include "support/types.hpp"
 
 namespace plum::simmpi {
 
-/// Per-rank traffic counters (reported by Machine after a run).
+inline constexpr int kUserTagLimit = 1 << 20;
+
+/// Per-rank traffic counters (reported by Machine after a run).  Send
+/// side carries a per-destination matrix and a tag-class split
+/// (collective sequencing tags >= kUserTagLimit vs user point-to-point
+/// traffic) for the observability layer.
 struct CommStats {
   std::int64_t msgs_sent = 0;
   std::int64_t bytes_sent = 0;
   std::int64_t msgs_recv = 0;
   std::int64_t bytes_recv = 0;
+  /// Sends carrying a reserved collective tag.
+  std::int64_t coll_msgs_sent = 0;
+  std::int64_t coll_bytes_sent = 0;
+  /// Per-peer matrix row: [dst] -> traffic this rank sent there.
+  std::vector<std::int64_t> msgs_to;
+  std::vector<std::int64_t> bytes_to;
 };
-
-inline constexpr int kUserTagLimit = 1 << 20;
 
 class Comm {
  public:
   Comm(Rank rank, Rank size, std::vector<Mailbox>* mailboxes,
-       const CostModel* cost, const std::atomic<bool>* abort = nullptr)
+       const CostModel* cost, const std::atomic<bool>* abort = nullptr,
+       bool trace = false)
       : rank_(rank),
         size_(size),
         mailboxes_(mailboxes),
         cost_(cost),
-        abort_(abort) {}
+        abort_(abort) {
+    stats_.msgs_to.assign(static_cast<std::size_t>(size_), 0);
+    stats_.bytes_to.assign(static_cast<std::size_t>(size_), 0);
+    tracer_.bind(&clock_, &stats_);
+    if (trace) tracer_.set_enabled(true);
+  }
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -52,6 +68,8 @@ class Comm {
   const SimClock& clock() const { return clock_; }
   const CostModel& cost() const { return *cost_; }
   const CommStats& stats() const { return stats_; }
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
 
   /// Charge `count` units of compute at `us_per_unit` each.
   void charge(double count, double us_per_unit) {
@@ -114,6 +132,7 @@ class Comm {
   const std::atomic<bool>* abort_;
   SimClock clock_;
   CommStats stats_;
+  obs::Tracer tracer_;
   int seq_ = 0;
 };
 

@@ -37,7 +37,8 @@ MachineReport Machine::run(Rank nranks,
   std::atomic<bool> abort{false};
 
   auto rank_main = [&](Rank r) {
-    Comm comm(r, nranks, &mailboxes, &cost_, &abort);
+    log_set_rank(r);
+    Comm comm(r, nranks, &mailboxes, &cost_, &abort, tracing_);
     try {
       body(comm);
     } catch (const RankAborted&) {
@@ -48,10 +49,13 @@ MachineReport Machine::run(Rank nranks,
       for (auto& mb : mailboxes) mb.poke();
     }
     auto& rr = report.ranks[static_cast<std::size_t>(r)];
+    rr.trace = comm.tracer().finish();
     rr.time_us = comm.clock().now();
     rr.compute_us = comm.clock().compute_us();
     rr.comm_us = comm.clock().comm_us();
+    rr.idle_us = comm.clock().idle_us();
     rr.stats = comm.stats();
+    log_set_rank(kNoRank);
   };
 
   std::vector<std::thread> threads;

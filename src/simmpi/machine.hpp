@@ -21,7 +21,10 @@ struct RankReport {
   double time_us = 0.0;     ///< final simulated clock
   double compute_us = 0.0;  ///< simulated time spent computing
   double comm_us = 0.0;     ///< simulated time spent in communication
+  double idle_us = 0.0;     ///< message-wait subset of comm_us
   CommStats stats;
+  /// Phase tree + trace events (empty unless Machine::set_tracing).
+  obs::RankTrace trace;
 };
 
 struct MachineReport {
@@ -39,11 +42,18 @@ class Machine {
 
   const CostModel& cost() const { return cost_; }
 
+  /// Enables the per-rank phase tracer (obs.hpp) for subsequent runs;
+  /// the report's RankReport::trace then carries each rank's phase tree
+  /// and trace events.  Off by default — and free when off.
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+
   /// Runs `body` as an SPMD program on `nranks` simulated processors.
   MachineReport run(Rank nranks, const std::function<void(Comm&)>& body);
 
  private:
   CostModel cost_;
+  bool tracing_ = false;
 };
 
 }  // namespace plum::simmpi

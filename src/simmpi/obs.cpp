@@ -1,0 +1,451 @@
+#include "simmpi/obs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/machine.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace plum::obs {
+
+// --- PhaseNode ---------------------------------------------------------
+
+PhaseTotals PhaseNode::inclusive() const {
+  PhaseTotals t = totals;
+  for (const PhaseNode& c : children) {
+    PhaseTotals ct = c.inclusive();
+    ct.count = 0;  // counts do not roll up: a child entry is not a self entry
+    t += ct;
+  }
+  t.count = totals.count;
+  return t;
+}
+
+const PhaseNode* PhaseNode::child(std::string_view n) const {
+  for (const PhaseNode& c : children) {
+    if (c.name == n) return &c;
+  }
+  return nullptr;
+}
+
+const PhaseNode* PhaseNode::find(
+    std::initializer_list<const char*> path) const {
+  const PhaseNode* cur = this;
+  for (const char* part : path) {
+    cur = cur->child(part);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+// --- Tracer ------------------------------------------------------------
+
+void Tracer::set_enabled(bool on) {
+  PLUM_CHECK_MSG(open_.empty(), "cannot toggle tracing inside a phase");
+  enabled_ = on;
+  nodes_.clear();
+  stack_.clear();
+  events_.clear();
+  if (on) {
+    PLUM_CHECK_MSG(clock_ != nullptr, "tracer enabled before bind()");
+    Node root;
+    root.name = "(run)";
+    root.totals.count = 1;
+    nodes_.push_back(std::move(root));
+    stack_.push_back(0);
+    snapshot();
+  }
+}
+
+void Tracer::snapshot() {
+  last_now_ = clock_->now();
+  last_compute_ = clock_->compute_us();
+  last_comm_ = clock_->comm_overhead_us();
+  last_idle_ = clock_->idle_us();
+  last_msgs_ = stats_->msgs_sent;
+  last_bytes_ = stats_->bytes_sent;
+  last_real_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::flush() {
+  const double now = clock_->now();
+  const double compute = clock_->compute_us();
+  const double comm = clock_->comm_overhead_us();
+  const double idle = clock_->idle_us();
+  const auto real = std::chrono::steady_clock::now();
+
+  PhaseTotals& t = nodes_[stack_.back()].totals;
+  t.wall_us += now - last_now_;
+  t.compute_us += compute - last_compute_;
+  t.comm_us += comm - last_comm_;
+  t.idle_us += idle - last_idle_;
+  t.real_us +=
+      std::chrono::duration<double, std::micro>(real - last_real_).count();
+  t.msgs_sent += stats_->msgs_sent - last_msgs_;
+  t.bytes_sent += stats_->bytes_sent - last_bytes_;
+
+  last_now_ = now;
+  last_compute_ = compute;
+  last_comm_ = comm;
+  last_idle_ = idle;
+  last_msgs_ = stats_->msgs_sent;
+  last_bytes_ = stats_->bytes_sent;
+  last_real_ = real;
+}
+
+void Tracer::begin_slow(const char* name) {
+  flush();
+  const std::uint32_t parent = stack_.back();
+  std::uint32_t idx = 0xffffffffu;
+  for (const std::uint32_t k : nodes_[parent].kids) {
+    if (std::strcmp(nodes_[k].name.c_str(), name) == 0) {
+      idx = k;
+      break;
+    }
+  }
+  if (idx == 0xffffffffu) {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    Node n;
+    n.name = name;
+    n.parent = parent;
+    nodes_.push_back(std::move(n));
+    nodes_[parent].kids.push_back(idx);
+  }
+  nodes_[idx].totals.count += 1;
+
+  TraceEvent ev;
+  ev.node = idx;
+  ev.depth = static_cast<std::int32_t>(stack_.size()) - 1;
+  ev.ts_us = clock_->now();
+  events_.push_back(ev);
+  open_.push_back({idx, static_cast<std::uint32_t>(events_.size() - 1)});
+  stack_.push_back(idx);
+}
+
+void Tracer::end_slow() {
+  PLUM_CHECK_MSG(stack_.size() > 1, "phase end without matching begin");
+  flush();
+  const Open o = open_.back();
+  TraceEvent& ev = events_[o.event];
+  ev.dur_us = clock_->now() - ev.ts_us;
+  open_.pop_back();
+  stack_.pop_back();
+}
+
+PhaseNode Tracer::build_tree(std::uint32_t idx) const {
+  const Node& n = nodes_[idx];
+  PhaseNode out;
+  out.name = n.name;
+  out.totals = n.totals;
+  out.children.reserve(n.kids.size());
+  for (const std::uint32_t k : n.kids) out.children.push_back(build_tree(k));
+  return out;
+}
+
+RankTrace Tracer::finish() {
+  RankTrace rt;
+  if (!enabled_) return rt;
+  flush();
+  // Close anything a non-local exit left open (defensive; PhaseScope
+  // normally unwinds every phase).
+  while (!open_.empty()) {
+    TraceEvent& ev = events_[open_.back().event];
+    ev.dur_us = clock_->now() - ev.ts_us;
+    open_.pop_back();
+    if (stack_.size() > 1) stack_.pop_back();
+  }
+  rt.enabled = true;
+  rt.root = build_tree(0);
+  rt.node_names.reserve(nodes_.size());
+  for (const Node& n : nodes_) rt.node_names.push_back(n.name);
+  rt.events = std::move(events_);
+  nodes_.clear();
+  stack_.clear();
+  events_.clear();
+  enabled_ = false;
+  return rt;
+}
+
+const PhaseTotals* Tracer::find(
+    std::initializer_list<const char*> path) const {
+  if (!enabled_ || nodes_.empty()) return nullptr;
+  std::uint32_t cur = 0;
+  for (const char* part : path) {
+    std::uint32_t next = 0xffffffffu;
+    for (const std::uint32_t k : nodes_[cur].kids) {
+      if (std::strcmp(nodes_[k].name.c_str(), part) == 0) {
+        next = k;
+        break;
+      }
+    }
+    if (next == 0xffffffffu) return nullptr;
+    cur = next;
+  }
+  return &nodes_[cur].totals;
+}
+
+// --- merge -------------------------------------------------------------
+
+PhaseTotals PhaseReport::max() const {
+  PhaseTotals m;
+  for (const PhaseTotals& t : per_rank) {
+    m.wall_us = std::max(m.wall_us, t.wall_us);
+    m.compute_us = std::max(m.compute_us, t.compute_us);
+    m.comm_us = std::max(m.comm_us, t.comm_us);
+    m.idle_us = std::max(m.idle_us, t.idle_us);
+    m.real_us = std::max(m.real_us, t.real_us);
+    m.count = std::max(m.count, t.count);
+    m.msgs_sent = std::max(m.msgs_sent, t.msgs_sent);
+    m.bytes_sent = std::max(m.bytes_sent, t.bytes_sent);
+  }
+  return m;
+}
+
+PhaseTotals PhaseReport::mean() const {
+  PhaseTotals m;
+  if (per_rank.empty()) return m;
+  for (const PhaseTotals& t : per_rank) m += t;
+  const double inv = 1.0 / static_cast<double>(per_rank.size());
+  m.wall_us *= inv;
+  m.compute_us *= inv;
+  m.comm_us *= inv;
+  m.idle_us *= inv;
+  m.real_us *= inv;
+  return m;  // count/msgs/bytes stay as totals over ranks
+}
+
+const PhaseReport* PhaseReport::find(
+    std::initializer_list<const char*> path) const {
+  const PhaseReport* cur = this;
+  for (const char* part : path) {
+    const PhaseReport* next = nullptr;
+    for (const PhaseReport& c : cur->children) {
+      if (c.name == part) {
+        next = &c;
+        break;
+      }
+    }
+    if (next == nullptr) return nullptr;
+    cur = next;
+  }
+  return cur;
+}
+
+namespace {
+
+void merge_node(PhaseReport* dst, const PhaseNode& src, std::size_t rank,
+                std::size_t nranks) {
+  dst->per_rank[rank] += src.inclusive();
+  for (const PhaseNode& sc : src.children) {
+    PhaseReport* child = nullptr;
+    for (PhaseReport& dc : dst->children) {
+      if (dc.name == sc.name) {
+        child = &dc;
+        break;
+      }
+    }
+    if (child == nullptr) {
+      dst->children.emplace_back();
+      child = &dst->children.back();
+      child->name = sc.name;
+      child->per_rank.resize(nranks);
+    }
+    merge_node(child, sc, rank, nranks);
+  }
+}
+
+}  // namespace
+
+PhaseReport merge_phases(const simmpi::MachineReport& report) {
+  PhaseReport root;
+  root.name = "(run)";
+  const std::size_t nranks = report.ranks.size();
+  root.per_rank.resize(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const RankTrace& rt = report.ranks[r].trace;
+    if (!rt.enabled) continue;
+    merge_node(&root, rt.root, r, nranks);
+  }
+  return root;
+}
+
+// --- Chrome trace export -----------------------------------------------
+
+std::string chrome_trace_json(const simmpi::MachineReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version");
+  w.value(kJsonSchemaVersion);
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const RankTrace& rt = report.ranks[r].trace;
+    if (!rt.enabled) continue;
+    // Track label so Perfetto shows "rank N" instead of a bare tid.
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(0);
+    w.key("tid");
+    w.value(static_cast<std::int64_t>(r));
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value("rank " + std::to_string(r));
+    w.end_object();
+    w.end_object();
+    for (const TraceEvent& ev : rt.events) {
+      w.begin_object();
+      w.key("name");
+      w.value(rt.node_names[ev.node]);
+      w.key("ph");
+      w.value("X");
+      w.key("pid");
+      w.value(0);
+      w.key("tid");
+      w.value(static_cast<std::int64_t>(r));
+      w.key("ts");
+      w.value_fixed(ev.ts_us, 3);
+      w.key("dur");
+      w.value_fixed(ev.dur_us, 3);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("makespan_us");
+  w.value_fixed(report.makespan_us(), 3);
+  w.end_object();
+  std::string out = w.take();
+  out += '\n';
+  return out;
+}
+
+bool write_chrome_trace(const simmpi::MachineReport& report,
+                        const std::string& path) {
+  const std::string doc = chrome_trace_json(report);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "write_chrome_trace: cannot write %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// --- tables ------------------------------------------------------------
+
+namespace {
+
+void phase_rows(plum::Table* t, const PhaseReport& node, int depth) {
+  const PhaseTotals mx = node.max();
+  const PhaseTotals mn = node.mean();
+  const double imb = mn.wall_us > 0.0 ? mx.wall_us / mn.wall_us : 1.0;
+  t->row({std::string(2 * static_cast<std::size_t>(depth), ' ') + node.name,
+          mx.count, mn.wall_us / 1000.0, mx.wall_us / 1000.0, imb,
+          mn.comm_us / 1000.0, mn.idle_us / 1000.0});
+  for (const PhaseReport& c : node.children) phase_rows(t, c, depth + 1);
+}
+
+}  // namespace
+
+plum::Table phase_table(const simmpi::MachineReport& report) {
+  const PhaseReport merged = merge_phases(report);
+  plum::Table t("per-phase breakdown (simulated time, inclusive)");
+  t.header({"phase", "count", "mean ms", "max ms", "imb", "comm ms",
+            "idle ms"})
+      .precision(3);
+  phase_rows(&t, merged, 0);
+  return t;
+}
+
+plum::Table traffic_table(const simmpi::MachineReport& report) {
+  plum::Table t("per-rank traffic (send side split by tag class)");
+  t.header({"rank", "msgs", "bytes", "coll msgs", "coll bytes", "recv msgs",
+            "recv bytes"});
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const simmpi::CommStats& s = report.ranks[r].stats;
+    t.row({static_cast<long long>(r), static_cast<long long>(s.msgs_sent),
+           static_cast<long long>(s.bytes_sent),
+           static_cast<long long>(s.coll_msgs_sent),
+           static_cast<long long>(s.coll_bytes_sent),
+           static_cast<long long>(s.msgs_recv),
+           static_cast<long long>(s.bytes_recv)});
+  }
+  return t;
+}
+
+plum::Table traffic_matrix_table(const simmpi::MachineReport& report) {
+  plum::Table t("bytes sent by (row = source, column = destination)");
+  std::vector<std::string> head = {"src\\dst"};
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    head.push_back(std::to_string(r));
+  }
+  t.header(std::move(head));
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const simmpi::CommStats& s = report.ranks[r].stats;
+    std::vector<plum::Table::Cell> row = {static_cast<long long>(r)};
+    for (std::size_t d = 0; d < report.ranks.size(); ++d) {
+      row.push_back(static_cast<long long>(
+          d < s.bytes_to.size() ? s.bytes_to[d] : 0));
+    }
+    t.row(std::move(row));
+  }
+  return t;
+}
+
+// --- metrics export ----------------------------------------------------
+
+namespace {
+
+void metrics_rows(JsonEmitter* em, const PhaseReport& node,
+                  const std::string& prefix) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + "/" + node.name;
+  const PhaseTotals mx = node.max();
+  const PhaseTotals mn = node.mean();
+  em->add(path,
+          {{"count", static_cast<double>(mx.count)},
+           {"wall_mean_us", mn.wall_us},
+           {"wall_max_us", mx.wall_us},
+           {"imbalance", mn.wall_us > 0.0 ? mx.wall_us / mn.wall_us : 1.0},
+           {"compute_mean_us", mn.compute_us},
+           {"comm_mean_us", mn.comm_us},
+           {"idle_mean_us", mn.idle_us},
+           {"bytes_sent", static_cast<double>(mn.bytes_sent)}});
+  for (const PhaseReport& c : node.children) metrics_rows(em, c, path);
+}
+
+}  // namespace
+
+bool write_metrics_json(const simmpi::MachineReport& report,
+                        const std::string& run_name,
+                        const std::string& path) {
+  JsonEmitter em(run_name);
+  metrics_rows(&em, merge_phases(report), "");
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const simmpi::RankReport& rr = report.ranks[r];
+    em.add("rank" + std::to_string(r),
+           {{"time_us", rr.time_us},
+            {"compute_us", rr.compute_us},
+            {"comm_us", rr.comm_us},
+            {"idle_us", rr.idle_us},
+            {"msgs_sent", static_cast<double>(rr.stats.msgs_sent)},
+            {"bytes_sent", static_cast<double>(rr.stats.bytes_sent)},
+            {"coll_msgs_sent", static_cast<double>(rr.stats.coll_msgs_sent)},
+            {"coll_bytes_sent",
+             static_cast<double>(rr.stats.coll_bytes_sent)}});
+  }
+  return em.write(path);
+}
+
+}  // namespace plum::obs

@@ -1,0 +1,239 @@
+// plum::obs — per-rank, phase-scoped tracing and metrics on the
+// simulated clock.
+//
+// A PLUM_PHASE(comm, "refine") scope (nestable RAII) records a
+// begin/end event pair at *virtual* time and attributes every SimClock
+// delta — compute, communication overhead, idle waiting — plus the
+// CommStats traffic deltas to the innermost open phase.  Because the
+// timestamps are simulated, traces are deterministic: two identical
+// runs produce byte-identical trace files regardless of host load or
+// thread scheduling.  Host wall-clock self time is accumulated
+// alongside (PhaseTotals::real_us) for the micro-benchmarks, but never
+// enters the trace file.
+//
+// Cost discipline: when tracing is disabled (the default), begin/end
+// are a single predictable branch — no clock reads, no allocation, no
+// string work.  Instrumentation must be free when off.
+//
+// Attribution model (DESIGN.md §9): totals stored per phase node are
+// *self* (exclusive) — time spent while that phase was innermost.
+// Inclusive time is self plus all descendants, computed by the
+// exporters.  An implicit root node ("(run)") absorbs everything that
+// happens outside any open phase, so per rank the tree always sums
+// exactly to the SimClock totals.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simmpi/clock.hpp"
+#include "support/types.hpp"
+
+namespace plum::simmpi {
+struct CommStats;
+struct MachineReport;
+}  // namespace plum::simmpi
+
+namespace plum {
+class Table;
+}
+
+namespace plum::obs {
+
+/// Self (exclusive) totals attributed to one phase on one rank.
+/// Virtual buckets are disjoint: wall_us == compute + comm + idle.
+struct PhaseTotals {
+  double wall_us = 0.0;     ///< virtual time while innermost
+  double compute_us = 0.0;  ///< SimClock compute delta
+  double comm_us = 0.0;     ///< SimClock comm-overhead delta
+  double idle_us = 0.0;     ///< SimClock idle (message-wait) delta
+  double real_us = 0.0;     ///< host wall-clock (bench use; not traced)
+  std::int64_t count = 0;   ///< times the phase was entered
+  std::int64_t msgs_sent = 0;
+  std::int64_t bytes_sent = 0;
+
+  void operator+=(const PhaseTotals& o) {
+    wall_us += o.wall_us;
+    compute_us += o.compute_us;
+    comm_us += o.comm_us;
+    idle_us += o.idle_us;
+    real_us += o.real_us;
+    count += o.count;
+    msgs_sent += o.msgs_sent;
+    bytes_sent += o.bytes_sent;
+  }
+};
+
+/// One rank's phase tree (self-attributed totals, nested by scope).
+struct PhaseNode {
+  std::string name;
+  PhaseTotals totals;
+  std::vector<PhaseNode> children;
+
+  /// Self plus all descendants.
+  PhaseTotals inclusive() const;
+  /// Child lookup by name (nullptr if absent).
+  const PhaseNode* child(std::string_view name) const;
+  /// Descendant lookup by path, e.g. find({"migrate", "pack"}).
+  const PhaseNode* find(std::initializer_list<const char*> path) const;
+};
+
+/// One completed phase interval, in virtual µs.  `node` indexes
+/// RankTrace::node_names; events are stored in begin order, so their
+/// timestamps are non-decreasing.
+struct TraceEvent {
+  std::uint32_t node = 0;
+  std::int32_t depth = 0;  ///< nesting depth (top-level phase = 0)
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Everything one rank's tracer collected during a run.
+struct RankTrace {
+  PhaseNode root;                       ///< name "(run)", totals = tail
+  std::vector<std::string> node_names;  ///< flat id -> phase name
+  std::vector<TraceEvent> events;
+  bool enabled = false;
+};
+
+/// Per-rank phase tracer.  Owned by simmpi::Comm; bound to that rank's
+/// clock and traffic counters.  Not thread-safe (one rank, one thread —
+/// the same contract as the clock itself).
+class Tracer {
+ public:
+  void bind(const simmpi::SimClock* clock, const simmpi::CommStats* stats) {
+    clock_ = clock;
+    stats_ = stats;
+  }
+
+  /// Enabling mid-phase is not supported; set before the SPMD body.
+  void set_enabled(bool on);
+  bool enabled() const { return enabled_; }
+
+  void begin(const char* name) {
+    if (enabled_) begin_slow(name);
+  }
+  void end() {
+    if (enabled_) end_slow();
+  }
+
+  /// Flushes the unattributed tail into the deepest still-open phase
+  /// (normally the root), closes any events left open by an unwind, and
+  /// returns the collected data.  The tracer is left empty.
+  RankTrace finish();
+
+  /// Read access for in-run queries (bench breakdowns): totals of the
+  /// phase at `path`, nullptr when disabled or never entered.  Self
+  /// totals — complete once the phase's scope has closed.
+  const PhaseTotals* find(std::initializer_list<const char*> path) const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::uint32_t parent = 0;
+    std::vector<std::uint32_t> kids;
+    PhaseTotals totals;
+  };
+  struct Open {
+    std::uint32_t node = 0;
+    std::uint32_t event = 0;
+  };
+
+  void begin_slow(const char* name);
+  void end_slow();
+  /// Attributes all deltas since the last snapshot to stack top.
+  void flush();
+  void snapshot();
+  PhaseNode build_tree(std::uint32_t idx) const;
+
+  const simmpi::SimClock* clock_ = nullptr;
+  const simmpi::CommStats* stats_ = nullptr;
+  bool enabled_ = false;
+
+  std::vector<Node> nodes_;          // [0] is the root
+  std::vector<std::uint32_t> stack_; // innermost last; [0] is the root
+  std::vector<Open> open_;
+  std::vector<TraceEvent> events_;
+
+  // Last-snapshot readings for delta attribution.
+  double last_now_ = 0.0;
+  double last_compute_ = 0.0;
+  double last_comm_ = 0.0;
+  double last_idle_ = 0.0;
+  std::int64_t last_msgs_ = 0;
+  std::int64_t last_bytes_ = 0;
+  std::chrono::steady_clock::time_point last_real_{};
+};
+
+/// RAII phase scope; does nothing when the tracer is disabled.
+class PhaseScope {
+ public:
+  PhaseScope(Tracer& t, const char* name) : t_(t), active_(t.enabled()) {
+    if (active_) t_.begin(name);
+  }
+  ~PhaseScope() {
+    if (active_) t_.end();
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Tracer& t_;
+  bool active_;
+};
+
+// --- exporters ---------------------------------------------------------
+// All take the MachineReport a traced Machine::run returned.
+
+/// The merged per-phase tree: per-rank *inclusive* totals per node.
+/// Ranks that never entered a phase contribute zero totals, so
+/// per_rank.size() == nranks at every node.
+struct PhaseReport {
+  std::string name;
+  std::vector<PhaseTotals> per_rank;
+  std::vector<PhaseReport> children;
+
+  PhaseTotals max() const;
+  PhaseTotals mean() const;
+  const PhaseReport* find(std::initializer_list<const char*> path) const;
+};
+
+PhaseReport merge_phases(const simmpi::MachineReport& report);
+
+/// Chrome trace-event / Perfetto-loadable JSON: one complete event per
+/// phase interval, timestamps in simulated µs, one track (tid) per
+/// rank.  Deterministic: identical runs give byte-identical strings.
+std::string chrome_trace_json(const simmpi::MachineReport& report);
+bool write_chrome_trace(const simmpi::MachineReport& report,
+                        const std::string& path);
+
+/// Aggregated per-phase table (count, mean/max virtual ms over ranks,
+/// imbalance = max/mean, comm and idle shares).
+plum::Table phase_table(const simmpi::MachineReport& report);
+
+/// Per-rank traffic totals with the collective/user split.
+plum::Table traffic_table(const simmpi::MachineReport& report);
+
+/// P x P bytes-sent matrix (row = sender, column = destination).
+plum::Table traffic_matrix_table(const simmpi::MachineReport& report);
+
+/// Metrics document via the shared JsonEmitter: one record per phase
+/// path (aggregates over ranks) plus one per rank (traffic totals).
+bool write_metrics_json(const simmpi::MachineReport& report,
+                        const std::string& run_name,
+                        const std::string& path);
+
+}  // namespace plum::obs
+
+#define PLUM_OBS_CAT2(a, b) a##b
+#define PLUM_OBS_CAT(a, b) PLUM_OBS_CAT2(a, b)
+
+/// Opens a named phase on `comm`'s tracer for the enclosing scope.
+#define PLUM_PHASE(comm, name)                                    \
+  ::plum::obs::PhaseScope PLUM_OBS_CAT(plum_phase_, __LINE__) {   \
+    (comm).tracer(), name                                         \
+  }

@@ -1,0 +1,240 @@
+// The one JSON writer in the codebase.
+//
+// Two layers:
+//
+//   * JsonWriter — a streaming document builder with automatic comma
+//     management and deterministic number formatting, used by the
+//     observability exporters (Chrome trace files, metrics documents)
+//     and by JsonEmitter below.  Output is built into a string so a
+//     document can be compared byte-for-byte before touching disk.
+//
+//   * JsonEmitter — the benchmark result sink (one record per
+//     measurement, flat numeric fields), promoted here from
+//     bench/common.hpp so library code and benches share one writer.
+//     Every emitted document carries a schema_version field.
+//
+// Determinism matters: the trace exporter promises byte-identical
+// output for identical simulated runs, so all number formatting is
+// fixed-format printf (no locale, no shortest-round-trip variance).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace plum {
+
+/// Streaming JSON document builder.  The caller is responsible for
+/// well-formed nesting (begin/end pairs, key before value inside
+/// objects); commas and indentation-free layout are handled here.
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(1 << 12); }
+
+  void begin_object() {
+    comma();
+    out_ += '{';
+    push(/*in_object=*/true);
+  }
+  void end_object() {
+    pop();
+    out_ += '}';
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    push(/*in_object=*/false);
+  }
+  void end_array() {
+    pop();
+    out_ += ']';
+  }
+
+  /// Object key; must be followed by exactly one value/container.
+  void key(std::string_view k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    pending_key_ = true;
+  }
+
+  void value(std::string_view s) {
+    comma();
+    append_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+  }
+  void value(std::int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  /// Full-precision double (round-trips exactly; used for measurements).
+  void value(double v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  }
+  /// Fixed-point double (used for timestamps, where a stable human-
+  /// readable form is worth more than the last bits).
+  void value_fixed(double v, int digits) {
+    comma();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    out_ += buf;
+  }
+
+  const std::string& str() const {
+    PLUM_DCHECK(depth_ == 0);
+    return out_;
+  }
+  std::string take() { return std::move(out_); }
+
+  /// Writes the finished document to `path`; returns false (with a note
+  /// on stderr) if the file cannot be written.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonWriter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (depth_ > 0 && count_[static_cast<std::size_t>(depth_ - 1)]++ > 0) {
+      out_ += ',';
+    }
+  }
+  void push(bool in_object) {
+    (void)in_object;
+    count_.push_back(0);
+    ++depth_;
+  }
+  void pop() {
+    PLUM_DCHECK(depth_ > 0);
+    count_.pop_back();
+    --depth_;
+    pending_key_ = false;
+  }
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<int> count_;
+  int depth_ = 0;
+  bool pending_key_ = false;
+};
+
+/// Version stamp carried by every BENCH_*.json / metrics document so
+/// downstream diff tooling can detect format changes.
+inline constexpr int kJsonSchemaVersion = 2;
+
+/// Machine-readable result sink.  Benches add() one record per
+/// measurement and write() them as a JSON document so CI and the
+/// before/after comparisons in EXPERIMENTS.md can diff runs without
+/// scraping tables.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  /// Adds one record: a label plus flat numeric fields.
+  void add(const std::string& name,
+           std::initializer_list<std::pair<const char*, double>> fields) {
+    Record rec;
+    rec.name = name;
+    for (const auto& [k, v] : fields) rec.fields.emplace_back(k, v);
+    records_.push_back(std::move(rec));
+  }
+
+  /// Renders {"bench": ..., "schema_version": ..., "results": [...]}.
+  std::string str() const {
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench");
+    w.value(bench_);
+    w.key("schema_version");
+    w.value(kJsonSchemaVersion);
+    w.key("results");
+    w.begin_array();
+    for (const Record& r : records_) {
+      w.begin_object();
+      w.key("name");
+      w.value(r.name);
+      for (const auto& [k, v] : r.fields) {
+        w.key(k);
+        w.value(v);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::string out = w.take();
+    out += '\n';
+    return out;
+  }
+
+  /// Writes the document to `path`; returns false (with a note on
+  /// stderr) if the file cannot be written.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonEmitter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string doc = str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string bench_;
+  std::vector<Record> records_;
+};
+
+}  // namespace plum

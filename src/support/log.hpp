@@ -1,8 +1,14 @@
-// Minimal leveled logging.
+// Minimal leveled, rank-aware logging.
 //
 // The library is quiet by default (benches own their stdout); set the
-// PLUM_LOG environment variable to "debug", "info", or "warn" to see
-// internal progress (propagation iterations, migration volumes, ...).
+// PLUM_LOG environment variable to "debug", "info", "warn", "error",
+// or "off" (explicit silence) to control what internal progress is
+// printed (propagation iterations, migration volumes, ...).
+//
+// The simulated machine registers each rank thread via log_set_rank(),
+// so lines emitted from inside an SPMD body are prefixed with the
+// originating rank: "[plum:I r3] ...".  Outside a run (serial tools,
+// benches) the prefix stays "[plum:I] ...".
 #pragma once
 
 #include <cstdio>
@@ -11,9 +17,17 @@
 #include <sstream>
 #include <string>
 
+#include "support/types.hpp"
+
 namespace plum {
 
-enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4
+};
 
 namespace detail {
 inline LogLevel parse_env_level() {
@@ -22,6 +36,8 @@ inline LogLevel parse_env_level() {
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
   return LogLevel::kOff;
 }
 }  // namespace detail
@@ -35,12 +51,28 @@ inline bool log_enabled(LogLevel lvl) {
   return static_cast<int>(lvl) >= static_cast<int>(log_level());
 }
 
+/// The simulated rank of the calling thread (kNoRank outside a run).
+inline Rank& log_rank() {
+  thread_local Rank rank = kNoRank;
+  return rank;
+}
+
+/// Registers/clears the calling thread's rank for log prefixes.
+inline void log_set_rank(Rank r) { log_rank() = r; }
+
 inline void log_line(LogLevel lvl, const std::string& msg) {
   if (!log_enabled(lvl)) return;
   const char* tag = lvl == LogLevel::kDebug  ? "D"
                     : lvl == LogLevel::kInfo ? "I"
-                                             : "W";
-  std::fprintf(stderr, "[plum:%s] %s\n", tag, msg.c_str());
+                    : lvl == LogLevel::kWarn ? "W"
+                                             : "E";
+  const Rank r = log_rank();
+  if (r == kNoRank) {
+    std::fprintf(stderr, "[plum:%s] %s\n", tag, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[plum:%s r%d] %s\n", tag, static_cast<int>(r),
+                 msg.c_str());
+  }
 }
 
 }  // namespace plum
@@ -57,3 +89,4 @@ inline void log_line(LogLevel lvl, const std::string& msg) {
 #define PLUM_LOG_DEBUG(...) PLUM_LOG(kDebug, __VA_ARGS__)
 #define PLUM_LOG_INFO(...) PLUM_LOG(kInfo, __VA_ARGS__)
 #define PLUM_LOG_WARN(...) PLUM_LOG(kWarn, __VA_ARGS__)
+#define PLUM_LOG_ERROR(...) PLUM_LOG(kError, __VA_ARGS__)

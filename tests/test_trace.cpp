@@ -1,0 +1,226 @@
+// Tests of the plum::obs tracing/metrics layer: phase nesting and event
+// monotonicity, attribution (per-phase totals reconcile with the
+// simulated clock), byte-identical trace export across identical runs,
+// zero-footprint when disabled, and traffic-matrix consistency.
+#include <gtest/gtest.h>
+
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "parallel/framework.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+#include "simmpi/obs.hpp"
+
+namespace plum::obs {
+namespace {
+
+using mesh::Mesh;
+
+struct World {
+  Mesh global;
+  dual::DualGraph dualg;
+  std::vector<Rank> proc;
+};
+
+World make_setup(int n, Rank P) {
+  World s{mesh::make_cube_mesh(n), {}, {}};
+  s.dualg = dual::build_dual_graph(s.global);
+  const auto r = partition::make_partitioner("rcb")->partition(s.dualg, P);
+  s.proc.assign(r.part.begin(), r.part.end());
+  return s;
+}
+
+/// Runs `cycles` framework cycles (localized refinement, so the
+/// balancer repartitions and migration actually moves trees).
+simmpi::MachineReport run_cycles(const World& s, Rank P, int cycles,
+                                 bool tracing) {
+  parallel::FrameworkConfig cfg;
+  cfg.solver_iterations = 2;
+  cfg.balancer.partitioner = "rcb";
+
+  simmpi::Machine machine;
+  machine.set_tracing(tracing);
+  return machine.run(P, [&](simmpi::Comm& comm) {
+    parallel::PlumFramework fw(&comm, s.global, s.dualg, s.proc, cfg);
+    for (int c = 0; c < cycles; ++c) {
+      fw.cycle(
+          [](Mesh& m) {
+            adapt::mark_refine_in_sphere(m, {{0.25, 0.25, 0.25}, 0.3});
+          },
+          nullptr);
+    }
+  });
+}
+
+/// Sum of self totals over a phase tree (== root.inclusive()).
+PhaseTotals tree_sum(const PhaseNode& n) {
+  PhaseTotals t = n.totals;
+  for (const PhaseNode& c : n.children) {
+    const PhaseTotals ct = tree_sum(c);
+    t.wall_us += ct.wall_us;
+    t.compute_us += ct.compute_us;
+    t.comm_us += ct.comm_us;
+    t.idle_us += ct.idle_us;
+    t.msgs_sent += ct.msgs_sent;
+    t.bytes_sent += ct.bytes_sent;
+  }
+  return t;
+}
+
+TEST(Trace, EventsAreNestedAndMonotone) {
+  const Rank P = 4;
+  const World s = make_setup(3, P);
+  const simmpi::MachineReport report = run_cycles(s, P, 1, true);
+
+  ASSERT_EQ(report.ranks.size(), static_cast<std::size_t>(P));
+  for (const auto& rr : report.ranks) {
+    const RankTrace& rt = rr.trace;
+    ASSERT_TRUE(rt.enabled);
+    EXPECT_EQ(rt.root.name, "(run)");
+    ASSERT_FALSE(rt.events.empty());
+    double prev_ts = 0.0;
+    for (const TraceEvent& ev : rt.events) {
+      // Begin order: timestamps never go backwards.
+      EXPECT_GE(ev.ts_us, prev_ts);
+      prev_ts = ev.ts_us;
+      EXPECT_GE(ev.dur_us, 0.0);
+      EXPECT_GE(ev.depth, 0);
+      ASSERT_LT(ev.node, rt.node_names.size());
+      EXPECT_FALSE(rt.node_names[ev.node].empty());
+      // Every interval ends within the run.
+      EXPECT_LE(ev.ts_us + ev.dur_us, rr.time_us + 1e-9);
+    }
+    // The pipeline phases all appear, and migrate has its sub-phases.
+    for (const char* name :
+         {"solve", "refine", "weights", "balance", "migrate"}) {
+      EXPECT_NE(rt.root.child(name), nullptr) << name;
+    }
+    const PhaseNode* mig = rt.root.child("migrate");
+    ASSERT_NE(mig, nullptr);
+    for (const char* sub :
+         {"pack", "ship", "delete_purge", "unpack", "spl_repair"}) {
+      EXPECT_NE(mig->child(sub), nullptr) << sub;
+    }
+    EXPECT_NE(rt.root.find({"balance", "partition"}), nullptr);
+    EXPECT_NE(rt.root.find({"balance", "reassign"}), nullptr);
+  }
+}
+
+TEST(Trace, SelfTotalsReconcileWithSimClock) {
+  const Rank P = 4;
+  const World s = make_setup(3, P);
+  const simmpi::MachineReport report = run_cycles(s, P, 1, true);
+
+  for (const auto& rr : report.ranks) {
+    const PhaseTotals sum = tree_sum(rr.trace.root);
+    // The implicit root absorbs everything outside any phase, so the
+    // tree accounts for the whole run, bucket by bucket.  (Summation
+    // order differs from the clock's, hence NEAR.)
+    const double tol = 1e-6 * (rr.time_us + 1.0);
+    EXPECT_NEAR(sum.wall_us, rr.time_us, tol);
+    EXPECT_NEAR(sum.compute_us, rr.compute_us, tol);
+    EXPECT_NEAR(sum.idle_us, rr.idle_us, tol);
+    // RankReport::comm_us keeps the historical meaning overhead+idle.
+    EXPECT_NEAR(sum.comm_us, rr.comm_us - rr.idle_us, tol);
+    // inclusive() of the root is the same sum.
+    const PhaseTotals inc = rr.trace.root.inclusive();
+    EXPECT_NEAR(inc.wall_us, sum.wall_us, tol);
+    // Per-phase traffic attributes every sent byte.
+    EXPECT_EQ(sum.msgs_sent, rr.stats.msgs_sent);
+    EXPECT_EQ(sum.bytes_sent, rr.stats.bytes_sent);
+  }
+
+  // The merged report agrees with the machine's makespan.
+  const PhaseReport merged = merge_phases(report);
+  EXPECT_NEAR(merged.max().wall_us, report.makespan_us(),
+              1e-6 * (report.makespan_us() + 1.0));
+}
+
+TEST(Trace, IdenticalRunsGiveByteIdenticalTraceJson) {
+  const Rank P = 4;
+  const World s = make_setup(3, P);
+  const simmpi::MachineReport a = run_cycles(s, P, 2, true);
+  const simmpi::MachineReport b = run_cycles(s, P, 2, true);
+
+  const std::string ja = chrome_trace_json(a);
+  const std::string jb = chrome_trace_json(b);
+  EXPECT_FALSE(ja.empty());
+  EXPECT_EQ(ja, jb);
+  // Sanity: it is a JSON object with the expected top-level keys.
+  EXPECT_EQ(ja.front(), '{');
+  EXPECT_NE(ja.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(ja.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(ja.find("\"makespan_us\""), std::string::npos);
+}
+
+TEST(Trace, DisabledTracingLeavesNoFootprint) {
+  const Rank P = 2;
+  const World s = make_setup(3, P);
+  const simmpi::MachineReport report = run_cycles(s, P, 1, false);
+  for (const auto& rr : report.ranks) {
+    EXPECT_FALSE(rr.trace.enabled);
+    EXPECT_TRUE(rr.trace.events.empty());
+    EXPECT_TRUE(rr.trace.root.children.empty());
+  }
+  const PhaseReport merged = merge_phases(report);
+  EXPECT_TRUE(merged.children.empty());
+}
+
+TEST(Trace, TracerFindReadsLivePhaseTotals) {
+  simmpi::Machine machine;
+  machine.set_tracing(true);
+  machine.run(2, [](simmpi::Comm& comm) {
+    {
+      PLUM_PHASE(comm, "outer");
+      comm.clock().charge(5.0);
+      {
+        PLUM_PHASE(comm, "inner");
+        comm.clock().charge(7.0);
+      }
+    }
+    const PhaseTotals* outer = comm.tracer().find({"outer"});
+    ASSERT_NE(outer, nullptr);
+    EXPECT_DOUBLE_EQ(outer->compute_us, 5.0);  // self excludes "inner"
+    EXPECT_EQ(outer->count, 1);
+    const PhaseTotals* inner = comm.tracer().find({"outer", "inner"});
+    ASSERT_NE(inner, nullptr);
+    EXPECT_DOUBLE_EQ(inner->compute_us, 7.0);
+    EXPECT_EQ(comm.tracer().find({"nope"}), nullptr);
+  });
+}
+
+TEST(Trace, TrafficMatrixRowsAndColumnsReconcile) {
+  const Rank P = 4;
+  const World s = make_setup(3, P);
+  const simmpi::MachineReport report = run_cycles(s, P, 1, true);
+
+  const std::size_t n = report.ranks.size();
+  for (std::size_t r = 0; r < n; ++r) {
+    const simmpi::CommStats& st = report.ranks[r].stats;
+    ASSERT_EQ(st.msgs_to.size(), n);
+    ASSERT_EQ(st.bytes_to.size(), n);
+    std::int64_t row_msgs = 0, row_bytes = 0;
+    for (std::size_t d = 0; d < n; ++d) {
+      row_msgs += st.msgs_to[d];
+      row_bytes += st.bytes_to[d];
+    }
+    EXPECT_EQ(row_msgs, st.msgs_sent);
+    EXPECT_EQ(row_bytes, st.bytes_sent);
+    EXPECT_LE(st.coll_bytes_sent, st.bytes_sent);
+    EXPECT_GT(st.coll_msgs_sent, 0);  // barriers/allreduces ran
+  }
+  // Column sums equal what each destination actually received.
+  for (std::size_t d = 0; d < n; ++d) {
+    std::int64_t col_msgs = 0, col_bytes = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      col_msgs += report.ranks[r].stats.msgs_to[d];
+      col_bytes += report.ranks[r].stats.bytes_to[d];
+    }
+    EXPECT_EQ(col_msgs, report.ranks[d].stats.msgs_recv);
+    EXPECT_EQ(col_bytes, report.ranks[d].stats.bytes_recv);
+  }
+}
+
+}  // namespace
+}  // namespace plum::obs

@@ -9,11 +9,15 @@
 //   plum cycle     --n 12 --procs 8 --cycles 3 --strategy local1
 //                  [--partitioner mlspectral] [--remapper heuristic]
 //                  [--factor 1] [--vtk-prefix step]
+//                  [--trace out.json] [--metrics] [--metrics-json out.json]
 //
 // `mesh` generates and snapshots the box mesh; `adapt` runs one serial
 // refinement (+ optional coarsening) on a snapshot; `partition` reports
 // partitioner quality; `cycle` runs the full Fig.-1 framework on the
-// simulated machine and prints a per-cycle report.
+// simulated machine and prints a per-cycle report.  `--trace` writes a
+// Chrome-trace/Perfetto JSON timeline of the run (simulated time, one
+// track per rank); `--metrics` prints the per-phase and traffic tables;
+// `--metrics-json` writes the same aggregates as JSON.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -31,6 +35,7 @@
 #include "parallel/gather.hpp"
 #include "partition/partitioner.hpp"
 #include "simmpi/machine.hpp"
+#include "simmpi/obs.hpp"
 #include "support/table.hpp"
 
 using namespace plum;
@@ -204,8 +209,13 @@ int cmd_cycle(const Args& args) {
             "moved", "solver ms", "adapt ms", "remap ms"})
       .precision(2);
 
+  const bool want_obs =
+      args.has("trace") || args.has("metrics") || args.has("metrics-json");
+
   simmpi::Machine machine;
-  machine.run(P, [&](simmpi::Comm& comm) {
+  machine.set_tracing(want_obs);
+  const simmpi::MachineReport report =
+      machine.run(P, [&](simmpi::Comm& comm) {
     parallel::PlumFramework fw(&comm, global, dualg, proc, cfg);
     for (int c = 0; c < cycles; ++c) {
       const auto stats = fw.cycle(
@@ -246,7 +256,26 @@ int cmd_cycle(const Args& args) {
     }
   });
   t.print();
-  return 0;
+
+  bool io_ok = true;
+  if (args.has("trace")) {
+    std::string path = args.get("trace", "");
+    if (path.empty()) path = "trace.json";
+    io_ok = obs::write_chrome_trace(report, path) && io_ok;
+    if (io_ok) std::printf("wrote trace %s\n", path.c_str());
+  }
+  if (args.has("metrics-json")) {
+    std::string path = args.get("metrics-json", "");
+    if (path.empty()) path = "metrics.json";
+    io_ok = obs::write_metrics_json(report, "plum_cycle", path) && io_ok;
+  }
+  if (args.has("metrics")) {
+    obs::phase_table(report).print();
+    obs::traffic_table(report).print();
+    obs::traffic_matrix_table(report).print();
+    std::printf("makespan %.3f ms\n", report.makespan_us() / 1000.0);
+  }
+  return io_ok ? 0 : 1;
 }
 
 int usage() {

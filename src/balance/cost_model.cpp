@@ -6,22 +6,20 @@
 
 namespace plum::balance {
 
-namespace {
-
 LoadInfo summarize_loads(const std::vector<std::int64_t>& per_proc) {
   LoadInfo info;
   for (const auto w : per_proc) {
     info.wmax = std::max(info.wmax, w);
     info.wtotal += w;
   }
-  info.wavg =
-      static_cast<double>(info.wtotal) / static_cast<double>(per_proc.size());
+  if (!per_proc.empty()) {
+    info.wavg = static_cast<double>(info.wtotal) /
+                static_cast<double>(per_proc.size());
+  }
   info.imbalance =
       info.wavg > 0 ? static_cast<double>(info.wmax) / info.wavg : 1.0;
   return info;
 }
-
-}  // namespace
 
 LoadInfo compute_load(const std::vector<Rank>& proc_of_vertex,
                       const std::vector<std::int64_t>& wcomp, int nprocs) {

@@ -34,6 +34,12 @@ struct LoadInfo {
   double imbalance = 1.0;
 };
 
+/// Summarizes per-processor loads into a LoadInfo.  Shared by the cost
+/// model and both balancer baselines.  Hardened against degenerate
+/// input: an empty vector or all-zero loads yield wavg = 0 and
+/// imbalance = 1.0 (a trivially balanced nothing), never NaN.
+LoadInfo summarize_loads(const std::vector<std::int64_t>& per_proc);
+
 /// Projects per-vertex W_comp onto processors.
 LoadInfo compute_load(const std::vector<Rank>& proc_of_vertex,
                       const std::vector<std::int64_t>& wcomp, int nprocs);

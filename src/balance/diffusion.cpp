@@ -20,19 +20,6 @@ std::vector<std::int64_t> proc_loads(const dual::DualGraph& g,
   return load;
 }
 
-LoadInfo load_info(const std::vector<std::int64_t>& load) {
-  LoadInfo info;
-  for (const auto w : load) {
-    info.wmax = std::max(info.wmax, w);
-    info.wtotal += w;
-  }
-  info.wavg =
-      static_cast<double>(info.wtotal) / static_cast<double>(load.size());
-  info.imbalance =
-      info.wavg > 0 ? static_cast<double>(info.wmax) / info.wavg : 1.0;
-  return info;
-}
-
 }  // namespace
 
 DiffusionOutcome run_diffusion_balancer(const dual::DualGraph& g,
@@ -44,10 +31,15 @@ DiffusionOutcome run_diffusion_balancer(const dual::DualGraph& g,
   out.proc_of_vertex = current;
   auto& proc = out.proc_of_vertex;
   std::vector<std::int64_t> load = proc_loads(g, proc, nprocs);
-  out.old_load = load_info(load);
+  out.old_load = summarize_loads(load);
+
+  // Track originals so relayed vertices count their movement once (a
+  // vertex pushed through a saturated neighbour changes processor every
+  // sweep, but only its net displacement is data actually remapped).
+  const std::vector<Rank> origin = current;
 
   for (int sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
-    if (load_info(load).imbalance <= cfg.imbalance_tolerance) break;
+    if (summarize_loads(load).imbalance <= cfg.imbalance_tolerance) break;
     out.sweeps = sweep + 1;
 
     // Processor graph of this placement: pairs with a crossing dual
@@ -95,8 +87,6 @@ DiffusionOutcome run_diffusion_balancer(const dual::DualGraph& g,
         load[static_cast<std::size_t>(src)] -= w;
         load[static_cast<std::size_t>(dst)] += w;
         budget -= w;
-        out.weight_moved += g.wremap[static_cast<std::size_t>(v)];
-        out.vertices_moved += 1;
         moved_any = true;
         if (budget <= 0) break;
       }
@@ -104,7 +94,13 @@ DiffusionOutcome run_diffusion_balancer(const dual::DualGraph& g,
     if (!moved_any) break;  // stuck (no movable boundary fits the flow)
   }
 
-  out.new_load = load_info(load);
+  for (std::size_t v = 0; v < proc.size(); ++v) {
+    if (proc[v] != origin[v]) {
+      out.weight_moved += g.wremap[v];
+      out.vertices_moved += 1;
+    }
+  }
+  out.new_load = summarize_loads(load);
   return out;
 }
 

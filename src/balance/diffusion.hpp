@@ -40,9 +40,11 @@ struct DiffusionOutcome {
   std::vector<Rank> proc_of_vertex;
   LoadInfo old_load;
   LoadInfo new_load;
-  /// Total W_remap moved, counting every hop (a vertex relayed through
-  /// an intermediate processor pays twice — the cost signature of
-  /// local-view balancing).
+  /// Total W_remap of vertices whose final placement differs from the
+  /// initial one — net moves, counted once per vertex exactly like
+  /// RepartOutcome, so the baselines compare like for like.  (Relays
+  /// through intermediate processors still cost diffusion extra
+  /// *sweeps*; they no longer inflate the movement totals.)
   std::int64_t weight_moved = 0;
   std::int64_t vertices_moved = 0;
   int sweeps = 0;

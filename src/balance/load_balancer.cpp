@@ -33,7 +33,7 @@ BalanceOutcome run_load_balancer(const dual::DualGraph& g,
   const SimilarityMatrix s =
       SimilarityMatrix::build(current, out.partition.part, g.wremap, nprocs,
                               cfg.factor);
-  auto remapper = make_remapper(cfg.remapper);
+  auto remapper = make_remapper(cfg.remapper, cfg.seed);
   out.assignment = remapper->assign(s);
 
   // Cost calculation (§8): accept iff gain > redistribution cost.

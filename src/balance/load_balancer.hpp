@@ -28,6 +28,12 @@ struct LoadBalancerConfig {
   int factor = 1;
   std::string partitioner = "multilevel";
   std::string remapper = "heuristic";
+  /// Randomization seed for stochastic remappers ("random").  0 keeps
+  /// the historical deterministic stream (golden baselines); the
+  /// framework mixes its cycle counter in so repeated cycles actually
+  /// draw fresh permutations.  Must be identical on every rank — the
+  /// pipeline runs replicated.
+  std::uint64_t seed = 0;
   CostParams cost;
   /// If false, skip the gain-vs-cost test and always accept a
   /// repartitioning (used by benches isolating other components).

@@ -236,25 +236,35 @@ class IdentityRemapper final : public Remapper {
 
 class RandomRemapper final : public Remapper {
  public:
+  explicit RandomRemapper(std::uint64_t seed) : seed_(seed) {}
   std::string name() const override { return "random"; }
   Assignment assign(const SimilarityMatrix& s) override {
     std::vector<Rank> proc(static_cast<std::size_t>(s.ncols()));
     for (int j = 0; j < s.ncols(); ++j) {
       proc[static_cast<std::size_t>(j)] = j % s.nprocs();
     }
-    Rng rng(0xA551 + static_cast<std::uint64_t>(s.ncols()));
+    // seed 0 reproduces the historical stream (golden baselines);
+    // otherwise the caller's seed is mixed in so successive cycles
+    // draw fresh permutations even at a fixed ncols.
+    std::uint64_t base = 0xA551 + static_cast<std::uint64_t>(s.ncols());
+    if (seed_ != 0) base = hash_combine64(base, seed_);
+    Rng rng(base);
     rng.shuffle(proc);
     return finalize_assignment(s, std::move(proc));
   }
+
+ private:
+  std::uint64_t seed_;
 };
 
 }  // namespace
 
-std::unique_ptr<Remapper> make_remapper(const std::string& name) {
+std::unique_ptr<Remapper> make_remapper(const std::string& name,
+                                        std::uint64_t seed) {
   if (name == "heuristic") return std::make_unique<HeuristicRemapper>();
   if (name == "optimal") return std::make_unique<OptimalRemapper>();
   if (name == "identity") return std::make_unique<IdentityRemapper>();
-  if (name == "random") return std::make_unique<RandomRemapper>();
+  if (name == "random") return std::make_unique<RandomRemapper>(seed);
   PLUM_CHECK_MSG(false, "unknown remapper '" << name << "'");
   return nullptr;
 }

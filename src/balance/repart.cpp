@@ -6,23 +6,6 @@
 
 namespace plum::balance {
 
-namespace {
-
-LoadInfo load_info(const std::vector<std::int64_t>& load) {
-  LoadInfo info;
-  for (const auto w : load) {
-    info.wmax = std::max(info.wmax, w);
-    info.wtotal += w;
-  }
-  info.wavg =
-      static_cast<double>(info.wtotal) / static_cast<double>(load.size());
-  info.imbalance =
-      info.wavg > 0 ? static_cast<double>(info.wmax) / info.wavg : 1.0;
-  return info;
-}
-
-}  // namespace
-
 RepartOutcome run_repartitioner(const dual::DualGraph& g,
                                 const std::vector<Rank>& current,
                                 int nprocs, const RepartConfig& cfg) {
@@ -35,7 +18,7 @@ RepartOutcome run_repartitioner(const dual::DualGraph& g,
   for (std::size_t v = 0; v < proc.size(); ++v) {
     load[static_cast<std::size_t>(proc[v])] += g.wcomp[v];
   }
-  out.old_load = load_info(load);
+  out.old_load = summarize_loads(load);
   const double avg = out.old_load.wavg;
   const auto cap = static_cast<std::int64_t>(avg * cfg.imbalance_tolerance);
 
@@ -43,7 +26,7 @@ RepartOutcome run_repartitioner(const dual::DualGraph& g,
   const std::vector<Rank> origin = current;
 
   for (int sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
-    if (load_info(load).imbalance <= cfg.imbalance_tolerance) break;
+    if (summarize_loads(load).imbalance <= cfg.imbalance_tolerance) break;
     out.sweeps = sweep + 1;
 
     // Candidate moves: boundary vertices of overloaded processors that
@@ -129,7 +112,7 @@ RepartOutcome run_repartitioner(const dual::DualGraph& g,
     }
   }
   out.edgecut /= 2;
-  out.new_load = load_info(load);
+  out.new_load = summarize_loads(load);
   return out;
 }
 

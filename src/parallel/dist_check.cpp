@@ -1,0 +1,657 @@
+#include "parallel/dist_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mesh/mesh_check.hpp"
+#include "mesh/tet_topology.hpp"
+#include "parallel/rank_buffers.hpp"
+#include "support/buffer.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace plum::parallel {
+
+using mesh::Mesh;
+
+namespace {
+
+/// Error accumulator with a hard cap (same discipline as mesh_check).
+class Collector {
+ public:
+  explicit Collector(int max_errors) : max_(max_errors) {}
+
+  template <typename... Args>
+  void fail(Args&&... args) {
+    ++count_;
+    if (static_cast<int>(errors_.size()) >= max_) return;
+    std::ostringstream os;
+    (os << ... << args);
+    errors_.push_back(os.str());
+  }
+
+  void adopt(std::vector<std::string> errs) {
+    for (auto& e : errs) {
+      ++count_;
+      if (static_cast<int>(errors_.size()) < max_) {
+        errors_.push_back(std::move(e));
+      }
+    }
+  }
+
+  int count() const { return count_; }
+  std::vector<std::string> take() { return std::move(errors_); }
+
+ private:
+  int max_;
+  int count_ = 0;
+  std::vector<std::string> errors_;
+};
+
+Rank home_of(GlobalId gid, Rank nranks) {
+  return static_cast<Rank>(mix64(gid) % static_cast<std::uint64_t>(nranks));
+}
+
+std::string rank_list(const std::vector<Rank>& ranks) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    os << (i ? "," : "") << ranks[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+/// One holder's report of a shared-capable object (vertex or edge).
+/// Vertices carry their position, edges their sorted endpoint gids;
+/// the unused payload half stays zero on both sides of the compare.
+struct HolderReport {
+  GlobalId gid = 0;
+  Rank src = 0;
+  mesh::Vec3 pos{};
+  GlobalId end0 = 0, end1 = 0;
+  std::vector<Rank> spl;
+};
+
+/// Home-side validation of one object class: groups reports by gid and
+/// checks (a) SPL symmetry — each holder's SPL equals the observed
+/// holder set minus itself — and (b) identity agreement — all holders
+/// report the same payload.  `what` names the class in messages.
+void validate_holder_sets(std::vector<HolderReport>& reports,
+                          const char* what, bool payload_is_pos,
+                          Collector& c) {
+  std::sort(reports.begin(), reports.end(),
+            [](const HolderReport& x, const HolderReport& y) {
+              return x.gid != y.gid ? x.gid < y.gid : x.src < y.src;
+            });
+  std::vector<Rank> holders;
+  for (std::size_t i = 0; i < reports.size();) {
+    std::size_t j = i;
+    holders.clear();
+    while (j < reports.size() && reports[j].gid == reports[i].gid) {
+      holders.push_back(reports[j].src);
+      ++j;
+    }
+    for (std::size_t k = i + 1; k < j; ++k) {
+      if (reports[k].src == reports[k - 1].src) {
+        c.fail(what, " gid ", reports[i].gid, " reported twice by rank ",
+               reports[k].src);
+      }
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      const HolderReport& r = reports[k];
+      // Expected SPL: every other holder.
+      std::vector<Rank> expect;
+      expect.reserve(holders.size() - 1);
+      for (const Rank h : holders) {
+        if (h != r.src) expect.push_back(h);
+      }
+      if (r.spl != expect) {
+        c.fail(what, " gid ", r.gid, " on rank ", r.src, ": SPL ",
+               rank_list(r.spl), " != holder set ", rank_list(expect));
+      }
+      if (payload_is_pos && !(r.pos == reports[i].pos)) {
+        c.fail(what, " gid ", r.gid, ": rank ", r.src, " position (",
+               r.pos.x, ",", r.pos.y, ",", r.pos.z, ") != rank ",
+               reports[i].src, "'s (", reports[i].pos.x, ",",
+               reports[i].pos.y, ",", reports[i].pos.z, ")");
+      }
+      if (!payload_is_pos &&
+          (r.end0 != reports[i].end0 || r.end1 != reports[i].end1)) {
+        c.fail(what, " gid ", r.gid, ": rank ", r.src, " endpoints (",
+               r.end0, ",", r.end1, ") != rank ", reports[i].src, "'s (",
+               reports[i].end0, ",", reports[i].end1, ")");
+      }
+    }
+    i = j;
+  }
+}
+
+/// A face report: sorted vertex-gid triple plus whether it came from an
+/// active element (kind 0) or a tracked boundary face (kind 1).
+struct FaceReport {
+  GlobalId v[3] = {0, 0, 0};
+  Rank src = 0;
+  std::uint8_t kind = 0;
+};
+
+void validate_faces(std::vector<FaceReport>& faces, Collector& c) {
+  std::sort(faces.begin(), faces.end(),
+            [](const FaceReport& x, const FaceReport& y) {
+              if (x.v[0] != y.v[0]) return x.v[0] < y.v[0];
+              if (x.v[1] != y.v[1]) return x.v[1] < y.v[1];
+              return x.v[2] < y.v[2];
+            });
+  for (std::size_t i = 0; i < faces.size();) {
+    std::size_t j = i;
+    int owners = 0;
+    int bfaces = 0;
+    while (j < faces.size() && faces[j].v[0] == faces[i].v[0] &&
+           faces[j].v[1] == faces[i].v[1] && faces[j].v[2] == faces[i].v[2]) {
+      owners += faces[j].kind == 0 ? 1 : 0;
+      bfaces += faces[j].kind == 1 ? 1 : 0;
+      ++j;
+    }
+    const auto* f = faces[i].v;
+    if (owners > 2) {
+      c.fail("face (", f[0], ",", f[1], ",", f[2], ") shared by ", owners,
+             " active elements machine-wide");
+    } else if (owners == 1 && bfaces == 0) {
+      c.fail("global hanging face (", f[0], ",", f[1], ",", f[2],
+             ") — single owner and no boundary face");
+    } else if (owners == 2 && bfaces > 0) {
+      c.fail("boundary face (", f[0], ",", f[1], ",", f[2],
+             ") also shared by two active elements");
+    }
+    if (bfaces > 1) {
+      c.fail("boundary face (", f[0], ",", f[1], ",", f[2],
+             ") tracked ", bfaces, " times");
+    }
+    if (owners == 0) {
+      c.fail("boundary face (", f[0], ",", f[1], ",", f[2],
+             ") has no active owner element");
+    }
+    i = j;
+  }
+}
+
+/// Full-level rendezvous: ships every alive vertex/edge/element and
+/// every active face to its home rank and validates holder sets there.
+/// One alltoallv; errors land on the home rank's collector.
+void rendezvous_checks(const DistMesh& dm, simmpi::Comm& comm,
+                       Collector& c) {
+  const Mesh& m = dm.local;
+  const Rank P = comm.size();
+
+  RankBuffers out(P);
+  std::vector<std::int64_t> nv(static_cast<std::size_t>(P), 0);
+  std::vector<std::int64_t> ne(static_cast<std::size_t>(P), 0);
+  std::vector<std::int64_t> nf(static_cast<std::size_t>(P), 0);
+  for (const auto& v : m.vertices()) {
+    if (v.alive) nv[static_cast<std::size_t>(home_of(v.gid, P))] += 1;
+  }
+  for (const auto& e : m.edges()) {
+    if (e.alive) ne[static_cast<std::size_t>(home_of(e.gid, P))] += 1;
+  }
+  auto face_home = [&](const GlobalId f[3]) {
+    return home_of(hash_combine64(hash_combine64(f[0], f[1]), f[2]), P);
+  };
+  auto sorted_face = [&](const std::array<LocalIndex, 3>& verts,
+                         GlobalId f[3]) {
+    for (int k = 0; k < 3; ++k) {
+      f[static_cast<std::size_t>(k)] =
+          m.vertex(verts[static_cast<std::size_t>(k)]).gid;
+    }
+    std::sort(f, f + 3);
+  };
+  GlobalId fg[3];
+  for (const auto& el : m.elements()) {
+    if (!el.alive || !el.active) continue;
+    for (int fi = 0; fi < 4; ++fi) {
+      sorted_face({el.v[static_cast<std::size_t>(mesh::kFaceVerts[fi][0])],
+                   el.v[static_cast<std::size_t>(mesh::kFaceVerts[fi][1])],
+                   el.v[static_cast<std::size_t>(mesh::kFaceVerts[fi][2])]},
+                  fg);
+      nf[static_cast<std::size_t>(face_home(fg))] += 1;
+    }
+  }
+  for (const auto& bf : m.bfaces()) {
+    if (!bf.alive || !bf.active) continue;
+    sorted_face(bf.v, fg);
+    nf[static_cast<std::size_t>(face_home(fg))] += 1;
+  }
+
+  // Section headers first so the receiver can pre-size.
+  std::vector<std::vector<GlobalId>> egids(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    BufWriter& w = out.at(r);
+    w.put<std::int64_t>(nv[static_cast<std::size_t>(r)]);
+    w.put<std::int64_t>(ne[static_cast<std::size_t>(r)]);
+    w.put<std::int64_t>(nf[static_cast<std::size_t>(r)]);
+  }
+  for (const auto& v : m.vertices()) {
+    if (!v.alive) continue;
+    BufWriter& w = out.at(home_of(v.gid, P));
+    w.put(v.gid);
+    w.put(v.pos.x);
+    w.put(v.pos.y);
+    w.put(v.pos.z);
+    w.put_vec(v.spl);
+  }
+  for (const auto& e : m.edges()) {
+    if (!e.alive) continue;
+    BufWriter& w = out.at(home_of(e.gid, P));
+    w.put(e.gid);
+    const GlobalId g0 = m.vertex(e.v[0]).gid;
+    const GlobalId g1 = m.vertex(e.v[1]).gid;
+    w.put(std::min(g0, g1));
+    w.put(std::max(g0, g1));
+    w.put_vec(e.spl);
+  }
+  for (const auto& el : m.elements()) {
+    if (!el.alive || !el.active) continue;
+    for (int fi = 0; fi < 4; ++fi) {
+      sorted_face({el.v[static_cast<std::size_t>(mesh::kFaceVerts[fi][0])],
+                   el.v[static_cast<std::size_t>(mesh::kFaceVerts[fi][1])],
+                   el.v[static_cast<std::size_t>(mesh::kFaceVerts[fi][2])]},
+                  fg);
+      BufWriter& w = out.at(face_home(fg));
+      w.put(fg[0]);
+      w.put(fg[1]);
+      w.put(fg[2]);
+      w.put<std::uint8_t>(0);
+    }
+  }
+  for (const auto& bf : m.bfaces()) {
+    if (!bf.alive || !bf.active) continue;
+    sorted_face(bf.v, fg);
+    BufWriter& w = out.at(face_home(fg));
+    w.put(fg[0]);
+    w.put(fg[1]);
+    w.put(fg[2]);
+    w.put<std::uint8_t>(1);
+  }
+  // Element gids ride in a trailing section (uniqueness only).
+  for (const auto& el : m.elements()) {
+    if (!el.alive) continue;
+    egids[static_cast<std::size_t>(home_of(el.gid, P))].push_back(el.gid);
+  }
+  for (Rank r = 0; r < P; ++r) {
+    out.at(r).put_vec(egids[static_cast<std::size_t>(r)]);
+  }
+
+  const std::vector<Bytes> in = comm.alltoallv(out.take_all());
+
+  std::vector<HolderReport> vreports;
+  std::vector<HolderReport> ereports;
+  std::vector<FaceReport> freports;
+  struct ElemOwner {
+    GlobalId gid;
+    Rank src;
+  };
+  std::vector<ElemOwner> eowners;
+  for (Rank src = 0; src < P; ++src) {
+    BufReader r(in[static_cast<std::size_t>(src)]);
+    const auto cv = r.get<std::int64_t>();
+    const auto ce = r.get<std::int64_t>();
+    const auto cf = r.get<std::int64_t>();
+    vreports.reserve(vreports.size() + static_cast<std::size_t>(cv));
+    for (std::int64_t i = 0; i < cv; ++i) {
+      HolderReport h;
+      h.gid = r.get<GlobalId>();
+      h.src = src;
+      h.pos.x = r.get<double>();
+      h.pos.y = r.get<double>();
+      h.pos.z = r.get<double>();
+      h.spl = r.get_vec<Rank>();
+      vreports.push_back(std::move(h));
+    }
+    ereports.reserve(ereports.size() + static_cast<std::size_t>(ce));
+    for (std::int64_t i = 0; i < ce; ++i) {
+      HolderReport h;
+      h.gid = r.get<GlobalId>();
+      h.src = src;
+      h.end0 = r.get<GlobalId>();
+      h.end1 = r.get<GlobalId>();
+      h.spl = r.get_vec<Rank>();
+      ereports.push_back(std::move(h));
+    }
+    freports.reserve(freports.size() + static_cast<std::size_t>(cf));
+    for (std::int64_t i = 0; i < cf; ++i) {
+      FaceReport f;
+      f.v[0] = r.get<GlobalId>();
+      f.v[1] = r.get<GlobalId>();
+      f.v[2] = r.get<GlobalId>();
+      f.src = src;
+      f.kind = r.get<std::uint8_t>();
+      freports.push_back(f);
+    }
+    for (const GlobalId g : r.get_vec<GlobalId>()) {
+      eowners.push_back({g, src});
+    }
+  }
+  // The home-side scans are real work; charge them to the simulated
+  // clock so the "check" phase shows its true cost in traces.
+  comm.charge(static_cast<double>(vreports.size() + ereports.size() +
+                                  freports.size() + eowners.size()),
+              comm.cost().c_check_obj_us);
+
+  validate_holder_sets(vreports, "vertex", /*payload_is_pos=*/true, c);
+  validate_holder_sets(ereports, "edge", /*payload_is_pos=*/false, c);
+  validate_faces(freports, c);
+
+  std::sort(eowners.begin(), eowners.end(),
+            [](const ElemOwner& x, const ElemOwner& y) {
+              return x.gid != y.gid ? x.gid < y.gid : x.src < y.src;
+            });
+  for (std::size_t i = 1; i < eowners.size(); ++i) {
+    if (eowners[i].gid == eowners[i - 1].gid) {
+      c.fail("element gid ", eowners[i].gid, " resident on ranks ",
+             eowners[i - 1].src, " and ", eowners[i].src);
+    }
+  }
+}
+
+/// kFull: recount W_comp/W_remap from the local mesh and compare with
+/// the dual weights the balancer consumes; verify co-resident roots
+/// sharing a face are dual-graph neighbours.
+void check_dual_agreement(const DistMesh& dm, const dual::DualGraph& g,
+                          Collector& c) {
+  for (const auto& [gid, lw] : dm.local_root_weights()) {
+    if (gid >= static_cast<GlobalId>(g.num_vertices())) {
+      c.fail("resident root gid ", gid, " outside dual graph (",
+             g.num_vertices(), " vertices)");
+      continue;
+    }
+    const auto i = static_cast<std::size_t>(gid);
+    if (g.wcomp[i] != lw.first) {
+      c.fail("root ", gid, ": dual W_comp ", g.wcomp[i],
+             " != local leaf count ", lw.first);
+    }
+    if (g.wremap[i] != lw.second) {
+      c.fail("root ", gid, ": dual W_remap ", g.wremap[i],
+             " != local tree size ", lw.second);
+    }
+  }
+
+  // Adjacency: recount from resident root elements.  Faces shared by
+  // two co-resident roots must be dual edges (cross-rank pairs are
+  // covered transitively by the SPL and conformity rendezvous).
+  const Mesh& m = dm.local;
+  struct RootFace {
+    GlobalId v[3];
+    GlobalId root;
+  };
+  std::vector<RootFace> faces;
+  for (const auto& el : m.elements()) {
+    if (!el.alive || el.parent != kNoIndex) continue;
+    for (int fi = 0; fi < 4; ++fi) {
+      RootFace f;
+      for (int k = 0; k < 3; ++k) {
+        f.v[static_cast<std::size_t>(k)] =
+            m.vertex(el.v[static_cast<std::size_t>(
+                         mesh::kFaceVerts[fi][static_cast<std::size_t>(k)])])
+                .gid;
+      }
+      std::sort(f.v, f.v + 3);
+      f.root = el.gid;
+      faces.push_back(f);
+    }
+  }
+  std::sort(faces.begin(), faces.end(),
+            [](const RootFace& x, const RootFace& y) {
+              if (x.v[0] != y.v[0]) return x.v[0] < y.v[0];
+              if (x.v[1] != y.v[1]) return x.v[1] < y.v[1];
+              if (x.v[2] != y.v[2]) return x.v[2] < y.v[2];
+              return x.root < y.root;
+            });
+  for (std::size_t i = 1; i < faces.size(); ++i) {
+    if (faces[i].v[0] != faces[i - 1].v[0] ||
+        faces[i].v[1] != faces[i - 1].v[1] ||
+        faces[i].v[2] != faces[i - 1].v[2]) {
+      continue;
+    }
+    const auto a = faces[i - 1].root;
+    const auto b = faces[i].root;
+    const auto& adj = g.adjacency[static_cast<std::size_t>(a)];
+    if (!std::binary_search(adj.begin(), adj.end(),
+                            static_cast<std::int32_t>(b))) {
+      c.fail("resident roots ", a, " and ", b,
+             " share a face but are not dual-graph neighbours");
+    }
+  }
+}
+
+}  // namespace
+
+CheckLevel parse_check_level(const std::string& name) {
+  if (name == "off") return CheckLevel::kOff;
+  if (name == "cheap") return CheckLevel::kCheap;
+  if (name == "full") return CheckLevel::kFull;
+  PLUM_CHECK_MSG(false, "unknown check level '" << name
+                                                << "' (off|cheap|full)");
+  return CheckLevel::kOff;
+}
+
+const char* check_level_name(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kOff:
+      return "off";
+    case CheckLevel::kCheap:
+      return "cheap";
+    case CheckLevel::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+std::string DistCheckResult::summary() const {
+  if (errors.empty()) {
+    return global_ok ? "distributed mesh OK"
+                     : "errors detected on another rank";
+  }
+  std::ostringstream os;
+  os << errors.size() << " distributed-mesh errors:";
+  for (const auto& e : errors) os << "\n  " << e;
+  return os.str();
+}
+
+DistCheckResult check_dist_consistency(const DistMesh& dm,
+                                       simmpi::Comm& comm,
+                                       const DistCheckOptions& opt) {
+  DistCheckResult res;
+  if (opt.level == CheckLevel::kOff) return res;
+  Collector c(opt.max_errors);
+  const Mesh& m = dm.local;
+
+  // --- per-rank SPL sanity and gid-map upkeep (cheap) -------------------
+  c.adopt(check_dist_mesh(dm));
+  std::int64_t alive_v = 0;
+  std::int64_t alive_e = 0;
+  std::int64_t roots = 0;
+  for (std::size_t i = 0; i < m.vertices().size(); ++i) {
+    const auto& v = m.vertices()[i];
+    if (!v.alive) continue;
+    ++alive_v;
+    const auto it = dm.vertex_of_gid.find(v.gid);
+    if (it == dm.vertex_of_gid.end() ||
+        it->second != static_cast<LocalIndex>(i)) {
+      c.fail("vertex ", i, " gid ", v.gid, " missing/stale in vertex_of_gid");
+    }
+  }
+  for (std::size_t i = 0; i < m.edges().size(); ++i) {
+    const auto& e = m.edges()[i];
+    if (!e.alive) continue;
+    ++alive_e;
+    const auto it = dm.edge_of_gid.find(e.gid);
+    if (it == dm.edge_of_gid.end() ||
+        it->second != static_cast<LocalIndex>(i)) {
+      c.fail("edge ", i, " gid ", e.gid, " missing/stale in edge_of_gid");
+    }
+  }
+  for (std::size_t i = 0; i < m.elements().size(); ++i) {
+    const auto& el = m.elements()[i];
+    if (!el.alive || el.parent != kNoIndex) continue;
+    ++roots;
+    const auto it = dm.root_of_gid.find(el.gid);
+    if (it == dm.root_of_gid.end() ||
+        it->second != static_cast<LocalIndex>(i)) {
+      c.fail("root element ", i, " gid ", el.gid,
+             " missing/stale in root_of_gid");
+    }
+    if (opt.proc_of_root != nullptr) {
+      if (el.gid >= opt.proc_of_root->size()) {
+        c.fail("root gid ", el.gid, " outside proc_of_root");
+      } else if ((*opt.proc_of_root)[static_cast<std::size_t>(el.gid)] !=
+                 dm.rank) {
+        c.fail("root ", el.gid, " resident here but proc_of_root says rank ",
+               (*opt.proc_of_root)[static_cast<std::size_t>(el.gid)]);
+      }
+    }
+  }
+  if (static_cast<std::int64_t>(dm.vertex_of_gid.size()) != alive_v) {
+    c.fail("vertex_of_gid has ", dm.vertex_of_gid.size(), " entries for ",
+           alive_v, " alive vertices");
+  }
+  if (static_cast<std::int64_t>(dm.edge_of_gid.size()) != alive_e) {
+    c.fail("edge_of_gid has ", dm.edge_of_gid.size(), " entries for ",
+           alive_e, " alive edges");
+  }
+  if (static_cast<std::int64_t>(dm.root_of_gid.size()) != roots) {
+    c.fail("root_of_gid has ", dm.root_of_gid.size(), " entries for ",
+           roots, " resident roots");
+  }
+  comm.charge(static_cast<double>(alive_v + alive_e + roots),
+              comm.cost().c_check_obj_us);
+
+  // --- conservation (cheap; three allreduces) ---------------------------
+  res.global_elements = comm.allreduce_sum(m.num_active_elements());
+  res.global_roots = comm.allreduce_sum(roots);
+  res.global_volume = comm.allreduce_sum(m.active_volume());
+  if (opt.expected_elements >= 0 &&
+      res.global_elements != opt.expected_elements) {
+    c.fail("global active elements ", res.global_elements, " expected ",
+           opt.expected_elements);
+  }
+  if (opt.expected_roots >= 0 && res.global_roots != opt.expected_roots) {
+    c.fail("global resident roots ", res.global_roots, " expected ",
+           opt.expected_roots);
+  }
+  if (opt.expected_volume >= 0.0) {
+    const double tol = std::max(1e-12, opt.expected_volume * 1e-9);
+    if (std::abs(res.global_volume - opt.expected_volume) > tol) {
+      c.fail("global active volume ", res.global_volume, " expected ",
+             opt.expected_volume);
+    }
+  }
+
+  if (opt.level == CheckLevel::kFull) {
+    // --- deep per-rank mesh check (conformity is global; see below) ----
+    mesh::MeshCheckOptions mopt;
+    mopt.check_conformity = false;
+    mopt.max_errors = opt.max_errors;
+    c.adopt(mesh::check_mesh(m, mopt).errors);
+
+    // --- cross-rank rendezvous: SPL symmetry, gid uniqueness, global
+    // conformity ---------------------------------------------------------
+    rendezvous_checks(dm, comm, c);
+
+    // --- dual-graph / mesh agreement ------------------------------------
+    if (opt.dual != nullptr) {
+      check_dual_agreement(dm, *opt.dual, c);
+      const std::int64_t leaves = comm.allreduce_sum(
+          [&] {
+            std::int64_t n = 0;
+            for (const auto& [gid, lw] : dm.local_root_weights()) {
+              (void)gid;
+              n += lw.first;
+            }
+            return n;
+          }());
+      if (leaves != opt.dual->total_wcomp()) {
+        c.fail("global leaf count ", leaves, " != dual total W_comp ",
+               opt.dual->total_wcomp());
+      }
+    }
+  }
+
+  const bool any = comm.allreduce_or(c.count() > 0);
+  res.errors = c.take();
+  res.global_ok = !any;
+  return res;
+}
+
+std::vector<std::string> check_assignment(const balance::BalanceOutcome& out,
+                                          simmpi::Comm& comm, int factor) {
+  std::vector<std::string> errors;
+  const Rank P = comm.size();
+  int bad_range = 0;
+  for (std::size_t v = 0; v < out.proc_of_vertex.size(); ++v) {
+    const Rank p = out.proc_of_vertex[v];
+    if (p < 0 || p >= P) {
+      if (++bad_range <= 5) {
+        errors.push_back("dual vertex " + std::to_string(v) +
+                         " placed on invalid rank " + std::to_string(p));
+      }
+    }
+  }
+
+  if (out.repartitioned) {
+    const auto cols = static_cast<std::size_t>(P) *
+                      static_cast<std::size_t>(factor);
+    if (out.assignment.proc_of_part.size() != cols) {
+      errors.push_back("assignment has " +
+                       std::to_string(out.assignment.proc_of_part.size()) +
+                       " partitions, expected " + std::to_string(cols));
+    } else {
+      std::vector<int> quota(static_cast<std::size_t>(P), 0);
+      bool in_range = true;
+      for (std::size_t j = 0; j < cols; ++j) {
+        const Rank p = out.assignment.proc_of_part[j];
+        if (p < 0 || p >= P) {
+          errors.push_back("partition " + std::to_string(j) +
+                           " assigned to invalid proc " + std::to_string(p));
+          in_range = false;
+          continue;
+        }
+        quota[static_cast<std::size_t>(p)] += 1;
+      }
+      if (in_range) {
+        for (Rank p = 0; p < P; ++p) {
+          if (quota[static_cast<std::size_t>(p)] != factor) {
+            errors.push_back("processor " + std::to_string(p) +
+                             " assigned " +
+                             std::to_string(quota[static_cast<std::size_t>(p)]) +
+                             " partitions, expected " +
+                             std::to_string(factor));
+          }
+        }
+      }
+      for (std::size_t v = 0; v < out.partition.part.size(); ++v) {
+        const PartId j = out.partition.part[v];
+        if (j < 0 || static_cast<std::size_t>(j) >= cols) {
+          errors.push_back("dual vertex " + std::to_string(v) +
+                           " in invalid partition " + std::to_string(j));
+          break;
+        }
+      }
+    }
+  }
+
+  // The balancing pipeline runs replicated — every rank must have
+  // computed bit-identical placements.
+  std::uint64_t h = 0x5eed;
+  for (const Rank p : out.proc_of_vertex) {
+    h = hash_combine64(h, static_cast<std::uint64_t>(p) + 1);
+  }
+  h = hash_combine64(h, (out.repartitioned ? 1u : 0u) |
+                            (out.accepted ? 2u : 0u));
+  const auto hv = static_cast<std::int64_t>(h);
+  if (comm.allreduce_min(hv) != comm.allreduce_max(hv)) {
+    errors.push_back("ranks disagree on the balancing plan (hash mismatch)");
+  }
+  return errors;
+}
+
+}  // namespace plum::parallel

@@ -1,0 +1,101 @@
+// Cross-rank invariant checker (the correctness substrate for every
+// scaling change on top of migration and adaption).
+//
+// mesh::check_mesh validates one rank's mesh in isolation; nothing so
+// far validated the *distributed* invariants the Fig.-1 pipeline relies
+// on — the properties that make aggressive repartitioning safe:
+//
+//   (a) SPL / ghost symmetry — if rank A's copy of a shared vertex or
+//       edge lists rank B, then B holds a copy whose SPL lists A, with
+//       the same gid, the same coordinates (vertices) and the same
+//       endpoint gids (edges);
+//   (b) global gid uniqueness per object class — an element gid is
+//       resident on exactly one rank; a vertex/edge gid held by several
+//       ranks must be marked shared on all of them;
+//   (c) conservation — global active-element count, resident-root
+//       count, and total active volume match the caller's expectations
+//       (volume is mesh::MeshCheckOptions::expected_volume applied
+//       globally: adaption and migration are volume-preserving);
+//   (d) dual-graph / mesh agreement — the W_comp/W_remap the balancer
+//       was fed match a recount from the local mesh, and co-resident
+//       root elements that share a face are dual-graph neighbours;
+//   (e) global conformity — every face of an active element is shared
+//       by at most two active elements *machine-wide*, and single-owner
+//       faces are exactly the tracked boundary faces (partition
+//       boundaries excluded by construction: both owners report).
+//
+// Checks (a), (b) and (e) use a rendezvous on hashed gids (the same
+// OwnerTable trick as migrate.cpp's SPL repair): every rank reports
+// each object to a home rank, homes see the complete holder set of
+// every gid and verify it.  One alltoallv + one allreduce, so the
+// collective shape is independent of what the checker finds.
+//
+// Levels: kCheap runs the O(local)+allreduce subset ((c), residency,
+// per-rank SPL sanity); kFull adds the rendezvous checks, the deep
+// per-rank mesh::check_mesh, and (d).  The framework exposes this as
+// FrameworkConfig::check_level / `plum cycle --check-level=` and runs
+// the checker after every adapt/balance/migrate phase under a
+// PLUM_PHASE("check") scope, so its cost is visible in traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "balance/load_balancer.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "simmpi/comm.hpp"
+
+namespace plum::parallel {
+
+enum class CheckLevel { kOff = 0, kCheap = 1, kFull = 2 };
+
+/// "off" / "cheap" / "full" (aborts on anything else).
+CheckLevel parse_check_level(const std::string& name);
+const char* check_level_name(CheckLevel level);
+
+struct DistCheckOptions {
+  CheckLevel level = CheckLevel::kFull;
+  /// Global conservation targets; negative disables that check.
+  double expected_volume = -1.0;     ///< global active volume
+  std::int64_t expected_elements = -1;  ///< global active elements
+  std::int64_t expected_roots = -1;     ///< global resident roots
+  /// When set, kFull recounts local W_comp/W_remap and compares against
+  /// these dual weights.  Only valid while the weights are fresh (after
+  /// refresh_weights / migrate, before the next adaption).
+  const dual::DualGraph* dual = nullptr;
+  /// When set, every resident root's entry must name this rank.
+  const std::vector<Rank>* proc_of_root = nullptr;
+  int max_errors = 20;
+};
+
+struct DistCheckResult {
+  /// This rank's findings (rendezvous errors surface on the gid's home
+  /// rank, not necessarily on a holder).
+  std::vector<std::string> errors;
+  /// Allreduced verdict: true iff no rank found anything.
+  bool global_ok = true;
+  /// Observed global totals (valid at kCheap and above) — callers use
+  /// these to pin conservation expectations for the next check.
+  std::int64_t global_elements = 0;
+  std::int64_t global_roots = 0;
+  double global_volume = 0.0;
+  bool ok() const { return global_ok; }
+  std::string summary() const;
+};
+
+/// Collective; all ranks must pass the same level and expectations.
+DistCheckResult check_dist_consistency(const DistMesh& dm,
+                                       simmpi::Comm& comm,
+                                       const DistCheckOptions& opt = {});
+
+/// Framework-layer assignment validity (the checks that used to live
+/// only inside finalize_assignment): every final placement in range,
+/// every partition id in range, each processor assigned exactly
+/// `factor` partitions, and — because the pipeline runs replicated —
+/// all ranks agreeing on the identical plan (hash allreduce).
+/// Collective.  Returns this rank's findings (empty = pass).
+std::vector<std::string> check_assignment(const balance::BalanceOutcome& out,
+                                          simmpi::Comm& comm, int factor);
+
+}  // namespace plum::parallel

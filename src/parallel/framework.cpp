@@ -3,6 +3,7 @@
 #include "simmpi/obs.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
+#include "support/rng.hpp"
 
 namespace plum::parallel {
 
@@ -75,6 +76,27 @@ void PlumFramework::refresh_weights() {
   PLUM_CHECK_MSG(covered == dual_.num_vertices(),
                  "weight refresh covered " << covered << " of "
                                            << dual_.num_vertices());
+  weights_fresh_ = true;
+}
+
+void PlumFramework::run_checks(const char* after,
+                               std::int64_t expected_elements) {
+  if (cfg_.check_level == CheckLevel::kOff) return;
+  PLUM_PHASE(*comm_, "check");
+  DistCheckOptions opt;
+  opt.level = cfg_.check_level;
+  opt.expected_volume = expected_volume_;
+  opt.expected_elements = expected_elements;
+  // Every dual vertex is a root element resident on exactly one rank,
+  // so the global resident-root count is pinned for the whole run.
+  opt.expected_roots = dual_.num_vertices();
+  opt.proc_of_root = &proc_of_root_;
+  opt.dual = weights_fresh_ ? &dual_ : nullptr;
+  const DistCheckResult res = check_dist_consistency(dm_, *comm_, opt);
+  PLUM_CHECK_MSG(res.ok(), "distributed check failed after "
+                               << after << " on rank " << comm_->rank()
+                               << ": " << res.summary());
+  if (expected_volume_ < 0.0) expected_volume_ = res.global_volume;
 }
 
 balance::BalanceOutcome PlumFramework::balance_only() {
@@ -86,8 +108,14 @@ balance::BalanceOutcome PlumFramework::balance_only() {
   balance::BalanceOutcome out;
   {
     PLUM_PHASE(*comm_, "partition");
+    balance::LoadBalancerConfig bcfg = cfg_.balancer;
+    if (bcfg.seed != 0) {
+      // Distinct (deterministic, rank-replicated) stream per cycle.
+      bcfg.seed = hash_combine64(bcfg.seed, balance_seq_);
+    }
+    ++balance_seq_;
     out = balance::run_load_balancer(dual_, proc_of_root_, comm_->size(),
-                                     cfg_.balancer);
+                                     bcfg);
   }
   {
     PLUM_PHASE(*comm_, "reassign");
@@ -106,13 +134,32 @@ balance::BalanceOutcome PlumFramework::balance_only() {
     }
     comm_->charge(steps, comm_->cost().c_reassign_step_us);
   }
+  if (cfg_.check_level != CheckLevel::kOff) {
+    PLUM_PHASE(*comm_, "check");
+    const std::vector<std::string> errs =
+        check_assignment(out, *comm_, cfg_.balancer.factor);
+    for (const auto& e : errs) {
+      PLUM_LOG_ERROR("assignment check: " << e);
+    }
+    PLUM_CHECK_MSG(errs.empty(), "balance produced an invalid plan ("
+                                     << errs.size() << " errors)");
+  }
   return out;
 }
 
 MigrationResult PlumFramework::migrate_to(
     const std::vector<Rank>& proc_of_root) {
+  std::int64_t pre_elements = -1;
+  if (cfg_.check_level != CheckLevel::kOff) {
+    // Migration must conserve the global active-element count; capture
+    // it first (only when checking, to leave untracked runs' collective
+    // sequence untouched).
+    PLUM_PHASE(*comm_, "check");
+    pre_elements = comm_->allreduce_sum(dm_.local.num_active_elements());
+  }
   MigrationResult mig = migrate(&dm_, comm_, proc_of_root);
   proc_of_root_ = proc_of_root;
+  run_checks("migrate", pre_elements);
   return mig;
 }
 
@@ -123,22 +170,34 @@ solver::SolverStats PlumFramework::solve(int iterations) {
 
 ParallelAdaptStats PlumFramework::refine_with(
     const std::function<void(mesh::Mesh&)>& mark) {
-  PLUM_PHASE(*comm_, "refine");
-  mark(dm_.local);
-  comm_->charge(static_cast<double>(dm_.local.num_active_edges()),
-                comm_->cost().c_mark_edge_us);
-  ParallelAdaptor adaptor(&dm_, comm_);
-  return adaptor.refine();
+  ParallelAdaptStats stats;
+  {
+    PLUM_PHASE(*comm_, "refine");
+    mark(dm_.local);
+    comm_->charge(static_cast<double>(dm_.local.num_active_edges()),
+                  comm_->cost().c_mark_edge_us);
+    ParallelAdaptor adaptor(&dm_, comm_);
+    stats = adaptor.refine();
+  }
+  weights_fresh_ = false;
+  run_checks("refine");
+  return stats;
 }
 
 ParallelAdaptStats PlumFramework::coarsen_with(
     const std::function<void(mesh::Mesh&)>& mark) {
-  PLUM_PHASE(*comm_, "coarsen");
-  mark(dm_.local);
-  comm_->charge(static_cast<double>(dm_.local.num_active_edges()),
-                comm_->cost().c_mark_edge_us);
-  ParallelAdaptor adaptor(&dm_, comm_);
-  return adaptor.coarsen();
+  ParallelAdaptStats stats;
+  {
+    PLUM_PHASE(*comm_, "coarsen");
+    mark(dm_.local);
+    comm_->charge(static_cast<double>(dm_.local.num_active_edges()),
+                  comm_->cost().c_mark_edge_us);
+    ParallelAdaptor adaptor(&dm_, comm_);
+    stats = adaptor.coarsen();
+  }
+  weights_fresh_ = false;
+  run_checks("coarsen");
+  return stats;
 }
 
 CycleStats PlumFramework::cycle(

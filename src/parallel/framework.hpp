@@ -15,6 +15,7 @@
 
 #include "balance/load_balancer.hpp"
 #include "dualgraph/dual_graph.hpp"
+#include "parallel/dist_check.hpp"
 #include "parallel/dist_mesh.hpp"
 #include "parallel/migrate.hpp"
 #include "parallel/parallel_adapt.hpp"
@@ -28,6 +29,12 @@ struct FrameworkConfig {
   /// Solver iterations run between adaptions (the cost model's N_adapt
   /// is taken from balancer.cost.n_adapt).
   int solver_iterations = 20;
+  /// Defensive distributed-invariant checking: run
+  /// check_dist_consistency after every adapt/migrate phase and
+  /// check_assignment after every balance, each under a PLUM_PHASE
+  /// ("check") scope so the cost is visible in traces.  Any violation
+  /// aborts.  Collective — must be identical on all ranks.
+  CheckLevel check_level = CheckLevel::kOff;
 };
 
 /// Everything one solve->adapt->balance cycle produced.
@@ -89,11 +96,27 @@ class PlumFramework {
   const FrameworkConfig& config() const { return cfg_; }
 
  private:
+  /// Runs the distributed checker (no-op at kOff) under a "check"
+  /// phase; aborts on any violation.  `after` names the phase just
+  /// finished (for the abort message); `expected_elements` >= 0 pins
+  /// the global active-element count (set across migration, which must
+  /// conserve it — adaption legitimately changes it).
+  void run_checks(const char* after, std::int64_t expected_elements = -1);
+
   simmpi::Comm* comm_;
   FrameworkConfig cfg_;
   DistMesh dm_;
   dual::DualGraph dual_;  ///< replicated structure, refreshed weights
   std::vector<Rank> proc_of_root_;
+  /// Global active volume captured by the first check (adaption and
+  /// migration are volume-preserving, so it must never change).
+  double expected_volume_ = -1.0;
+  /// Whether dual_'s W_comp/W_remap match the current mesh (set by
+  /// refresh_weights, invalidated by adaption; migration preserves it).
+  bool weights_fresh_ = false;
+  /// Balance invocations so far — mixed into the remapper seed so
+  /// repeated cycles draw fresh permutations when balancer.seed != 0.
+  std::uint64_t balance_seq_ = 0;
 };
 
 }  // namespace plum::parallel

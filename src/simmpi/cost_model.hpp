@@ -52,6 +52,9 @@ struct CostModel {
   double c_rebuild_elem_us = 6.0;
   /// One similarity-matrix entry update / scan step in the reassigner.
   double c_reassign_step_us = 0.08;
+  /// Examining one mesh object (vertex/edge/element/face report) in the
+  /// distributed invariant checker.
+  double c_check_obj_us = 0.05;
 
   /// Words (8-byte) in one message of `bytes` payload.
   static std::int64_t words(std::int64_t bytes) { return (bytes + 7) / 8; }

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "adapt/adaptor.hpp"
@@ -114,6 +116,121 @@ TEST(Remapper, HungarianUnitTestAgainstKnownMatrix) {
     total += cost[r][static_cast<std::size_t>(col[r])];
   }
   EXPECT_EQ(total, 5);  // 1 + 2 + 2
+}
+
+TEST(Remapper, HungarianMinMatchesBruteForceUpToSix) {
+  // Direct cross-check of the exposed hungarian_min against exhaustive
+  // permutation enumeration on random square cost matrices, n <= 6.
+  Rng rng(0x4D1F);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(5));  // 2..6
+    std::vector<std::vector<std::int64_t>> cost(
+        static_cast<std::size_t>(n),
+        std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+    for (auto& row : cost) {
+      for (auto& cell : row) {
+        cell = static_cast<std::int64_t>(rng.next_below(500));
+      }
+    }
+    const std::vector<int> col = hungarian_min(cost);
+    ASSERT_EQ(col.size(), static_cast<std::size_t>(n));
+    std::vector<char> used(static_cast<std::size_t>(n), 0);
+    std::int64_t total = 0;
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      ASSERT_GE(col[r], 0);
+      ASSERT_LT(col[r], n);
+      EXPECT_FALSE(used[static_cast<std::size_t>(col[r])]);
+      used[static_cast<std::size_t>(col[r])] = 1;
+      total += cost[r][static_cast<std::size_t>(col[r])];
+    }
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    do {
+      std::int64_t obj = 0;
+      for (std::size_t r = 0; r < perm.size(); ++r) {
+        obj += cost[r][static_cast<std::size_t>(perm[r])];
+      }
+      best = std::min(best, obj);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(total, best) << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(Remapper, OptimalObjectiveDominatesHeuristicOnRandomMatrices) {
+  Rng rng(0x0B7A);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int P = 2 + static_cast<int>(rng.next_below(9));   // 2..10
+    const int F = 1 + static_cast<int>(rng.next_below(3));   // 1..3
+    const SimilarityMatrix s = random_matrix(P, F, rng);
+    EXPECT_GE(optimal_assign(s).objective, heuristic_assign(s).objective)
+        << "trial " << trial << " P=" << P << " F=" << F;
+  }
+}
+
+using RemapperDeathTest = ::testing::Test;
+
+TEST(RemapperDeathTest, FinalizeRejectsQuotaViolationWithFactorTwo) {
+  SimilarityMatrix s(2, 2);  // 2 procs, F=2 -> 4 partitions
+  // Proc 0 takes three partitions, proc 1 only one: quota broken.
+  EXPECT_DEATH(finalize_assignment(s, {0, 0, 0, 1}), "expected 2");
+  // Out-of-range processor id.
+  EXPECT_DEATH(finalize_assignment(s, {0, 0, 1, 2}), "invalid proc");
+  // Wrong arity (3 entries for 4 partitions).
+  EXPECT_DEATH(finalize_assignment(s, {0, 0, 1}), "");
+}
+
+TEST(RemapperDeathTest, FinalizeAcceptsExactQuotaWithFactorTwo) {
+  SimilarityMatrix s(2, 2);
+  s.at(0, 0) = 3;
+  s.at(1, 2) = 4;
+  const Assignment a = finalize_assignment(s, {0, 1, 1, 0});
+  // j0->p0 (3), j1->p1 (0), j2->p1 (4), j3->p0 (0).
+  EXPECT_EQ(a.objective, 7);
+}
+
+TEST(Remapper, RandomRemapperDefaultSeedIsBitStable) {
+  Rng rng(0x5EED);
+  const SimilarityMatrix s = random_matrix(6, 2, rng);
+  const Assignment a = make_remapper("random")->assign(s);
+  const Assignment b = make_remapper("random", 0)->assign(s);
+  EXPECT_EQ(a.proc_of_part, b.proc_of_part);
+}
+
+TEST(Remapper, RandomRemapperSeedVariesThePermutation) {
+  // The historical bug: the permutation depended only on ncols, so
+  // repeated balance cycles at a fixed machine size always drew the
+  // same "random" assignment.  A nonzero seed must change the draw
+  // (deterministically), and distinct seeds must disagree somewhere.
+  Rng rng(0x5EED);
+  const SimilarityMatrix s = random_matrix(8, 2, rng);
+  const auto base = make_remapper("random", 0)->assign(s).proc_of_part;
+  const auto s1a = make_remapper("random", 1)->assign(s).proc_of_part;
+  const auto s1b = make_remapper("random", 1)->assign(s).proc_of_part;
+  const auto s2 = make_remapper("random", 2)->assign(s).proc_of_part;
+  EXPECT_EQ(s1a, s1b);  // same seed -> same permutation
+  EXPECT_NE(s1a, base);
+  EXPECT_NE(s1a, s2);
+}
+
+TEST(CostModel, SummarizeLoadsHandlesDegenerateInput) {
+  // Empty input: no processors.  Historically wavg divided by zero and
+  // went NaN; now everything is defined and trivially balanced.
+  const LoadInfo empty = summarize_loads({});
+  EXPECT_EQ(empty.wmax, 0);
+  EXPECT_EQ(empty.wtotal, 0);
+  EXPECT_DOUBLE_EQ(empty.wavg, 0.0);
+  EXPECT_DOUBLE_EQ(empty.imbalance, 1.0);
+  EXPECT_FALSE(std::isnan(empty.wavg));
+
+  const LoadInfo zeros = summarize_loads({0, 0, 0});
+  EXPECT_DOUBLE_EQ(zeros.wavg, 0.0);
+  EXPECT_DOUBLE_EQ(zeros.imbalance, 1.0);
+
+  const LoadInfo normal = summarize_loads({4, 12});
+  EXPECT_EQ(normal.wmax, 12);
+  EXPECT_DOUBLE_EQ(normal.wavg, 8.0);
+  EXPECT_DOUBLE_EQ(normal.imbalance, 1.5);
 }
 
 // The paper's bounds, property-tested: "our heuristic algorithm can

@@ -66,6 +66,43 @@ TEST(Diffusion, AssignmentStaysValid) {
   }
 }
 
+TEST(Diffusion, RelayedVertexCountedOnce) {
+  // A chain where load must relay through a saturated middle: p0 holds
+  // nearly everything, p1 sits between p0 and p2 with no room of its
+  // own.  First-order diffusion pushes a vertex p0 -> p1 in one sweep
+  // and p1 -> p2 in a later sweep; its movement must be charged once
+  // (net displacement), not once per hop.
+  dual::DualGraph g;
+  g.adjacency = {{1, 2}, {0, 3}, {0, 3}, {1, 2, 4}, {3}};
+  g.wcomp = {6, 1, 1, 0, 1};
+  g.wremap = {6, 3, 4, 7, 2};
+  const std::vector<Rank> current = {0, 0, 0, 1, 2};
+
+  DiffusionConfig cfg;
+  cfg.alpha = 2.0;
+  cfg.imbalance_tolerance = 1.05;
+  // Two sweeps complete the relay (0 -> 1, then 1 -> 2); further
+  // sweeps would only slosh zero-weight vertices back and forth.
+  cfg.max_sweeps = 2;
+  const DiffusionOutcome out = run_diffusion_balancer(g, current, 3, cfg);
+
+  // The relay really happens: vertex 1 ends up two processor-hops from
+  // where it started, which takes both sweeps.
+  EXPECT_EQ(out.sweeps, 2);
+  EXPECT_EQ(out.proc_of_vertex[1], 2);
+
+  std::int64_t recount_w = 0;
+  std::int64_t recount_v = 0;
+  for (std::size_t v = 0; v < current.size(); ++v) {
+    if (out.proc_of_vertex[v] != current[v]) {
+      recount_w += g.wremap[v];
+      recount_v += 1;
+    }
+  }
+  EXPECT_EQ(out.weight_moved, recount_w);
+  EXPECT_EQ(out.vertices_moved, recount_v);
+}
+
 TEST(Repart, MeetsToleranceOnSkewedLoad) {
   const Scenario s = skewed_scenario(4, 8);
   RepartConfig cfg;

@@ -1,0 +1,255 @@
+// Tests of the cross-rank invariant checker: a clean distributed mesh
+// passes every level, and each class of deliberate corruption — SPL
+// asymmetry, position divergence, duplicate element gids, conservation
+// violations, invalid assignments — is caught.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "adapt/marking.hpp"
+#include "balance/load_balancer.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "parallel/dist_check.hpp"
+#include "parallel/migrate.hpp"
+#include "parallel/parallel_adapt.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+#include "support/rng.hpp"
+
+namespace plum::parallel {
+namespace {
+
+using mesh::Mesh;
+
+struct Scene {
+  Mesh global;
+  dual::DualGraph dualg;
+  std::vector<Rank> proc;
+};
+
+Scene make_scene(int n, Rank P) {
+  Scene s;
+  s.global = mesh::make_cube_mesh(n);
+  s.dualg = dual::build_dual_graph(s.global);
+  const auto part =
+      partition::make_partitioner("rcb")->partition(s.dualg, P);
+  s.proc.assign(part.part.begin(), part.part.end());
+  return s;
+}
+
+/// Runs `mutate(dm, comm)` after building each rank's mesh, then the
+/// checker at `level`; returns the allreduced verdict plus every error
+/// string any rank produced.
+struct RunResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+};
+
+RunResult run_checked(
+    const Scene& s, Rank P, CheckLevel level,
+    const std::function<void(DistMesh&, simmpi::Comm&)>& mutate,
+    double expected_volume = -1.0, std::int64_t expected_elements = -1) {
+  simmpi::Machine machine;
+  RunResult result;
+  std::mutex mu;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    DistMesh dm = build_local_mesh(s.global, s.proc, comm.rank(), P);
+    if (mutate) mutate(dm, comm);
+    DistCheckOptions opt;
+    opt.level = level;
+    opt.expected_volume = expected_volume;
+    opt.expected_elements = expected_elements;
+    opt.expected_roots = s.dualg.num_vertices();
+    const DistCheckResult r = check_dist_consistency(dm, comm, opt);
+    std::lock_guard<std::mutex> lock(mu);
+    result.ok = result.ok && r.ok();
+    result.errors.insert(result.errors.end(), r.errors.begin(),
+                         r.errors.end());
+  });
+  return result;
+}
+
+bool any_error_contains(const RunResult& r, const std::string& what) {
+  for (const auto& e : r.errors) {
+    if (e.find(what) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(DistCheck, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_check_level("off"), CheckLevel::kOff);
+  EXPECT_EQ(parse_check_level("cheap"), CheckLevel::kCheap);
+  EXPECT_EQ(parse_check_level("full"), CheckLevel::kFull);
+  EXPECT_STREQ(check_level_name(CheckLevel::kOff), "off");
+  EXPECT_STREQ(check_level_name(CheckLevel::kCheap), "cheap");
+  EXPECT_STREQ(check_level_name(CheckLevel::kFull), "full");
+  EXPECT_DEATH(parse_check_level("bogus"), "unknown check level");
+}
+
+TEST(DistCheck, CleanMeshPassesEveryLevel) {
+  const Scene s = make_scene(2, 4);
+  for (const CheckLevel level : {CheckLevel::kCheap, CheckLevel::kFull}) {
+    const RunResult r = run_checked(s, 4, level, nullptr,
+                                    /*expected_volume=*/1.0,
+                                    /*expected_elements=*/
+                                    s.dualg.num_vertices());
+    EXPECT_TRUE(r.ok) << check_level_name(level);
+    EXPECT_TRUE(r.errors.empty());
+  }
+}
+
+TEST(DistCheck, CleanMeshAfterAdaptionAndMigrationPasses) {
+  const Scene s = make_scene(2, 4);
+  simmpi::Machine machine;
+  machine.run(4, [&](simmpi::Comm& comm) {
+    DistMesh dm = build_local_mesh(s.global, s.proc, comm.rank(), 4);
+    ParallelAdaptor adaptor(&dm, &comm);
+    adapt::mark_refine_random(dm.local, 0.2, 0xFACE);
+    adaptor.refine();
+    std::vector<Rank> plan(s.proc.size());
+    for (std::size_t g = 0; g < plan.size(); ++g) {
+      plan[g] = static_cast<Rank>(hash_combine64(g, 0xAB) % 4u);
+    }
+    migrate(&dm, &comm, plan);
+    const DistCheckResult r = check_dist_consistency(dm, comm, {});
+    EXPECT_TRUE(r.ok()) << "rank " << comm.rank() << ": " << r.summary();
+  });
+}
+
+TEST(DistCheck, FullLevelDetectsSplAsymmetry) {
+  const Scene s = make_scene(2, 4);
+  // Rank 1 drops one entry from the SPL of its first shared vertex:
+  // still sorted/unique/in-range, so per-rank sanity (cheap) passes,
+  // but the holder set no longer matches (full rendezvous).
+  const auto drop_spl = [](DistMesh& dm, simmpi::Comm& comm) {
+    if (comm.rank() != 1) return;
+    for (auto& v : dm.local.vertices()) {
+      if (v.alive && !v.spl.empty()) {
+        v.spl.erase(v.spl.begin());
+        return;
+      }
+    }
+  };
+  const RunResult cheap =
+      run_checked(s, 4, CheckLevel::kCheap, drop_spl);
+  EXPECT_TRUE(cheap.ok);
+  const RunResult full = run_checked(s, 4, CheckLevel::kFull, drop_spl);
+  EXPECT_FALSE(full.ok);
+  EXPECT_TRUE(any_error_contains(full, "SPL")) << full.errors.size();
+}
+
+TEST(DistCheck, FullLevelDetectsPositionDivergence) {
+  const Scene s = make_scene(2, 4);
+  const RunResult full = run_checked(
+      s, 4, CheckLevel::kFull, [](DistMesh& dm, simmpi::Comm& comm) {
+        if (comm.rank() != 0) return;
+        for (auto& v : dm.local.vertices()) {
+          if (v.alive && !v.spl.empty()) {
+            v.pos.x += 1e-9;  // silently diverged replica
+            return;
+          }
+        }
+      });
+  EXPECT_FALSE(full.ok);
+  EXPECT_TRUE(any_error_contains(full, "position"));
+}
+
+TEST(DistCheck, FullLevelDetectsDuplicateElementGid) {
+  const Scene s = make_scene(2, 2);
+  // Rank 1 rewrites one resident root's gid to a gid resident on rank
+  // 0 (gid-map upkeep included, so the cheap level stays clean): the
+  // same element gid is now resident on two ranks, and a root went
+  // missing — both are global facts only the rendezvous can see.
+  GlobalId stolen = kNoGlobalId;
+  for (std::size_t g = 0; g < s.proc.size(); ++g) {
+    if (s.proc[g] == 0) {
+      stolen = static_cast<GlobalId>(g);
+      break;
+    }
+  }
+  ASSERT_NE(stolen, kNoGlobalId);
+  const auto steal_gid = [stolen](DistMesh& dm, simmpi::Comm& comm) {
+    if (comm.rank() != 1) return;
+    for (std::size_t i = 0; i < dm.local.elements().size(); ++i) {
+      auto& el = dm.local.elements()[i];
+      if (el.alive && el.parent == kNoIndex) {
+        dm.root_of_gid.erase(el.gid);
+        el.gid = stolen;
+        dm.root_of_gid[stolen] = static_cast<LocalIndex>(i);
+        return;
+      }
+    }
+  };
+  const RunResult full = run_checked(s, 2, CheckLevel::kFull, steal_gid);
+  EXPECT_FALSE(full.ok);
+  EXPECT_TRUE(any_error_contains(full, "resident on ranks"));
+}
+
+TEST(DistCheck, CheapLevelDetectsConservationViolations) {
+  const Scene s = make_scene(2, 4);
+  // Wrong global volume expectation.
+  const RunResult vol = run_checked(s, 4, CheckLevel::kCheap, nullptr,
+                                    /*expected_volume=*/2.0);
+  EXPECT_FALSE(vol.ok);
+  EXPECT_TRUE(any_error_contains(vol, "volume"));
+  // Wrong global element-count expectation.
+  const RunResult cnt = run_checked(s, 4, CheckLevel::kCheap, nullptr,
+                                    /*expected_volume=*/-1.0,
+                                    /*expected_elements=*/123456);
+  EXPECT_FALSE(cnt.ok);
+  EXPECT_TRUE(any_error_contains(cnt, "active elements"));
+}
+
+TEST(DistCheck, CheapLevelDetectsStaleGidMap) {
+  const Scene s = make_scene(2, 2);
+  const RunResult r = run_checked(
+      s, 2, CheckLevel::kCheap, [](DistMesh& dm, simmpi::Comm& comm) {
+        if (comm.rank() != 0) return;
+        for (auto& v : dm.local.vertices()) {
+          if (v.alive) {
+            dm.vertex_of_gid.erase(v.gid);  // stale incremental upkeep
+            return;
+          }
+        }
+      });
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(any_error_contains(r, "vertex_of_gid"));
+}
+
+TEST(DistCheck, AssignmentCheckerAcceptsValidPlanAndFlagsBadOnes) {
+  const Scene s = make_scene(2, 4);
+  simmpi::Machine machine;
+  machine.run(4, [&](simmpi::Comm& comm) {
+    balance::LoadBalancerConfig cfg;
+    cfg.use_cost_decision = false;
+    cfg.imbalance_threshold = 0.0;  // force repartitioning
+    balance::BalanceOutcome out =
+        balance::run_load_balancer(s.dualg, s.proc, 4, cfg);
+    EXPECT_TRUE(check_assignment(out, comm, cfg.factor).empty());
+
+    // Quota violation: duplicate a processor in proc_of_part.
+    balance::BalanceOutcome bad = out;
+    bad.assignment.proc_of_part[0] = bad.assignment.proc_of_part[1];
+    const auto quota_errs = check_assignment(bad, comm, cfg.factor);
+    EXPECT_FALSE(quota_errs.empty());
+
+    // Out-of-range placement.
+    balance::BalanceOutcome oob = out;
+    oob.proc_of_vertex[0] = 99;
+    EXPECT_FALSE(check_assignment(oob, comm, cfg.factor).empty());
+
+    // Replication broken: one rank computes a different plan.
+    balance::BalanceOutcome skew = out;
+    if (comm.rank() == 2 && !skew.proc_of_vertex.empty()) {
+      const Rank p = skew.proc_of_vertex[0];
+      skew.proc_of_vertex[0] = (p + 1) % 4;
+    }
+    const auto skew_errs = check_assignment(skew, comm, cfg.factor);
+    EXPECT_FALSE(skew_errs.empty());
+    EXPECT_NE(skew_errs.back().find("disagree"), std::string::npos);
+  });
+}
+
+}  // namespace
+}  // namespace plum::parallel

@@ -12,6 +12,8 @@
 #include "mesh/box_mesh.hpp"
 #include "mesh/mesh_check.hpp"
 #include "mesh/mesh_io.hpp"
+#include "parallel/dist_check.hpp"
+#include "parallel/framework.hpp"
 #include "parallel/gather.hpp"
 #include "parallel/migrate.hpp"
 #include "parallel/parallel_adapt.hpp"
@@ -196,6 +198,61 @@ TEST_P(FuzzParallel, RandomCyclesWithMigrationsMatchSerial) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParallel, ::testing::Range(0, 8));
+
+class FuzzFramework : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzFramework, FullCyclesPassFullDistributedChecking) {
+  // Whole Fig.-1 cycles (solve -> refine -> coarsen -> balance ->
+  // migrate) with the distributed invariant checker at `full` after
+  // every adapt/migrate phase.  Any SPL asymmetry, gid duplication,
+  // conservation or dual-graph drift aborts the run.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 62141 + 7);
+  const Rank P = std::vector<Rank>{2, 4, 8}[static_cast<std::size_t>(
+      GetParam() % 3)];
+  const Mesh global = mesh::make_cube_mesh(3);
+  const auto dualg = dual::build_dual_graph(global);
+  const auto part = partition::make_partitioner("rcb")->partition(dualg, P);
+  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+
+  struct Step {
+    std::uint64_t seed;
+    double frac;
+    bool coarsen;
+  };
+  std::vector<Step> script;
+  for (int i = 0; i < 3; ++i) {
+    script.push_back(
+        {rng.next_u64(), 0.06 + 0.12 * rng.next_double(),
+         rng.next_bool(0.5)});
+  }
+
+  parallel::FrameworkConfig cfg;
+  cfg.solver_iterations = 0;  // the solver can't affect consistency
+  cfg.check_level = parallel::CheckLevel::kFull;
+  // Stress migration: repartition eagerly and skip the cost veto.
+  cfg.balancer.imbalance_threshold = 1.01;
+  cfg.balancer.use_cost_decision = false;
+
+  simmpi::Machine machine;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    parallel::PlumFramework fw(&comm, global, dualg, proc, cfg);
+    for (const auto& s : script) {
+      fw.cycle(
+          [&](Mesh& m) { adapt::mark_refine_random(m, s.frac, s.seed); },
+          s.coarsen ? std::function<void(Mesh&)>([&](Mesh& m) {
+            adapt::mark_coarsen_random(m, 0.5, s.seed + 1);
+          })
+                    : nullptr);
+    }
+    // One final standalone sweep so every seed ends on a verified mesh.
+    const parallel::DistCheckResult r =
+        parallel::check_dist_consistency(fw.dist(), comm, {});
+    EXPECT_TRUE(r.ok()) << "seed " << GetParam() << " rank "
+                        << comm.rank() << ": " << r.summary();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFramework, ::testing::Range(0, 21));
 
 class FuzzMapper : public ::testing::TestWithParam<int> {};
 

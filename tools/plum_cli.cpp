@@ -8,8 +8,9 @@
 //                  --k 16
 //   plum cycle     --n 12 --procs 8 --cycles 3 --strategy local1
 //                  [--partitioner mlspectral] [--remapper heuristic]
-//                  [--factor 1] [--vtk-prefix step]
+//                  [--factor 1] [--seed 0] [--vtk-prefix step]
 //                  [--trace out.json] [--metrics] [--metrics-json out.json]
+//                  [--check-level off|cheap|full]
 //
 // `mesh` generates and snapshots the box mesh; `adapt` runs one serial
 // refinement (+ optional coarsening) on a snapshot; `partition` reports
@@ -49,7 +50,10 @@ class Args {
       std::string key = argv[i];
       PLUM_CHECK_MSG(key.rfind("--", 0) == 0, "expected --flag, got " << key);
       key = key.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      // Both `--flag value` and `--flag=value` are accepted.
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        kv_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         kv_[key] = argv[++i];
       } else {
         kv_[key] = "";
@@ -195,6 +199,10 @@ int cmd_cycle(const Args& args) {
   cfg.balancer.partitioner = args.get("partitioner", "mlspectral");
   cfg.balancer.remapper = args.get("remapper", "heuristic");
   cfg.balancer.factor = args.get_int("factor", 1);
+  cfg.balancer.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 0));
+  cfg.check_level =
+      parallel::parse_check_level(args.get("check-level", "off"));
 
   const std::map<std::string, adapt::StrategyKind> kinds = {
       {"local1", adapt::StrategyKind::kLocal1},

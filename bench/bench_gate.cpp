@@ -1,0 +1,91 @@
+// bench_gate — the CI perf gate (no Python, no external JSON library).
+//
+//   bench_gate --baseline bench/baselines/BENCH_comm_quick.json \
+//              --current BENCH_comm.json [--tolerance 0.10] \
+//              [--min-abs-us 50] [--field SUBSTR]
+//
+// Compares every wall-clock field of the current BENCH_*.json against
+// the committed baseline (see bench/gate.hpp for matching rules) and
+// exits nonzero when any timing regressed beyond tolerance.  Wall
+// clocks vary across machines, so CI invokes this with a generous
+// tolerance — the gate exists to catch order-of-magnitude regressions
+// (an accidentally quadratic loop, instrumentation that stopped being
+// free), not single-digit percent drift.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "gate.hpp"
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  plumbench::GateConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_gate: missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--baseline") {
+      baseline_path = next();
+    } else if (a == "--current") {
+      current_path = next();
+    } else if (a == "--tolerance") {
+      cfg.tolerance = std::atof(next());
+    } else if (a == "--min-abs-us") {
+      cfg.min_abs_us = std::atof(next());
+    } else if (a == "--field") {
+      cfg.field_filter = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_gate --baseline FILE --current FILE "
+                   "[--tolerance X] [--min-abs-us Y] [--field SUBSTR]\n");
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "bench_gate: --baseline and --current are required\n");
+    return 2;
+  }
+
+  std::string err;
+  const auto baseline = plum::parse_json_file(baseline_path, &err);
+  if (!baseline) {
+    std::fprintf(stderr, "bench_gate: %s\n", err.c_str());
+    return 2;
+  }
+  const auto current = plum::parse_json_file(current_path, &err);
+  if (!current) {
+    std::fprintf(stderr, "bench_gate: %s\n", err.c_str());
+    return 2;
+  }
+
+  const plumbench::GateResult res =
+      plumbench::run_gate(*current, *baseline, cfg);
+  if (!res.error.empty()) {
+    std::fprintf(stderr, "bench_gate: %s\n", res.error.c_str());
+    return 2;
+  }
+
+  std::printf("bench_gate: %s vs baseline %s (tolerance %.0f%%, floor "
+              "%.0f us)\n",
+              current_path.c_str(), baseline_path.c_str(),
+              cfg.tolerance * 100.0, cfg.min_abs_us);
+  for (const auto& c : res.comparisons) {
+    std::printf("  %-8s %-55s %12.1f -> %12.1f  (%5.2fx)\n",
+                c.regression ? "REGRESS" : "ok", c.key.c_str(),
+                c.baseline_us, c.current_us, c.ratio);
+  }
+  for (const auto& u : res.unmatched) {
+    std::printf("  note     %s (not compared)\n", u.c_str());
+  }
+  const int regressions = res.regressions();
+  std::printf("bench_gate: %zu timings compared, %d regression(s)\n",
+              res.comparisons.size(), regressions);
+  return regressions > 0 ? 1 : 0;
+}

@@ -1,0 +1,161 @@
+// Perf-gate comparison logic for BENCH_*.json documents (the
+// JsonEmitter format: {"bench", "schema_version", "results": [...]}).
+//
+// Header-only so both the bench_gate CLI tool and the unit tests share
+// one implementation.  The gate matches records between a committed
+// baseline and a fresh run by (name + identity fields), then compares
+// every wall-clock field (any field whose name contains "_us"); a
+// regression is a timing that grew beyond the relative tolerance AND
+// the absolute floor — the floor keeps micro-benchmark noise on
+// sub-millisecond timings from tripping CI.
+//
+// Baseline records with no matching current record (or vice versa) are
+// reported but do not fail the gate: renaming or re-parameterizing a
+// bench legitimately changes the record set, and the committed baseline
+// is regenerated in the same PR.  Only a matched, slower timing fails.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/json_parse.hpp"
+
+namespace plumbench {
+
+struct GateConfig {
+  /// Allowed relative slowdown: fail when cur > base * (1 + tolerance).
+  double tolerance = 0.10;
+  /// Absolute floor: additionally require cur - base > this many µs.
+  double min_abs_us = 50.0;
+  /// When non-empty, only timing fields whose name contains this
+  /// substring are compared.  CI gates "wall_us" (the aggregates):
+  /// sub-phase timings of a threaded run are scheduler-noisy enough to
+  /// flap even under a generous tolerance, while the per-record wall
+  /// clock is stable.
+  std::string field_filter;
+};
+
+struct GateComparison {
+  std::string key;        ///< record identity + field name
+  double baseline_us = 0.0;
+  double current_us = 0.0;
+  double ratio = 1.0;     ///< current / baseline (1.0 when baseline is 0)
+  bool regression = false;
+};
+
+struct GateResult {
+  std::vector<GateComparison> comparisons;
+  /// Baseline records without a current match + the reverse.
+  std::vector<std::string> unmatched;
+  std::string error;  ///< non-empty when either document was malformed
+
+  int regressions() const {
+    int n = 0;
+    for (const auto& c : comparisons) n += c.regression ? 1 : 0;
+    return n;
+  }
+  bool ok() const { return error.empty() && regressions() == 0; }
+};
+
+namespace gate_detail {
+
+/// Fields that parameterize a record (identity) rather than measure it.
+inline bool is_identity_field(std::string_view k) {
+  return k == "n" || k == "P" || k == "rounds";
+}
+
+/// Wall-clock measurement fields ("wall_us", "pack_us",
+/// "wall_us_per_round", ...).
+inline bool is_timing_field(std::string_view k) {
+  return k.find("_us") != std::string_view::npos;
+}
+
+inline std::string record_key(const plum::JsonValue& rec) {
+  std::string key = rec.string_or("name", "?");
+  for (const auto& [k, v] : rec.object) {
+    if (is_identity_field(k) && v.is_number()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " %s=%.0f", k.c_str(), v.number);
+      key += buf;
+    }
+  }
+  return key;
+}
+
+inline const plum::JsonValue* results_of(const plum::JsonValue& doc,
+                                         std::string* error,
+                                         const char* which) {
+  const plum::JsonValue* results = doc.find("results");
+  if (results == nullptr || !results->is_array()) {
+    if (error != nullptr && error->empty()) {
+      *error = std::string(which) + " document has no \"results\" array";
+    }
+    return nullptr;
+  }
+  return results;
+}
+
+}  // namespace gate_detail
+
+/// Compares `current` against `baseline` (both JsonEmitter documents).
+inline GateResult run_gate(const plum::JsonValue& current,
+                           const plum::JsonValue& baseline,
+                           const GateConfig& cfg) {
+  using gate_detail::is_timing_field;
+  using gate_detail::record_key;
+  GateResult out;
+  const plum::JsonValue* base_results =
+      gate_detail::results_of(baseline, &out.error, "baseline");
+  const plum::JsonValue* cur_results =
+      gate_detail::results_of(current, &out.error, "current");
+  if (base_results == nullptr || cur_results == nullptr) return out;
+
+  std::vector<bool> cur_matched(cur_results->array.size(), false);
+  for (const plum::JsonValue& base_rec : base_results->array) {
+    const std::string key = record_key(base_rec);
+    const plum::JsonValue* cur_rec = nullptr;
+    for (std::size_t i = 0; i < cur_results->array.size(); ++i) {
+      if (!cur_matched[i] && record_key(cur_results->array[i]) == key) {
+        cur_rec = &cur_results->array[i];
+        cur_matched[i] = true;
+        break;
+      }
+    }
+    if (cur_rec == nullptr) {
+      out.unmatched.push_back("baseline-only: " + key);
+      continue;
+    }
+    for (const auto& [field, bv] : base_rec.object) {
+      if (!is_timing_field(field) || !bv.is_number()) continue;
+      if (!cfg.field_filter.empty() &&
+          field.find(cfg.field_filter) == std::string::npos) {
+        continue;
+      }
+      const plum::JsonValue* cv = cur_rec->find(field);
+      if (cv == nullptr || !cv->is_number()) {
+        out.unmatched.push_back("baseline-only: " + key + "." + field);
+        continue;
+      }
+      GateComparison c;
+      c.key = key + "." + field;
+      c.baseline_us = bv.number;
+      c.current_us = cv->number;
+      c.ratio = bv.number > 0.0 ? cv->number / bv.number : 1.0;
+      c.regression =
+          c.current_us > c.baseline_us * (1.0 + cfg.tolerance) &&
+          c.current_us - c.baseline_us > cfg.min_abs_us;
+      out.comparisons.push_back(std::move(c));
+    }
+  }
+  for (std::size_t i = 0; i < cur_results->array.size(); ++i) {
+    if (!cur_matched[i]) {
+      out.unmatched.push_back("current-only: " +
+                              record_key(cur_results->array[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace plumbench

@@ -78,6 +78,15 @@ struct RemapCost {
 RemapCost remap_cost(const SimilarityMatrix& s, const Assignment& a,
                      const CostParams& p);
 
+/// Bytes the modeled redistribution would ship: C elements times M
+/// words of storage each, at 8 bytes per word (the word size T_lat is
+/// calibrated against).  The timeline pairs this prediction with the
+/// bytes migration actually moved.
+inline std::int64_t predicted_migration_bytes(const RemapCost& c,
+                                              const CostParams& p) {
+  return c.elements_moved * static_cast<std::int64_t>(p.m_words) * 8;
+}
+
 struct GainDecision {
   std::int64_t wmax_old = 0;
   std::int64_t wmax_new = 0;

@@ -204,6 +204,7 @@ CycleStats PlumFramework::cycle(
     const std::function<void(mesh::Mesh&)>& mark_refine,
     const std::function<void(mesh::Mesh&)>& mark_coarsen) {
   CycleStats stats;
+  const double t_cycle0 = comm_->clock().now();
 
   // Flow solution.
   if (cfg_.solver_iterations > 0) {
@@ -224,7 +225,39 @@ CycleStats PlumFramework::cycle(
   if (stats.balance.accepted) {
     stats.migration = migrate_to(stats.balance.proc_of_vertex);
   }
+
+  if (cfg_.record_timeline) record_sample(stats, t_cycle0);
   return stats;
+}
+
+void PlumFramework::record_sample(const CycleStats& stats, double t_cycle0) {
+  // Collective: a few extra allreduces, which is why the timeline is
+  // opt-in.  Every gauge is globally reduced, so all ranks append the
+  // identical sample.
+  PLUM_PHASE(*comm_, "timeline");
+  CycleSample s;
+  s.cycle = cycle_seq_++;
+  s.active_elements =
+      comm_->allreduce_sum(dm_.local.num_active_elements());
+  s.imbalance_before = stats.balance.old_load.imbalance;
+  s.imbalance_after = stats.balance.accepted
+                          ? stats.balance.new_load.imbalance
+                          : stats.balance.old_load.imbalance;
+  s.repartitioned = stats.balance.repartitioned;
+  s.accepted = stats.balance.accepted;
+  s.predicted_elements_moved = stats.balance.decision.cost.elements_moved;
+  s.predicted_bytes = balance::predicted_migration_bytes(
+      stats.balance.decision.cost, cfg_.balancer.cost);
+  s.predicted_migrate_us = stats.balance.decision.cost.cost_us;
+  s.bytes_shipped = comm_->allreduce_sum(stats.migration.bytes_sent);
+  s.realized_migrate_us =
+      comm_->allreduce_max(stats.migration.elapsed_us);
+  s.solver_us = comm_->allreduce_max(stats.solver.elapsed_us);
+  s.adapt_us = comm_->allreduce_max(stats.refine.elapsed_us +
+                                    stats.coarsen.elapsed_us);
+  s.reassignment_us = comm_->allreduce_max(stats.reassignment_us);
+  s.cycle_us = comm_->allreduce_max(comm_->clock().now() - t_cycle0);
+  timeline_.cycles.push_back(s);
 }
 
 }  // namespace plum::parallel

@@ -19,6 +19,7 @@
 #include "parallel/dist_mesh.hpp"
 #include "parallel/migrate.hpp"
 #include "parallel/parallel_adapt.hpp"
+#include "parallel/timeline.hpp"
 #include "simmpi/comm.hpp"
 #include "solver/flow_solver.hpp"
 
@@ -35,6 +36,12 @@ struct FrameworkConfig {
   /// ("check") scope so the cost is visible in traces.  Any violation
   /// aborts.  Collective — must be identical on all ranks.
   CheckLevel check_level = CheckLevel::kOff;
+  /// Collect a CycleSample per cycle() into timeline() (prediction vs
+  /// realized migration, imbalance before/after, per-phase times).
+  /// Off by default: the gauges cost a few extra allreduces per cycle,
+  /// and the default collective sequence must stay golden-stable.
+  /// Collective — must be identical on all ranks.
+  bool record_timeline = false;
 };
 
 /// Everything one solve->adapt->balance cycle produced.
@@ -94,6 +101,9 @@ class PlumFramework {
   const dual::DualGraph& dual_graph() const { return dual_; }
   const std::vector<Rank>& proc_of_root() const { return proc_of_root_; }
   const FrameworkConfig& config() const { return cfg_; }
+  /// Per-cycle gauges (empty unless cfg.record_timeline); identical on
+  /// every rank since all samples are globally reduced.
+  const Timeline& timeline() const { return timeline_; }
 
  private:
   /// Runs the distributed checker (no-op at kOff) under a "check"
@@ -102,6 +112,10 @@ class PlumFramework {
   /// the global active-element count (set across migration, which must
   /// conserve it — adaption legitimately changes it).
   void run_checks(const char* after, std::int64_t expected_elements = -1);
+
+  /// Appends one globally-reduced CycleSample to timeline_ (collective;
+  /// called from cycle() only when cfg.record_timeline).
+  void record_sample(const CycleStats& stats, double t_cycle0);
 
   simmpi::Comm* comm_;
   FrameworkConfig cfg_;
@@ -117,6 +131,8 @@ class PlumFramework {
   /// Balance invocations so far — mixed into the remapper seed so
   /// repeated cycles draw fresh permutations when balancer.seed != 0.
   std::uint64_t balance_seq_ = 0;
+  Timeline timeline_;
+  int cycle_seq_ = 0;
 };
 
 }  // namespace plum::parallel

@@ -1,0 +1,98 @@
+#include "parallel/timeline.hpp"
+
+#include "support/json.hpp"
+
+namespace plum::parallel {
+
+std::string timeline_json(const Timeline& tl,
+                          const simmpi::MachineReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("kind");
+  w.value("plum_timeline");
+  w.key("schema_version");
+  w.value(kJsonSchemaVersion);
+  w.key("nprocs");
+  w.value(static_cast<std::int64_t>(report.ranks.size()));
+
+  w.key("cycles");
+  w.begin_array();
+  for (const CycleSample& s : tl.cycles) {
+    w.begin_object();
+    w.key("cycle");
+    w.value(s.cycle);
+    w.key("active_elements");
+    w.value(s.active_elements);
+    w.key("imbalance_before");
+    w.value(s.imbalance_before);
+    w.key("imbalance_after");
+    w.value(s.imbalance_after);
+    w.key("repartitioned");
+    w.value(s.repartitioned);
+    w.key("accepted");
+    w.value(s.accepted);
+    w.key("predicted_elements_moved");
+    w.value(s.predicted_elements_moved);
+    w.key("predicted_bytes");
+    w.value(s.predicted_bytes);
+    w.key("predicted_migrate_us");
+    w.value(s.predicted_migrate_us);
+    w.key("bytes_shipped");
+    w.value(s.bytes_shipped);
+    w.key("realized_migrate_us");
+    w.value(s.realized_migrate_us);
+    w.key("solver_us");
+    w.value(s.solver_us);
+    w.key("adapt_us");
+    w.value(s.adapt_us);
+    w.key("reassignment_us");
+    w.value(s.reassignment_us);
+    w.key("cycle_us");
+    w.value(s.cycle_us);
+    w.end_object();
+  }
+  w.end_array();
+
+  // PxP traffic: row = source rank's per-destination counters for the
+  // whole run (CommStats is cumulative).
+  w.key("traffic");
+  w.begin_object();
+  w.key("bytes");
+  w.begin_array();
+  for (const auto& r : report.ranks) {
+    w.begin_array();
+    for (const std::int64_t b : r.stats.bytes_to) w.value(b);
+    w.end_array();
+  }
+  w.end_array();
+  w.key("msgs");
+  w.begin_array();
+  for (const auto& r : report.ranks) {
+    w.begin_array();
+    for (const std::int64_t m : r.stats.msgs_to) w.value(m);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  std::string out = w.take();
+  out += '\n';
+  return out;
+}
+
+bool write_timeline_json(const Timeline& tl,
+                         const simmpi::MachineReport& report,
+                         const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "timeline: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string doc = timeline_json(tl, report);
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace plum::parallel

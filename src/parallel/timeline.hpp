@@ -1,0 +1,70 @@
+// Cycle timeline: per-cycle gauges of the framework run, written as a
+// schema-versioned time-series JSON document (DESIGN.md §11).
+//
+// Collection is opt-in (FrameworkConfig::record_timeline) because the
+// gauges need a few extra allreduces per cycle; the default collective
+// sequence — and with it every golden simulated timing — is unchanged
+// when the timeline is off.  Each sample pairs the balance pipeline's
+// *predictions* (cost-model elements moved, bytes, remap cost) with the
+// *realized* migration (bytes actually shipped, simulated migrate
+// time), which is exactly the comparison §8's accept/reject test rides
+// on: a drifting prediction column is a cost-model bug made visible.
+//
+// The document also embeds the run's PxP traffic matrix so `plum
+// report` can render the heatmap without a second input file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simmpi/machine.hpp"
+
+namespace plum::parallel {
+
+/// Gauges for one solve->adapt->balance->migrate cycle.  All values are
+/// globally reduced, so every rank holds the identical sample.
+struct CycleSample {
+  int cycle = 0;
+  /// Global active elements after adaption (the load being balanced).
+  std::int64_t active_elements = 0;
+  /// W_max/W_avg before and after the balance step ("after" equals
+  /// "before" when the mapping was not accepted).
+  double imbalance_before = 1.0;
+  double imbalance_after = 1.0;
+  bool repartitioned = false;
+  bool accepted = false;
+  /// Cost-model prediction: C (elements to move), C*M*8 bytes, and the
+  /// §8 redistribution cost C*M*T_lat + N*T_setup.
+  std::int64_t predicted_elements_moved = 0;
+  std::int64_t predicted_bytes = 0;
+  double predicted_migrate_us = 0.0;
+  /// Realized migration: payload bytes shipped (summed over ranks) and
+  /// simulated migrate time (max over ranks).
+  std::int64_t bytes_shipped = 0;
+  double realized_migrate_us = 0.0;
+  /// Per-phase simulated times, max over ranks.
+  double solver_us = 0.0;
+  double adapt_us = 0.0;
+  double reassignment_us = 0.0;
+  double cycle_us = 0.0;
+};
+
+struct Timeline {
+  std::vector<CycleSample> cycles;
+};
+
+/// Renders the timeline (plus the report's traffic matrix) as a JSON
+/// document:
+///   {"kind": "plum_timeline", "schema_version": ..., "nprocs": P,
+///    "cycles": [...], "traffic": {"bytes": [[...]], "msgs": [[...]]}}
+std::string timeline_json(const Timeline& tl,
+                          const simmpi::MachineReport& report);
+
+/// Writes timeline_json to `path`; false (with a stderr note) on I/O
+/// failure.
+bool write_timeline_json(const Timeline& tl,
+                         const simmpi::MachineReport& report,
+                         const std::string& path);
+
+}  // namespace plum::parallel

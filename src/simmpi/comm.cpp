@@ -21,21 +21,43 @@ void Comm::send(Rank dst, int tag, Bytes&& payload) {
     stats_.coll_msgs_sent += 1;
     stats_.coll_bytes_sent += bytes;
   }
+  flight_record(FlightKind::kSend, FlightOp::kNone, dst, tag, bytes);
   (*mailboxes_)[static_cast<std::size_t>(dst)].deliver(
       Message{rank_, tag, arrival, std::move(payload)});
 }
 
 Bytes Comm::recv(Rank src, int tag) {
-  PLUM_CHECK_MSG(src >= 0 && src < size_, "recv from invalid rank " << src);
+  // Hard failures for receives that could never complete: better a
+  // clear error naming the phase than a thread blocked forever (the
+  // watchdog would catch the hang, but the root cause is right here).
+  PLUM_CHECK_MSG(src >= 0 && src < size_,
+                 "rank " << rank_ << " recv(src=" << src << ", tag=" << tag
+                         << ") from out-of-range rank (valid 0.."
+                         << size_ - 1 << ") in phase \""
+                         << tracer_.current_phase() << "\"");
+  if (src == rank_) {
+    // Self-sends are delivered synchronously, so a matching message is
+    // either already queued or will never exist.
+    PLUM_CHECK_MSG(
+        mailbox().has(rank_, tag),
+        "rank " << rank_ << " recv(src=" << src << ", tag=" << tag
+                << ") from itself with no matching self-send queued — "
+                   "would block forever — in phase \""
+                << tracer_.current_phase() << "\"");
+  }
+  flight_record(FlightKind::kRecvBegin, FlightOp::kNone, src, tag, 0);
   Message m =
       (*mailboxes_)[static_cast<std::size_t>(rank_)].take(src, tag, abort_);
   clock_.observe(m.arrival_us);
   stats_.msgs_recv += 1;
   stats_.bytes_recv += static_cast<std::int64_t>(m.payload.size());
+  flight_record(FlightKind::kRecvEnd, FlightOp::kNone, src, tag,
+                static_cast<std::int64_t>(m.payload.size()));
   return std::move(m.payload);
 }
 
 void Comm::barrier() {
+  CollScope coll(this, FlightOp::kBarrier, /*tag=*/kUserTagLimit + seq_, 0);
   // An allreduce of nothing: synchronises every rank's clock to the
   // global max plus the tree-communication cost.
   allreduce_sum(std::int64_t{0});
@@ -43,6 +65,8 @@ void Comm::barrier() {
 
 Bytes Comm::broadcast(Bytes data, Rank root) {
   const int tag = next_collective_tag();
+  CollScope coll(this, FlightOp::kBroadcast, tag,
+                 static_cast<std::int64_t>(data.size()));
   if (size_ == 1) return data;
   const Rank vrank = (rank_ - root + size_) % size_;
   Rank mask = 1;
@@ -106,6 +130,7 @@ bool Comm::allreduce_or(bool v) {
 }
 
 std::int64_t Comm::exscan_sum(std::int64_t v) {
+  CollScope coll(this, FlightOp::kExscan, kUserTagLimit + seq_, 8);
   // Gather every rank's contribution and prefix-sum locally; the
   // per-rank payload is one word, so the linear collective is cheap.
   BufWriter w;
@@ -121,6 +146,8 @@ std::int64_t Comm::exscan_sum(std::int64_t v) {
 
 std::vector<Bytes> Comm::gatherv(Bytes mine, Rank root) {
   const int tag = next_collective_tag();
+  CollScope coll(this, FlightOp::kGatherv, tag,
+                 static_cast<std::int64_t>(mine.size()));
   std::vector<Bytes> out;
   if (rank_ == root) {
     out.resize(static_cast<std::size_t>(size_));
@@ -136,6 +163,8 @@ std::vector<Bytes> Comm::gatherv(Bytes mine, Rank root) {
 }
 
 std::vector<Bytes> Comm::allgatherv(Bytes mine) {
+  CollScope coll(this, FlightOp::kAllgatherv, kUserTagLimit + seq_,
+                 static_cast<std::int64_t>(mine.size()));
   // gather at rank 0, then broadcast the concatenation.
   std::vector<Bytes> gathered = gatherv(std::move(mine), /*root=*/0);
   Bytes flat;
@@ -158,6 +187,11 @@ std::vector<Bytes> Comm::alltoallv(std::vector<Bytes> outgoing) {
   PLUM_CHECK_MSG(outgoing.size() == static_cast<std::size_t>(size_),
                  "alltoallv needs one buffer per rank");
   const int tag = next_collective_tag();
+  std::int64_t out_bytes = 0;
+  for (const Bytes& b : outgoing) {
+    out_bytes += static_cast<std::int64_t>(b.size());
+  }
+  CollScope coll(this, FlightOp::kAlltoallv, tag, out_bytes);
   std::vector<Bytes> incoming(static_cast<std::size_t>(size_));
   // Stagger destinations (rank+1, rank+2, ...) so traffic does not all
   // converge on low ranks first — the usual pairwise-exchange order.

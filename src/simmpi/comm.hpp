@@ -17,6 +17,7 @@
 
 #include "simmpi/clock.hpp"
 #include "simmpi/cost_model.hpp"
+#include "simmpi/flight.hpp"
 #include "simmpi/message.hpp"
 #include "simmpi/obs.hpp"
 #include "support/buffer.hpp"
@@ -47,16 +48,19 @@ class Comm {
  public:
   Comm(Rank rank, Rank size, std::vector<Mailbox>* mailboxes,
        const CostModel* cost, const std::atomic<bool>* abort = nullptr,
-       bool trace = false)
+       bool trace = false,
+       std::size_t flight_capacity = FlightRecorder::kDefaultCapacity)
       : rank_(rank),
         size_(size),
         mailboxes_(mailboxes),
         cost_(cost),
-        abort_(abort) {
+        abort_(abort),
+        flight_(flight_capacity) {
     stats_.msgs_to.assign(static_cast<std::size_t>(size_), 0);
     stats_.bytes_to.assign(static_cast<std::size_t>(size_), 0);
     tracer_.bind(&clock_, &stats_);
     if (trace) tracer_.set_enabled(true);
+    flight_.set_rank(rank_);
   }
 
   Comm(const Comm&) = delete;
@@ -70,6 +74,11 @@ class Comm {
   const CommStats& stats() const { return stats_; }
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
+  /// Always-on post-mortem ring buffer (simmpi/flight.hpp).
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+  /// This rank's mailbox (watchdog probes use the per-rank vector).
+  Mailbox& mailbox() { return (*mailboxes_)[static_cast<std::size_t>(rank_)]; }
 
   /// Charge `count` units of compute at `us_per_unit` each.
   void charge(double count, double us_per_unit) {
@@ -125,6 +134,26 @@ class Comm {
  private:
   int next_collective_tag() { return kUserTagLimit + (seq_++); }
 
+  void flight_record(FlightKind kind, FlightOp op, Rank peer, int tag,
+                     std::int64_t bytes) {
+    flight_.record(kind, op, peer, tag, bytes, clock_.now(),
+                   tracer_.current_phase());
+  }
+
+  /// RAII begin/end pair for collective flight events.
+  struct CollScope {
+    CollScope(Comm* c, FlightOp op, int tag, std::int64_t bytes)
+        : c_(c), op_(op), tag_(tag) {
+      c_->flight_record(FlightKind::kCollBegin, op_, kNoRank, tag_, bytes);
+    }
+    ~CollScope() {
+      c_->flight_record(FlightKind::kCollEnd, op_, kNoRank, tag_, 0);
+    }
+    Comm* c_;
+    FlightOp op_;
+    int tag_;
+  };
+
   Rank rank_;
   Rank size_;
   std::vector<Mailbox>* mailboxes_;
@@ -133,6 +162,7 @@ class Comm {
   SimClock clock_;
   CommStats stats_;
   obs::Tracer tracer_;
+  FlightRecorder flight_;
   int seq_ = 0;
 };
 
@@ -140,6 +170,8 @@ template <typename T>
 T Comm::allreduce(T value, const std::function<T(T, T)>& op) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int tag = next_collective_tag();
+  CollScope coll(this, FlightOp::kAllreduce, tag,
+                 static_cast<std::int64_t>(sizeof(T)));
   // Binomial-tree reduce to rank 0.
   for (int step = 1; step < size_; step <<= 1) {
     if ((rank_ & step) != 0) {

@@ -1,0 +1,137 @@
+#include "simmpi/flight.hpp"
+
+#include <algorithm>
+
+namespace plum::simmpi {
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t cap = ring_.size();
+  const std::size_t kept = static_cast<std::size_t>(
+      std::min<std::uint64_t>(count_, cap));
+  std::vector<FlightEvent> out;
+  out.reserve(kept);
+  const std::uint64_t first = count_ - kept;
+  for (std::uint64_t i = first; i < count_; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i % cap)]);
+  }
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::last_events(std::size_t n) const {
+  std::vector<FlightEvent> all = snapshot();
+  if (all.size() > n) all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(n));
+  return all;
+}
+
+const char* FlightRecorder::kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::kSend: return "send";
+    case FlightKind::kRecvBegin: return "recv.begin";
+    case FlightKind::kRecvEnd: return "recv.end";
+    case FlightKind::kCollBegin: return "coll.begin";
+    case FlightKind::kCollEnd: return "coll.end";
+  }
+  return "?";
+}
+
+const char* FlightRecorder::op_name(FlightOp op) {
+  switch (op) {
+    case FlightOp::kNone: return "";
+    case FlightOp::kBarrier: return "barrier";
+    case FlightOp::kBroadcast: return "broadcast";
+    case FlightOp::kAllreduce: return "allreduce";
+    case FlightOp::kExscan: return "exscan";
+    case FlightOp::kGatherv: return "gatherv";
+    case FlightOp::kAllgatherv: return "allgatherv";
+    case FlightOp::kAlltoallv: return "alltoallv";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_event_line(std::string& out, const FlightEvent& e) {
+  char line[256];
+  if (e.kind == FlightKind::kCollBegin || e.kind == FlightKind::kCollEnd) {
+    std::snprintf(line, sizeof(line),
+                  "  [%14.3f us] %-10s %-10s tag=%d bytes=%lld phase=%s\n",
+                  e.ts_us, FlightRecorder::kind_name(e.kind),
+                  FlightRecorder::op_name(e.op), e.tag,
+                  static_cast<long long>(e.bytes), e.phase);
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "  [%14.3f us] %-10s peer=%d tag=%d bytes=%lld phase=%s\n",
+                  e.ts_us, FlightRecorder::kind_name(e.kind),
+                  static_cast<int>(e.peer), e.tag,
+                  static_cast<long long>(e.bytes), e.phase);
+  }
+  out += line;
+}
+
+}  // namespace
+
+std::string FlightRecorder::dump_string(std::size_t max_events) const {
+  std::vector<FlightEvent> events = snapshot();
+  const std::int64_t total = total_recorded();
+  if (max_events > 0 && events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "flight recorder rank %d: %lld events recorded, %zu shown "
+                "(newest last)\n",
+                static_cast<int>(rank_), static_cast<long long>(total),
+                events.size());
+  out += line;
+  for (const FlightEvent& e : events) append_event_line(out, e);
+  return out;
+}
+
+std::string format_flight_events(Rank rank,
+                                 const std::vector<FlightEvent>& events,
+                                 std::size_t max_events) {
+  std::size_t first = 0;
+  if (max_events > 0 && events.size() > max_events) {
+    first = events.size() - max_events;
+  }
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "flight recorder rank %d: %zu events retained, %zu shown "
+                "(newest last)\n",
+                static_cast<int>(rank), events.size(),
+                events.size() - first);
+  out += line;
+  for (std::size_t i = first; i < events.size(); ++i) {
+    append_event_line(out, events[i]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::FILE* f, std::size_t max_events) const {
+  const std::string s = dump_string(max_events);
+  std::fwrite(s.data(), 1, s.size(), f);
+  std::fflush(f);
+}
+
+namespace {
+thread_local FlightRecorder* t_current_recorder = nullptr;
+}  // namespace
+
+void flight_set_current(FlightRecorder* rec) { t_current_recorder = rec; }
+
+FlightRecorder* flight_current() { return t_current_recorder; }
+
+void flight_dump_on_check_failure() {
+  FlightRecorder* rec = flight_current();
+  if (rec == nullptr) return;
+  std::fprintf(stderr,
+               "--- flight recorder (rank %d) at check failure ---\n",
+               static_cast<int>(rec->rank()));
+  rec->dump(stderr, /*max_events=*/64);
+}
+
+}  // namespace plum::simmpi

@@ -1,0 +1,132 @@
+// Flight recorder: an always-on, fixed-size per-rank ring buffer of
+// communication events for post-mortem diagnosis (DESIGN.md §11).
+//
+// Every Comm records send/recv/collective begin-end events here —
+// peer, tag, payload bytes, simulated timestamp, and the innermost
+// phase name from the tracer's always-on name stack.  Recording is
+// O(1) and allocation-free after construction (one slot overwrite
+// under an uncontended mutex), so it stays enabled in benchmarks.
+//
+// The buffer is dumped:
+//   * by the PLUM_CHECK failure hook (installed by Machine::run) when
+//     any invariant — including a dist_check — fails on a rank thread;
+//   * by Machine when a rank body throws an uncaught exception;
+//   * by the watchdog for every participant of a detected deadlock;
+//   * on explicit request (`plum cycle --flight-dump=PATH`).
+//
+// The mutex exists for the watchdog and the failure hook, which read a
+// recorder from outside its owner thread; the owning rank is the only
+// writer, so the lock is virtually always uncontended.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace plum::simmpi {
+
+enum class FlightKind : std::uint8_t {
+  kSend = 0,       ///< buffered send enqueued (never blocks)
+  kRecvBegin = 1,  ///< entering a blocking receive
+  kRecvEnd = 2,    ///< receive matched and returned
+  kCollBegin = 3,  ///< entering a collective
+  kCollEnd = 4,    ///< collective completed
+};
+
+enum class FlightOp : std::uint8_t {
+  kNone = 0,
+  kBarrier,
+  kBroadcast,
+  kAllreduce,
+  kExscan,
+  kGatherv,
+  kAllgatherv,
+  kAlltoallv,
+};
+
+struct FlightEvent {
+  double ts_us = 0.0;       ///< simulated clock at record time
+  std::int64_t bytes = 0;   ///< payload bytes (0 where not applicable)
+  const char* phase = "";   ///< innermost phase name (static literal)
+  Rank peer = kNoRank;      ///< src/dst rank (kNoRank for collectives)
+  std::int32_t tag = 0;
+  FlightKind kind = FlightKind::kSend;
+  FlightOp op = FlightOp::kNone;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  void set_rank(Rank r) { rank_ = r; }
+  Rank rank() const { return rank_; }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// O(1); overwrites the oldest event once the ring is full.
+  void record(FlightKind kind, FlightOp op, Rank peer, std::int32_t tag,
+              std::int64_t bytes, double ts_us, const char* phase) {
+    std::lock_guard<std::mutex> lock(mu_);
+    FlightEvent& e = ring_[static_cast<std::size_t>(count_ % ring_.size())];
+    e.ts_us = ts_us;
+    e.bytes = bytes;
+    e.phase = phase;
+    e.peer = peer;
+    e.tag = tag;
+    e.kind = kind;
+    e.op = op;
+    ++count_;
+  }
+
+  /// Events recorded so far (including overwritten ones).
+  std::int64_t total_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::int64_t>(count_);
+  }
+
+  /// The retained events, oldest first (thread-safe copy).
+  std::vector<FlightEvent> snapshot() const;
+
+  /// The newest `n` retained events, oldest first.
+  std::vector<FlightEvent> last_events(std::size_t n) const;
+
+  /// Human-readable dump of up to `max_events` newest events (0 = all
+  /// retained) to `f`.
+  void dump(std::FILE* f, std::size_t max_events = 0) const;
+
+  /// The same dump as a string (for error reports / files).
+  std::string dump_string(std::size_t max_events = 0) const;
+
+  static const char* kind_name(FlightKind k);
+  static const char* op_name(FlightOp op);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;
+  std::uint64_t count_ = 0;  ///< total recorded; ring index = count % cap
+  Rank rank_ = kNoRank;
+};
+
+/// Formats an already-extracted event list (e.g. RankReport::flight) in
+/// the recorder's dump layout, newest last.  `max_events` > 0 keeps
+/// only the newest that many.
+std::string format_flight_events(Rank rank,
+                                 const std::vector<FlightEvent>& events,
+                                 std::size_t max_events = 0);
+
+/// Thread-local recorder registration: Machine::run points this at each
+/// rank thread's recorder so the PLUM_CHECK failure hook can find it.
+void flight_set_current(FlightRecorder* rec);
+FlightRecorder* flight_current();
+
+/// The check-failure hook body: dumps the calling thread's registered
+/// recorder (if any) to stderr.  Installed by Machine::run.
+void flight_dump_on_check_failure();
+
+}  // namespace plum::simmpi

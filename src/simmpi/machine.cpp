@@ -1,7 +1,15 @@
 #include "simmpi/machine.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cmath>
+#include <condition_variable>
 #include <exception>
+#include <memory>
+#include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "support/check.hpp"
@@ -27,24 +35,196 @@ std::int64_t MachineReport::total_msgs_sent() const {
   return m;
 }
 
+namespace {
+
+/// One watchdog observation of the whole machine, taken mailbox by
+/// mailbox (each entry is internally consistent; see Mailbox::wait_info).
+struct WatchSnapshot {
+  std::vector<MailboxWaitInfo> info;
+  std::vector<bool> finished;
+
+  /// Every unfinished rank is blocked in recv with no matching message
+  /// queued — nothing in this machine can make progress.
+  bool quiescent_stuck() const {
+    bool any_unfinished = false;
+    for (std::size_t r = 0; r < info.size(); ++r) {
+      if (finished[r]) continue;
+      any_unfinished = true;
+      if (!info[r].blocked || info[r].match_pending) return false;
+    }
+    return any_unfinished;
+  }
+
+  /// Identical wait states and progress counters: nothing moved between
+  /// the two observations, so a stuck picture is not a torn read.
+  bool same_frozen_state(const WatchSnapshot& o) const {
+    for (std::size_t r = 0; r < info.size(); ++r) {
+      if (finished[r] != o.finished[r]) return false;
+      const MailboxWaitInfo& a = info[r];
+      const MailboxWaitInfo& b = o.info[r];
+      if (a.blocked != b.blocked || a.src != b.src || a.tag != b.tag ||
+          a.deliveries != b.deliveries || a.takes != b.takes) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::int64_t progress_sum() const {
+    std::int64_t s = 0;
+    for (const auto& i : info) s += i.deliveries + i.takes;
+    for (const bool f : finished) s += f ? 1 : 0;
+    return s;
+  }
+};
+
+WatchSnapshot take_snapshot(std::vector<Mailbox>& mailboxes,
+                            const std::atomic<bool>* finished) {
+  WatchSnapshot s;
+  s.info.reserve(mailboxes.size());
+  s.finished.reserve(mailboxes.size());
+  for (std::size_t r = 0; r < mailboxes.size(); ++r) {
+    s.finished.push_back(finished[r].load(std::memory_order_acquire));
+    s.info.push_back(mailboxes[r].wait_info());
+  }
+  return s;
+}
+
+void append_rank_state(std::ostringstream& os, Rank r,
+                       const WatchSnapshot& snap,
+                       const std::vector<std::unique_ptr<Comm>>& comms,
+                       std::size_t last_n) {
+  const MailboxWaitInfo& i = snap.info[static_cast<std::size_t>(r)];
+  os << "rank " << r << ": ";
+  if (snap.finished[static_cast<std::size_t>(r)]) {
+    os << "finished";
+  } else if (i.blocked) {
+    os << "blocked in recv(src=" << i.src << ", tag=" << i.tag << ")";
+  } else {
+    os << "running (not blocked in recv)";
+  }
+  os << "\n";
+  os << comms[static_cast<std::size_t>(r)]->flight().dump_string(last_n);
+}
+
+/// Wait-for edges: a stuck rank points at the rank it receives from.
+/// Each node has at most one outgoing edge, so a cycle (if any) is
+/// found by walking successors from any stuck rank.
+std::string build_deadlock_report(
+    const WatchSnapshot& snap,
+    const std::vector<std::unique_ptr<Comm>>& comms) {
+  const std::size_t n = snap.info.size();
+  constexpr std::size_t kLastEvents = 8;
+  std::ostringstream os;
+  os << "simmpi watchdog: deadlock detected — every unfinished rank is "
+        "blocked in recv with no matching message in flight\n";
+
+  auto stuck = [&](Rank r) {
+    const std::size_t i = static_cast<std::size_t>(r);
+    return r >= 0 && i < n && !snap.finished[i] && snap.info[i].blocked;
+  };
+
+  // Find a cycle in the wait-for graph, if one exists.
+  std::vector<Rank> cycle;
+  std::vector<int> seen(n, -1);  // walk id that first visited the node
+  for (Rank start = 0; static_cast<std::size_t>(start) < n && cycle.empty();
+       ++start) {
+    if (!stuck(start) || seen[static_cast<std::size_t>(start)] >= 0) continue;
+    std::vector<Rank> walk;
+    Rank cur = start;
+    while (stuck(cur) && seen[static_cast<std::size_t>(cur)] < 0) {
+      seen[static_cast<std::size_t>(cur)] = start;
+      walk.push_back(cur);
+      cur = snap.info[static_cast<std::size_t>(cur)].src;
+    }
+    if (stuck(cur) && seen[static_cast<std::size_t>(cur)] == start) {
+      // `cur` is the entry point of a cycle within this walk.
+      auto it = std::find(walk.begin(), walk.end(), cur);
+      cycle.assign(it, walk.end());
+    }
+  }
+
+  if (!cycle.empty()) {
+    os << "wait-for cycle: ";
+    for (const Rank r : cycle) os << r << " -> ";
+    os << cycle.front() << "\n";
+  } else {
+    std::int64_t stuck_count = 0;
+    for (Rank r = 0; static_cast<std::size_t>(r) < n; ++r) {
+      stuck_count += stuck(r) ? 1 : 0;
+    }
+    os << "no wait-for cycle: " << stuck_count
+       << " stuck rank(s) waiting on peers that will never send\n";
+  }
+
+  // Per-participant state: cycle members first, then remaining stuck
+  // ranks, then everyone else (summarised without events).
+  std::vector<bool> detailed(n, false);
+  for (const Rank r : cycle) {
+    append_rank_state(os, r, snap, comms, kLastEvents);
+    detailed[static_cast<std::size_t>(r)] = true;
+  }
+  for (Rank r = 0; static_cast<std::size_t>(r) < n; ++r) {
+    if (detailed[static_cast<std::size_t>(r)] || !stuck(r)) continue;
+    append_rank_state(os, r, snap, comms, kLastEvents);
+    detailed[static_cast<std::size_t>(r)] = true;
+  }
+  for (Rank r = 0; static_cast<std::size_t>(r) < n; ++r) {
+    if (detailed[static_cast<std::size_t>(r)]) continue;
+    const std::size_t i = static_cast<std::size_t>(r);
+    os << "rank " << r << ": "
+       << (snap.finished[i] ? "finished" : "running") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
 MachineReport Machine::run(Rank nranks,
                            const std::function<void(Comm&)>& body) {
   PLUM_CHECK_MSG(nranks >= 1, "machine needs at least one rank");
+  // Post-mortem hook: any PLUM_CHECK failure on a rank thread dumps
+  // that rank's flight recorder before aborting (process-wide,
+  // idempotent).
+  set_check_failure_hook(&flight_dump_on_check_failure);
+
   std::vector<Mailbox> mailboxes(static_cast<std::size_t>(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   MachineReport report;
   report.ranks.resize(static_cast<std::size_t>(nranks));
   std::atomic<bool> abort{false};
 
+  // Comms live here (not on the rank threads) so the watchdog can read
+  // flight recorders and clocks-at-rest while threads are blocked.
+  std::vector<std::unique_ptr<Comm>> comms;
+  comms.reserve(static_cast<std::size_t>(nranks));
+  for (Rank r = 0; r < nranks; ++r) {
+    comms.push_back(std::make_unique<Comm>(r, nranks, &mailboxes, &cost_,
+                                           &abort, tracing_,
+                                           flight_capacity_));
+  }
+  const std::unique_ptr<std::atomic<bool>[]> finished(
+      new std::atomic<bool>[static_cast<std::size_t>(nranks)]);
+  for (Rank r = 0; r < nranks; ++r) {
+    finished[static_cast<std::size_t>(r)].store(false,
+                                                std::memory_order_relaxed);
+  }
+
   auto rank_main = [&](Rank r) {
+    Comm& comm = *comms[static_cast<std::size_t>(r)];
     log_set_rank(r);
-    Comm comm(r, nranks, &mailboxes, &cost_, &abort, tracing_);
+    flight_set_current(&comm.flight());
     try {
       body(comm);
     } catch (const RankAborted&) {
       // A peer failed first; this rank just unwinds quietly.
     } catch (...) {
       errors[static_cast<std::size_t>(r)] = std::current_exception();
+      std::fprintf(stderr,
+                   "simmpi: rank %d threw an uncaught exception; flight "
+                   "recorder follows\n",
+                   static_cast<int>(r));
+      comm.flight().dump(stderr, /*max_events=*/64);
       abort.store(true, std::memory_order_release);
       for (auto& mb : mailboxes) mb.poke();
     }
@@ -55,17 +235,110 @@ MachineReport Machine::run(Rank nranks,
     rr.comm_us = comm.clock().comm_us();
     rr.idle_us = comm.clock().idle_us();
     rr.stats = comm.stats();
+    rr.flight = comm.flight().snapshot();
+    // Clock-bucket reconciliation (machine.hpp): the buckets are
+    // disjoint and exhaustive, so time == compute + (overhead + idle)
+    // and idle is a component of comm, never larger.
+    const double eps = 1e-6 * (1.0 + rr.time_us);
+    PLUM_CHECK_MSG(std::abs(rr.time_us - (rr.compute_us + rr.comm_us)) <= eps,
+                   "rank " << r << " clock buckets do not reconcile: time="
+                           << rr.time_us << " compute=" << rr.compute_us
+                           << " comm=" << rr.comm_us);
+    PLUM_CHECK_MSG(rr.idle_us <= rr.comm_us + eps,
+                   "rank " << r << " idle_us " << rr.idle_us
+                           << " exceeds comm_us " << rr.comm_us);
+    flight_set_current(nullptr);
+    finished[static_cast<std::size_t>(r)].store(true,
+                                                std::memory_order_release);
     log_set_rank(kNoRank);
   };
+
+  // --- watchdog ---------------------------------------------------------
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  std::string deadlock_report;
+
+  auto watchdog_main = [&] {
+    using Clock = std::chrono::steady_clock;
+    WatchSnapshot prev;
+    bool have_prev = false;
+    std::int64_t last_progress = -1;
+    Clock::time_point last_progress_time = Clock::now();
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(wd_mu);
+        wd_cv.wait_for(lock, std::chrono::milliseconds(watchdog_.poll_ms),
+                       [&] { return wd_stop; });
+        if (wd_stop) return;
+      }
+      if (abort.load(std::memory_order_acquire)) return;  // a rank failed
+
+      WatchSnapshot snap = take_snapshot(mailboxes, finished.get());
+      const std::int64_t progress = snap.progress_sum();
+      if (progress != last_progress) {
+        last_progress = progress;
+        last_progress_time = Clock::now();
+      }
+
+      if (snap.quiescent_stuck() && have_prev &&
+          snap.same_frozen_state(prev)) {
+        // Two consecutive identical stuck observations: deadlock proven
+        // (a blocked rank only moves on a delivery, and none happened).
+        deadlock_report = build_deadlock_report(snap, comms);
+        std::fprintf(stderr, "%s", deadlock_report.c_str());
+        abort.store(true, std::memory_order_release);
+        for (auto& mb : mailboxes) mb.poke();
+        return;
+      }
+
+      const auto stalled_for = std::chrono::duration_cast<
+          std::chrono::milliseconds>(Clock::now() - last_progress_time);
+      if (stalled_for.count() > watchdog_.stall_budget_ms) {
+        // No mailbox progress for the whole budget and the machine is
+        // not quiescent-blocked: some rank is stuck outside recv (e.g.
+        // an infinite compute loop).  Such a thread cannot be unblocked,
+        // so report and abort the process rather than hang the run.
+        std::ostringstream os;
+        os << "simmpi watchdog: no mailbox progress for "
+           << stalled_for.count() << " ms (budget "
+           << watchdog_.stall_budget_ms << " ms); per-rank state:\n";
+        std::fprintf(stderr, "%s", os.str().c_str());
+        for (Rank r = 0; r < nranks; ++r) {
+          std::ostringstream ros;
+          append_rank_state(ros, r, snap, comms, 8);
+          std::fprintf(stderr, "%s", ros.str().c_str());
+        }
+        std::fflush(stderr);
+        std::abort();
+      }
+
+      prev = std::move(snap);
+      have_prev = true;
+    }
+  };
+
+  std::thread watchdog_thread;
+  if (watchdog_.enabled) watchdog_thread = std::thread(watchdog_main);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (Rank r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
   for (auto& t : threads) t.join();
 
+  if (watchdog_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mu);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    watchdog_thread.join();
+  }
+
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+  if (!deadlock_report.empty()) throw DeadlockError(deadlock_report);
   return report;
 }
 

@@ -6,9 +6,22 @@
 // rank that throws aborts the run: the first exception is re-thrown on
 // the caller's thread after all ranks are joined (the other ranks are
 // unblocked by poison delivery to every mailbox).
+//
+// A watchdog thread (on by default) observes the run from outside:
+//   * quiescence — every unfinished rank blocked in recv with no
+//     matching message queued anywhere — is a proven deadlock; the
+//     watchdog builds the wait-for graph from the per-mailbox blocked
+//     state, reports the cycle (or the lone stuck rank) together with
+//     each participant's last flight-recorder events, unblocks the
+//     ranks, and the run fails with DeadlockError instead of hanging;
+//   * no mailbox progress for longer than the wall-clock stall budget
+//     (e.g. a rank spinning in compute forever) dumps the same report
+//     and aborts the process — the only way to fail a run whose threads
+//     cannot be unblocked.
 #pragma once
 
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "simmpi/comm.hpp"
@@ -20,11 +33,19 @@ namespace plum::simmpi {
 struct RankReport {
   double time_us = 0.0;     ///< final simulated clock
   double compute_us = 0.0;  ///< simulated time spent computing
-  double comm_us = 0.0;     ///< simulated time spent in communication
-  double idle_us = 0.0;     ///< message-wait subset of comm_us
+  /// Simulated time lost to communication: charged overhead plus idle
+  /// message-waiting.  time_us == compute_us + comm_us (asserted when
+  /// the report is built).
+  double comm_us = 0.0;
+  /// The message-wait component of comm_us.  Disjoint from compute and
+  /// overhead since PR 3: now() == compute + (comm - idle) + idle.
+  double idle_us = 0.0;
   CommStats stats;
   /// Phase tree + trace events (empty unless Machine::set_tracing).
   obs::RankTrace trace;
+  /// Flight-recorder contents at rank exit (always collected; bounded
+  /// by the ring capacity).  Consumed by `plum cycle --flight-dump=`.
+  std::vector<FlightEvent> flight;
 };
 
 struct MachineReport {
@@ -34,6 +55,23 @@ struct MachineReport {
   double makespan_us() const;
   std::int64_t total_bytes_sent() const;
   std::int64_t total_msgs_sent() const;
+};
+
+/// Thrown by Machine::run when the watchdog proves the run deadlocked.
+/// what() carries the wait-for-graph report.
+struct DeadlockError : std::runtime_error {
+  explicit DeadlockError(const std::string& report)
+      : std::runtime_error(report) {}
+};
+
+struct WatchdogConfig {
+  bool enabled = true;
+  /// Poll interval for the quiescence check (wall-clock).
+  int poll_ms = 50;
+  /// Wall-clock budget with zero mailbox progress before the run is
+  /// declared stalled (catches non-communicating livelock; generous so
+  /// legitimate long compute phases never trip it).
+  int stall_budget_ms = 60000;
 };
 
 class Machine {
@@ -48,12 +86,23 @@ class Machine {
   void set_tracing(bool on) { tracing_ = on; }
   bool tracing() const { return tracing_; }
 
+  /// Hang-diagnostics watchdog; on by default.
+  void set_watchdog(WatchdogConfig cfg) { watchdog_ = cfg; }
+  const WatchdogConfig& watchdog() const { return watchdog_; }
+
+  /// Flight-recorder ring capacity per rank (events).
+  void set_flight_capacity(std::size_t cap) { flight_capacity_ = cap; }
+
   /// Runs `body` as an SPMD program on `nranks` simulated processors.
+  /// Throws DeadlockError if the watchdog detects a communication
+  /// deadlock; re-throws the first rank exception otherwise.
   MachineReport run(Rank nranks, const std::function<void(Comm&)>& body);
 
  private:
   CostModel cost_;
   bool tracing_ = false;
+  WatchdogConfig watchdog_;
+  std::size_t flight_capacity_ = FlightRecorder::kDefaultCapacity;
 };
 
 }  // namespace plum::simmpi

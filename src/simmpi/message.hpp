@@ -2,10 +2,15 @@
 //
 // Sends are buffered and asynchronous (they never block); receives block
 // until a message matching (source, tag) is present.  This mirrors the
-// eager-protocol MPI semantics the original code relied on and makes the
-// runtime deadlock-free for the communication patterns used here, since
-// every receive names its source explicitly (no MPI_ANY_SOURCE) the
-// execution is deterministic regardless of thread scheduling.
+// eager-protocol MPI semantics the original code relied on; since every
+// receive names its source explicitly (no MPI_ANY_SOURCE) the execution
+// is deterministic regardless of thread scheduling.  The communication
+// patterns used here are deadlock-free by construction — and the
+// machine's watchdog (machine.hpp) *verifies* that at runtime: each
+// mailbox publishes its owner's blocked-in-recv state and progress
+// counters under its own mutex, so a quiescent machine (every rank
+// blocked with no matching message anywhere) is detected and reported
+// instead of hanging forever.
 #pragma once
 
 #include <atomic>
@@ -37,6 +42,22 @@ struct Message {
   Bytes payload;
 };
 
+/// One mailbox's externally observable wait state, read atomically
+/// under the mailbox mutex (see Mailbox::wait_info).  Used by the
+/// machine watchdog to build the wait-for graph.
+struct MailboxWaitInfo {
+  bool blocked = false;  ///< owner is inside take()
+  Rank src = kNoRank;    ///< wanted source (valid while blocked)
+  int tag = 0;           ///< wanted tag (valid while blocked)
+  /// A message matching (src, tag) is already queued — the owner will
+  /// make progress on its next scan, so it is not stuck.
+  bool match_pending = false;
+  /// Monotonic progress counters; a frozen pair across two watchdog
+  /// polls means no message moved through this mailbox in between.
+  std::int64_t deliveries = 0;
+  std::int64_t takes = 0;
+};
+
 /// Mailbox owned by one destination rank.  deliver() may be called by any
 /// thread; take() only by the owning rank's thread.
 class Mailbox {
@@ -45,6 +66,7 @@ class Mailbox {
     {
       std::lock_guard<std::mutex> lock(mu_);
       msgs_.push_back(std::move(m));
+      ++deliveries_;
     }
     cv_.notify_all();
   }
@@ -52,22 +74,51 @@ class Mailbox {
   /// Blocks until a message from `src` with `tag` is available and
   /// removes the earliest-delivered such message.  If `abort` becomes
   /// true while waiting (a peer rank failed), throws RankAborted so the
-  /// waiting rank can unwind instead of hanging forever.
+  /// waiting rank can unwind instead of hanging forever.  While inside,
+  /// the owner's blocked-on-(src, tag) state is visible to wait_info().
   Message take(Rank src, int tag, const std::atomic<bool>* abort) {
     std::unique_lock<std::mutex> lock(mu_);
+    blocked_ = true;
+    blocked_src_ = src;
+    blocked_tag_ = tag;
     for (;;) {
       for (auto it = msgs_.begin(); it != msgs_.end(); ++it) {
         if (it->src == src && it->tag == tag) {
           Message m = std::move(*it);
           msgs_.erase(it);
+          ++takes_;
+          blocked_ = false;
           return m;
         }
       }
       if (abort != nullptr && abort->load(std::memory_order_acquire)) {
+        blocked_ = false;
         throw RankAborted{};
       }
       cv_.wait_for(lock, std::chrono::milliseconds(20));
     }
+  }
+
+  /// Watchdog probe: the owner's wait state and progress counters, read
+  /// in one critical section so "blocked with no matching message" is
+  /// never a torn observation.
+  MailboxWaitInfo wait_info() {
+    std::lock_guard<std::mutex> lock(mu_);
+    MailboxWaitInfo info;
+    info.blocked = blocked_;
+    info.src = blocked_src_;
+    info.tag = blocked_tag_;
+    info.deliveries = deliveries_;
+    info.takes = takes_;
+    if (blocked_) {
+      for (const auto& m : msgs_) {
+        if (m.src == blocked_src_ && m.tag == blocked_tag_) {
+          info.match_pending = true;
+          break;
+        }
+      }
+    }
+    return info;
   }
 
   /// Wakes any thread blocked in take() (used to propagate aborts).
@@ -90,6 +141,11 @@ class Mailbox {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> msgs_;
+  bool blocked_ = false;
+  Rank blocked_src_ = kNoRank;
+  int blocked_tag_ = 0;
+  std::int64_t deliveries_ = 0;
+  std::int64_t takes_ = 0;
 };
 
 }  // namespace plum::simmpi

@@ -121,6 +121,27 @@ class Tracer {
     if (enabled_) end_slow();
   }
 
+  // --- always-on phase-name stack ---------------------------------------
+  // Maintained by every PhaseScope even when tracing is off (two stores
+  // per scope), so the flight recorder and error messages can name the
+  // innermost phase without paying for the full tracer.  Names must be
+  // string literals (PLUM_PHASE passes literals), stored by pointer.
+
+  void push_phase(const char* name) {
+    if (name_depth_ < kMaxNameDepth) name_stack_[name_depth_] = name;
+    ++name_depth_;
+  }
+  void pop_phase() {
+    if (name_depth_ > 0) --name_depth_;
+  }
+  /// Innermost open phase name; "(run)" outside any phase.  Deeper than
+  /// kMaxNameDepth nesting reports the deepest recorded name.
+  const char* current_phase() const {
+    if (name_depth_ == 0) return "(run)";
+    const int d = name_depth_ < kMaxNameDepth ? name_depth_ : kMaxNameDepth;
+    return name_stack_[d - 1];
+  }
+
   /// Flushes the unattributed tail into the deepest still-open phase
   /// (normally the root), closes any events left open by an unwind, and
   /// returns the collected data.  The tracer is left empty.
@@ -154,6 +175,10 @@ class Tracer {
   const simmpi::CommStats* stats_ = nullptr;
   bool enabled_ = false;
 
+  static constexpr int kMaxNameDepth = 16;
+  const char* name_stack_[kMaxNameDepth] = {};
+  int name_depth_ = 0;
+
   std::vector<Node> nodes_;          // [0] is the root
   std::vector<std::uint32_t> stack_; // innermost last; [0] is the root
   std::vector<Open> open_;
@@ -169,14 +194,17 @@ class Tracer {
   std::chrono::steady_clock::time_point last_real_{};
 };
 
-/// RAII phase scope; does nothing when the tracer is disabled.
+/// RAII phase scope.  Always maintains the lightweight phase-name stack
+/// (for the flight recorder); the full tracer runs only when enabled.
 class PhaseScope {
  public:
   PhaseScope(Tracer& t, const char* name) : t_(t), active_(t.enabled()) {
+    t_.push_phase(name);
     if (active_) t_.begin(name);
   }
   ~PhaseScope() {
     if (active_) t_.end();
+    t_.pop_phase();
   }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;

@@ -14,10 +14,27 @@
 
 namespace plum::detail {
 
+/// Called (once, re-entrancy guarded) after a failed check's message is
+/// printed and before std::abort().  The simulated machine installs a
+/// hook that dumps the failing rank's flight recorder, so a dist_check
+/// or invariant failure leaves a post-mortem trail (DESIGN.md §11).
+using CheckFailureHook = void (*)();
+
+inline CheckFailureHook& check_failure_hook() {
+  static CheckFailureHook hook = nullptr;
+  return hook;
+}
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
   std::fprintf(stderr, "PLUM_CHECK failed: %s at %s:%d%s%s\n", expr, file,
                line, msg.empty() ? "" : " — ", msg.c_str());
+  thread_local bool in_hook = false;
+  if (check_failure_hook() != nullptr && !in_hook) {
+    in_hook = true;
+    check_failure_hook()();
+    in_hook = false;
+  }
   std::abort();
 }
 
@@ -33,6 +50,15 @@ struct CheckMessageBuilder {
 };
 
 }  // namespace plum::detail
+
+namespace plum {
+
+/// Installs the process-wide check-failure hook (nullptr to clear).
+inline void set_check_failure_hook(detail::CheckFailureHook hook) {
+  detail::check_failure_hook() = hook;
+}
+
+}  // namespace plum
 
 #define PLUM_CHECK(cond)                                                     \
   do {                                                                       \

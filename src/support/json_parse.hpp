@@ -1,0 +1,314 @@
+// The one JSON reader in the codebase (counterpart to json.hpp's
+// writer).  A small recursive-descent parser for the documents this
+// repo itself produces — BENCH_*.json records, metrics documents, and
+// the cycle timeline — used by the bench_gate CI tool and the `plum
+// report` HTML renderer, neither of which may depend on Python or an
+// external JSON library.
+//
+// Scope: full JSON syntax (objects, arrays, strings with the escapes
+// json.hpp emits plus \uXXXX, numbers via strtod, true/false/null).
+// Not streaming — documents here are kilobytes.  Parse errors return
+// std::nullopt with a position-annotated message, never throw.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace plum {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered (documents here are small; no hashing needed).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Member's number with a default for absent/mistyped members.
+  double number_or(std::string_view key, double dflt) const {
+    const JsonValue* v = find(key);
+    return (v != nullptr && v->is_number()) ? v->number : dflt;
+  }
+
+  /// Member's string with a default for absent/mistyped members.
+  std::string string_or(std::string_view key, std::string dflt) const {
+    const JsonValue* v = find(key);
+    return (v != nullptr && v->is_string()) ? v->string : std::move(dflt);
+  }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    std::optional<JsonValue> v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = "json parse error at offset " + std::to_string(pos_) + ": " +
+                what;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    if (consume(c)) return true;
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string_value();
+    if (consume_word("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_word("null")) return JsonValue{};
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return parse_number();
+    }
+    fail(std::string("unexpected character '") + c + "'");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(begin, &end);
+    if (end == begin) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!expect('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode (the writer only emits control characters this
+          // way, but handle the full BMP for robustness).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_string_value() {
+    std::optional<std::string> s = parse_string();
+    if (!s) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    v.string = std::move(*s);
+    return v;
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!expect('[')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      skip_ws();
+      std::optional<JsonValue> item = parse_value();
+      if (!item) return std::nullopt;
+      v.array.push_back(std::move(*item));
+      skip_ws();
+      if (consume(']')) return v;
+      if (!expect(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!expect('{')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!expect(':')) return std::nullopt;
+      skip_ws();
+      std::optional<JsonValue> item = parse_value();
+      if (!item) return std::nullopt;
+      v.object.emplace_back(std::move(*key), std::move(*item));
+      skip_ws();
+      if (consume('}')) return v;
+      if (!expect(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace detail
+
+/// Parses one JSON document.  On failure returns std::nullopt and, if
+/// `error` is non-null, stores a position-annotated message there.
+inline std::optional<JsonValue> parse_json(std::string_view text,
+                                           std::string* error = nullptr) {
+  return detail::JsonParser(text, error).parse();
+}
+
+/// Reads and parses a JSON file; nullopt (with message) on I/O or
+/// syntax failure.
+inline std::optional<JsonValue> parse_json_file(const std::string& path,
+                                                std::string* error = nullptr) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  std::optional<JsonValue> v = parse_json(text, error);
+  if (!v && error != nullptr && !error->empty()) {
+    *error = path + ": " + *error;
+  }
+  return v;
+}
+
+}  // namespace plum

@@ -1,0 +1,134 @@
+// bench/gate.hpp: the perf-gate comparison logic the bench_gate CI tool
+// is built on.  The synthetic-regression cases mirror the CI contract:
+// identical documents pass, a 20% slowdown under a 10% tolerance fails,
+// and sub-floor absolute noise never trips the gate.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/gate.hpp"
+
+namespace {
+
+using plum::parse_json;
+using plumbench::GateConfig;
+using plumbench::GateResult;
+using plumbench::run_gate;
+
+std::string doc_with(double wall_us, double pack_us) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                R"({"bench":"comm_micro","schema_version":2,"results":[
+                     {"name":"migrate_full","n":8,"P":4,"wall_us":%f,
+                      "pack_us":%f,"elements_moved":4315},
+                     {"name":"exchange_round","n":8,"P":4,"rounds":10,
+                      "wall_us_per_round":25.0,"halo_bytes":165760}]})",
+                wall_us, pack_us);
+  return buf;
+}
+
+TEST(BenchGate, IdenticalDocumentsPass) {
+  const auto doc = parse_json(doc_with(10000.0, 1000.0));
+  ASSERT_TRUE(doc.has_value());
+  const GateResult res = run_gate(*doc, *doc, GateConfig{});
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.regressions(), 0);
+  // wall_us, pack_us, and wall_us_per_round compared; counters
+  // (elements_moved, halo_bytes) are not timings.
+  EXPECT_EQ(res.comparisons.size(), 3u);
+  EXPECT_TRUE(res.unmatched.empty());
+}
+
+TEST(BenchGate, TwentyPercentRegressionTripsTenPercentTolerance) {
+  const auto baseline = parse_json(doc_with(10000.0, 1000.0));
+  const auto current = parse_json(doc_with(12000.0, 1000.0));
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  GateConfig cfg;
+  cfg.tolerance = 0.10;
+  cfg.min_abs_us = 50.0;
+  const GateResult res = run_gate(*current, *baseline, cfg);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.regressions(), 1);
+  for (const auto& c : res.comparisons) {
+    if (c.regression) {
+      EXPECT_NE(c.key.find("migrate_full"), std::string::npos);
+      EXPECT_NE(c.key.find("wall_us"), std::string::npos);
+      EXPECT_NEAR(c.ratio, 1.2, 1e-9);
+    }
+  }
+}
+
+TEST(BenchGate, GenerousToleranceAbsorbsTheSameRegression) {
+  const auto baseline = parse_json(doc_with(10000.0, 1000.0));
+  const auto current = parse_json(doc_with(12000.0, 1000.0));
+  GateConfig cfg;
+  cfg.tolerance = 4.0;  // the cross-machine CI setting
+  EXPECT_TRUE(run_gate(*current, *baseline, cfg).ok());
+}
+
+TEST(BenchGate, AbsoluteFloorIgnoresTinyTimings) {
+  // 3x slower but only 20 us absolute: below the floor, not a failure.
+  const auto baseline = parse_json(doc_with(10.0, 1000.0));
+  const auto current = parse_json(doc_with(30.0, 1000.0));
+  GateConfig cfg;
+  cfg.tolerance = 0.10;
+  cfg.min_abs_us = 50.0;
+  EXPECT_TRUE(run_gate(*current, *baseline, cfg).ok());
+}
+
+TEST(BenchGate, FieldFilterRestrictsComparedTimings) {
+  // A regression in a sub-phase timing is invisible when the filter
+  // only admits the wall-clock aggregates (the CI setting).
+  const auto baseline = parse_json(doc_with(10000.0, 1000.0));
+  const auto current = parse_json(doc_with(10000.0, 9000.0));  // pack 9x
+  GateConfig cfg;
+  cfg.field_filter = "wall_us";
+  const GateResult res = run_gate(*current, *baseline, cfg);
+  EXPECT_TRUE(res.ok());
+  // Only wall_us and wall_us_per_round survive the filter.
+  EXPECT_EQ(res.comparisons.size(), 2u);
+  GateConfig unfiltered;
+  EXPECT_FALSE(run_gate(*current, *baseline, unfiltered).ok());
+}
+
+TEST(BenchGate, ImprovementsNeverFail) {
+  const auto baseline = parse_json(doc_with(10000.0, 1000.0));
+  const auto current = parse_json(doc_with(2000.0, 100.0));
+  EXPECT_TRUE(run_gate(*current, *baseline, GateConfig{}).ok());
+}
+
+TEST(BenchGate, UnmatchedRecordsAreReportedNotFailed) {
+  const auto baseline = parse_json(
+      R"({"results":[{"name":"gone","n":8,"wall_us":100.0}]})");
+  const auto current = parse_json(
+      R"({"results":[{"name":"new","n":8,"wall_us":100.0}]})");
+  const GateResult res = run_gate(*current, *baseline, GateConfig{});
+  EXPECT_TRUE(res.ok());
+  ASSERT_EQ(res.unmatched.size(), 2u);
+  EXPECT_NE(res.unmatched[0].find("baseline-only: gone n=8"),
+            std::string::npos);
+  EXPECT_NE(res.unmatched[1].find("current-only: new n=8"),
+            std::string::npos);
+}
+
+TEST(BenchGate, IdentityIncludesParameters) {
+  // Same name, different P: must not be compared against each other.
+  const auto baseline = parse_json(
+      R"({"results":[{"name":"x","n":8,"P":2,"wall_us":100.0}]})");
+  const auto current = parse_json(
+      R"({"results":[{"name":"x","n":8,"P":4,"wall_us":10000.0}]})");
+  const GateResult res = run_gate(*current, *baseline, GateConfig{});
+  EXPECT_TRUE(res.comparisons.empty());
+  EXPECT_EQ(res.unmatched.size(), 2u);
+}
+
+TEST(BenchGate, MalformedDocumentIsAnError) {
+  const auto ok = parse_json(R"({"results":[]})");
+  const auto bad = parse_json(R"({"bench":"no results member"})");
+  ASSERT_TRUE(ok.has_value() && bad.has_value());
+  const GateResult res = run_gate(*ok, *bad, GateConfig{});
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.error.find("baseline"), std::string::npos);
+}
+
+}  // namespace

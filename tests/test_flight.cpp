@@ -1,0 +1,167 @@
+// Flight recorder (simmpi/flight.hpp): ring semantics, event capture
+// through Comm, dump formats, and the recv hard-failure paths that dump
+// the recorder via the check-failure hook.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/machine.hpp"
+#include "simmpi/obs.hpp"
+
+namespace plum::simmpi {
+namespace {
+
+TEST(FlightRecorder, RingOverwritesOldestAtCapacity) {
+  FlightRecorder rec(4);
+  rec.set_rank(3);
+  for (int i = 0; i < 6; ++i) {
+    rec.record(FlightKind::kSend, FlightOp::kNone, /*peer=*/i, /*tag=*/10 + i,
+               /*bytes=*/100 * i, /*ts_us=*/static_cast<double>(i), "phase");
+  }
+  EXPECT_EQ(rec.total_recorded(), 6);
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);  // capacity, oldest two overwritten
+  EXPECT_EQ(events.front().tag, 12);
+  EXPECT_EQ(events.back().tag, 15);
+  // Oldest-first ordering.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].ts_us, events[i].ts_us);
+  }
+  const std::vector<FlightEvent> last2 = rec.last_events(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[0].tag, 14);
+  EXPECT_EQ(last2[1].tag, 15);
+}
+
+TEST(FlightRecorder, DumpStringNamesKindPeerAndPhase) {
+  FlightRecorder rec(8);
+  rec.set_rank(1);
+  rec.record(FlightKind::kSend, FlightOp::kNone, 2, 7, 128, 5.0, "migrate");
+  rec.record(FlightKind::kCollBegin, FlightOp::kAllreduce, kNoRank, 9, 8,
+             6.0, "balance");
+  const std::string s = rec.dump_string();
+  EXPECT_NE(s.find("flight recorder rank 1"), std::string::npos);
+  EXPECT_NE(s.find("send"), std::string::npos);
+  EXPECT_NE(s.find("peer=2"), std::string::npos);
+  EXPECT_NE(s.find("phase=migrate"), std::string::npos);
+  EXPECT_NE(s.find("coll.begin"), std::string::npos);
+  EXPECT_NE(s.find("allreduce"), std::string::npos);
+  EXPECT_NE(s.find("phase=balance"), std::string::npos);
+}
+
+TEST(FlightRecorder, FormatFreeFunctionTruncatesToNewest) {
+  std::vector<FlightEvent> events(5);
+  for (int i = 0; i < 5; ++i) {
+    events[static_cast<std::size_t>(i)].tag = i;
+  }
+  const std::string s = format_flight_events(0, events, 2);
+  EXPECT_NE(s.find("5 events retained, 2 shown"), std::string::npos);
+  EXPECT_EQ(s.find("tag=0 "), std::string::npos);
+  EXPECT_NE(s.find("tag=3 "), std::string::npos);
+  EXPECT_NE(s.find("tag=4 "), std::string::npos);
+}
+
+TEST(Flight, MachineRunCapturesEventsPerRank) {
+  Machine machine;
+  const MachineReport report = machine.run(4, [](Comm& comm) {
+    comm.allreduce_sum(std::int64_t{1});
+    if (comm.rank() == 0) {
+      comm.send(1, 5, Bytes(16));
+    } else if (comm.rank() == 1) {
+      comm.recv(0, 5);
+    }
+    comm.barrier();
+  });
+  ASSERT_EQ(report.ranks.size(), 4u);
+  for (const auto& rr : report.ranks) {
+    EXPECT_FALSE(rr.flight.empty());
+  }
+  // Rank 0's point-to-point send and rank 1's matched recv are present,
+  // attributed to the default "(run)" phase (no tracer scopes open).
+  const std::string r0 = format_flight_events(0, report.ranks[0].flight);
+  EXPECT_NE(r0.find("send       peer=1 tag=5 bytes=16"), std::string::npos);
+  EXPECT_NE(r0.find("phase=(run)"), std::string::npos);
+  const std::string r1 = format_flight_events(1, report.ranks[1].flight);
+  EXPECT_NE(r1.find("recv.end   peer=0 tag=5 bytes=16"), std::string::npos);
+  // Collectives carry begin/end markers with the op name.
+  EXPECT_NE(r0.find("allreduce"), std::string::npos);
+  EXPECT_NE(r0.find("barrier"), std::string::npos);
+}
+
+TEST(Flight, EventsCarryInnermostPhaseName) {
+  Machine machine;  // tracing off: the name stack must work regardless
+  const MachineReport report = machine.run(2, [](Comm& comm) {
+    PLUM_PHASE(comm, "outer");
+    {
+      PLUM_PHASE(comm, "inner");
+      comm.barrier();
+    }
+    comm.barrier();
+  });
+  const std::string s = format_flight_events(0, report.ranks[0].flight);
+  EXPECT_NE(s.find("phase=inner"), std::string::npos);
+  EXPECT_NE(s.find("phase=outer"), std::string::npos);
+}
+
+TEST(Flight, CapacityIsConfigurable) {
+  Machine machine;
+  machine.set_flight_capacity(8);
+  const MachineReport report = machine.run(2, [](Comm& comm) {
+    for (int i = 0; i < 50; ++i) comm.barrier();
+  });
+  EXPECT_EQ(report.ranks[0].flight.size(), 8u);
+}
+
+// The recv hard-failure satellites: a receive that can never complete
+// dies with a clear message naming the phase (and the check-failure
+// hook appends the rank's flight recorder to stderr).
+using FlightDeathTest = ::testing::Test;
+
+TEST(FlightDeathTest, SelfRecvWithoutQueuedSelfSendAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Machine machine;
+  EXPECT_DEATH(
+      machine.run(2,
+                  [](Comm& comm) {
+                    PLUM_PHASE(comm, "victim_phase");
+                    comm.recv(comm.rank(), 77);
+                  }),
+      "recv\\(src=[01], tag=77\\) from itself with no matching self-send"
+      ".*victim_phase");
+}
+
+TEST(FlightDeathTest, OutOfRangeSourceAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Machine machine;
+  EXPECT_DEATH(machine.run(2, [](Comm& comm) { comm.recv(9, 3); }),
+               "recv\\(src=9, tag=3\\) from out-of-range rank");
+}
+
+TEST(FlightDeathTest, CheckFailureDumpsFlightRecorder) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Machine machine;
+  // The failing rank communicated first, so the post-mortem dump from
+  // the check hook must show its recorded traffic.
+  EXPECT_DEATH(machine.run(2,
+                           [](Comm& comm) {
+                             comm.barrier();
+                             comm.recv(-1, 4);
+                           }),
+               "at check failure");  // the hook's dump header
+}
+
+TEST(Flight, SelfRecvWithQueuedSelfSendStillWorks) {
+  // Regression guard for the hard-fail: a legitimate matched self-recv
+  // (delivered synchronously) must keep working.
+  Machine machine;
+  machine.run(1, [](Comm& comm) {
+    comm.send(0, 3, Bytes(4));
+    const Bytes got = comm.recv(0, 3);
+    EXPECT_EQ(got.size(), 4u);
+  });
+}
+
+}  // namespace
+}  // namespace plum::simmpi

@@ -8,6 +8,8 @@
 
 #include "support/buffer.hpp"
 #include "support/flat_hash.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -321,6 +323,73 @@ TEST(Table, AlignsAndEmitsCsv) {
   EXPECT_NE(csv.find("name,value"), std::string::npos);
   EXPECT_NE(csv.find("b,3.14"), std::string::npos);
   EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(JsonParse, ParsesScalarsArraysObjects) {
+  const auto v = parse_json(
+      R"({"a": 1.5, "b": "text", "c": [1, 2, 3], "d": {"e": true},
+          "f": null, "g": -42})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->number_or("a", 0.0), 1.5);
+  EXPECT_EQ(v->string_or("b", ""), "text");
+  const JsonValue* c = v->find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->is_array());
+  ASSERT_EQ(c->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(c->array[1].number, 2.0);
+  const JsonValue* d = v->find("d");
+  ASSERT_NE(d, nullptr);
+  const JsonValue* e = d->find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->is_bool());
+  EXPECT_TRUE(e->boolean);
+  EXPECT_TRUE(v->find("f")->is_null());
+  EXPECT_DOUBLE_EQ(v->number_or("g", 0.0), -42.0);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, HandlesStringEscapes) {
+  const auto v = parse_json(R"(["a\"b", "line\nbreak", "Aé"])");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->array.size(), 3u);
+  EXPECT_EQ(v->array[0].string, "a\"b");
+  EXPECT_EQ(v->array[1].string, "line\nbreak");
+  EXPECT_EQ(v->array[2].string, "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  std::string err;
+  EXPECT_FALSE(parse_json("{", &err).has_value());
+  EXPECT_NE(err.find("json parse error"), std::string::npos);
+  EXPECT_FALSE(parse_json("[1, 2,]").has_value());
+  EXPECT_FALSE(parse_json("{\"a\" 1}").has_value());
+  EXPECT_FALSE(parse_json("12 34").has_value());  // trailing content
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+}
+
+TEST(JsonParse, RoundTripsJsonWriterOutput) {
+  // The parser must read everything the repo's one writer emits.
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("bench \"quoted\"\n");
+  w.key("pi");
+  w.value(3.141592653589793);
+  w.key("n");
+  w.value(std::int64_t{-7});
+  w.key("flags");
+  w.begin_array();
+  w.value(true);
+  w.value(false);
+  w.end_array();
+  w.end_object();
+  const auto v = parse_json(w.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string_or("name", ""), "bench \"quoted\"\n");
+  EXPECT_DOUBLE_EQ(v->number_or("pi", 0.0), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(v->number_or("n", 0.0), -7.0);
+  ASSERT_EQ(v->find("flags")->array.size(), 2u);
 }
 
 }  // namespace

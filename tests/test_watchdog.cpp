@@ -1,0 +1,147 @@
+// Hang diagnostics (simmpi/machine.hpp watchdog): a deliberately
+// deadlocked cycle and a lone stuck rank must both terminate the run
+// with a wait-for-graph report instead of hanging CI, while healthy
+// runs and rank exceptions are untouched.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/machine.hpp"
+
+namespace plum::simmpi {
+namespace {
+
+WatchdogConfig fast_watchdog() {
+  WatchdogConfig cfg;
+  cfg.poll_ms = 5;            // two identical polls trip it in ~10 ms
+  cfg.stall_budget_ms = 30000;
+  return cfg;
+}
+
+TEST(Watchdog, DeadlockCycleIsDetectedAndNamed) {
+  Machine machine;
+  machine.set_watchdog(fast_watchdog());
+  try {
+    // A -> B -> C -> A: every rank receives from its right neighbour
+    // and nobody ever sends.
+    machine.run(3, [](Comm& comm) {
+      comm.recv((comm.rank() + 1) % comm.size(), /*tag=*/42);
+    });
+    FAIL() << "deadlocked run returned";
+  } catch (const DeadlockError& e) {
+    const std::string report = e.what();
+    EXPECT_NE(report.find("deadlock detected"), std::string::npos);
+    EXPECT_NE(report.find("wait-for cycle: 0 -> 1 -> 2 -> 0"),
+              std::string::npos)
+        << report;
+    // Every participant's blocked state and flight recorder appear.
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_NE(report.find("rank " + std::to_string(r) +
+                            ": blocked in recv(src=" +
+                            std::to_string((r + 1) % 3) + ", tag=42)"),
+                std::string::npos)
+          << report;
+      EXPECT_NE(report.find("flight recorder rank " + std::to_string(r)),
+                std::string::npos)
+          << report;
+    }
+  }
+}
+
+TEST(Watchdog, LoneStuckRankIsReported) {
+  Machine machine;
+  machine.set_watchdog(fast_watchdog());
+  try {
+    // Rank 0 waits for a message rank 1 never sends; rank 1 finishes.
+    machine.run(2, [](Comm& comm) {
+      if (comm.rank() == 0) comm.recv(1, /*tag=*/99);
+    });
+    FAIL() << "stuck run returned";
+  } catch (const DeadlockError& e) {
+    const std::string report = e.what();
+    EXPECT_NE(report.find("no wait-for cycle"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("rank 0: blocked in recv(src=1, tag=99)"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("rank 1: finished"), std::string::npos) << report;
+  }
+}
+
+TEST(Watchdog, TwoRankMutualRecvCycle) {
+  Machine machine;
+  machine.set_watchdog(fast_watchdog());
+  EXPECT_THROW(machine.run(2,
+                           [](Comm& comm) {
+                             comm.recv(1 - comm.rank(), /*tag=*/7);
+                           }),
+               DeadlockError);
+}
+
+TEST(Watchdog, HealthyRunIsNotTripped) {
+  Machine machine;
+  machine.set_watchdog(fast_watchdog());
+  // Plenty of polls land while ranks are legitimately blocked inside
+  // these collectives; none may be misread as a deadlock.
+  const MachineReport report = machine.run(4, [](Comm& comm) {
+    std::int64_t total = 0;
+    for (int i = 0; i < 200; ++i) {
+      total = comm.allreduce_sum(std::int64_t{1});
+    }
+    EXPECT_EQ(total, comm.size());
+    comm.barrier();
+  });
+  EXPECT_EQ(report.ranks.size(), 4u);
+}
+
+TEST(Watchdog, RankExceptionStillPropagatesFirst) {
+  Machine machine;
+  machine.set_watchdog(fast_watchdog());
+  // Rank 1 blocks forever; rank 0 fails.  The rank error must win (the
+  // watchdog stands down once the abort flag is up) and rank 1 must be
+  // unblocked by the teardown, not reported as a deadlock.
+  EXPECT_THROW(machine.run(2,
+                           [](Comm& comm) {
+                             if (comm.rank() == 0) {
+                               throw std::runtime_error("rank 0 bug");
+                             }
+                             comm.recv(0, /*tag=*/1);
+                           }),
+               std::runtime_error);
+}
+
+TEST(Watchdog, DisabledWatchdogStillRunsBodies) {
+  Machine machine;
+  WatchdogConfig cfg;
+  cfg.enabled = false;
+  machine.set_watchdog(cfg);
+  const MachineReport report = machine.run(2, [](Comm& comm) {
+    comm.barrier();
+  });
+  EXPECT_EQ(report.ranks.size(), 2u);
+}
+
+TEST(Watchdog, ReportsDisjointClockBuckets) {
+  // The RankReport reconciliation (machine.hpp): time == compute + comm
+  // and idle is a component of comm.  Asserted inside Machine::run;
+  // verified here against a run with all three buckets non-zero.
+  Machine machine;
+  const MachineReport report = machine.run(2, [](Comm& comm) {
+    comm.charge(100.0, 1.0);
+    if (comm.rank() == 0) {
+      comm.charge(5000.0, 1.0);  // make rank 1 wait on the barrier
+    }
+    comm.barrier();
+  });
+  for (const auto& rr : report.ranks) {
+    EXPECT_NEAR(rr.time_us, rr.compute_us + rr.comm_us, 1e-6);
+    EXPECT_LE(rr.idle_us, rr.comm_us + 1e-9);
+  }
+  // Rank 1 idled waiting for the slow rank 0.
+  EXPECT_GT(report.ranks[1].idle_us, 0.0);
+}
+
+}  // namespace
+}  // namespace plum::simmpi

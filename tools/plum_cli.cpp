@@ -10,7 +10,9 @@
 //                  [--partitioner mlspectral] [--remapper heuristic]
 //                  [--factor 1] [--seed 0] [--vtk-prefix step]
 //                  [--trace out.json] [--metrics] [--metrics-json out.json]
+//                  [--timeline out.json] [--flight-dump[=PATH]]
 //                  [--check-level off|cheap|full]
+//   plum report    --timeline timeline.json [--out report.html]
 //
 // `mesh` generates and snapshots the box mesh; `adapt` runs one serial
 // refinement (+ optional coarsening) on a snapshot; `partition` reports
@@ -18,7 +20,11 @@
 // simulated machine and prints a per-cycle report.  `--trace` writes a
 // Chrome-trace/Perfetto JSON timeline of the run (simulated time, one
 // track per rank); `--metrics` prints the per-phase and traffic tables;
-// `--metrics-json` writes the same aggregates as JSON.
+// `--metrics-json` writes the same aggregates as JSON; `--timeline`
+// writes the per-cycle gauge time series (parallel/timeline.hpp);
+// `--flight-dump` dumps every rank's flight recorder after the run (to
+// PATH, or to stderr with no value).  `report` renders a timeline JSON
+// as a self-contained HTML page (sparklines + traffic heatmap).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -35,8 +41,10 @@
 #include "parallel/framework.hpp"
 #include "parallel/gather.hpp"
 #include "partition/partitioner.hpp"
+#include "report_html.hpp"
 #include "simmpi/machine.hpp"
 #include "simmpi/obs.hpp"
+#include "support/json_parse.hpp"
 #include "support/table.hpp"
 
 using namespace plum;
@@ -203,6 +211,7 @@ int cmd_cycle(const Args& args) {
       static_cast<std::uint64_t>(args.get_int("seed", 0));
   cfg.check_level =
       parallel::parse_check_level(args.get("check-level", "off"));
+  cfg.record_timeline = args.has("timeline");
 
   const std::map<std::string, adapt::StrategyKind> kinds = {
       {"local1", adapt::StrategyKind::kLocal1},
@@ -222,6 +231,7 @@ int cmd_cycle(const Args& args) {
 
   simmpi::Machine machine;
   machine.set_tracing(want_obs);
+  parallel::Timeline timeline;
   const simmpi::MachineReport report =
       machine.run(P, [&](simmpi::Comm& comm) {
     parallel::PlumFramework fw(&comm, global, dualg, proc, cfg);
@@ -262,6 +272,9 @@ int cmd_cycle(const Args& args) {
         }
       }
     }
+    // The timeline is globally reduced (identical on every rank), so
+    // rank 0 can hand it out alone without a race.
+    if (comm.rank() == 0) timeline = fw.timeline();
   });
   t.print();
 
@@ -283,12 +296,67 @@ int cmd_cycle(const Args& args) {
     obs::traffic_matrix_table(report).print();
     std::printf("makespan %.3f ms\n", report.makespan_us() / 1000.0);
   }
+  if (args.has("timeline")) {
+    std::string path = args.get("timeline", "");
+    if (path.empty()) path = "timeline.json";
+    io_ok = parallel::write_timeline_json(timeline, report, path) && io_ok;
+    if (io_ok) std::printf("wrote timeline %s\n", path.c_str());
+  }
+  if (args.has("flight-dump")) {
+    const std::string path = args.get("flight-dump", "");
+    std::FILE* f = path.empty() ? stderr : std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      io_ok = false;
+    } else {
+      for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+        const std::string s = simmpi::format_flight_events(
+            static_cast<Rank>(r), report.ranks[r].flight);
+        std::fwrite(s.data(), 1, s.size(), f);
+      }
+      if (!path.empty()) {
+        std::fclose(f);
+        std::printf("wrote flight dump %s\n", path.c_str());
+      }
+    }
+  }
   return io_ok ? 0 : 1;
+}
+
+int cmd_report(const Args& args) {
+  PLUM_CHECK_MSG(args.has("timeline"),
+                 "plum report needs --timeline FILE (from `plum cycle "
+                 "--timeline`)");
+  const std::string in = args.get("timeline", "");
+  std::string err;
+  const auto doc = parse_json_file(in, &err);
+  if (!doc) {
+    std::fprintf(stderr, "plum report: %s\n", err.c_str());
+    return 1;
+  }
+  if (doc->string_or("kind", "") != "plum_timeline") {
+    std::fprintf(stderr,
+                 "plum report: %s is not a plum_timeline document\n",
+                 in.c_str());
+    return 1;
+  }
+  const std::string html = tools::render_report_html(*doc, in);
+  const std::string out = args.get("out", "report.html");
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "plum report: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fwrite(html.data(), 1, html.size(), f);
+  std::fclose(f);
+  std::printf("wrote report %s\n", out.c_str());
+  return 0;
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: plum <mesh|adapt|quality|partition|cycle> [--flags]\n"
+               "usage: plum <mesh|adapt|quality|partition|cycle|report> "
+               "[--flags]\n"
                "see the header comment of tools/plum_cli.cpp\n");
   return 2;
 }
@@ -304,5 +372,6 @@ int main(int argc, char** argv) {
   if (cmd == "quality") return cmd_quality(args);
   if (cmd == "partition") return cmd_partition(args);
   if (cmd == "cycle") return cmd_cycle(args);
+  if (cmd == "report") return cmd_report(args);
   return usage();
 }

@@ -1,0 +1,262 @@
+#include "report_html.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace plum::tools {
+
+namespace {
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  if (v != 0.0 && (std::fabs(v) >= 1e7 || std::fabs(v) < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+/// Inline SVG polyline over the series, normalized to its own range.
+std::string sparkline_svg(const std::vector<double>& values) {
+  const int w = 180;
+  const int h = 36;
+  const int pad = 3;
+  char buf[128];
+  std::string svg;
+  std::snprintf(buf, sizeof(buf),
+                "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">", w,
+                h, w, h);
+  svg += buf;
+  if (values.size() >= 2) {
+    double lo = values[0];
+    double hi = values[0];
+    for (const double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double span = (hi > lo) ? (hi - lo) : 1.0;
+    svg += "<polyline fill=\"none\" stroke=\"#2b6cb0\" stroke-width=\"1.5\" "
+           "points=\"";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double x =
+          pad + (w - 2.0 * pad) * static_cast<double>(i) /
+                    static_cast<double>(values.size() - 1);
+      const double y =
+          (h - pad) - (h - 2.0 * pad) * (values[i] - lo) / span;
+      std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", x, y);
+      svg += buf;
+    }
+    svg += "\"/>";
+    // Final-value dot.
+    const double yl =
+        (h - pad) - (h - 2.0 * pad) * (values.back() - lo) / span;
+    std::snprintf(buf, sizeof(buf),
+                  "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" "
+                  "fill=\"#c53030\"/>",
+                  static_cast<double>(w - pad), yl);
+    svg += buf;
+  } else if (values.size() == 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "<circle cx=\"%d\" cy=\"%d\" r=\"2.5\" fill=\"#2b6cb0\"/>",
+                  w / 2, h / 2);
+    svg += buf;
+  }
+  svg += "</svg>";
+  return svg;
+}
+
+std::vector<double> gauge_series(const JsonValue& timeline,
+                                 const char* field) {
+  std::vector<double> out;
+  const JsonValue* cycles = timeline.find("cycles");
+  if (cycles == nullptr || !cycles->is_array()) return out;
+  out.reserve(cycles->array.size());
+  for (const JsonValue& c : cycles->array) {
+    out.push_back(c.number_or(field, 0.0));
+  }
+  return out;
+}
+
+void sparkline_row(std::string& html, const JsonValue& timeline,
+                   const char* label, const char* field) {
+  const std::vector<double> v = gauge_series(timeline, field);
+  double lo = 0.0;
+  double hi = 0.0;
+  double last = 0.0;
+  if (!v.empty()) {
+    lo = *std::min_element(v.begin(), v.end());
+    hi = *std::max_element(v.begin(), v.end());
+    last = v.back();
+  }
+  html += "<tr><td>" + std::string(label) + "</td><td>" +
+          sparkline_svg(v) + "</td><td class=\"num\">" + fmt(lo) +
+          "</td><td class=\"num\">" + fmt(hi) + "</td><td class=\"num\">" +
+          fmt(last) + "</td></tr>\n";
+}
+
+struct Column {
+  const char* label;
+  const char* field;
+};
+
+void cycle_table(std::string& html, const JsonValue& timeline) {
+  static constexpr Column kColumns[] = {
+      {"cycle", "cycle"},
+      {"elements", "active_elements"},
+      {"imb before", "imbalance_before"},
+      {"imb after", "imbalance_after"},
+      {"moved (pred)", "predicted_elements_moved"},
+      {"bytes (pred)", "predicted_bytes"},
+      {"bytes shipped", "bytes_shipped"},
+      {"remap us (pred)", "predicted_migrate_us"},
+      {"migrate us", "realized_migrate_us"},
+      {"solver us", "solver_us"},
+      {"adapt us", "adapt_us"},
+      {"reassign us", "reassignment_us"},
+      {"cycle us", "cycle_us"},
+  };
+  html += "<h2>Per-cycle detail</h2>\n<table>\n<tr>";
+  for (const Column& c : kColumns) {
+    html += "<th>" + std::string(c.label) + "</th>";
+  }
+  html += "<th>decision</th></tr>\n";
+  const JsonValue* cycles = timeline.find("cycles");
+  if (cycles != nullptr && cycles->is_array()) {
+    for (const JsonValue& c : cycles->array) {
+      html += "<tr>";
+      for (const Column& col : kColumns) {
+        html += "<td class=\"num\">" + fmt(c.number_or(col.field, 0.0)) +
+                "</td>";
+      }
+      const JsonValue* rep = c.find("repartitioned");
+      const JsonValue* acc = c.find("accepted");
+      const bool repartitioned = rep != nullptr && rep->boolean;
+      const bool accepted = acc != nullptr && acc->boolean;
+      html += std::string("<td>") +
+              (!repartitioned ? "balanced"
+               : accepted     ? "remapped"
+                              : "rejected") +
+              "</td></tr>\n";
+    }
+  }
+  html += "</table>\n";
+}
+
+void traffic_heatmap(std::string& html, const JsonValue& timeline) {
+  const JsonValue* traffic = timeline.find("traffic");
+  const JsonValue* bytes =
+      traffic != nullptr ? traffic->find("bytes") : nullptr;
+  if (bytes == nullptr || !bytes->is_array() || bytes->array.empty()) return;
+
+  double max_cell = 0.0;
+  for (const JsonValue& row : bytes->array) {
+    if (!row.is_array()) continue;
+    for (const JsonValue& cell : row.array) {
+      if (cell.is_number()) max_cell = std::max(max_cell, cell.number);
+    }
+  }
+  if (max_cell <= 0.0) max_cell = 1.0;
+
+  html += "<h2>Traffic heatmap (bytes sent, row = source rank, column = "
+          "destination)</h2>\n<table class=\"heat\">\n<tr><th></th>";
+  const std::size_t n = bytes->array.size();
+  for (std::size_t d = 0; d < n; ++d) {
+    html += "<th>" + std::to_string(d) + "</th>";
+  }
+  html += "</tr>\n";
+  char buf[160];
+  for (std::size_t s = 0; s < n; ++s) {
+    html += "<tr><th>" + std::to_string(s) + "</th>";
+    const JsonValue& row = bytes->array[s];
+    for (std::size_t d = 0; row.is_array() && d < row.array.size(); ++d) {
+      const double v =
+          row.array[d].is_number() ? row.array[d].number : 0.0;
+      // Perceptual-ish ramp: light for quiet pairs, saturated blue for
+      // the hottest pair.
+      const double t = std::sqrt(v / max_cell);
+      const int r = static_cast<int>(255 - t * 200);
+      const int g = static_cast<int>(255 - t * 150);
+      std::snprintf(buf, sizeof(buf),
+                    "<td class=\"num\" style=\"background:rgb(%d,%d,255)\" "
+                    "title=\"%zu -&gt; %zu: %.0f bytes\">%s</td>",
+                    r, g, s, d, v, fmt(v).c_str());
+      html += buf;
+    }
+    html += "</tr>\n";
+  }
+  html += "</table>\n";
+}
+
+}  // namespace
+
+std::string render_report_html(const JsonValue& timeline,
+                               const std::string& source_name) {
+  const JsonValue* cycles = timeline.find("cycles");
+  const std::size_t ncycles =
+      (cycles != nullptr && cycles->is_array()) ? cycles->array.size() : 0;
+
+  std::string html;
+  html += "<!doctype html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n";
+  html += "<title>plum cycle report</title>\n<style>\n";
+  html += "body{font-family:system-ui,sans-serif;margin:2em;color:#1a202c}\n"
+          "table{border-collapse:collapse;margin:1em 0}\n"
+          "th,td{border:1px solid #cbd5e0;padding:4px 8px;"
+          "font-size:13px}\n"
+          "th{background:#edf2f7;text-align:left}\n"
+          "td.num{text-align:right;font-variant-numeric:tabular-nums}\n"
+          "table.heat td{min-width:3em}\n"
+          "h1{font-size:20px}h2{font-size:16px;margin-top:1.5em}\n"
+          ".meta{color:#4a5568;font-size:13px}\n";
+  html += "</style>\n</head>\n<body>\n";
+  html += "<h1>plum cycle report</h1>\n";
+  html += "<p class=\"meta\">source: " + html_escape(source_name) +
+          " &middot; ranks: " +
+          fmt(timeline.number_or("nprocs", 0.0)) + " &middot; cycles: " +
+          std::to_string(ncycles) + " &middot; schema_version: " +
+          fmt(timeline.number_or("schema_version", 0.0)) + "</p>\n";
+
+  html += "<h2>Gauges over cycles</h2>\n<table>\n"
+          "<tr><th>gauge</th><th>trend</th><th>min</th><th>max</th>"
+          "<th>last</th></tr>\n";
+  sparkline_row(html, timeline, "active elements", "active_elements");
+  sparkline_row(html, timeline, "imbalance before", "imbalance_before");
+  sparkline_row(html, timeline, "imbalance after", "imbalance_after");
+  sparkline_row(html, timeline, "predicted bytes", "predicted_bytes");
+  sparkline_row(html, timeline, "bytes shipped", "bytes_shipped");
+  sparkline_row(html, timeline, "predicted remap us",
+                "predicted_migrate_us");
+  sparkline_row(html, timeline, "realized migrate us",
+                "realized_migrate_us");
+  sparkline_row(html, timeline, "solver us", "solver_us");
+  sparkline_row(html, timeline, "adapt us", "adapt_us");
+  sparkline_row(html, timeline, "cycle us", "cycle_us");
+  html += "</table>\n";
+
+  cycle_table(html, timeline);
+  traffic_heatmap(html, timeline);
+
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+}  // namespace plum::tools

@@ -1,0 +1,28 @@
+// `plum report` HTML renderer: turns a plum_timeline JSON document
+// (parallel/timeline.hpp) into one self-contained HTML page — no
+// external scripts, stylesheets, or fonts, so the file can be attached
+// to a CI run and opened anywhere.
+//
+// Layout:
+//   * run summary (ranks, cycles, schema version, source file);
+//   * a sparkline table: one row per gauge with an inline SVG trend
+//     over cycles plus min / max / last;
+//   * the per-cycle detail table (prediction vs realized columns
+//     adjacent so cost-model drift is visible at a glance);
+//   * the PxP traffic heatmap (sender row, receiver column, cell
+//     shaded by bytes).
+#pragma once
+
+#include <string>
+
+#include "support/json_parse.hpp"
+
+namespace plum::tools {
+
+/// Renders the page.  `source_name` labels where the timeline came
+/// from (shown in the header).  The document must be a plum_timeline
+/// object; missing members degrade to empty sections, never crash.
+std::string render_report_html(const JsonValue& timeline,
+                               const std::string& source_name);
+
+}  // namespace plum::tools

@@ -7,7 +7,11 @@
 //   * migrate_full     — one full tree migration after a localized
 //                        refinement (pack, alltoallv, unpack, SPL
 //                        rendezvous);
-//   * dualgraph_build  — the serial face-keyed dual-graph construction.
+//   * dualgraph_build  — the serial face-keyed dual-graph construction;
+//   * partition_solve  — one from-cold partitioner solve per algorithm
+//                        (mlspectral pipeline vs. hilbert SFC histogram
+//                        splitting), the repartitioning cost every rank
+//                        pays redundantly each balance cycle.
 //
 // Results go to BENCH_comm.json (override with --out PATH) so runs can
 // be diffed; see EXPERIMENTS.md "Communication micro-benchmark".
@@ -200,6 +204,23 @@ int main(int argc, char** argv) {
               {"wall_us", dg_us}});
 
     for (const int P : procs) {
+      // Serial from-cold partitioner solves at k=P parts.  `g` carries
+      // no cached SFC keys here, so the hilbert timing includes the key
+      // encoding — the true cost of a cold solve.
+      for (const char* algo : {"mlspectral", "hilbert"}) {
+        const WallTimer t_ps;
+        const auto r =
+            plum::partition::make_partitioner(algo)->partition(g, P);
+        const double ps_us = t_ps.elapsed_us();
+        PLUM_CHECK(r.imbalance >= 1.0);  // keep the solve alive
+        json.add(std::string("partition_solve_") + algo,
+                 {{"n", static_cast<double>(n)},
+                  {"P", static_cast<double>(P)},
+                  {"wall_us", ps_us},
+                  {"edgecut", static_cast<double>(r.edgecut)},
+                  {"imbalance", r.imbalance}});
+      }
+
       const std::vector<Rank> placement = initial_placement(g, P);
       const PhaseTimes pt =
           run_parallel_phases(global, placement, P, exchange_rounds);

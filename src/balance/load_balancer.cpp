@@ -5,9 +5,15 @@
 
 namespace plum::balance {
 
+std::string resolve_partitioner(const std::string& name, int nparts) {
+  if (name != "auto") return name;
+  return nparts >= 16 ? "hilbert" : "mlspectral";
+}
+
 BalanceOutcome run_load_balancer(const dual::DualGraph& g,
                                  const std::vector<Rank>& current,
-                                 int nprocs, const LoadBalancerConfig& cfg) {
+                                 int nprocs, const LoadBalancerConfig& cfg,
+                                 SfcRepartState* sfc_state) {
   PLUM_CHECK(static_cast<std::int64_t>(current.size()) == g.num_vertices());
   BalanceOutcome out;
   out.proc_of_vertex = current;
@@ -26,8 +32,21 @@ BalanceOutcome run_load_balancer(const dual::DualGraph& g,
   out.repartitioned = true;
 
   // Repartition into P*F parts.
-  auto partitioner = partition::make_partitioner(cfg.partitioner);
-  out.partition = partitioner->partition(g, nprocs * cfg.factor);
+  const int nparts = nprocs * cfg.factor;
+  out.partitioner_used = resolve_partitioner(cfg.partitioner, nparts);
+  if (out.partitioner_used == "hilbert") {
+    // SFC path: splitter solve, seeded from the previous accepted
+    // splitters when the caller carries state across cycles.
+    SfcRepartConfig scfg;
+    scfg.imbalance_tolerance = cfg.sfc_tolerance;
+    const SfcRepartState* prev =
+        cfg.sfc_incremental ? sfc_state : nullptr;
+    out.sfc = run_sfc_repartitioner(g, nparts, scfg, prev);
+    out.partition = partition::evaluate_partition(g, out.sfc.part, nparts);
+  } else {
+    auto partitioner = partition::make_partitioner(out.partitioner_used);
+    out.partition = partitioner->partition(g, nparts);
+  }
 
   // Processor reassignment (§8) via the similarity matrix (§7).
   const SimilarityMatrix s =
@@ -45,7 +64,22 @@ BalanceOutcome run_load_balancer(const dual::DualGraph& g,
                                          out.new_load.wmax, rc, cfg.cost);
   out.accepted = cfg.use_cost_decision ? out.decision.accept : true;
 
+  // Partition similarity of the *proposed* mapping: how many dual
+  // vertices the plan would relocate.  (The remapper exists to keep
+  // this small; incremental SFC keeps it small before remapping.)
+  out.partition.vertices_changed = 0;
+  for (std::size_t v = 0; v < current.size(); ++v) {
+    const Rank dst =
+        out.assignment
+            .proc_of_part[static_cast<std::size_t>(out.partition.part[v])];
+    out.partition.vertices_changed += (dst != current[v]);
+  }
+
   if (out.accepted) {
+    if (out.partitioner_used == "hilbert" && sfc_state != nullptr) {
+      sfc_state->splitters = out.sfc.splitters;
+      sfc_state->nparts = nparts;
+    }
     for (std::size_t v = 0; v < out.proc_of_vertex.size(); ++v) {
       out.proc_of_vertex[v] =
           out.assignment

@@ -17,6 +17,7 @@
 
 #include "balance/cost_model.hpp"
 #include "balance/remapper.hpp"
+#include "balance/repart.hpp"
 #include "partition/partitioner.hpp"
 
 namespace plum::balance {
@@ -38,13 +39,32 @@ struct LoadBalancerConfig {
   /// If false, skip the gain-vs-cost test and always accept a
   /// repartitioning (used by benches isolating other components).
   bool use_cost_decision = true;
+  /// With partitioner "hilbert" (or "auto" resolving to it): seed the
+  /// splitter solve from the previous accepted splitters when the
+  /// caller supplies state, instead of solving from scratch.
+  bool sfc_incremental = true;
+  /// Per-splitter slack band of the incremental update.  Keep this
+  /// below imbalance_threshold, or the update would be a no-op
+  /// whenever the balancer triggers at all.
+  double sfc_tolerance = 1.05;
 };
+
+/// Resolves the configured partitioner name for a concrete run:
+/// "auto" picks "hilbert" once nparts = P*F reaches 16 (where the
+/// histogram solve decisively beats the multilevel pipeline) and
+/// "mlspectral" below; any other name passes through unchanged.
+std::string resolve_partitioner(const std::string& name, int nparts);
 
 struct BalanceOutcome {
   /// Whether the preliminary evaluation triggered repartitioning.
   bool repartitioned = false;
   /// Whether the new mapping was accepted (gain > cost).
   bool accepted = false;
+  /// Concrete partitioner the run used ("auto" resolved); empty when
+  /// the preliminary evaluation skipped repartitioning.
+  std::string partitioner_used;
+  /// SFC panel — meaningful only when partitioner_used == "hilbert".
+  SfcRepartOutcome sfc;
   LoadInfo old_load;
   LoadInfo new_load;
   partition::PartitionResult partition;  ///< k = P*F parts (if repartitioned)
@@ -57,8 +77,14 @@ struct BalanceOutcome {
 
 /// Runs the full pipeline for `nprocs` processors given the dual graph
 /// (with refreshed weights) and the current placement of dual vertices.
+/// `sfc_state`, when non-null and cfg.sfc_incremental, seeds the
+/// hilbert splitter solve and is updated in place iff the new mapping
+/// is accepted (a rejected plan leaves the old partition — and thus
+/// the old splitters — live).  Replicated callers must pass
+/// identically-evolving state on every rank.
 BalanceOutcome run_load_balancer(const dual::DualGraph& g,
                                  const std::vector<Rank>& current,
-                                 int nprocs, const LoadBalancerConfig& cfg);
+                                 int nprocs, const LoadBalancerConfig& cfg,
+                                 SfcRepartState* sfc_state = nullptr);
 
 }  // namespace plum::balance

@@ -1,6 +1,7 @@
 #include "balance/repart.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/check.hpp"
 
@@ -113,6 +114,102 @@ RepartOutcome run_repartitioner(const dual::DualGraph& g,
   }
   out.edgecut /= 2;
   out.new_load = summarize_loads(load);
+  return out;
+}
+
+SfcRepartOutcome run_sfc_repartitioner(const dual::DualGraph& g, int nparts,
+                                       const SfcRepartConfig& cfg,
+                                       const SfcRepartState* prev) {
+  PLUM_CHECK(nparts >= 1);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::uint64_t> local;
+  if (g.sfc_key.size() != n) local = partition::compute_sfc_keys(g);
+  const std::vector<std::uint64_t>& keys =
+      g.sfc_key.size() == n ? g.sfc_key : local;
+
+  SfcRepartOutcome out;
+  const std::size_t nspl = static_cast<std::size_t>(nparts - 1);
+  const bool seeded = prev != nullptr && prev->nparts == nparts &&
+                      prev->splitters.size() == nspl && nparts > 1;
+  if (!seeded) {
+    out.splitters = partition::select_splitters(keys, g.wcomp, nparts);
+    out.splitters_updated = static_cast<int>(out.splitters.size());
+    out.part = partition::parts_from_splitters(keys, out.splitters);
+    return out;
+  }
+  out.incremental = true;
+
+  const std::vector<std::int64_t> pw =
+      partition::splitter_part_weights(keys, g.wcomp, prev->splitters);
+  std::int64_t total = 0;
+  std::int64_t wmax = 0;
+  for (const std::int64_t w : pw) {
+    total += w;
+    wmax = std::max(wmax, w);
+  }
+  const double wavg = static_cast<double>(total) / nparts;
+
+  // Old splitters still within tolerance: keep the whole set.
+  if (total > 0 &&
+      static_cast<double>(wmax) <= cfg.imbalance_tolerance * wavg) {
+    out.splitters = prev->splitters;
+    out.splitters_kept = static_cast<int>(nspl);
+    out.part = partition::parts_from_splitters(keys, out.splitters);
+    return out;
+  }
+
+  // Selective update: splitter i's cumulative weight C_i should be
+  // near the ideal G_i = floor(W*(i+1)/k).  Keep it (hysteresis) while
+  // the deviation stays under half the tolerance band — exactness
+  // would relabel elements at every splitter after every adaption —
+  // and re-solve only the offenders.
+  const double slack = (cfg.imbalance_tolerance - 1.0) * wavg * 0.5;
+  std::vector<std::int64_t> cum(nspl);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < nspl; ++i) {
+    acc += pw[i];
+    cum[i] = acc;
+  }
+  out.splitters = prev->splitters;
+  std::vector<std::size_t> stale;
+  std::vector<std::int64_t> targets;
+  std::int64_t floor_target = 0;  // targets must stay non-decreasing
+  for (std::size_t i = 0; i < nspl; ++i) {
+    const std::int64_t ideal =
+        total * static_cast<std::int64_t>(i + 1) / nparts;
+    if (std::abs(static_cast<double>(cum[i] - ideal)) <= slack) {
+      floor_target = std::max(floor_target, cum[i]);
+      continue;
+    }
+    stale.push_back(i);
+    targets.push_back(std::clamp<std::int64_t>(
+        std::max(ideal, floor_target + 1), 1, total));
+    floor_target = targets.back();
+  }
+  const std::vector<partition::SfcSplitter> solved =
+      partition::solve_splitter_targets(keys, g.wcomp, targets);
+  for (std::size_t j = 0; j < stale.size(); ++j) {
+    out.splitters[stale[j]] = solved[j];
+  }
+  out.splitters_kept = static_cast<int>(nspl - stale.size());
+  out.splitters_updated = static_cast<int>(stale.size());
+
+  // Pathology guard: a patched splitter can collide with a kept
+  // neighbour (heavy vertex straddling both targets) and empty a part.
+  // Fall back to a clean from-scratch solve in that case.
+  out.part = partition::parts_from_splitters(keys, out.splitters);
+  if (n >= static_cast<std::size_t>(nparts)) {
+    std::vector<std::int64_t> count(static_cast<std::size_t>(nparts), 0);
+    for (const PartId p : out.part) ++count[static_cast<std::size_t>(p)];
+    for (const std::int64_t c : count) {
+      if (c != 0) continue;
+      out.splitters = partition::select_splitters(keys, g.wcomp, nparts);
+      out.splitters_kept = 0;
+      out.splitters_updated = static_cast<int>(out.splitters.size());
+      out.part = partition::parts_from_splitters(keys, out.splitters);
+      break;
+    }
+  }
   return out;
 }
 

@@ -20,6 +20,7 @@
 
 #include "balance/cost_model.hpp"
 #include "dualgraph/dual_graph.hpp"
+#include "partition/sfc.hpp"
 
 namespace plum::balance {
 
@@ -43,5 +44,50 @@ struct RepartOutcome {
 RepartOutcome run_repartitioner(const dual::DualGraph& g,
                                 const std::vector<Rank>& current,
                                 int nprocs, const RepartConfig& cfg = {});
+
+// ---------------------------------------------------------------------
+// Incremental SFC repartitioning.
+//
+// Hilbert keys never change across adaption (they derive from the
+// immutable initial-mesh centroids), so a partition is fully described
+// by its k-1 curve splitters.  After adaption shifts the weights, the
+// old splitters are still *nearly* right: re-solving from scratch would
+// chase exact targets and move every splitter a little, relabelling
+// elements everywhere.  Instead, keep every splitter whose cumulative
+// weight is within a slack band of its ideal target and re-solve only
+// the offenders — successive partitions stay similar, which is what
+// shrinks elements_moved/ship_us, and the histogram solve itself gets
+// cheaper (fewer splitters, narrower prefix sets).
+
+struct SfcRepartConfig {
+  /// Projected imbalance under the *old* splitters at or below which
+  /// they are all kept unchanged (no re-solve at all).
+  double imbalance_tolerance = 1.05;
+};
+
+/// Splitters of the last accepted hilbert partition; carried by the
+/// framework across cycles.  Empty nparts (0) means "no prior state".
+struct SfcRepartState {
+  std::vector<partition::SfcSplitter> splitters;
+  int nparts = 0;
+};
+
+struct SfcRepartOutcome {
+  std::vector<partition::SfcSplitter> splitters;
+  std::vector<PartId> part;
+  /// Whether the solve was seeded from previous splitters.
+  bool incremental = false;
+  int splitters_kept = 0;
+  int splitters_updated = 0;
+};
+
+/// Partitions g into nparts along the Hilbert curve.  With no previous
+/// state (prev == nullptr or shape mismatch) this is a from-scratch
+/// select_splitters(); with state, splitters within the slack band are
+/// kept verbatim and only the rest are re-solved.  Uses g.sfc_key when
+/// cached (see partition::ensure_sfc_keys), else computes keys locally.
+SfcRepartOutcome run_sfc_repartitioner(const dual::DualGraph& g, int nparts,
+                                       const SfcRepartConfig& cfg = {},
+                                       const SfcRepartState* prev = nullptr);
 
 }  // namespace plum::balance

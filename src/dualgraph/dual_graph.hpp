@@ -45,6 +45,10 @@ struct DualGraph {
   std::vector<std::int64_t> wremap;
   /// Root-element centroids (used by the geometric partitioners).
   std::vector<mesh::Vec3> centroid;
+  /// Cached Hilbert curve key per vertex (see partition/sfc.hpp).
+  /// Derived from the immutable centroids, so adaption never
+  /// invalidates it; empty until partition::ensure_sfc_keys() runs.
+  std::vector<std::uint64_t> sfc_key;
 
   /// Weight of the dual edge (v, adjacency[v][k]).
   std::int64_t weight_of(std::size_t v, std::size_t k) const {

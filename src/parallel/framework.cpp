@@ -1,5 +1,8 @@
 #include "parallel/framework.hpp"
 
+#include <algorithm>
+
+#include "partition/sfc.hpp"
 #include "simmpi/obs.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
@@ -19,6 +22,9 @@ PlumFramework::PlumFramework(simmpi::Comm* comm, const mesh::Mesh& global,
       proc_of_root_(initial_proc) {
   PLUM_CHECK(static_cast<std::int64_t>(initial_proc.size()) ==
              dual_.num_vertices());
+  // Hilbert keys derive from the immutable initial-mesh centroids:
+  // compute the replicated cache once, up front (cheap, O(N)).
+  partition::ensure_sfc_keys(dual_);
 }
 
 PlumFramework::PlumFramework(simmpi::Comm* comm, DistMesh dm,
@@ -39,6 +45,7 @@ PlumFramework::PlumFramework(simmpi::Comm* comm, DistMesh dm,
                    "restart: resident root " << gid
                                              << " contradicts proc_of_root");
   }
+  partition::ensure_sfc_keys(dual_);
 }
 
 void PlumFramework::refresh_weights() {
@@ -115,7 +122,7 @@ balance::BalanceOutcome PlumFramework::balance_only() {
     }
     ++balance_seq_;
     out = balance::run_load_balancer(dual_, proc_of_root_, comm_->size(),
-                                     bcfg);
+                                     bcfg, &sfc_state_);
   }
   {
     PLUM_PHASE(*comm_, "reassign");
@@ -249,6 +256,8 @@ void PlumFramework::record_sample(const CycleStats& stats, double t_cycle0) {
   s.predicted_bytes = balance::predicted_migration_bytes(
       stats.balance.decision.cost, cfg_.balancer.cost);
   s.predicted_migrate_us = stats.balance.decision.cost.cost_us;
+  s.vertices_changed = std::max<std::int64_t>(
+      0, stats.balance.partition.vertices_changed);
   s.bytes_shipped = comm_->allreduce_sum(stats.migration.bytes_sent);
   s.realized_migrate_us =
       comm_->allreduce_max(stats.migration.elapsed_us);

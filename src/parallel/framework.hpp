@@ -131,6 +131,10 @@ class PlumFramework {
   /// Balance invocations so far — mixed into the remapper seed so
   /// repeated cycles draw fresh permutations when balancer.seed != 0.
   std::uint64_t balance_seq_ = 0;
+  /// Hilbert splitters of the last accepted plan (incremental SFC
+  /// repartitioning); replicated — evolves identically on every rank
+  /// because the balance pipeline is deterministic.
+  balance::SfcRepartState sfc_state_;
   Timeline timeline_;
   int cycle_seq_ = 0;
 };

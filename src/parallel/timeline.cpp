@@ -37,6 +37,8 @@ std::string timeline_json(const Timeline& tl,
     w.value(s.predicted_bytes);
     w.key("predicted_migrate_us");
     w.value(s.predicted_migrate_us);
+    w.key("vertices_changed");
+    w.value(s.vertices_changed);
     w.key("bytes_shipped");
     w.value(s.bytes_shipped);
     w.key("realized_migrate_us");

@@ -39,6 +39,10 @@ struct CycleSample {
   std::int64_t predicted_elements_moved = 0;
   std::int64_t predicted_bytes = 0;
   double predicted_migrate_us = 0.0;
+  /// Partition similarity: dual vertices the proposed plan relocates
+  /// (PartitionResult::vertices_changed; 0 when not repartitioned).
+  /// The gauge the incremental SFC repartitioner is meant to shrink.
+  std::int64_t vertices_changed = 0;
   /// Realized migration: payload bytes shipped (summed over ranks) and
   /// simulated migrate time (max over ranks).
   std::int64_t bytes_shipped = 0;

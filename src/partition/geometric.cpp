@@ -4,6 +4,11 @@
 // widest bounding-box axis, RIB along the principal inertia axis of the
 // element centroids (the "inertial" half of the paper's companion
 // inertial-spectral repartitioner [13]).
+//
+// All per-level buffers live in the shared BisectScratch; the bisectors
+// allocate nothing per recursion level.  RCB's single centroid sweep
+// fills the bounding box and the three coordinate arrays together, so
+// picking the cut axis costs no second pass over the centroids.
 #include <array>
 #include <cmath>
 
@@ -15,17 +20,27 @@ namespace plum::partition {
 
 namespace {
 
+using detail::BisectScratch;
 using detail::split_by_order;
 using dual::DualGraph;
 using mesh::Vec3;
 
-std::vector<char> rcb_bisect(const DualGraph& g,
-                             const std::vector<std::int32_t>& subset,
-                             std::int64_t target_left) {
-  Vec3 lo = g.centroid[static_cast<std::size_t>(subset.front())];
+void rcb_bisect(const DualGraph& g, const std::int32_t* subset,
+                std::size_t n, std::int64_t target_left,
+                BisectScratch& s) {
+  std::vector<double>& cx = s.coord[0];
+  std::vector<double>& cy = s.coord[1];
+  std::vector<double>& cz = s.coord[2];
+  cx.resize(n);
+  cy.resize(n);
+  cz.resize(n);
+  Vec3 lo = g.centroid[static_cast<std::size_t>(subset[0])];
   Vec3 hi = lo;
-  for (const auto v : subset) {
-    const Vec3& c = g.centroid[static_cast<std::size_t>(v)];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& c = g.centroid[static_cast<std::size_t>(subset[i])];
+    cx[i] = c.x;
+    cy[i] = c.y;
+    cz[i] = c.z;
     lo.x = std::min(lo.x, c.x);
     lo.y = std::min(lo.y, c.y);
     lo.z = std::min(lo.z, c.z);
@@ -38,32 +53,30 @@ std::vector<char> rcb_bisect(const DualGraph& g,
   if (ext.y > ext.x) axis = 1;
   if (ext.z > (axis == 0 ? ext.x : ext.y)) axis = 2;
 
-  std::vector<double> value(subset.size());
-  for (std::size_t i = 0; i < subset.size(); ++i) {
-    const Vec3& c = g.centroid[static_cast<std::size_t>(subset[i])];
-    value[i] = axis == 0 ? c.x : axis == 1 ? c.y : c.z;
-  }
-  return split_by_order(g, subset, value, target_left);
+  split_by_order(g, subset, n, s.coord[static_cast<std::size_t>(axis)],
+                 target_left, s);
 }
 
 /// Principal axis of the weighted covariance of subset centroids, by
 /// 3x3 power iteration (deterministic start, fixed iteration count).
-Vec3 principal_axis(const DualGraph& g,
-                    const std::vector<std::int32_t>& subset) {
+Vec3 principal_axis(const DualGraph& g, const std::int32_t* subset,
+                    std::size_t n) {
   Vec3 mean{};
   double wsum = 0.0;
-  for (const auto v : subset) {
-    const double w = static_cast<double>(g.wcomp[static_cast<std::size_t>(v)]);
-    mean += g.centroid[static_cast<std::size_t>(v)] * w;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::size_t>(subset[i]);
+    const double w = static_cast<double>(g.wcomp[v]);
+    mean += g.centroid[v] * w;
     wsum += w;
   }
   PLUM_CHECK(wsum > 0.0);
   mean = mean * (1.0 / wsum);
 
   std::array<double, 9> cov{};  // row-major 3x3
-  for (const auto v : subset) {
-    const double w = static_cast<double>(g.wcomp[static_cast<std::size_t>(v)]);
-    const Vec3 d = g.centroid[static_cast<std::size_t>(v)] - mean;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::size_t>(subset[i]);
+    const double w = static_cast<double>(g.wcomp[v]);
+    const Vec3 d = g.centroid[v] - mean;
     const double c[3] = {d.x, d.y, d.z};
     for (int r = 0; r < 3; ++r) {
       for (int cc = 0; cc < 3; ++cc) {
@@ -77,22 +90,23 @@ Vec3 principal_axis(const DualGraph& g,
     const Vec3 y{cov[0] * x.x + cov[1] * x.y + cov[2] * x.z,
                  cov[3] * x.x + cov[4] * x.y + cov[5] * x.z,
                  cov[6] * x.x + cov[7] * x.y + cov[8] * x.z};
-    const double n = mesh::norm(y);
-    if (n < 1e-30) return {1.0, 0.0, 0.0};  // degenerate cloud: any axis
-    x = y * (1.0 / n);
+    const double nrm = mesh::norm(y);
+    if (nrm < 1e-30) return {1.0, 0.0, 0.0};  // degenerate cloud: any axis
+    x = y * (1.0 / nrm);
   }
   return x;
 }
 
-std::vector<char> rib_bisect(const DualGraph& g,
-                             const std::vector<std::int32_t>& subset,
-                             std::int64_t target_left) {
-  const Vec3 axis = principal_axis(g, subset);
-  std::vector<double> value(subset.size());
-  for (std::size_t i = 0; i < subset.size(); ++i) {
-    value[i] = mesh::dot(g.centroid[static_cast<std::size_t>(subset[i])], axis);
+void rib_bisect(const DualGraph& g, const std::int32_t* subset,
+                std::size_t n, std::int64_t target_left,
+                BisectScratch& s) {
+  const Vec3 axis = principal_axis(g, subset, n);
+  s.value.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.value[i] =
+        mesh::dot(g.centroid[static_cast<std::size_t>(subset[i])], axis);
   }
-  return split_by_order(g, subset, value, target_left);
+  split_by_order(g, subset, n, s.value, target_left, s);
 }
 
 class RcbPartitioner final : public Partitioner {

@@ -362,20 +362,20 @@ std::vector<char> ml_bisect_graph(const MLGraph& g0,
   return side;
 }
 
-std::vector<char> multilevel_bisect(const DualGraph& g,
-                                    const std::vector<std::int32_t>& subset,
-                                    std::int64_t target_left) {
-  const Subgraph s = induce(g, subset);
-  return ml_bisect_graph(from_subgraph(s), target_left,
-                         /*spectral_initial=*/false);
+void multilevel_bisect(const DualGraph& g, const std::int32_t* subset,
+                       std::size_t n, std::int64_t target_left,
+                       detail::BisectScratch& scratch) {
+  const Subgraph s = induce(g, subset, n);
+  scratch.side = ml_bisect_graph(from_subgraph(s), target_left,
+                                 /*spectral_initial=*/false);
 }
 
-std::vector<char> mlspectral_bisect(const DualGraph& g,
-                                    const std::vector<std::int32_t>& subset,
-                                    std::int64_t target_left) {
-  const Subgraph s = induce(g, subset);
-  return ml_bisect_graph(from_subgraph(s), target_left,
-                         /*spectral_initial=*/true);
+void mlspectral_bisect(const DualGraph& g, const std::int32_t* subset,
+                       std::size_t n, std::int64_t target_left,
+                       detail::BisectScratch& scratch) {
+  const Subgraph s = induce(g, subset, n);
+  scratch.side = ml_bisect_graph(from_subgraph(s), target_left,
+                                 /*spectral_initial=*/true);
 }
 
 class MultilevelPartitioner final : public Partitioner {

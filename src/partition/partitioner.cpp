@@ -10,6 +10,8 @@ std::unique_ptr<Partitioner> make_rib();
 std::unique_ptr<Partitioner> make_spectral();
 std::unique_ptr<Partitioner> make_multilevel();
 std::unique_ptr<Partitioner> make_mlspectral();
+// Defined in sfc.cpp.
+std::unique_ptr<Partitioner> make_hilbert();
 
 PartitionResult evaluate_partition(const dual::DualGraph& g,
                                    std::vector<PartId> part, int nparts) {
@@ -47,12 +49,13 @@ std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
   if (name == "spectral") return make_spectral();
   if (name == "multilevel") return make_multilevel();
   if (name == "mlspectral") return make_mlspectral();
+  if (name == "hilbert") return make_hilbert();
   PLUM_CHECK_MSG(false, "unknown partitioner '" << name << "'");
   return nullptr;
 }
 
 std::vector<std::string> partitioner_names() {
-  return {"rcb", "rib", "spectral", "multilevel", "mlspectral"};
+  return {"rcb", "rib", "spectral", "multilevel", "mlspectral", "hilbert"};
 }
 
 }  // namespace plum::partition

@@ -18,6 +18,9 @@
 //                  paper's Chaco configuration ("multilevel spectral
 //                  Lanczos partitioning algorithm with local
 //                  Kernighan-Lin refinement")
+//   "hilbert"    — weighted Hilbert space-filling-curve partitioner
+//                  with histogram splitter selection (sfc.hpp): the
+//                  fast, incremental-friendly path for large P
 //
 // All partition by W_comp ("the connectivity and W_comp determine how
 // dual graph vertices should be grouped to form partitions that minimize
@@ -39,6 +42,11 @@ struct PartitionResult {
   std::vector<std::int64_t> part_weight; ///< W_comp per partition
   /// max(part_weight) / avg(part_weight) — the paper's imbalance factor.
   double imbalance = 0.0;
+  /// Partition similarity: dual vertices whose processor would change
+  /// versus the incoming placement under the chosen part->processor
+  /// assignment.  Filled by the load balancer (-1 = not evaluated);
+  /// incremental repartitioning exists to keep this small.
+  std::int64_t vertices_changed = -1;
 };
 
 /// Computes cut/weights/imbalance for an assignment.
@@ -60,7 +68,8 @@ class Partitioner {
                                       int nparts) = 0;
 };
 
-/// Factory: "rcb", "rib", "spectral", "multilevel", or "mlspectral".
+/// Factory: "rcb", "rib", "spectral", "multilevel", "mlspectral", or
+/// "hilbert".
 std::unique_ptr<Partitioner> make_partitioner(const std::string& name);
 
 /// All registered partitioner names (for parameterized tests/benches).

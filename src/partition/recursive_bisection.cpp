@@ -10,20 +10,25 @@ namespace plum::partition::detail {
 
 namespace {
 
+/// In-place range recursion: stably partitions subset[0..n) by the
+/// bisector's verdict (via `tmp`, so relative order — and with it every
+/// downstream comparison — matches the historical copy-out recursion
+/// bit for bit) and recurses on the two halves.
 void recurse(const dual::DualGraph& g, const Bisector& bisect,
-             std::vector<std::int32_t> subset, int nparts, PartId first_part,
-             std::vector<PartId>* out) {
+             std::int32_t* subset, std::size_t n, int nparts,
+             PartId first_part, std::vector<PartId>* out,
+             BisectScratch& scratch, std::vector<std::int32_t>& tmp) {
   if (nparts == 1) {
-    for (const auto v : subset) {
-      (*out)[static_cast<std::size_t>(v)] = first_part;
+    for (std::size_t i = 0; i < n; ++i) {
+      (*out)[static_cast<std::size_t>(subset[i])] = first_part;
     }
     return;
   }
   // Degenerate subsets (possible with heavy vertex weights, e.g. on
   // agglomerated graphs, where one vertex can "deserve" several parts):
   // one vertex per part, surplus parts stay empty.
-  if (static_cast<int>(subset.size()) <= nparts) {
-    for (std::size_t i = 0; i < subset.size(); ++i) {
+  if (static_cast<int>(n) <= nparts) {
+    for (std::size_t i = 0; i < n; ++i) {
       (*out)[static_cast<std::size_t>(subset[i])] =
           first_part + static_cast<PartId>(i);
     }
@@ -32,30 +37,39 @@ void recurse(const dual::DualGraph& g, const Bisector& bisect,
   const int kl = nparts / 2;
   const int kr = nparts - kl;
   std::int64_t total = 0;
-  for (const auto v : subset) total += g.wcomp[static_cast<std::size_t>(v)];
+  for (std::size_t i = 0; i < n; ++i) {
+    total += g.wcomp[static_cast<std::size_t>(subset[i])];
+  }
   const std::int64_t target_left =
       total * kl / nparts;  // proportional for odd k
 
-  const std::vector<char> side = bisect(g, subset, target_left);
-  PLUM_CHECK(side.size() == subset.size());
-  std::vector<std::int32_t> left, right;
-  left.reserve(subset.size());
-  right.reserve(subset.size());
-  for (std::size_t i = 0; i < subset.size(); ++i) {
-    (side[i] == 0 ? left : right).push_back(subset[i]);
+  bisect(g, subset, n, target_left, scratch);
+  PLUM_CHECK(scratch.side.size() == n);
+  // Stable in-place split: side-0 entries compact to the front (the
+  // write cursor never overtakes the read cursor), side-1 entries park
+  // in tmp and are copied back behind them.
+  tmp.clear();
+  std::size_t nl = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scratch.side[i] == 0) {
+      subset[nl++] = subset[i];
+    } else {
+      tmp.push_back(subset[i]);
+    }
   }
+  std::copy(tmp.begin(), tmp.end(), subset + nl);
   // A degenerate bisection (everything on one side) cannot be recursed;
   // move one vertex across so both sides are populated (the small side
   // is then handled by the degenerate-subset guard above).
-  if (left.empty() && right.size() > 1) {
-    left.push_back(right.back());
-    right.pop_back();
-  } else if (right.empty() && left.size() > 1) {
-    right.push_back(left.back());
-    left.pop_back();
+  if (nl == 0) {
+    std::rotate(subset, subset + n - 1, subset + n);
+    nl = 1;
+  } else if (nl == n) {
+    nl = n - 1;
   }
-  recurse(g, bisect, std::move(left), kl, first_part, out);
-  recurse(g, bisect, std::move(right), kr, first_part + kl, out);
+  recurse(g, bisect, subset, nl, kl, first_part, out, scratch, tmp);
+  recurse(g, bisect, subset + nl, n - nl, kr, first_part + kl, out, scratch,
+          tmp);
 }
 
 }  // namespace
@@ -65,20 +79,25 @@ std::vector<PartId> recursive_partition(const dual::DualGraph& g, int nparts,
   PLUM_CHECK_MSG(nparts >= 1, "nparts must be positive");
   PLUM_CHECK_MSG(g.num_vertices() >= nparts,
                  "fewer dual vertices than partitions");
-  std::vector<PartId> out(static_cast<std::size_t>(g.num_vertices()),
-                          kNoPart);
-  std::vector<std::int32_t> all(static_cast<std::size_t>(g.num_vertices()));
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<PartId> out(n, kNoPart);
+  std::vector<std::int32_t> all(n);
   std::iota(all.begin(), all.end(), 0);
-  recurse(g, bisect, std::move(all), nparts, 0, &out);
+  BisectScratch scratch;
+  scratch.side.reserve(n);
+  scratch.order.reserve(n);
+  std::vector<std::int32_t> tmp;
+  tmp.reserve(n);
+  recurse(g, bisect, all.data(), n, nparts, 0, &out, scratch, tmp);
   return out;
 }
 
-std::vector<char> split_by_order(const dual::DualGraph& g,
-                                 const std::vector<std::int32_t>& subset,
-                                 const std::vector<double>& value,
-                                 std::int64_t target_left) {
-  PLUM_CHECK(value.size() == subset.size());
-  std::vector<std::int32_t> order(subset.size());
+void split_by_order(const dual::DualGraph& g, const std::int32_t* subset,
+                    std::size_t n, const std::vector<double>& value,
+                    std::int64_t target_left, BisectScratch& scratch) {
+  PLUM_CHECK(value.size() >= n);
+  std::vector<std::int32_t>& order = scratch.order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
             [&](std::int32_t a, std::int32_t b) {
@@ -92,11 +111,10 @@ std::vector<char> split_by_order(const dual::DualGraph& g,
             });
   // Walk the prefix; stop at the point whose cumulative weight is
   // closest to the target (never take the empty or full prefix).
-  std::vector<char> side(subset.size(), 1);
+  scratch.side.assign(n, 1);
   std::int64_t acc = 0;
-  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
-    const auto v =
-        subset[static_cast<std::size_t>(order[i])];
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto v = subset[static_cast<std::size_t>(order[i])];
     const std::int64_t w = g.wcomp[static_cast<std::size_t>(v)];
     // Include this vertex if doing so moves us no further from the
     // target than stopping would.
@@ -104,25 +122,24 @@ std::vector<char> split_by_order(const dual::DualGraph& g,
         std::llabs(acc - target_left) <= std::llabs(acc + w - target_left)) {
       break;
     }
-    side[static_cast<std::size_t>(order[i])] = 0;
+    scratch.side[static_cast<std::size_t>(order[i])] = 0;
     acc += w;
   }
-  return side;
 }
 
-Subgraph induce(const dual::DualGraph& g,
-                const std::vector<std::int32_t>& subset) {
+Subgraph induce(const dual::DualGraph& g, const std::int32_t* subset,
+                std::size_t n) {
   Subgraph s;
-  s.global = subset;
-  s.adjacency.assign(subset.size(), {});
-  s.eweight.assign(subset.size(), {});
-  s.weight.assign(subset.size(), 0);
+  s.global.assign(subset, subset + n);
+  s.adjacency.assign(n, {});
+  s.eweight.assign(n, {});
+  s.weight.assign(n, 0);
   std::unordered_map<std::int32_t, std::int32_t> local;
-  local.reserve(subset.size());
-  for (std::size_t i = 0; i < subset.size(); ++i) {
+  local.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     local[subset[i]] = static_cast<std::int32_t>(i);
   }
-  for (std::size_t i = 0; i < subset.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const auto gv = static_cast<std::size_t>(subset[i]);
     s.weight[i] = g.wcomp[gv];
     for (std::size_t k = 0; k < g.adjacency[gv].size(); ++k) {

@@ -1,12 +1,20 @@
 // Shared recursive-bisection machinery (internal to the partition
 // module).
 //
-// All four partitioners are recursive bisectors: split the vertex set in
+// All recursive partitioners are bisectors: split the vertex set in
 // two with a weight target, recurse on each side.  Uneven part counts
 // are handled by splitting k into floor(k/2) / ceil(k/2) and sizing the
 // weight target proportionally, so any k (not just powers of two) works.
+//
+// The recursion works in place on a single index array — each level
+// stably partitions its [subset, subset+n) range into left|right and
+// recurses on the halves — and every per-level buffer a bisector needs
+// (side flags, sort keys, permutation) lives in one BisectScratch that
+// is allocated once per partition() call, so no vector is allocated at
+// recursion depth.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -15,26 +23,42 @@
 
 namespace plum::partition::detail {
 
-/// Splits `subset` (indices into g) into two sides; side[i] is 0/1 for
-/// subset[i].  `target_left` is the desired total wcomp of side 0.
-using Bisector = std::function<std::vector<char>(
-    const dual::DualGraph& g, const std::vector<std::int32_t>& subset,
-    std::int64_t target_left)>;
+/// Reusable per-partition() buffers, threaded through the recursion.
+/// Capacity grows to the root subset size once and is reused at every
+/// level below.
+struct BisectScratch {
+  /// Bisector output: side[i] is 0/1 for subset[i].
+  std::vector<char> side;
+  /// Scalar sort keys for order-based bisectors.
+  std::vector<double> value;
+  /// Per-axis centroid coordinates (filled by the RCB bounding-box
+  /// pass, so the cut axis's keys need no second centroid sweep).
+  std::array<std::vector<double>, 3> coord;
+  /// Permutation buffer of split_by_order.
+  std::vector<std::int32_t> order;
+};
+
+/// Splits subset[0..n) (indices into g) into two sides, leaving the
+/// verdict in scratch.side (resized to n; side[i] is 0/1 for
+/// subset[i]).  `target_left` is the desired total wcomp of side 0.
+using Bisector = std::function<void(
+    const dual::DualGraph& g, const std::int32_t* subset, std::size_t n,
+    std::int64_t target_left, BisectScratch& scratch)>;
 
 /// Runs the full recursion; returns a part id per dual vertex.
 std::vector<PartId> recursive_partition(const dual::DualGraph& g, int nparts,
                                         const Bisector& bisect);
 
 /// Order-based split: sorts subset by `value` (vertex-id tie-break) and
-/// cuts at the weighted position closest to target_left.  The workhorse
-/// for the geometric and spectral bisectors.
-std::vector<char> split_by_order(const dual::DualGraph& g,
-                                 const std::vector<std::int32_t>& subset,
-                                 const std::vector<double>& value,
-                                 std::int64_t target_left);
+/// cuts at the weighted position closest to target_left, writing the
+/// verdict to scratch.side.  The workhorse for the geometric and
+/// spectral bisectors.  `value` may alias a scratch buffer.
+void split_by_order(const dual::DualGraph& g, const std::int32_t* subset,
+                    std::size_t n, const std::vector<double>& value,
+                    std::int64_t target_left, BisectScratch& scratch);
 
-/// Induced subgraph of `subset` with local indices (adjacency restricted
-/// to the subset, edge weights collapsed to counts).
+/// Induced subgraph of subset[0..n) with local indices (adjacency
+/// restricted to the subset, edge weights collapsed to counts).
 struct Subgraph {
   std::vector<std::vector<std::int32_t>> adjacency;  // local indices
   /// Communication weight per adjacency entry (parallel array).
@@ -42,7 +66,7 @@ struct Subgraph {
   std::vector<std::int64_t> weight;                  // wcomp
   std::vector<std::int32_t> global;                  // local -> g vertex
 };
-Subgraph induce(const dual::DualGraph& g,
-                const std::vector<std::int32_t>& subset);
+Subgraph induce(const dual::DualGraph& g, const std::int32_t* subset,
+                std::size_t n);
 
 }  // namespace plum::partition::detail

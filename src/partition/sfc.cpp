@@ -1,0 +1,360 @@
+#include "partition/sfc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "partition/partitioner.hpp"
+#include "support/check.hpp"
+
+namespace plum::partition {
+
+namespace {
+
+/// Number of 8-bit histogram digits covering a 3*bits-bit key.
+inline int num_digits(int bits) { return (3 * bits + 7) / 8; }
+
+}  // namespace
+
+// Skilling's AxestoTranspose ("Programming the Hilbert curve", 2004)
+// with the per-bit conditionals replaced by mask arithmetic so the
+// inner loop is branch-free: `m` is all-ones when the probed bit is
+// set, selecting the invert step; all-zeros selects the exchange step.
+std::uint64_t hilbert_key(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                          int bits) {
+  std::uint32_t X[3] = {x, y, z};
+  // Inverse undo of the excess work.
+  for (std::uint32_t q = 1u << (bits - 1); q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < 3; ++i) {
+      const std::uint32_t m = -static_cast<std::uint32_t>((X[i] & q) != 0);
+      const std::uint32_t t = ((X[0] ^ X[i]) & p) & ~m;
+      X[0] ^= (p & m) ^ t;
+      X[i] ^= t;
+    }
+  }
+  // Gray encode.
+  X[1] ^= X[0];
+  X[2] ^= X[1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = 1u << (bits - 1); q > 1; q >>= 1) {
+    t ^= (q - 1) & -static_cast<std::uint32_t>((X[2] & q) != 0);
+  }
+  X[0] ^= t;
+  X[1] ^= t;
+  X[2] ^= t;
+  // The transpose form distributes the index round-robin across axes,
+  // X[0] most significant: collect bit b of X[0], X[1], X[2] in turn.
+  std::uint64_t key = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < 3; ++i) {
+      key = (key << 1) | ((X[i] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+void hilbert_decode(std::uint64_t key, std::uint32_t* x, std::uint32_t* y,
+                    std::uint32_t* z, int bits) {
+  std::uint32_t X[3] = {0, 0, 0};
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < 3; ++i) {
+      X[i] |= static_cast<std::uint32_t>(
+                  (key >> (3 * b + (2 - i))) & 1u)
+              << b;
+    }
+  }
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = X[2] >> 1;
+  X[2] ^= X[1];
+  X[1] ^= X[0];
+  X[0] ^= t;
+  // Undo the excess work (inverse of the encode's first loop).
+  for (std::uint32_t q = 2; q != (1u << bits); q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 2; i >= 0; --i) {
+      const std::uint32_t m = -static_cast<std::uint32_t>((X[i] & q) != 0);
+      const std::uint32_t u = ((X[0] ^ X[i]) & p) & ~m;
+      X[0] ^= (p & m) ^ u;
+      X[i] ^= u;
+    }
+  }
+  *x = X[0];
+  *y = X[1];
+  *z = X[2];
+}
+
+std::vector<std::uint64_t> compute_sfc_keys(const dual::DualGraph& g) {
+  const std::size_t n = g.centroid.size();
+  std::vector<std::uint64_t> keys(n, 0);
+  if (n == 0) return keys;
+  mesh::Vec3 lo = g.centroid[0];
+  mesh::Vec3 hi = g.centroid[0];
+  for (const mesh::Vec3& c : g.centroid) {
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    lo.z = std::min(lo.z, c.z);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+    hi.z = std::max(hi.z, c.z);
+  }
+  const double span = static_cast<double>((1u << kSfcBitsPerAxis) - 1);
+  // Degenerate (flat) axes map to lattice coordinate 0 everywhere.
+  const double sx = hi.x > lo.x ? span / (hi.x - lo.x) : 0.0;
+  const double sy = hi.y > lo.y ? span / (hi.y - lo.y) : 0.0;
+  const double sz = hi.z > lo.z ? span / (hi.z - lo.z) : 0.0;
+  const auto quantize = [span](double v) {
+    return static_cast<std::uint32_t>(
+        std::llround(std::clamp(v, 0.0, span)));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const mesh::Vec3& c = g.centroid[i];
+    keys[i] = hilbert_key(quantize((c.x - lo.x) * sx),
+                          quantize((c.y - lo.y) * sy),
+                          quantize((c.z - lo.z) * sz));
+  }
+  return keys;
+}
+
+const std::vector<std::uint64_t>& ensure_sfc_keys(dual::DualGraph& g) {
+  if (g.sfc_key.size() != static_cast<std::size_t>(g.num_vertices())) {
+    g.sfc_key = compute_sfc_keys(g);
+  }
+  return g.sfc_key;
+}
+
+std::vector<SfcSplitter> solve_splitter_targets(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::int64_t>& weight,
+    const std::vector<std::int64_t>& targets) {
+  const std::size_t n = keys.size();
+  const std::size_t k = targets.size();
+  PLUM_CHECK(weight.size() == n);
+  std::vector<SfcSplitter> out(k);
+  if (k == 0) return out;
+  std::int64_t total = 0;
+  for (const std::int64_t w : weight) total += w;
+  for (std::size_t j = 0; j < k; ++j) {
+    PLUM_CHECK_MSG(targets[j] > 0 && targets[j] <= total,
+                   "splitter target " << targets[j] << " outside (0, "
+                                      << total << "]");
+    PLUM_CHECK(j == 0 || targets[j] >= targets[j - 1]);
+  }
+
+  // Invariant after each round: prefix[j] holds the decided high digits
+  // of splitter j's key, wbelow[j] the weight of elements whose key's
+  // prefix is strictly smaller, and
+  //   wbelow[j] < targets[j] <= wbelow[j] + weight(prefix == prefix[j]).
+  std::vector<std::uint64_t> prefix(k, 0);
+  std::vector<std::int64_t> wbelow(k, 0);
+  std::vector<std::uint64_t> distinct;
+  std::vector<std::int64_t> hist;
+  const int rounds = num_digits(kSfcBitsPerAxis);
+  for (int r = 0; r < rounds; ++r) {
+    const int s = 8 * (rounds - 1 - r);
+    // Targets are non-decreasing, so prefixes are non-decreasing and
+    // contiguous runs share a prefix.
+    distinct.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (distinct.empty() || distinct.back() != prefix[j]) {
+        distinct.push_back(prefix[j]);
+      }
+    }
+    hist.assign(distinct.size() * 256, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      // (key >> s) >> 8, not key >> (s+8): s+8 can reach 64.
+      const std::uint64_t p = (keys[i] >> s) >> 8;
+      const auto it =
+          std::lower_bound(distinct.begin(), distinct.end(), p);
+      if (it == distinct.end() || *it != p) continue;
+      const std::size_t grp =
+          static_cast<std::size_t>(it - distinct.begin());
+      hist[grp * 256 + ((keys[i] >> s) & 255u)] += weight[i];
+    }
+    std::size_t grp = 0;
+    std::size_t d = 0;
+    std::int64_t acc = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (distinct[grp] != prefix[j]) {
+        ++grp;
+        d = 0;
+        acc = 0;
+      }
+      const std::int64_t* h = &hist[grp * 256];
+      while (d < 255 && wbelow[j] + acc + h[d] < targets[j]) {
+        acc += h[d];
+        ++d;
+      }
+      prefix[j] = (prefix[j] << 8) | static_cast<std::uint64_t>(d);
+      wbelow[j] += acc;
+    }
+  }
+
+  // Tie pass: prefix[j] is now the exact key at which splitter j's
+  // target is crossed; split runs of equal keys by vertex id.  Gather
+  // (vid, weight) for every element on a boundary key, sort by vid,
+  // and advance a shared cursor per key group.
+  distinct.clear();
+  for (std::size_t j = 0; j < k; ++j) {
+    if (distinct.empty() || distinct.back() != prefix[j]) {
+      distinct.push_back(prefix[j]);
+    }
+  }
+  std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>> ties(
+      distinct.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it =
+        std::lower_bound(distinct.begin(), distinct.end(), keys[i]);
+    if (it == distinct.end() || *it != keys[i]) continue;
+    ties[static_cast<std::size_t>(it - distinct.begin())].emplace_back(
+        static_cast<std::int32_t>(i), weight[i]);
+  }
+  for (auto& t : ties) std::sort(t.begin(), t.end());
+  std::size_t grp = 0;
+  std::size_t pos = 0;
+  std::int64_t acc = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (distinct[grp] != prefix[j]) {
+      ++grp;
+      pos = 0;
+      acc = 0;
+    }
+    const auto& run = ties[grp];
+    PLUM_CHECK_MSG(!run.empty(), "boundary key has no elements");
+    while (pos + 1 < run.size() &&
+           wbelow[j] + acc + run[pos].second < targets[j]) {
+      acc += run[pos].second;
+      ++pos;
+    }
+    // Smallest splitter with >= targets[j] weight below it: just above
+    // the crossing element (same key, vid + 1).
+    out[j] = {prefix[j], run[pos].first + 1};
+  }
+  return out;
+}
+
+std::vector<SfcSplitter> select_splitters(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::int64_t>& weight, int nparts) {
+  PLUM_CHECK(nparts >= 1);
+  if (nparts == 1 || keys.empty()) return {};
+  std::int64_t total = 0;
+  for (const std::int64_t w : weight) total += w;
+  std::vector<std::int64_t> targets(
+      static_cast<std::size_t>(nparts - 1));
+  for (int j = 0; j + 1 < nparts; ++j) {
+    // G_j = floor(W*(j+1)/k): part i's weight is G_i - G_{i-1} plus at
+    // most the crossing element, so max part <= ceil(W/k) + w_max.
+    targets[static_cast<std::size_t>(j)] =
+        std::max<std::int64_t>(1, total * (j + 1) / nparts);
+  }
+  std::vector<SfcSplitter> spl =
+      solve_splitter_targets(keys, weight, targets);
+
+  // A vertex heavier than W/k can swallow several targets, leaving a
+  // part empty.  When there are enough vertices to populate every
+  // part, fall back to sorted order with positions clamped to be
+  // strictly increasing and to leave room for the remaining parts.
+  const std::int64_t n = static_cast<std::int64_t>(keys.size());
+  if (n >= nparts) {
+    bool empty_part = false;
+    const std::vector<std::int64_t> pw =
+        splitter_part_weights(keys, weight, spl);
+    for (const std::int64_t w : pw) empty_part |= (w == 0);
+    if (empty_part) {
+      std::vector<std::int32_t> order(keys.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<std::int32_t>(i);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](std::int32_t a, std::int32_t b) {
+                  return keys[static_cast<std::size_t>(a)] !=
+                                 keys[static_cast<std::size_t>(b)]
+                             ? keys[static_cast<std::size_t>(a)] <
+                                   keys[static_cast<std::size_t>(b)]
+                             : a < b;
+                });
+      std::int64_t prev = 0;
+      std::int64_t cum = 0;
+      std::size_t at = 0;
+      for (std::size_t j = 0; j + 1 < static_cast<std::size_t>(nparts);
+           ++j) {
+        while (at < order.size() &&
+               cum < targets[j]) {
+          cum += weight[static_cast<std::size_t>(order[at])];
+          ++at;
+        }
+        std::int64_t m = static_cast<std::int64_t>(at);
+        const std::int64_t jj = static_cast<std::int64_t>(j);
+        m = std::clamp(m, prev + 1, n - (nparts - 2 - jj) - 1);
+        prev = m;
+        const std::int32_t v = order[static_cast<std::size_t>(m - 1)];
+        spl[j] = {keys[static_cast<std::size_t>(v)], v + 1};
+      }
+    }
+  }
+  return spl;
+}
+
+std::vector<PartId> parts_from_splitters(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<SfcSplitter>& splitters) {
+  std::vector<PartId> part(keys.size(), 0);
+  if (splitters.empty()) return part;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const SfcSplitter e{keys[i], static_cast<std::int32_t>(i)};
+    // Part id = number of splitters at or below this vertex.
+    part[i] = static_cast<PartId>(
+        std::upper_bound(splitters.begin(), splitters.end(), e,
+                         [](const SfcSplitter& a, const SfcSplitter& b) {
+                           return a < b;
+                         }) -
+        splitters.begin());
+  }
+  return part;
+}
+
+std::vector<std::int64_t> splitter_part_weights(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::int64_t>& weight,
+    const std::vector<SfcSplitter>& splitters) {
+  std::vector<std::int64_t> pw(splitters.size() + 1, 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const SfcSplitter e{keys[i], static_cast<std::int32_t>(i)};
+    const std::size_t p = static_cast<std::size_t>(
+        std::upper_bound(splitters.begin(), splitters.end(), e,
+                         [](const SfcSplitter& a, const SfcSplitter& b) {
+                           return a < b;
+                         }) -
+        splitters.begin());
+    pw[p] += weight[i];
+  }
+  return pw;
+}
+
+namespace {
+
+class HilbertPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "hilbert"; }
+
+ protected:
+  std::vector<PartId> compute(const dual::DualGraph& g,
+                              int nparts) override {
+    const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+    std::vector<std::uint64_t> local;
+    if (g.sfc_key.size() != n) local = compute_sfc_keys(g);
+    const std::vector<std::uint64_t>& keys =
+        g.sfc_key.size() == n ? g.sfc_key : local;
+    return parts_from_splitters(
+        keys, select_splitters(keys, g.wcomp, nparts));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> make_hilbert() {
+  return std::make_unique<HilbertPartitioner>();
+}
+
+}  // namespace plum::partition

@@ -1,0 +1,105 @@
+// Weighted Hilbert space-filling-curve partitioner (ROADMAP item 2).
+//
+// The paper treats the partitioner as pluggable ("any mesh partitioning
+// algorithm can be used here, as long as it quickly delivers partitions
+// that are reasonably balanced").  This module provides the fast path
+// the follow-on SFC literature (Borrell et al., PAPERS.md) settled on:
+//
+//   1. Every dual vertex gets a 63-bit *Hilbert key*: its centroid is
+//      quantized to a 21-bit lattice per axis against the global
+//      bounding box and encoded with a branchless 3-D Hilbert curve
+//      (Skilling's transpose form with the conditionals replaced by
+//      masks).  Keys depend only on the immutable initial-mesh
+//      centroids, so they are computed once per run and cached on the
+//      dual graph; adaption never invalidates them.
+//
+//   2. Partitioning reduces to choosing k-1 *splitters* along the curve
+//      so each key range carries ~W/k computational weight.  Splitters
+//      are found by iterative weighted histogram refinement — 8 rounds
+//      of 256-bucket histograms narrow each splitter to an exact key,
+//      then a tie pass splits equal-key runs by vertex id — O(N) per
+//      round with no global sort and no per-rank global state beyond
+//      the (replicated) weight vector the balance pipeline already
+//      holds.
+//
+// Because elements keep their curve keys across adaption, repartition
+// after adaption is a splitter *update*, not a from-scratch solve; the
+// incremental driver lives in balance/repart.{hpp,cpp} and reuses
+// solve_splitter_targets() below.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dualgraph/dual_graph.hpp"
+
+namespace plum::partition {
+
+/// Lattice resolution per axis; 3*21 = 63 key bits fit a uint64.
+inline constexpr int kSfcBitsPerAxis = 21;
+
+/// Hilbert index of lattice cell (x, y, z), coordinates in
+/// [0, 2^bits); the result occupies the low 3*bits bits.
+std::uint64_t hilbert_key(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                          int bits = kSfcBitsPerAxis);
+
+/// Inverse of hilbert_key (exposed for the bijectivity/locality tests).
+void hilbert_decode(std::uint64_t key, std::uint32_t* x, std::uint32_t* y,
+                    std::uint32_t* z, int bits = kSfcBitsPerAxis);
+
+/// Hilbert keys of every dual-vertex centroid, quantized against the
+/// graph's global centroid bounding box.
+std::vector<std::uint64_t> compute_sfc_keys(const dual::DualGraph& g);
+
+/// Fills g.sfc_key (once; no-op when already sized) and returns it.
+/// The cache survives weight refreshes — centroids never change.
+const std::vector<std::uint64_t>& ensure_sfc_keys(dual::DualGraph& g);
+
+/// A position on the curve: vertex v lies *below* the splitter iff
+/// (key[v], v) < (key, vid) lexicographically.  The vid threshold
+/// resolves runs of equal keys deterministically.
+struct SfcSplitter {
+  std::uint64_t key = 0;
+  std::int32_t vid = 0;
+
+  friend bool operator<(const SfcSplitter& a, const SfcSplitter& b) {
+    return a.key != b.key ? a.key < b.key : a.vid < b.vid;
+  }
+};
+
+/// True iff vertex (key, vid) lies below the splitter.
+inline bool below_splitter(std::uint64_t key, std::int32_t vid,
+                           const SfcSplitter& s) {
+  return key != s.key ? key < s.key : vid < s.vid;
+}
+
+/// Core histogram solver: for each strictly-increasing cumulative
+/// weight target G, returns the smallest splitter S with
+/// weight{(key,vid) < S} >= G.  One 256-bucket histogram pass per key
+/// digit (8 rounds for 63-bit keys), then a tie pass over equal-key
+/// runs; no sort.  Targets must satisfy 0 < G <= total weight.
+std::vector<SfcSplitter> solve_splitter_targets(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::int64_t>& weight,
+    const std::vector<std::int64_t>& targets);
+
+/// From-scratch splitter selection for `nparts` parts with targets
+/// G_i = floor(W*(i+1)/k).  Guarantees max part weight <=
+/// ceil(W/k) + max vertex weight.
+std::vector<SfcSplitter> select_splitters(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::int64_t>& weight, int nparts);
+
+/// Part id per vertex: the number of splitters at or below (key[v], v).
+std::vector<PartId> parts_from_splitters(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<SfcSplitter>& splitters);
+
+/// Weight per part under `splitters` (k = splitters.size() + 1 parts)
+/// without materializing the part vector.
+std::vector<std::int64_t> splitter_part_weights(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::int64_t>& weight,
+    const std::vector<SfcSplitter>& splitters);
+
+}  // namespace plum::partition

@@ -22,12 +22,12 @@ using detail::split_by_order;
 using detail::Subgraph;
 using dual::DualGraph;
 
-std::vector<char> spectral_bisect(const DualGraph& g,
-                                  const std::vector<std::int32_t>& subset,
-                                  std::int64_t target_left) {
-  const Subgraph s = induce(g, subset);
+void spectral_bisect(const DualGraph& g, const std::int32_t* subset,
+                     std::size_t n, std::int64_t target_left,
+                     detail::BisectScratch& scratch) {
+  const Subgraph s = induce(g, subset, n);
   const std::vector<double> f = lanczos_fiedler(s);
-  return split_by_order(g, subset, f, target_left);
+  split_by_order(g, subset, n, f, target_left, scratch);
 }
 
 class SpectralPartitioner final : public Partitioner {

@@ -1,0 +1,315 @@
+// Hilbert curve and SFC splitter tests: key bijectivity and locality
+// on a full lattice, determinism of keys/splitters across independent
+// computations (the cross-rank contract of the replicated pipeline),
+// the histogram splitter's balance bound against a sort-based oracle,
+// and incremental-update ≡ from-scratch when weights are unchanged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <random>
+
+#include "adapt/adaptor.hpp"
+#include "adapt/marking.hpp"
+#include "balance/repart.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "partition/sfc.hpp"
+
+namespace plum::partition {
+namespace {
+
+using balance::run_sfc_repartitioner;
+using balance::SfcRepartConfig;
+using balance::SfcRepartOutcome;
+using balance::SfcRepartState;
+using dual::build_dual_graph;
+using dual::DualGraph;
+using mesh::make_cube_mesh;
+
+TEST(HilbertKey, BijectiveOnFullLattice) {
+  // Every cell of a 2^b lattice maps to a distinct key in
+  // [0, 2^(3b)), and decode inverts encode — together with locality
+  // below this fully characterizes a Hilbert curve.
+  const int bits = 4;
+  const std::uint32_t side = 1u << bits;
+  const std::uint64_t cells = 1ull << (3 * bits);
+  std::vector<char> seen(cells, 0);
+  for (std::uint32_t x = 0; x < side; ++x) {
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t z = 0; z < side; ++z) {
+        const std::uint64_t key = hilbert_key(x, y, z, bits);
+        ASSERT_LT(key, cells);
+        ASSERT_FALSE(seen[key]) << "duplicate key " << key;
+        seen[key] = 1;
+        std::uint32_t dx = 0, dy = 0, dz = 0;
+        hilbert_decode(key, &dx, &dy, &dz, bits);
+        ASSERT_EQ(dx, x);
+        ASSERT_EQ(dy, y);
+        ASSERT_EQ(dz, z);
+      }
+    }
+  }
+}
+
+TEST(HilbertKey, CurveStepsAreUnitNeighbours) {
+  // Walking the curve in key order moves exactly one lattice step at a
+  // time — curve-adjacent cells are spatially adjacent (locality).
+  const int bits = 4;
+  const std::uint64_t cells = 1ull << (3 * bits);
+  std::uint32_t px = 0, py = 0, pz = 0;
+  hilbert_decode(0, &px, &py, &pz, bits);
+  for (std::uint64_t key = 1; key < cells; ++key) {
+    std::uint32_t x = 0, y = 0, z = 0;
+    hilbert_decode(key, &x, &y, &z, bits);
+    const int d = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                  std::abs(static_cast<int>(y) - static_cast<int>(py)) +
+                  std::abs(static_cast<int>(z) - static_cast<int>(pz));
+    ASSERT_EQ(d, 1) << "jump at key " << key;
+    px = x;
+    py = y;
+    pz = z;
+  }
+}
+
+TEST(HilbertKey, FullDepthEncodingRoundTrips) {
+  // Spot-check the production depth (21 bits/axis, 63-bit keys).
+  std::mt19937_64 rng(7);
+  const std::uint32_t side = 1u << kSfcBitsPerAxis;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng() % side);
+    const auto y = static_cast<std::uint32_t>(rng() % side);
+    const auto z = static_cast<std::uint32_t>(rng() % side);
+    const std::uint64_t key = hilbert_key(x, y, z);
+    EXPECT_LT(key, 1ull << (3 * kSfcBitsPerAxis));
+    std::uint32_t dx = 0, dy = 0, dz = 0;
+    hilbert_decode(key, &dx, &dy, &dz);
+    ASSERT_EQ(dx, x);
+    ASSERT_EQ(dy, y);
+    ASSERT_EQ(dz, z);
+  }
+}
+
+DualGraph refined_graph() {
+  mesh::Mesh m = make_cube_mesh(4);
+  DualGraph g = build_dual_graph(m);
+  adapt::mark_refine_in_sphere(m, {{0.3, 0.3, 0.3}, 0.35});
+  adapt::refine_marked(m);
+  dual::update_weights(g, m);
+  return g;
+}
+
+TEST(SfcKeys, DeterministicAcrossIndependentComputations) {
+  // The balance pipeline runs replicated: every rank derives keys and
+  // splitters independently and must land on identical values.  Build
+  // the graph twice from scratch (fresh meshes, fresh caches) and
+  // compare everything.
+  DualGraph a = refined_graph();
+  DualGraph b = refined_graph();
+  const auto ka = compute_sfc_keys(a);
+  const auto kb = compute_sfc_keys(b);
+  EXPECT_EQ(ka, kb);
+
+  const auto sa = select_splitters(ka, a.wcomp, 8);
+  const auto sb = select_splitters(kb, b.wcomp, 8);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].key, sb[i].key);
+    EXPECT_EQ(sa[i].vid, sb[i].vid);
+  }
+  EXPECT_EQ(parts_from_splitters(ka, sa), parts_from_splitters(kb, sb));
+}
+
+TEST(SfcKeys, EnsureCachesOnce) {
+  DualGraph g = refined_graph();
+  EXPECT_TRUE(g.sfc_key.empty());
+  const auto& k1 = ensure_sfc_keys(g);
+  ASSERT_EQ(static_cast<std::int64_t>(k1.size()), g.num_vertices());
+  const std::uint64_t first = k1.front();
+  const auto* data = g.sfc_key.data();
+  const auto& k2 = ensure_sfc_keys(g);  // no recompute, same storage
+  EXPECT_EQ(k2.data(), data);
+  EXPECT_EQ(k2.front(), first);
+  EXPECT_EQ(g.sfc_key, compute_sfc_keys(g));
+}
+
+/// Sort-based oracle: the smallest splitter with >= target weight
+/// strictly below it.
+SfcSplitter oracle_splitter(const std::vector<std::uint64_t>& keys,
+                            const std::vector<std::int64_t>& weight,
+                            std::int64_t target) {
+  std::vector<std::int32_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return keys[static_cast<std::size_t>(a)] !=
+                             keys[static_cast<std::size_t>(b)]
+                         ? keys[static_cast<std::size_t>(a)] <
+                               keys[static_cast<std::size_t>(b)]
+                         : a < b;
+            });
+  std::int64_t acc = 0;
+  for (const std::int32_t v : order) {
+    acc += weight[static_cast<std::size_t>(v)];
+    if (acc >= target) return {keys[static_cast<std::size_t>(v)], v + 1};
+  }
+  return {~0ull, 0};
+}
+
+TEST(SfcSplitters, HistogramSolveMatchesSortedOracle) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 200 + static_cast<std::size_t>(rng() % 800);
+    std::vector<std::uint64_t> keys(n);
+    std::vector<std::int64_t> weight(n);
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Clustered keys (narrow range + duplicates) exercise the deep
+      // histogram rounds and the vid tie pass.
+      keys[i] = (trial % 2 == 0) ? rng() >> 1 : (rng() % 97) << 40;
+      weight[i] = 1 + static_cast<std::int64_t>(rng() % 9);
+      total += weight[i];
+    }
+    std::vector<std::int64_t> targets;
+    for (int j = 1; j <= 7; ++j) targets.push_back(total * j / 8);
+    for (auto& t : targets) t = std::max<std::int64_t>(t, 1);
+    const auto got = solve_splitter_targets(keys, weight, targets);
+    ASSERT_EQ(got.size(), targets.size());
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      const SfcSplitter want = oracle_splitter(keys, weight, targets[j]);
+      EXPECT_EQ(got[j].key, want.key) << "trial " << trial << " j " << j;
+      EXPECT_EQ(got[j].vid, want.vid) << "trial " << trial << " j " << j;
+    }
+  }
+}
+
+TEST(SfcSplitters, BalanceBoundHolds) {
+  // select_splitters guarantees max part weight <= ceil(W/k) + w_max.
+  std::mt19937_64 rng(11);
+  for (const int k : {2, 5, 8, 16, 31}) {
+    const std::size_t n = 1000;
+    std::vector<std::uint64_t> keys(n);
+    std::vector<std::int64_t> weight(n);
+    std::int64_t total = 0;
+    std::int64_t wmax = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = rng() >> 1;
+      weight[i] = 1 + static_cast<std::int64_t>(rng() % 20);
+      total += weight[i];
+      wmax = std::max(wmax, weight[i]);
+    }
+    const auto spl = select_splitters(keys, weight, k);
+    ASSERT_EQ(spl.size(), static_cast<std::size_t>(k - 1));
+    const auto pw = splitter_part_weights(keys, weight, spl);
+    ASSERT_EQ(pw.size(), static_cast<std::size_t>(k));
+    const std::int64_t bound = (total + k - 1) / k + wmax;
+    for (const std::int64_t w : pw) {
+      EXPECT_LE(w, bound) << "k=" << k;
+      EXPECT_GT(w, 0) << "k=" << k;
+    }
+  }
+}
+
+TEST(SfcSplitters, HeavyVertexFallbackKeepsEveryPartPopulated) {
+  // One vertex heavy enough to swallow several targets would leave
+  // parts empty without the sorted fallback.
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::int64_t> weight(n, 1);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = i * 1000;
+  weight[20] = 10000;  // dominates W: several targets cross here
+  const int k = 8;
+  const auto spl = select_splitters(keys, weight, k);
+  std::vector<int> count(k, 0);
+  for (const PartId p : parts_from_splitters(keys, spl)) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, k);
+    ++count[static_cast<std::size_t>(p)];
+  }
+  for (const int c : count) EXPECT_GT(c, 0);
+}
+
+TEST(SfcRepart, IncrementalEqualsScratchWhenWeightsUnchanged) {
+  DualGraph g = refined_graph();
+  ensure_sfc_keys(g);
+  const int nparts = 8;
+  const SfcRepartConfig cfg;
+
+  const SfcRepartOutcome scratch = run_sfc_repartitioner(g, nparts, cfg);
+  EXPECT_FALSE(scratch.incremental);
+
+  SfcRepartState state;
+  state.splitters = scratch.splitters;
+  state.nparts = nparts;
+  const SfcRepartOutcome inc =
+      run_sfc_repartitioner(g, nparts, cfg, &state);
+  EXPECT_TRUE(inc.incremental);
+  // Unchanged weights: every splitter is within tolerance, so the
+  // whole set is kept and the partition is bit-identical.
+  EXPECT_EQ(inc.splitters_kept, nparts - 1);
+  EXPECT_EQ(inc.splitters_updated, 0);
+  EXPECT_EQ(inc.part, scratch.part);
+  ASSERT_EQ(inc.splitters.size(), scratch.splitters.size());
+  for (std::size_t i = 0; i < inc.splitters.size(); ++i) {
+    EXPECT_EQ(inc.splitters[i].key, scratch.splitters[i].key);
+    EXPECT_EQ(inc.splitters[i].vid, scratch.splitters[i].vid);
+  }
+}
+
+TEST(SfcRepart, IncrementalMovesFewerVerticesAfterAdaption) {
+  // Refine, partition, refine again: the incremental update must
+  // relabel (strictly) fewer vertices than a from-scratch solve while
+  // staying within its imbalance tolerance of the scratch solve.
+  mesh::Mesh m = make_cube_mesh(5);
+  DualGraph g = build_dual_graph(m);
+  ensure_sfc_keys(g);
+  const int nparts = 16;
+  const SfcRepartConfig cfg;
+
+  adapt::mark_refine_in_sphere(m, {{0.25, 0.25, 0.25}, 0.3});
+  adapt::refine_marked(m);
+  dual::update_weights(g, m);
+  const SfcRepartOutcome first = run_sfc_repartitioner(g, nparts, cfg);
+  SfcRepartState state{first.splitters, nparts};
+
+  adapt::mark_refine_in_sphere(m, {{0.35, 0.35, 0.35}, 0.3});
+  adapt::refine_marked(m);
+  dual::update_weights(g, m);
+  const SfcRepartOutcome scratch = run_sfc_repartitioner(g, nparts, cfg);
+  const SfcRepartOutcome inc =
+      run_sfc_repartitioner(g, nparts, cfg, &state);
+  ASSERT_TRUE(inc.incremental);
+  EXPECT_GT(inc.splitters_kept, 0);
+
+  std::int64_t moved_scratch = 0;
+  std::int64_t moved_inc = 0;
+  for (std::size_t v = 0; v < first.part.size(); ++v) {
+    moved_scratch += (scratch.part[v] != first.part[v]);
+    moved_inc += (inc.part[v] != first.part[v]);
+  }
+  EXPECT_LT(moved_inc, moved_scratch);
+
+  // The hysteresis trades at most the tolerance band of imbalance.
+  const auto pw = splitter_part_weights(g.sfc_key, g.wcomp, inc.splitters);
+  std::int64_t total = 0, wmax = 0;
+  for (const auto w : pw) {
+    total += w;
+    wmax = std::max(wmax, w);
+  }
+  const double imb =
+      static_cast<double>(wmax) * nparts / static_cast<double>(total);
+  EXPECT_LE(imb, cfg.imbalance_tolerance + 0.10);
+}
+
+TEST(SfcRepart, ShapeMismatchFallsBackToScratch) {
+  DualGraph g = refined_graph();
+  SfcRepartState state;  // nparts = 0: no usable state
+  const SfcRepartOutcome out =
+      run_sfc_repartitioner(g, 8, SfcRepartConfig{}, &state);
+  EXPECT_FALSE(out.incremental);
+  EXPECT_EQ(out.splitters_updated, 7);
+}
+
+}  // namespace
+}  // namespace plum::partition

@@ -4,10 +4,11 @@
 //   plum adapt     --in mesh.bin --strategy local1|local2|random|indicator
 //                  [--out out.bin] [--vtk out.vtk] [--coarsen]
 //   plum quality   --in mesh.bin
-//   plum partition --in mesh.bin --algo rcb|rib|spectral|multilevel|mlspectral
-//                  --k 16
+//   plum partition --in mesh.bin --algo rcb|rib|spectral|multilevel|
+//                  mlspectral|hilbert --k 16 | --list
 //   plum cycle     --n 12 --procs 8 --cycles 3 --strategy local1
-//                  [--partitioner mlspectral] [--remapper heuristic]
+//                  [--partitioner auto] [--sfc-incremental 0|1]
+//                  [--remapper heuristic]
 //                  [--factor 1] [--seed 0] [--vtk-prefix step]
 //                  [--trace out.json] [--metrics] [--metrics-json out.json]
 //                  [--timeline out.json] [--flight-dump[=PATH]]
@@ -165,6 +166,15 @@ int cmd_quality(const Args& args) {
 }
 
 int cmd_partition(const Args& args) {
+  if (args.has("list")) {
+    // Machine-readable registry dump (one name per line) so scripts —
+    // e.g. the CI partitioner-comparison smoke — enumerate algorithms
+    // without hard-coding them.
+    for (const auto& name : partition::partitioner_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
   mesh::Mesh m = load_or_make(args);
   const int k = args.get_int("k", 8);
   const std::string algo = args.get("algo", "mlspectral");
@@ -204,7 +214,12 @@ int cmd_cycle(const Args& args) {
 
   parallel::FrameworkConfig cfg;
   cfg.solver_iterations = args.get_int("solver-iters", 10);
-  cfg.balancer.partitioner = args.get("partitioner", "mlspectral");
+  // "auto" resolves to hilbert at nparts >= 16, mlspectral below
+  // (balance::resolve_partitioner) — identical to the historical
+  // default at the small P this CLI is typically run with.
+  cfg.balancer.partitioner = args.get("partitioner", "auto");
+  cfg.balancer.sfc_incremental =
+      args.get_int("sfc-incremental", 1) != 0;
   cfg.balancer.remapper = args.get("remapper", "heuristic");
   cfg.balancer.factor = args.get_int("factor", 1);
   cfg.balancer.seed =

@@ -126,6 +126,7 @@ void cycle_table(std::string& html, const JsonValue& timeline) {
       {"imb before", "imbalance_before"},
       {"imb after", "imbalance_after"},
       {"moved (pred)", "predicted_elements_moved"},
+      {"moved (plan)", "vertices_changed"},
       {"bytes (pred)", "predicted_bytes"},
       {"bytes shipped", "bytes_shipped"},
       {"remap us (pred)", "predicted_migrate_us"},
@@ -241,6 +242,8 @@ std::string render_report_html(const JsonValue& timeline,
   sparkline_row(html, timeline, "active elements", "active_elements");
   sparkline_row(html, timeline, "imbalance before", "imbalance_before");
   sparkline_row(html, timeline, "imbalance after", "imbalance_after");
+  sparkline_row(html, timeline, "vertices changed (plan)",
+                "vertices_changed");
   sparkline_row(html, timeline, "predicted bytes", "predicted_bytes");
   sparkline_row(html, timeline, "bytes shipped", "bytes_shipped");
   sparkline_row(html, timeline, "predicted remap us",

@@ -2,7 +2,8 @@
 //
 //   bench_gate --baseline bench/baselines/BENCH_comm_quick.json \
 //              --current BENCH_comm.json [--tolerance 0.10] \
-//              [--min-abs-us 50] [--field SUBSTR]
+//              [--min-abs-us 50] [--field SUBSTR] \
+//              [--max-field [record.]field=VALUE]...
 //
 // Compares every wall-clock field of the current BENCH_*.json against
 // the committed baseline (see bench/gate.hpp for matching rules) and
@@ -11,15 +12,23 @@
 // tolerance — the gate exists to catch order-of-magnitude regressions
 // (an accidentally quadratic loop, instrumentation that stopped being
 // free), not single-digit percent drift.
+//
+// `--max-field` adds absolute ceilings evaluated on the current file
+// alone (e.g. `--max-field migrate_full.overlap_ratio=0.65` — the
+// simulated overlap criterion, which no baseline-relative tolerance can
+// express).  With at least one `--max-field`, `--baseline` becomes
+// optional: the gate then runs only the ceiling assertions.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "gate.hpp"
 
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
+  std::vector<plumbench::MaxFieldLimit> limits;
   plumbench::GateConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -40,52 +49,98 @@ int main(int argc, char** argv) {
       cfg.min_abs_us = std::atof(next());
     } else if (a == "--field") {
       cfg.field_filter = next();
+    } else if (a == "--max-field") {
+      const std::string spec = next();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr,
+                     "bench_gate: --max-field wants [record.]field=VALUE, "
+                     "got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      plumbench::MaxFieldLimit lim;
+      std::string name = spec.substr(0, eq);
+      const std::size_t dot = name.find('.');
+      if (dot != std::string::npos) {
+        lim.record = name.substr(0, dot);
+        lim.field = name.substr(dot + 1);
+      } else {
+        lim.field = std::move(name);
+      }
+      lim.max = std::atof(spec.c_str() + eq + 1);
+      limits.push_back(std::move(lim));
     } else {
       std::fprintf(stderr,
                    "usage: bench_gate --baseline FILE --current FILE "
-                   "[--tolerance X] [--min-abs-us Y] [--field SUBSTR]\n");
+                   "[--tolerance X] [--min-abs-us Y] [--field SUBSTR] "
+                   "[--max-field [record.]field=VALUE]...\n");
       return 2;
     }
   }
-  if (baseline_path.empty() || current_path.empty()) {
+  if (current_path.empty() || (baseline_path.empty() && limits.empty())) {
     std::fprintf(stderr,
-                 "bench_gate: --baseline and --current are required\n");
+                 "bench_gate: --current plus --baseline and/or --max-field "
+                 "are required\n");
     return 2;
   }
 
   std::string err;
-  const auto baseline = plum::parse_json_file(baseline_path, &err);
-  if (!baseline) {
-    std::fprintf(stderr, "bench_gate: %s\n", err.c_str());
-    return 2;
-  }
   const auto current = plum::parse_json_file(current_path, &err);
   if (!current) {
     std::fprintf(stderr, "bench_gate: %s\n", err.c_str());
     return 2;
   }
 
-  const plumbench::GateResult res =
-      plumbench::run_gate(*current, *baseline, cfg);
-  if (!res.error.empty()) {
-    std::fprintf(stderr, "bench_gate: %s\n", res.error.c_str());
-    return 2;
+  int failures = 0;
+  std::size_t compared = 0;
+
+  if (!baseline_path.empty()) {
+    const auto baseline = plum::parse_json_file(baseline_path, &err);
+    if (!baseline) {
+      std::fprintf(stderr, "bench_gate: %s\n", err.c_str());
+      return 2;
+    }
+    const plumbench::GateResult res =
+        plumbench::run_gate(*current, *baseline, cfg);
+    if (!res.error.empty()) {
+      std::fprintf(stderr, "bench_gate: %s\n", res.error.c_str());
+      return 2;
+    }
+    std::printf("bench_gate: %s vs baseline %s (tolerance %.0f%%, floor "
+                "%.0f us)\n",
+                current_path.c_str(), baseline_path.c_str(),
+                cfg.tolerance * 100.0, cfg.min_abs_us);
+    for (const auto& c : res.comparisons) {
+      std::printf("  %-8s %-55s %12.1f -> %12.1f  (%5.2fx)\n",
+                  c.regression ? "REGRESS" : "ok", c.key.c_str(),
+                  c.baseline_us, c.current_us, c.ratio);
+    }
+    for (const auto& u : res.unmatched) {
+      std::printf("  note     %s (not compared)\n", u.c_str());
+    }
+    failures += res.regressions();
+    compared += res.comparisons.size();
   }
 
-  std::printf("bench_gate: %s vs baseline %s (tolerance %.0f%%, floor "
-              "%.0f us)\n",
-              current_path.c_str(), baseline_path.c_str(),
-              cfg.tolerance * 100.0, cfg.min_abs_us);
-  for (const auto& c : res.comparisons) {
-    std::printf("  %-8s %-55s %12.1f -> %12.1f  (%5.2fx)\n",
-                c.regression ? "REGRESS" : "ok", c.key.c_str(),
-                c.baseline_us, c.current_us, c.ratio);
+  if (!limits.empty()) {
+    std::string max_err;
+    const std::vector<plumbench::MaxFieldCheck> checks =
+        plumbench::run_max_field_checks(*current, limits, &max_err);
+    if (!max_err.empty()) {
+      std::fprintf(stderr, "bench_gate: %s\n", max_err.c_str());
+      return 2;
+    }
+    for (const auto& c : checks) {
+      std::printf("  %-8s %-55s %12.4f <= %10.4f\n",
+                  c.violation ? "EXCEEDS" : "ok", c.key.c_str(), c.value,
+                  c.limit);
+      failures += c.violation ? 1 : 0;
+    }
+    compared += checks.size();
   }
-  for (const auto& u : res.unmatched) {
-    std::printf("  note     %s (not compared)\n", u.c_str());
-  }
-  const int regressions = res.regressions();
-  std::printf("bench_gate: %zu timings compared, %d regression(s)\n",
-              res.comparisons.size(), regressions);
-  return regressions > 0 ? 1 : 0;
+
+  std::printf("bench_gate: %zu checks, %d failure(s)\n", compared,
+              failures);
+  return failures > 0 ? 1 : 0;
 }

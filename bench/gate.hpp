@@ -99,6 +99,59 @@ inline const plum::JsonValue* results_of(const plum::JsonValue& doc,
 
 }  // namespace gate_detail
 
+/// An absolute ceiling on a field of the *current* document alone — no
+/// baseline involved.  Used for criteria that are not machine-relative:
+/// the migration overlap ratio, say, must stay below a fixed threshold
+/// however fast the host is.  `record` empty means "any record carrying
+/// the field"; otherwise only records with that name are checked.
+struct MaxFieldLimit {
+  std::string record;  ///< record name filter ("" = all records)
+  std::string field;
+  double max = 0.0;
+};
+
+struct MaxFieldCheck {
+  std::string key;  ///< record identity + field name
+  double value = 0.0;
+  double limit = 0.0;
+  bool violation = false;
+};
+
+/// Evaluates `limits` against every matching record of `current`.  A
+/// limit that matches no record at all is an error (the assertion would
+/// silently gate nothing).
+inline std::vector<MaxFieldCheck> run_max_field_checks(
+    const plum::JsonValue& current, const std::vector<MaxFieldLimit>& limits,
+    std::string* error) {
+  std::vector<MaxFieldCheck> out;
+  const plum::JsonValue* results =
+      gate_detail::results_of(current, error, "current");
+  if (results == nullptr) return out;
+  for (const MaxFieldLimit& lim : limits) {
+    bool seen = false;
+    for (const plum::JsonValue& rec : results->array) {
+      if (!lim.record.empty() && rec.string_or("name", "?") != lim.record) {
+        continue;
+      }
+      const plum::JsonValue* v = rec.find(lim.field);
+      if (v == nullptr || !v->is_number()) continue;
+      seen = true;
+      MaxFieldCheck c;
+      c.key = gate_detail::record_key(rec) + "." + lim.field;
+      c.value = v->number;
+      c.limit = lim.max;
+      c.violation = v->number > lim.max;
+      out.push_back(std::move(c));
+    }
+    if (!seen && error != nullptr && error->empty()) {
+      *error = "no record carries max-field " +
+               (lim.record.empty() ? lim.field
+                                   : lim.record + "." + lim.field);
+    }
+  }
+  return out;
+}
+
 /// Compares `current` against `baseline` (both JsonEmitter documents).
 inline GateResult run_gate(const plum::JsonValue& current,
                            const plum::JsonValue& baseline,

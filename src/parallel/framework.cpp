@@ -164,7 +164,7 @@ MigrationResult PlumFramework::migrate_to(
     PLUM_PHASE(*comm_, "check");
     pre_elements = comm_->allreduce_sum(dm_.local.num_active_elements());
   }
-  MigrationResult mig = migrate(&dm_, comm_, proc_of_root);
+  MigrationResult mig = migrate(&dm_, comm_, proc_of_root, cfg_.migrate);
   proc_of_root_ = proc_of_root;
   run_checks("migrate", pre_elements);
   return mig;
@@ -261,6 +261,16 @@ void PlumFramework::record_sample(const CycleStats& stats, double t_cycle0) {
   s.bytes_shipped = comm_->allreduce_sum(stats.migration.bytes_sent);
   s.realized_migrate_us =
       comm_->allreduce_max(stats.migration.elapsed_us);
+  // Overlap gauges: wall vs the sum of per-phase maxima.  Each phase is
+  // reduced separately because the critical rank can differ per phase —
+  // summing before reducing would understate the synchronous baseline.
+  const MigrationResult& mig = stats.migration;
+  const double phase_sum =
+      comm_->allreduce_max(mig.pack_us) + comm_->allreduce_max(mig.ship_us) +
+      comm_->allreduce_max(mig.delete_purge_us) +
+      comm_->allreduce_max(mig.unpack_us) + comm_->allreduce_max(mig.spl_us);
+  s.migrate_wall_us = s.realized_migrate_us;
+  s.overlap_ratio = phase_sum > 0.0 ? s.migrate_wall_us / phase_sum : 0.0;
   s.solver_us = comm_->allreduce_max(stats.solver.elapsed_us);
   s.adapt_us = comm_->allreduce_max(stats.refine.elapsed_us +
                                     stats.coarsen.elapsed_us);

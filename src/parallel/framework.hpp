@@ -42,6 +42,10 @@ struct FrameworkConfig {
   /// and the default collective sequence must stay golden-stable.
   /// Collective — must be identical on all ranks.
   bool record_timeline = false;
+  /// Forwarded to every migrate() this framework issues (pipelined
+  /// overlap on/off, full SPL rebuild, cross-checking).  Must be
+  /// identical on all ranks.
+  MigrateOptions migrate;
 };
 
 /// Everything one solve->adapt->balance cycle produced.

@@ -19,6 +19,37 @@ using mesh::Mesh;
 
 namespace {
 
+/// Pipelined replacement for one alltoallv: post all receives, stagger
+/// nonblocking sends dst = (rank + step) % P (the same order alltoallv
+/// uses), then drain completions in arrival order with wait_any.  The
+/// drain is charge-free — nothing but clock observes happen between
+/// completions, and observe is a max-op, so the simulated clock is
+/// identical whatever order messages land in.  Message count (P-1),
+/// payload bytes, and the collective-class tag all match the alltoallv
+/// this replaces, so CommStats and determinism goldens are unaffected.
+std::vector<Bytes> exchange_wave(simmpi::Comm* comm,
+                                 std::vector<Bytes> outgoing) {
+  const Rank P = comm->size();
+  const Rank self = comm->rank();
+  const int tag = comm->reserve_coll_tag();
+  std::vector<simmpi::Request> reqs(static_cast<std::size_t>(P));
+  for (Rank src = 0; src < P; ++src) {
+    if (src != self) reqs[static_cast<std::size_t>(src)] = comm->irecv(src, tag);
+  }
+  for (Rank step = 1; step < P; ++step) {
+    const Rank dst = (self + step) % P;
+    comm->isend(dst, tag, std::move(outgoing[static_cast<std::size_t>(dst)]));
+  }
+  std::vector<Bytes> incoming(static_cast<std::size_t>(P));
+  incoming[static_cast<std::size_t>(self)] =
+      std::move(outgoing[static_cast<std::size_t>(self)]);
+  for (Rank k = 1; k < P; ++k) {
+    const std::size_t i = comm->wait_any(reqs);
+    incoming[i] = reqs[i].take_payload();
+  }
+  return incoming;
+}
+
 /// gid -> owner-rank set as a chained pool: one map slot plus one pool
 /// entry per report, no per-gid vector allocation.  Chains list sources
 /// newest-first.
@@ -38,11 +69,14 @@ struct OwnerTable {
 /// home rank; homes collect the owner set of every reported gid and
 /// reply to each owner with its co-owners.  The caller must have
 /// cleared the SPLs of exactly the reported objects; replies install
-/// the new sorted lists.  Always two alltoallvs, so the simulated
-/// message counters do not depend on how many gids are reported.
+/// the new sorted lists.  Always two exchanges — blocking alltoallvs,
+/// or isend/irecv waves when `pipeline` is set — so the simulated
+/// message counters do not depend on how many gids are reported, nor
+/// on which mode ran.
 void rendezvous_spls(DistMesh* dm, simmpi::Comm* comm,
                      const std::vector<std::vector<GlobalId>>& vgids,
-                     const std::vector<std::vector<GlobalId>>& egids) {
+                     const std::vector<std::vector<GlobalId>>& egids,
+                     bool pipeline) {
   Mesh& m = dm->local;
   const Rank P = comm->size();
 
@@ -52,7 +86,9 @@ void rendezvous_spls(DistMesh* dm, simmpi::Comm* comm,
     w.put_vec(vgids[static_cast<std::size_t>(r)]);
     w.put_vec(egids[static_cast<std::size_t>(r)]);
   }
-  const std::vector<Bytes> at_home = comm->alltoallv(to_home.take_all());
+  const std::vector<Bytes> at_home =
+      pipeline ? exchange_wave(comm, to_home.take_all())
+               : comm->alltoallv(to_home.take_all());
 
   // Home side: the bulk of reported gids are interior with a single
   // owner and never produce a reply, so the owner table must be cheap
@@ -114,7 +150,9 @@ void rendezvous_spls(DistMesh* dm, simmpi::Comm* comm,
   };
   emit_section(vowners);
   emit_section(eowners);
-  const std::vector<Bytes> replies = comm->alltoallv(reply.take_all());
+  const std::vector<Bytes> replies =
+      pipeline ? exchange_wave(comm, reply.take_all())
+               : comm->alltoallv(reply.take_all());
 
   for (Rank src = 0; src < P; ++src) {
     BufReader r(replies[static_cast<std::size_t>(src)]);
@@ -150,7 +188,7 @@ void rendezvous_spls(DistMesh* dm, simmpi::Comm* comm,
 void repair_spls(DistMesh* dm, simmpi::Comm* comm,
                  const std::vector<char>& involved,
                  const std::vector<char>& touched_v,
-                 const std::vector<char>& touched_e) {
+                 const std::vector<char>& touched_e, bool pipeline) {
   Mesh& m = dm->local;
   const Rank P = comm->size();
   const bool self_involved = involved[static_cast<std::size_t>(dm->rank)];
@@ -182,7 +220,7 @@ void repair_spls(DistMesh* dm, simmpi::Comm* comm,
                                    static_cast<std::uint64_t>(P))]
         .push_back(e.gid);
   }
-  rendezvous_spls(dm, comm, vgids, egids);
+  rendezvous_spls(dm, comm, vgids, egids, pipeline);
 }
 
 }  // namespace
@@ -208,7 +246,10 @@ void rebuild_spls(DistMesh* dm, simmpi::Comm* comm) {
                                    static_cast<std::uint64_t>(P))]
         .push_back(e.gid);
   }
-  rendezvous_spls(dm, comm, vgids, egids);
+  // Always the blocking exchange: the standalone rebuild has no
+  // surrounding compute to overlap, and the message counters match the
+  // wave anyway (same count, bytes, and collective-class tags).
+  rendezvous_spls(dm, comm, vgids, egids, /*pipeline=*/false);
 }
 
 MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
@@ -221,6 +262,13 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
   const double t0 = comm->clock().now();
   PLUM_PHASE(*comm, "migrate");
 
+  const bool pipe = opt.pipeline && P > 1;
+  // Reserved before packing so the wave's tag equals the tag the
+  // synchronous path's ship alltoallv would draw: identical tag values
+  // keep the CommStats collective split and flight timelines of the
+  // two modes directly comparable.
+  const int ship_tag = pipe ? comm->reserve_coll_tag() : 0;
+
   // Locals that cross phase boundaries are declared up front so each
   // phase can live in its own traced scope.
   std::vector<Rank> dest(m.elements().size(), self);
@@ -231,6 +279,7 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
   std::vector<char> epacked(m.edges().size(), 0);
   std::vector<LocalIndex> packed_verts, packed_edges;
   std::vector<Bytes> incoming;
+  std::vector<simmpi::Request> ship_reqs;
 
   {
     PLUM_PHASE(*comm, "pack");
@@ -288,39 +337,62 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
       BufWriter& w = outgoing.at(r);
       w.put_vec(my_dests);
       const auto& block = elems_by_dest[static_cast<std::size_t>(r)];
-      if (block.empty()) continue;
-      result.elements_sent += static_cast<std::int64_t>(block.size());
-      std::vector<LocalIndex> bverts, bedges;
-      pack_tree_block(m, block, bfaces_by_dest[static_cast<std::size_t>(r)],
-                      &w, &bverts, &bedges);
-      for (const LocalIndex v : bverts) {
-        if (!vpacked[static_cast<std::size_t>(v)]) {
-          vpacked[static_cast<std::size_t>(v)] = 1;
-          packed_verts.push_back(v);
+      if (!block.empty()) {
+        result.elements_sent += static_cast<std::int64_t>(block.size());
+        std::vector<LocalIndex> bverts, bedges;
+        pack_tree_block(m, block,
+                        bfaces_by_dest[static_cast<std::size_t>(r)], &w,
+                        &bverts, &bedges);
+        for (const LocalIndex v : bverts) {
+          if (!vpacked[static_cast<std::size_t>(v)]) {
+            vpacked[static_cast<std::size_t>(v)] = 1;
+            packed_verts.push_back(v);
+          }
+        }
+        for (const LocalIndex e : bedges) {
+          if (!epacked[static_cast<std::size_t>(e)]) {
+            epacked[static_cast<std::size_t>(e)] = 1;
+            packed_edges.push_back(e);
+          }
         }
       }
-      for (const LocalIndex e : bedges) {
-        if (!epacked[static_cast<std::size_t>(e)]) {
-          epacked[static_cast<std::size_t>(e)] = 1;
-          packed_edges.push_back(e);
-        }
-      }
-    }
-    for (Rank r = 0; r < P; ++r) {
-      if (r != self) {
-        result.bytes_sent +=
-            static_cast<std::int64_t>(outgoing.at(r).size());
+      result.bytes_sent += static_cast<std::int64_t>(w.size());
+      if (pipe) {
+        // Ship this destination's block the moment it is packed: its
+        // transfer is in flight while later destinations are still
+        // being packed and while delete/purge runs.  The header-only
+        // message to uninvolved ranks is sent too, so the per-rank
+        // message count matches the alltoallv exactly.
+        comm->isend(r, ship_tag, w.take());
       }
     }
   }
+  result.pack_us = comm->clock().now() - t0;
 
+  const double t_ship = comm->clock().now();
   {
     PLUM_PHASE(*comm, "ship");
-    // (The per-word transfer and setup costs are charged by the
-    // simulated machine itself.)
-    incoming = comm->alltoallv(outgoing.take_all());
+    if (pipe) {
+      // Sends are already in flight (posted during pack); only the
+      // receives are posted here — completions are consumed inside
+      // unpack, after delete/purge has run.  The near-zero span of
+      // this phase in traces is the overlap made visible.
+      ship_reqs.resize(static_cast<std::size_t>(P));
+      for (Rank src = 0; src < P; ++src) {
+        if (src != self) {
+          ship_reqs[static_cast<std::size_t>(src)] =
+              comm->irecv(src, ship_tag);
+        }
+      }
+    } else {
+      // (The per-word transfer and setup costs are charged by the
+      // simulated machine itself.)
+      incoming = comm->alltoallv(outgoing.take_all());
+    }
   }
+  result.ship_us = comm->clock().now() - t_ship;
 
+  const double t_purge = comm->clock().now();
   {
     PLUM_PHASE(*comm, "delete_purge");
     // --- delete departed trees -------------------------------------------
@@ -409,7 +481,9 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
       if (vv.alive && vv.edges.empty()) drop_vertex(v);
     }
   }
+  result.delete_purge_us = comm->clock().now() - t_purge;
 
+  const double t_unpack = comm->clock().now();
   std::vector<char> involved(static_cast<std::size_t>(P), 0);
   std::vector<char> touched_v, touched_e;
   {
@@ -419,7 +493,17 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
     std::vector<LocalIndex> recv_verts, recv_edges;
     for (Rank src = 0; src < P; ++src) {
       if (src == self) continue;
-      BufReader br(incoming[static_cast<std::size_t>(src)]);
+      // Pipelined mode consumes blocks in ascending source order — the
+      // same order the synchronous path unpacks incoming[0..P-1] — so
+      // the rebuilt mesh's local-index layout (and therefore every gid
+      // minted in later cycles) is bit-identical whichever mode ran
+      // and whatever order the messages physically arrived in; the
+      // mailbox buffers early arrivals.  Fixed order also pins the
+      // observe/charge interleaving, keeping the clock deterministic.
+      const Bytes pipe_buf =
+          pipe ? comm->wait(ship_reqs[static_cast<std::size_t>(src)])
+               : Bytes{};
+      BufReader br(pipe ? pipe_buf : incoming[static_cast<std::size_t>(src)]);
       const auto their_dests = br.get_vec<Rank>();
       if (!their_dests.empty()) involved[static_cast<std::size_t>(src)] = 1;
       for (const Rank d : their_dests) {
@@ -452,13 +536,15 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
       touched_e[static_cast<std::size_t>(e)] = 1;
     }
   }
+  result.unpack_us = comm->clock().now() - t_unpack;
 
+  const double t_spl = comm->clock().now();
   {
     PLUM_PHASE(*comm, "spl_repair");
     if (opt.full_spl_rebuild) {
       rebuild_spls(dm, comm);
     } else {
-      repair_spls(dm, comm, involved, touched_v, touched_e);
+      repair_spls(dm, comm, involved, touched_v, touched_e, pipe);
       if (opt.spl_cross_check) {
         std::vector<std::vector<Rank>> vspl, espl;
         vspl.reserve(m.vertices().size());
@@ -482,6 +568,7 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
     }
   }
 
+  result.spl_us = comm->clock().now() - t_spl;
   result.elapsed_us = comm->clock().now() - t0;
   return result;
 }

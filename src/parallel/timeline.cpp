@@ -43,6 +43,10 @@ std::string timeline_json(const Timeline& tl,
     w.value(s.bytes_shipped);
     w.key("realized_migrate_us");
     w.value(s.realized_migrate_us);
+    w.key("migrate_wall_us");
+    w.value(s.migrate_wall_us);
+    w.key("overlap_ratio");
+    w.value(s.overlap_ratio);
     w.key("solver_us");
     w.value(s.solver_us);
     w.key("adapt_us");

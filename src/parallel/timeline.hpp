@@ -47,6 +47,13 @@ struct CycleSample {
   /// simulated migrate time (max over ranks).
   std::int64_t bytes_shipped = 0;
   double realized_migrate_us = 0.0;
+  /// Migration overlap gauges: wall (max over ranks of the whole
+  /// migrate span) and wall / Σ max-over-ranks(phase span).  With the
+  /// pipelined migration the ratio drops below 1 — transfers and
+  /// delete/purge run concurrently — while the synchronous path sits
+  /// at ~1.  Both 0 when the cycle migrated nothing.
+  double migrate_wall_us = 0.0;
+  double overlap_ratio = 0.0;
   /// Per-phase simulated times, max over ranks.
   double solver_us = 0.0;
   double adapt_us = 0.0;

@@ -6,11 +6,13 @@
 
 namespace plum::simmpi {
 
-void Comm::send(Rank dst, int tag, Bytes&& payload) {
+void Comm::post_send(Rank dst, int tag, Bytes&& payload, FlightKind kind) {
   PLUM_CHECK_MSG(dst >= 0 && dst < size_, "send to invalid rank " << dst);
   const auto bytes = static_cast<std::int64_t>(payload.size());
   // The sender pays the setup cost; the message completes its transfer
   // t_lat-per-word later and becomes visible at the receiver then.
+  // isend goes through this exact path, so the pipelined and blocking
+  // code charge identically per byte (asserted by SimmpiAsync tests).
   clock_.charge_comm(cost_->t_setup_us);
   const double arrival = clock_.now() + cost_->transfer_us(bytes);
   stats_.msgs_sent += 1;
@@ -21,9 +23,19 @@ void Comm::send(Rank dst, int tag, Bytes&& payload) {
     stats_.coll_msgs_sent += 1;
     stats_.coll_bytes_sent += bytes;
   }
-  flight_record(FlightKind::kSend, FlightOp::kNone, dst, tag, bytes);
+  flight_record(kind, FlightOp::kNone, dst, tag, bytes);
   (*mailboxes_)[static_cast<std::size_t>(dst)].deliver(
       Message{rank_, tag, arrival, std::move(payload)});
+}
+
+void Comm::send(Rank dst, int tag, Bytes&& payload) {
+  post_send(dst, tag, std::move(payload), FlightKind::kSend);
+}
+
+void Comm::finish_recv(const Message& m) {
+  clock_.observe(m.arrival_us);
+  stats_.msgs_recv += 1;
+  stats_.bytes_recv += static_cast<std::int64_t>(m.payload.size());
 }
 
 Bytes Comm::recv(Rank src, int tag) {
@@ -43,17 +55,126 @@ Bytes Comm::recv(Rank src, int tag) {
         "rank " << rank_ << " recv(src=" << src << ", tag=" << tag
                 << ") from itself with no matching self-send queued — "
                    "would block forever — in phase \""
-                << tracer_.current_phase() << "\"");
+                << tracer_.current_phase() << "\" ("
+                << outstanding_irecvs() << " irecv(s) posted)");
   }
   flight_record(FlightKind::kRecvBegin, FlightOp::kNone, src, tag, 0);
   Message m =
       (*mailboxes_)[static_cast<std::size_t>(rank_)].take(src, tag, abort_);
-  clock_.observe(m.arrival_us);
-  stats_.msgs_recv += 1;
-  stats_.bytes_recv += static_cast<std::int64_t>(m.payload.size());
+  finish_recv(m);
   flight_record(FlightKind::kRecvEnd, FlightOp::kNone, src, tag,
                 static_cast<std::int64_t>(m.payload.size()));
   return std::move(m.payload);
+}
+
+Request Comm::isend(Rank dst, int tag, Bytes&& payload) {
+  Request req;
+  req.state_ = Request::State::kDone;
+  req.recv_ = false;
+  req.peer_ = dst;
+  req.tag_ = tag;
+  post_send(dst, tag, std::move(payload), FlightKind::kIsend);
+  return req;
+}
+
+Request Comm::irecv(Rank src, int tag) {
+  PLUM_CHECK_MSG(src >= 0 && src < size_,
+                 "rank " << rank_ << " irecv(src=" << src << ", tag=" << tag
+                         << ") from out-of-range rank (valid 0.."
+                         << size_ - 1 << ") in phase \""
+                         << tracer_.current_phase() << "\"");
+  Request req;
+  req.state_ = Request::State::kPending;
+  req.recv_ = true;
+  req.peer_ = src;
+  req.tag_ = tag;
+  outstanding_irecvs_.fetch_add(1, std::memory_order_relaxed);
+  flight_record(FlightKind::kIrecvPost, FlightOp::kNone, src, tag, 0);
+  return req;
+}
+
+bool Comm::iprobe(Rank src, int tag) {
+  PLUM_CHECK_MSG(src >= 0 && src < size_,
+                 "iprobe from invalid rank " << src);
+  double arrival = 0.0;
+  if (!mailbox().peek_arrival(src, tag, &arrival)) return false;
+  clock_.observe(arrival);
+  return true;
+}
+
+bool Comm::test(Request& req) {
+  PLUM_CHECK_MSG(req.valid(), "test on an invalid (default) request");
+  if (req.done()) return true;
+  Message m;
+  if (!mailbox().try_take(req.peer_, req.tag_, &m)) return false;
+  finish_recv(m);
+  flight_record(FlightKind::kIrecvDone, FlightOp::kNone, req.peer_,
+                req.tag_, static_cast<std::int64_t>(m.payload.size()));
+  outstanding_irecvs_.fetch_sub(1, std::memory_order_relaxed);
+  req.state_ = Request::State::kDone;
+  req.payload_ = std::move(m.payload);
+  return true;
+}
+
+Bytes Comm::wait(Request& req) {
+  PLUM_CHECK_MSG(req.valid(), "wait on an invalid (default) request");
+  if (req.done()) return req.take_payload();
+  // Pending implies a receive (sends complete at post time).
+  if (req.peer_ == rank_) {
+    // Self-sends are delivered synchronously and this thread is the
+    // only possible sender, so a missing match can never appear.
+    PLUM_CHECK_MSG(
+        mailbox().has(rank_, req.tag_),
+        "rank " << rank_ << " wait on irecv(src=" << req.peer_
+                << ", tag=" << req.tag_
+                << ") from itself with no matching self-send queued — "
+                   "would block forever — in phase \""
+                << tracer_.current_phase() << "\"");
+  }
+  Message m = mailbox().take(req.peer_, req.tag_, abort_);
+  finish_recv(m);
+  flight_record(FlightKind::kIrecvDone, FlightOp::kNone, req.peer_,
+                req.tag_, static_cast<std::int64_t>(m.payload.size()));
+  outstanding_irecvs_.fetch_sub(1, std::memory_order_relaxed);
+  req.state_ = Request::State::kDone;
+  req.payload_ = std::move(m.payload);
+  return req.take_payload();
+}
+
+std::size_t Comm::wait_any(std::vector<Request>& reqs) {
+  std::vector<WaitTarget> targets;
+  std::vector<std::size_t> index;
+  bool any_external = false;  // a candidate another thread could feed
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (!reqs[i].pending() || !reqs[i].is_recv()) continue;
+    targets.push_back(WaitTarget{reqs[i].peer_, reqs[i].tag_});
+    index.push_back(i);
+    if (reqs[i].peer_ != rank_ || mailbox().has(rank_, reqs[i].tag_)) {
+      any_external = true;
+    }
+  }
+  PLUM_CHECK_MSG(!targets.empty(),
+                 "rank " << rank_
+                         << " wait_any with no pending receive request "
+                            "in phase \""
+                         << tracer_.current_phase() << "\"");
+  PLUM_CHECK_MSG(any_external,
+                 "rank " << rank_
+                         << " wait_any where every candidate is an "
+                            "unmatched self-receive — would block "
+                            "forever — in phase \""
+                         << tracer_.current_phase() << "\"");
+  std::size_t which = 0;
+  Message m =
+      mailbox().take_any(targets.data(), targets.size(), abort_, &which);
+  finish_recv(m);
+  Request& req = reqs[index[which]];
+  flight_record(FlightKind::kIrecvDone, FlightOp::kNone, req.peer_,
+                req.tag_, static_cast<std::int64_t>(m.payload.size()));
+  outstanding_irecvs_.fetch_sub(1, std::memory_order_relaxed);
+  req.state_ = Request::State::kDone;
+  req.payload_ = std::move(m.payload);
+  return index[which];
 }
 
 void Comm::barrier() {

@@ -11,6 +11,7 @@
 // for collective sequencing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -42,6 +43,38 @@ struct CommStats {
   /// Per-peer matrix row: [dst] -> traffic this rank sent there.
   std::vector<std::int64_t> msgs_to;
   std::vector<std::int64_t> bytes_to;
+};
+
+class Comm;
+
+/// Handle to one nonblocking operation (Comm::isend / Comm::irecv).
+/// Passive value type: posting an irecv records intent only — nothing
+/// happens at the mailbox until wait/wait_any/test consumes the
+/// matching message.  Sends are eager-buffered, so an isend request is
+/// born complete.  Completion moves the received payload into the
+/// request; Comm::wait returns it directly, wait_any leaves it for
+/// take_payload().
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return state_ != State::kInvalid; }
+  bool done() const { return state_ == State::kDone; }
+  bool pending() const { return state_ == State::kPending; }
+  bool is_recv() const { return recv_; }
+  Rank peer() const { return peer_; }
+  int tag() const { return tag_; }
+  /// Moves the completed receive's payload out (empty once taken, and
+  /// empty for a receive already drained by Comm::wait's return value).
+  Bytes take_payload() { return std::move(payload_); }
+
+ private:
+  friend class Comm;
+  enum class State : std::uint8_t { kInvalid, kPending, kDone };
+  State state_ = State::kInvalid;
+  bool recv_ = false;
+  Rank peer_ = kNoRank;
+  int tag_ = 0;
+  Bytes payload_;
 };
 
 class Comm {
@@ -95,6 +128,61 @@ class Comm {
   /// Blocking receive from a specific source and tag.
   Bytes recv(Rank src, int tag);
 
+  // --- nonblocking point to point ---------------------------------------
+  // Simulated-clock discipline: isend charges exactly what send does
+  // (setup at post time, transfer folded into the arrival stamp);
+  // irecv is free; the clock only advances to a message's arrival when
+  // a wait/test/iprobe actually learns of it.  Overlap therefore shows
+  // up as reduced idle — local work charged between the post and the
+  // wait runs "during" the transfer — never as free communication.
+
+  /// Nonblocking send.  Identical charging, traffic counters, and
+  /// collective-tag classification to send(); eager buffering means the
+  /// returned request is already complete.
+  Request isend(Rank dst, int tag, Bytes&& payload);
+
+  /// Posts intent to receive (src, tag).  Free on the simulated clock
+  /// and invisible to the mailbox: the owner stays "running" for the
+  /// watchdog until it actually blocks in wait/wait_any.
+  Request irecv(Rank src, int tag);
+
+  /// True when a message from (src, tag) is already queued.  A hit
+  /// advances the clock to the message's arrival (learning that the
+  /// message is here means having waited for it); a miss is free.
+  /// Whether a given poll hits depends on host scheduling, so callers
+  /// that need deterministic simulated state must not let a hit/miss
+  /// difference change what they charge (migrate's pipeline only uses
+  /// the result to choose between equivalent orders of free work).
+  bool iprobe(Rank src, int tag);
+
+  /// Nonblocking completion attempt: consumes the matching message if
+  /// queued (observing its arrival) and completes the request.
+  bool test(Request& req);
+
+  /// Blocks until `req` completes and returns its payload (empty for a
+  /// send request).  Observes the arrival and counts msgs/bytes_recv
+  /// exactly like recv().
+  Bytes wait(Request& req);
+
+  /// Blocks until one pending receive request completes; returns its
+  /// index (payload stays in the request for take_payload()).  The
+  /// earliest simulated arrival among queued matches wins, so the pick
+  /// is deterministic; callers that interleave compute charges between
+  /// completions must still consume in a fixed order (DESIGN.md §13).
+  std::size_t wait_any(std::vector<Request>& reqs);
+
+  /// Posted-but-unconsumed irecvs (watchdog/diagnostics).
+  int outstanding_irecvs() const {
+    return outstanding_irecvs_.load(std::memory_order_relaxed);
+  }
+
+  /// Reserves the next collective-sequencing tag (>= kUserTagLimit).
+  /// Every rank must call in the same program order — the same contract
+  /// as a collective — so point-to-point waves that replace a
+  /// collective agree on the tag and stay in the collective traffic
+  /// class of CommStats.
+  int reserve_coll_tag() { return next_collective_tag(); }
+
   // --- collectives ------------------------------------------------------
   // All ranks must call each collective in the same program order.
 
@@ -134,6 +222,11 @@ class Comm {
  private:
   int next_collective_tag() { return kUserTagLimit + (seq_++); }
 
+  /// Shared body of send/isend: charging, stats, flight, delivery.
+  void post_send(Rank dst, int tag, Bytes&& payload, FlightKind kind);
+  /// Shared completion bookkeeping of recv/wait/wait_any/test.
+  void finish_recv(const Message& m);
+
   void flight_record(FlightKind kind, FlightOp op, Rank peer, int tag,
                      std::int64_t bytes) {
     flight_.record(kind, op, peer, tag, bytes, clock_.now(),
@@ -164,6 +257,9 @@ class Comm {
   obs::Tracer tracer_;
   FlightRecorder flight_;
   int seq_ = 0;
+  /// Posted irecvs not yet consumed; atomic because the watchdog reads
+  /// it from its own thread while the rank runs.
+  std::atomic<int> outstanding_irecvs_{0};
 };
 
 template <typename T>

@@ -31,6 +31,9 @@ const char* FlightRecorder::kind_name(FlightKind k) {
     case FlightKind::kRecvEnd: return "recv.end";
     case FlightKind::kCollBegin: return "coll.begin";
     case FlightKind::kCollEnd: return "coll.end";
+    case FlightKind::kIsend: return "isend";
+    case FlightKind::kIrecvPost: return "irecv.post";
+    case FlightKind::kIrecvDone: return "irecv.done";
   }
   return "?";
 }

@@ -35,6 +35,10 @@ enum class FlightKind : std::uint8_t {
   kRecvEnd = 2,    ///< receive matched and returned
   kCollBegin = 3,  ///< entering a collective
   kCollEnd = 4,    ///< collective completed
+  kIsend = 5,      ///< nonblocking send posted (eager: also complete)
+  kIrecvPost = 6,  ///< nonblocking receive posted (async begin)
+  kIrecvDone = 7,  ///< posted receive completed (async complete);
+                   ///< pairs 1:1 with kIrecvPost per (peer, tag)
 };
 
 enum class FlightOp : std::uint8_t {

@@ -56,14 +56,17 @@ struct WatchSnapshot {
   }
 
   /// Identical wait states and progress counters: nothing moved between
-  /// the two observations, so a stuck picture is not a torn read.
+  /// the two observations, so a stuck picture is not a torn read.  The
+  /// full candidate sets are compared, so a wait_any that merely
+  /// re-entered with different peers never looks frozen.
   bool same_frozen_state(const WatchSnapshot& o) const {
     for (std::size_t r = 0; r < info.size(); ++r) {
       if (finished[r] != o.finished[r]) return false;
       const MailboxWaitInfo& a = info[r];
       const MailboxWaitInfo& b = o.info[r];
       if (a.blocked != b.blocked || a.src != b.src || a.tag != b.tag ||
-          a.deliveries != b.deliveries || a.takes != b.takes) {
+          a.wants != b.wants || a.deliveries != b.deliveries ||
+          a.takes != b.takes) {
         return false;
       }
     }
@@ -98,11 +101,21 @@ void append_rank_state(std::ostringstream& os, Rank r,
   os << "rank " << r << ": ";
   if (snap.finished[static_cast<std::size_t>(r)]) {
     os << "finished";
+  } else if (i.blocked && i.wants.size() > 1) {
+    os << "blocked in wait_any(";
+    for (std::size_t k = 0; k < i.wants.size(); ++k) {
+      if (k > 0) os << " | ";
+      os << "src=" << i.wants[k].src << ", tag=" << i.wants[k].tag;
+    }
+    os << ")";
   } else if (i.blocked) {
     os << "blocked in recv(src=" << i.src << ", tag=" << i.tag << ")";
   } else {
     os << "running (not blocked in recv)";
   }
+  const int posted =
+      comms[static_cast<std::size_t>(r)]->outstanding_irecvs();
+  if (posted > 0) os << " [" << posted << " irecv(s) posted]";
   os << "\n";
   os << comms[static_cast<std::size_t>(r)]->flight().dump_string(last_n);
 }
@@ -124,6 +137,17 @@ std::string build_deadlock_report(
     return r >= 0 && i < n && !snap.finished[i] && snap.info[i].blocked;
   };
 
+  // A stuck rank's wait-for successor: the first stuck candidate of its
+  // wait set (a wait_any publishes several; a plain recv exactly one),
+  // falling back to the first candidate.
+  auto successor = [&](Rank r) {
+    const MailboxWaitInfo& i = snap.info[static_cast<std::size_t>(r)];
+    for (const WaitTarget& t : i.wants) {
+      if (stuck(t.src)) return t.src;
+    }
+    return i.src;
+  };
+
   // Find a cycle in the wait-for graph, if one exists.
   std::vector<Rank> cycle;
   std::vector<int> seen(n, -1);  // walk id that first visited the node
@@ -135,7 +159,7 @@ std::string build_deadlock_report(
     while (stuck(cur) && seen[static_cast<std::size_t>(cur)] < 0) {
       seen[static_cast<std::size_t>(cur)] = start;
       walk.push_back(cur);
-      cur = snap.info[static_cast<std::size_t>(cur)].src;
+      cur = successor(cur);
     }
     if (stuck(cur) && seen[static_cast<std::size_t>(cur)] == start) {
       // `cur` is the entry point of a cycle within this walk.

@@ -7,10 +7,13 @@
 // is deterministic regardless of thread scheduling.  The communication
 // patterns used here are deadlock-free by construction — and the
 // machine's watchdog (machine.hpp) *verifies* that at runtime: each
-// mailbox publishes its owner's blocked-in-recv state and progress
-// counters under its own mutex, so a quiescent machine (every rank
-// blocked with no matching message anywhere) is detected and reported
-// instead of hanging forever.
+// mailbox publishes its owner's blocked-in-recv state — the complete
+// candidate set for a multi-source wait_any — and progress counters
+// under its own mutex, so a quiescent machine (every rank blocked with
+// no matching message anywhere) is detected and reported instead of
+// hanging forever.  Nonblocking receives (Comm::irecv) are passive
+// postings that never touch the mailbox until waited on, so a rank
+// with outstanding irecvs counts as running, never as blocked.
 #pragma once
 
 #include <atomic>
@@ -19,6 +22,7 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <vector>
 
 #include "support/buffer.hpp"
 #include "support/types.hpp"
@@ -42,15 +46,30 @@ struct Message {
   Bytes payload;
 };
 
+/// One (source, tag) pair a blocked receive is willing to match.  A
+/// plain recv waits on exactly one; wait_any publishes the whole
+/// candidate set so the watchdog never mistakes "waiting on several
+/// peers, one of which already answered" for a stuck rank.
+struct WaitTarget {
+  Rank src = kNoRank;
+  int tag = 0;
+  friend bool operator==(const WaitTarget& a, const WaitTarget& b) {
+    return a.src == b.src && a.tag == b.tag;
+  }
+};
+
 /// One mailbox's externally observable wait state, read atomically
 /// under the mailbox mutex (see Mailbox::wait_info).  Used by the
 /// machine watchdog to build the wait-for graph.
 struct MailboxWaitInfo {
-  bool blocked = false;  ///< owner is inside take()
-  Rank src = kNoRank;    ///< wanted source (valid while blocked)
-  int tag = 0;           ///< wanted tag (valid while blocked)
-  /// A message matching (src, tag) is already queued — the owner will
-  /// make progress on its next scan, so it is not stuck.
+  bool blocked = false;  ///< owner is inside take()/take_any()
+  Rank src = kNoRank;    ///< first wanted source (valid while blocked)
+  int tag = 0;           ///< first wanted tag (valid while blocked)
+  /// Every (src, tag) the blocked receive would accept; wants[0]
+  /// duplicates src/tag above.  Size 1 for a plain recv.
+  std::vector<WaitTarget> wants;
+  /// A message matching ANY wanted (src, tag) is already queued — the
+  /// owner will make progress on its next scan, so it is not stuck.
   bool match_pending = false;
   /// Monotonic progress counters; a frozen pair across two watchdog
   /// polls means no message moved through this mailbox in between.
@@ -77,22 +96,54 @@ class Mailbox {
   /// waiting rank can unwind instead of hanging forever.  While inside,
   /// the owner's blocked-on-(src, tag) state is visible to wait_info().
   Message take(Rank src, int tag, const std::atomic<bool>* abort) {
+    const WaitTarget t{src, tag};
+    return take_any(&t, 1, abort, nullptr);
+  }
+
+  /// Multi-candidate blocking take (Comm::wait_any).  Blocks until a
+  /// message matching any of the `n` targets is queued, then removes
+  /// and returns one; `*which` (if non-null) gets the index of the
+  /// matched target.  Per (src, tag) pair only the earliest-delivered
+  /// message is eligible (messages between one pair are non-overtaking,
+  /// like MPI); across targets the one with the smallest simulated
+  /// arrival wins, tie-broken by (src, tag), so the choice does not
+  /// depend on host thread scheduling.  While blocked, the full
+  /// candidate set is visible to wait_info().
+  Message take_any(const WaitTarget* targets, std::size_t n,
+                   const std::atomic<bool>* abort, std::size_t* which) {
     std::unique_lock<std::mutex> lock(mu_);
     blocked_ = true;
-    blocked_src_ = src;
-    blocked_tag_ = tag;
+    wants_.assign(targets, targets + n);
     for (;;) {
-      for (auto it = msgs_.begin(); it != msgs_.end(); ++it) {
-        if (it->src == src && it->tag == tag) {
-          Message m = std::move(*it);
-          msgs_.erase(it);
-          ++takes_;
-          blocked_ = false;
-          return m;
+      std::size_t best_t = n;
+      auto best_it = msgs_.end();
+      for (std::size_t t = 0; t < n; ++t) {
+        for (auto it = msgs_.begin(); it != msgs_.end(); ++it) {
+          if (it->src != targets[t].src || it->tag != targets[t].tag) {
+            continue;
+          }
+          if (best_t == n || it->arrival_us < best_it->arrival_us ||
+              (it->arrival_us == best_it->arrival_us &&
+               (it->src < best_it->src ||
+                (it->src == best_it->src && it->tag < best_it->tag)))) {
+            best_t = t;
+            best_it = it;
+          }
+          break;  // FIFO per (src, tag): only the front message counts
         }
+      }
+      if (best_t < n) {
+        Message m = std::move(*best_it);
+        msgs_.erase(best_it);
+        ++takes_;
+        blocked_ = false;
+        wants_.clear();
+        if (which != nullptr) *which = best_t;
+        return m;
       }
       if (abort != nullptr && abort->load(std::memory_order_acquire)) {
         blocked_ = false;
+        wants_.clear();
         throw RankAborted{};
       }
       cv_.wait_for(lock, std::chrono::milliseconds(20));
@@ -106,19 +157,54 @@ class Mailbox {
     std::lock_guard<std::mutex> lock(mu_);
     MailboxWaitInfo info;
     info.blocked = blocked_;
-    info.src = blocked_src_;
-    info.tag = blocked_tag_;
     info.deliveries = deliveries_;
     info.takes = takes_;
     if (blocked_) {
+      info.wants = wants_;
+      if (!wants_.empty()) {
+        info.src = wants_.front().src;
+        info.tag = wants_.front().tag;
+      }
       for (const auto& m : msgs_) {
-        if (m.src == blocked_src_ && m.tag == blocked_tag_) {
-          info.match_pending = true;
-          break;
+        for (const WaitTarget& t : wants_) {
+          if (m.src == t.src && m.tag == t.tag) {
+            info.match_pending = true;
+            break;
+          }
         }
+        if (info.match_pending) break;
       }
     }
     return info;
+  }
+
+  /// Non-blocking: if a message from `src` with `tag` is queued, report
+  /// the earliest-delivered one's simulated arrival time.  Does not
+  /// remove the message (Comm::iprobe).
+  bool peek_arrival(Rank src, int tag, double* arrival_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& m : msgs_) {
+      if (m.src == src && m.tag == tag) {
+        if (arrival_us != nullptr) *arrival_us = m.arrival_us;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Non-blocking take: removes and returns the earliest-delivered
+  /// message from (src, tag) if one is queued (Comm::test).
+  bool try_take(Rank src, int tag, Message* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = msgs_.begin(); it != msgs_.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        *out = std::move(*it);
+        msgs_.erase(it);
+        ++takes_;
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Wakes any thread blocked in take() (used to propagate aborts).
@@ -142,8 +228,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> msgs_;
   bool blocked_ = false;
-  Rank blocked_src_ = kNoRank;
-  int blocked_tag_ = 0;
+  std::vector<WaitTarget> wants_;  ///< candidates while blocked
   std::int64_t deliveries_ = 0;
   std::int64_t takes_ = 0;
 };

@@ -122,6 +122,54 @@ TEST(BenchGate, IdentityIncludesParameters) {
   EXPECT_EQ(res.unmatched.size(), 2u);
 }
 
+TEST(BenchGate, MaxFieldCeilingFlagsOnlyExceedingRecords) {
+  // overlap_ratio is not a "_us" field, so the baseline comparison
+  // ignores it; the absolute ceiling is how CI gates it.
+  const auto current = parse_json(
+      R"({"results":[
+           {"name":"migrate_full","n":8,"P":4,"wall_us":1.0,
+            "overlap_ratio":0.58},
+           {"name":"migrate_full","n":8,"P":8,"wall_us":1.0,
+            "overlap_ratio":0.80},
+           {"name":"exchange_round","n":8,"P":4,"wall_us":1.0}]})");
+  ASSERT_TRUE(current.has_value());
+  std::string err;
+  const auto checks = plumbench::run_max_field_checks(
+      *current, {{"migrate_full", "overlap_ratio", 0.65}}, &err);
+  EXPECT_TRUE(err.empty());
+  ASSERT_EQ(checks.size(), 2u);  // exchange_round carries no such field
+  EXPECT_FALSE(checks[0].violation);
+  EXPECT_TRUE(checks[1].violation);
+  EXPECT_NE(checks[1].key.find("migrate_full"), std::string::npos);
+  EXPECT_NE(checks[1].key.find("P=8"), std::string::npos);
+}
+
+TEST(BenchGate, MaxFieldMatchingNothingIsAnError) {
+  const auto current = parse_json(
+      R"({"results":[{"name":"migrate_full","n":8,"wall_us":1.0}]})");
+  ASSERT_TRUE(current.has_value());
+  std::string err;
+  const auto checks = plumbench::run_max_field_checks(
+      *current, {{"migrate_full", "no_such_field", 1.0}}, &err);
+  EXPECT_TRUE(checks.empty());
+  EXPECT_NE(err.find("no_such_field"), std::string::npos);
+}
+
+TEST(BenchGate, MaxFieldEmptyRecordFilterMatchesAnyRecord) {
+  const auto current = parse_json(
+      R"({"results":[
+           {"name":"a","overlap_ratio":0.5},
+           {"name":"b","overlap_ratio":0.9}]})");
+  ASSERT_TRUE(current.has_value());
+  std::string err;
+  const auto checks = plumbench::run_max_field_checks(
+      *current, {{"", "overlap_ratio", 0.65}}, &err);
+  EXPECT_TRUE(err.empty());
+  ASSERT_EQ(checks.size(), 2u);
+  EXPECT_FALSE(checks[0].violation);
+  EXPECT_TRUE(checks[1].violation);
+}
+
 TEST(BenchGate, MalformedDocumentIsAnError) {
   const auto ok = parse_json(R"({"results":[]})");
   const auto bad = parse_json(R"({"bench":"no results member"})");

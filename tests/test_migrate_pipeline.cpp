@@ -1,0 +1,396 @@
+// Pipelined migration (DESIGN.md §13) and the nonblocking simmpi
+// primitives it rides on.
+//
+// The contract under test: the overlapped path is an exact behavioural
+// twin of the synchronous one — bit-identical local-index mesh layout,
+// SPLs, per-rank traffic counters — while its simulated migrate time
+// never exceeds the synchronous time (t_i = max(t_{i-1}, a_i) + u_i is
+// dominated by max(t_0, max a) + Σu).  The primitive-level tests pin
+// the semantics the rewrite depends on: out-of-order physical arrivals
+// are buffered and consumable in any order, wait_any picks the earliest
+// simulated arrival among queued candidates without starving a peer,
+// per-(src, tag) FIFO is never violated, and every posted irecv's
+// flight "async begin" is paired with exactly one "async complete".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "parallel/migrate.hpp"
+#include "parallel/parallel_adapt.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+#include "support/rng.hpp"
+
+namespace plum::parallel {
+namespace {
+
+using mesh::Mesh;
+
+/// Order-sensitive digest of everything migration may touch, including
+/// the *local index* of each object: the pipelined path must reproduce
+/// the synchronous path's store layout exactly (free-list reuse feeds
+/// later gid minting), not merely the same set of gids.
+std::uint64_t mesh_fingerprint(const DistMesh& dm) {
+  std::uint64_t h = 0;
+  const auto mixin = [&h](std::uint64_t v) { h = mix64(h ^ mix64(v)); };
+  const Mesh& m = dm.local;
+  for (std::size_t i = 0; i < m.elements().size(); ++i) {
+    const auto& el = m.elements()[i];
+    if (!el.alive) continue;
+    mixin(i);
+    mixin(static_cast<std::uint64_t>(el.gid));
+    mixin(el.active ? 7u : 11u);
+  }
+  for (std::size_t i = 0; i < m.vertices().size(); ++i) {
+    const auto& v = m.vertices()[i];
+    if (!v.alive) continue;
+    mixin(i);
+    mixin(static_cast<std::uint64_t>(v.gid));
+    for (const Rank r : v.spl) mixin(static_cast<std::uint64_t>(r) + 13);
+  }
+  for (std::size_t i = 0; i < m.edges().size(); ++i) {
+    const auto& e = m.edges()[i];
+    if (!e.alive) continue;
+    mixin(i);
+    mixin(static_cast<std::uint64_t>(e.gid));
+    mixin(e.bisected() ? 17u : 19u);
+    for (const Rank r : e.spl) mixin(static_cast<std::uint64_t>(r) + 23);
+  }
+  return h;
+}
+
+struct RunPrint {
+  /// Per-cycle, per-rank mesh digests + traffic; elapsed kept separate
+  /// (the two modes are *supposed* to differ there).
+  std::vector<std::vector<std::uint64_t>> fp;
+  std::vector<std::vector<std::int64_t>> bytes;
+  std::vector<std::int64_t> moved;
+  std::vector<std::int64_t> msgs_total;  ///< final msgs_sent per rank
+  double max_elapsed_us = 0.0;           ///< max over ranks and cycles
+
+  bool state_equal(const RunPrint& o) const {
+    return fp == o.fp && bytes == o.bytes && moved == o.moved &&
+           msgs_total == o.msgs_total;
+  }
+};
+
+/// Two adapt+migrate cycles with seed-keyed marks and plans; every
+/// scenario input is a pure function of (seed, gid), so both modes see
+/// identical work.
+RunPrint run_fuzzed(Rank P, std::uint64_t seed, bool pipeline) {
+  const Mesh global = mesh::make_cube_mesh(3);
+  const auto g = dual::build_dual_graph(global);
+  const auto part = partition::make_partitioner("rcb")->partition(g, P);
+  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+
+  MigrateOptions opt;
+  opt.pipeline = pipeline;
+
+  RunPrint out;
+  out.fp.assign(2, std::vector<std::uint64_t>(static_cast<std::size_t>(P)));
+  out.bytes.assign(2,
+                   std::vector<std::int64_t>(static_cast<std::size_t>(P)));
+  out.moved.assign(2, 0);
+  out.msgs_total.assign(static_cast<std::size_t>(P), 0);
+
+  std::mutex mu;
+  simmpi::Machine machine;
+  machine.run(P, [&](simmpi::Comm& comm) {
+    DistMesh dm = build_local_mesh(global, proc, comm.rank(), P);
+    ParallelAdaptor adaptor(&dm, &comm);
+    std::vector<Rank> plan = proc;
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      const std::uint64_t k = seed * 2 + static_cast<std::uint64_t>(cycle);
+      const double cx = 0.25 + 0.5 * (static_cast<double>(mix64(k) % 97) / 96.0);
+      adapt::mark_refine_in_sphere(dm.local, {{cx, cx, 1.0 - cx}, 0.35});
+      adaptor.refine();
+      for (std::size_t gid = 0; gid < plan.size(); ++gid) {
+        const std::uint64_t r = mix64(gid ^ mix64(k + 1));
+        if (r & 1) {
+          plan[gid] = static_cast<Rank>(
+              (plan[gid] + 1 + (r >> 2) % static_cast<std::uint64_t>(P)) % P);
+        }
+      }
+      const MigrationResult mig = migrate(&dm, &comm, plan, opt);
+      EXPECT_TRUE(check_dist_mesh(dm).empty());
+
+      std::lock_guard<std::mutex> lock(mu);
+      const auto c = static_cast<std::size_t>(cycle);
+      const auto r = static_cast<std::size_t>(comm.rank());
+      out.fp[c][r] = mesh_fingerprint(dm);
+      out.bytes[c][r] = mig.bytes_sent;
+      out.moved[c] += mig.elements_sent;
+      out.msgs_total[r] = comm.stats().msgs_sent;
+      out.max_elapsed_us = std::max(out.max_elapsed_us, mig.elapsed_us);
+    }
+  });
+  return out;
+}
+
+TEST(MigratePipeline, PipelinedStateIsBitIdenticalToSyncUnderFuzz) {
+  for (const Rank P : {2, 4, 8}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      SCOPED_TRACE("P=" + std::to_string(P) +
+                   " seed=" + std::to_string(seed));
+      const RunPrint pipe = run_fuzzed(P, seed, /*pipeline=*/true);
+      const RunPrint sync = run_fuzzed(P, seed, /*pipeline=*/false);
+      EXPECT_TRUE(pipe.state_equal(sync));
+      EXPECT_GT(pipe.moved[1], 0);  // the fuzz actually moved trees
+      // Overlap can only help: the pipelined simulated migrate time is
+      // provably <= the synchronous one for identical traffic.
+      EXPECT_LE(pipe.max_elapsed_us, sync.max_elapsed_us + 1e-6);
+    }
+  }
+}
+
+TEST(MigratePipeline, PipelinedRunIsDeterministicAcrossRepeats) {
+  // Same scenario twice: host-thread scheduling (and hence physical
+  // arrival order) differs between runs, and the result must not.
+  const RunPrint a = run_fuzzed(4, 9, /*pipeline=*/true);
+  const RunPrint b = run_fuzzed(4, 9, /*pipeline=*/true);
+  EXPECT_TRUE(a.state_equal(b));
+  EXPECT_DOUBLE_EQ(a.max_elapsed_us, b.max_elapsed_us);
+}
+
+TEST(MigratePipeline, FlightPairsEveryIrecvPostWithOneDone) {
+  const Mesh global = mesh::make_cube_mesh(3);
+  const auto g = dual::build_dual_graph(global);
+  const auto part = partition::make_partitioner("rcb")->partition(g, 4);
+  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+
+  simmpi::Machine machine;
+  const simmpi::MachineReport report =
+      machine.run(4, [&](simmpi::Comm& comm) {
+        DistMesh dm = build_local_mesh(global, proc, comm.rank(), 4);
+        ParallelAdaptor adaptor(&dm, &comm);
+        adapt::mark_refine_in_sphere(dm.local, {{0.3, 0.3, 0.3}, 0.35});
+        adaptor.refine();
+        std::vector<Rank> plan = proc;
+        for (std::size_t gid = 0; gid < plan.size(); ++gid) {
+          if (mix64(gid) & 1) {
+            plan[gid] = static_cast<Rank>((plan[gid] + 1) % 4);
+          }
+        }
+        migrate(&dm, &comm, plan, {});  // default = pipelined
+        EXPECT_EQ(comm.outstanding_irecvs(), 0);
+      });
+
+  for (const auto& rr : report.ranks) {
+    // Multisets of (peer, tag): every async begin has exactly one
+    // async complete, and the pipelined migration actually posted some.
+    std::map<std::pair<Rank, int>, int> posted, done;
+    std::int64_t isends = 0;
+    for (const auto& e : rr.flight) {
+      if (e.kind == simmpi::FlightKind::kIrecvPost) posted[{e.peer, e.tag}]++;
+      if (e.kind == simmpi::FlightKind::kIrecvDone) done[{e.peer, e.tag}]++;
+      if (e.kind == simmpi::FlightKind::kIsend) ++isends;
+    }
+    EXPECT_FALSE(posted.empty());
+    EXPECT_GT(isends, 0);
+    EXPECT_EQ(posted, done);
+  }
+}
+
+TEST(MigratePipeline, OutOfOrderPhysicalArrivalsConsumeInSourceOrder) {
+  // Higher ranks send (host-)earlier, so messages land in the mailbox
+  // in reverse source order; consuming the posted requests in ascending
+  // source order must still hand each payload to its own request.
+  simmpi::Machine machine;
+  machine.run(4, [](simmpi::Comm& comm) {
+    const int tag = 77;
+    if (comm.rank() == 0) {
+      std::vector<simmpi::Request> reqs(4);
+      for (Rank src = 1; src < 4; ++src) {
+        reqs[static_cast<std::size_t>(src)] = comm.irecv(src, tag);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      for (Rank src = 1; src < 4; ++src) {
+        Bytes b = comm.wait(reqs[static_cast<std::size_t>(src)]);
+        BufReader r(b);
+        EXPECT_EQ(r.get<Rank>(), src);
+      }
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(5 * (4 - comm.rank())));
+      BufWriter w;
+      w.put<Rank>(comm.rank());
+      comm.send(0, tag, w.take());
+    }
+  });
+}
+
+TEST(MigratePipeline, WaitAnyPicksEarliestSimulatedArrivalWhenQueued) {
+  // Rank 1 ships a large payload (late simulated arrival), rank 2 a
+  // tiny one (early).  The barrier guarantees both are physically
+  // queued before wait_any runs, so the pick is purely the simulated
+  // (arrival, src) order — deterministically 2 first, then 1.
+  simmpi::Machine machine;
+  machine.run(3, [](simmpi::Comm& comm) {
+    const int tag = 31;
+    if (comm.rank() != 0) {
+      comm.send(0, tag, Bytes(comm.rank() == 1 ? 65536 : 16));
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::vector<simmpi::Request> reqs(3);
+      reqs[1] = comm.irecv(1, tag);
+      reqs[2] = comm.irecv(2, tag);
+      EXPECT_EQ(comm.wait_any(reqs), 2u);
+      EXPECT_EQ(reqs[2].take_payload().size(), 16u);
+      EXPECT_EQ(comm.wait_any(reqs), 1u);
+      EXPECT_EQ(reqs[1].take_payload().size(), 65536u);
+    }
+  });
+}
+
+TEST(MigratePipeline, WaitAnyDrainsBurstsWithoutStarvationOrReordering) {
+  // Two peers stream 50 same-tag messages each; rank 0 keeps exactly
+  // one posted irecv per peer and drains with wait_any.  Every message
+  // must eventually complete (no starvation) and each peer's sequence
+  // numbers must arrive in FIFO order (no same-pair overtaking).
+  constexpr int kMsgs = 50;
+  simmpi::Machine machine;
+  machine.run(3, [kMsgs](simmpi::Comm& comm) {
+    const int tag = 12;
+    if (comm.rank() == 0) {
+      std::vector<simmpi::Request> reqs(3);
+      reqs[1] = comm.irecv(1, tag);
+      reqs[2] = comm.irecv(2, tag);
+      int next_seq[3] = {0, 0, 0};
+      for (int got = 0; got < 2 * kMsgs; ++got) {
+        const std::size_t i = comm.wait_any(reqs);
+        ASSERT_TRUE(i == 1 || i == 2);
+        const Bytes payload = reqs[i].take_payload();
+        BufReader r(payload);
+        EXPECT_EQ(r.get<int>(), next_seq[i]++);
+        if (next_seq[i] < kMsgs) {
+          reqs[i] = comm.irecv(static_cast<Rank>(i), tag);
+        }
+      }
+      EXPECT_EQ(next_seq[1], kMsgs);
+      EXPECT_EQ(next_seq[2], kMsgs);
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        BufWriter w;
+        w.put<int>(i);
+        comm.send(0, tag, w.take());
+        if (i % 8 == comm.rank()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    }
+  });
+}
+
+TEST(MigratePipeline, IprobeAndTestAreNonBlocking) {
+  simmpi::Machine machine;
+  machine.run(2, [](simmpi::Comm& comm) {
+    const int tag = 5;
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(comm.iprobe(1, tag));  // rank 1 sends after barrier A
+      simmpi::Request req = comm.irecv(1, tag);
+      EXPECT_FALSE(req.done());
+      EXPECT_EQ(comm.outstanding_irecvs(), 1);
+      comm.barrier();  // A: releases the send
+      comm.barrier();  // B: completes only after rank 1's eager send
+      EXPECT_TRUE(comm.test(req));
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(comm.outstanding_irecvs(), 0);
+      const Bytes payload = req.take_payload();
+      BufReader r(payload);
+      EXPECT_EQ(r.get<int>(), 1234);
+      EXPECT_FALSE(comm.iprobe(1, tag));  // consumed
+    } else {
+      comm.barrier();  // A
+      BufWriter w;
+      w.put<int>(1234);
+      comm.send(0, tag, w.take());
+      comm.barrier();  // B
+    }
+  });
+}
+
+// ---------------------------------------------------------------------
+// Charging-consistency audit (simmpi cost model): an isend/irecv wave
+// moving exactly the traffic of an alltoallv must charge exactly the
+// same simulated time and bump every CommStats counter identically —
+// overlap shows up as reduced *idle*, never as free communication.
+
+struct ChargeProbe {
+  double now = 0.0;
+  simmpi::CommStats stats;
+};
+
+Bytes parity_payload(Rank me, Rank dst) {
+  return Bytes(static_cast<std::size_t>(
+      8 * ((me * 7 + dst * 13) % 23 + 2)));
+}
+
+TEST(ChargeParity, WaveChargesMatchAlltoallvExactly) {
+  constexpr Rank P = 4;
+  std::vector<ChargeProbe> coll(P), wave(P);
+
+  simmpi::Machine m1;
+  m1.run(P, [&](simmpi::Comm& comm) {
+    const Rank me = comm.rank();
+    std::vector<Bytes> out(P);
+    for (Rank dst = 0; dst < P; ++dst) {
+      if (dst != me) out[static_cast<std::size_t>(dst)] = parity_payload(me, dst);
+    }
+    const std::vector<Bytes> in = comm.alltoallv(std::move(out));
+    for (Rank src = 0; src < P; ++src) {
+      if (src != me) {
+        EXPECT_EQ(in[static_cast<std::size_t>(src)].size(),
+                  parity_payload(src, me).size());
+      }
+    }
+    coll[static_cast<std::size_t>(me)] = {comm.clock().now(), comm.stats()};
+  });
+
+  simmpi::Machine m2;
+  m2.run(P, [&](simmpi::Comm& comm) {
+    const Rank me = comm.rank();
+    const int tag = comm.reserve_coll_tag();
+    std::vector<simmpi::Request> reqs(P);
+    for (Rank src = 0; src < P; ++src) {
+      if (src != me) reqs[static_cast<std::size_t>(src)] = comm.irecv(src, tag);
+    }
+    for (Rank step = 1; step < P; ++step) {
+      const Rank dst = (me + step) % P;
+      comm.isend(dst, tag, parity_payload(me, dst));
+    }
+    for (Rank k = 1; k < P; ++k) {
+      const std::size_t i = comm.wait_any(reqs);
+      EXPECT_EQ(reqs[i].take_payload().size(),
+                parity_payload(static_cast<Rank>(i), me).size());
+    }
+    wave[static_cast<std::size_t>(me)] = {comm.clock().now(), comm.stats()};
+  });
+
+  for (Rank r = 0; r < P; ++r) {
+    SCOPED_TRACE("rank " + std::to_string(r));
+    const ChargeProbe& a = coll[static_cast<std::size_t>(r)];
+    const ChargeProbe& b = wave[static_cast<std::size_t>(r)];
+    EXPECT_DOUBLE_EQ(a.now, b.now);
+    EXPECT_EQ(a.stats.msgs_sent, b.stats.msgs_sent);
+    EXPECT_EQ(a.stats.bytes_sent, b.stats.bytes_sent);
+    EXPECT_EQ(a.stats.msgs_recv, b.stats.msgs_recv);
+    EXPECT_EQ(a.stats.bytes_recv, b.stats.bytes_recv);
+    EXPECT_EQ(a.stats.coll_msgs_sent, b.stats.coll_msgs_sent);
+    EXPECT_EQ(a.stats.coll_bytes_sent, b.stats.coll_bytes_sent);
+    EXPECT_EQ(a.stats.msgs_to, b.stats.msgs_to);
+    EXPECT_EQ(a.stats.bytes_to, b.stats.bytes_to);
+  }
+}
+
+}  // namespace
+}  // namespace plum::parallel

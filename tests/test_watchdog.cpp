@@ -4,8 +4,11 @@
 // runs and rank exceptions are untouched.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "simmpi/comm.hpp"
 #include "simmpi/machine.hpp"
@@ -121,6 +124,96 @@ TEST(Watchdog, DisabledWatchdogStillRunsBodies) {
     comm.barrier();
   });
   EXPECT_EQ(report.ranks.size(), 2u);
+}
+
+TEST(Watchdog, WaitAnyDeadlockNamesEveryCandidate) {
+  Machine machine;
+  machine.set_watchdog(fast_watchdog());
+  try {
+    // Rank 0 waits on either of two peers; the peers deadlock against
+    // each other, so no candidate can ever be satisfied.  The report
+    // must show the full candidate list, not just the first.
+    machine.run(3, [](Comm& comm) {
+      if (comm.rank() == 0) {
+        std::vector<Request> reqs;
+        reqs.push_back(comm.irecv(1, /*tag=*/5));
+        reqs.push_back(comm.irecv(2, /*tag=*/6));
+        comm.wait_any(reqs);
+      } else {
+        comm.recv(comm.rank() == 1 ? 2 : 1, /*tag=*/8);
+      }
+    });
+    FAIL() << "deadlocked wait_any run returned";
+  } catch (const DeadlockError& e) {
+    const std::string report = e.what();
+    EXPECT_NE(report.find("deadlock detected"), std::string::npos) << report;
+    EXPECT_NE(
+        report.find("rank 0: blocked in wait_any(src=1, tag=5 | src=2, "
+                    "tag=6)"),
+        std::string::npos)
+        << report;
+    EXPECT_NE(report.find("wait-for cycle"), std::string::npos) << report;
+  }
+}
+
+TEST(Watchdog, PostedIrecvsAnnotatedInDeadlockReport) {
+  // The satellite fix for the pipelined path: a rank that dies blocked
+  // in a plain recv while irecvs are still posted must have those
+  // in-flight requests visible in the report — they are pending
+  // progress the diagnosis needs.
+  Machine machine;
+  machine.set_watchdog(fast_watchdog());
+  try {
+    machine.run(2, [](Comm& comm) {
+      if (comm.rank() == 0) {
+        Request pending = comm.irecv(1, /*tag=*/50);  // never satisfied
+        comm.recv(1, /*tag=*/99);
+        comm.wait(pending);
+      } else {
+        comm.recv(0, /*tag=*/99);
+      }
+    });
+    FAIL() << "deadlocked run returned";
+  } catch (const DeadlockError& e) {
+    const std::string report = e.what();
+    EXPECT_NE(report.find("rank 0: blocked in recv(src=1, tag=99) "
+                          "[1 irecv(s) posted]"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("wait-for cycle: 0 -> 1 -> 0"),
+              std::string::npos)
+        << report;
+  }
+}
+
+TEST(Watchdog, HealthyPipelinedStreamIsNotTripped) {
+  // A rank holding posted irecvs while it computes is *running*, not
+  // quiescent: many watchdog polls land mid-stream here and none may
+  // misread the posted-but-unmatched requests as a stall.
+  Machine machine;
+  machine.set_watchdog(fast_watchdog());
+  const MachineReport report = machine.run(3, [](Comm& comm) {
+    const int tag = 21;
+    for (int round = 0; round < 5; ++round) {
+      std::vector<Request> reqs(static_cast<std::size_t>(comm.size()));
+      for (Rank src = 0; src < comm.size(); ++src) {
+        if (src != comm.rank()) reqs[static_cast<std::size_t>(src)] = comm.irecv(src, tag);
+      }
+      // Host-visible compute while requests are outstanding — several
+      // 5 ms watchdog polls observe this rank unblocked.
+      std::this_thread::sleep_for(std::chrono::milliseconds(12));
+      for (Rank dst = 0; dst < comm.size(); ++dst) {
+        if (dst != comm.rank()) comm.send(dst, tag, Bytes(64));
+      }
+      for (Rank k = 1; k < comm.size(); ++k) {
+        const std::size_t i = comm.wait_any(reqs);
+        EXPECT_EQ(reqs[i].take_payload().size(), 64u);
+      }
+      EXPECT_EQ(comm.outstanding_irecvs(), 0);
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(report.ranks.size(), 3u);
 }
 
 TEST(Watchdog, ReportsDisjointClockBuckets) {

@@ -13,6 +13,7 @@
 //                  [--trace out.json] [--metrics] [--metrics-json out.json]
 //                  [--timeline out.json] [--flight-dump[=PATH]]
 //                  [--check-level off|cheap|full]
+//                  [--migrate-pipeline on|off]
 //   plum report    --timeline timeline.json [--out report.html]
 //
 // `mesh` generates and snapshots the box mesh; `adapt` runs one serial
@@ -24,7 +25,10 @@
 // `--metrics-json` writes the same aggregates as JSON; `--timeline`
 // writes the per-cycle gauge time series (parallel/timeline.hpp);
 // `--flight-dump` dumps every rank's flight recorder after the run (to
-// PATH, or to stderr with no value).  `report` renders a timeline JSON
+// PATH, or to stderr with no value); `--migrate-pipeline` selects the
+// overlapped (default, `on`) or synchronous (`off`) migration path —
+// the final mesh state is bit-identical either way.  `report` renders a
+// timeline JSON
 // as a self-contained HTML page (sparklines + traffic heatmap).
 #include <cstdio>
 #include <cstring>
@@ -227,6 +231,10 @@ int cmd_cycle(const Args& args) {
   cfg.check_level =
       parallel::parse_check_level(args.get("check-level", "off"));
   cfg.record_timeline = args.has("timeline");
+  const std::string pipe_mode = args.get("migrate-pipeline", "on");
+  PLUM_CHECK_MSG(pipe_mode == "on" || pipe_mode == "off",
+                 "--migrate-pipeline must be on or off, got " << pipe_mode);
+  cfg.migrate.pipeline = pipe_mode == "on";
 
   const std::map<std::string, adapt::StrategyKind> kinds = {
       {"local1", adapt::StrategyKind::kLocal1},

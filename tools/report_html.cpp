@@ -131,6 +131,8 @@ void cycle_table(std::string& html, const JsonValue& timeline) {
       {"bytes shipped", "bytes_shipped"},
       {"remap us (pred)", "predicted_migrate_us"},
       {"migrate us", "realized_migrate_us"},
+      {"migrate wall us", "migrate_wall_us"},
+      {"overlap", "overlap_ratio"},
       {"solver us", "solver_us"},
       {"adapt us", "adapt_us"},
       {"reassign us", "reassignment_us"},
@@ -250,6 +252,7 @@ std::string render_report_html(const JsonValue& timeline,
                 "predicted_migrate_us");
   sparkline_row(html, timeline, "realized migrate us",
                 "realized_migrate_us");
+  sparkline_row(html, timeline, "migrate overlap ratio", "overlap_ratio");
   sparkline_row(html, timeline, "solver us", "solver_us");
   sparkline_row(html, timeline, "adapt us", "adapt_us");
   sparkline_row(html, timeline, "cycle us", "cycle_us");

@@ -177,15 +177,29 @@ PhaseTimes run_parallel_phases(const Mesh& global,
   return out;
 }
 
+/// What the pipelined replay measured: the simulated migrate wall plus
+/// the critical-path decomposition reconstructed from the flight
+/// recorder (see parallel/critpath.hpp).
+struct PipelinedResult {
+  double wall_us = 0.0;
+  /// 1.0 when the reconstructed path is contiguous, complete, and its
+  /// span equals the migrate wall exactly (the reconciliation
+  /// invariant); 0.0 otherwise.  Deterministic — gate it with
+  /// `--min-field migrate_critpath.reconciled=1`.
+  double reconciled = 0.0;
+  double transfer_share = 0.0;  ///< critical-path transfer / wall
+  double top_share = 0.0;       ///< dominant phase's share of wall
+};
+
 /// Replays the synchronous baseline's exact migration — same initial
 /// placement, same bump refinement, same gid-keyed half-shift — on a
 /// fresh machine with the pipelined path, and returns the simulated
 /// migrate wall (max over ranks).  Identical traffic by construction,
 /// so wall / PhaseTimes::sim_phase_sum_us is the overlap ratio.
-double run_pipelined_migration(const Mesh& global,
-                               const std::vector<Rank>& placement,
-                               int nprocs) {
-  double wall = 0.0;
+PipelinedResult run_pipelined_migration(const Mesh& global,
+                                        const std::vector<Rank>& placement,
+                                        int nprocs) {
+  PipelinedResult out;
   plum::simmpi::Machine machine;
   machine.run(nprocs, [&](plum::simmpi::Comm& comm) {
     plum::parallel::DistMesh dm = plum::parallel::build_local_mesh(
@@ -201,12 +215,31 @@ double run_pipelined_migration(const Mesh& global,
     }
     plum::parallel::MigrateOptions opt;
     opt.pipeline = true;
+    opt.capture_flight = true;
     const plum::parallel::MigrationResult mig =
         plum::parallel::migrate(&dm, &comm, new_proc, opt);
     const double w = comm.allreduce_max(mig.elapsed_us);
-    if (comm.rank() == 0) wall = w;
+    const std::vector<plum::parallel::FlightWindow> wins =
+        plum::parallel::gather_windows(mig.flight_window, &comm, 0);
+    if (comm.rank() == 0) {
+      out.wall_us = w;
+      const plum::parallel::CriticalPath cp =
+          plum::parallel::analyze_critical_path(wins, comm.cost());
+      if (cp.valid) {
+        out.reconciled =
+            (cp.complete && cp.contiguous() && cp.wall_us == w) ? 1.0 : 0.0;
+        if (cp.wall_us > 0.0) {
+          out.transfer_share = cp.transfer_us / cp.wall_us;
+          for (const auto& ph : cp.phases) {
+            if (ph.phase == cp.top_phase) {
+              out.top_share = ph.total_us() / cp.wall_us;
+            }
+          }
+        }
+      }
+    }
   });
-  return wall;
+  return out;
 }
 
 /// "8,12,16" -> {8, 12, 16}; exits on malformed input.
@@ -300,8 +333,9 @@ int main(int argc, char** argv) {
       // Simulated overlap: the same migration replayed pipelined.  The
       // ratio is wall / Σ(sync phases) — 1.0 means no overlap at all,
       // and max(phase)/Σ(phases) is the floor perfect overlap reaches.
-      const double pipe_wall_us =
+      const PipelinedResult pipe =
           run_pipelined_migration(global, placement, P);
+      const double pipe_wall_us = pipe.wall_us;
       const double overlap_ratio =
           pt.sim_phase_sum_us > 0.0 ? pipe_wall_us / pt.sim_phase_sum_us
                                     : 0.0;
@@ -324,6 +358,16 @@ int main(int argc, char** argv) {
                 {"sync_phase_sum_us", pt.sim_phase_sum_us},
                 {"migrate_wall_us", pipe_wall_us},
                 {"overlap_ratio", overlap_ratio}});
+      // Critical-path decomposition of the pipelined replay.  All four
+      // fields are simulated-clock quantities, deterministic across
+      // hosts; `reconciled` asserts the exact-reconciliation invariant
+      // and is floored at 1 in CI.
+      json.add("migrate_critpath",
+               {{"n", static_cast<double>(n)},
+                {"P", static_cast<double>(P)},
+                {"reconciled", pipe.reconciled},
+                {"transfer_share", pipe.transfer_share},
+                {"top_share", pipe.top_share}});
       t.row({static_cast<long long>(n), static_cast<long long>(P),
              pt.exchange_round_us, static_cast<long long>(pt.exchange_bytes),
              pt.migrate_us, static_cast<long long>(pt.elements_moved),

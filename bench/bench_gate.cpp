@@ -3,7 +3,8 @@
 //   bench_gate --baseline bench/baselines/BENCH_comm_quick.json \
 //              --current BENCH_comm.json [--tolerance 0.10] \
 //              [--min-abs-us 50] [--field SUBSTR] \
-//              [--max-field [record.]field=VALUE]...
+//              [--max-field [record.]field=VALUE]... \
+//              [--min-field [record.]field=VALUE]...
 //
 // Compares every wall-clock field of the current BENCH_*.json against
 // the committed baseline (see bench/gate.hpp for matching rules) and
@@ -16,8 +17,12 @@
 // `--max-field` adds absolute ceilings evaluated on the current file
 // alone (e.g. `--max-field migrate_full.overlap_ratio=0.65` — the
 // simulated overlap criterion, which no baseline-relative tolerance can
-// express).  With at least one `--max-field`, `--baseline` becomes
-// optional: the gate then runs only the ceiling assertions.
+// express).  `--min-field` is the floor mirror (e.g. `--min-field
+// migrate_critpath.reconciled=1` asserts the critical path reconciled
+// with the migration wall on every record) — together they bound a
+// ratio from both sides.  With at least one `--max-field`/`--min-field`,
+// `--baseline` becomes optional: the gate then runs only the absolute
+// assertions.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -29,6 +34,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
   std::vector<plumbench::MaxFieldLimit> limits;
+  std::vector<plumbench::MinFieldLimit> min_limits;
   plumbench::GateConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -49,39 +55,47 @@ int main(int argc, char** argv) {
       cfg.min_abs_us = std::atof(next());
     } else if (a == "--field") {
       cfg.field_filter = next();
-    } else if (a == "--max-field") {
+    } else if (a == "--max-field" || a == "--min-field") {
+      const bool is_max = a == "--max-field";
       const std::string spec = next();
       const std::size_t eq = spec.find('=');
       if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
         std::fprintf(stderr,
-                     "bench_gate: --max-field wants [record.]field=VALUE, "
-                     "got %s\n",
-                     spec.c_str());
+                     "bench_gate: %s wants [record.]field=VALUE, got %s\n",
+                     a.c_str(), spec.c_str());
         return 2;
       }
-      plumbench::MaxFieldLimit lim;
+      std::string record, field;
       std::string name = spec.substr(0, eq);
       const std::size_t dot = name.find('.');
       if (dot != std::string::npos) {
-        lim.record = name.substr(0, dot);
-        lim.field = name.substr(dot + 1);
+        record = name.substr(0, dot);
+        field = name.substr(dot + 1);
       } else {
-        lim.field = std::move(name);
+        field = std::move(name);
       }
-      lim.max = std::atof(spec.c_str() + eq + 1);
-      limits.push_back(std::move(lim));
+      const double value = std::atof(spec.c_str() + eq + 1);
+      if (is_max) {
+        limits.push_back(plumbench::MaxFieldLimit{
+            std::move(record), std::move(field), value});
+      } else {
+        min_limits.push_back(plumbench::MinFieldLimit{
+            std::move(record), std::move(field), value});
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_gate --baseline FILE --current FILE "
                    "[--tolerance X] [--min-abs-us Y] [--field SUBSTR] "
-                   "[--max-field [record.]field=VALUE]...\n");
+                   "[--max-field [record.]field=VALUE]... "
+                   "[--min-field [record.]field=VALUE]...\n");
       return 2;
     }
   }
-  if (current_path.empty() || (baseline_path.empty() && limits.empty())) {
+  if (current_path.empty() ||
+      (baseline_path.empty() && limits.empty() && min_limits.empty())) {
     std::fprintf(stderr,
-                 "bench_gate: --current plus --baseline and/or --max-field "
-                 "are required\n");
+                 "bench_gate: --current plus --baseline and/or "
+                 "--max-field/--min-field are required\n");
     return 2;
   }
 
@@ -134,6 +148,23 @@ int main(int argc, char** argv) {
     for (const auto& c : checks) {
       std::printf("  %-8s %-55s %12.4f <= %10.4f\n",
                   c.violation ? "EXCEEDS" : "ok", c.key.c_str(), c.value,
+                  c.limit);
+      failures += c.violation ? 1 : 0;
+    }
+    compared += checks.size();
+  }
+
+  if (!min_limits.empty()) {
+    std::string min_err;
+    const std::vector<plumbench::MinFieldCheck> checks =
+        plumbench::run_min_field_checks(*current, min_limits, &min_err);
+    if (!min_err.empty()) {
+      std::fprintf(stderr, "bench_gate: %s\n", min_err.c_str());
+      return 2;
+    }
+    for (const auto& c : checks) {
+      std::printf("  %-8s %-55s %12.4f >= %10.4f\n",
+                  c.violation ? "BELOW" : "ok", c.key.c_str(), c.value,
                   c.limit);
       failures += c.violation ? 1 : 0;
     }

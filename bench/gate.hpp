@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "support/json_parse.hpp"
@@ -99,15 +100,23 @@ inline const plum::JsonValue* results_of(const plum::JsonValue& doc,
 
 }  // namespace gate_detail
 
-/// An absolute ceiling on a field of the *current* document alone — no
+/// An absolute bound on a field of the *current* document alone — no
 /// baseline involved.  Used for criteria that are not machine-relative:
-/// the migration overlap ratio, say, must stay below a fixed threshold
-/// however fast the host is.  `record` empty means "any record carrying
-/// the field"; otherwise only records with that name are checked.
+/// the migration overlap ratio, say, must stay below a fixed ceiling
+/// however fast the host is, and a reconciliation flag must stay above
+/// a floor.  `record` empty means "any record carrying the field";
+/// otherwise only records with that name are checked.
 struct MaxFieldLimit {
   std::string record;  ///< record name filter ("" = all records)
   std::string field;
   double max = 0.0;
+};
+
+/// The --min-field mirror: value < min is a violation.
+struct MinFieldLimit {
+  std::string record;  ///< record name filter ("" = all records)
+  std::string field;
+  double min = 0.0;
 };
 
 struct MaxFieldCheck {
@@ -116,18 +125,21 @@ struct MaxFieldCheck {
   double limit = 0.0;
   bool violation = false;
 };
+/// Same shape for floors; separate alias so call sites read clearly.
+using MinFieldCheck = MaxFieldCheck;
 
-/// Evaluates `limits` against every matching record of `current`.  A
-/// limit that matches no record at all is an error (the assertion would
-/// silently gate nothing).
-inline std::vector<MaxFieldCheck> run_max_field_checks(
-    const plum::JsonValue& current, const std::vector<MaxFieldLimit>& limits,
+namespace gate_detail {
+
+/// Shared evaluator of absolute field bounds.  `is_max` selects the
+/// violation direction (value > limit vs value < limit).
+inline std::vector<MaxFieldCheck> run_field_bound_checks(
+    const plum::JsonValue& current, const char* which,
+    const std::vector<std::pair<MaxFieldLimit, bool>>& limits,
     std::string* error) {
   std::vector<MaxFieldCheck> out;
-  const plum::JsonValue* results =
-      gate_detail::results_of(current, error, "current");
+  const plum::JsonValue* results = results_of(current, error, "current");
   if (results == nullptr) return out;
-  for (const MaxFieldLimit& lim : limits) {
+  for (const auto& [lim, is_max] : limits) {
     bool seen = false;
     for (const plum::JsonValue& rec : results->array) {
       if (!lim.record.empty() && rec.string_or("name", "?") != lim.record) {
@@ -137,19 +149,47 @@ inline std::vector<MaxFieldCheck> run_max_field_checks(
       if (v == nullptr || !v->is_number()) continue;
       seen = true;
       MaxFieldCheck c;
-      c.key = gate_detail::record_key(rec) + "." + lim.field;
+      c.key = record_key(rec) + "." + lim.field;
       c.value = v->number;
       c.limit = lim.max;
-      c.violation = v->number > lim.max;
+      c.violation = is_max ? v->number > lim.max : v->number < lim.max;
       out.push_back(std::move(c));
     }
     if (!seen && error != nullptr && error->empty()) {
-      *error = "no record carries max-field " +
+      *error = std::string("no record carries ") + which + "-field " +
                (lim.record.empty() ? lim.field
                                    : lim.record + "." + lim.field);
     }
   }
   return out;
+}
+
+}  // namespace gate_detail
+
+/// Evaluates ceiling `limits` against every matching record of
+/// `current`.  A limit that matches no record at all is an error (the
+/// assertion would silently gate nothing).
+inline std::vector<MaxFieldCheck> run_max_field_checks(
+    const plum::JsonValue& current, const std::vector<MaxFieldLimit>& limits,
+    std::string* error) {
+  std::vector<std::pair<MaxFieldLimit, bool>> bounds;
+  bounds.reserve(limits.size());
+  for (const MaxFieldLimit& lim : limits) bounds.emplace_back(lim, true);
+  return gate_detail::run_field_bound_checks(current, "max", bounds, error);
+}
+
+/// The floor mirror of run_max_field_checks: a matched value below
+/// `min` is a violation; a limit matching no record is an error.
+inline std::vector<MinFieldCheck> run_min_field_checks(
+    const plum::JsonValue& current, const std::vector<MinFieldLimit>& limits,
+    std::string* error) {
+  std::vector<std::pair<MaxFieldLimit, bool>> bounds;
+  bounds.reserve(limits.size());
+  for (const MinFieldLimit& lim : limits) {
+    bounds.emplace_back(MaxFieldLimit{lim.record, lim.field, lim.min},
+                        false);
+  }
+  return gate_detail::run_field_bound_checks(current, "min", bounds, error);
 }
 
 /// Compares `current` against `baseline` (both JsonEmitter documents).

@@ -1,0 +1,365 @@
+#include "parallel/critpath.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "simmpi/comm.hpp"
+#include "support/check.hpp"
+
+namespace plum::parallel {
+
+namespace {
+
+using simmpi::FlightKind;
+
+bool is_completion(FlightKind k) {
+  return k == FlightKind::kRecvEnd || k == FlightKind::kIrecvDone;
+}
+
+bool is_send(FlightKind k) {
+  return k == FlightKind::kSend || k == FlightKind::kIsend;
+}
+
+/// (peer, tag) key for FIFO ordinal matching.
+std::uint64_t pair_key(Rank peer, std::int32_t tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
+          << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+/// Per-rank matching tables: for every completion event its FIFO
+/// ordinal among completions of the same (peer, tag), and for every
+/// (dst, tag) the forward-ordered list of send event indices.
+struct RankIndex {
+  std::vector<int> completion_ordinal;  ///< -1 for non-completions
+  std::map<std::uint64_t, std::vector<std::size_t>> sends;
+};
+
+RankIndex build_index(const FlightWindow& w) {
+  RankIndex idx;
+  idx.completion_ordinal.assign(w.events.size(), -1);
+  std::map<std::uint64_t, int> seen;
+  for (std::size_t i = 0; i < w.events.size(); ++i) {
+    const WindowEvent& e = w.events[i];
+    const std::uint64_t key = pair_key(e.peer, e.tag);
+    if (is_completion(e.kind)) {
+      idx.completion_ordinal[i] = seen[key]++;
+    } else if (is_send(e.kind)) {
+      idx.sends[key].push_back(i);
+    }
+  }
+  return idx;
+}
+
+/// Splits the local segment [a, b] on rank `r` at the rank's event
+/// timestamps and attributes each slice to the phase active when its
+/// closing event was recorded; slices with no closing event take the
+/// nearest preceding event's phase.  The slices tile [a, b] exactly.
+void emit_local(std::vector<CritSegment>* out_reversed, Rank r,
+                const FlightWindow& w, double a, double b) {
+  if (!(b > a)) return;
+  // Forward pass over events in (a, b]; events are in nondecreasing ts
+  // order because a rank's clock never goes backwards.
+  std::vector<CritSegment> slices;
+  double prev = a;
+  const std::string* last_phase = nullptr;
+  for (const WindowEvent& e : w.events) {
+    if (e.ts_us <= a) {
+      last_phase = &e.phase;  // nearest preceding phase
+      continue;
+    }
+    if (e.ts_us > b) break;
+    if (e.ts_us > prev) {
+      CritSegment s;
+      s.kind = CritSegment::Kind::kLocal;
+      s.rank = r;
+      s.t_begin_us = prev;
+      s.t_end_us = e.ts_us;
+      s.phase = e.phase;
+      slices.push_back(std::move(s));
+      prev = e.ts_us;
+    }
+    last_phase = &e.phase;
+  }
+  if (prev < b) {
+    CritSegment s;
+    s.kind = CritSegment::Kind::kLocal;
+    s.rank = r;
+    s.t_begin_us = prev;
+    s.t_end_us = b;
+    s.phase = last_phase != nullptr ? *last_phase : std::string("(run)");
+    slices.push_back(std::move(s));
+  }
+  // Merge adjacent equal-phase slices, then append newest-first (the
+  // caller accumulates the whole path in reverse).
+  std::vector<CritSegment> merged;
+  for (CritSegment& s : slices) {
+    if (!merged.empty() && merged.back().phase == s.phase) {
+      merged.back().t_end_us = s.t_end_us;
+    } else {
+      merged.push_back(std::move(s));
+    }
+  }
+  for (auto it = merged.rbegin(); it != merged.rend(); ++it) {
+    out_reversed->push_back(std::move(*it));
+  }
+}
+
+}  // namespace
+
+bool CriticalPath::contiguous() const {
+  if (!valid) return false;
+  if (segments.empty()) return wall_us == 0.0;
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i].t_end_us != segments[i + 1].t_begin_us) return false;
+  }
+  return segments.back().t_end_us - segments.front().t_begin_us == wall_us;
+}
+
+CriticalPath analyze_critical_path(const std::vector<FlightWindow>& windows,
+                                   const simmpi::CostModel& cost) {
+  CriticalPath cp;
+  if (windows.size() <= 1) return cp;
+  cp.valid = true;
+  cp.complete = true;
+
+  // The wall-setting rank: argmax window span, lowest rank on ties —
+  // matching allreduce_max(elapsed_us) up to the tie-break, which
+  // cannot change the wall value itself.
+  Rank rc = 0;
+  std::size_t total_events = 0;
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    total_events += windows[r].events.size();
+    if (windows[r].truncated) cp.complete = false;
+    const double span = windows[r].t1_us - windows[r].t0_us;
+    if (span > windows[static_cast<std::size_t>(rc)].t1_us -
+                   windows[static_cast<std::size_t>(rc)].t0_us) {
+      rc = static_cast<Rank>(r);
+    }
+  }
+  cp.critical_rank = rc;
+  const FlightWindow& cw = windows[static_cast<std::size_t>(rc)];
+  const double floor = cw.t0_us;
+  cp.wall_us = cw.t1_us - cw.t0_us;
+
+  std::vector<RankIndex> index;
+  index.reserve(windows.size());
+  for (const FlightWindow& w : windows) index.push_back(build_index(w));
+
+  // Backward walk: segments accumulate newest-first, reversed at the
+  // end.  The guard bounds the walk by the total event count — a chain
+  // cannot legitimately visit more links than there are events.
+  std::vector<CritSegment> rev;
+  Rank r = rc;
+  double t = cw.t1_us;
+  std::size_t steps = 0;
+  while (t > floor) {
+    if (++steps > total_events + 2) {
+      cp.complete = false;
+      emit_local(&rev, r, windows[static_cast<std::size_t>(r)], floor, t);
+      break;
+    }
+    const FlightWindow& w = windows[static_cast<std::size_t>(r)];
+    const RankIndex& ri = index[static_cast<std::size_t>(r)];
+    // Latest tight completion in (floor, t]: its timestamp equals the
+    // replayed arrival bit-for-bit, proving the clock was idle-lifted
+    // there and the chain continues on the sender.
+    std::ptrdiff_t hit = -1;
+    double send_ts = 0.0;
+    for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(w.events.size()) - 1;
+         i >= 0; --i) {
+      const WindowEvent& e = w.events[static_cast<std::size_t>(i)];
+      if (e.ts_us > t) continue;
+      if (e.ts_us <= floor) break;
+      if (!is_completion(e.kind)) continue;
+      const Rank s = e.peer;
+      if (s < 0 || static_cast<std::size_t>(s) >= windows.size()) {
+        cp.complete = false;
+        continue;
+      }
+      const RankIndex& si = index[static_cast<std::size_t>(s)];
+      const auto it = si.sends.find(pair_key(r, e.tag));
+      const int ord = ri.completion_ordinal[static_cast<std::size_t>(i)];
+      if (it == si.sends.end() ||
+          ord >= static_cast<int>(it->second.size())) {
+        // The matching send fell off the sender's ring (or outside its
+        // window): the chain is unprovable past here.
+        cp.complete = false;
+        continue;
+      }
+      const WindowEvent& se =
+          windows[static_cast<std::size_t>(s)]
+              .events[it->second[static_cast<std::size_t>(ord)]];
+      const double arrival = se.ts_us + cost.transfer_us(e.bytes);
+      if (arrival == e.ts_us) {  // exact: the idle-lift signature
+        hit = i;
+        send_ts = se.ts_us;
+        break;
+      }
+      if (arrival > e.ts_us) cp.complete = false;  // replay broke
+    }
+    if (hit < 0) {
+      emit_local(&rev, r, w, floor, t);
+      break;
+    }
+    const WindowEvent& e = w.events[static_cast<std::size_t>(hit)];
+    emit_local(&rev, r, w, e.ts_us, t);
+    CritSegment tr;
+    tr.kind = CritSegment::Kind::kTransfer;
+    tr.rank = r;
+    tr.src = e.peer;
+    tr.tag = e.tag;
+    tr.bytes = e.bytes;
+    tr.t_end_us = e.ts_us;
+    // The sender's phase at post time labels the transfer.
+    const RankIndex& si = index[static_cast<std::size_t>(e.peer)];
+    const auto it = si.sends.find(pair_key(r, e.tag));
+    const int ord = ri.completion_ordinal[static_cast<std::size_t>(hit)];
+    const WindowEvent& se =
+        windows[static_cast<std::size_t>(e.peer)]
+            .events[it->second[static_cast<std::size_t>(ord)]];
+    tr.phase = se.phase;
+    if (send_ts <= floor) {
+      tr.t_begin_us = floor;  // chain predates the critical window
+      rev.push_back(std::move(tr));
+      break;
+    }
+    tr.t_begin_us = send_ts;
+    rev.push_back(std::move(tr));
+    r = e.peer;
+    t = send_ts;
+  }
+  cp.segments.assign(rev.rbegin(), rev.rend());
+
+  // Per-phase aggregation and totals.
+  std::map<std::string, CritPhaseShare> by_phase;
+  for (const CritSegment& s : cp.segments) {
+    CritPhaseShare& ps = by_phase[s.phase];
+    ps.phase = s.phase;
+    if (s.kind == CritSegment::Kind::kLocal) {
+      ps.local_us += s.dur_us();
+      cp.local_us += s.dur_us();
+    } else {
+      ps.transfer_us += s.dur_us();
+      cp.transfer_us += s.dur_us();
+    }
+  }
+  for (auto& [name, ps] : by_phase) {
+    if (cp.top_phase.empty() ||
+        ps.total_us() > by_phase[cp.top_phase].total_us()) {
+      cp.top_phase = name;
+    }
+    cp.phases.push_back(ps);
+  }
+  return cp;
+}
+
+std::vector<FlightWindow> gather_windows(const FlightWindow& mine,
+                                         simmpi::Comm* comm, Rank root) {
+  BufWriter w;
+  w.put(mine.t0_us);
+  w.put(mine.t1_us);
+  w.put<std::uint8_t>(mine.truncated ? 1 : 0);
+  w.put<std::uint64_t>(mine.events.size());
+  for (const WindowEvent& e : mine.events) {
+    w.put(e.ts_us);
+    w.put(e.bytes);
+    w.put(e.peer);
+    w.put(e.tag);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(e.kind));
+    w.put_string(e.phase);
+  }
+  const std::vector<Bytes> all = comm->gatherv(w.take(), root);
+  std::vector<FlightWindow> out;
+  if (comm->rank() != root) return out;
+  out.reserve(all.size());
+  for (const Bytes& b : all) {
+    FlightWindow fw;
+    BufReader r(b);
+    fw.t0_us = r.get<double>();
+    fw.t1_us = r.get<double>();
+    fw.truncated = r.get<std::uint8_t>() != 0;
+    const auto n = r.get<std::uint64_t>();
+    fw.events.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      WindowEvent e;
+      e.ts_us = r.get<double>();
+      e.bytes = r.get<std::int64_t>();
+      e.peer = r.get<Rank>();
+      e.tag = r.get<std::int32_t>();
+      e.kind = static_cast<FlightKind>(r.get<std::uint8_t>());
+      e.phase = r.get_string();
+      fw.events.push_back(std::move(e));
+    }
+    out.push_back(std::move(fw));
+  }
+  return out;
+}
+
+Bytes serialize_critical_path(const CriticalPath& cp) {
+  BufWriter w;
+  w.put<std::uint8_t>(cp.valid ? 1 : 0);
+  w.put<std::uint8_t>(cp.complete ? 1 : 0);
+  w.put(cp.critical_rank);
+  w.put(cp.wall_us);
+  w.put(cp.local_us);
+  w.put(cp.transfer_us);
+  w.put_string(cp.top_phase);
+  w.put<std::uint64_t>(cp.phases.size());
+  for (const CritPhaseShare& p : cp.phases) {
+    w.put_string(p.phase);
+    w.put(p.local_us);
+    w.put(p.transfer_us);
+  }
+  w.put<std::uint64_t>(cp.segments.size());
+  for (const CritSegment& s : cp.segments) {
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(s.kind));
+    w.put(s.rank);
+    w.put(s.src);
+    w.put(s.tag);
+    w.put(s.bytes);
+    w.put(s.t_begin_us);
+    w.put(s.t_end_us);
+    w.put_string(s.phase);
+  }
+  return w.take();
+}
+
+CriticalPath deserialize_critical_path(const Bytes& b) {
+  CriticalPath cp;
+  BufReader r(b);
+  cp.valid = r.get<std::uint8_t>() != 0;
+  cp.complete = r.get<std::uint8_t>() != 0;
+  cp.critical_rank = r.get<Rank>();
+  cp.wall_us = r.get<double>();
+  cp.local_us = r.get<double>();
+  cp.transfer_us = r.get<double>();
+  cp.top_phase = r.get_string();
+  const auto np = r.get<std::uint64_t>();
+  cp.phases.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) {
+    CritPhaseShare p;
+    p.phase = r.get_string();
+    p.local_us = r.get<double>();
+    p.transfer_us = r.get<double>();
+    cp.phases.push_back(std::move(p));
+  }
+  const auto ns = r.get<std::uint64_t>();
+  cp.segments.reserve(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    CritSegment s;
+    s.kind = static_cast<CritSegment::Kind>(r.get<std::uint8_t>());
+    s.rank = r.get<Rank>();
+    s.src = r.get<Rank>();
+    s.tag = r.get<std::int32_t>();
+    s.bytes = r.get<std::int64_t>();
+    s.t_begin_us = r.get<double>();
+    s.t_end_us = r.get<double>();
+    s.phase = r.get_string();
+    cp.segments.push_back(std::move(s));
+  }
+  return cp;
+}
+
+}  // namespace plum::parallel

@@ -1,0 +1,129 @@
+// Critical-path analyzer for pipelined migration (DESIGN.md §14).
+//
+// A pipelined migrate() leaves behind, per rank, the flight-recorder
+// events that fell inside its [t0, t1] window.  Because the simulated
+// machine is deterministic and its cost model is exact, those events
+// are enough to rebuild the inter-rank event DAG: a send recorded at
+// ts_s arrives at exactly ts_s + transfer_us(bytes), and a receive
+// completion recorded at ts_c was idle-lifted by that arrival if and
+// only if ts_c equals the replayed arrival bit-for-bit (comm.cpp keeps
+// this an exact double equality by charging setup before stamping both
+// the flight event and the arrival from the same clock read).
+//
+// analyze_critical_path() walks that DAG backwards from the
+// wall-setting rank's window end: local segments run on one rank's
+// clock until a tight receive hands the chain to the sender, a
+// transfer segment bridges the gap, and the walk continues on the
+// sender until it bottoms out at the window floor.  The reconciliation
+// invariant — checked by contiguous() and asserted in tests — is that
+// the emitted segments tile [t0_crit, t1_crit] exactly: each segment's
+// end equals the next one's begin and the endpoints equal the window
+// bounds, so the segment sum telescopes to precisely migrate_wall_us
+// (simulated-clock equality, not a tolerance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simmpi/cost_model.hpp"
+#include "simmpi/flight.hpp"
+#include "support/buffer.hpp"
+#include "support/types.hpp"
+
+namespace plum::simmpi {
+class Comm;
+}  // namespace plum::simmpi
+
+namespace plum::parallel {
+
+/// One flight event copied out of the recorder ring, phase label
+/// materialized (the recorder stores a static literal; a window may
+/// outlive the phase scope's frame but not the literal — we copy
+/// anyway so windows can cross rank/thread boundaries safely).
+struct WindowEvent {
+  double ts_us = 0.0;
+  std::int64_t bytes = 0;
+  Rank peer = kNoRank;
+  std::int32_t tag = 0;
+  simmpi::FlightKind kind = simmpi::FlightKind::kSend;
+  std::string phase;
+};
+
+/// The slice of one rank's flight recorder covering one migration.
+struct FlightWindow {
+  double t0_us = 0.0;  ///< migrate entry (this rank's clock)
+  double t1_us = 0.0;  ///< migrate exit (this rank's clock)
+  /// True when the ring overwrote events from inside the window (cap
+  /// too small) — the analyzer then reports complete=false.
+  bool truncated = false;
+  std::vector<WindowEvent> events;
+};
+
+/// One chronological slice of the critical path.
+struct CritSegment {
+  enum class Kind : std::uint8_t { kLocal = 0, kTransfer = 1 };
+  Kind kind = Kind::kLocal;
+  /// The rank whose clock the segment runs on (transfer: the receiver).
+  Rank rank = kNoRank;
+  /// Transfer only: the sending rank.
+  Rank src = kNoRank;
+  std::int32_t tag = 0;
+  std::int64_t bytes = 0;
+  double t_begin_us = 0.0;
+  double t_end_us = 0.0;
+  std::string phase;
+
+  double dur_us() const { return t_end_us - t_begin_us; }
+};
+
+/// Per-phase share of the critical path.
+struct CritPhaseShare {
+  std::string phase;
+  double local_us = 0.0;
+  double transfer_us = 0.0;
+  double total_us() const { return local_us + transfer_us; }
+};
+
+struct CriticalPath {
+  /// False when there was nothing to analyze (P == 1, no windows).
+  bool valid = false;
+  /// True when every chain link resolved from retained events; false
+  /// when a ring truncation or unmatched completion forced the walk to
+  /// fall back to "local until the floor".  The tiling invariant holds
+  /// either way.
+  bool complete = false;
+  /// The rank whose window span set migrate_wall_us.
+  Rank critical_rank = kNoRank;
+  double wall_us = 0.0;      ///< t1 - t0 of the critical rank's window
+  double local_us = 0.0;     ///< Σ local segment durations
+  double transfer_us = 0.0;  ///< Σ transfer segment durations
+  /// Phase with the largest total share (ties: lexicographically first).
+  std::string top_phase;
+  std::vector<CritPhaseShare> phases;
+  /// Chronological (earliest first); tiles [t0_crit, t1_crit].
+  std::vector<CritSegment> segments;
+
+  /// The reconciliation invariant: segments are gap-free, overlap-free,
+  /// and span exactly wall_us.
+  bool contiguous() const;
+};
+
+/// Rebuilds the critical path from every rank's window.  `windows[r]`
+/// is rank r's capture; `cost` must be the machine's cost model (the
+/// arrival replay depends on it).  Call at one rank after
+/// gather_windows(); P must equal windows.size().
+CriticalPath analyze_critical_path(const std::vector<FlightWindow>& windows,
+                                   const simmpi::CostModel& cost);
+
+/// Collective: gathers every rank's window to `root` (rank 0 by
+/// default).  Returns all P windows at root, empty elsewhere.
+std::vector<FlightWindow> gather_windows(const FlightWindow& mine,
+                                         simmpi::Comm* comm, Rank root = 0);
+
+/// Wire format for broadcasting an analyzed path to all ranks (the
+/// timeline requires every rank to hold identical samples).
+Bytes serialize_critical_path(const CriticalPath& cp);
+CriticalPath deserialize_critical_path(const Bytes& b);
+
+}  // namespace plum::parallel

@@ -4,6 +4,7 @@
 
 #include "partition/sfc.hpp"
 #include "simmpi/obs.hpp"
+#include "simmpi/stats.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -25,6 +26,7 @@ PlumFramework::PlumFramework(simmpi::Comm* comm, const mesh::Mesh& global,
   // Hilbert keys derive from the immutable initial-mesh centroids:
   // compute the replicated cache once, up front (cheap, O(N)).
   partition::ensure_sfc_keys(dual_);
+  bind_stats();
 }
 
 PlumFramework::PlumFramework(simmpi::Comm* comm, DistMesh dm,
@@ -46,6 +48,55 @@ PlumFramework::PlumFramework(simmpi::Comm* comm, DistMesh dm,
                                              << " contradicts proc_of_root");
   }
   partition::ensure_sfc_keys(dual_);
+  bind_stats();
+}
+
+void PlumFramework::bind_stats() {
+  if (cfg_.stats == nullptr) return;
+  stats::Registry& reg = *cfg_.stats;
+  stats_.cycle_us = &reg.histogram("cycle_us");
+  stats_.solve_us = &reg.histogram("solve_us");
+  stats_.adapt_us = &reg.histogram("adapt_us");
+  stats_.migrate_us = &reg.histogram("migrate_us");
+  stats_.cycles = &reg.counter("cycles");
+  stats_.elements_moved = &reg.counter("elements_moved");
+  stats_.bytes_shipped = &reg.counter("bytes_shipped");
+  stats_.imbalance_after = &reg.gauge("imbalance_after");
+}
+
+void PlumFramework::record_cycle_stats(const CycleStats& stats,
+                                       double cycle_span_us, int cycle_idx) {
+  const double imb_after = stats.balance.accepted
+                               ? stats.balance.new_load.imbalance
+                               : stats.balance.old_load.imbalance;
+  if (cfg_.stats != nullptr) {
+    stats_.cycles->inc();
+    stats_.cycle_us->record_us(cycle_span_us);
+    stats_.solve_us->record_us(stats.solver.elapsed_us);
+    stats_.adapt_us->record_us(stats.refine.elapsed_us +
+                               stats.coarsen.elapsed_us);
+    stats_.migrate_us->record_us(stats.migration.elapsed_us);
+    stats_.elements_moved->add(stats.migration.elements_sent);
+    stats_.bytes_shipped->add(stats.migration.bytes_sent);
+    stats_.imbalance_after->set(imb_after);
+  }
+  // One line per cycle from rank 0 (PLUM_LOG=info).  Local (rank-0)
+  // durations, not reduced — the line must stay collective-free.
+  if (comm_->rank() == 0 && log_enabled(LogLevel::kInfo)) {
+    std::ostringstream os;
+    os << "cycle " << cycle_idx << ": imb "
+       << stats.balance.old_load.imbalance << " -> " << imb_after
+       << ", moved " << stats.balance.decision.cost.elements_moved
+       << " elems (planned), migrate "
+       << stats.migration.elapsed_us / 1000.0 << " ms, cycle "
+       << cycle_span_us / 1000.0 << " ms";
+    if (cfg_.stats != nullptr && stats_.cycle_us->count() > 0) {
+      os << ", cycle p99 so far "
+         << static_cast<double>(stats_.cycle_us->quantile(0.99)) / 1000.0
+         << " ms";
+    }
+    PLUM_LOG_INFO(os.str());
+  }
 }
 
 void PlumFramework::refresh_weights() {
@@ -164,7 +215,12 @@ MigrationResult PlumFramework::migrate_to(
     PLUM_PHASE(*comm_, "check");
     pre_elements = comm_->allreduce_sum(dm_.local.num_active_elements());
   }
-  MigrationResult mig = migrate(&dm_, comm_, proc_of_root, cfg_.migrate);
+  MigrateOptions mopt = cfg_.migrate;
+  // The timeline's critical-path sample needs this migration's flight
+  // window; the capture is local (no collectives, no clock activity).
+  mopt.capture_flight =
+      mopt.capture_flight || (cfg_.record_timeline && comm_->size() > 1);
+  MigrationResult mig = migrate(&dm_, comm_, proc_of_root, mopt);
   proc_of_root_ = proc_of_root;
   run_checks("migrate", pre_elements);
   return mig;
@@ -211,6 +267,7 @@ CycleStats PlumFramework::cycle(
     const std::function<void(mesh::Mesh&)>& mark_refine,
     const std::function<void(mesh::Mesh&)>& mark_coarsen) {
   CycleStats stats;
+  const int cycle_idx = cycle_seq_++;
   const double t_cycle0 = comm_->clock().now();
 
   // Flow solution.
@@ -233,17 +290,19 @@ CycleStats PlumFramework::cycle(
     stats.migration = migrate_to(stats.balance.proc_of_vertex);
   }
 
-  if (cfg_.record_timeline) record_sample(stats, t_cycle0);
+  record_cycle_stats(stats, comm_->clock().now() - t_cycle0, cycle_idx);
+  if (cfg_.record_timeline) record_sample(stats, t_cycle0, cycle_idx);
   return stats;
 }
 
-void PlumFramework::record_sample(const CycleStats& stats, double t_cycle0) {
+void PlumFramework::record_sample(const CycleStats& stats, double t_cycle0,
+                                  int cycle_idx) {
   // Collective: a few extra allreduces, which is why the timeline is
   // opt-in.  Every gauge is globally reduced, so all ranks append the
   // identical sample.
   PLUM_PHASE(*comm_, "timeline");
   CycleSample s;
-  s.cycle = cycle_seq_++;
+  s.cycle = cycle_idx;
   s.active_elements =
       comm_->allreduce_sum(dm_.local.num_active_elements());
   s.imbalance_before = stats.balance.old_load.imbalance;
@@ -276,6 +335,28 @@ void PlumFramework::record_sample(const CycleStats& stats, double t_cycle0) {
                                     stats.coarsen.elapsed_us);
   s.reassignment_us = comm_->allreduce_max(stats.reassignment_us);
   s.cycle_us = comm_->allreduce_max(comm_->clock().now() - t_cycle0);
+  // Critical path of the cycle's migration: every rank contributes its
+  // flight window, rank 0 analyzes, and the result is broadcast so all
+  // ranks append the identical sample.  `accepted` is replicated, so
+  // the collective sequence stays uniform.
+  if (stats.balance.accepted && comm_->size() > 1) {
+    const std::vector<FlightWindow> wins =
+        gather_windows(stats.migration.flight_window, comm_, 0);
+    Bytes ser;
+    if (comm_->rank() == 0) {
+      ser = serialize_critical_path(
+          analyze_critical_path(wins, comm_->cost()));
+    }
+    ser = comm_->broadcast(std::move(ser), 0);
+    s.critpath = deserialize_critical_path(ser);
+    // The reconciliation invariant: the analyzer's wall is the same
+    // t1 - t0 the migrate wall reduces over, so equality is exact.
+    PLUM_CHECK_MSG(!s.critpath.valid ||
+                       s.critpath.wall_us == s.migrate_wall_us,
+                   "critical path wall "
+                       << s.critpath.wall_us << " != migrate wall "
+                       << s.migrate_wall_us);
+  }
   timeline_.cycles.push_back(s);
 }
 

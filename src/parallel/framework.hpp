@@ -23,6 +23,13 @@
 #include "simmpi/comm.hpp"
 #include "solver/flow_solver.hpp"
 
+namespace plum::stats {
+class Registry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace plum::stats
+
 namespace plum::parallel {
 
 struct FrameworkConfig {
@@ -46,6 +53,12 @@ struct FrameworkConfig {
   /// overlap on/off, full SPL rebuild, cross-checking).  Must be
   /// identical on all ranks.
   MigrateOptions migrate;
+  /// Optional per-rank metrics registry (simmpi/stats.hpp).  When set,
+  /// every cycle records its local phase durations and traffic into it
+  /// — no collectives, so enabling stats on some cycles only is safe.
+  /// The caller owns the registry (one per rank) and typically folds
+  /// them with stats::reduce_to_root() per cycle or at run end.
+  stats::Registry* stats = nullptr;
 };
 
 /// Everything one solve->adapt->balance cycle produced.
@@ -119,7 +132,27 @@ class PlumFramework {
 
   /// Appends one globally-reduced CycleSample to timeline_ (collective;
   /// called from cycle() only when cfg.record_timeline).
-  void record_sample(const CycleStats& stats, double t_cycle0);
+  void record_sample(const CycleStats& stats, double t_cycle0,
+                     int cycle_idx);
+
+  /// Caches registry handles once so the per-cycle hot path records
+  /// through stable pointers (zero lookups, zero allocations).
+  void bind_stats();
+  /// Records this cycle's local metrics into cfg_.stats (no
+  /// collectives) and emits the one-line info-level cycle summary.
+  void record_cycle_stats(const CycleStats& stats, double cycle_span_us,
+                          int cycle_idx);
+
+  struct StatsHandles {
+    stats::Histogram* cycle_us = nullptr;
+    stats::Histogram* solve_us = nullptr;
+    stats::Histogram* adapt_us = nullptr;
+    stats::Histogram* migrate_us = nullptr;
+    stats::Counter* cycles = nullptr;
+    stats::Counter* elements_moved = nullptr;
+    stats::Counter* bytes_shipped = nullptr;
+    stats::Gauge* imbalance_after = nullptr;
+  };
 
   simmpi::Comm* comm_;
   FrameworkConfig cfg_;
@@ -141,6 +174,7 @@ class PlumFramework {
   balance::SfcRepartState sfc_state_;
   Timeline timeline_;
   int cycle_seq_ = 0;
+  StatsHandles stats_;
 };
 
 }  // namespace plum::parallel

@@ -261,6 +261,10 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
   const Rank self = dm->rank;
   const double t0 = comm->clock().now();
   PLUM_PHASE(*comm, "migrate");
+  // Flight-window capture: remember how many events the ring has seen
+  // so the exit code knows exactly which slice belongs to this call.
+  const std::int64_t flight_n0 =
+      opt.capture_flight ? comm->flight().total_recorded() : 0;
 
   const bool pipe = opt.pipeline && P > 1;
   // Reserved before packing so the wave's tag equals the tag the
@@ -570,6 +574,32 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
 
   result.spl_us = comm->clock().now() - t_spl;
   result.elapsed_us = comm->clock().now() - t0;
+
+  if (opt.capture_flight) {
+    FlightWindow& fw = result.flight_window;
+    fw.t0_us = t0;
+    // No clock activity since the elapsed_us read, so this endpoint is
+    // the same double — the analyzer's wall reconciles exactly.
+    fw.t1_us = comm->clock().now();
+    const std::int64_t want = comm->flight().total_recorded() - flight_n0;
+    const std::vector<simmpi::FlightEvent> snap = comm->flight().snapshot();
+    fw.truncated = want > static_cast<std::int64_t>(snap.size());
+    const std::size_t keep = fw.truncated
+                                 ? snap.size()
+                                 : static_cast<std::size_t>(want);
+    fw.events.reserve(keep);
+    for (std::size_t i = snap.size() - keep; i < snap.size(); ++i) {
+      const simmpi::FlightEvent& e = snap[i];
+      WindowEvent we;
+      we.ts_us = e.ts_us;
+      we.bytes = e.bytes;
+      we.peer = e.peer;
+      we.tag = e.tag;
+      we.kind = e.kind;
+      we.phase = e.phase;
+      fw.events.push_back(std::move(we));
+    }
+  }
   return result;
 }
 

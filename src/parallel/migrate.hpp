@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "parallel/critpath.hpp"
 #include "parallel/dist_mesh.hpp"
 #include "simmpi/comm.hpp"
 
@@ -56,6 +57,10 @@ struct MigrationResult {
   double phase_sum_us() const {
     return pack_us + ship_us + delete_purge_us + unpack_us + spl_us;
   }
+  /// This rank's flight-recorder slice over [t0, t1] of the migration
+  /// (empty unless MigrateOptions::capture_flight) — the input of
+  /// critpath.hpp's analyzer.
+  FlightWindow flight_window;
 };
 
 struct MigrateOptions {
@@ -74,6 +79,10 @@ struct MigrateOptions {
   /// After the incremental repair, run the full rebuild too and assert
   /// both produce identical SPLs (adds collectives; for tests).
   bool spl_cross_check = false;
+  /// Copy this migration's flight-recorder events into
+  /// MigrationResult::flight_window for critical-path analysis.  Off by
+  /// default: the copy is O(events in window) at migrate exit.
+  bool capture_flight = false;
 };
 
 /// Collective.  Moves every resident root whose proc_of_root[gid]

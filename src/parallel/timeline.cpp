@@ -55,6 +55,60 @@ std::string timeline_json(const Timeline& tl,
     w.value(s.reassignment_us);
     w.key("cycle_us");
     w.value(s.cycle_us);
+    w.key("critpath");
+    w.begin_object();
+    w.key("valid");
+    w.value(s.critpath.valid);
+    w.key("complete");
+    w.value(s.critpath.complete);
+    w.key("critical_rank");
+    w.value(static_cast<std::int64_t>(s.critpath.critical_rank));
+    w.key("wall_us");
+    w.value(s.critpath.wall_us);
+    w.key("local_us");
+    w.value(s.critpath.local_us);
+    w.key("transfer_us");
+    w.value(s.critpath.transfer_us);
+    w.key("top_phase");
+    w.value(s.critpath.top_phase);
+    w.key("phases");
+    w.begin_array();
+    for (const CritPhaseShare& p : s.critpath.phases) {
+      w.begin_object();
+      w.key("phase");
+      w.value(p.phase);
+      w.key("local_us");
+      w.value(p.local_us);
+      w.key("transfer_us");
+      w.value(p.transfer_us);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("segments");
+    w.begin_array();
+    for (const CritSegment& seg : s.critpath.segments) {
+      w.begin_object();
+      w.key("kind");
+      w.value(seg.kind == CritSegment::Kind::kTransfer ? "transfer"
+                                                       : "local");
+      w.key("rank");
+      w.value(static_cast<std::int64_t>(seg.rank));
+      w.key("src");
+      w.value(static_cast<std::int64_t>(seg.src));
+      w.key("tag");
+      w.value(static_cast<std::int64_t>(seg.tag));
+      w.key("bytes");
+      w.value(seg.bytes);
+      w.key("t_begin_us");
+      w.value(seg.t_begin_us);
+      w.key("t_end_us");
+      w.value(seg.t_end_us);
+      w.key("phase");
+      w.value(seg.phase);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
     w.end_object();
   }
   w.end_array();

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "parallel/critpath.hpp"
 #include "simmpi/machine.hpp"
 
 namespace plum::parallel {
@@ -59,6 +60,10 @@ struct CycleSample {
   double adapt_us = 0.0;
   double reassignment_us = 0.0;
   double cycle_us = 0.0;
+  /// Critical path of the cycle's migration (critpath.hpp), analyzed
+  /// at rank 0 and broadcast so every rank holds the identical sample.
+  /// valid == false when the cycle migrated nothing or P == 1.
+  CriticalPath critpath;
 };
 
 struct Timeline {

@@ -1,8 +1,22 @@
 #include "simmpi/flight.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace plum::simmpi {
+
+FlightConfig flight_config_from_env() {
+  FlightConfig cfg;
+  cfg.capacity = FlightRecorder::kDefaultCapacity;
+  const char* env = std::getenv("PLUM_FLIGHT_CAP");
+  if (env == nullptr || *env == '\0') return cfg;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end != nullptr && *end == '\0' && v > 0) {
+    cfg.capacity = static_cast<std::size_t>(v);
+  }
+  return cfg;
+}
 
 std::vector<FlightEvent> FlightRecorder::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -29,6 +29,20 @@
 
 namespace plum::simmpi {
 
+/// Runtime configuration of the recorder (DESIGN.md §11).  The ring
+/// capacity defaults to FlightRecorder::kDefaultCapacity and can be
+/// raised for long captures (e.g. critical-path windows of large
+/// migrations) via the PLUM_FLIGHT_CAP environment variable.
+struct FlightConfig {
+  std::size_t capacity = 4096;  // == FlightRecorder::kDefaultCapacity
+};
+
+/// Reads PLUM_FLIGHT_CAP (a positive integer) into a FlightConfig;
+/// absent or malformed values fall back to the default.  Read at
+/// Machine construction, not cached process-wide, so tests can vary
+/// the environment between machines.
+FlightConfig flight_config_from_env();
+
 enum class FlightKind : std::uint8_t {
   kSend = 0,       ///< buffered send enqueued (never blocks)
   kRecvBegin = 1,  ///< entering a blocking receive
@@ -132,5 +146,8 @@ FlightRecorder* flight_current();
 /// The check-failure hook body: dumps the calling thread's registered
 /// recorder (if any) to stderr.  Installed by Machine::run.
 void flight_dump_on_check_failure();
+
+static_assert(FlightConfig{}.capacity == FlightRecorder::kDefaultCapacity,
+              "FlightConfig default must track the recorder default");
 
 }  // namespace plum::simmpi

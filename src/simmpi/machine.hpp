@@ -76,7 +76,9 @@ struct WatchdogConfig {
 
 class Machine {
  public:
-  explicit Machine(CostModel cost = CostModel{}) : cost_(cost) {}
+  explicit Machine(CostModel cost = CostModel{})
+      : cost_(cost),
+        flight_capacity_(flight_config_from_env().capacity) {}
 
   const CostModel& cost() const { return cost_; }
 
@@ -90,8 +92,11 @@ class Machine {
   void set_watchdog(WatchdogConfig cfg) { watchdog_ = cfg; }
   const WatchdogConfig& watchdog() const { return watchdog_; }
 
-  /// Flight-recorder ring capacity per rank (events).
+  /// Flight-recorder ring capacity per rank (events).  Initialized
+  /// from PLUM_FLIGHT_CAP at construction (flight_config_from_env);
+  /// this setter overrides both.
   void set_flight_capacity(std::size_t cap) { flight_capacity_ = cap; }
+  std::size_t flight_capacity() const { return flight_capacity_; }
 
   /// Runs `body` as an SPMD program on `nranks` simulated processors.
   /// Throws DeadlockError if the watchdog detects a communication

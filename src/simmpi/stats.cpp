@@ -1,0 +1,247 @@
+#include "simmpi/stats.hpp"
+
+#include <cmath>
+
+#include "simmpi/comm.hpp"
+#include "support/check.hpp"
+
+namespace plum::stats {
+
+namespace {
+
+/// Index of the highest set bit of u > 0.
+int msb_index(std::uint64_t u) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - __builtin_clzll(u);
+#else
+  int i = 0;
+  while (u >>= 1) ++i;
+  return i;
+#endif
+}
+
+}  // namespace
+
+int Histogram::bucket_of(std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < kSubBuckets) return static_cast<int>(u);
+  const int msb = msb_index(u);
+  // Block b >= 1 covers [2^(b+kSubBits-1), 2^(b+kSubBits)), split into
+  // kSubBuckets linear sub-buckets addressed by the bits just below
+  // the msb.
+  const int block = msb - kSubBits + 1;
+  const int sub = static_cast<int>((u >> (msb - kSubBits)) &
+                                   (kSubBuckets - 1));
+  return block * kSubBuckets + sub;
+}
+
+std::int64_t Histogram::bucket_max(int i) {
+  if (i < kSubBuckets) return i;
+  const int block = i / kSubBuckets;
+  const int sub = i % kSubBuckets;
+  const std::int64_t lower =
+      static_cast<std::int64_t>(kSubBuckets + sub) << (block - 1);
+  return lower + ((static_cast<std::int64_t>(1) << (block - 1)) - 1);
+}
+
+std::int64_t Histogram::quantile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  auto target = static_cast<std::int64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  if (target < 1) target = 1;
+  if (target > count_) target = count_;
+  std::int64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      std::int64_t v = bucket_max(i);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+template <typename T>
+T& Registry::find_or_create(std::vector<Named<T>>& v, std::string_view name) {
+  for (auto& e : v) {
+    if (e.name == name) return *e.metric;
+  }
+  v.push_back(Named<T>{std::string(name), std::make_unique<T>()});
+  return *v.back().metric;
+}
+
+// A disabled registry hands out a per-thread sink instead of growing
+// its tables: callers keep a valid handle, records go nowhere visible,
+// and rank threads never share a metric (no cross-thread races).
+Counter& Registry::counter(std::string_view name) {
+  if (!enabled_) {
+    static thread_local Counter sink;
+    return sink;
+  }
+  return find_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  if (!enabled_) {
+    static thread_local Gauge sink;
+    return sink;
+  }
+  return find_or_create(gauges_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  if (!enabled_) {
+    static thread_local Histogram sink;
+    return sink;
+  }
+  return find_or_create(histograms_, name);
+}
+
+void Snapshot::merge(const Snapshot& o) {
+  PLUM_CHECK_MSG(counters.size() == o.counters.size() &&
+                     gauges.size() == o.gauges.size() &&
+                     histograms.size() == o.histograms.size(),
+                 "stats snapshot shape mismatch (SPMD registration order "
+                 "differs across ranks)");
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    PLUM_CHECK_MSG(counters[i].name == o.counters[i].name,
+                   "counter name mismatch: " << counters[i].name << " vs "
+                                             << o.counters[i].name);
+    counters[i].value += o.counters[i].value;
+  }
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    PLUM_CHECK_MSG(gauges[i].name == o.gauges[i].name,
+                   "gauge name mismatch: " << gauges[i].name << " vs "
+                                           << o.gauges[i].name);
+    gauges[i].gauge.merge(o.gauges[i].gauge);
+  }
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    PLUM_CHECK_MSG(histograms[i].name == o.histograms[i].name,
+                   "histogram name mismatch: " << histograms[i].name << " vs "
+                                               << o.histograms[i].name);
+    histograms[i].hist.merge(o.histograms[i].hist);
+  }
+}
+
+Snapshot snapshot(const Registry& reg) {
+  Snapshot s;
+  reg.for_each_counter([&](const std::string& name, const Counter& c) {
+    s.counters.push_back({name, c.value()});
+  });
+  reg.for_each_gauge([&](const std::string& name, const Gauge& g) {
+    s.gauges.push_back({name, g});
+  });
+  reg.for_each_histogram([&](const std::string& name, const Histogram& h) {
+    s.histograms.push_back({name, h});
+  });
+  return s;
+}
+
+Bytes serialize(const Snapshot& s) {
+  BufWriter w;
+  w.put<std::uint64_t>(s.counters.size());
+  for (const auto& c : s.counters) {
+    w.put_string(c.name);
+    w.put(c.value);
+  }
+  w.put<std::uint64_t>(s.gauges.size());
+  for (const auto& g : s.gauges) {
+    w.put_string(g.name);
+    w.put(g.gauge.last());
+    w.put(g.gauge.min());
+    w.put(g.gauge.max());
+    w.put(g.gauge.sum());
+    w.put(g.gauge.count());
+  }
+  w.put<std::uint64_t>(s.histograms.size());
+  for (const auto& h : s.histograms) {
+    w.put_string(h.name);
+    w.put(h.hist.count());
+    w.put(h.hist.sum());
+    w.put(h.hist.min());
+    w.put(h.hist.max());
+    std::uint32_t nonzero = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.hist.bucket_count(i) != 0) ++nonzero;
+    }
+    w.put(nonzero);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::int64_t c = h.hist.bucket_count(i);
+      if (c != 0) {
+        w.put<std::uint32_t>(static_cast<std::uint32_t>(i));
+        w.put(c);
+      }
+    }
+  }
+  return w.take();
+}
+
+Snapshot deserialize_snapshot(const Bytes& b) {
+  Snapshot s;
+  BufReader r(b);
+  const auto nc = r.get<std::uint64_t>();
+  s.counters.reserve(nc);
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    Snapshot::CounterView c;
+    c.name = r.get_string();
+    c.value = r.get<std::int64_t>();
+    s.counters.push_back(std::move(c));
+  }
+  const auto ng = r.get<std::uint64_t>();
+  s.gauges.reserve(ng);
+  for (std::uint64_t i = 0; i < ng; ++i) {
+    Snapshot::GaugeView g;
+    g.name = r.get_string();
+    const auto last = r.get<double>();
+    const auto mn = r.get<double>();
+    const auto mx = r.get<double>();
+    const auto sum = r.get<double>();
+    const auto count = r.get<std::int64_t>();
+    g.gauge.restore_raw(last, mn, mx, sum, count);
+    s.gauges.push_back(std::move(g));
+  }
+  const auto nh = r.get<std::uint64_t>();
+  s.histograms.reserve(nh);
+  for (std::uint64_t i = 0; i < nh; ++i) {
+    Snapshot::HistogramView h;
+    h.name = r.get_string();
+    const auto count = r.get<std::int64_t>();
+    const auto sum = r.get<std::int64_t>();
+    const auto mn = r.get<std::int64_t>();
+    const auto mx = r.get<std::int64_t>();
+    h.hist.restore_raw(count, sum, mn, mx);
+    const auto nonzero = r.get<std::uint32_t>();
+    for (std::uint32_t k = 0; k < nonzero; ++k) {
+      const auto idx = r.get<std::uint32_t>();
+      const auto c = r.get<std::int64_t>();
+      PLUM_CHECK(idx < static_cast<std::uint32_t>(Histogram::kBuckets));
+      h.hist.set_bucket(static_cast<int>(idx), c);
+    }
+    s.histograms.push_back(std::move(h));
+  }
+  return s;
+}
+
+Snapshot reduce_to_root(const Registry& reg, simmpi::Comm* comm) {
+  Snapshot acc = snapshot(reg);
+  const int tag = comm->reserve_coll_tag();
+  const Rank rank = comm->rank();
+  const Rank size = comm->size();
+  for (Rank step = 1; step < size; step <<= 1) {
+    if ((rank & step) != 0) {
+      comm->send(static_cast<Rank>(rank - step), tag, serialize(acc));
+      return Snapshot{};
+    }
+    if (rank + step < size) {
+      const Bytes b = comm->recv(static_cast<Rank>(rank + step), tag);
+      acc.merge(deserialize_snapshot(b));
+    }
+  }
+  return rank == 0 ? acc : Snapshot{};
+}
+
+}  // namespace plum::stats

@@ -1,0 +1,304 @@
+// plum::stats — a metrics registry of counters, gauges, and
+// log2-bucketed histograms with exact cross-rank merging
+// (DESIGN.md §14).
+//
+// Built for long soaks on the simulated machine: recording is O(1) and
+// allocation-free in steady state (callers cache handles returned by
+// the registry; the registry allocates only on first lookup of a name),
+// and a registry constructed disabled reduces every record to a single
+// predictable branch.  Histograms are HdrHistogram-lite: log2 major
+// buckets split into 8 linear sub-buckets, int64 counts throughout, so
+// merging two histograms is element-wise integer addition — exact,
+// associative, and commutative.  That is what lets reduce_to_root()
+// fold P per-rank snapshots up a binomial tree with rank 0 only ever
+// holding ONE merged summary (O(buckets) memory independent of P),
+// and what makes merged quantiles bit-identical regardless of the
+// reduction tree shape.
+//
+// Values are int64 in the unit the caller chooses; record_us() rounds
+// a simulated-clock duration to the nearest microsecond.  Quantiles
+// report the upper bound of the bucket containing the target rank,
+// clamped into [min, max] — a deterministic integer, never an
+// interpolation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/buffer.hpp"
+
+namespace plum::simmpi {
+class Comm;
+}  // namespace plum::simmpi
+
+namespace plum::stats {
+
+/// Fixed-shape log2/linear histogram of non-negative int64 values.
+class Histogram {
+ public:
+  /// 2^kSubBits linear sub-buckets per log2 major bucket.
+  static constexpr int kSubBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 8
+  /// Bucket count covering all of [0, INT64_MAX]: the first 8 indices
+  /// hold exact values 0..7, then (63 - kSubBits) blocks of 8.
+  static constexpr int kBuckets = kSubBuckets + (63 - kSubBits) * kSubBuckets;
+
+  Histogram() { reset(); }
+
+  /// O(1), allocation-free.  Negative values clamp to 0.
+  void record(std::int64_t v) {
+    if (v < 0) v = 0;
+    ++counts_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  /// Rounds a microsecond duration to the nearest integer and records it.
+  void record_us(double us) {
+    record(us <= 0.0 ? 0 : static_cast<std::int64_t>(us + 0.5));
+  }
+
+  /// Element-wise integer addition: exact, associative, commutative.
+  void merge(const Histogram& o) {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.count_ > 0) {
+      if (o.min_ < min_) min_ = o.min_;
+      if (o.max_ > max_) max_ = o.max_;
+    }
+  }
+
+  /// Value at quantile p in [0, 1]: the upper bound of the bucket
+  /// holding the ceil(p * count)-th smallest sample, clamped into
+  /// [min, max].  Pure integer cumulative walk — bit-identical for any
+  /// merge order producing the same counts.
+  std::int64_t quantile(double p) const;
+
+  std::int64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return count_ > 0 ? min_ : 0; }
+  std::int64_t max() const { return count_ > 0 ? max_ : 0; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+  std::int64_t bucket_count(int i) const { return counts_[i]; }
+
+  void reset() {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] = 0;
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<std::int64_t>::max();
+    max_ = std::numeric_limits<std::int64_t>::min();
+  }
+
+  /// Bucket index of value v >= 0: values 0..7 are exact; above that,
+  /// each power-of-two block splits into 8 linear sub-buckets.
+  static int bucket_of(std::int64_t v);
+  /// Largest value mapping to bucket i (the quantile answer).
+  static std::int64_t bucket_max(int i);
+
+  /// Wire-format restore (deserialize_snapshot): overwrites the scalar
+  /// summaries; buckets are restored via set_bucket().
+  void restore_raw(std::int64_t count, std::int64_t sum, std::int64_t min,
+                   std::int64_t max) {
+    count_ = count;
+    sum_ = sum;
+    // An empty histogram keeps the sentinel extremes so a later merge
+    // into it still adopts the other side's min/max.
+    min_ = count > 0 ? min : std::numeric_limits<std::int64_t>::max();
+    max_ = count > 0 ? max : std::numeric_limits<std::int64_t>::min();
+  }
+  void set_bucket(int i, std::int64_t c) { counts_[i] = c; }
+
+ private:
+  std::int64_t counts_[kBuckets];
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Monotonic int64 counter.
+class Counter {
+ public:
+  void add(std::int64_t v) { value_ += v; }
+  void inc() { ++value_; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+  /// Merge = sum.
+  void merge(const Counter& o) { value_ += o.value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-value gauge that also tracks min/max/sum/count of the samples.
+class Gauge {
+ public:
+  void set(double v) {
+    last_ = v;
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    sum_ += v;
+    ++count_;
+  }
+  double last() const { return last_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  std::int64_t count() const { return count_; }
+  /// Merge keeps the extremes and sums; `last` takes the other side's
+  /// when it has samples (root merges children after itself, so the
+  /// result is deterministic for a fixed tree shape — and min/max/sum,
+  /// the fields anything gates on, are shape-independent).
+  void merge(const Gauge& o) {
+    if (o.count_ > 0) {
+      last_ = o.last_;
+      if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+      if (count_ == 0 || o.max_ > max_) max_ = o.max_;
+    }
+    sum_ += o.sum_;
+    count_ += o.count_;
+  }
+
+  /// Wire-format restore (deserialize_snapshot).
+  void restore_raw(double last, double min, double max, double sum,
+                   std::int64_t count) {
+    last_ = last;
+    min_ = min;
+    max_ = max;
+    sum_ = sum;
+    count_ = count;
+  }
+
+ private:
+  double last_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+/// Name -> metric registry.  Lookup is find-or-create by linear scan
+/// (metric sets are small and enumerated once per cycle at most);
+/// returned references are stable for the registry's lifetime, so hot
+/// paths look up once and record through the cached handle.  A registry
+/// constructed disabled still hands out handles, but every record/set
+/// is a single-branch no-op and snapshots come back empty-consistent.
+///
+/// SPMD discipline: ranks that will be merged by reduce_to_root() must
+/// register the same names in the same order (the usual collective
+/// program-order contract).
+class Registry {
+ public:
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    for (const auto& e : counters_) fn(e.name, *e.metric);
+  }
+  template <typename Fn>
+  void for_each_gauge(Fn&& fn) const {
+    for (const auto& e : gauges_) fn(e.name, *e.metric);
+  }
+  template <typename Fn>
+  void for_each_histogram(Fn&& fn) const {
+    for (const auto& e : histograms_) fn(e.name, *e.metric);
+  }
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    std::unique_ptr<T> metric;
+  };
+  template <typename T>
+  static T& find_or_create(std::vector<Named<T>>& v, std::string_view name);
+
+  bool enabled_;
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+};
+
+/// A registry's metrics frozen into plain values, mergeable and
+/// serializable — what travels up the reduction tree.
+struct Snapshot {
+  struct CounterView {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct GaugeView {
+    std::string name;
+    Gauge gauge;
+  };
+  struct HistogramView {
+    std::string name;
+    Histogram hist;
+  };
+  std::vector<CounterView> counters;
+  std::vector<GaugeView> gauges;
+  std::vector<HistogramView> histograms;
+
+  /// Merges `o` in; both sides must carry the same names in the same
+  /// order (the SPMD registration contract, checked).
+  void merge(const Snapshot& o);
+};
+
+Snapshot snapshot(const Registry& reg);
+
+/// Wire format: histogram counts ship as sparse (index, count) pairs,
+/// so an idle metric costs a handful of bytes, not kBuckets * 8.
+Bytes serialize(const Snapshot& s);
+Snapshot deserialize_snapshot(const Bytes& b);
+
+/// Folds every rank's snapshot to rank 0 up a binomial tree (the same
+/// shape Comm::allreduce uses).  Collective: every rank must call in
+/// the same program order.  Each rank holds at most its own running
+/// merge plus one incoming buffer — rank 0 never materializes P
+/// per-rank copies, so peak stats memory is O(buckets), independent of
+/// P.  Returns the full merge at rank 0, an empty Snapshot elsewhere.
+Snapshot reduce_to_root(const Registry& reg, simmpi::Comm* comm);
+
+/// Line-buffered NDJSON sink: one JSON document per line, flushed per
+/// line so a killed soak still leaves a valid prefix on disk.
+class NdjsonWriter {
+ public:
+  explicit NdjsonWriter(const std::string& path)
+      : f_(std::fopen(path.c_str(), "w")) {}
+  NdjsonWriter(const NdjsonWriter&) = delete;
+  NdjsonWriter& operator=(const NdjsonWriter&) = delete;
+  ~NdjsonWriter() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  bool ok() const { return f_ != nullptr; }
+  void line(std::string_view json) {
+    if (f_ == nullptr) return;
+    std::fwrite(json.data(), 1, json.size(), f_);
+    std::fputc('\n', f_);
+    std::fflush(f_);
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace plum::stats

@@ -170,6 +170,48 @@ TEST(BenchGate, MaxFieldEmptyRecordFilterMatchesAnyRecord) {
   EXPECT_TRUE(checks[1].violation);
 }
 
+TEST(BenchGate, MinFieldFloorFlagsOnlyRecordsBelow) {
+  // The floor mirror of the ceiling: `reconciled` must stay at 1 on
+  // every migrate_critpath record, so a 0 trips the gate.
+  const auto current = parse_json(
+      R"({"results":[
+           {"name":"migrate_critpath","n":8,"P":4,"reconciled":1.0},
+           {"name":"migrate_critpath","n":8,"P":8,"reconciled":0.0},
+           {"name":"exchange_round","n":8,"P":4,"wall_us":1.0}]})");
+  ASSERT_TRUE(current.has_value());
+  std::string err;
+  const auto checks = plumbench::run_min_field_checks(
+      *current, {{"migrate_critpath", "reconciled", 1.0}}, &err);
+  EXPECT_TRUE(err.empty());
+  ASSERT_EQ(checks.size(), 2u);  // exchange_round carries no such field
+  EXPECT_FALSE(checks[0].violation);
+  EXPECT_TRUE(checks[1].violation);
+  EXPECT_NE(checks[1].key.find("P=8"), std::string::npos);
+}
+
+TEST(BenchGate, MinFieldExactlyAtFloorPasses) {
+  const auto current = parse_json(
+      R"({"results":[{"name":"x","n":8,"reconciled":1.0}]})");
+  ASSERT_TRUE(current.has_value());
+  std::string err;
+  const auto checks = plumbench::run_min_field_checks(
+      *current, {{"", "reconciled", 1.0}}, &err);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_FALSE(checks[0].violation);
+}
+
+TEST(BenchGate, MinFieldMatchingNothingIsAnError) {
+  const auto current = parse_json(
+      R"({"results":[{"name":"migrate_full","n":8,"wall_us":1.0}]})");
+  ASSERT_TRUE(current.has_value());
+  std::string err;
+  const auto checks = plumbench::run_min_field_checks(
+      *current, {{"migrate_full", "no_such_field", 1.0}}, &err);
+  EXPECT_TRUE(checks.empty());
+  EXPECT_NE(err.find("min-field"), std::string::npos);
+  EXPECT_NE(err.find("no_such_field"), std::string::npos);
+}
+
 TEST(BenchGate, MalformedDocumentIsAnError) {
   const auto ok = parse_json(R"({"results":[]})");
   const auto bad = parse_json(R"({"bench":"no results member"})");

@@ -1,0 +1,203 @@
+// Critical-path analyzer (parallel/critpath.hpp): the reconstructed
+// chain must reconcile EXACTLY with the migration wall — the segments
+// tile the critical rank's [t0, t1] window with exact double equality
+// at every joint, and the window span equals allreduce_max(elapsed_us)
+// bit-for-bit.  Checked at P = 2, 4, 8 for both migration modes, plus
+// determinism, wire round-trips, and the truncated-ring fallback.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "parallel/critpath.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "parallel/migrate.hpp"
+#include "parallel/parallel_adapt.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+#include "support/rng.hpp"
+
+namespace plum::parallel {
+namespace {
+
+using mesh::Mesh;
+
+struct Captured {
+  std::vector<FlightWindow> windows;  ///< all P, gathered to rank 0
+  CriticalPath cp;                    ///< analyzed at rank 0
+  double wall_us = 0.0;               ///< allreduce_max(elapsed_us)
+  Bytes wire;                         ///< serialize_critical_path(cp)
+};
+
+/// One refine + gid-keyed half-shift migration with flight capture;
+/// returns rank 0's gathered windows and analyzed path.
+Captured run_migration(Rank P, bool pipeline,
+                       std::size_t flight_cap = 0) {
+  const Mesh global = mesh::make_cube_mesh(3);
+  const auto g = dual::build_dual_graph(global);
+  const auto part = partition::make_partitioner("rcb")->partition(g, P);
+  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+
+  Captured out;
+  simmpi::Machine machine;
+  if (flight_cap > 0) machine.set_flight_capacity(flight_cap);
+  machine.run(P, [&](simmpi::Comm& comm) {
+    DistMesh dm = build_local_mesh(global, proc, comm.rank(), P);
+    ParallelAdaptor adaptor(&dm, &comm);
+    adapt::mark_refine_in_sphere(dm.local, {{0.3, 0.3, 0.3}, 0.35});
+    adaptor.refine();
+    std::vector<Rank> plan = proc;
+    for (std::size_t gid = 0; gid < plan.size(); ++gid) {
+      if (mix64(gid) & 1) plan[gid] = static_cast<Rank>((plan[gid] + 1) % P);
+    }
+    MigrateOptions opt;
+    opt.pipeline = pipeline;
+    opt.capture_flight = true;
+    const MigrationResult mig = migrate(&dm, &comm, plan, opt);
+    const double wall = comm.allreduce_max(mig.elapsed_us);
+    std::vector<FlightWindow> wins =
+        gather_windows(mig.flight_window, &comm, 0);
+    if (comm.rank() == 0) {
+      out.wall_us = wall;
+      out.cp = analyze_critical_path(wins, comm.cost());
+      out.wire = serialize_critical_path(out.cp);
+      out.windows = std::move(wins);
+    } else {
+      EXPECT_TRUE(wins.empty());  // gather_windows is root-only
+    }
+  });
+  return out;
+}
+
+/// The full reconciliation contract for a successfully analyzed path.
+void expect_reconciled(const Captured& r, Rank P) {
+  const CriticalPath& cp = r.cp;
+  ASSERT_TRUE(cp.valid);
+  EXPECT_TRUE(cp.complete);
+  ASSERT_EQ(r.windows.size(), static_cast<std::size_t>(P));
+  ASSERT_GE(cp.critical_rank, 0);
+  ASSERT_LT(cp.critical_rank, P);
+
+  // The wall is the critical rank's window span, and it equals the
+  // migration wall EXACTLY — same doubles, no tolerance.
+  const FlightWindow& w =
+      r.windows[static_cast<std::size_t>(cp.critical_rank)];
+  EXPECT_EQ(cp.wall_us, w.t1_us - w.t0_us);
+  EXPECT_EQ(cp.wall_us, r.wall_us);
+
+  // The segments tile [t0, t1]: exact equality at every joint and at
+  // both endpoints, so the segment sum telescopes to the wall.
+  ASSERT_FALSE(cp.segments.empty());
+  EXPECT_TRUE(cp.contiguous());
+  EXPECT_EQ(cp.segments.front().t_begin_us, w.t0_us);
+  EXPECT_EQ(cp.segments.back().t_end_us, w.t1_us);
+  for (std::size_t i = 1; i < cp.segments.size(); ++i) {
+    EXPECT_EQ(cp.segments[i - 1].t_end_us, cp.segments[i].t_begin_us);
+  }
+  // The walk ends on the critical rank (it started there, time-reversed).
+  EXPECT_EQ(cp.segments.back().rank, cp.critical_rank);
+
+  // Aggregates are consistent: local + transfer covers the wall (the
+  // per-kind sums are accumulated floats, so this one is a near).
+  EXPECT_NEAR(cp.local_us + cp.transfer_us, cp.wall_us, 1e-6);
+  double phase_total = 0.0;
+  for (const auto& ph : cp.phases) phase_total += ph.total_us();
+  EXPECT_NEAR(phase_total, cp.wall_us, 1e-6);
+  EXPECT_FALSE(cp.top_phase.empty());
+}
+
+TEST(CritPath, PipelinedMigrationReconcilesExactly) {
+  for (const Rank P : {2, 4, 8}) {
+    SCOPED_TRACE("P=" + std::to_string(P));
+    const Captured r = run_migration(P, /*pipeline=*/true);
+    expect_reconciled(r, P);
+    EXPECT_GT(r.cp.wall_us, 0.0);
+  }
+}
+
+TEST(CritPath, SynchronousMigrationReconcilesExactly) {
+  for (const Rank P : {2, 4}) {
+    SCOPED_TRACE("P=" + std::to_string(P));
+    const Captured r = run_migration(P, /*pipeline=*/false);
+    expect_reconciled(r, P);
+  }
+}
+
+TEST(CritPath, RepeatedRunsProduceIdenticalPaths) {
+  // Host-thread scheduling differs between runs; the simulated clock —
+  // and therefore the reconstructed path — must not.
+  const Captured a = run_migration(4, /*pipeline=*/true);
+  const Captured b = run_migration(4, /*pipeline=*/true);
+  ASSERT_FALSE(a.wire.empty());
+  EXPECT_EQ(a.wire, b.wire);
+  EXPECT_EQ(a.wall_us, b.wall_us);
+}
+
+TEST(CritPath, SerializeRoundTripIsExact) {
+  const Captured r = run_migration(4, /*pipeline=*/true);
+  const CriticalPath back = deserialize_critical_path(r.wire);
+  EXPECT_EQ(back.valid, r.cp.valid);
+  EXPECT_EQ(back.complete, r.cp.complete);
+  EXPECT_EQ(back.critical_rank, r.cp.critical_rank);
+  EXPECT_EQ(back.wall_us, r.cp.wall_us);
+  EXPECT_EQ(back.local_us, r.cp.local_us);
+  EXPECT_EQ(back.transfer_us, r.cp.transfer_us);
+  EXPECT_EQ(back.top_phase, r.cp.top_phase);
+  ASSERT_EQ(back.segments.size(), r.cp.segments.size());
+  for (std::size_t i = 0; i < back.segments.size(); ++i) {
+    EXPECT_EQ(back.segments[i].kind, r.cp.segments[i].kind);
+    EXPECT_EQ(back.segments[i].rank, r.cp.segments[i].rank);
+    EXPECT_EQ(back.segments[i].t_begin_us, r.cp.segments[i].t_begin_us);
+    EXPECT_EQ(back.segments[i].t_end_us, r.cp.segments[i].t_end_us);
+    EXPECT_EQ(back.segments[i].phase, r.cp.segments[i].phase);
+  }
+  EXPECT_TRUE(back.contiguous());
+}
+
+TEST(CritPath, TruncatedRingStillTilesButReportsIncomplete) {
+  // An 8-event ring cannot hold a migration's traffic: the capture is
+  // marked truncated, the analyzer degrades to complete=false, but the
+  // tiling invariant (and the exact wall) must survive.
+  const Captured r = run_migration(4, /*pipeline=*/true, /*flight_cap=*/8);
+  ASSERT_TRUE(r.cp.valid);
+  EXPECT_FALSE(r.cp.complete);
+  EXPECT_TRUE(r.cp.contiguous());
+  EXPECT_EQ(r.cp.wall_us, r.wall_us);
+  bool any_truncated = false;
+  for (const auto& w : r.windows) any_truncated |= w.truncated;
+  EXPECT_TRUE(any_truncated);
+}
+
+TEST(CritPath, FewerThanTwoWindowsIsInvalid) {
+  const simmpi::CostModel cost;
+  EXPECT_FALSE(analyze_critical_path({}, cost).valid);
+  FlightWindow solo;
+  solo.t1_us = 100.0;
+  EXPECT_FALSE(analyze_critical_path({solo}, cost).valid);
+}
+
+TEST(CritPath, EmptyWindowsYieldPureLocalPath) {
+  // Two ranks, no recorded events: the whole window is one local
+  // segment on the wider rank, attributed to the fallback phase.
+  FlightWindow a, b;
+  a.t0_us = 0.0;
+  a.t1_us = 50.0;
+  b.t0_us = 10.0;
+  b.t1_us = 90.0;
+  const simmpi::CostModel cost;
+  const CriticalPath cp = analyze_critical_path({a, b}, cost);
+  ASSERT_TRUE(cp.valid);
+  EXPECT_EQ(cp.critical_rank, 1);
+  EXPECT_EQ(cp.wall_us, 80.0);
+  ASSERT_EQ(cp.segments.size(), 1u);
+  EXPECT_EQ(cp.segments[0].kind, CritSegment::Kind::kLocal);
+  EXPECT_TRUE(cp.contiguous());
+  EXPECT_DOUBLE_EQ(cp.local_us, 80.0);
+  EXPECT_DOUBLE_EQ(cp.transfer_us, 0.0);
+}
+
+}  // namespace
+}  // namespace plum::parallel

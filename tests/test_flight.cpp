@@ -3,6 +3,7 @@
 // the recorder via the check-failure hook.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -112,6 +113,38 @@ TEST(Flight, CapacityIsConfigurable) {
     for (int i = 0; i < 50; ++i) comm.barrier();
   });
   EXPECT_EQ(report.ranks[0].flight.size(), 8u);
+}
+
+TEST(Flight, CapacityReadFromEnvironmentAtConstruction) {
+  // PLUM_FLIGHT_CAP is sampled when the Machine is constructed, so a
+  // test can set it, build, and unset without leaking state.
+  ASSERT_EQ(setenv("PLUM_FLIGHT_CAP", "16", /*overwrite=*/1), 0);
+  Machine machine;
+  ASSERT_EQ(unsetenv("PLUM_FLIGHT_CAP"), 0);
+  EXPECT_EQ(machine.flight_capacity(), 16u);
+  const MachineReport report = machine.run(2, [](Comm& comm) {
+    for (int i = 0; i < 50; ++i) comm.barrier();
+  });
+  EXPECT_EQ(report.ranks[0].flight.size(), 16u);
+}
+
+TEST(Flight, MalformedOrMissingEnvFallsBackToDefault) {
+  {
+    ASSERT_EQ(setenv("PLUM_FLIGHT_CAP", "zero", 1), 0);
+    EXPECT_EQ(flight_config_from_env().capacity,
+              FlightRecorder::kDefaultCapacity);
+    ASSERT_EQ(setenv("PLUM_FLIGHT_CAP", "0", 1), 0);
+    EXPECT_EQ(flight_config_from_env().capacity,
+              FlightRecorder::kDefaultCapacity);
+    ASSERT_EQ(setenv("PLUM_FLIGHT_CAP", "64k", 1), 0);  // partial parse
+    EXPECT_EQ(flight_config_from_env().capacity,
+              FlightRecorder::kDefaultCapacity);
+    ASSERT_EQ(unsetenv("PLUM_FLIGHT_CAP"), 0);
+  }
+  EXPECT_EQ(flight_config_from_env().capacity,
+            FlightRecorder::kDefaultCapacity);
+  Machine machine;
+  EXPECT_EQ(machine.flight_capacity(), FlightRecorder::kDefaultCapacity);
 }
 
 // The recv hard-failure satellites: a receive that can never complete

@@ -1,0 +1,306 @@
+// plum::stats (simmpi/stats.hpp): histogram bucket math, exact
+// mergeability (associative + commutative), wire round-trips, the
+// disabled-registry fast path, and the cross-rank reduction contract —
+// merged quantiles must be bit-identical regardless of the reduction
+// tree shape (P = 2, 4, 8 over the same global sample multiset).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/machine.hpp"
+#include "simmpi/stats.hpp"
+#include "support/rng.hpp"
+
+namespace plum::stats {
+namespace {
+
+// ---------------------------------------------------------------- buckets
+
+TEST(StatsHistogram, SmallValuesAreExact) {
+  for (std::int64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_of(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_max(static_cast<int>(v)), v);
+  }
+}
+
+TEST(StatsHistogram, BucketMaxIsTheLargestValueOfItsBucket) {
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const std::int64_t hi = Histogram::bucket_max(i);
+    EXPECT_EQ(Histogram::bucket_of(hi), i) << "bucket " << i;
+    if (hi < std::numeric_limits<std::int64_t>::max()) {
+      EXPECT_EQ(Histogram::bucket_of(hi + 1), i + 1) << "bucket " << i;
+    }
+  }
+}
+
+TEST(StatsHistogram, BucketMaxIsStrictlyMonotone) {
+  for (int i = 1; i < Histogram::kBuckets; ++i) {
+    EXPECT_LT(Histogram::bucket_max(i - 1), Histogram::bucket_max(i));
+  }
+}
+
+TEST(StatsHistogram, QuantilesOfExactRegionAreExact) {
+  Histogram h;
+  for (std::int64_t v = 0; v < 8; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 8);
+  EXPECT_EQ(h.sum(), 28);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 7);
+  EXPECT_EQ(h.quantile(0.0), 0);   // target clamps to the 1st sample
+  EXPECT_EQ(h.quantile(0.5), 3);   // 4th smallest of 0..7
+  EXPECT_EQ(h.quantile(1.0), 7);
+}
+
+TEST(StatsHistogram, QuantileClampsIntoObservedRange) {
+  Histogram h;
+  h.record(1000);  // single sample: every quantile is that sample
+  EXPECT_EQ(h.quantile(0.01), 1000);
+  EXPECT_EQ(h.quantile(0.99), 1000);
+  EXPECT_EQ(h.quantile(1.0), 1000);
+}
+
+TEST(StatsHistogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-42);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.quantile(1.0), 0);
+}
+
+TEST(StatsHistogram, RecordUsRoundsToNearestMicrosecond) {
+  Histogram h;
+  h.record_us(4.4);
+  h.record_us(4.6);
+  h.record_us(-1.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.sum(), 4 + 5);
+}
+
+// ----------------------------------------------------------------- merge
+
+Histogram hist_of(const std::vector<std::int64_t>& vals) {
+  Histogram h;
+  for (const std::int64_t v : vals) h.record(v);
+  return h;
+}
+
+void expect_identical(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    ASSERT_EQ(a.bucket_count(i), b.bucket_count(i)) << "bucket " << i;
+  }
+  for (const double p : {0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.quantile(p), b.quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(StatsHistogram, MergeIsAssociativeAndCommutative) {
+  std::vector<std::int64_t> va, vb, vc;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    va.push_back(static_cast<std::int64_t>(mix64(i) % 100000));
+    vb.push_back(static_cast<std::int64_t>(mix64(i + 1000) % 1000));
+    vc.push_back(static_cast<std::int64_t>(mix64(i + 2000) % 10));
+  }
+  // (a + b) + c
+  Histogram left = hist_of(va);
+  left.merge(hist_of(vb));
+  left.merge(hist_of(vc));
+  // a + (b + c)
+  Histogram bc = hist_of(vb);
+  bc.merge(hist_of(vc));
+  Histogram right = hist_of(va);
+  right.merge(bc);
+  // c + a + b (different commutation)
+  Histogram rot = hist_of(vc);
+  rot.merge(hist_of(va));
+  rot.merge(hist_of(vb));
+  expect_identical(left, right);
+  expect_identical(left, rot);
+  // And all equal the directly-recorded union.
+  std::vector<std::int64_t> all = va;
+  all.insert(all.end(), vb.begin(), vb.end());
+  all.insert(all.end(), vc.begin(), vc.end());
+  expect_identical(left, hist_of(all));
+}
+
+TEST(StatsHistogram, MergingAnEmptyHistogramChangesNothing) {
+  Histogram h = hist_of({5, 9});
+  Histogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 9);
+  empty.merge(h);  // and the other direction adopts the extremes
+  EXPECT_EQ(empty.min(), 5);
+  EXPECT_EQ(empty.max(), 9);
+}
+
+TEST(StatsGauge, MergeKeepsExtremesAndSums) {
+  Gauge a, b;
+  a.set(2.0);
+  a.set(4.0);
+  b.set(-1.0);
+  b.set(10.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), -1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_DOUBLE_EQ(a.last(), 10.0);  // adopted: b had samples
+  Gauge c;
+  a.merge(c);  // empty other side leaves everything alone
+  EXPECT_DOUBLE_EQ(a.last(), 10.0);
+  EXPECT_EQ(a.count(), 4);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(StatsRegistry, HandlesAreStableAcrossLaterRegistrations) {
+  Registry reg(true);
+  Counter& c0 = reg.counter("first");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i));
+    reg.histogram("h" + std::to_string(i));
+  }
+  c0.inc();
+  EXPECT_EQ(reg.counter("first").value(), 1);
+  EXPECT_EQ(&reg.counter("first"), &c0);
+}
+
+TEST(StatsRegistry, DisabledRegistryStaysEmptyAndAcceptsRecords) {
+  Registry reg(false);
+  EXPECT_FALSE(reg.enabled());
+  reg.counter("cycles").add(7);
+  reg.gauge("imb").set(1.5);
+  reg.histogram("lat").record(123);
+  const Snapshot s = snapshot(reg);
+  EXPECT_TRUE(s.counters.empty());
+  EXPECT_TRUE(s.gauges.empty());
+  EXPECT_TRUE(s.histograms.empty());
+  // serialize/deserialize of the empty snapshot stays empty-consistent.
+  const Snapshot round = deserialize_snapshot(serialize(s));
+  EXPECT_TRUE(round.counters.empty() && round.histograms.empty());
+}
+
+TEST(StatsSnapshot, SerializeRoundTripIsExact) {
+  Registry reg(true);
+  reg.counter("moved").add(12345);
+  reg.gauge("imb").set(1.25);
+  reg.gauge("imb").set(1.75);
+  Histogram& h = reg.histogram("cycle_us");
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    h.record(static_cast<std::int64_t>(mix64(i) % 1000000));
+  }
+  reg.histogram("idle_us");  // registered but never recorded
+
+  const Snapshot s = snapshot(reg);
+  const Snapshot r = deserialize_snapshot(serialize(s));
+  ASSERT_EQ(r.counters.size(), 1u);
+  EXPECT_EQ(r.counters[0].name, "moved");
+  EXPECT_EQ(r.counters[0].value, 12345);
+  ASSERT_EQ(r.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.gauges[0].gauge.min(), 1.25);
+  EXPECT_DOUBLE_EQ(r.gauges[0].gauge.last(), 1.75);
+  ASSERT_EQ(r.histograms.size(), 2u);
+  expect_identical(r.histograms[0].hist, s.histograms[0].hist);
+  EXPECT_EQ(r.histograms[1].hist.count(), 0);
+  // The restored empty histogram must still adopt extremes on merge
+  // (its sentinels survive the wire).
+  Histogram probe = r.histograms[1].hist;
+  probe.merge(hist_of({5}));
+  EXPECT_EQ(probe.min(), 5);
+}
+
+// -------------------------------------------------------- tree reduction
+
+/// The global sample multiset every reduction must reproduce exactly.
+std::vector<std::int64_t> global_samples() {
+  std::vector<std::int64_t> v;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    v.push_back(static_cast<std::int64_t>(mix64(i) % 250000));
+  }
+  return v;
+}
+
+/// Runs a P-rank machine where rank r records every P-th sample, then
+/// reduces to root and returns rank 0's merged snapshot.
+Snapshot reduce_at(int nprocs) {
+  const std::vector<std::int64_t> samples = global_samples();
+  Snapshot merged;
+  simmpi::Machine machine;
+  machine.run(nprocs, [&](simmpi::Comm& comm) {
+    Registry reg(true);
+    reg.counter("n").add(0);
+    Histogram& h = reg.histogram("lat");
+    for (std::size_t i = comm.rank(); i < samples.size();
+         i += static_cast<std::size_t>(comm.size())) {
+      h.record(samples[i]);
+      reg.counter("n").inc();
+    }
+    Snapshot s = reduce_to_root(reg, &comm);
+    if (comm.rank() == 0) merged = std::move(s);
+  });
+  return merged;
+}
+
+TEST(StatsReduce, MergedQuantilesAreTreeShapeIndependent) {
+  // Serial reference: one histogram over the full multiset.
+  const Histogram ref = hist_of(global_samples());
+  for (const int P : {2, 4, 8}) {
+    const Snapshot s = reduce_at(P);
+    ASSERT_EQ(s.counters.size(), 1u) << "P=" << P;
+    EXPECT_EQ(s.counters[0].value,
+              static_cast<std::int64_t>(global_samples().size()));
+    ASSERT_EQ(s.histograms.size(), 1u) << "P=" << P;
+    // Bit-identical to the serial reference — not "close": the merged
+    // counts are the same integers, so every quantile is the same
+    // integer whatever tree folded them.
+    expect_identical(s.histograms[0].hist, ref);
+  }
+}
+
+TEST(StatsReduce, NonRootRanksGetEmptySnapshots) {
+  simmpi::Machine machine;
+  machine.run(4, [](simmpi::Comm& comm) {
+    Registry reg(true);
+    reg.counter("c").add(1 + comm.rank());
+    const Snapshot s = reduce_to_root(reg, &comm);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(s.counters.size(), 1u);
+      EXPECT_EQ(s.counters[0].value, 1 + 2 + 3 + 4);
+    } else {
+      EXPECT_TRUE(s.counters.empty());
+    }
+  });
+}
+
+TEST(StatsReduce, RepeatedReductionsAreDeterministic) {
+  // Two identical runs must serialize the merged snapshot to the exact
+  // same bytes — the soak's NDJSON determinism rests on this.
+  Bytes first, second;
+  for (Bytes* out : {&first, &second}) {
+    simmpi::Machine machine;
+    machine.run(4, [&](simmpi::Comm& comm) {
+      Registry reg(true);
+      Histogram& h = reg.histogram("lat");
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        h.record(static_cast<std::int64_t>(
+            mix64(i * 4 + static_cast<std::uint64_t>(comm.rank())) % 5000));
+      }
+      const Snapshot s = reduce_to_root(reg, &comm);
+      if (comm.rank() == 0) *out = serialize(s);
+    });
+  }
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace plum::stats

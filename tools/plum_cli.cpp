@@ -14,7 +14,9 @@
 //                  [--timeline out.json] [--flight-dump[=PATH]]
 //                  [--check-level off|cheap|full]
 //                  [--migrate-pipeline on|off]
+//                  [--stats-stream[=out.ndjson]] [--stats-summary out.json]
 //   plum report    --timeline timeline.json [--out report.html]
+//   plum validate  --ndjson stats.ndjson [--min-lines 1]
 //
 // `mesh` generates and snapshots the box mesh; `adapt` runs one serial
 // refinement (+ optional coarsening) on a snapshot; `partition` reports
@@ -27,9 +29,16 @@
 // `--flight-dump` dumps every rank's flight recorder after the run (to
 // PATH, or to stderr with no value); `--migrate-pipeline` selects the
 // overlapped (default, `on`) or synchronous (`off`) migration path —
-// the final mesh state is bit-identical either way.  `report` renders a
-// timeline JSON
-// as a self-contained HTML page (sparklines + traffic heatmap).
+// the final mesh state is bit-identical either way.  `--stats-stream`
+// turns on the per-rank metrics registry (simmpi/stats.hpp) and streams
+// one NDJSON line per cycle — cross-rank-merged histograms, counters,
+// and the running p50/p95/p99 cycle latency — with O(buckets) memory
+// however long the soak; `--stats-summary` writes the final latency
+// quantiles as a BENCH-style JSON for the perf gate.  `report` renders
+// a timeline JSON as a self-contained HTML page (sparklines + traffic
+// heatmap).  `validate` parses an NDJSON stream line-by-line with the
+// built-in JSON parser and fails on any malformed line.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -49,6 +58,8 @@
 #include "report_html.hpp"
 #include "simmpi/machine.hpp"
 #include "simmpi/obs.hpp"
+#include "simmpi/stats.hpp"
+#include "support/json.hpp"
 #include "support/json_parse.hpp"
 #include "support/table.hpp"
 
@@ -252,14 +263,40 @@ int cmd_cycle(const Args& args) {
   const bool want_obs =
       args.has("trace") || args.has("metrics") || args.has("metrics-json");
 
+  // --stats-stream / --stats-summary turn on the per-rank metrics
+  // registry; each cycle the per-rank registries fold to rank 0 up the
+  // binomial tree (stats::reduce_to_root), so memory stays O(buckets)
+  // regardless of P or soak length.
+  const bool want_stats =
+      args.has("stats-stream") || args.has("stats-summary");
+  std::string stream_path = args.get("stats-stream", "");
+  if (args.has("stats-stream") && stream_path.empty()) {
+    stream_path = "stats.ndjson";
+  }
+  stats::NdjsonWriter ndjson(args.has("stats-stream") ? stream_path
+                                                      : "/dev/null");
+  if (args.has("stats-stream") && !ndjson.ok()) {
+    std::fprintf(stderr, "cannot write %s\n", stream_path.c_str());
+    return 1;
+  }
+  // Written only by the rank-0 thread inside the run, read after join.
+  stats::Histogram cycle_wall_hist;
+  const auto wall_start = std::chrono::steady_clock::now();
+
   simmpi::Machine machine;
   machine.set_tracing(want_obs);
   parallel::Timeline timeline;
   const simmpi::MachineReport report =
       machine.run(P, [&](simmpi::Comm& comm) {
-    parallel::PlumFramework fw(&comm, global, dualg, proc, cfg);
+    // Per-rank registry: the config is shared across rank threads, so
+    // each rank binds its own copy to its own registry.
+    stats::Registry reg(want_stats);
+    parallel::FrameworkConfig rank_cfg = cfg;
+    if (want_stats) rank_cfg.stats = &reg;
+    parallel::PlumFramework fw(&comm, global, dualg, proc, rank_cfg);
     for (int c = 0; c < cycles; ++c) {
-      const auto stats = fw.cycle(
+      const double t_c0 = comm.clock().now();
+      const auto cyc = fw.cycle(
           [&](mesh::Mesh& m) { strategy.apply_refine(m); },
           c + 1 < cycles
               ? std::function<void(mesh::Mesh&)>(
@@ -267,21 +304,96 @@ int cmd_cycle(const Args& args) {
               : nullptr);
       const std::int64_t total =
           comm.allreduce_sum(fw.dist().local.num_active_elements());
+      if (want_stats) {
+        const double cycle_wall =
+            comm.allreduce_max(comm.clock().now() - t_c0);
+        const stats::Snapshot merged =
+            stats::reduce_to_root(reg, &comm);
+        if (comm.rank() == 0) {
+          cycle_wall_hist.record_us(cycle_wall);
+          if (args.has("stats-stream")) {
+            JsonWriter w;
+            w.begin_object();
+            w.key("cycle");
+            w.value(c);
+            w.key("cycle_us");
+            w.value(cycle_wall);
+            w.key("p50_cycle_us");
+            w.value(cycle_wall_hist.quantile(0.50));
+            w.key("p95_cycle_us");
+            w.value(cycle_wall_hist.quantile(0.95));
+            w.key("p99_cycle_us");
+            w.value(cycle_wall_hist.quantile(0.99));
+            const double secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+            w.key("cycles_per_sec");
+            w.value(secs > 0.0 ? static_cast<double>(c + 1) / secs : 0.0);
+            w.key("active_elements");
+            w.value(total);
+            w.key("stats");
+            w.begin_object();
+            w.key("counters");
+            w.begin_object();
+            for (const auto& cv : merged.counters) {
+              w.key(cv.name);
+              w.value(cv.value);
+            }
+            w.end_object();
+            w.key("gauges");
+            w.begin_object();
+            for (const auto& gv : merged.gauges) {
+              w.key(gv.name);
+              w.begin_object();
+              w.key("last");
+              w.value(gv.gauge.last());
+              w.key("min");
+              w.value(gv.gauge.min());
+              w.key("max");
+              w.value(gv.gauge.max());
+              w.end_object();
+            }
+            w.end_object();
+            w.key("histograms");
+            w.begin_object();
+            for (const auto& hv : merged.histograms) {
+              w.key(hv.name);
+              w.begin_object();
+              w.key("count");
+              w.value(hv.hist.count());
+              w.key("p50");
+              w.value(hv.hist.quantile(0.50));
+              w.key("p95");
+              w.value(hv.hist.quantile(0.95));
+              w.key("p99");
+              w.value(hv.hist.quantile(0.99));
+              w.key("max");
+              w.value(hv.hist.max());
+              w.end_object();
+            }
+            w.end_object();
+            w.end_object();
+            w.end_object();
+            ndjson.line(w.str());
+          }
+        }
+      }
       const double adapt_ms = comm.allreduce_max(
-          (stats.refine.elapsed_us + stats.coarsen.elapsed_us) / 1000.0);
+          (cyc.refine.elapsed_us + cyc.coarsen.elapsed_us) / 1000.0);
       const double remap_ms =
-          comm.allreduce_max(stats.migration.elapsed_us / 1000.0);
+          comm.allreduce_max(cyc.migration.elapsed_us / 1000.0);
       const double solver_ms =
-          comm.allreduce_max(stats.solver.elapsed_us / 1000.0);
+          comm.allreduce_max(cyc.solver.elapsed_us / 1000.0);
       if (comm.rank() == 0) {
         t.row({static_cast<long long>(c), static_cast<long long>(total),
-               stats.balance.old_load.imbalance,
-               stats.balance.new_load.imbalance,
-               std::string(!stats.balance.repartitioned ? "balanced"
-                           : stats.balance.accepted    ? "remapped"
-                                                        : "rejected"),
+               cyc.balance.old_load.imbalance,
+               cyc.balance.new_load.imbalance,
+               std::string(!cyc.balance.repartitioned ? "balanced"
+                           : cyc.balance.accepted    ? "remapped"
+                                                     : "rejected"),
                static_cast<long long>(
-                   stats.balance.decision.cost.elements_moved),
+                   cyc.balance.decision.cost.elements_moved),
                solver_ms, adapt_ms, remap_ms});
       }
       if (args.has("vtk-prefix") && comm.rank() == 0) {
@@ -324,6 +436,30 @@ int cmd_cycle(const Args& args) {
     if (path.empty()) path = "timeline.json";
     io_ok = parallel::write_timeline_json(timeline, report, path) && io_ok;
     if (io_ok) std::printf("wrote timeline %s\n", path.c_str());
+  }
+  if (args.has("stats-summary")) {
+    std::string path = args.get("stats-summary", "");
+    if (path.empty()) path = "BENCH_soak.json";
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    JsonEmitter json("plum_soak");
+    json.add(
+        "cycle_latency",
+        {{"n", static_cast<double>(n)},
+         {"P", static_cast<double>(P)},
+         {"cycles", static_cast<double>(cycles)},
+         {"p50_us",
+          static_cast<double>(cycle_wall_hist.quantile(0.50))},
+         {"p95_us",
+          static_cast<double>(cycle_wall_hist.quantile(0.95))},
+         {"p99_us",
+          static_cast<double>(cycle_wall_hist.quantile(0.99))},
+         {"cycles_per_sec",
+          secs > 0.0 ? static_cast<double>(cycles) / secs : 0.0}});
+    io_ok = json.write(path) && io_ok;
+    if (io_ok) std::printf("wrote stats summary %s\n", path.c_str());
   }
   if (args.has("flight-dump")) {
     const std::string path = args.get("flight-dump", "");
@@ -376,9 +512,57 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+int cmd_validate(const Args& args) {
+  PLUM_CHECK_MSG(args.has("ndjson"),
+                 "plum validate needs --ndjson FILE (from `plum cycle "
+                 "--stats-stream`)");
+  const std::string path = args.get("ndjson", "");
+  const int min_lines = args.get_int("min-lines", 1);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "plum validate: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  int lines = 0;
+  int ch;
+  int lineno = 0;
+  bool ok = true;
+  while (true) {
+    line.clear();
+    while ((ch = std::fgetc(f)) != EOF && ch != '\n') {
+      line += static_cast<char>(ch);
+    }
+    if (line.empty() && ch == EOF) break;
+    ++lineno;
+    if (line.empty()) continue;  // tolerate a trailing blank line
+    std::string err;
+    const auto doc = parse_json(line, &err);
+    if (!doc || !doc->is_object()) {
+      std::fprintf(stderr, "plum validate: %s line %d: %s\n", path.c_str(),
+                   lineno, !doc ? err.c_str() : "not a JSON object");
+      ok = false;
+      break;
+    }
+    ++lines;
+    if (ch == EOF) break;
+  }
+  std::fclose(f);
+  if (ok && lines < min_lines) {
+    std::fprintf(stderr, "plum validate: %s has %d line(s), need >= %d\n",
+                 path.c_str(), lines, min_lines);
+    ok = false;
+  }
+  if (ok) {
+    std::printf("validated %d NDJSON line(s) in %s\n", lines, path.c_str());
+  }
+  return ok ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: plum <mesh|adapt|quality|partition|cycle|report> "
+               "usage: plum "
+               "<mesh|adapt|quality|partition|cycle|report|validate> "
                "[--flags]\n"
                "see the header comment of tools/plum_cli.cpp\n");
   return 2;
@@ -396,5 +580,6 @@ int main(int argc, char** argv) {
   if (cmd == "partition") return cmd_partition(args);
   if (cmd == "cycle") return cmd_cycle(args);
   if (cmd == "report") return cmd_report(args);
+  if (cmd == "validate") return cmd_validate(args);
   return usage();
 }

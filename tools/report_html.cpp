@@ -142,7 +142,8 @@ void cycle_table(std::string& html, const JsonValue& timeline) {
   for (const Column& c : kColumns) {
     html += "<th>" + std::string(c.label) + "</th>";
   }
-  html += "<th>decision</th></tr>\n";
+  html += "<th>decision</th><th>crit phase</th><th>crit transfer</th>"
+          "</tr>\n";
   const JsonValue* cycles = timeline.find("cycles");
   if (cycles != nullptr && cycles->is_array()) {
     for (const JsonValue& c : cycles->array) {
@@ -159,8 +160,83 @@ void cycle_table(std::string& html, const JsonValue& timeline) {
               (!repartitioned ? "balanced"
                : accepted     ? "remapped"
                               : "rejected") +
-              "</td></tr>\n";
+              "</td>";
+      // Critical-path summary columns: the top phase on the migration's
+      // slack-free chain and the share of the wall spent in transfers.
+      const JsonValue* cp = c.find("critpath");
+      const JsonValue* cp_valid =
+          cp != nullptr ? cp->find("valid") : nullptr;
+      if (cp_valid != nullptr && cp_valid->boolean) {
+        const double wall = cp->number_or("wall_us", 0.0);
+        const double transfer = cp->number_or("transfer_us", 0.0);
+        html += "<td>" + html_escape(cp->string_or("top_phase", "")) +
+                "</td><td class=\"num\">" +
+                fmt(wall > 0.0 ? 100.0 * transfer / wall : 0.0) +
+                "%</td></tr>\n";
+      } else {
+        html += "<td>-</td><td class=\"num\">-</td></tr>\n";
+      }
     }
+  }
+  html += "</table>\n";
+}
+
+/// Critical-path breakdown: per-phase share of the slack-free chain,
+/// aggregated over every migrating cycle.
+void critpath_table(std::string& html, const JsonValue& timeline) {
+  const JsonValue* cycles = timeline.find("cycles");
+  if (cycles == nullptr || !cycles->is_array()) return;
+  struct Share {
+    std::string phase;
+    double local_us = 0.0;
+    double transfer_us = 0.0;
+  };
+  std::vector<Share> shares;
+  double total_wall = 0.0;
+  std::size_t analyzed = 0;
+  for (const JsonValue& c : cycles->array) {
+    const JsonValue* cp = c.find("critpath");
+    const JsonValue* valid = cp != nullptr ? cp->find("valid") : nullptr;
+    if (valid == nullptr || !valid->boolean) continue;
+    ++analyzed;
+    total_wall += cp->number_or("wall_us", 0.0);
+    const JsonValue* phases = cp->find("phases");
+    if (phases == nullptr || !phases->is_array()) continue;
+    for (const JsonValue& p : phases->array) {
+      const std::string name = p.string_or("phase", "?");
+      Share* s = nullptr;
+      for (Share& e : shares) {
+        if (e.phase == name) {
+          s = &e;
+          break;
+        }
+      }
+      if (s == nullptr) {
+        shares.push_back(Share{name, 0.0, 0.0});
+        s = &shares.back();
+      }
+      s->local_us += p.number_or("local_us", 0.0);
+      s->transfer_us += p.number_or("transfer_us", 0.0);
+    }
+  }
+  if (analyzed == 0) return;
+  std::sort(shares.begin(), shares.end(), [](const Share& a, const Share& b) {
+    return a.local_us + a.transfer_us > b.local_us + b.transfer_us;
+  });
+  html += "<h2>Migration critical path (aggregated over " +
+          std::to_string(analyzed) +
+          " migrating cycle(s); the slack-free chain that sets "
+          "migrate_wall_us)</h2>\n<table>\n"
+          "<tr><th>phase</th><th>local us</th><th>transfer us</th>"
+          "<th>total us</th><th>share of wall</th></tr>\n";
+  for (const Share& s : shares) {
+    const double total = s.local_us + s.transfer_us;
+    html += "<tr><td>" + html_escape(s.phase) + "</td><td class=\"num\">" +
+            fmt(s.local_us) + "</td><td class=\"num\">" +
+            fmt(s.transfer_us) + "</td><td class=\"num\">" + fmt(total) +
+            "</td><td class=\"num\">" +
+            fmt(total_wall > 0.0 ? 100.0 * total / total_wall : 0.0) +
+            "%</td></tr>\n";
   }
   html += "</table>\n";
 }
@@ -259,6 +335,7 @@ std::string render_report_html(const JsonValue& timeline,
   html += "</table>\n";
 
   cycle_table(html, timeline);
+  critpath_table(html, timeline);
   traffic_heatmap(html, timeline);
 
   html += "</body>\n</html>\n";

@@ -13,6 +13,16 @@
 //                        splitting), the repartitioning cost every rank
 //                        pays redundantly each balance cycle.
 //
+// `--scale` is the P=64 smoke configuration (n=10, P=64, fewer
+// exchange rounds): the same measurements at oversubscription scale —
+// the fiber-pool machine runs 64 ranks on however many cores exist —
+// plus a `dist_gen_startup` record comparing distributed slab
+// generation (parallel/dist_gen.hpp, summed over ranks) against the
+// replicated global-mesh scatter it replaces.  Every run ends with a
+// `run_footprint` record carrying the process peak RSS so CI can put
+// an absolute memory ceiling on the scale run via
+// `bench_gate --max-field run_footprint.peak_rss_mb=...`.
+//
 // Results go to BENCH_comm.json (override with --out PATH) so runs can
 // be diffed; see EXPERIMENTS.md "Communication micro-benchmark".
 #include <cstdio>
@@ -23,6 +33,7 @@
 #include "common.hpp"
 #include "dualgraph/dual_graph.hpp"
 #include "mesh/box_mesh.hpp"
+#include "parallel/dist_gen.hpp"
 #include "parallel/dist_mesh.hpp"
 #include "parallel/exchange.hpp"
 #include "parallel/migrate.hpp"
@@ -271,6 +282,7 @@ int main(int argc, char** argv) {
   std::vector<int> sizes = {8, 12, 16};
   std::vector<int> procs = {2, 4, 8};
   int exchange_rounds = 50;
+  bool scale = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
@@ -279,14 +291,19 @@ int main(int argc, char** argv) {
       sizes = {6, 8};
       procs = {2, 4};
       exchange_rounds = 10;
+    } else if (a == "--scale") {
+      scale = true;
+      sizes = {10};
+      procs = {64};
+      exchange_rounds = 10;
     } else if (a == "--sizes" && i + 1 < argc) {
       sizes = parse_int_list("--sizes", argv[++i]);
     } else if (a == "--procs" && i + 1 < argc) {
       procs = parse_int_list("--procs", argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--out PATH] [--sizes N,N,...] "
-                   "[--procs P,P,...]\n",
+                   "usage: %s [--quick] [--scale] [--out PATH] "
+                   "[--sizes N,N,...] [--procs P,P,...]\n",
                    argv[0]);
       return 2;
     }
@@ -372,9 +389,50 @@ int main(int argc, char** argv) {
              pt.exchange_round_us, static_cast<long long>(pt.exchange_bytes),
              pt.migrate_us, static_cast<long long>(pt.elements_moved),
              dg_us});
+
+      if (scale) {
+        // Startup comparison: every rank's slab built from the spec
+        // alone vs. the replicated global mesh scattered per rank.
+        // Summed over ranks — both paths run rank-serial here, and the
+        // sum is what a single shared-memory host actually pays.
+        plum::mesh::BoxMeshSpec spec;
+        spec.nx = spec.ny = spec.nz = n;
+        std::int64_t dist_objects = 0;
+        const WallTimer t_dist;
+        for (Rank r = 0; r < P; ++r) {
+          const plum::parallel::DistMesh dm =
+              plum::parallel::make_box_dist_mesh(spec, r, P);
+          dist_objects += dm.local.num_active_elements();
+        }
+        const double dist_us = t_dist.elapsed_us();
+        std::int64_t scatter_objects = 0;
+        const WallTimer t_scatter;
+        {
+          const Mesh g2 = plum::mesh::make_box_mesh(spec);
+          const std::vector<Rank> slab =
+              plum::parallel::make_slab_partition(spec, P);
+          for (Rank r = 0; r < P; ++r) {
+            const plum::parallel::DistMesh dm =
+                plum::parallel::build_local_mesh(g2, slab, r, P);
+            scatter_objects += dm.local.num_active_elements();
+          }
+        }
+        const double scatter_us = t_scatter.elapsed_us();
+        PLUM_CHECK(dist_objects == scatter_objects);  // same mesh, by contract
+        json.add("dist_gen_startup",
+                 {{"n", static_cast<double>(n)},
+                  {"P", static_cast<double>(P)},
+                  {"dist_wall_us", dist_us},
+                  {"scatter_wall_us", scatter_us}});
+        std::printf("dist-gen startup n=%d P=%d: %.1f ms distributed vs "
+                    "%.1f ms global scatter\n",
+                    n, P, dist_us / 1000.0, scatter_us / 1000.0);
+      }
     }
   }
 
+  json.add("run_footprint", {{"peak_rss_mb", peak_rss_mb()}});
   t.print();
+  std::printf("peak rss %.1f MB\n", peak_rss_mb());
   return json.write(out_path) ? 0 : 1;
 }

@@ -13,6 +13,8 @@
 // EXPERIMENTS.md can be regenerated with `for b in build/bench/*; do $b; done`.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -106,6 +108,16 @@ inline std::vector<plum::Rank> initial_placement(
 /// write() them as a JSON document so CI and the before/after
 /// comparisons in EXPERIMENTS.md can diff runs without scraping tables.
 using plum::JsonEmitter;
+
+/// Peak resident set of this process in MB (ru_maxrss is KB on Linux).
+/// Benches emit it as a `run_footprint` record so the perf gate can put
+/// an absolute ceiling on the memory of a scale run
+/// (`bench_gate --max-field run_footprint.peak_rss_mb=...`).
+inline double peak_rss_mb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
 
 /// Wall-clock helper (for the mapper-time measurements of Fig. 10,
 /// which the paper reports in real seconds).

@@ -7,23 +7,6 @@
 
 namespace plum::mesh {
 
-namespace {
-
-/// The six tetrahedra of the Kuhn subdivision of the unit cube, as
-/// corner masks (bit 0 = +x, bit 1 = +y, bit 2 = +z).  Each tet walks
-/// from corner 000 to corner 111 adding one axis at a time; the six
-/// axis orders give the six tets.
-constexpr int kKuhnTet[6][4] = {
-    {0, 1, 3, 7},  // x, y, z
-    {0, 1, 5, 7},  // x, z, y
-    {0, 2, 3, 7},  // y, x, z
-    {0, 2, 6, 7},  // y, z, x
-    {0, 4, 5, 7},  // z, x, y
-    {0, 4, 6, 7},  // z, y, x
-};
-
-}  // namespace
-
 BoxMeshCounts predict_box_mesh_counts(int nx, int ny, int nz) {
   const auto x = static_cast<std::int64_t>(nx);
   const auto y = static_cast<std::int64_t>(ny);
@@ -74,10 +57,7 @@ Mesh make_box_mesh(const BoxMeshSpec& spec) {
   for (int k = 0; k <= nz; ++k) {
     for (int j = 0; j <= ny; ++j) {
       for (int i = 0; i <= nx; ++i) {
-        const Vec3 p{
-            spec.origin.x + spec.size.x * (static_cast<double>(i) / nx),
-            spec.origin.y + spec.size.y * (static_cast<double>(j) / ny),
-            spec.origin.z + spec.size.z * (static_cast<double>(k) / nz)};
+        const Vec3 p = box_lattice_pos(spec, i, j, k);
         const auto gid = static_cast<GlobalId>(vid(i, j, k));
         m.add_vertex(p, gid, field(p));
       }

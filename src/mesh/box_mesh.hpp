@@ -29,6 +29,35 @@ struct BoxMeshSpec {
   std::function<Solution(const Vec3&)> field;
 };
 
+/// The six tetrahedra of the Kuhn subdivision of the unit cube, as
+/// corner masks (bit 0 = +x, bit 1 = +y, bit 2 = +z).  Each tet walks
+/// from corner 000 to corner 111 adding one axis at a time; the six
+/// axis orders give the six tets.  Shared with the distributed
+/// generator (parallel/dist_gen.hpp), which must reproduce the global
+/// generator object-for-object.
+inline constexpr int kKuhnTet[6][4] = {
+    {0, 1, 3, 7},  // x, y, z
+    {0, 1, 5, 7},  // x, z, y
+    {0, 2, 3, 7},  // y, x, z
+    {0, 2, 6, 7},  // y, z, x
+    {0, 4, 5, 7},  // z, x, y
+    {0, 4, 6, 7},  // z, y, x
+};
+
+/// Position of lattice vertex (i, j, k) — the exact FP formula the
+/// generator uses, shared so distributed generation reproduces
+/// bit-identical coordinates.
+inline Vec3 box_lattice_pos(const BoxMeshSpec& spec, int i, int j, int k) {
+  return {spec.origin.x + spec.size.x * (static_cast<double>(i) / spec.nx),
+          spec.origin.y + spec.size.y * (static_cast<double>(j) / spec.ny),
+          spec.origin.z + spec.size.z * (static_cast<double>(k) / spec.nz)};
+}
+
+/// Global id of lattice vertex (i, j, k): its linear lattice index.
+inline GlobalId box_vertex_gid(const BoxMeshSpec& spec, int i, int j, int k) {
+  return (static_cast<GlobalId>(k) * (spec.ny + 1) + j) * (spec.nx + 1) + i;
+}
+
 /// Expected object counts for a given spec (closed forms; used by tests
 /// and by benches choosing a paper-scale mesh).
 struct BoxMeshCounts {

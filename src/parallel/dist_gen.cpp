@@ -1,0 +1,452 @@
+#include "parallel/dist_gen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "mesh/geometry.hpp"
+#include "mesh/tet_topology.hpp"
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace plum::parallel {
+
+using mesh::BoxMeshSpec;
+using mesh::Vec3;
+
+namespace {
+
+/// Corner-set bitmask per Kuhn tet: bit c set iff cube corner c is a
+/// vertex of tet t.  A tet is a K4, so it contains edge (a, b) iff
+/// both corners are in its set.
+constexpr std::uint8_t tet_corner_mask(int t) {
+  std::uint8_t m = 0;
+  for (int c = 0; c < 4; ++c) {
+    m = static_cast<std::uint8_t>(m | (1u << mesh::kKuhnTet[t][c]));
+  }
+  return m;
+}
+
+constexpr std::array<std::uint8_t, 6> kTetMask = {
+    tet_corner_mask(0), tet_corner_mask(1), tet_corner_mask(2),
+    tet_corner_mask(3), tet_corner_mask(4), tet_corner_mask(5)};
+
+struct Lattice {
+  int i = 0, j = 0, k = 0;
+};
+
+Lattice decode_vertex(GlobalId gid, int nx, int ny) {
+  const auto sx = static_cast<GlobalId>(nx + 1);
+  const auto sy = static_cast<GlobalId>(ny + 1);
+  Lattice a;
+  a.i = static_cast<int>(gid % sx);
+  a.j = static_cast<int>((gid / sx) % sy);
+  a.k = static_cast<int>(gid / (sx * sy));
+  return a;
+}
+
+Lattice decode_cube(std::int64_t q, int nx, int ny) {
+  Lattice c;
+  c.i = static_cast<int>(q % nx);
+  c.j = static_cast<int>((q / nx) % ny);
+  c.k = static_cast<int>(q / (static_cast<std::int64_t>(nx) * ny));
+  return c;
+}
+
+std::int64_t cube_index(int i, int j, int k, int nx, int ny) {
+  return (static_cast<std::int64_t>(k) * ny + j) * nx + i;
+}
+
+/// Sorts, dedups, and removes `self` — the SPL canonical form
+/// (mirrors dist_mesh.cpp so slab SPL vectors compare equal).
+void sort_unique_drop(std::vector<Rank>& ranks, Rank self) {
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  std::erase(ranks, self);
+}
+
+/// One locally generated element's provenance, kept for the bface and
+/// adjacency passes: its cube and the post-orientation-swap corner
+/// masks matching the element's v array.
+struct TetRef {
+  Lattice cube;
+  std::array<int, 4> corner;  ///< cube-corner mask per v slot
+};
+
+/// Builds one tet's post-swap corner order and positions exactly as
+/// make_box_mesh does (volume-sign swap of slots 2 and 3).
+TetRef make_tet(const BoxMeshSpec& spec, const Lattice& cube, int t,
+                std::array<Vec3, 4>* pos) {
+  TetRef ref;
+  ref.cube = cube;
+  for (int c = 0; c < 4; ++c) {
+    const int mask = mesh::kKuhnTet[t][c];
+    ref.corner[static_cast<std::size_t>(c)] = mask;
+    (*pos)[static_cast<std::size_t>(c)] = mesh::box_lattice_pos(
+        spec, cube.i + (mask & 1), cube.j + ((mask >> 1) & 1),
+        cube.k + ((mask >> 2) & 1));
+  }
+  const double vol = mesh::tet_volume((*pos)[0], (*pos)[1], (*pos)[2],
+                                      (*pos)[3]);
+  if (vol < 0.0) {
+    std::swap(ref.corner[2], ref.corner[3]);
+    std::swap((*pos)[2], (*pos)[3]);
+  }
+  return ref;
+}
+
+}  // namespace
+
+std::int64_t slab_begin(Rank r, std::int64_t ncubes, Rank nranks) {
+  return static_cast<std::int64_t>(r) * ncubes / nranks;
+}
+
+Rank rank_of_cube(std::int64_t q, std::int64_t ncubes, Rank nranks) {
+  // Inverse of slab_begin's floor(r*C/P) ranges.
+  return static_cast<Rank>(((q + 1) * nranks - 1) / ncubes);
+}
+
+std::vector<Rank> make_slab_partition(const BoxMeshSpec& spec, Rank nranks) {
+  const std::int64_t ncubes = static_cast<std::int64_t>(spec.nx) * spec.ny *
+                              static_cast<std::int64_t>(spec.nz);
+  PLUM_CHECK(nranks >= 1 && ncubes >= 1);
+  std::vector<Rank> proc(static_cast<std::size_t>(ncubes * 6));
+  for (std::int64_t q = 0; q < ncubes; ++q) {
+    const Rank r = rank_of_cube(q, ncubes, nranks);
+    for (int t = 0; t < 6; ++t) {
+      proc[static_cast<std::size_t>(q * 6 + t)] = r;
+    }
+  }
+  return proc;
+}
+
+DistMesh make_box_dist_mesh(const BoxMeshSpec& spec, Rank rank,
+                            Rank nranks) {
+  PLUM_CHECK(spec.nx >= 1 && spec.ny >= 1 && spec.nz >= 1);
+  PLUM_CHECK(rank >= 0 && rank < nranks);
+  const int nx = spec.nx, ny = spec.ny, nz = spec.nz;
+  const std::int64_t ncubes =
+      static_cast<std::int64_t>(nx) * ny * static_cast<std::int64_t>(nz);
+  const auto field = spec.field ? spec.field : mesh::default_field;
+
+  DistMesh dm;
+  dm.rank = rank;
+  dm.nranks = nranks;
+
+  const std::int64_t c0 = slab_begin(rank, ncubes, nranks);
+  const std::int64_t c1 = slab_begin(rank + 1, ncubes, nranks);
+
+  // Elements in gid order with first-touch vertex numbering — the same
+  // construction order build_local_mesh uses over the global mesh, so
+  // local indices coincide.
+  std::vector<TetRef> tets;
+  tets.reserve(static_cast<std::size_t>((c1 - c0) * 6));
+  FlatMap<GlobalId, LocalIndex> vmap;
+  for (std::int64_t q = c0; q < c1; ++q) {
+    const Lattice cube = decode_cube(q, nx, ny);
+    for (int t = 0; t < 6; ++t) {
+      std::array<Vec3, 4> pos;
+      const TetRef ref = make_tet(spec, cube, t, &pos);
+      std::array<LocalIndex, 4> v;
+      for (int c = 0; c < 4; ++c) {
+        const int mask = ref.corner[static_cast<std::size_t>(c)];
+        const GlobalId gid = mesh::box_vertex_gid(
+            spec, cube.i + (mask & 1), cube.j + ((mask >> 1) & 1),
+            cube.k + ((mask >> 2) & 1));
+        const auto it = vmap.find(gid);
+        LocalIndex lv;
+        if (it == vmap.end()) {
+          lv = dm.local.add_vertex(pos[static_cast<std::size_t>(c)], gid,
+                                   field(pos[static_cast<std::size_t>(c)]));
+          vmap[gid] = lv;
+        } else {
+          lv = it->second;
+        }
+        v[static_cast<std::size_t>(c)] = lv;
+      }
+      dm.local.create_element(v, static_cast<GlobalId>(q * 6 + t));
+      tets.push_back(ref);
+    }
+  }
+
+  // Boundary faces: a tet face is on the mesh boundary iff its three
+  // corners lie on one facet plane of the cube (they then span a
+  // facet triangle; any other face is interior to the cube or to the
+  // conforming subdivision) and that facet is on the box surface.
+  // Emitted in deterministic (element, face) order — the one place the
+  // slab mesh differs from build_local_mesh, which inherits the global
+  // generator's hash-map order; each record is still identical.
+  const int ncells[3] = {nx, ny, nz};
+  for (std::size_t ei = 0; ei < tets.size(); ++ei) {
+    const TetRef& ref = tets[ei];
+    const int cube_at[3] = {ref.cube.i, ref.cube.j, ref.cube.k};
+    for (int f = 0; f < 4; ++f) {
+      const int m0 = ref.corner[static_cast<std::size_t>(
+          mesh::kFaceVerts[static_cast<std::size_t>(f)][0])];
+      const int m1 = ref.corner[static_cast<std::size_t>(
+          mesh::kFaceVerts[static_cast<std::size_t>(f)][1])];
+      const int m2 = ref.corner[static_cast<std::size_t>(
+          mesh::kFaceVerts[static_cast<std::size_t>(f)][2])];
+      bool boundary = false;
+      for (int a = 0; a < 3 && !boundary; ++a) {
+        const int b0 = (m0 >> a) & 1;
+        if (((m1 >> a) & 1) != b0 || ((m2 >> a) & 1) != b0) continue;
+        boundary = b0 == 0 ? cube_at[a] == 0
+                           : cube_at[a] == ncells[a] - 1;
+      }
+      if (!boundary) continue;
+      const mesh::Element& el =
+          dm.local.element(static_cast<LocalIndex>(ei));
+      dm.local.add_bface(
+          {el.v[static_cast<std::size_t>(
+               mesh::kFaceVerts[static_cast<std::size_t>(f)][0])],
+           el.v[static_cast<std::size_t>(
+               mesh::kFaceVerts[static_cast<std::size_t>(f)][1])],
+           el.v[static_cast<std::size_t>(
+               mesh::kFaceVerts[static_cast<std::size_t>(f)][2])]},
+          static_cast<LocalIndex>(ei));
+    }
+  }
+
+  // Edge SPLs.  An element contains an edge iff both endpoints are
+  // among its four vertices (a tet is a K4), so the owning-element set
+  // of edge (A, B) is: every cube having both lattice points as
+  // corners, restricted to its Kuhn tets containing both corners.
+  // Identical to build_local_mesh's sweep over global edge incidence
+  // lists after the canonical sort/unique/drop-self.
+  const auto note_cube_owners = [&](const Lattice& lo, const Lattice& hi,
+                                    std::vector<Rank>* owners,
+                                    const auto& tet_pred) {
+    for (int qk = std::max(hi.k - 1, 0); qk <= std::min(lo.k, nz - 1);
+         ++qk) {
+      for (int qj = std::max(hi.j - 1, 0); qj <= std::min(lo.j, ny - 1);
+           ++qj) {
+        for (int qi = std::max(hi.i - 1, 0); qi <= std::min(lo.i, nx - 1);
+             ++qi) {
+          if (!tet_pred(qi, qj, qk)) continue;
+          owners->push_back(rank_of_cube(cube_index(qi, qj, qk, nx, ny),
+                                         ncubes, nranks));
+        }
+      }
+    }
+  };
+  for (std::size_t le = 0; le < dm.local.edges().size(); ++le) {
+    const mesh::Edge& e = dm.local.edges()[le];
+    const Lattice a =
+        decode_vertex(dm.local.vertex(e.v[0]).gid, nx, ny);
+    const Lattice b =
+        decode_vertex(dm.local.vertex(e.v[1]).gid, nx, ny);
+    const Lattice lo{std::min(a.i, b.i), std::min(a.j, b.j),
+                     std::min(a.k, b.k)};
+    const Lattice hi{std::max(a.i, b.i), std::max(a.j, b.j),
+                     std::max(a.k, b.k)};
+    std::vector<Rank> owners;
+    note_cube_owners(lo, hi, &owners, [&](int qi, int qj, int qk) {
+      const int ca = (a.i - qi) | ((a.j - qj) << 1) | ((a.k - qk) << 2);
+      const int cb = (b.i - qi) | ((b.j - qj) << 1) | ((b.k - qk) << 2);
+      for (const std::uint8_t m : kTetMask) {
+        if (((m >> ca) & 1) != 0 && ((m >> cb) & 1) != 0) return true;
+      }
+      return false;
+    });
+    sort_unique_drop(owners, rank);
+    if (!owners.empty()) {
+      dm.local.edge(static_cast<LocalIndex>(le)).spl = std::move(owners);
+    }
+  }
+
+  // Vertex SPLs: the ranks of all elements containing the vertex.
+  // Every cube corner is a vertex of at least one Kuhn tet (the six
+  // tets cover all eight corners), so this is simply the ranks of all
+  // incident cubes.
+  for (std::size_t lv = 0; lv < dm.local.vertices().size(); ++lv) {
+    const Lattice a =
+        decode_vertex(dm.local.vertices()[lv].gid, nx, ny);
+    std::vector<Rank> owners;
+    note_cube_owners(a, a, &owners, [](int, int, int) { return true; });
+    sort_unique_drop(owners, rank);
+    if (!owners.empty()) {
+      dm.local.vertex(static_cast<LocalIndex>(lv)).spl =
+          std::move(owners);
+    }
+  }
+
+  dm.rebuild_gid_maps();
+  return dm;
+}
+
+dual::DualGraph make_box_dual_graph(const BoxMeshSpec& spec) {
+  PLUM_CHECK(spec.nx >= 1 && spec.ny >= 1 && spec.nz >= 1);
+  const int nx = spec.nx, ny = spec.ny, nz = spec.nz;
+  const std::int64_t ncubes =
+      static_cast<std::int64_t>(nx) * ny * static_cast<std::int64_t>(nz);
+  const auto n = static_cast<std::size_t>(ncubes * 6);
+
+  dual::DualGraph g;
+  g.adjacency.assign(n, {});
+  g.wcomp.assign(n, 1);
+  g.wremap.assign(n, 1);
+  g.centroid.assign(n, {});
+
+  // The unique tet of a cube containing three given corners, or -1.
+  // A triangle is a face of at most two tets total, so within one cube
+  // at most one tet (other than `self`) matches.
+  const auto find_tet = [&](int m0, int m1, int m2, int self) {
+    const std::uint8_t want = static_cast<std::uint8_t>(
+        (1u << m0) | (1u << m1) | (1u << m2));
+    for (int t = 0; t < 6; ++t) {
+      if (t != self && (kTetMask[static_cast<std::size_t>(t)] & want) ==
+                           want) {
+        return t;
+      }
+    }
+    return -1;
+  };
+
+  const int ncells[3] = {nx, ny, nz};
+  for (std::int64_t q = 0; q < ncubes; ++q) {
+    const Lattice cube = decode_cube(q, nx, ny);
+    const int cube_at[3] = {cube.i, cube.j, cube.k};
+    for (int t = 0; t < 6; ++t) {
+      std::array<Vec3, 4> pos;
+      const TetRef ref = make_tet(spec, cube, t, &pos);
+      const auto me = static_cast<std::size_t>(q * 6 + t);
+      g.centroid[me] = mesh::centroid4(pos[0], pos[1], pos[2], pos[3]);
+      for (int f = 0; f < 4; ++f) {
+        const int m0 = ref.corner[static_cast<std::size_t>(
+            mesh::kFaceVerts[static_cast<std::size_t>(f)][0])];
+        const int m1 = ref.corner[static_cast<std::size_t>(
+            mesh::kFaceVerts[static_cast<std::size_t>(f)][1])];
+        const int m2 = ref.corner[static_cast<std::size_t>(
+            mesh::kFaceVerts[static_cast<std::size_t>(f)][2])];
+        // Facet face (all three corners on one cube facet): the
+        // neighbour is the unique tet of the adjacent cube holding the
+        // bit-flipped corners; none if the facet is on the box surface.
+        int axis = -1, side = 0;
+        for (int a = 0; a < 3; ++a) {
+          const int b0 = (m0 >> a) & 1;
+          if (((m1 >> a) & 1) == b0 && ((m2 >> a) & 1) == b0) {
+            axis = a;
+            side = b0;
+            break;
+          }
+        }
+        std::int64_t other = -1;
+        if (axis >= 0) {
+          int nc[3] = {cube.i, cube.j, cube.k};
+          nc[axis] += side == 1 ? 1 : -1;
+          if (nc[axis] >= 0 && nc[axis] < ncells[axis]) {
+            const int bit = 1 << axis;
+            const int tn =
+                find_tet(m0 ^ bit, m1 ^ bit, m2 ^ bit, /*self=*/-1);
+            PLUM_CHECK_MSG(tn >= 0, "no facet-matching tet in neighbour");
+            other = cube_index(nc[0], nc[1], nc[2], nx, ny) * 6 + tn;
+          }
+        } else {
+          const int tn = find_tet(m0, m1, m2, t);
+          PLUM_CHECK_MSG(tn >= 0, "interior face without a twin tet");
+          other = q * 6 + tn;
+        }
+        if (other >= 0) {
+          g.adjacency[me].push_back(static_cast<std::int32_t>(other));
+        }
+      }
+    }
+  }
+  for (auto& a : g.adjacency) std::sort(a.begin(), a.end());
+  g.edge_weight.resize(g.adjacency.size());
+  for (std::size_t v = 0; v < g.adjacency.size(); ++v) {
+    g.edge_weight[v].assign(g.adjacency[v].size(), 1);
+  }
+  return g;
+}
+
+adapt::Strategy make_slab_strategy(adapt::StrategyKind kind,
+                                   const BoxMeshSpec& spec,
+                                   std::uint64_t seed) {
+  PLUM_CHECK(spec.nx >= 1 && spec.ny >= 1 && spec.nz >= 1);
+  PLUM_CHECK_MSG(kind != adapt::StrategyKind::kRandom,
+                 "the random strategy calibrates by whole-mesh refinement "
+                 "probes; use a replicated (non-dist-gen) startup");
+  const int nx = spec.nx, ny = spec.ny, nz = spec.nz;
+
+  // Bounding box exactly as make_strategy computes it: per-axis min /
+  // max over lattice coordinates (each axis value depends only on its
+  // own index, so sweeping one axis reproduces the all-vertex sweep).
+  Vec3 lo = mesh::box_lattice_pos(spec, 0, 0, 0), hi = lo;
+  const int ncells[3] = {nx, ny, nz};
+  for (int a = 0; a < 3; ++a) {
+    for (int i = 0; i <= ncells[a]; ++i) {
+      const Vec3 p = mesh::box_lattice_pos(spec, a == 0 ? i : 0,
+                                           a == 1 ? i : 0, a == 2 ? i : 0);
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      lo.z = std::min(lo.z, p.z);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+      hi.z = std::max(hi.z, p.z);
+    }
+  }
+  const Vec3 size = hi - lo;
+
+  // All lattice edge midpoints (axis edges, one diagonal per facet —
+  // the Kuhn main-diagonal choice — and one body diagonal per cube):
+  // the same multiset make_strategy's calibration sees, so the sorted
+  // quantile is bit-identical.  O(global edges) doubles, transient.
+  const auto for_each_edge = [&](const auto& fn) {
+    const auto at = [&](int i, int j, int k) {
+      return mesh::box_lattice_pos(spec, i, j, k);
+    };
+    for (int k = 0; k <= nz; ++k) {
+      for (int j = 0; j <= ny; ++j) {
+        for (int i = 0; i <= nx; ++i) {
+          if (i < nx) fn(at(i, j, k), at(i + 1, j, k));
+          if (j < ny) fn(at(i, j, k), at(i, j + 1, k));
+          if (k < nz) fn(at(i, j, k), at(i, j, k + 1));
+          if (i < nx && j < ny) fn(at(i, j, k), at(i + 1, j + 1, k));
+          if (i < nx && k < nz) fn(at(i, j, k), at(i + 1, j, k + 1));
+          if (j < ny && k < nz) fn(at(i, j, k), at(i, j + 1, k + 1));
+          if (i < nx && j < ny && k < nz) {
+            fn(at(i, j, k), at(i + 1, j + 1, k + 1));
+          }
+        }
+      }
+    }
+  };
+  const auto calibrate = [&](const auto& metric, double frac) {
+    std::vector<double> d;
+    const mesh::BoxMeshCounts counts =
+        mesh::predict_box_mesh_counts(nx, ny, nz);
+    d.reserve(static_cast<std::size_t>(counts.edges));
+    for_each_edge([&](const Vec3& a, const Vec3& b) {
+      d.push_back(metric(mesh::midpoint(a, b)));
+    });
+    PLUM_CHECK(static_cast<std::int64_t>(d.size()) == counts.edges);
+    return quantile(std::move(d), frac);
+  };
+
+  adapt::Strategy s;
+  s.kind = kind;
+  s.seed = seed;
+  if (kind == adapt::StrategyKind::kLocal1) {
+    const Vec3 c = lo + Vec3{0.4 * size.x, 0.4 * size.y, 0.4 * size.z};
+    const double radius = calibrate(
+        [&](const Vec3& p) { return mesh::distance(p, c); }, 0.05);
+    s.sphere = {c, radius};
+  } else {
+    const Vec3 c = lo + Vec3{0.45 * size.x, 0.5 * size.y, 0.5 * size.z};
+    const Vec3 half{0.5 * size.x, 0.35 * size.y, 0.35 * size.z};
+    const double t = calibrate(
+        [&](const Vec3& p) {
+          return std::max({std::abs(p.x - c.x) / half.x,
+                           std::abs(p.y - c.y) / half.y,
+                           std::abs(p.z - c.z) / half.z});
+        },
+        0.35);
+    s.box = {c - half * t, c + half * t};
+    s.coarsen_box = {c - half * (0.9 * t), c + half * (0.9 * t)};
+  }
+  return s;
+}
+
+}  // namespace plum::parallel

@@ -1,0 +1,67 @@
+// Distributed box-mesh generation: each rank builds only its own slab
+// of the structured Kuhn mesh — local elements, first-touch vertices,
+// analytic SPLs and boundary faces — with no rank (rank 0 included)
+// ever materializing the global mesh and no from-scratch global
+// partition at startup.
+//
+// Equivalence contract: make_box_dist_mesh(spec, r, P) reproduces
+// build_local_mesh(make_box_mesh(spec), make_slab_partition(spec, P),
+// r, P) object-for-object — identical local element/vertex/edge
+// numbering, gids, positions (bit-exact: the shared FP formula in
+// box_mesh.hpp), solution samples, and SPL vectors.  The single
+// exception is boundary-face *ordering*: the global generator emits
+// bfaces in hash-map iteration order, the slab generator in
+// deterministic (element, face) order; each bface record is still
+// field-for-field identical.
+//
+// The dual graph and proc_of_root stay replicated on every rank by
+// framework design (the dual of the *initial* mesh is small and
+// immutable); make_box_dual_graph builds that replica analytically —
+// bit-identical to build_dual_graph(make_box_mesh(spec)) — again
+// without a global mesh.  make_slab_strategy does the same for the
+// marking-region calibration, which classically needs a quantile over
+// all global edge midpoints: the lattice edges are enumerated directly
+// (O(global edges) doubles, transiently), so serial, replicated, and
+// distributed startups mark identically.
+#pragma once
+
+#include <cstdint>
+
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "parallel/dist_mesh.hpp"
+
+namespace plum::parallel {
+
+/// Balanced contiguous cube ranges: rank r owns cubes
+/// [slab_begin(r), slab_begin(r+1)).  All 6 Kuhn tets of a cube land
+/// on one rank, so slab surfaces are cube facets.
+std::int64_t slab_begin(Rank r, std::int64_t ncubes, Rank nranks);
+
+/// The rank owning cube `q` under the slab partition (inverse of
+/// slab_begin's ranges).
+Rank rank_of_cube(std::int64_t q, std::int64_t ncubes, Rank nranks);
+
+/// proc_of_root for the slab partition: root element gid q*6+t maps to
+/// rank_of_cube(q).  Replicated (O(elements) ints, like the dual).
+std::vector<Rank> make_slab_partition(const mesh::BoxMeshSpec& spec,
+                                      Rank nranks);
+
+/// Rank `rank`'s local mesh built from the spec alone (equivalence
+/// contract above).  Cost: O(local objects), not O(global).
+DistMesh make_box_dist_mesh(const mesh::BoxMeshSpec& spec, Rank rank,
+                            Rank nranks);
+
+/// The dual graph of make_box_mesh(spec), built analytically —
+/// bit-identical to build_dual_graph on the global mesh.
+dual::DualGraph make_box_dual_graph(const mesh::BoxMeshSpec& spec);
+
+/// Strategy calibration without the global mesh (header comment).
+/// Supports kLocal1 and kLocal2; kRandom calibrates by whole-mesh
+/// refinement probes and is rejected (use a replicated startup).
+adapt::Strategy make_slab_strategy(adapt::StrategyKind kind,
+                                   const mesh::BoxMeshSpec& spec,
+                                   std::uint64_t seed = 0x9601);
+
+}  // namespace plum::parallel

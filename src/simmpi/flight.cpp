@@ -1,26 +1,80 @@
 #include "simmpi/flight.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+
+#include "support/log.hpp"
 
 namespace plum::simmpi {
+
+namespace {
+
+/// One warning per process for a bad PLUM_FLIGHT_CAP — the variable is
+/// re-read per Machine, so without the latch every constructed machine
+/// would repeat it.  Emitted directly (not via PLUM_LOG, which is off
+/// by default): a user who set the variable should hear that their
+/// setting was not honoured.  Rank-aware via the calling thread's
+/// registered log rank.
+void warn_flight_cap_once(const std::string& msg) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true, std::memory_order_relaxed)) return;
+  const Rank r = log_rank();
+  if (r == kNoRank) {
+    std::fprintf(stderr, "[plum:W] %s\n", msg.c_str());
+  } else {
+    std::fprintf(stderr, "[plum:W r%d] %s\n", static_cast<int>(r),
+                 msg.c_str());
+  }
+}
+
+}  // namespace
 
 FlightConfig flight_config_from_env() {
   FlightConfig cfg;
   cfg.capacity = FlightRecorder::kDefaultCapacity;
   const char* env = std::getenv("PLUM_FLIGHT_CAP");
   if (env == nullptr || *env == '\0') return cfg;
+  errno = 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(env, &end, 10);
-  if (end != nullptr && *end == '\0' && v > 0) {
+  // strtoull silently negates "-N"; treat any '-' as malformed.
+  const bool malformed = end == env || *end != '\0' ||
+                         std::strchr(env, '-') != nullptr;
+  if (malformed || v == 0) {
+    warn_flight_cap_once(
+        std::string("ignoring malformed PLUM_FLIGHT_CAP=\"") + env +
+        "\" (want a positive integer); using default " +
+        std::to_string(FlightRecorder::kDefaultCapacity));
+    return cfg;
+  }
+  if (errno == ERANGE || v > FlightRecorder::kMaxCapacity) {
+    warn_flight_cap_once(
+        std::string("PLUM_FLIGHT_CAP=\"") + env +
+        "\" exceeds the per-rank ceiling; clamping to " +
+        std::to_string(FlightRecorder::kMaxCapacity));
+    cfg.capacity = FlightRecorder::kMaxCapacity;
+  } else {
     cfg.capacity = static_cast<std::size_t>(v);
   }
+  cfg.explicit_cap = true;
   return cfg;
+}
+
+std::size_t scaled_flight_capacity(Rank nranks) {
+  if (nranks <= 64) return FlightRecorder::kDefaultCapacity;
+  const std::size_t scaled =
+      FlightRecorder::kDefaultCapacity * 64 /
+      static_cast<std::size_t>(nranks);
+  return std::max(scaled, FlightRecorder::kMinScaledCapacity);
 }
 
 std::vector<FlightEvent> FlightRecorder::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   const std::size_t cap = ring_.size();
+  if (cap == 0) return {};
   const std::size_t kept = static_cast<std::size_t>(
       std::min<std::uint64_t>(count_, cap));
   std::vector<FlightEvent> out;

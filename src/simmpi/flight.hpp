@@ -4,8 +4,10 @@
 // Every Comm records send/recv/collective begin-end events here —
 // peer, tag, payload bytes, simulated timestamp, and the innermost
 // phase name from the tracer's always-on name stack.  Recording is
-// O(1) and allocation-free after construction (one slot overwrite
-// under an uncontended mutex), so it stays enabled in benchmarks.
+// O(1) and allocation-free after the first event (the ring is
+// allocated lazily so idle ranks cost nothing at large P; thereafter
+// one slot overwrite under an uncontended mutex), so it stays enabled
+// in benchmarks.
 //
 // The buffer is dumped:
 //   * by the PLUM_CHECK failure hook (installed by Machine::run) when
@@ -35,13 +37,30 @@ namespace plum::simmpi {
 /// migrations) via the PLUM_FLIGHT_CAP environment variable.
 struct FlightConfig {
   std::size_t capacity = 4096;  // == FlightRecorder::kDefaultCapacity
+  /// True when `capacity` was set explicitly (environment or setter):
+  /// an explicit capacity is used verbatim at any P, while the default
+  /// is scaled down at large rank counts (scaled_flight_capacity).
+  bool explicit_cap = false;
 };
 
-/// Reads PLUM_FLIGHT_CAP (a positive integer) into a FlightConfig;
-/// absent or malformed values fall back to the default.  Read at
-/// Machine construction, not cached process-wide, so tests can vary
-/// the environment between machines.
+/// Reads PLUM_FLIGHT_CAP (a positive integer) into a FlightConfig.
+/// An absent variable keeps the default; a malformed or zero value
+/// keeps the default and logs a rank-aware warning once per process
+/// (a user who set the variable should hear that it was ignored);
+/// values above FlightRecorder::kMaxCapacity — more events than any
+/// rank can usefully retain — warn once and clamp.  Read at Machine
+/// construction, not cached process-wide, so tests can vary the
+/// environment between machines.
 FlightConfig flight_config_from_env();
+
+/// The per-rank ring capacity a default-configured machine uses at
+/// `nranks`: kDefaultCapacity up to 64 ranks, then scaled down in
+/// proportion (floored at kMinScaledCapacity) so a whole machine's
+/// rings stay ~256k events at any P instead of growing linearly —
+/// at P=256 the eager 4096-per-rank default alone would be ~1M
+/// events.  An explicit PLUM_FLIGHT_CAP / set_flight_capacity always
+/// wins over this scaling.
+std::size_t scaled_flight_capacity(Rank nranks);
 
 enum class FlightKind : std::uint8_t {
   kSend = 0,       ///< buffered send enqueued (never blocks)
@@ -79,18 +98,34 @@ struct FlightEvent {
 class FlightRecorder {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;
+  /// Ceiling for PLUM_FLIGHT_CAP (1M events ≈ 40 MB per rank): larger
+  /// requests are clamped with a warning instead of silently honoured.
+  static constexpr std::size_t kMaxCapacity = std::size_t{1} << 20;
+  /// Floor of the large-P scaled default (scaled_flight_capacity).
+  static constexpr std::size_t kMinScaledCapacity = 512;
 
+  /// The ring itself is allocated lazily on the first record(), so a
+  /// quiet rank (and every rank of a machine that is constructed but
+  /// communicates little) costs a pointer, not capacity × 40 bytes.
   explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
-      : ring_(capacity > 0 ? capacity : 1) {}
+      : capacity_(capacity > 0 ? capacity : 1) {}
 
   void set_rank(Rank r) { rank_ = r; }
   Rank rank() const { return rank_; }
-  std::size_t capacity() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
 
-  /// O(1); overwrites the oldest event once the ring is full.
+  /// True once the ring storage exists (first record() allocates it).
+  bool allocated() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !ring_.empty();
+  }
+
+  /// O(1) and allocation-free after the first event; overwrites the
+  /// oldest event once the ring is full.
   void record(FlightKind kind, FlightOp op, Rank peer, std::int32_t tag,
               std::int64_t bytes, double ts_us, const char* phase) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.empty()) ring_.resize(capacity_);
     FlightEvent& e = ring_[static_cast<std::size_t>(count_ % ring_.size())];
     e.ts_us = ts_us;
     e.bytes = bytes;
@@ -126,7 +161,8 @@ class FlightRecorder {
 
  private:
   mutable std::mutex mu_;
-  std::vector<FlightEvent> ring_;
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;  ///< empty until the first record()
   std::uint64_t count_ = 0;  ///< total recorded; ring index = count % cap
   Rank rank_ = kNoRank;
 };

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cmath>
 #include <condition_variable>
+#include <string>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -16,6 +18,24 @@
 #include "support/log.hpp"
 
 namespace plum::simmpi {
+
+MachineMode machine_mode_from_env() {
+  const char* env = std::getenv("PLUM_MACHINE");
+  if (env == nullptr) return MachineMode::kAuto;
+  const std::string v(env);
+  if (v == "threads") return MachineMode::kThreads;
+  if (v == "pool") return MachineMode::kPool;
+  return MachineMode::kAuto;
+}
+
+const char* machine_mode_name(MachineMode m) {
+  switch (m) {
+    case MachineMode::kAuto: return "auto";
+    case MachineMode::kThreads: return "threads";
+    case MachineMode::kPool: return "pool";
+  }
+  return "?";
+}
 
 double MachineReport::makespan_us() const {
   double m = 0.0;
@@ -42,15 +62,27 @@ namespace {
 struct WatchSnapshot {
   std::vector<MailboxWaitInfo> info;
   std::vector<bool> finished;
+  /// Scheduler view under MachineMode::kPool (has_sched); empty under
+  /// threads, where OS-thread-per-rank makes mailbox state sufficient.
+  SchedSnapshot sched;
+  bool has_sched = false;
 
   /// Every unfinished rank is blocked in recv with no matching message
-  /// queued — nothing in this machine can make progress.
+  /// queued — nothing in this machine can make progress.  Under the
+  /// fiber pool the mailbox view alone is NOT a proof: a parked fiber
+  /// keeps its mailbox blocked_ flag while woken-and-requeued (e.g. by
+  /// a non-matching delivery), so a runnable-but-unscheduled rank would
+  /// be misread as stuck whenever every worker is busy across a poll.
+  /// Quiescence therefore additionally requires every unfinished rank
+  /// to be scheduler-Blocked — Ready/Running/Unstarted ranks make
+  /// progress as soon as a worker reaches them.
   bool quiescent_stuck() const {
     bool any_unfinished = false;
     for (std::size_t r = 0; r < info.size(); ++r) {
       if (finished[r]) continue;
       any_unfinished = true;
       if (!info[r].blocked || info[r].match_pending) return false;
+      if (has_sched && sched.state[r] != FiberState::kBlocked) return false;
     }
     return any_unfinished;
   }
@@ -58,8 +90,15 @@ struct WatchSnapshot {
   /// Identical wait states and progress counters: nothing moved between
   /// the two observations, so a stuck picture is not a torn read.  The
   /// full candidate sets are compared, so a wait_any that merely
-  /// re-entered with different peers never looks frozen.
+  /// re-entered with different peers never looks frozen; under the pool
+  /// the dispatch counter joins the comparison, so any time slice
+  /// between the polls invalidates the pair.
   bool same_frozen_state(const WatchSnapshot& o) const {
+    if (has_sched &&
+        (sched.state != o.sched.state ||
+         sched.dispatches != o.sched.dispatches)) {
+      return false;
+    }
     for (std::size_t r = 0; r < info.size(); ++r) {
       if (finished[r] != o.finished[r]) return false;
       const MailboxWaitInfo& a = info[r];
@@ -77,18 +116,24 @@ struct WatchSnapshot {
     std::int64_t s = 0;
     for (const auto& i : info) s += i.deliveries + i.takes;
     for (const bool f : finished) s += f ? 1 : 0;
+    s += sched.dispatches;  // pool: a dispatched slice is progress too
     return s;
   }
 };
 
 WatchSnapshot take_snapshot(std::vector<Mailbox>& mailboxes,
-                            const std::atomic<bool>* finished) {
+                            const std::atomic<bool>* finished,
+                            const FiberPool* pool) {
   WatchSnapshot s;
   s.info.reserve(mailboxes.size());
   s.finished.reserve(mailboxes.size());
   for (std::size_t r = 0; r < mailboxes.size(); ++r) {
     s.finished.push_back(finished[r].load(std::memory_order_acquire));
     s.info.push_back(mailboxes[r].wait_info());
+  }
+  if (pool != nullptr) {
+    s.sched = pool->snapshot();
+    s.has_sched = true;
   }
   return s;
 }
@@ -112,6 +157,19 @@ void append_rank_state(std::ostringstream& os, Rank r,
     os << "blocked in recv(src=" << i.src << ", tag=" << i.tag << ")";
   } else {
     os << "running (not blocked in recv)";
+  }
+  if (snap.has_sched) {
+    switch (snap.sched.state[static_cast<std::size_t>(r)]) {
+      case FiberState::kUnstarted:
+      case FiberState::kReady:
+        os << " — runnable (waiting for a worker)";
+        break;
+      case FiberState::kRunning:
+        os << " — on a worker";
+        break;
+      default:
+        break;
+    }
   }
   const int posted =
       comms[static_cast<std::size_t>(r)]->outstanding_irecvs();
@@ -220,12 +278,24 @@ MachineReport Machine::run(Rank nranks,
 
   // Comms live here (not on the rank threads) so the watchdog can read
   // flight recorders and clocks-at-rest while threads are blocked.
+  const std::size_t flight_cap = effective_flight_capacity(nranks);
   std::vector<std::unique_ptr<Comm>> comms;
   comms.reserve(static_cast<std::size_t>(nranks));
   for (Rank r = 0; r < nranks; ++r) {
     comms.push_back(std::make_unique<Comm>(r, nranks, &mailboxes, &cost_,
-                                           &abort, tracing_,
-                                           flight_capacity_));
+                                           &abort, tracing_, flight_cap));
+  }
+
+  // Execution engine (header comment): fiber pool or thread-per-rank.
+  // The pool is created before the watchdog so deliveries can wake
+  // parked fibers and the watchdog can fold scheduler state into its
+  // quiescence proof.
+  std::unique_ptr<FiberPool> pool;
+  if (pool_selected(nranks)) {
+    pool = std::make_unique<FiberPool>(nranks, pool_);
+    for (Rank r = 0; r < nranks; ++r) {
+      mailboxes[static_cast<std::size_t>(r)].set_scheduler(pool.get(), r);
+    }
   }
   const std::unique_ptr<std::atomic<bool>[]> finished(
       new std::atomic<bool>[static_cast<std::size_t>(nranks)]);
@@ -298,7 +368,8 @@ MachineReport Machine::run(Rank nranks,
       }
       if (abort.load(std::memory_order_acquire)) return;  // a rank failed
 
-      WatchSnapshot snap = take_snapshot(mailboxes, finished.get());
+      WatchSnapshot snap = take_snapshot(mailboxes, finished.get(),
+                                         pool.get());
       const std::int64_t progress = snap.progress_sum();
       if (progress != last_progress) {
         last_progress = progress;
@@ -345,10 +416,27 @@ MachineReport Machine::run(Rank nranks,
   std::thread watchdog_thread;
   if (watchdog_.enabled) watchdog_thread = std::thread(watchdog_main);
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
-  for (Rank r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
-  for (auto& t : threads) t.join();
+  if (pool != nullptr) {
+    // Fiber engine: rank bodies stepped run-to-block over the worker
+    // pool.  Thread-local identity (log rank, flight recorder) follows
+    // the fiber across workers via the dispatch/yield callbacks.
+    pool->run(
+        rank_main,
+        /*on_dispatch=*/[&](Rank r) {
+          log_set_rank(r);
+          flight_set_current(&comms[static_cast<std::size_t>(r)]->flight());
+        },
+        /*on_yield=*/[&](Rank) {
+          flight_set_current(nullptr);
+          log_set_rank(kNoRank);
+        });
+    for (auto& mb : mailboxes) mb.set_scheduler(nullptr, kNoRank);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (Rank r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
+    for (auto& t : threads) t.join();
+  }
 
   if (watchdog_thread.joinable()) {
     {

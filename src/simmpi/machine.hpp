@@ -1,11 +1,23 @@
 // The simulated distributed-memory machine.
 //
-// Machine::run(P, body) spawns P rank threads, hands each a Comm bound
-// to the shared mailboxes, executes the SPMD body, joins, and returns a
-// per-rank report (simulated clock readings and traffic counters).  A
-// rank that throws aborts the run: the first exception is re-thrown on
-// the caller's thread after all ranks are joined (the other ranks are
-// unblocked by poison delivery to every mailbox).
+// Machine::run(P, body) executes the SPMD body on P simulated ranks,
+// hands each a Comm bound to the shared mailboxes, and returns a
+// per-rank report (simulated clock readings and traffic counters).
+// Two execution engines produce bit-identical results (message
+// matching is by simulated arrival time, never host scheduling):
+//
+//   * kThreads — one OS thread per rank (the historical engine);
+//   * kPool — rank bodies run as cooperative fibers stepped
+//     run-to-block over a worker pool sized to hardware cores
+//     (sched.hpp), so P=256 runs on any box.
+//
+// kAuto (the default) picks threads up to kAutoPoolThreshold ranks —
+// the envelope every golden was recorded in — and the pool beyond.
+// PLUM_MACHINE=threads|pool|auto overrides, as does set_mode().
+//
+// A rank that throws aborts the run: the first exception is re-thrown
+// on the caller's thread after all ranks are joined (the other ranks
+// are unblocked by poison delivery to every mailbox).
 //
 // A watchdog thread (on by default) observes the run from outside:
 //   * quiescence — every unfinished rank blocked in recv with no
@@ -26,8 +38,27 @@
 
 #include "simmpi/comm.hpp"
 #include "simmpi/cost_model.hpp"
+#include "simmpi/sched.hpp"
 
 namespace plum::simmpi {
+
+/// Execution engine selection (header comment above).
+enum class MachineMode : std::uint8_t {
+  kAuto = 0,  ///< threads up to kAutoPoolThreshold ranks, pool beyond
+  kThreads,   ///< one OS thread per rank
+  kPool,      ///< cooperative fibers over a fixed worker pool
+};
+
+/// Rank count above which kAuto switches to the fiber pool.  16 keeps
+/// every historical P<=16 workload on the thread engine it was
+/// validated under while making P=64/256 runs work out of the box.
+inline constexpr Rank kAutoPoolThreshold = 16;
+
+/// Reads PLUM_MACHINE ("threads", "pool", "auto"); anything else —
+/// including an unset variable — is kAuto.
+MachineMode machine_mode_from_env();
+
+const char* machine_mode_name(MachineMode m);
 
 /// Per-rank outcome of a run.
 struct RankReport {
@@ -78,9 +109,26 @@ class Machine {
  public:
   explicit Machine(CostModel cost = CostModel{})
       : cost_(cost),
-        flight_capacity_(flight_config_from_env().capacity) {}
+        mode_(machine_mode_from_env()),
+        flight_cfg_(flight_config_from_env()) {}
 
   const CostModel& cost() const { return cost_; }
+
+  /// Execution engine for subsequent runs.  Initialized from
+  /// PLUM_MACHINE at construction; this setter overrides.
+  void set_mode(MachineMode m) { mode_ = m; }
+  MachineMode mode() const { return mode_; }
+
+  /// Worker-pool sizing for MachineMode::kPool runs.
+  void set_pool(PoolConfig cfg) { pool_ = cfg; }
+  const PoolConfig& pool() const { return pool_; }
+
+  /// Whether a run at `nranks` would use the fiber pool under the
+  /// current mode (resolves kAuto).
+  bool pool_selected(Rank nranks) const {
+    return mode_ == MachineMode::kPool ||
+           (mode_ == MachineMode::kAuto && nranks > kAutoPoolThreshold);
+  }
 
   /// Enables the per-rank phase tracer (obs.hpp) for subsequent runs;
   /// the report's RankReport::trace then carries each rank's phase tree
@@ -94,9 +142,20 @@ class Machine {
 
   /// Flight-recorder ring capacity per rank (events).  Initialized
   /// from PLUM_FLIGHT_CAP at construction (flight_config_from_env);
-  /// this setter overrides both.
-  void set_flight_capacity(std::size_t cap) { flight_capacity_ = cap; }
-  std::size_t flight_capacity() const { return flight_capacity_; }
+  /// this setter overrides both.  An explicit capacity (either source)
+  /// is used verbatim at any rank count; the default is scaled down at
+  /// large P (scaled_flight_capacity) so total ring memory stays flat.
+  void set_flight_capacity(std::size_t cap) {
+    flight_cfg_.capacity = cap;
+    flight_cfg_.explicit_cap = true;
+  }
+  std::size_t flight_capacity() const { return flight_cfg_.capacity; }
+
+  /// The per-rank ring capacity a run at `nranks` would actually use.
+  std::size_t effective_flight_capacity(Rank nranks) const {
+    return flight_cfg_.explicit_cap ? flight_cfg_.capacity
+                                    : scaled_flight_capacity(nranks);
+  }
 
   /// Runs `body` as an SPMD program on `nranks` simulated processors.
   /// Throws DeadlockError if the watchdog detects a communication
@@ -107,7 +166,9 @@ class Machine {
   CostModel cost_;
   bool tracing_ = false;
   WatchdogConfig watchdog_;
-  std::size_t flight_capacity_ = FlightRecorder::kDefaultCapacity;
+  MachineMode mode_ = MachineMode::kAuto;
+  PoolConfig pool_;
+  FlightConfig flight_cfg_;
 };
 
 }  // namespace plum::simmpi

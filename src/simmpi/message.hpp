@@ -24,6 +24,7 @@
 #include <mutex>
 #include <vector>
 
+#include "simmpi/sched.hpp"
 #include "support/buffer.hpp"
 #include "support/types.hpp"
 
@@ -88,6 +89,19 @@ class Mailbox {
       ++deliveries_;
     }
     cv_.notify_all();
+    // Under the fiber pool the owner may be parked instead of waiting
+    // on cv_; wake it through the scheduler (safe against a racing
+    // park — see FiberPool::wake).
+    if (sched_ != nullptr) sched_->wake(owner_);
+  }
+
+  /// Pool-mode wiring (Machine::run): deliveries and pokes also wake
+  /// the owning rank's parked fiber.  Set before the run's workers
+  /// start and cleared after they join — never written while senders
+  /// are active, so the unlocked reads in deliver()/poke() are stable.
+  void set_scheduler(FiberPool* pool, Rank owner) {
+    sched_ = pool;
+    owner_ = owner;
   }
 
   /// Blocks until a message from `src` with `tag` is available and
@@ -146,7 +160,16 @@ class Mailbox {
         wants_.clear();
         throw RankAborted{};
       }
-      cv_.wait_for(lock, std::chrono::milliseconds(20));
+      // The single yield site of the machine (DESIGN.md §15): on a
+      // rank fiber, hand the worker back instead of occupying an OS
+      // thread; deliver()/poke() reschedule us.  blocked_ stays true
+      // while parked, so the watchdog's view is identical to a thread
+      // sleeping in the cv wait below.
+      if (FiberPool::on_fiber()) {
+        FiberPool::park(lock);
+      } else {
+        cv_.wait_for(lock, std::chrono::milliseconds(20));
+      }
     }
   }
 
@@ -208,7 +231,10 @@ class Mailbox {
   }
 
   /// Wakes any thread blocked in take() (used to propagate aborts).
-  void poke() { cv_.notify_all(); }
+  void poke() {
+    cv_.notify_all();
+    if (sched_ != nullptr) sched_->wake(owner_);
+  }
 
   /// Non-blocking test used by tests/diagnostics.
   bool has(Rank src, int tag) {
@@ -231,6 +257,8 @@ class Mailbox {
   std::vector<WaitTarget> wants_;  ///< candidates while blocked
   std::int64_t deliveries_ = 0;
   std::int64_t takes_ = 0;
+  FiberPool* sched_ = nullptr;  ///< pool-mode wake target (see above)
+  Rank owner_ = kNoRank;
 };
 
 }  // namespace plum::simmpi

@@ -1,0 +1,359 @@
+#include "simmpi/sched.hpp"
+
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include "support/check.hpp"
+
+// Sanitizer fiber annotations: ASan must be told about stack switches
+// (fake-stack bookkeeping), TSan models each fiber as its own logical
+// thread so the switch edges carry the happens-before relation.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PLUM_HAVE_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define PLUM_HAVE_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define PLUM_HAVE_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define PLUM_HAVE_TSAN 1
+#endif
+
+#ifdef PLUM_HAVE_ASAN
+#include <pthread.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef PLUM_HAVE_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace plum::simmpi {
+
+namespace {
+
+enum class YieldKind : std::uint8_t { kParked, kDone };
+
+struct Fiber {
+  ucontext_t ctx{};
+  void* map_base = nullptr;   ///< mmap base (guard page + usable stack)
+  std::size_t map_len = 0;
+  char* stack_lo = nullptr;   ///< usable stack bottom (above the guard)
+  std::size_t stack_len = 0;
+  FiberState state = FiberState::kUnstarted;
+  bool wake_pending = false;  ///< wake() raced our park; re-enqueue
+  YieldKind yield_kind = YieldKind::kParked;
+  Rank rank = kNoRank;
+  FiberPool::Impl* pool = nullptr;
+#ifdef PLUM_HAVE_TSAN
+  void* tsan = nullptr;
+#endif
+#ifdef PLUM_HAVE_ASAN
+  void* fake = nullptr;            ///< fake-stack save across our park
+  const void* ret_bottom = nullptr;  ///< stack of the resuming worker
+  std::size_t ret_size = 0;
+#endif
+};
+
+struct WorkerCtx {
+  ucontext_t ctx{};  ///< resume point inside the worker loop
+#ifdef PLUM_HAVE_TSAN
+  void* tsan = nullptr;
+#endif
+#ifdef PLUM_HAVE_ASAN
+  void* fake = nullptr;
+#endif
+};
+
+/// The fiber currently executing on this OS thread (set around each
+/// swap into a fiber) and the worker context to yield back to.  A
+/// fiber re-reads both at every park, so migrating between workers
+/// between time slices is transparent.
+thread_local Fiber* t_fiber = nullptr;
+thread_local WorkerCtx* t_worker = nullptr;
+
+void switch_to_fiber(WorkerCtx& w, Fiber& f) {
+#ifdef PLUM_HAVE_ASAN
+  __sanitizer_start_switch_fiber(&w.fake, f.stack_lo, f.stack_len);
+#endif
+#ifdef PLUM_HAVE_TSAN
+  __tsan_switch_to_fiber(f.tsan, 0);
+#endif
+  PLUM_CHECK(swapcontext(&w.ctx, &f.ctx) == 0);
+#ifdef PLUM_HAVE_ASAN
+  __sanitizer_finish_switch_fiber(w.fake, nullptr, nullptr);
+#endif
+}
+
+void switch_to_worker(Fiber& f, bool final_exit) {
+  WorkerCtx* w = t_worker;
+#ifdef PLUM_HAVE_ASAN
+  // nullptr fake_stack_save on the final exit destroys the fiber's
+  // fake stack instead of preserving it for a resume.
+  __sanitizer_start_switch_fiber(final_exit ? nullptr : &f.fake,
+                                 f.ret_bottom, f.ret_size);
+#endif
+#ifdef PLUM_HAVE_TSAN
+  __tsan_switch_to_fiber(w->tsan, 0);
+#endif
+  PLUM_CHECK(swapcontext(&f.ctx, &w->ctx) == 0);
+  PLUM_CHECK_MSG(!final_exit, "finished fiber was resumed");
+#ifdef PLUM_HAVE_ASAN
+  __sanitizer_finish_switch_fiber(f.fake, &f.ret_bottom, &f.ret_size);
+#endif
+}
+
+void fiber_tramp(unsigned hi, unsigned lo);
+
+std::size_t page_size() {
+  const long p = ::sysconf(_SC_PAGESIZE);
+  return p > 0 ? static_cast<std::size_t>(p) : 4096;
+}
+
+/// Positive-integer environment override, or `dflt` when absent or
+/// malformed (the scheduler is not the place to die on a typo).
+std::size_t env_size(const char* name, std::size_t dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return dflt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return dflt;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+struct FiberPool::Impl {
+  mutable std::mutex mu;
+  std::condition_variable cv;  ///< workers wait for runnable fibers
+  std::deque<Rank> runq;
+  std::vector<Fiber> fibers;
+  std::int64_t dispatches = 0;
+  Rank nranks = 0;
+  Rank nfinished = 0;
+  bool shutdown = false;
+  std::size_t stack_bytes = 0;
+  const std::function<void(Rank)>* body = nullptr;
+
+  void prepare_fiber(Fiber& f);
+  void worker_main(const std::function<void(Rank)>& on_dispatch,
+                   const std::function<void(Rank)>& on_yield);
+};
+
+namespace {
+
+void fiber_tramp(unsigned hi, unsigned lo) {
+  auto* f = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+#ifdef PLUM_HAVE_ASAN
+  // Complete the switch that first entered this fiber (no fake stack
+  // to restore on a brand-new context).
+  __sanitizer_finish_switch_fiber(nullptr, &f->ret_bottom, &f->ret_size);
+#endif
+  // rank_main (machine.cpp) catches every exception, so nothing ever
+  // unwinds off the fiber stack.
+  (*f->pool->body)(f->rank);
+  f->yield_kind = YieldKind::kDone;
+  switch_to_worker(*f, /*final_exit=*/true);
+}
+
+}  // namespace
+
+void FiberPool::Impl::prepare_fiber(Fiber& f) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = ((stack_bytes + ps - 1) / ps) * ps;
+  f.map_len = usable + ps;  // one PROT_NONE guard page below the stack
+  void* base = ::mmap(nullptr, f.map_len, PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  PLUM_CHECK_MSG(base != MAP_FAILED, "fiber stack mmap failed for rank "
+                                         << f.rank);
+  f.map_base = base;
+  f.stack_lo = static_cast<char*>(base) + ps;
+  f.stack_len = usable;
+  PLUM_CHECK(::mprotect(f.stack_lo, usable, PROT_READ | PROT_WRITE) == 0);
+  PLUM_CHECK(::getcontext(&f.ctx) == 0);
+  f.ctx.uc_stack.ss_sp = f.stack_lo;
+  f.ctx.uc_stack.ss_size = f.stack_len;
+  f.ctx.uc_link = nullptr;  // fibers exit via switch_to_worker, never fall off
+  const auto p = reinterpret_cast<std::uintptr_t>(&f);
+  ::makecontext(&f.ctx, reinterpret_cast<void (*)()>(&fiber_tramp), 2,
+                static_cast<unsigned>(p >> 32),
+                static_cast<unsigned>(p & 0xffffffffu));
+#ifdef PLUM_HAVE_TSAN
+  f.tsan = __tsan_create_fiber(0);
+#endif
+}
+
+void FiberPool::Impl::worker_main(
+    const std::function<void(Rank)>& on_dispatch,
+    const std::function<void(Rank)>& on_yield) {
+  WorkerCtx w;
+#ifdef PLUM_HAVE_TSAN
+  w.tsan = __tsan_get_current_fiber();
+#endif
+  t_worker = &w;
+  std::unique_lock<std::mutex> lk(mu);
+  for (;;) {
+    cv.wait(lk, [&] { return shutdown || !runq.empty(); });
+    if (shutdown) break;
+    const Rank r = runq.front();
+    runq.pop_front();
+    Fiber& f = fibers[static_cast<std::size_t>(r)];
+    if (f.state == FiberState::kUnstarted) prepare_fiber(f);
+    f.state = FiberState::kRunning;
+    ++dispatches;
+    lk.unlock();
+
+    on_dispatch(r);
+    t_fiber = &f;
+    switch_to_fiber(w, f);
+    t_fiber = nullptr;
+    on_yield(r);
+
+    lk.lock();
+    if (f.yield_kind == YieldKind::kDone) {
+      f.state = FiberState::kFinished;
+      if (++nfinished == nranks) {
+        shutdown = true;
+        cv.notify_all();
+      }
+    } else if (f.wake_pending) {
+      // A delivery raced the park: the fiber never actually waits.
+      f.wake_pending = false;
+      f.state = FiberState::kReady;
+      runq.push_back(r);
+      cv.notify_one();
+    } else {
+      f.state = FiberState::kBlocked;
+    }
+  }
+  t_worker = nullptr;
+}
+
+FiberPool::FiberPool(Rank nranks, PoolConfig cfg)
+    : impl_(std::make_unique<Impl>()) {
+  PLUM_CHECK(nranks >= 1);
+  nworkers_ = cfg.workers > 0 ? cfg.workers : default_pool_workers(nranks);
+  if (nworkers_ > nranks) nworkers_ = static_cast<int>(nranks);
+  stack_bytes_ =
+      cfg.stack_bytes > 0 ? cfg.stack_bytes : default_fiber_stack_bytes();
+  impl_->nranks = nranks;
+  impl_->stack_bytes = stack_bytes_;
+  impl_->fibers.resize(static_cast<std::size_t>(nranks));
+  for (Rank r = 0; r < nranks; ++r) {
+    Fiber& f = impl_->fibers[static_cast<std::size_t>(r)];
+    f.rank = r;
+    f.pool = impl_.get();
+  }
+}
+
+FiberPool::~FiberPool() {
+  for (Fiber& f : impl_->fibers) {
+#ifdef PLUM_HAVE_TSAN
+    if (f.tsan != nullptr) __tsan_destroy_fiber(f.tsan);
+#endif
+    if (f.map_base != nullptr) ::munmap(f.map_base, f.map_len);
+  }
+}
+
+void FiberPool::run(const std::function<void(Rank)>& body,
+                    const std::function<void(Rank)>& on_dispatch,
+                    const std::function<void(Rank)>& on_yield) {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    PLUM_CHECK_MSG(im.body == nullptr, "FiberPool::run is not reentrant");
+    im.body = &body;
+    im.nfinished = 0;
+    im.shutdown = false;
+    im.runq.clear();
+    for (Rank r = 0; r < im.nranks; ++r) im.runq.push_back(r);
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(nworkers_));
+  for (int i = 0; i < nworkers_; ++i) {
+    workers.emplace_back(
+        [&im, &on_dispatch, &on_yield] { im.worker_main(on_dispatch, on_yield); });
+  }
+  for (auto& t : workers) t.join();
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.body = nullptr;
+}
+
+void FiberPool::wake(Rank r) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  Fiber& f = im.fibers[static_cast<std::size_t>(r)];
+  switch (f.state) {
+    case FiberState::kBlocked:
+      f.state = FiberState::kReady;
+      im.runq.push_back(r);
+      im.cv.notify_one();
+      break;
+    case FiberState::kRunning:
+      f.wake_pending = true;  // parked between mailbox unlock and the
+      break;                  // worker's transition; see sched.hpp
+    case FiberState::kUnstarted:
+    case FiberState::kReady:
+    case FiberState::kFinished:
+      break;  // already runnable (or gone); nothing to do
+  }
+}
+
+SchedSnapshot FiberPool::snapshot() const {
+  const Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  SchedSnapshot s;
+  s.state.reserve(im.fibers.size());
+  for (const Fiber& f : im.fibers) s.state.push_back(f.state);
+  s.dispatches = im.dispatches;
+  return s;
+}
+
+bool FiberPool::on_fiber() { return t_fiber != nullptr; }
+
+void FiberPool::park(std::unique_lock<std::mutex>& lk) {
+  Fiber* f = t_fiber;
+  PLUM_CHECK_MSG(f != nullptr, "park called off-fiber");
+  // Unlock first: a delivery that lands from here on wakes us via
+  // wake(), whose wake_pending protocol tolerates the race with the
+  // state transition the worker performs after the switch.
+  lk.unlock();
+  f->yield_kind = YieldKind::kParked;
+  switch_to_worker(*f, /*final_exit=*/false);
+  lk.lock();
+}
+
+int default_pool_workers(Rank nranks) {
+  const std::size_t env = env_size("PLUM_POOL_WORKERS", 0);
+  if (env > 0) {
+    const std::size_t capped = env > 1024 ? 1024 : env;
+    return static_cast<int>(capped);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  int w = hw == 0 ? 1 : static_cast<int>(hw);
+  if (w > nranks) w = static_cast<int>(nranks);
+  return w < 1 ? 1 : w;
+}
+
+std::size_t default_fiber_stack_bytes() {
+#if defined(PLUM_HAVE_ASAN) || defined(PLUM_HAVE_TSAN)
+  const std::size_t dflt = std::size_t{8} << 20;
+#else
+  const std::size_t dflt = std::size_t{2} << 20;
+#endif
+  return env_size("PLUM_FIBER_STACK_KB", dflt >> 10) << 10;
+}
+
+}  // namespace plum::simmpi

@@ -1,0 +1,121 @@
+// Cooperative M:N rank scheduler (DESIGN.md §15).
+//
+// FiberPool runs P rank bodies as resumable stackful fibers stepped
+// run-to-block over a fixed pool of OS worker threads, so rank count
+// decouples from OS thread count: P=256 simulated ranks execute on
+// however many cores the host has.  Every blocking point in the
+// machine funnels through Mailbox::take_any (message.hpp), which is
+// the single yield site: a fiber that cannot match a message parks
+// itself and the worker picks up the next runnable rank.  Message
+// selection is by simulated arrival time (never host scheduling), so
+// pool and thread execution are bit-identical — clocks, traffic,
+// flight recorders, goldens.
+//
+// Wakeup protocol (lost-wakeup-free): a fiber yields with the mailbox
+// lock already released, so a delivery can race the park.  The state
+// transition Running->Blocked is performed by the *worker* after the
+// context switch returns, under the scheduler mutex; a wake() arriving
+// while the fiber is still Running sets wake_pending, which the worker
+// converts into an immediate re-enqueue.  A spurious resume rescans
+// the mailbox and parks again, exactly like a condition-variable
+// spurious wakeup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace plum::simmpi {
+
+/// Worker-pool sizing for MachineMode::kPool (machine.hpp).
+struct PoolConfig {
+  /// OS worker threads; 0 = auto (PLUM_POOL_WORKERS if set, else
+  /// min(nranks, hardware_concurrency), at least 1).
+  int workers = 0;
+  /// Usable stack bytes per rank fiber; 0 = auto (PLUM_FIBER_STACK_KB
+  /// if set, else 2 MiB — 8 MiB under ASan/TSan, whose redzones and
+  /// shadow frames inflate stack use).  Stacks are mmap'd on first
+  /// dispatch with a PROT_NONE guard page below, so untouched pages
+  /// cost address space only.
+  std::size_t stack_bytes = 0;
+};
+
+/// Scheduler-level state of one rank, published to the watchdog so it
+/// can distinguish blocked-in-recv from waiting-for-a-worker: only a
+/// kBlocked rank is waiting on a delivery; kUnstarted/kReady/kRunning
+/// ranks make progress as soon as a worker reaches them.
+enum class FiberState : std::uint8_t {
+  kUnstarted = 0,  ///< never dispatched (runnable: queued from the start)
+  kReady,          ///< runnable, waiting for a worker
+  kRunning,        ///< on a worker right now
+  kBlocked,        ///< parked inside a blocking receive
+  kFinished,
+};
+
+/// Watchdog observation of the scheduler (one mutex acquisition).
+struct SchedSnapshot {
+  std::vector<FiberState> state;
+  /// Monotonic count of time slices started; frozen across two polls
+  /// means no fiber was dispatched in between.
+  std::int64_t dispatches = 0;
+};
+
+class FiberPool {
+ public:
+  FiberPool(Rank nranks, PoolConfig cfg);
+  ~FiberPool();
+  FiberPool(const FiberPool&) = delete;
+  FiberPool& operator=(const FiberPool&) = delete;
+
+  /// Runs body(r) to completion for every rank over the worker pool
+  /// (blocks until all ranks finished).  on_dispatch(r) / on_yield(r)
+  /// run on the worker thread immediately before / after each time
+  /// slice of rank r — Machine uses them to point the thread-local
+  /// log rank and flight recorder at the rank being stepped.
+  void run(const std::function<void(Rank)>& body,
+           const std::function<void(Rank)>& on_dispatch,
+           const std::function<void(Rank)>& on_yield);
+
+  /// Makes rank r runnable again after a delivery or poke to its
+  /// mailbox.  Callable from any thread; a no-op when r is already
+  /// runnable, finished, or unstarted.  Racing a park is safe (see
+  /// wake_pending protocol above).
+  void wake(Rank r);
+
+  /// Scheduler state for the watchdog's quiescence proof.
+  SchedSnapshot snapshot() const;
+
+  int workers() const { return nworkers_; }
+  std::size_t stack_bytes() const { return stack_bytes_; }
+
+  /// True iff the calling thread is currently executing a rank fiber
+  /// (message.hpp uses this to choose park over a cv wait).
+  static bool on_fiber();
+
+  /// Parks the calling fiber: releases `lk`, yields to the worker, and
+  /// re-acquires `lk` once a wake() reschedules the fiber.  May return
+  /// spuriously; callers loop and rescan, as with a condition variable.
+  static void park(std::unique_lock<std::mutex>& lk);
+
+  /// Opaque scheduler state (sched.cpp); public only so the file-local
+  /// fiber trampoline can reach the body through its fiber record.
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+  int nworkers_ = 1;
+  std::size_t stack_bytes_ = 0;
+};
+
+/// The worker count PoolConfig{.workers = 0} resolves to for `nranks`.
+int default_pool_workers(Rank nranks);
+
+/// The stack size PoolConfig{.stack_bytes = 0} resolves to.
+std::size_t default_fiber_stack_bytes();
+
+}  // namespace plum::simmpi

@@ -1,0 +1,294 @@
+// Distributed box-mesh generation (parallel/dist_gen.hpp): the slab
+// generator's equivalence contract against the global-mesh path —
+// make_box_dist_mesh must reproduce build_local_mesh(make_box_mesh(..))
+// object-for-object (bfaces value-equal but order-free), the analytic
+// dual graph must be bit-identical to build_dual_graph, and the slab
+// strategy calibration must be bit-identical to make_strategy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "adapt/marking.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "parallel/dist_gen.hpp"
+#include "parallel/dist_mesh.hpp"
+#include "parallel/framework.hpp"
+#include "simmpi/machine.hpp"
+
+namespace plum::parallel {
+namespace {
+
+using mesh::BoxMeshSpec;
+
+// --- slab arithmetic ------------------------------------------------------
+
+TEST(DistGen, SlabRangesPartitionTheCubes) {
+  const std::pair<std::int64_t, Rank> cases[] = {{10, 4},   {27, 8},
+                                                 {64, 64},  {7, 16},
+                                                 {1000, 3}, {125, 1}};
+  for (const auto& [ncubes, nranks] : cases) {
+    EXPECT_EQ(slab_begin(0, ncubes, nranks), 0);
+    EXPECT_EQ(slab_begin(nranks, ncubes, nranks), ncubes);
+    for (Rank r = 0; r < nranks; ++r) {
+      const std::int64_t b0 = slab_begin(r, ncubes, nranks);
+      const std::int64_t b1 = slab_begin(r + 1, ncubes, nranks);
+      EXPECT_LE(b0, b1);
+      for (std::int64_t q = b0; q < b1; ++q) {
+        EXPECT_EQ(rank_of_cube(q, ncubes, nranks), r)
+            << "cube " << q << " of " << ncubes << " at P=" << nranks;
+      }
+    }
+  }
+}
+
+TEST(DistGen, SlabPartitionMatchesRankOfCube) {
+  BoxMeshSpec spec;
+  spec.nx = 3, spec.ny = 4, spec.nz = 5;
+  const Rank P = 7;
+  const std::vector<Rank> proc = make_slab_partition(spec, P);
+  const std::int64_t ncubes = 3 * 4 * 5;
+  ASSERT_EQ(proc.size(), static_cast<std::size_t>(ncubes * 6));
+  for (std::int64_t q = 0; q < ncubes; ++q) {
+    for (int t = 0; t < 6; ++t) {
+      EXPECT_EQ(proc[static_cast<std::size_t>(q * 6 + t)],
+                rank_of_cube(q, ncubes, P));
+    }
+  }
+}
+
+// --- mesh equivalence -----------------------------------------------------
+
+void expect_same_local_mesh(const DistMesh& ref, const DistMesh& got) {
+  const mesh::Mesh& a = ref.local;
+  const mesh::Mesh& b = got.local;
+
+  ASSERT_EQ(a.vertices().size(), b.vertices().size());
+  for (std::size_t i = 0; i < a.vertices().size(); ++i) {
+    const mesh::Vertex& va = a.vertices()[i];
+    const mesh::Vertex& vb = b.vertices()[i];
+    EXPECT_EQ(va.gid, vb.gid) << "vertex " << i;
+    EXPECT_EQ(va.pos.x, vb.pos.x);  // bit-exact, not approximate
+    EXPECT_EQ(va.pos.y, vb.pos.y);
+    EXPECT_EQ(va.pos.z, vb.pos.z);
+    EXPECT_EQ(va.sol, vb.sol);
+    EXPECT_EQ(va.spl, vb.spl) << "vertex " << i << " gid " << va.gid;
+    EXPECT_EQ(va.edges, vb.edges);
+    EXPECT_EQ(va.alive, vb.alive);
+  }
+
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    const mesh::Edge& ea = a.edges()[i];
+    const mesh::Edge& eb = b.edges()[i];
+    EXPECT_EQ(ea.v, eb.v) << "edge " << i;
+    EXPECT_EQ(ea.gid, eb.gid);
+    EXPECT_EQ(ea.elems, eb.elems);
+    EXPECT_EQ(ea.level, eb.level);
+    EXPECT_EQ(ea.spl, eb.spl) << "edge " << i << " gid " << ea.gid;
+    EXPECT_EQ(ea.alive, eb.alive);
+  }
+
+  ASSERT_EQ(a.elements().size(), b.elements().size());
+  for (std::size_t i = 0; i < a.elements().size(); ++i) {
+    const mesh::Element& la = a.elements()[i];
+    const mesh::Element& lb = b.elements()[i];
+    EXPECT_EQ(la.v, lb.v) << "element " << i;
+    EXPECT_EQ(la.e, lb.e);
+    EXPECT_EQ(la.gid, lb.gid);
+    EXPECT_EQ(la.root, lb.root);
+    EXPECT_EQ(la.active, lb.active);
+  }
+
+  // Boundary faces: same multiset of records (the global generator
+  // emits them in hash-map iteration order, the slab generator in
+  // (element, face) order — the records themselves must match).
+  using BRec = std::tuple<GlobalId, GlobalId, GlobalId, GlobalId>;
+  auto brecs = [](const mesh::Mesh& m) {
+    std::multiset<BRec> out;
+    for (const mesh::BFace& bf : m.bfaces()) {
+      out.insert({m.vertex(bf.v[0]).gid, m.vertex(bf.v[1]).gid,
+                  m.vertex(bf.v[2]).gid, m.element(bf.elem).gid});
+    }
+    return out;
+  };
+  ASSERT_EQ(a.bfaces().size(), b.bfaces().size());
+  EXPECT_EQ(brecs(a), brecs(b));
+
+  EXPECT_EQ(ref.vertex_of_gid.size(), got.vertex_of_gid.size());
+  EXPECT_EQ(ref.edge_of_gid.size(), got.edge_of_gid.size());
+  EXPECT_EQ(ref.root_of_gid.size(), got.root_of_gid.size());
+}
+
+void check_spec_at(const BoxMeshSpec& spec, Rank P) {
+  SCOPED_TRACE(testing::Message() << "box " << spec.nx << "x" << spec.ny
+                                  << "x" << spec.nz << " P=" << P);
+  const mesh::Mesh global = make_box_mesh(spec);
+  const std::vector<Rank> proc = make_slab_partition(spec, P);
+  for (Rank r = 0; r < P; ++r) {
+    SCOPED_TRACE(testing::Message() << "rank " << r);
+    const DistMesh ref = build_local_mesh(global, proc, r, P);
+    const DistMesh got = make_box_dist_mesh(spec, r, P);
+    EXPECT_EQ(got.rank, r);
+    EXPECT_EQ(got.nranks, P);
+    expect_same_local_mesh(ref, got);
+    EXPECT_TRUE(check_dist_mesh(got).empty());
+  }
+}
+
+TEST(DistGen, MatchesGlobalScatterCube) {
+  BoxMeshSpec spec;
+  spec.nx = spec.ny = spec.nz = 4;
+  check_spec_at(spec, 4);
+}
+
+TEST(DistGen, MatchesGlobalScatterAnisotropicOddRanks) {
+  BoxMeshSpec spec;
+  spec.nx = 2, spec.ny = 5, spec.nz = 3;
+  spec.origin = {-1.0, 0.25, 2.0};
+  spec.size = {2.0, 0.5, 3.0};
+  check_spec_at(spec, 5);
+}
+
+TEST(DistGen, MatchesGlobalScatterMoreRanksThanSlabsOfCubes) {
+  // P larger than nz (some ranks own partial z-layers) and P not
+  // dividing the cube count — the fractional slab boundaries.
+  BoxMeshSpec spec;
+  spec.nx = spec.ny = spec.nz = 3;
+  check_spec_at(spec, 8);
+}
+
+TEST(DistGen, SingleRankOwnsEverything) {
+  BoxMeshSpec spec;
+  spec.nx = 3, spec.ny = 2, spec.nz = 2;
+  const mesh::Mesh global = make_box_mesh(spec);
+  const DistMesh got = make_box_dist_mesh(spec, 0, 1);
+  const mesh::MeshCounts c = got.local.counts();
+  const mesh::BoxMeshCounts want = mesh::predict_box_mesh_counts(3, 2, 2);
+  EXPECT_EQ(c.vertices, want.vertices);
+  EXPECT_EQ(c.active_edges, want.edges);
+  EXPECT_EQ(c.active_elements, want.elements);
+  EXPECT_EQ(c.active_bfaces, want.bfaces);
+  // No SPLs anywhere at P=1.
+  for (const mesh::Vertex& v : got.local.vertices()) {
+    EXPECT_TRUE(v.spl.empty());
+  }
+}
+
+// --- dual graph -----------------------------------------------------------
+
+TEST(DistGen, AnalyticDualGraphMatchesBuildDualGraph) {
+  const std::tuple<int, int, int> cases[] = {
+      {4, 4, 4}, {2, 5, 3}, {1, 1, 1}, {6, 1, 2}};
+  for (const auto& [nx, ny, nz] : cases) {
+    SCOPED_TRACE(testing::Message() << nx << "x" << ny << "x" << nz);
+    BoxMeshSpec spec;
+    spec.nx = nx, spec.ny = ny, spec.nz = nz;
+    spec.origin = {0.5, -0.5, 0.0};
+    spec.size = {1.5, 2.0, 1.0};
+    const dual::DualGraph ref = dual::build_dual_graph(make_box_mesh(spec));
+    const dual::DualGraph got = make_box_dual_graph(spec);
+    ASSERT_EQ(got.adjacency.size(), ref.adjacency.size());
+    EXPECT_EQ(got.adjacency, ref.adjacency);
+    EXPECT_EQ(got.edge_weight, ref.edge_weight);
+    EXPECT_EQ(got.wcomp, ref.wcomp);
+    EXPECT_EQ(got.wremap, ref.wremap);
+    ASSERT_EQ(got.centroid.size(), ref.centroid.size());
+    for (std::size_t i = 0; i < ref.centroid.size(); ++i) {
+      EXPECT_EQ(got.centroid[i].x, ref.centroid[i].x) << "centroid " << i;
+      EXPECT_EQ(got.centroid[i].y, ref.centroid[i].y) << "centroid " << i;
+      EXPECT_EQ(got.centroid[i].z, ref.centroid[i].z) << "centroid " << i;
+    }
+  }
+}
+
+// --- strategy calibration -------------------------------------------------
+
+TEST(DistGen, SlabStrategyCalibrationIsBitIdentical) {
+  BoxMeshSpec spec;
+  spec.nx = 5, spec.ny = 4, spec.nz = 6;
+  spec.origin = {-0.25, 0.0, 1.0};
+  spec.size = {2.0, 1.0, 0.5};
+  const mesh::Mesh global = make_box_mesh(spec);
+  for (const auto kind :
+       {adapt::StrategyKind::kLocal1, adapt::StrategyKind::kLocal2}) {
+    const adapt::Strategy ref = adapt::make_strategy(kind, global);
+    const adapt::Strategy got = make_slab_strategy(kind, spec);
+    EXPECT_EQ(got.kind, ref.kind);
+    EXPECT_EQ(got.sphere.center.x, ref.sphere.center.x);
+    EXPECT_EQ(got.sphere.center.y, ref.sphere.center.y);
+    EXPECT_EQ(got.sphere.center.z, ref.sphere.center.z);
+    EXPECT_EQ(got.sphere.radius, ref.sphere.radius);  // quantile, bit-exact
+    EXPECT_EQ(got.box.lo.x, ref.box.lo.x);
+    EXPECT_EQ(got.box.lo.y, ref.box.lo.y);
+    EXPECT_EQ(got.box.lo.z, ref.box.lo.z);
+    EXPECT_EQ(got.box.hi.x, ref.box.hi.x);
+    EXPECT_EQ(got.box.hi.y, ref.box.hi.y);
+    EXPECT_EQ(got.box.hi.z, ref.box.hi.z);
+    EXPECT_EQ(got.coarsen_box.lo.x, ref.coarsen_box.lo.x);
+    EXPECT_EQ(got.coarsen_box.lo.y, ref.coarsen_box.lo.y);
+    EXPECT_EQ(got.coarsen_box.lo.z, ref.coarsen_box.lo.z);
+    EXPECT_EQ(got.coarsen_box.hi.x, ref.coarsen_box.hi.x);
+    EXPECT_EQ(got.coarsen_box.hi.y, ref.coarsen_box.hi.y);
+    EXPECT_EQ(got.coarsen_box.hi.z, ref.coarsen_box.hi.z);
+    EXPECT_EQ(got.seed, ref.seed);
+  }
+}
+
+// --- full-framework startup ----------------------------------------------
+
+// Distributed startup runs a whole adaption cycle under the strictest
+// invariant checking, and lands on the same global mesh population as
+// the classic replicated-global startup.
+TEST(DistGen, FrameworkCycleFromDistributedStartup) {
+  const Rank P = 8;
+  BoxMeshSpec spec;
+  spec.nx = spec.ny = spec.nz = 6;
+  const dual::DualGraph dualg = make_box_dual_graph(spec);
+  const std::vector<Rank> proc = make_slab_partition(spec, P);
+  const adapt::Strategy strat =
+      make_slab_strategy(adapt::StrategyKind::kLocal1, spec);
+
+  FrameworkConfig cfg;
+  cfg.solver_iterations = 2;
+  cfg.check_level = CheckLevel::kFull;
+
+  auto run_startup = [&](bool dist_gen) {
+    std::vector<std::int64_t> active(static_cast<std::size_t>(P));
+    simmpi::Machine machine;
+    machine.run(P, [&](simmpi::Comm& comm) {
+      const Rank r = comm.rank();
+      auto fw = [&] {
+        if (dist_gen) {
+          return PlumFramework(&comm, make_box_dist_mesh(spec, r, P), dualg,
+                               proc, cfg);
+        }
+        // Classic path: every rank scatters from the replicated global
+        // mesh (rebuilt here per rank; cheap at this size).
+        return PlumFramework(&comm, make_box_mesh(spec), dualg, proc, cfg);
+      }();
+      fw.cycle([&](mesh::Mesh& m) { strat.apply_refine(m); },
+               [&](mesh::Mesh& m) { strat.apply_coarsen(m); });
+      active[static_cast<std::size_t>(r)] = fw.dist().active_elements();
+    });
+    return active;
+  };
+
+  const std::vector<std::int64_t> dist_active = run_startup(true);
+  const std::vector<std::int64_t> classic_active = run_startup(false);
+  EXPECT_EQ(dist_active, classic_active);
+}
+
+TEST(DistGenDeathTest, SlabStrategyRejectsRandom) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BoxMeshSpec spec;
+  EXPECT_DEATH(make_slab_strategy(adapt::StrategyKind::kRandom, spec),
+               "kRandom");
+}
+
+}  // namespace
+}  // namespace plum::parallel

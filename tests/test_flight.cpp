@@ -147,6 +147,79 @@ TEST(Flight, MalformedOrMissingEnvFallsBackToDefault) {
   EXPECT_EQ(machine.flight_capacity(), FlightRecorder::kDefaultCapacity);
 }
 
+TEST(Flight, RingIsAllocatedLazilyOnFirstRecord) {
+  FlightRecorder rec(1024);
+  EXPECT_FALSE(rec.allocated());
+  EXPECT_EQ(rec.capacity(), 1024u);
+  EXPECT_TRUE(rec.snapshot().empty());  // readable before allocation
+  EXPECT_NE(rec.dump_string().find("0 events recorded"), std::string::npos);
+  rec.record(FlightKind::kSend, FlightOp::kNone, 1, 2, 3, 4.0, "p");
+  EXPECT_TRUE(rec.allocated());
+  EXPECT_EQ(rec.snapshot().size(), 1u);
+}
+
+TEST(Flight, OverflowingEnvCapIsClampedNotHonoured) {
+  // Absurd PLUM_FLIGHT_CAP values (overflow or merely enormous) clamp
+  // to kMaxCapacity and still count as explicit.
+  ASSERT_EQ(setenv("PLUM_FLIGHT_CAP", "99999999999999999999999", 1), 0);
+  FlightConfig cfg = flight_config_from_env();
+  EXPECT_EQ(cfg.capacity, FlightRecorder::kMaxCapacity);
+  EXPECT_TRUE(cfg.explicit_cap);
+  ASSERT_EQ(setenv("PLUM_FLIGHT_CAP", "2097152", 1), 0);  // 2 * kMax
+  cfg = flight_config_from_env();
+  EXPECT_EQ(cfg.capacity, FlightRecorder::kMaxCapacity);
+  EXPECT_TRUE(cfg.explicit_cap);
+  // Negative numbers are malformed, not huge: fall back to the default.
+  ASSERT_EQ(setenv("PLUM_FLIGHT_CAP", "-4096", 1), 0);
+  cfg = flight_config_from_env();
+  EXPECT_EQ(cfg.capacity, FlightRecorder::kDefaultCapacity);
+  EXPECT_FALSE(cfg.explicit_cap);
+  ASSERT_EQ(unsetenv("PLUM_FLIGHT_CAP"), 0);
+}
+
+TEST(Flight, ScaledCapacityKeepsTotalRingMemoryFlatAtLargeP) {
+  // Default capacity up to 64 ranks, then inverse-proportional with a
+  // floor: the whole machine retains ~256k events at any P.
+  EXPECT_EQ(scaled_flight_capacity(1), FlightRecorder::kDefaultCapacity);
+  EXPECT_EQ(scaled_flight_capacity(64), FlightRecorder::kDefaultCapacity);
+  EXPECT_EQ(scaled_flight_capacity(128), FlightRecorder::kDefaultCapacity / 2);
+  EXPECT_EQ(scaled_flight_capacity(256), FlightRecorder::kDefaultCapacity / 4);
+  // The floor: even at absurd P a rank retains a useful window.
+  EXPECT_EQ(scaled_flight_capacity(1 << 20),
+            FlightRecorder::kMinScaledCapacity);
+}
+
+TEST(Flight, EffectiveCapacityScalesOnlyTheDefault) {
+  Machine machine;
+  EXPECT_EQ(machine.effective_flight_capacity(4),
+            FlightRecorder::kDefaultCapacity);
+  EXPECT_EQ(machine.effective_flight_capacity(256),
+            scaled_flight_capacity(256));
+  // An explicit capacity (setter or environment) is used verbatim at
+  // any rank count.
+  machine.set_flight_capacity(4096);
+  EXPECT_EQ(machine.effective_flight_capacity(256), 4096u);
+  ASSERT_EQ(setenv("PLUM_FLIGHT_CAP", "8192", 1), 0);
+  Machine from_env;
+  ASSERT_EQ(unsetenv("PLUM_FLIGHT_CAP"), 0);
+  EXPECT_EQ(from_env.effective_flight_capacity(256), 8192u);
+}
+
+TEST(Flight, ScaledDefaultAppliesToLargeRunsEndToEnd) {
+  // A default-configured machine at P=128 gives each rank the scaled
+  // ring, observable as the retained-event cap in the report.
+  Machine machine;
+  const std::size_t cap = machine.effective_flight_capacity(128);
+  ASSERT_EQ(cap, FlightRecorder::kDefaultCapacity / 2);
+  machine.set_flight_capacity(8);  // keep the e2e variant cheap
+  const MachineReport report = machine.run(128, [](Comm& comm) {
+    for (int i = 0; i < 12; ++i) comm.barrier();
+  });
+  for (const auto& rr : report.ranks) {
+    EXPECT_EQ(rr.flight.size(), 8u);
+  }
+}
+
 // The recv hard-failure satellites: a receive that can never complete
 // dies with a clear message naming the phase (and the check-failure
 // hook appends the rank's flight recorder to stderr).

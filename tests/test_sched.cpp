@@ -1,0 +1,210 @@
+// The cooperative M:N fiber scheduler (simmpi/sched.hpp) and its
+// Machine integration: pool runs must be bit-identical to the
+// historical thread-per-rank engine (message matching is by simulated
+// arrival time, so the host scheduler must never show through),
+// oversubscribed runs (more ranks than workers) must stay deterministic
+// and starvation-free, and mode selection must resolve kAuto as
+// documented.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/machine.hpp"
+#include "simmpi/sched.hpp"
+
+namespace plum::simmpi {
+namespace {
+
+// A workload exercising every blocking surface: rank-skewed compute,
+// ring point-to-point traffic, wait-any via collectives, barriers.
+void chatter_body(Comm& comm) {
+  const Rank r = comm.rank();
+  const Rank P = comm.size();
+  comm.charge(50.0 + 13.0 * r, 1.0);
+  const Rank next = (r + 1) % P;
+  const Rank prev = (r + P - 1) % P;
+  for (int it = 0; it < 3; ++it) {
+    comm.send(next, 7, Bytes(static_cast<std::size_t>(64 + 8 * r)));
+    comm.recv(prev, 7);
+    comm.charge(10.0 * (it + 1), 1.0);
+  }
+  comm.allreduce_sum(static_cast<std::int64_t>(r));
+  comm.allreduce_sum(0.5 * r);
+  comm.barrier();
+}
+
+void expect_identical_reports(const MachineReport& a, const MachineReport& b) {
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    SCOPED_TRACE(testing::Message() << "rank " << r);
+    const RankReport& ra = a.ranks[r];
+    const RankReport& rb = b.ranks[r];
+    EXPECT_EQ(ra.time_us, rb.time_us);  // bit-identical simulated clocks
+    EXPECT_EQ(ra.compute_us, rb.compute_us);
+    EXPECT_EQ(ra.comm_us, rb.comm_us);
+    EXPECT_EQ(ra.idle_us, rb.idle_us);
+    EXPECT_EQ(ra.stats.msgs_sent, rb.stats.msgs_sent);
+    EXPECT_EQ(ra.stats.bytes_sent, rb.stats.bytes_sent);
+    EXPECT_EQ(ra.stats.msgs_recv, rb.stats.msgs_recv);
+    EXPECT_EQ(ra.stats.bytes_recv, rb.stats.bytes_recv);
+    EXPECT_EQ(ra.stats.coll_msgs_sent, rb.stats.coll_msgs_sent);
+    EXPECT_EQ(ra.stats.coll_bytes_sent, rb.stats.coll_bytes_sent);
+    EXPECT_EQ(ra.stats.msgs_to, rb.stats.msgs_to);
+    EXPECT_EQ(ra.stats.bytes_to, rb.stats.bytes_to);
+    // The flight recorder sees every event with its timestamp; the
+    // formatted dump is a complete fingerprint of the rank's traffic.
+    EXPECT_EQ(format_flight_events(static_cast<Rank>(r), ra.flight),
+              format_flight_events(static_cast<Rank>(r), rb.flight));
+  }
+}
+
+TEST(Sched, PoolIsBitIdenticalToThreads) {
+  for (const Rank P : {2, 4, 8}) {
+    SCOPED_TRACE(testing::Message() << "P=" << P);
+    Machine threads;
+    threads.set_mode(MachineMode::kThreads);
+    const MachineReport want = threads.run(P, chatter_body);
+
+    Machine pool;
+    pool.set_mode(MachineMode::kPool);
+    const MachineReport got = pool.run(P, chatter_body);
+    expect_identical_reports(want, got);
+  }
+}
+
+TEST(Sched, OversubscribedPoolMatchesThreads) {
+  // More ranks than workers: fibers queue for workers, and the result
+  // must still match the thread engine bit-for-bit.
+  Machine threads;
+  threads.set_mode(MachineMode::kThreads);
+  const MachineReport want = threads.run(16, chatter_body);
+
+  for (const int workers : {1, 2, 3}) {
+    SCOPED_TRACE(testing::Message() << "workers=" << workers);
+    Machine pool;
+    pool.set_mode(MachineMode::kPool);
+    pool.set_pool({.workers = workers});
+    const MachineReport got = pool.run(16, chatter_body);
+    expect_identical_reports(want, got);
+  }
+}
+
+TEST(Sched, LargeRankCountRepeatsAreDeterministic) {
+  // P=64 on a fixed small worker pool: two runs of the same program
+  // must produce the same report (the oversubscription determinism
+  // guarantee the scale-out work rests on).
+  Machine machine;
+  machine.set_pool({.workers = 4});
+  ASSERT_TRUE(machine.pool_selected(64));  // kAuto resolves to the pool
+  const MachineReport first = machine.run(64, chatter_body);
+  const MachineReport second = machine.run(64, chatter_body);
+  expect_identical_reports(first, second);
+}
+
+TEST(Sched, StarvationOneHeavyRankOthersStreaming) {
+  // One rank sits in a long compute phase while the others stream
+  // point-to-point traffic through the same two workers.  The run must
+  // complete (run-to-block scheduling cannot strand the streamers
+  // behind the heavy fiber) and the heavy rank's clock must dominate.
+  Machine machine;
+  machine.set_mode(MachineMode::kPool);
+  machine.set_pool({.workers = 2});
+  const Rank P = 8;
+  const MachineReport report = machine.run(P, [](Comm& comm) {
+    const Rank r = comm.rank();
+    const Rank P = comm.size();
+    if (r == 0) {
+      // Compute-heavy: one long slice, no blocking until the barrier.
+      for (int it = 0; it < 5; ++it) comm.charge(1e6, 1.0);
+    } else if (r == P - 1) {
+      // Odd rank out: matched self-traffic (delivered synchronously).
+      for (int it = 0; it < 50; ++it) {
+        comm.send(r, 3, Bytes(32));
+        comm.recv(r, 3);
+      }
+    } else {
+      // Streaming pairs 1<->2, 3<->4, 5<->6.
+      const Rank peer = (r % 2 == 1) ? r + 1 : r - 1;
+      for (int it = 0; it < 50; ++it) {
+        if (r % 2 == 1) {
+          comm.send(peer, 3, Bytes(32));
+          comm.recv(peer, 4);
+        } else {
+          comm.recv(peer, 3);
+          comm.send(peer, 4, Bytes(32));
+        }
+      }
+    }
+    comm.barrier();
+  });
+  ASSERT_EQ(report.ranks.size(), 8u);
+  EXPECT_GE(report.ranks[0].compute_us, 5e6);
+  for (std::size_t r = 1; r < 8; ++r) {
+    // 50 point-to-point sends each; the rest is barrier traffic.
+    const CommStats& st = report.ranks[r].stats;
+    EXPECT_EQ(st.msgs_sent - st.coll_msgs_sent, 50);
+  }
+}
+
+TEST(Sched, ModeFromEnvironment) {
+  ASSERT_EQ(setenv("PLUM_MACHINE", "pool", 1), 0);
+  EXPECT_EQ(machine_mode_from_env(), MachineMode::kPool);
+  ASSERT_EQ(setenv("PLUM_MACHINE", "threads", 1), 0);
+  EXPECT_EQ(machine_mode_from_env(), MachineMode::kThreads);
+  ASSERT_EQ(setenv("PLUM_MACHINE", "auto", 1), 0);
+  EXPECT_EQ(machine_mode_from_env(), MachineMode::kAuto);
+  ASSERT_EQ(setenv("PLUM_MACHINE", "bogus", 1), 0);
+  EXPECT_EQ(machine_mode_from_env(), MachineMode::kAuto);
+  ASSERT_EQ(unsetenv("PLUM_MACHINE"), 0);
+  EXPECT_EQ(machine_mode_from_env(), MachineMode::kAuto);
+}
+
+TEST(Sched, AutoModeThreshold) {
+  Machine machine;  // kAuto (no PLUM_MACHINE in the test environment)
+  ASSERT_EQ(machine.mode(), MachineMode::kAuto);
+  EXPECT_FALSE(machine.pool_selected(1));
+  EXPECT_FALSE(machine.pool_selected(kAutoPoolThreshold));
+  EXPECT_TRUE(machine.pool_selected(kAutoPoolThreshold + 1));
+  EXPECT_TRUE(machine.pool_selected(256));
+  machine.set_mode(MachineMode::kThreads);
+  EXPECT_FALSE(machine.pool_selected(256));
+  machine.set_mode(MachineMode::kPool);
+  EXPECT_TRUE(machine.pool_selected(1));
+}
+
+TEST(Sched, FiberPoolSizingAndOffFiberQueries) {
+  // Worker count is clamped to the rank count; stacks get a sane
+  // default; the calling (non-fiber) thread is never "on a fiber".
+  FiberPool pool(/*nranks=*/2, PoolConfig{.workers = 64});
+  EXPECT_EQ(pool.workers(), 2);
+  EXPECT_GE(pool.stack_bytes(), 64u * 1024u);
+  EXPECT_FALSE(FiberPool::on_fiber());
+  const SchedSnapshot snap = pool.snapshot();
+  ASSERT_EQ(snap.state.size(), 2u);
+  EXPECT_EQ(snap.state[0], FiberState::kUnstarted);
+  EXPECT_EQ(snap.dispatches, 0);
+}
+
+TEST(Sched, PoolRunExecutesEveryRankExactlyOnce) {
+  FiberPool pool(/*nranks=*/12, PoolConfig{.workers = 3});
+  std::vector<int> hits(12, 0);
+  pool.run(
+      [&](Rank r) {
+        // No mailbox here, so fibers run to completion; on_fiber holds.
+        EXPECT_TRUE(FiberPool::on_fiber());
+        hits[static_cast<std::size_t>(r)] += 1;
+      },
+      /*on_dispatch=*/[](Rank) {}, /*on_yield=*/[](Rank) {});
+  for (int h : hits) EXPECT_EQ(h, 1);
+  const SchedSnapshot snap = pool.snapshot();
+  for (const FiberState s : snap.state) {
+    EXPECT_EQ(s, FiberState::kFinished);
+  }
+  EXPECT_EQ(snap.dispatches, 12);
+}
+
+}  // namespace
+}  // namespace plum::simmpi

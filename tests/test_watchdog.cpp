@@ -236,5 +236,96 @@ TEST(Watchdog, ReportsDisjointClockBuckets) {
   EXPECT_GT(report.ranks[1].idle_us, 0.0);
 }
 
+// --- fiber-pool mode (P > workers) -----------------------------------------
+//
+// Under the M:N scheduler the old quiescence proof — "every unfinished
+// rank's mailbox is blocked in recv" — is no longer sufficient: a rank
+// can be runnable (woken, waiting for a worker) while its mailbox still
+// carries the blocked flag from its park.  The watchdog now also
+// requires every unfinished fiber to be scheduler-Blocked and treats
+// fiber dispatches as progress.  These tests pin both directions at
+// P > worker count.
+
+TEST(Watchdog, HealthyOversubscribedPoolRunIsNotTripped) {
+  // Eight ranks on one worker with an aggressive poll: token rings with
+  // extra non-matching deliveries constantly wake parked fibers into
+  // the runnable-but-unscheduled state the old proof misread.  The run
+  // must complete without a DeadlockError.
+  Machine machine;
+  machine.set_mode(MachineMode::kPool);
+  machine.set_pool({.workers = 1});
+  WatchdogConfig cfg = fast_watchdog();
+  cfg.poll_ms = 1;
+  machine.set_watchdog(cfg);
+  const MachineReport report = machine.run(8, [](Comm& comm) {
+    const Rank r = comm.rank();
+    const Rank P = comm.size();
+    for (int lap = 0; lap < 20; ++lap) {
+      // Early out-of-band send: sits unmatched in the neighbour's
+      // mailbox (waking it spuriously) until the end of the lap.
+      comm.send((r + 1) % P, /*tag=*/99, Bytes(8));
+      if (r == 0) {
+        comm.send(1, /*tag=*/5, Bytes(16));
+        comm.recv(P - 1, /*tag=*/5);
+      } else {
+        comm.recv(r - 1, /*tag=*/5);
+        comm.send((r + 1) % P, /*tag=*/5, Bytes(16));
+      }
+      comm.recv((r + P - 1) % P, /*tag=*/99);
+      comm.charge(25.0 * (1 + r % 3), 1.0);
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(report.ranks.size(), 8u);
+}
+
+TEST(Watchdog, PoolModeDeadlockIsStillDetected) {
+  // The flip side: with more ranks than workers, a genuine recv cycle
+  // among ranks 0..2 (ranks 3..5 finish) must still be proven and
+  // reported — parked fibers are scheduler-Blocked, so the tightened
+  // proof goes through.
+  Machine machine;
+  machine.set_mode(MachineMode::kPool);
+  machine.set_pool({.workers = 2});
+  machine.set_watchdog(fast_watchdog());
+  try {
+    machine.run(6, [](Comm& comm) {
+      if (comm.rank() < 3) {
+        comm.recv((comm.rank() + 1) % 3, /*tag=*/42);
+      }
+    });
+    FAIL() << "deadlocked pool run returned";
+  } catch (const DeadlockError& e) {
+    const std::string report = e.what();
+    EXPECT_NE(report.find("wait-for cycle: 0 -> 1 -> 2 -> 0"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("rank 0: blocked in recv(src=1, tag=42)"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("rank 3: finished"), std::string::npos) << report;
+  }
+}
+
+TEST(Watchdog, PoolModeLoneStuckRankIsReported) {
+  // Lone-stuck detection survives oversubscription: one parked fiber
+  // waiting on a message nobody sends, everyone else finished.
+  Machine machine;
+  machine.set_mode(MachineMode::kPool);
+  machine.set_pool({.workers = 2});
+  machine.set_watchdog(fast_watchdog());
+  try {
+    machine.run(8, [](Comm& comm) {
+      if (comm.rank() == 5) comm.recv(0, /*tag=*/77);
+    });
+    FAIL() << "stuck pool run returned";
+  } catch (const DeadlockError& e) {
+    const std::string report = e.what();
+    EXPECT_NE(report.find("rank 5: blocked in recv(src=0, tag=77)"),
+              std::string::npos)
+        << report;
+  }
+}
+
 }  // namespace
 }  // namespace plum::simmpi

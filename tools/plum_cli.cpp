@@ -14,6 +14,7 @@
 //                  [--timeline out.json] [--flight-dump[=PATH]]
 //                  [--check-level off|cheap|full]
 //                  [--migrate-pipeline on|off]
+//                  [--machine threads|pool|auto] [--workers N] [--dist-gen]
 //                  [--stats-stream[=out.ndjson]] [--stats-summary out.json]
 //   plum report    --timeline timeline.json [--out report.html]
 //   plum validate  --ndjson stats.ndjson [--min-lines 1]
@@ -34,7 +35,13 @@
 // one NDJSON line per cycle — cross-rank-merged histograms, counters,
 // and the running p50/p95/p99 cycle latency — with O(buckets) memory
 // however long the soak; `--stats-summary` writes the final latency
-// quantiles as a BENCH-style JSON for the perf gate.  `report` renders
+// quantiles as a BENCH-style JSON for the perf gate.  `--machine`
+// selects the execution engine (simmpi/machine.hpp: thread-per-rank or
+// the M:N fiber pool; auto picks by rank count) and `--workers` caps
+// the pool's OS threads; `--dist-gen` switches startup to distributed
+// box-mesh generation (parallel/dist_gen.hpp) — each rank builds only
+// its slab, no rank materializes the global mesh, and no from-scratch
+// global partition runs; requires --strategy local1|local2.  `report` renders
 // a timeline JSON as a self-contained HTML page (sparklines + traffic
 // heatmap).  `validate` parses an NDJSON stream line-by-line with the
 // built-in JSON parser and fails on any malformed line.
@@ -52,6 +59,7 @@
 #include "mesh/mesh_check.hpp"
 #include "mesh/mesh_io.hpp"
 #include "mesh/quality.hpp"
+#include "parallel/dist_gen.hpp"
 #include "parallel/framework.hpp"
 #include "parallel/gather.hpp"
 #include "partition/partitioner.hpp"
@@ -221,11 +229,28 @@ int cmd_cycle(const Args& args) {
   const Rank P = args.get_int("procs", 8);
   const int cycles = args.get_int("cycles", 3);
   const std::string strategy_name = args.get("strategy", "local1");
+  const bool dist_gen = args.has("dist-gen");
 
-  const mesh::Mesh global = mesh::make_cube_mesh(n);
-  const dual::DualGraph dualg = dual::build_dual_graph(global);
-  const auto part = partition::make_partitioner("rcb")->partition(dualg, P);
-  const std::vector<Rank> proc(part.part.begin(), part.part.end());
+  mesh::BoxMeshSpec spec;
+  spec.nx = spec.ny = spec.nz = n;
+
+  // Classic startup replicates the global mesh and partitions its dual
+  // from scratch; --dist-gen derives everything from the spec (the
+  // dual graph and proc_of_root stay replicated by framework design,
+  // but both are built analytically — no rank holds the global mesh).
+  mesh::Mesh global;  // empty under --dist-gen
+  dual::DualGraph dualg;
+  std::vector<Rank> proc;
+  if (dist_gen) {
+    dualg = parallel::make_box_dual_graph(spec);
+    proc = parallel::make_slab_partition(spec, P);
+  } else {
+    global = mesh::make_box_mesh(spec);
+    dualg = dual::build_dual_graph(global);
+    const auto part =
+        partition::make_partitioner("rcb")->partition(dualg, P);
+    proc.assign(part.part.begin(), part.part.end());
+  }
 
   parallel::FrameworkConfig cfg;
   cfg.solver_iterations = args.get_int("solver-iters", 10);
@@ -253,7 +278,13 @@ int cmd_cycle(const Args& args) {
       {"random", adapt::StrategyKind::kRandom}};
   PLUM_CHECK_MSG(kinds.count(strategy_name),
                  "unknown strategy " << strategy_name);
-  const auto strategy = adapt::make_strategy(kinds.at(strategy_name), global);
+  const adapt::StrategyKind kind = kinds.at(strategy_name);
+  PLUM_CHECK_MSG(!(dist_gen && kind == adapt::StrategyKind::kRandom),
+                 "--dist-gen supports local1/local2 (random calibrates by "
+                 "whole-mesh refinement probes)");
+  const adapt::Strategy strategy =
+      dist_gen ? parallel::make_slab_strategy(kind, spec)
+               : adapt::make_strategy(kind, global);
 
   Table t("plum cycle: " + strategy_name + " on P=" + std::to_string(P));
   t.header({"cycle", "elements", "imb before", "imb after", "decision",
@@ -285,6 +316,21 @@ int cmd_cycle(const Args& args) {
 
   simmpi::Machine machine;
   machine.set_tracing(want_obs);
+  const std::string machine_name = args.get("machine", "");
+  if (!machine_name.empty()) {
+    if (machine_name == "threads") {
+      machine.set_mode(simmpi::MachineMode::kThreads);
+    } else if (machine_name == "pool") {
+      machine.set_mode(simmpi::MachineMode::kPool);
+    } else if (machine_name == "auto") {
+      machine.set_mode(simmpi::MachineMode::kAuto);
+    } else {
+      PLUM_CHECK_MSG(false, "--machine must be threads, pool, or auto, got "
+                                << machine_name);
+    }
+  }
+  const int workers = args.get_int("workers", 0);
+  if (workers > 0) machine.set_pool({.workers = workers});
   parallel::Timeline timeline;
   const simmpi::MachineReport report =
       machine.run(P, [&](simmpi::Comm& comm) {
@@ -293,7 +339,12 @@ int cmd_cycle(const Args& args) {
     stats::Registry reg(want_stats);
     parallel::FrameworkConfig rank_cfg = cfg;
     if (want_stats) rank_cfg.stats = &reg;
-    parallel::PlumFramework fw(&comm, global, dualg, proc, rank_cfg);
+    parallel::PlumFramework fw =
+        dist_gen
+            ? parallel::PlumFramework(
+                  &comm, parallel::make_box_dist_mesh(spec, comm.rank(), P),
+                  dualg, proc, rank_cfg)
+            : parallel::PlumFramework(&comm, global, dualg, proc, rank_cfg);
     for (int c = 0; c < cycles; ++c) {
       const double t_c0 = comm.clock().now();
       const auto cyc = fw.cycle(

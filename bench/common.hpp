@@ -13,8 +13,6 @@
 // EXPERIMENTS.md can be regenerated with `for b in build/bench/*; do $b; done`.
 #pragma once
 
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +26,7 @@
 #include "mesh/box_mesh.hpp"
 #include "partition/partitioner.hpp"
 #include "simmpi/machine.hpp"
+#include "support/footprint.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
 
@@ -109,15 +108,10 @@ inline std::vector<plum::Rank> initial_placement(
 /// comparisons in EXPERIMENTS.md can diff runs without scraping tables.
 using plum::JsonEmitter;
 
-/// Peak resident set of this process in MB (ru_maxrss is KB on Linux).
-/// Benches emit it as a `run_footprint` record so the perf gate can put
-/// an absolute ceiling on the memory of a scale run
-/// (`bench_gate --max-field run_footprint.peak_rss_mb=...`).
-inline double peak_rss_mb() {
-  struct rusage ru {};
-  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;
-}
+/// Peak resident set of this process in MB — shared with `plum soak`
+/// via support/footprint.hpp; re-exported here for the benches'
+/// `run_footprint` records.
+using plum::peak_rss_mb;
 
 /// Wall-clock helper (for the mapper-time measurements of Fig. 10,
 /// which the paper reports in real seconds).

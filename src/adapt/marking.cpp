@@ -83,6 +83,15 @@ std::int64_t mark_refine_in_sphere(Mesh& m, const Sphere& s) {
                     });
 }
 
+std::int64_t mark_refine_in_sphere(Mesh& m, const Sphere& s,
+                                   int max_level) {
+  return mark_where(m, EdgeMark::kRefine,
+                    [&](LocalIndex ei, const mesh::Edge& e) {
+                      return e.level < max_level &&
+                             s.contains(m.edge_midpoint_pos(ei));
+                    });
+}
+
 std::int64_t mark_refine_in_box(Mesh& m, const Box& b) {
   return mark_where(m, EdgeMark::kRefine,
                     [&](LocalIndex ei, const mesh::Edge&) {
@@ -102,6 +111,14 @@ std::int64_t mark_coarsen_in_sphere(Mesh& m, const Sphere& s) {
                     [&](LocalIndex ei, const mesh::Edge& e) {
                       return e.level > 0 &&
                              s.contains(m.edge_midpoint_pos(ei));
+                    });
+}
+
+std::int64_t mark_coarsen_outside_sphere(Mesh& m, const Sphere& s) {
+  return mark_where(m, EdgeMark::kCoarsen,
+                    [&](LocalIndex ei, const mesh::Edge& e) {
+                      return e.level > 0 &&
+                             !s.contains(m.edge_midpoint_pos(ei));
                     });
 }
 

@@ -48,6 +48,12 @@ double calibrate_box_scale(const mesh::Mesh& m, const mesh::Vec3& center,
 /// Marks active edges whose midpoint lies in the sphere; returns count.
 std::int64_t mark_refine_in_sphere(mesh::Mesh& m, const mesh::Sphere& s);
 
+/// Depth-capped variant: only edges below `max_level` qualify, so a
+/// region re-marked every cycle (a slow-moving soak front) refines to
+/// a bounded depth instead of deepening without limit.
+std::int64_t mark_refine_in_sphere(mesh::Mesh& m, const mesh::Sphere& s,
+                                   int max_level);
+
 /// Marks active edges whose midpoint lies in the box; returns count.
 std::int64_t mark_refine_in_box(mesh::Mesh& m, const mesh::Box& b);
 
@@ -61,6 +67,12 @@ std::int64_t mark_refine_random(mesh::Mesh& m, double frac,
 /// Marks refinement-created (level > 0) active edges in the region.
 std::int64_t mark_coarsen_in_sphere(mesh::Mesh& m, const mesh::Sphere& s);
 std::int64_t mark_coarsen_in_box(mesh::Mesh& m, const mesh::Box& b);
+
+/// Complement: marks refinement-created active edges OUTSIDE the
+/// sphere — the wake of a moving refinement front, wherever the front
+/// has been, relaxes back toward the base mesh.
+std::int64_t mark_coarsen_outside_sphere(mesh::Mesh& m,
+                                         const mesh::Sphere& s);
 
 /// Marks every refinement-created active edge (Local_1: undo everything).
 std::int64_t mark_coarsen_all_refined(mesh::Mesh& m);

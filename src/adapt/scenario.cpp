@@ -1,0 +1,105 @@
+#include "adapt/scenario.hpp"
+
+#include <algorithm>
+
+#include "adapt/marking.hpp"
+#include "support/rng.hpp"
+
+namespace plum::adapt {
+
+namespace {
+
+/// Triangle wave in [0, 1]: 0 at cycle 0, 1 at cycle `period`, back to
+/// 0 at 2*period.  Pure integer phase arithmetic — no float drift over
+/// thousands of cycles.
+double triangle(int cycle, int period) {
+  if (period < 1) period = 1;
+  const int m = cycle % (2 * period);
+  const int up = m <= period ? m : 2 * period - m;
+  return static_cast<double>(up) / static_cast<double>(period);
+}
+
+}  // namespace
+
+SoakScenario::SoakScenario(const ScenarioConfig& cfg, const mesh::Box& domain)
+    : cfg_(cfg), domain_(domain) {
+  const double sx = domain_.hi.x - domain_.lo.x;
+  const double sy = domain_.hi.y - domain_.lo.y;
+  const double sz = domain_.hi.z - domain_.lo.z;
+  radius_ = cfg_.front_radius_frac * std::min({sx, sy, sz});
+}
+
+mesh::Sphere SoakScenario::front_at(int cycle) const {
+  mesh::Sphere s;
+  if (!has_front() || cycle < 0) return s;  // radius 0: matches nothing
+  const int p = cfg_.period < 1 ? 1 : cfg_.period;
+  const double ux = triangle(cycle, p);
+  const double uy = triangle(cycle, 2 * p);
+  const double uz = triangle(cycle, 3 * p);
+  s.center = {domain_.lo.x + ux * (domain_.hi.x - domain_.lo.x),
+              domain_.lo.y + uy * (domain_.hi.y - domain_.lo.y),
+              domain_.lo.z + uz * (domain_.hi.z - domain_.lo.z)};
+  s.radius = radius_;
+  return s;
+}
+
+bool SoakScenario::bursting(int cycle) const {
+  const int p = cfg_.period < 1 ? 1 : cfg_.period;
+  return cycle % p < cfg_.burst_len;
+}
+
+std::function<void(mesh::Mesh&)> SoakScenario::refine_marker(
+    int cycle) const {
+  const mesh::Sphere front = front_at(cycle);
+  const int max_level = cfg_.front_max_level;
+  const bool burst = has_burst() && bursting(cycle);
+  const double frac = cfg_.burst_refine_frac;
+  const std::uint64_t seed = hash_combine64(cfg_.seed, 2 * cycle);
+  return [front, max_level, burst, frac, seed](mesh::Mesh& m) {
+    if (front.radius > 0.0) mark_refine_in_sphere(m, front, max_level);
+    if (burst) mark_refine_random(m, frac, seed);
+  };
+}
+
+std::function<void(mesh::Mesh&)> SoakScenario::coarsen_marker(
+    int cycle) const {
+  // The front's wake — everything refined outside the CURRENT sphere,
+  // however long ago the front passed there — relaxes one level per
+  // cycle; bursts coarsen randomly on quiet cycles.  Both only ever
+  // mark refinement-created edges, and together with the front's depth
+  // cap this bounds the mesh at base + one refined sphere however slow
+  // the sweep (coarsening only the previously-visited sphere would
+  // leave a permanent refined trail across the whole domain).
+  const mesh::Sphere cur = front_at(cycle);
+  const bool quiet = has_burst() && !bursting(cycle);
+  const double frac = cfg_.coarsen_frac;
+  const std::uint64_t seed = hash_combine64(cfg_.seed, 2 * cycle + 1);
+  return [cur, quiet, frac, seed](mesh::Mesh& m) {
+    if (cur.radius > 0.0) mark_coarsen_outside_sphere(m, cur);
+    if (quiet) mark_coarsen_random(m, frac, seed);
+  };
+}
+
+const char* SoakScenario::kind_name(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::kFront: return "front";
+    case ScenarioKind::kBurst: return "burst";
+    case ScenarioKind::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+bool SoakScenario::parse_kind(std::string_view s, ScenarioKind* out) {
+  if (s == "front") {
+    *out = ScenarioKind::kFront;
+  } else if (s == "burst") {
+    *out = ScenarioKind::kBurst;
+  } else if (s == "mixed") {
+    *out = ScenarioKind::kMixed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace plum::adapt

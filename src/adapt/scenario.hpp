@@ -1,0 +1,106 @@
+// Scripted soak scenarios: cycle-indexed marker schedules for long
+// adaption runs (`plum soak`, DESIGN.md §16).
+//
+// A soak needs load that *moves* — a static refinement region settles
+// into a fixed partition after one repartition and the balancer (and
+// everything observing it) goes quiet.  The scenarios here script two
+// canonical stress shapes from the soak literature on top of the
+// paper's §10 marking machinery:
+//
+//   front — a spherical refinement front sweeping the domain on a
+//           triangle wave (different period per axis, so the sweep
+//           covers the volume, not one diagonal); each cycle refines
+//           the current sphere and coarsens what the previous one left
+//           behind, so the mesh stays bounded while the load peak
+//           migrates continuously across ranks.
+//   burst — bursty marking: a few cycles of gid-hashed random
+//           refinement per period, then quiet cycles that coarsen the
+//           refined edges back down — the arrival-pattern stress for
+//           rolling-window quantiles and the anomaly sentinel.
+//   mixed — both superimposed.
+//
+// Every marker is a symmetric function of global state (geometry and
+// global ids plus an explicit per-cycle seed), so the §4 shared-edge
+// symmetry holds and the scenarios are safe under --dist-gen where no
+// rank ever sees the global mesh.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "mesh/geometry.hpp"
+#include "mesh/mesh.hpp"
+
+namespace plum::adapt {
+
+enum class ScenarioKind { kFront, kBurst, kMixed };
+
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kFront;
+  /// Cycles per one-way front sweep along x (y and z use 2x and 3x, so
+  /// the sphere traces a volume-filling Lissajous-like path).
+  int period = 32;
+  /// Front sphere radius as a fraction of the domain's shortest side.
+  double front_radius_frac = 0.18;
+  /// Refinement-depth cap inside the front sphere.  The front re-marks
+  /// its interior every cycle, so without a cap a slow front (large
+  /// period relative to the radius) deepens the same elements cycle
+  /// after cycle and the mesh grows without bound — exactly what a
+  /// soak must not do.  At depth 1 every refined parent's children are
+  /// leaves, so the single coarsen pass per cycle fully relaxes the
+  /// wake and the mesh orbits ~1.5x its base size indefinitely; deeper
+  /// fronts relax one level per cycle and equilibrate far larger
+  /// (conformity repair re-refines level transitions), so raise this
+  /// only for stress runs that want a heavy mesh.
+  int front_max_level = 1;
+  /// Burst: per-edge refine probability during burst cycles.
+  double burst_refine_frac = 0.06;
+  /// Burst cycles per period (the rest are quiet/coarsen cycles).
+  int burst_len = 4;
+  /// Per-edge coarsen probability on quiet burst cycles.
+  double coarsen_frac = 0.5;
+  std::uint64_t seed = 0x50a4;
+};
+
+/// Cycle-indexed marker factory.  Construct once from the mesh
+/// specification's domain box (never from a materialized global mesh —
+/// the scenario must work under distributed generation), then ask for
+/// the refine/coarsen markers of each cycle.
+class SoakScenario {
+ public:
+  SoakScenario(const ScenarioConfig& cfg, const mesh::Box& domain);
+
+  /// The front sphere at `cycle` (radius 0 when the scenario has no
+  /// front component).
+  mesh::Sphere front_at(int cycle) const;
+
+  /// Symmetric markers for `cycle`; either may mark nothing.
+  std::function<void(mesh::Mesh&)> refine_marker(int cycle) const;
+  std::function<void(mesh::Mesh&)> coarsen_marker(int cycle) const;
+
+  const ScenarioConfig& config() const { return cfg_; }
+  const mesh::Box& domain() const { return domain_; }
+
+  static const char* kind_name(ScenarioKind k);
+  /// Parses "front" | "burst" | "mixed"; false on anything else.
+  static bool parse_kind(std::string_view s, ScenarioKind* out);
+
+ private:
+  bool has_front() const {
+    return cfg_.kind == ScenarioKind::kFront ||
+           cfg_.kind == ScenarioKind::kMixed;
+  }
+  bool has_burst() const {
+    return cfg_.kind == ScenarioKind::kBurst ||
+           cfg_.kind == ScenarioKind::kMixed;
+  }
+  /// True when `cycle` is inside a burst.
+  bool bursting(int cycle) const;
+
+  ScenarioConfig cfg_;
+  mesh::Box domain_;
+  double radius_ = 0.0;
+};
+
+}  // namespace plum::adapt

@@ -29,22 +29,23 @@ std::uint64_t pair_key(Rank peer, std::int32_t tag) {
 }
 
 /// Per-rank matching tables: for every completion event its FIFO
-/// ordinal among completions of the same (peer, tag), and for every
-/// (dst, tag) the forward-ordered list of send event indices.
+/// ordinal among completions of the same (peer, tag), the per-key
+/// completion totals (for window-end-anchored matching), and for
+/// every (dst, tag) the forward-ordered list of send event indices.
 struct RankIndex {
   std::vector<int> completion_ordinal;  ///< -1 for non-completions
+  std::map<std::uint64_t, int> completion_count;
   std::map<std::uint64_t, std::vector<std::size_t>> sends;
 };
 
 RankIndex build_index(const FlightWindow& w) {
   RankIndex idx;
   idx.completion_ordinal.assign(w.events.size(), -1);
-  std::map<std::uint64_t, int> seen;
   for (std::size_t i = 0; i < w.events.size(); ++i) {
     const WindowEvent& e = w.events[i];
     const std::uint64_t key = pair_key(e.peer, e.tag);
     if (is_completion(e.kind)) {
-      idx.completion_ordinal[i] = seen[key]++;
+      idx.completion_ordinal[i] = idx.completion_count[key]++;
     } else if (is_send(e.kind)) {
       idx.sends[key].push_back(i);
     }
@@ -108,6 +109,32 @@ void emit_local(std::vector<CritSegment>* out_reversed, Rank r,
 
 }  // namespace
 
+FlightWindow capture_flight_window(const simmpi::Comm& comm,
+                                   std::int64_t events_before, double t0_us) {
+  FlightWindow fw;
+  fw.t0_us = t0_us;
+  fw.t1_us = comm.clock().now();
+  const std::int64_t want = comm.flight().total_recorded() - events_before;
+  const std::vector<simmpi::FlightEvent> snap = comm.flight().snapshot();
+  fw.truncated = want > static_cast<std::int64_t>(snap.size());
+  const std::size_t keep =
+      fw.truncated ? snap.size() : static_cast<std::size_t>(want);
+  fw.events.reserve(keep);
+  for (std::size_t i = snap.size() - keep; i < snap.size(); ++i) {
+    const simmpi::FlightEvent& e = snap[i];
+    WindowEvent we;
+    we.ts_us = e.ts_us;
+    we.bytes = e.bytes;
+    we.peer = e.peer;
+    we.tag = e.tag;
+    we.cycle = e.cycle;
+    we.kind = e.kind;
+    we.phase = e.phase;
+    fw.events.push_back(std::move(we));
+  }
+  return fw;
+}
+
 bool CriticalPath::contiguous() const {
   if (!valid) return false;
   if (segments.empty()) return wall_us == 0.0;
@@ -150,7 +177,21 @@ CriticalPath analyze_critical_path(const std::vector<FlightWindow>& windows,
   // Backward walk: segments accumulate newest-first, reversed at the
   // end.  The guard bounds the walk by the total event count — a chain
   // cannot legitimately visit more links than there are events.
+  //
+  // Progress at equal timestamps is by program order: zero-cost hops
+  // (empty payloads) put whole clusters of events on one timestamp, so
+  // a time-ordered scan alone could bounce between two ranks' mutual
+  // completions forever.  Each rank keeps a scan floor — the event
+  // index below its last consumed completion (or the matched send,
+  // when the chain hops away from it) — and causality within a rank is
+  // exactly program order, so restarting scans below the floor loses
+  // no legitimate chain.
   std::vector<CritSegment> rev;
+  std::vector<std::ptrdiff_t> scan_floor;
+  scan_floor.reserve(windows.size());
+  for (const FlightWindow& fw : windows) {
+    scan_floor.push_back(static_cast<std::ptrdiff_t>(fw.events.size()) - 1);
+  }
   Rank r = rc;
   double t = cw.t1_us;
   std::size_t steps = 0;
@@ -162,13 +203,15 @@ CriticalPath analyze_critical_path(const std::vector<FlightWindow>& windows,
     }
     const FlightWindow& w = windows[static_cast<std::size_t>(r)];
     const RankIndex& ri = index[static_cast<std::size_t>(r)];
-    // Latest tight completion in (floor, t]: its timestamp equals the
-    // replayed arrival bit-for-bit, proving the clock was idle-lifted
-    // there and the chain continues on the sender.
+    // Latest tight completion in (floor, t] at or below the scan
+    // floor: its timestamp equals the replayed arrival bit-for-bit,
+    // proving the clock was idle-lifted there and the chain continues
+    // on the sender.
     std::ptrdiff_t hit = -1;
     double send_ts = 0.0;
-    for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(w.events.size()) - 1;
-         i >= 0; --i) {
+    std::size_t send_idx = 0;
+    for (std::ptrdiff_t i = scan_floor[static_cast<std::size_t>(r)]; i >= 0;
+         --i) {
       const WindowEvent& e = w.events[static_cast<std::size_t>(i)];
       if (e.ts_us > t) continue;
       if (e.ts_us <= floor) break;
@@ -180,30 +223,55 @@ CriticalPath analyze_critical_path(const std::vector<FlightWindow>& windows,
       }
       const RankIndex& si = index[static_cast<std::size_t>(s)];
       const auto it = si.sends.find(pair_key(r, e.tag));
-      const int ord = ri.completion_ordinal[static_cast<std::size_t>(i)];
-      if (it == si.sends.end() ||
-          ord >= static_cast<int>(it->second.size())) {
-        // The matching send fell off the sender's ring (or outside its
-        // window): the chain is unprovable past here.
+      if (it == si.sends.end()) {
+        // No send for this (src, tag) survives in the sender's window:
+        // the chain is unprovable past here.
         cp.complete = false;
         continue;
       }
-      const WindowEvent& se =
-          windows[static_cast<std::size_t>(s)]
-              .events[it->second[static_cast<std::size_t>(ord)]];
-      const double arrival = se.ts_us + cost.transfer_us(e.bytes);
-      if (arrival == e.ts_us) {  // exact: the idle-lift signature
-        hit = i;
-        send_ts = se.ts_us;
-        break;
+      const std::vector<std::size_t>& sv = it->second;
+      const std::uint64_t key = pair_key(e.peer, e.tag);
+      const int ord = ri.completion_ordinal[static_cast<std::size_t>(i)];
+      const int n_c = ri.completion_count.at(key);
+      // Candidate sends: the forward FIFO ordinal (windows aligned at
+      // their start), then the window-end-anchored ordinal — when
+      // pre-window traffic on the same channel (e.g. framework setup
+      // before cycle 0) shifts the forward counts, both sides still
+      // agree counted backwards from the end because the channel is
+      // drained by the window close.  Either candidate only matches on
+      // the bit-exact arrival replay, so a wrong pairing cannot slip
+      // into the chain.
+      const int cands[2] = {ord, static_cast<int>(sv.size()) - n_c + ord};
+      bool matched = false;
+      bool slack = false;  // a pairing whose arrival predates the
+                           // completion: an ordinary non-tight receive
+      for (int k = 0; k < 2 && !matched; ++k) {
+        const int cand = cands[k];
+        if (cand < 0 || cand >= static_cast<int>(sv.size())) continue;
+        if (k == 1 && cand == cands[0]) continue;
+        const WindowEvent& se = windows[static_cast<std::size_t>(s)]
+                                    .events[sv[static_cast<std::size_t>(cand)]];
+        const double arrival = se.ts_us + cost.transfer_us(e.bytes);
+        if (arrival == e.ts_us) {  // exact: the idle-lift signature
+          hit = i;
+          send_ts = se.ts_us;
+          send_idx = sv[static_cast<std::size_t>(cand)];
+          matched = true;
+        } else if (arrival < e.ts_us) {
+          slack = true;
+        }
       }
-      if (arrival > e.ts_us) cp.complete = false;  // replay broke
+      if (matched) break;
+      // Not tight and not explainable as a slack receive under either
+      // pairing: the send fell outside the window or the replay broke.
+      if (!slack) cp.complete = false;
     }
     if (hit < 0) {
       emit_local(&rev, r, w, floor, t);
       break;
     }
     const WindowEvent& e = w.events[static_cast<std::size_t>(hit)];
+    scan_floor[static_cast<std::size_t>(r)] = hit - 1;
     emit_local(&rev, r, w, e.ts_us, t);
     CritSegment tr;
     tr.kind = CritSegment::Kind::kTransfer;
@@ -213,13 +281,8 @@ CriticalPath analyze_critical_path(const std::vector<FlightWindow>& windows,
     tr.bytes = e.bytes;
     tr.t_end_us = e.ts_us;
     // The sender's phase at post time labels the transfer.
-    const RankIndex& si = index[static_cast<std::size_t>(e.peer)];
-    const auto it = si.sends.find(pair_key(r, e.tag));
-    const int ord = ri.completion_ordinal[static_cast<std::size_t>(hit)];
-    const WindowEvent& se =
-        windows[static_cast<std::size_t>(e.peer)]
-            .events[it->second[static_cast<std::size_t>(ord)]];
-    tr.phase = se.phase;
+    tr.phase =
+        windows[static_cast<std::size_t>(e.peer)].events[send_idx].phase;
     if (send_ts <= floor) {
       tr.t_begin_us = floor;  // chain predates the critical window
       rev.push_back(std::move(tr));
@@ -227,6 +290,9 @@ CriticalPath analyze_critical_path(const std::vector<FlightWindow>& windows,
     }
     tr.t_begin_us = send_ts;
     rev.push_back(std::move(tr));
+    scan_floor[static_cast<std::size_t>(e.peer)] =
+        std::min(scan_floor[static_cast<std::size_t>(e.peer)],
+                 static_cast<std::ptrdiff_t>(send_idx) - 1);
     r = e.peer;
     t = send_ts;
   }
@@ -267,6 +333,7 @@ std::vector<FlightWindow> gather_windows(const FlightWindow& mine,
     w.put(e.bytes);
     w.put(e.peer);
     w.put(e.tag);
+    w.put(e.cycle);
     w.put<std::uint8_t>(static_cast<std::uint8_t>(e.kind));
     w.put_string(e.phase);
   }
@@ -288,6 +355,7 @@ std::vector<FlightWindow> gather_windows(const FlightWindow& mine,
       e.bytes = r.get<std::int64_t>();
       e.peer = r.get<Rank>();
       e.tag = r.get<std::int32_t>();
+      e.cycle = r.get<std::int32_t>();
       e.kind = static_cast<FlightKind>(r.get<std::uint8_t>());
       e.phase = r.get_string();
       fw.events.push_back(std::move(e));

@@ -46,19 +46,31 @@ struct WindowEvent {
   std::int64_t bytes = 0;
   Rank peer = kNoRank;
   std::int32_t tag = 0;
+  std::int32_t cycle = -1;  ///< adaption cycle stamp (-1 outside cycles)
   simmpi::FlightKind kind = simmpi::FlightKind::kSend;
   std::string phase;
 };
 
-/// The slice of one rank's flight recorder covering one migration.
+/// The slice of one rank's flight recorder covering one analysis
+/// window — a migration (PR 8) or a whole adaption cycle.
 struct FlightWindow {
-  double t0_us = 0.0;  ///< migrate entry (this rank's clock)
-  double t1_us = 0.0;  ///< migrate exit (this rank's clock)
+  double t0_us = 0.0;  ///< window entry (this rank's clock)
+  double t1_us = 0.0;  ///< window exit (this rank's clock)
   /// True when the ring overwrote events from inside the window (cap
   /// too small) — the analyzer then reports complete=false.
   bool truncated = false;
   std::vector<WindowEvent> events;
 };
+
+/// Copies the flight events recorded on `comm` since `events_before`
+/// (a total_recorded() reading taken at the window entry) into a
+/// window [t0_us, now].  Call with no clock activity between the last
+/// timing read and this call so t1_us lands on the same double as the
+/// measured wall — that is what makes the analyzer's reconciliation an
+/// exact equality, not a tolerance.  Sets `truncated` when the ring
+/// overwrote events from inside the window.
+FlightWindow capture_flight_window(const simmpi::Comm& comm,
+                                   std::int64_t events_before, double t0_us);
 
 /// One chronological slice of the critical path.
 struct CritSegment {

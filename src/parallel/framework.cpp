@@ -52,6 +52,7 @@ PlumFramework::PlumFramework(simmpi::Comm* comm, DistMesh dm,
 }
 
 void PlumFramework::bind_stats() {
+  cycle_win_ = stats::WindowedHistogram(cfg_.stats_window);
   if (cfg_.stats == nullptr) return;
   stats::Registry& reg = *cfg_.stats;
   stats_.cycle_us = &reg.histogram("cycle_us");
@@ -80,8 +81,12 @@ void PlumFramework::record_cycle_stats(const CycleStats& stats,
     stats_.bytes_shipped->add(stats.migration.bytes_sent);
     stats_.imbalance_after->set(imb_after);
   }
+  cycle_win_.record_us(cycle_span_us);
   // One line per cycle from rank 0 (PLUM_LOG=info).  Local (rank-0)
-  // durations, not reduced — the line must stay collective-free.
+  // durations, not reduced — the line must stay collective-free.  The
+  // quantile is windowed (newest cfg.stats_window cycles), not the
+  // running-forever one: a soak that degrades in hour three must show
+  // it in the line, not average it away.
   if (comm_->rank() == 0 && log_enabled(LogLevel::kInfo)) {
     std::ostringstream os;
     os << "cycle " << cycle_idx << ": imb "
@@ -90,9 +95,9 @@ void PlumFramework::record_cycle_stats(const CycleStats& stats,
        << " elems (planned), migrate "
        << stats.migration.elapsed_us / 1000.0 << " ms, cycle "
        << cycle_span_us / 1000.0 << " ms";
-    if (cfg_.stats != nullptr && stats_.cycle_us->count() > 0) {
-      os << ", cycle p99 so far "
-         << static_cast<double>(stats_.cycle_us->quantile(0.99)) / 1000.0
+    if (cycle_win_.count() > 0) {
+      os << ", cycle p99(w=" << cfg_.stats_window << ") "
+         << static_cast<double>(cycle_win_.quantile(0.99)) / 1000.0
          << " ms";
     }
     PLUM_LOG_INFO(os.str());
@@ -268,6 +273,12 @@ CycleStats PlumFramework::cycle(
     const std::function<void(mesh::Mesh&)>& mark_coarsen) {
   CycleStats stats;
   const int cycle_idx = cycle_seq_++;
+  // Stamp the cycle index into the tracer's always-on state so every
+  // flight event recorded from here on is cycle-addressable (evidence
+  // dumps, deadlock reports).
+  comm_->tracer().set_cycle(cycle_idx);
+  const std::int64_t flight_n0 =
+      cfg_.record_timeline ? comm_->flight().total_recorded() : 0;
   const double t_cycle0 = comm_->clock().now();
 
   // Flow solution.
@@ -291,11 +302,21 @@ CycleStats PlumFramework::cycle(
   }
 
   record_cycle_stats(stats, comm_->clock().now() - t_cycle0, cycle_idx);
-  if (cfg_.record_timeline) record_sample(stats, t_cycle0, cycle_idx);
+  if (cfg_.record_timeline) {
+    // The whole-cycle flight window must be captured before
+    // record_sample's own collectives hit the clock and the ring:
+    // record_cycle_stats above is collective-free and clock-neutral, so
+    // t1 lands on the same double as the cycle span — the whole-cycle
+    // critical path then reconciles exactly.
+    record_sample(stats, capture_flight_window(*comm_, flight_n0, t_cycle0),
+                  cycle_idx);
+  }
+  comm_->tracer().set_cycle(-1);
   return stats;
 }
 
-void PlumFramework::record_sample(const CycleStats& stats, double t_cycle0,
+void PlumFramework::record_sample(const CycleStats& stats,
+                                  const FlightWindow& cycle_window,
                                   int cycle_idx) {
   // Collective: a few extra allreduces, which is why the timeline is
   // opt-in.  Every gauge is globally reduced, so all ranks append the
@@ -334,7 +355,11 @@ void PlumFramework::record_sample(const CycleStats& stats, double t_cycle0,
   s.adapt_us = comm_->allreduce_max(stats.refine.elapsed_us +
                                     stats.coarsen.elapsed_us);
   s.reassignment_us = comm_->allreduce_max(stats.reassignment_us);
-  s.cycle_us = comm_->allreduce_max(comm_->clock().now() - t_cycle0);
+  // The cycle wall is the max over ranks of the pre-collective window
+  // span — the same doubles the whole-cycle analyzer picks its
+  // critical rank from, so the reconciliation below is exact equality.
+  s.cycle_us =
+      comm_->allreduce_max(cycle_window.t1_us - cycle_window.t0_us);
   // Critical path of the cycle's migration: every rank contributes its
   // flight window, rank 0 analyzes, and the result is broadcast so all
   // ranks append the identical sample.  `accepted` is replicated, so
@@ -356,6 +381,28 @@ void PlumFramework::record_sample(const CycleStats& stats, double t_cycle0,
                    "critical path wall "
                        << s.critpath.wall_us << " != migrate wall "
                        << s.migrate_wall_us);
+  }
+  // Whole-cycle critical path: same gather/analyze/broadcast shape, on
+  // the cycle window instead of the migrate window, so the chain runs
+  // through solve, adapt, weights, balance, and migrate — including
+  // every collective's internal p2p hops.  Its wall must tile to
+  // exactly the cycle_us reduced above.
+  if (comm_->size() > 1) {
+    const std::vector<FlightWindow> wins =
+        gather_windows(cycle_window, comm_, 0);
+    Bytes ser;
+    if (comm_->rank() == 0) {
+      ser = serialize_critical_path(
+          analyze_critical_path(wins, comm_->cost()));
+    }
+    ser = comm_->broadcast(std::move(ser), 0);
+    s.cycle_critpath = deserialize_critical_path(ser);
+    PLUM_CHECK_MSG(!s.cycle_critpath.valid ||
+                       (s.cycle_critpath.wall_us == s.cycle_us &&
+                        s.cycle_critpath.contiguous()),
+                   "whole-cycle critical path wall "
+                       << s.cycle_critpath.wall_us << " != cycle wall "
+                       << s.cycle_us << " at cycle " << cycle_idx);
   }
   timeline_.cycles.push_back(s);
 }

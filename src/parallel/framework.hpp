@@ -21,14 +21,8 @@
 #include "parallel/parallel_adapt.hpp"
 #include "parallel/timeline.hpp"
 #include "simmpi/comm.hpp"
+#include "simmpi/stats.hpp"
 #include "solver/flow_solver.hpp"
-
-namespace plum::stats {
-class Registry;
-class Counter;
-class Gauge;
-class Histogram;
-}  // namespace plum::stats
 
 namespace plum::parallel {
 
@@ -59,6 +53,10 @@ struct FrameworkConfig {
   /// The caller owns the registry (one per rank) and typically folds
   /// them with stats::reduce_to_root() per cycle or at run end.
   stats::Registry* stats = nullptr;
+  /// Width (in cycles) of the rolling window behind the rank-0 info
+  /// log's "p99(w=N)" cycle latency — a windowed quantile, not the
+  /// running-forever one, so drift late in a soak is visible.
+  int stats_window = 64;
 };
 
 /// Everything one solve->adapt->balance cycle produced.
@@ -132,7 +130,11 @@ class PlumFramework {
 
   /// Appends one globally-reduced CycleSample to timeline_ (collective;
   /// called from cycle() only when cfg.record_timeline).
-  void record_sample(const CycleStats& stats, double t_cycle0,
+  /// `cycle_window` is this rank's whole-cycle flight window, captured
+  /// before any of this function's collectives so its span IS the
+  /// rank's cycle wall — the whole-cycle critical path reconciles
+  /// exactly against allreduce_max of those spans.
+  void record_sample(const CycleStats& stats, const FlightWindow& cycle_window,
                      int cycle_idx);
 
   /// Caches registry handles once so the per-cycle hot path records
@@ -175,6 +177,9 @@ class PlumFramework {
   Timeline timeline_;
   int cycle_seq_ = 0;
   StatsHandles stats_;
+  /// Rolling window behind the info log's windowed p99 (local to this
+  /// rank; only rank 0's is ever printed).  Sized by cfg_.stats_window.
+  stats::WindowedHistogram cycle_win_;
 };
 
 }  // namespace plum::parallel

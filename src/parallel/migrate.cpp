@@ -576,29 +576,9 @@ MigrationResult migrate(DistMesh* dm, simmpi::Comm* comm,
   result.elapsed_us = comm->clock().now() - t0;
 
   if (opt.capture_flight) {
-    FlightWindow& fw = result.flight_window;
-    fw.t0_us = t0;
-    // No clock activity since the elapsed_us read, so this endpoint is
-    // the same double — the analyzer's wall reconciles exactly.
-    fw.t1_us = comm->clock().now();
-    const std::int64_t want = comm->flight().total_recorded() - flight_n0;
-    const std::vector<simmpi::FlightEvent> snap = comm->flight().snapshot();
-    fw.truncated = want > static_cast<std::int64_t>(snap.size());
-    const std::size_t keep = fw.truncated
-                                 ? snap.size()
-                                 : static_cast<std::size_t>(want);
-    fw.events.reserve(keep);
-    for (std::size_t i = snap.size() - keep; i < snap.size(); ++i) {
-      const simmpi::FlightEvent& e = snap[i];
-      WindowEvent we;
-      we.ts_us = e.ts_us;
-      we.bytes = e.bytes;
-      we.peer = e.peer;
-      we.tag = e.tag;
-      we.kind = e.kind;
-      we.phase = e.phase;
-      fw.events.push_back(std::move(we));
-    }
+    // No clock activity since the elapsed_us read, so the window's t1
+    // is the same double — the analyzer's wall reconciles exactly.
+    result.flight_window = capture_flight_window(*comm, flight_n0, t0);
   }
   return result;
 }

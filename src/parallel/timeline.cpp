@@ -1,8 +1,69 @@
 #include "parallel/timeline.hpp"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "support/json.hpp"
 
 namespace plum::parallel {
+
+void append_critpath_json(JsonWriter& w, const char* key,
+                          const CriticalPath& cp) {
+  w.key(key);
+  w.begin_object();
+  w.key("valid");
+  w.value(cp.valid);
+  w.key("complete");
+  w.value(cp.complete);
+  w.key("critical_rank");
+  w.value(static_cast<std::int64_t>(cp.critical_rank));
+  w.key("wall_us");
+  w.value(cp.wall_us);
+  w.key("local_us");
+  w.value(cp.local_us);
+  w.key("transfer_us");
+  w.value(cp.transfer_us);
+  w.key("top_phase");
+  w.value(cp.top_phase);
+  w.key("phases");
+  w.begin_array();
+  for (const CritPhaseShare& p : cp.phases) {
+    w.begin_object();
+    w.key("phase");
+    w.value(p.phase);
+    w.key("local_us");
+    w.value(p.local_us);
+    w.key("transfer_us");
+    w.value(p.transfer_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("segments");
+  w.begin_array();
+  for (const CritSegment& seg : cp.segments) {
+    w.begin_object();
+    w.key("kind");
+    w.value(seg.kind == CritSegment::Kind::kTransfer ? "transfer"
+                                                     : "local");
+    w.key("rank");
+    w.value(static_cast<std::int64_t>(seg.rank));
+    w.key("src");
+    w.value(static_cast<std::int64_t>(seg.src));
+    w.key("tag");
+    w.value(static_cast<std::int64_t>(seg.tag));
+    w.key("bytes");
+    w.value(seg.bytes);
+    w.key("t_begin_us");
+    w.value(seg.t_begin_us);
+    w.key("t_end_us");
+    w.value(seg.t_end_us);
+    w.key("phase");
+    w.value(seg.phase);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
 
 std::string timeline_json(const Timeline& tl,
                           const simmpi::MachineReport& report) {
@@ -55,82 +116,66 @@ std::string timeline_json(const Timeline& tl,
     w.value(s.reassignment_us);
     w.key("cycle_us");
     w.value(s.cycle_us);
-    w.key("critpath");
-    w.begin_object();
-    w.key("valid");
-    w.value(s.critpath.valid);
-    w.key("complete");
-    w.value(s.critpath.complete);
-    w.key("critical_rank");
-    w.value(static_cast<std::int64_t>(s.critpath.critical_rank));
-    w.key("wall_us");
-    w.value(s.critpath.wall_us);
-    w.key("local_us");
-    w.value(s.critpath.local_us);
-    w.key("transfer_us");
-    w.value(s.critpath.transfer_us);
-    w.key("top_phase");
-    w.value(s.critpath.top_phase);
-    w.key("phases");
-    w.begin_array();
-    for (const CritPhaseShare& p : s.critpath.phases) {
-      w.begin_object();
-      w.key("phase");
-      w.value(p.phase);
-      w.key("local_us");
-      w.value(p.local_us);
-      w.key("transfer_us");
-      w.value(p.transfer_us);
-      w.end_object();
-    }
-    w.end_array();
-    w.key("segments");
-    w.begin_array();
-    for (const CritSegment& seg : s.critpath.segments) {
-      w.begin_object();
-      w.key("kind");
-      w.value(seg.kind == CritSegment::Kind::kTransfer ? "transfer"
-                                                       : "local");
-      w.key("rank");
-      w.value(static_cast<std::int64_t>(seg.rank));
-      w.key("src");
-      w.value(static_cast<std::int64_t>(seg.src));
-      w.key("tag");
-      w.value(static_cast<std::int64_t>(seg.tag));
-      w.key("bytes");
-      w.value(seg.bytes);
-      w.key("t_begin_us");
-      w.value(seg.t_begin_us);
-      w.key("t_end_us");
-      w.value(seg.t_end_us);
-      w.key("phase");
-      w.value(seg.phase);
-      w.end_object();
-    }
-    w.end_array();
-    w.end_object();
+    append_critpath_json(w, "critpath", s.critpath);
+    append_critpath_json(w, "cycle_critpath", s.cycle_critpath);
     w.end_object();
   }
   w.end_array();
 
-  // PxP traffic: row = source rank's per-destination counters for the
-  // whole run (CommStats is cumulative).
+  // Per-peer traffic, sparse top-k encoding: each source rank lists its
+  // kTrafficTopK heaviest destinations (by bytes, then lowest rank) and
+  // folds the remainder into rest_bytes/rest_msgs, so the document is
+  // O(P * k) instead of the O(P^2) dense matrix that dominated file
+  // size at P >= 64.  Totals are preserved exactly: row sums equal the
+  // dense matrix's row sums.  Rows with no traffic are omitted.
   w.key("traffic");
   w.begin_object();
-  w.key("bytes");
+  w.key("encoding");
+  w.value("topk");
+  w.key("k");
+  w.value(static_cast<std::int64_t>(kTrafficTopK));
+  w.key("rows");
   w.begin_array();
-  for (const auto& r : report.ranks) {
+  for (std::size_t src = 0; src < report.ranks.size(); ++src) {
+    const auto& st = report.ranks[src].stats;
+    std::vector<std::size_t> order;
+    for (std::size_t dst = 0; dst < st.bytes_to.size(); ++dst) {
+      if (st.bytes_to[dst] != 0 || st.msgs_to[dst] != 0) order.push_back(dst);
+    }
+    if (order.empty()) continue;
+    std::sort(order.begin(), order.end(),
+              [&st](std::size_t a, std::size_t b) {
+                if (st.bytes_to[a] != st.bytes_to[b]) {
+                  return st.bytes_to[a] > st.bytes_to[b];
+                }
+                return a < b;
+              });
+    const std::size_t keep = std::min(order.size(), kTrafficTopK);
+    w.begin_object();
+    w.key("src");
+    w.value(static_cast<std::int64_t>(src));
+    w.key("peers");
     w.begin_array();
-    for (const std::int64_t b : r.stats.bytes_to) w.value(b);
+    for (std::size_t i = 0; i < keep; ++i) {
+      const std::size_t dst = order[i];
+      w.begin_array();
+      w.value(static_cast<std::int64_t>(dst));
+      w.value(st.bytes_to[dst]);
+      w.value(st.msgs_to[dst]);
+      w.end_array();
+    }
     w.end_array();
-  }
-  w.end_array();
-  w.key("msgs");
-  w.begin_array();
-  for (const auto& r : report.ranks) {
-    w.begin_array();
-    for (const std::int64_t m : r.stats.msgs_to) w.value(m);
-    w.end_array();
+    std::int64_t rest_bytes = 0;
+    std::int64_t rest_msgs = 0;
+    for (std::size_t i = keep; i < order.size(); ++i) {
+      rest_bytes += st.bytes_to[order[i]];
+      rest_msgs += st.msgs_to[order[i]];
+    }
+    w.key("rest_bytes");
+    w.value(rest_bytes);
+    w.key("rest_msgs");
+    w.value(rest_msgs);
+    w.end_object();
   }
   w.end_array();
   w.end_object();

@@ -10,16 +10,24 @@
 // time), which is exactly the comparison §8's accept/reject test rides
 // on: a drifting prediction column is a cost-model bug made visible.
 //
-// The document also embeds the run's PxP traffic matrix so `plum
-// report` can render the heatmap without a second input file.
+// The document also embeds the run's per-peer traffic so `plum report`
+// can render the heatmap without a second input file — as a sparse
+// top-k encoding (kTrafficTopK heaviest destinations per source plus a
+// "rest" aggregate), so the document stays O(P * k) where the dense
+// PxP matrix would dominate file size at P >= 64.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "parallel/critpath.hpp"
 #include "simmpi/machine.hpp"
+
+namespace plum {
+class JsonWriter;  // support/json.hpp
+}  // namespace plum
 
 namespace plum::parallel {
 
@@ -64,11 +72,29 @@ struct CycleSample {
   /// at rank 0 and broadcast so every rank holds the identical sample.
   /// valid == false when the cycle migrated nothing or P == 1.
   CriticalPath critpath;
+  /// Critical path of the WHOLE cycle DAG — solve, adapt, weights,
+  /// balance, and migrate chained through every p2p and collective hop.
+  /// Its wall reconciles exactly with cycle_us (PLUM_CHECKed): the
+  /// segments tile [t0, t1] of the wall-setting rank's cycle window.
+  /// valid == false at P == 1.
+  CriticalPath cycle_critpath;
 };
 
 struct Timeline {
   std::vector<CycleSample> cycles;
 };
+
+/// Destinations kept verbatim per source row in the sparse traffic
+/// encoding; everything past the k heaviest folds into rest_bytes /
+/// rest_msgs (totals preserved exactly).
+inline constexpr std::size_t kTrafficTopK = 8;
+
+/// Appends `cp` as one JSON object member under `key` — the shared
+/// emitter behind the timeline's "critpath"/"cycle_critpath" members
+/// and `plum soak`'s evidence dumps, so every consumer parses one
+/// layout.
+void append_critpath_json(JsonWriter& w, const char* key,
+                          const CriticalPath& cp);
 
 /// Renders the timeline (plus the report's traffic matrix) as a JSON
 /// document:

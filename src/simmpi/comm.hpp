@@ -230,7 +230,7 @@ class Comm {
   void flight_record(FlightKind kind, FlightOp op, Rank peer, int tag,
                      std::int64_t bytes) {
     flight_.record(kind, op, peer, tag, bytes, clock_.now(),
-                   tracer_.current_phase());
+                   tracer_.current_phase(), tracer_.current_cycle());
   }
 
   /// RAII begin/end pair for collective flight events.

@@ -123,19 +123,23 @@ const char* FlightRecorder::op_name(FlightOp op) {
 namespace {
 
 void append_event_line(std::string& out, const FlightEvent& e) {
+  char cyc[24] = "";
+  if (e.cycle >= 0) {
+    std::snprintf(cyc, sizeof(cyc), " cycle=%d", static_cast<int>(e.cycle));
+  }
   char line[256];
   if (e.kind == FlightKind::kCollBegin || e.kind == FlightKind::kCollEnd) {
     std::snprintf(line, sizeof(line),
-                  "  [%14.3f us] %-10s %-10s tag=%d bytes=%lld phase=%s\n",
+                  "  [%14.3f us] %-10s %-10s tag=%d bytes=%lld phase=%s%s\n",
                   e.ts_us, FlightRecorder::kind_name(e.kind),
                   FlightRecorder::op_name(e.op), e.tag,
-                  static_cast<long long>(e.bytes), e.phase);
+                  static_cast<long long>(e.bytes), e.phase, cyc);
   } else {
     std::snprintf(line, sizeof(line),
-                  "  [%14.3f us] %-10s peer=%d tag=%d bytes=%lld phase=%s\n",
+                  "  [%14.3f us] %-10s peer=%d tag=%d bytes=%lld phase=%s%s\n",
                   e.ts_us, FlightRecorder::kind_name(e.kind),
                   static_cast<int>(e.peer), e.tag,
-                  static_cast<long long>(e.bytes), e.phase);
+                  static_cast<long long>(e.bytes), e.phase, cyc);
   }
   out += line;
 }

@@ -91,6 +91,7 @@ struct FlightEvent {
   const char* phase = "";   ///< innermost phase name (static literal)
   Rank peer = kNoRank;      ///< src/dst rank (kNoRank for collectives)
   std::int32_t tag = 0;
+  std::int32_t cycle = -1;  ///< adaption cycle index (-1 outside cycles)
   FlightKind kind = FlightKind::kSend;
   FlightOp op = FlightOp::kNone;
 };
@@ -121,9 +122,12 @@ class FlightRecorder {
   }
 
   /// O(1) and allocation-free after the first event; overwrites the
-  /// oldest event once the ring is full.
+  /// oldest event once the ring is full.  `cycle` is the adaption cycle
+  /// index the owning rank is in (-1 outside any cycle) — it makes
+  /// evidence dumps and deadlock reports cycle-addressable.
   void record(FlightKind kind, FlightOp op, Rank peer, std::int32_t tag,
-              std::int64_t bytes, double ts_us, const char* phase) {
+              std::int64_t bytes, double ts_us, const char* phase,
+              std::int32_t cycle = -1) {
     std::lock_guard<std::mutex> lock(mu_);
     if (ring_.empty()) ring_.resize(capacity_);
     FlightEvent& e = ring_[static_cast<std::size_t>(count_ % ring_.size())];
@@ -132,6 +136,7 @@ class FlightRecorder {
     e.phase = phase;
     e.peer = peer;
     e.tag = tag;
+    e.cycle = cycle;
     e.kind = kind;
     e.op = op;
     ++count_;

@@ -142,6 +142,13 @@ class Tracer {
     return name_stack_[d - 1];
   }
 
+  /// Always-on adaption-cycle stamp, maintained like the phase-name
+  /// stack: the framework sets it at cycle entry and clears it (-1) at
+  /// exit, and the flight recorder copies it into every event so dumps
+  /// and deadlock reports are cycle-addressable.
+  void set_cycle(std::int32_t cycle) { cycle_ = cycle; }
+  std::int32_t current_cycle() const { return cycle_; }
+
   /// Flushes the unattributed tail into the deepest still-open phase
   /// (normally the root), closes any events left open by an unwind, and
   /// returns the collected data.  The tracer is left empty.
@@ -178,6 +185,7 @@ class Tracer {
   static constexpr int kMaxNameDepth = 16;
   const char* name_stack_[kMaxNameDepth] = {};
   int name_depth_ = 0;
+  std::int32_t cycle_ = -1;
 
   std::vector<Node> nodes_;          // [0] is the root
   std::vector<std::uint32_t> stack_; // innermost last; [0] is the root

@@ -1,0 +1,57 @@
+#include "simmpi/sentinel.hpp"
+
+namespace plum::stats {
+
+std::vector<Anomaly> AnomalySentinel::observe(const CycleObservation& o) {
+  std::vector<Anomaly> out;
+
+  // Pre-record readings: the spike check must compare against the
+  // history, not against a window the spike itself already inflated.
+  const std::int64_t p50_before =
+      lat_win_.count() > 0 ? lat_win_.quantile(0.50) : 0;
+  const bool was_armed = armed();
+
+  lat_win_.record_us(o.cycle_us);
+  imb_win_.record(static_cast<std::int64_t>(o.imbalance * kFixedPoint + 0.5));
+  ovl_win_.record(
+      static_cast<std::int64_t>(o.overlap_ratio * kFixedPoint + 0.5));
+  ++seen_;
+
+  if (!was_armed) return out;
+  if (static_cast<std::int64_t>(o.cycle) < quiet_until_) return out;
+
+  if (cfg_.spike_factor > 0.0 && p50_before > 0) {
+    const double limit = cfg_.spike_factor * static_cast<double>(p50_before);
+    if (o.cycle_us > limit) {
+      out.push_back({o.cycle, "latency_spike", o.cycle_us, limit});
+    }
+  }
+  if (cfg_.max_p99_cycle_us > 0.0) {
+    const double p99 = static_cast<double>(lat_win_.quantile(0.99));
+    if (p99 > cfg_.max_p99_cycle_us) {
+      out.push_back({o.cycle, "p99_slo", p99, cfg_.max_p99_cycle_us});
+    }
+  }
+  if (cfg_.max_imbalance > 0.0 && o.imbalance > cfg_.max_imbalance) {
+    out.push_back({o.cycle, "imbalance_slo", o.imbalance, cfg_.max_imbalance});
+  }
+  if (cfg_.max_overlap_ratio > 0.0 &&
+      o.overlap_ratio > cfg_.max_overlap_ratio) {
+    out.push_back(
+        {o.cycle, "overlap_slo", o.overlap_ratio, cfg_.max_overlap_ratio});
+  }
+
+  if (!out.empty()) {
+    ++trips_;
+    quiet_until_ = static_cast<std::int64_t>(o.cycle) + cfg_.cooldown;
+    for (const Anomaly& a : out) {
+      if (history_.size() >= kHistoryCap) {
+        history_.erase(history_.begin());
+      }
+      history_.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace plum::stats

@@ -1,0 +1,116 @@
+// Online anomaly sentinel for long soaks (DESIGN.md §16).
+//
+// The sentinel watches the per-cycle observability gauges — cycle wall
+// latency, post-balance imbalance, migrate overlap ratio — against
+// configurable SLO thresholds, over the same rolling windows the soak
+// stream reports.  It is a pure deterministic function of its
+// observation sequence: every input is a globally-reduced (replicated)
+// value, so P identical instances fed the same sequence reach the same
+// verdict on every cycle.  That replication is the design point — when
+// a trip fires, every rank knows it simultaneously, and the evidence
+// gather (flight windows, critical path) can be collective without any
+// extra agreement round.
+//
+// Memory is O(window + history cap), independent of run length: the
+// rolling windows are WindowedHistogram rings and the anomaly history
+// is bounded — telemetry must obey the same no-growth discipline as
+// the data structures it watches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "simmpi/stats.hpp"
+
+namespace plum::stats {
+
+/// SLO thresholds and sentinel pacing.  Absolute ceilings are OFF when
+/// <= 0; the relative spike detector is on by default (the one check
+/// that needs no per-deployment calibration).
+struct SloConfig {
+  /// Rolling-window width, in cycles, for windowed quantiles.
+  int window = 64;
+  /// Observations before the sentinel arms — the first cycles of a run
+  /// (mesh warm-up, first repartition) are legitimately atypical.
+  int warmup = 16;
+  /// Cycles a trip silences further trips: one incident, one dump.
+  int cooldown = 32;
+  /// Relative spike: trip when cycle_us > spike_factor * windowed
+  /// median of the cycles before it.  0 disables.
+  double spike_factor = 3.0;
+  /// Absolute ceiling on the windowed p99 cycle latency (µs).
+  double max_p99_cycle_us = 0.0;
+  /// Absolute ceiling on post-balance imbalance.
+  double max_imbalance = 0.0;
+  /// Absolute ceiling on the migrate overlap ratio.
+  double max_overlap_ratio = 0.0;
+};
+
+/// One cycle's replicated gauges, as fed to every rank's sentinel.
+struct CycleObservation {
+  int cycle = 0;
+  double cycle_us = 0.0;       ///< allreduce_max over ranks
+  double imbalance = 0.0;      ///< post-balance W_max/W_avg (replicated)
+  double overlap_ratio = 0.0;  ///< migrate wall / Σ phase maxima
+};
+
+/// One tripped check.
+struct Anomaly {
+  int cycle = -1;
+  /// "latency_spike" | "p99_slo" | "imbalance_slo" | "overlap_slo".
+  std::string kind;
+  double value = 0.0;      ///< the observed metric
+  double threshold = 0.0;  ///< the limit it crossed
+};
+
+class AnomalySentinel {
+ public:
+  /// Retained anomaly records; older ones age out (the NDJSON stream
+  /// and evidence dumps are the durable log).
+  static constexpr std::size_t kHistoryCap = 64;
+
+  explicit AnomalySentinel(const SloConfig& cfg = {})
+      : cfg_(cfg),
+        lat_win_(cfg.window),
+        imb_win_(cfg.window),
+        ovl_win_(cfg.window) {}
+
+  /// Feeds one cycle and returns the anomalies it tripped (empty =
+  /// healthy, still warming up, or in cooldown).  The spike check
+  /// compares against the window *before* this observation is folded
+  /// in, so a spike cannot mask itself by dragging the median up.
+  std::vector<Anomaly> observe(const CycleObservation& o);
+
+  bool armed() const { return seen_ >= static_cast<std::int64_t>(cfg_.warmup); }
+  /// Cycles that tripped at least one check (cooldown-suppressed
+  /// repeats not counted).
+  std::int64_t trips() const { return trips_; }
+  std::int64_t observed() const { return seen_; }
+  const SloConfig& config() const { return cfg_; }
+  const std::vector<Anomaly>& history() const { return history_; }
+
+  /// The rolling latency window (for the soak stream's windowed
+  /// quantiles — one ring serves both reporter and sentinel).
+  const WindowedHistogram& latency_window() const { return lat_win_; }
+  const WindowedHistogram& imbalance_window() const { return imb_win_; }
+  const WindowedHistogram& overlap_window() const { return ovl_win_; }
+
+  /// Fixed-point scale for the double-valued gauges (imbalance,
+  /// overlap) stored in integer histograms.
+  static constexpr double kFixedPoint = 1e6;
+
+ private:
+  SloConfig cfg_;
+  WindowedHistogram lat_win_;
+  WindowedHistogram imb_win_;  ///< imbalance × kFixedPoint
+  WindowedHistogram ovl_win_;  ///< overlap_ratio × kFixedPoint
+  std::int64_t seen_ = 0;
+  std::int64_t trips_ = 0;
+  /// First cycle index at which trips are audible again.
+  std::int64_t quiet_until_ = std::numeric_limits<std::int64_t>::min();
+  std::vector<Anomaly> history_;
+};
+
+}  // namespace plum::stats

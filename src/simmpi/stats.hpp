@@ -127,6 +127,84 @@ class Histogram {
   std::int64_t max_ = 0;
 };
 
+/// Rolling-window histogram: a ring of `slots` mergeable Histogram
+/// snapshots covering approximately the newest `window` samples.
+///
+/// Each slot accumulates up to ceil(window / slots) samples; when it
+/// fills, the ring advances and the oldest slot is cleared.  The
+/// windowed view is the exact element-wise merge of every retained
+/// slot, so windowed quantiles inherit all of Histogram's properties
+/// (integer-exact, merge-order independent) and the retained sample set
+/// is fully deterministic: after N records the view holds the samples
+/// with indices [slot_floor(N), N) where slot_floor rounds down to the
+/// ring's oldest retained slot boundary — between window - slot_cap + 1
+/// and window samples once warm.  Memory is O(slots * buckets),
+/// independent of run length, rank count, and sample magnitude — the
+/// Schornbaum-Rüde telemetry discipline applied to quantiles.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(int window = 64, int slots = 8) {
+    const int s = slots < 1 ? 1 : slots;
+    const int w = window < 1 ? 1 : window;
+    slots_.resize(static_cast<std::size_t>(s));
+    slot_cap_ = (w + s - 1) / s;
+  }
+
+  void record(std::int64_t v) {
+    // Rotate lazily, on the record that overflows the current slot, so
+    // the window holds exactly `window` samples at a slot boundary.
+    if (slots_[static_cast<std::size_t>(cur_)].count() >= slot_cap_) {
+      cur_ = (cur_ + 1) % static_cast<std::int64_t>(slots_.size());
+      slots_[static_cast<std::size_t>(cur_)].reset();
+    }
+    slots_[static_cast<std::size_t>(cur_)].record(v);
+    ++total_;
+    dirty_ = true;
+  }
+  void record_us(double us) {
+    record(us <= 0.0 ? 0 : static_cast<std::int64_t>(us + 0.5));
+  }
+
+  /// The merged windowed view (rebuilt lazily; O(slots * buckets)).
+  const Histogram& window() const {
+    if (dirty_) {
+      merged_.reset();
+      for (const Histogram& h : slots_) merged_.merge(h);
+      dirty_ = false;
+    }
+    return merged_;
+  }
+
+  std::int64_t quantile(double p) const { return window().quantile(p); }
+  /// Samples currently retained in the window.
+  std::int64_t count() const { return window().count(); }
+  /// Lifetime samples recorded (retained or rotated out).
+  std::int64_t total_count() const { return total_; }
+  /// Index of the oldest retained sample: samples [window_floor(),
+  /// total_count()) are exactly what window() aggregates.  This is what
+  /// an offline oracle replays to cross-check windowed quantiles.
+  std::int64_t window_floor() const { return total_ - window().count(); }
+  std::int64_t slot_capacity() const { return slot_cap_; }
+  std::int64_t slot_count() const {
+    return static_cast<std::int64_t>(slots_.size());
+  }
+
+  void reset() {
+    for (Histogram& h : slots_) h.reset();
+    cur_ = 0;
+    total_ = 0;
+    dirty_ = true;
+  }
+
+ private:
+  std::vector<Histogram> slots_;
+  std::int64_t slot_cap_ = 1;
+  std::int64_t cur_ = 0;
+  std::int64_t total_ = 0;
+  mutable Histogram merged_;
+  mutable bool dirty_ = true;
+};
+
 /// Monotonic int64 counter.
 class Counter {
  public:

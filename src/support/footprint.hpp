@@ -1,0 +1,21 @@
+// Process-footprint probes shared by the benches and the soak driver.
+#pragma once
+
+#include <sys/resource.h>
+
+namespace plum {
+
+/// Peak resident set of this process in MB (ru_maxrss is KB on Linux).
+/// Benches and `plum soak` emit it as a `run_footprint` /
+/// `soak.peak_rss_mb` field so the perf gate can put an absolute
+/// ceiling on the memory of a scale run
+/// (`bench_gate --max-field ...peak_rss_mb=...`).  Because ru_maxrss is
+/// a high-water mark, a flat reading across a long soak is evidence
+/// that no telemetry structure grows with run length.
+inline double peak_rss_mb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+}  // namespace plum

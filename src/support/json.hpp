@@ -166,7 +166,10 @@ class JsonWriter {
 
 /// Version stamp carried by every BENCH_*.json / metrics document so
 /// downstream diff tooling can detect format changes.
-inline constexpr int kJsonSchemaVersion = 2;
+/// v3: timeline traffic became sparse top-k; cycles gained
+/// "cycle_critpath"; the soak NDJSON stream ("plum_soak" lines with
+/// windowed quantiles) was introduced.
+inline constexpr int kJsonSchemaVersion = 3;
 
 /// Machine-readable result sink.  Benches add() one record per
 /// measurement and write() them as a JSON document so CI and the

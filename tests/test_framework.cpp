@@ -198,5 +198,54 @@ TEST(Framework, SolverGainFromBalancingMatchesLoadRatio) {
   });
 }
 
+TEST(Framework, WholeCycleCritpathReconcilesExactlyAtP248) {
+  // The whole-cycle critical path — solve, adapt, weights, balance,
+  // migrate chained through every hop — must reconcile EXACTLY with
+  // the cycle wall on every cycle: wall_us equals the allreduce_max
+  // cycle time bit-for-bit, the segments tile the window with exact
+  // joints, and every link is provable (complete).
+  for (const Rank P : {2, 4, 8}) {
+    SCOPED_TRACE("P=" + std::to_string(P));
+    const World s = make_setup(3, P);
+    FrameworkConfig cfg;
+    cfg.solver_iterations = 1;
+    cfg.balancer.partitioner = "rcb";
+    cfg.record_timeline = true;
+    cfg.migrate.pipeline = true;
+
+    simmpi::Machine machine;
+    machine.run(P, [&](simmpi::Comm& comm) {
+      PlumFramework fw(&comm, s.global, s.dualg, s.proc, cfg);
+      for (int c = 0; c < 3; ++c) {
+        const double x = 0.25 + 0.25 * c;
+        fw.cycle(
+            [&](Mesh& m) {
+              adapt::mark_refine_in_sphere(m, {{x, 0.5, 0.5}, 0.25});
+            },
+            [](Mesh& m) { adapt::mark_coarsen_all_refined(m); });
+      }
+      const Timeline& tl = fw.timeline();
+      ASSERT_EQ(tl.cycles.size(), 3u);
+      for (const CycleSample& cs : tl.cycles) {
+        SCOPED_TRACE("cycle " + std::to_string(cs.cycle));
+        const CriticalPath& cp = cs.cycle_critpath;
+        ASSERT_TRUE(cp.valid);
+        EXPECT_TRUE(cp.complete);
+        EXPECT_EQ(cp.wall_us, cs.cycle_us);  // exact, no tolerance
+        ASSERT_FALSE(cp.segments.empty());
+        EXPECT_TRUE(cp.contiguous());
+        // Contiguous + matching endpoints: the tiling telescopes to
+        // the wall exactly.
+        EXPECT_EQ(cp.segments.back().t_end_us -
+                      cp.segments.front().t_begin_us,
+                  cp.wall_us);
+        EXPECT_GE(cp.critical_rank, 0);
+        EXPECT_LT(cp.critical_rank, P);
+        EXPECT_FALSE(cp.top_phase.empty());
+      }
+    });
+  }
+}
+
 }  // namespace
 }  // namespace plum::parallel

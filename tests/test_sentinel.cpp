@@ -1,0 +1,198 @@
+// Anomaly sentinel (simmpi/sentinel.hpp): the soak's online SLO
+// watchdog.  Deterministic spike injection must trip exactly once
+// (cooldown suppresses the echo), warmup must silence the early
+// cycles, replicated instances must agree observation-for-observation
+// — and a healthy framework run at P = 2, 4, 8 under the smooth front
+// scenario must stay quiet end to end.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adapt/scenario.hpp"
+#include "dualgraph/dual_graph.hpp"
+#include "mesh/box_mesh.hpp"
+#include "parallel/framework.hpp"
+#include "partition/partitioner.hpp"
+#include "simmpi/machine.hpp"
+#include "simmpi/sentinel.hpp"
+
+namespace plum::stats {
+namespace {
+
+/// A steady observation stream: constant latency, mild gauges.
+CycleObservation steady(int cycle, double cycle_us = 1000.0) {
+  CycleObservation o;
+  o.cycle = cycle;
+  o.cycle_us = cycle_us;
+  o.imbalance = 1.1;
+  o.overlap_ratio = 0.5;
+  return o;
+}
+
+TEST(Sentinel, InjectedSpikeTripsExactlyOnce) {
+  SloConfig cfg;
+  cfg.window = 16;
+  cfg.warmup = 4;
+  cfg.cooldown = 8;
+  cfg.spike_factor = 3.0;
+  AnomalySentinel s(cfg);
+  for (int c = 0; c < 10; ++c) {
+    EXPECT_TRUE(s.observe(steady(c)).empty()) << "cycle " << c;
+  }
+  EXPECT_TRUE(s.armed());
+  // 5000 us against a ~1000 us median: over the 3x spike limit.
+  const auto trips = s.observe(steady(10, 5000.0));
+  ASSERT_EQ(trips.size(), 1u);
+  EXPECT_EQ(trips[0].kind, "latency_spike");
+  EXPECT_EQ(trips[0].cycle, 10);
+  EXPECT_EQ(trips[0].value, 5000.0);
+  EXPECT_GT(trips[0].threshold, 0.0);
+  EXPECT_LT(trips[0].threshold, 5000.0);
+  EXPECT_EQ(s.trips(), 1);
+  ASSERT_EQ(s.history().size(), 1u);
+  EXPECT_EQ(s.history()[0].kind, "latency_spike");
+}
+
+TEST(Sentinel, WarmupSilencesEarlySpikes) {
+  SloConfig cfg;
+  cfg.warmup = 8;
+  AnomalySentinel s(cfg);
+  for (int c = 0; c < 4; ++c) s.observe(steady(c));
+  // A flagrant spike while still warming up: swallowed.
+  EXPECT_TRUE(s.observe(steady(4, 100000.0)).empty());
+  EXPECT_FALSE(s.armed());
+  EXPECT_EQ(s.trips(), 0);
+}
+
+TEST(Sentinel, CooldownSuppressesTheEcho) {
+  SloConfig cfg;
+  cfg.window = 16;
+  cfg.warmup = 4;
+  cfg.cooldown = 8;
+  AnomalySentinel s(cfg);
+  for (int c = 0; c < 8; ++c) s.observe(steady(c));
+  EXPECT_EQ(s.observe(steady(8, 9000.0)).size(), 1u);
+  // Another spike two cycles later, inside the cooldown: one incident,
+  // one dump.
+  EXPECT_TRUE(s.observe(steady(10, 9000.0)).empty());
+  EXPECT_EQ(s.trips(), 1);
+  // Past the cooldown the sentinel is audible again.
+  for (int c = 11; c < 17; ++c) s.observe(steady(c));
+  EXPECT_EQ(s.observe(steady(17, 9000.0)).size(), 1u);
+  EXPECT_EQ(s.trips(), 2);
+}
+
+TEST(Sentinel, SpikeComparesAgainstTheWindowBeforeIt) {
+  // The spike must not mask itself: the check uses the median of the
+  // cycles BEFORE the observation is folded into the window.
+  SloConfig cfg;
+  cfg.window = 4;
+  cfg.warmup = 4;
+  cfg.spike_factor = 2.0;
+  AnomalySentinel s(cfg);
+  for (int c = 0; c < 6; ++c) s.observe(steady(c, 100.0));
+  // 10x the median: trips even though folding it in first would have
+  // dragged the median past the limit.
+  EXPECT_EQ(s.observe(steady(6, 1000.0)).size(), 1u);
+}
+
+TEST(Sentinel, AbsoluteSloCeilingsTrip) {
+  SloConfig cfg;
+  cfg.warmup = 2;
+  cfg.cooldown = 0;
+  cfg.spike_factor = 0.0;  // isolate the absolute checks
+  cfg.max_imbalance = 1.5;
+  cfg.max_overlap_ratio = 0.9;
+  AnomalySentinel s(cfg);
+  for (int c = 0; c < 4; ++c) EXPECT_TRUE(s.observe(steady(c)).empty());
+  CycleObservation bad = steady(4);
+  bad.imbalance = 2.0;
+  bad.overlap_ratio = 0.95;
+  const auto trips = s.observe(bad);
+  ASSERT_EQ(trips.size(), 2u);
+  EXPECT_EQ(trips[0].kind, "imbalance_slo");
+  EXPECT_EQ(trips[1].kind, "overlap_slo");
+}
+
+TEST(Sentinel, ReplicatedInstancesAgreeEveryCycle) {
+  // The soak's design point: P identical sentinels fed the replicated
+  // observation stream must reach the identical verdict every cycle —
+  // that is what makes the evidence gather collective-safe.
+  SloConfig cfg;
+  cfg.window = 8;
+  cfg.warmup = 4;
+  cfg.cooldown = 4;
+  AnomalySentinel a(cfg);
+  AnomalySentinel b(cfg);
+  for (int c = 0; c < 64; ++c) {
+    const double us = (c % 19 == 0) ? 8000.0 : 900.0 + 10.0 * (c % 7);
+    const auto ta = a.observe(steady(c, us));
+    const auto tb = b.observe(steady(c, us));
+    ASSERT_EQ(ta.size(), tb.size()) << "cycle " << c;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].kind, tb[i].kind);
+      EXPECT_EQ(ta[i].value, tb[i].value);
+      EXPECT_EQ(ta[i].threshold, tb[i].threshold);
+    }
+  }
+  EXPECT_EQ(a.trips(), b.trips());
+}
+
+TEST(Sentinel, QuietOnHealthyFrameworkRuns) {
+  // A smooth front-scenario soak slice at P = 2, 4, 8: the default
+  // relative spike detector must not trip on legitimate load motion.
+  const mesh::Mesh global = mesh::make_cube_mesh(3);
+  const auto dualg = dual::build_dual_graph(global);
+  adapt::ScenarioConfig scfg;
+  scfg.kind = adapt::ScenarioKind::kFront;
+  scfg.period = 8;
+  const adapt::SoakScenario scenario(
+      scfg, mesh::Box{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}});
+
+  for (const Rank P : {2, 4, 8}) {
+    SCOPED_TRACE("P=" + std::to_string(P));
+    const auto part =
+        partition::make_partitioner("rcb")->partition(dualg, P);
+    const std::vector<Rank> proc(part.part.begin(), part.part.end());
+    parallel::FrameworkConfig cfg;
+    cfg.solver_iterations = 2;
+    cfg.migrate.pipeline = true;
+
+    // Warmup spans one full scenario period: the initial mesh-growth
+    // ramp (cycle walls climb ~5x while the front first refines) is
+    // legitimately atypical and must not arm the spike detector early.
+    SloConfig slo;
+    slo.window = 8;
+    slo.warmup = 8;
+    slo.spike_factor = 3.0;
+    std::int64_t trips = -1;
+    bool armed = false;
+    simmpi::Machine machine;
+    machine.run(P, [&](simmpi::Comm& comm) {
+      parallel::PlumFramework fw(&comm, global, dualg, proc, cfg);
+      AnomalySentinel s(slo);
+      for (int c = 0; c < 16; ++c) {
+        const double t0 = comm.clock().now();
+        const parallel::CycleStats st = fw.cycle(
+            scenario.refine_marker(c), scenario.coarsen_marker(c));
+        CycleObservation o;
+        o.cycle = c;
+        o.cycle_us = comm.allreduce_max(comm.clock().now() - t0);
+        o.imbalance = st.balance.accepted ? st.balance.new_load.imbalance
+                                          : st.balance.old_load.imbalance;
+        o.overlap_ratio = 0.0;
+        s.observe(o);
+      }
+      if (comm.rank() == 0) {
+        trips = s.trips();
+        armed = s.armed();
+      }
+    });
+    EXPECT_TRUE(armed);
+    EXPECT_EQ(trips, 0);
+  }
+}
+
+}  // namespace
+}  // namespace plum::stats

@@ -302,5 +302,79 @@ TEST(StatsReduce, RepeatedReductionsAreDeterministic) {
   EXPECT_EQ(first, second);
 }
 
+// ------------------------------------------------------- rolling windows
+
+/// Offline oracle: a fresh histogram over exactly the samples the
+/// window claims to retain ([window_floor(), total_count())).  The
+/// windowed view must agree with it bit-for-bit — same counts, same
+/// quantiles — at every point of the stream, across every slot
+/// rotation.
+Histogram oracle_of(const WindowedHistogram& win,
+                    const std::vector<std::int64_t>& all) {
+  Histogram h;
+  for (std::int64_t i = win.window_floor(); i < win.total_count(); ++i) {
+    h.record(all[static_cast<std::size_t>(i)]);
+  }
+  return h;
+}
+
+TEST(StatsWindowed, QuantilesMatchOfflineOracleAcrossRotations) {
+  const int kWindow = 64;
+  WindowedHistogram win(kWindow, /*slots=*/8);
+  std::vector<std::int64_t> all;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::int64_t>(mix64(i) % 100000);
+    all.push_back(v);
+    win.record(v);
+    const Histogram oracle = oracle_of(win, all);
+    ASSERT_EQ(win.count(), oracle.count()) << "sample " << i;
+    for (const double p : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+      ASSERT_EQ(win.quantile(p), oracle.quantile(p))
+          << "sample " << i << " p=" << p;
+    }
+  }
+}
+
+TEST(StatsWindowed, RetainedCountStaysInTheWindowBand) {
+  // Ring semantics: once the stream is longer than the window, the
+  // retained count is in [W - cap + 1, W] — never grows with run
+  // length, never underflows past a full slot.
+  const int kWindow = 64;
+  WindowedHistogram win(kWindow, /*slots=*/8);
+  const std::int64_t cap = win.slot_capacity();
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    win.record(static_cast<std::int64_t>(mix64(i) % 1000));
+    if (win.total_count() >= kWindow) {
+      ASSERT_GE(win.count(), kWindow - cap + 1);
+      ASSERT_LE(win.count(), kWindow);
+    } else {
+      ASSERT_EQ(win.count(), win.total_count());
+    }
+  }
+}
+
+TEST(StatsWindowed, OldSamplesAgeOut) {
+  // A burst of huge values followed by > window small ones: the
+  // windowed p99 must come back down (the running-forever histogram
+  // never would).
+  WindowedHistogram win(32, 8);
+  for (int i = 0; i < 32; ++i) win.record(1000000);
+  EXPECT_GE(win.quantile(0.99), 1000000);
+  for (int i = 0; i < 64; ++i) win.record(10);
+  EXPECT_LE(win.quantile(0.99), Histogram::bucket_max(
+                                    Histogram::bucket_of(10)));
+}
+
+TEST(StatsWindowed, ResetEmptiesEverySlot) {
+  WindowedHistogram win(16, 4);
+  for (int i = 0; i < 100; ++i) win.record(i);
+  win.reset();
+  EXPECT_EQ(win.count(), 0);
+  EXPECT_EQ(win.total_count(), 0);
+  win.record(7);
+  EXPECT_EQ(win.count(), 1);
+  EXPECT_EQ(win.quantile(1.0), 7);
+}
+
 }  // namespace
 }  // namespace plum::stats

@@ -16,7 +16,18 @@
 //                  [--migrate-pipeline on|off]
 //                  [--machine threads|pool|auto] [--workers N] [--dist-gen]
 //                  [--stats-stream[=out.ndjson]] [--stats-summary out.json]
+//   plum soak      --n 12 --procs 64 --cycles 1000
+//                  [--scenario front|burst|mixed] [--period 32]
+//                  [--window 64] [--warmup 16] [--cooldown 32]
+//                  [--spike-factor 3] [--slo-p99-us X]
+//                  [--slo-imbalance X] [--slo-overlap X]
+//                  [--stream[=soak.ndjson]] [--summary BENCH_soak.json]
+//                  [--evidence PREFIX|off] [--max-evidence 4]
+//                  [--machine threads|pool|auto] [--workers N] [--dist-gen]
+//                  [--solver-iters 2] [--partitioner auto] [--seed S]
+//                  [--check-level off|cheap|full] [--migrate-pipeline on|off]
 //   plum report    --timeline timeline.json [--out report.html]
+//                  | --soak soak.ndjson [--out soak.html]
 //   plum validate  --ndjson stats.ndjson [--min-lines 1]
 //
 // `mesh` generates and snapshots the box mesh; `adapt` runs one serial
@@ -41,32 +52,57 @@
 // the pool's OS threads; `--dist-gen` switches startup to distributed
 // box-mesh generation (parallel/dist_gen.hpp) — each rank builds only
 // its slab, no rank materializes the global mesh, and no from-scratch
-// global partition runs; requires --strategy local1|local2.  `report` renders
-// a timeline JSON as a self-contained HTML page (sparklines + traffic
-// heatmap).  `validate` parses an NDJSON stream line-by-line with the
-// built-in JSON parser and fails on any malformed line.
+// global partition runs; requires --strategy local1|local2.
+//
+// `soak` is the long-run driver (DESIGN.md §16): a scripted scenario
+// (adapt/scenario.hpp) drives thousands of cycles while every rank
+// feeds an identical AnomalySentinel with the cycle's replicated
+// gauges.  Rank 0 streams one "plum_soak" NDJSON line per cycle with
+// *windowed* quantiles (rolling --window cycles, O(buckets) memory),
+// windowed cycles/sec, and per-phase shares; on a sentinel trip all
+// ranks agree simultaneously, so the flight-window gather is a plain
+// collective and rank 0 dumps cycle-addressed evidence (anomalies,
+// whole-cycle critical path, the critical rank's flight slice, recent
+// gauge rows) to <prefix>_cycleN.json, at most --max-evidence times.
+// `--summary` writes a BENCH-style record ("soak") with the final
+// windowed quantiles, cycles/sec, trip count, and peak RSS for the
+// perf gate's --min-field/--max-field bounds.
+//
+// `report` renders a timeline JSON — or, with --soak, a soak NDJSON
+// stream — as a self-contained HTML page (sparklines + traffic
+// heatmap / trend panel).  `validate` parses an NDJSON stream
+// line-by-line with the built-in JSON parser and fails on any
+// malformed line; lines whose kind is "plum_soak" additionally must
+// carry the current schema_version, strictly increasing cycle
+// indices, and the windowed-stats fields.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <string>
 
 #include "adapt/adaptor.hpp"
 #include "adapt/error_indicator.hpp"
 #include "adapt/marking.hpp"
+#include "adapt/scenario.hpp"
 #include "dualgraph/dual_graph.hpp"
 #include "mesh/box_mesh.hpp"
 #include "mesh/mesh_check.hpp"
 #include "mesh/mesh_io.hpp"
 #include "mesh/quality.hpp"
+#include "parallel/critpath.hpp"
 #include "parallel/dist_gen.hpp"
 #include "parallel/framework.hpp"
 #include "parallel/gather.hpp"
+#include "parallel/timeline.hpp"
 #include "partition/partitioner.hpp"
 #include "report_html.hpp"
 #include "simmpi/machine.hpp"
 #include "simmpi/obs.hpp"
+#include "simmpi/sentinel.hpp"
 #include "simmpi/stats.hpp"
+#include "support/footprint.hpp"
 #include "support/json.hpp"
 #include "support/json_parse.hpp"
 #include "support/table.hpp"
@@ -100,11 +136,34 @@ class Args {
     const auto it = kv_.find(key);
     return it == kv_.end() ? dflt : std::stoi(it->second);
   }
+  double get_double(const std::string& key, double dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stod(it->second);
+  }
   bool has(const std::string& key) const { return kv_.count(key) > 0; }
 
  private:
   std::map<std::string, std::string> kv_;
 };
+
+/// Applies the shared --machine / --workers flags (cycle and soak).
+void configure_machine(simmpi::Machine& machine, const Args& args) {
+  const std::string machine_name = args.get("machine", "");
+  if (!machine_name.empty()) {
+    if (machine_name == "threads") {
+      machine.set_mode(simmpi::MachineMode::kThreads);
+    } else if (machine_name == "pool") {
+      machine.set_mode(simmpi::MachineMode::kPool);
+    } else if (machine_name == "auto") {
+      machine.set_mode(simmpi::MachineMode::kAuto);
+    } else {
+      PLUM_CHECK_MSG(false, "--machine must be threads, pool, or auto, got "
+                                << machine_name);
+    }
+  }
+  const int workers = args.get_int("workers", 0);
+  if (workers > 0) machine.set_pool({.workers = workers});
+}
 
 mesh::Mesh load_or_make(const Args& args) {
   if (args.has("in")) return mesh::load_mesh(args.get("in", ""));
@@ -316,21 +375,14 @@ int cmd_cycle(const Args& args) {
 
   simmpi::Machine machine;
   machine.set_tracing(want_obs);
-  const std::string machine_name = args.get("machine", "");
-  if (!machine_name.empty()) {
-    if (machine_name == "threads") {
-      machine.set_mode(simmpi::MachineMode::kThreads);
-    } else if (machine_name == "pool") {
-      machine.set_mode(simmpi::MachineMode::kPool);
-    } else if (machine_name == "auto") {
-      machine.set_mode(simmpi::MachineMode::kAuto);
-    } else {
-      PLUM_CHECK_MSG(false, "--machine must be threads, pool, or auto, got "
-                                << machine_name);
-    }
+  configure_machine(machine, args);
+  // The whole-cycle critical path spans every solver allreduce, so the
+  // timeline's capture needs a deeper ring than the migrate-only
+  // window; the default 4096 truncates heavy cycles into incomplete
+  // (fallback) paths.  An explicit PLUM_FLIGHT_CAP still wins.
+  if (cfg.record_timeline && !simmpi::flight_config_from_env().explicit_cap) {
+    machine.set_flight_capacity(32768);
   }
-  const int workers = args.get_int("workers", 0);
-  if (workers > 0) machine.set_pool({.workers = workers});
   parallel::Timeline timeline;
   const simmpi::MachineReport report =
       machine.run(P, [&](simmpi::Comm& comm) {
@@ -533,10 +585,493 @@ int cmd_cycle(const Args& args) {
   return io_ok ? 0 : 1;
 }
 
+/// One cycle's replicated gauges retained for evidence dumps — the
+/// "what led up to it" ring next to a trip's flight slice.
+struct SoakRecentRow {
+  int cycle = 0;
+  double cycle_us = 0.0;
+  double imbalance = 0.0;
+  double overlap = 0.0;
+  std::int64_t elements = 0;
+};
+
+/// Writes one trip's evidence file: the tripped checks, the windowed
+/// quantiles at the moment of the trip, the recent gauge rows, the
+/// whole-cycle critical path of the offending cycle, and the critical
+/// rank's flight-ring slice (every event cycle-stamped).  Rank 0 only.
+bool write_soak_evidence(const std::string& path, int cycle, Rank nprocs,
+                         const std::vector<stats::Anomaly>& anomalies,
+                         const stats::AnomalySentinel& sentinel,
+                         const std::vector<parallel::FlightWindow>& wins,
+                         const simmpi::CostModel& cost,
+                         const std::deque<SoakRecentRow>& recent) {
+  const parallel::CriticalPath cp =
+      parallel::analyze_critical_path(wins, cost);
+  constexpr double kFp = stats::AnomalySentinel::kFixedPoint;
+  JsonWriter w;
+  w.begin_object();
+  w.key("kind");
+  w.value("plum_soak_evidence");
+  w.key("schema_version");
+  w.value(kJsonSchemaVersion);
+  w.key("cycle");
+  w.value(cycle);
+  w.key("nprocs");
+  w.value(static_cast<std::int64_t>(nprocs));
+  w.key("anomalies");
+  w.begin_array();
+  for (const stats::Anomaly& a : anomalies) {
+    w.begin_object();
+    w.key("check");
+    w.value(a.kind);
+    w.key("value");
+    w.value(a.value);
+    w.key("threshold");
+    w.value(a.threshold);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("win");
+  w.begin_object();
+  w.key("count");
+  w.value(sentinel.latency_window().count());
+  w.key("p50_us");
+  w.value(static_cast<double>(sentinel.latency_window().quantile(0.50)));
+  w.key("p95_us");
+  w.value(static_cast<double>(sentinel.latency_window().quantile(0.95)));
+  w.key("p99_us");
+  w.value(static_cast<double>(sentinel.latency_window().quantile(0.99)));
+  w.key("imbalance_p99");
+  w.value(
+      static_cast<double>(sentinel.imbalance_window().quantile(0.99)) / kFp);
+  w.key("overlap_p99");
+  w.value(
+      static_cast<double>(sentinel.overlap_window().quantile(0.99)) / kFp);
+  w.end_object();
+  w.key("recent");
+  w.begin_array();
+  for (const SoakRecentRow& r : recent) {
+    w.begin_object();
+    w.key("cycle");
+    w.value(r.cycle);
+    w.key("cycle_us");
+    w.value(r.cycle_us);
+    w.key("imbalance");
+    w.value(r.imbalance);
+    w.key("overlap_ratio");
+    w.value(r.overlap);
+    w.key("active_elements");
+    w.value(r.elements);
+    w.end_object();
+  }
+  w.end_array();
+  parallel::append_critpath_json(w, "critpath", cp);
+  w.key("flight");
+  w.begin_object();
+  const bool have_rank = cp.valid && cp.critical_rank >= 0 &&
+                         static_cast<std::size_t>(cp.critical_rank) <
+                             wins.size();
+  w.key("rank");
+  w.value(static_cast<std::int64_t>(have_rank ? cp.critical_rank : -1));
+  if (have_rank) {
+    const parallel::FlightWindow& fw =
+        wins[static_cast<std::size_t>(cp.critical_rank)];
+    w.key("truncated");
+    w.value(fw.truncated);
+    w.key("events");
+    w.begin_array();
+    for (const parallel::WindowEvent& e : fw.events) {
+      w.begin_object();
+      w.key("ts_us");
+      w.value(e.ts_us);
+      w.key("kind");
+      w.value(simmpi::FlightRecorder::kind_name(e.kind));
+      w.key("peer");
+      w.value(static_cast<std::int64_t>(e.peer));
+      w.key("tag");
+      w.value(static_cast<std::int64_t>(e.tag));
+      w.key("bytes");
+      w.value(e.bytes);
+      w.key("cycle");
+      w.value(static_cast<std::int64_t>(e.cycle));
+      w.key("phase");
+      w.value(e.phase);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+  return w.write_file(path);
+}
+
+int cmd_soak(const Args& args) {
+  const int n = args.get_int("n", 8);
+  const Rank P = args.get_int("procs", 8);
+  const int cycles = args.get_int("cycles", 1000);
+  const bool dist_gen = args.has("dist-gen");
+
+  mesh::BoxMeshSpec spec;
+  spec.nx = spec.ny = spec.nz = n;
+
+  mesh::Mesh global;  // empty under --dist-gen
+  dual::DualGraph dualg;
+  std::vector<Rank> proc;
+  if (dist_gen) {
+    dualg = parallel::make_box_dual_graph(spec);
+    proc = parallel::make_slab_partition(spec, P);
+  } else {
+    global = mesh::make_box_mesh(spec);
+    dualg = dual::build_dual_graph(global);
+    const auto part =
+        partition::make_partitioner("rcb")->partition(dualg, P);
+    proc.assign(part.part.begin(), part.part.end());
+  }
+
+  // Scenario markers are symmetric functions of geometry and gids, so
+  // the same SoakScenario object works replicated or distributed.
+  adapt::ScenarioConfig scfg;
+  const std::string scenario_name = args.get("scenario", "front");
+  PLUM_CHECK_MSG(adapt::SoakScenario::parse_kind(scenario_name, &scfg.kind),
+                 "--scenario must be front, burst, or mixed, got "
+                     << scenario_name);
+  scfg.period = args.get_int("period", 32);
+  scfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x50a4));
+  const adapt::SoakScenario scenario(
+      scfg, mesh::Box{spec.origin, spec.origin + spec.size});
+
+  stats::SloConfig slo;
+  slo.window = args.get_int("window", 64);
+  slo.warmup = args.get_int("warmup", 16);
+  slo.cooldown = args.get_int("cooldown", 32);
+  slo.spike_factor = args.get_double("spike-factor", 3.0);
+  slo.max_p99_cycle_us = args.get_double("slo-p99-us", 0.0);
+  slo.max_imbalance = args.get_double("slo-imbalance", 0.0);
+  slo.max_overlap_ratio = args.get_double("slo-overlap", 0.0);
+
+  parallel::FrameworkConfig cfg;
+  // Soak-lean defaults: fewer solver iterations per cycle (the soak
+  // stresses adaption/balance/migrate churn, not the solver stub) and
+  // checks off so thousands of cycles stay cheap.
+  cfg.solver_iterations = args.get_int("solver-iters", 2);
+  cfg.balancer.partitioner = args.get("partitioner", "auto");
+  cfg.balancer.sfc_incremental = args.get_int("sfc-incremental", 1) != 0;
+  cfg.balancer.remapper = args.get("remapper", "heuristic");
+  cfg.check_level =
+      parallel::parse_check_level(args.get("check-level", "off"));
+  cfg.stats_window = slo.window;
+  const std::string pipe_mode = args.get("migrate-pipeline", "on");
+  PLUM_CHECK_MSG(pipe_mode == "on" || pipe_mode == "off",
+                 "--migrate-pipeline must be on or off, got " << pipe_mode);
+  cfg.migrate.pipeline = pipe_mode == "on";
+
+  const std::string evidence_prefix = args.get("evidence", "soak_evidence");
+  const bool want_evidence = evidence_prefix != "off";
+  const int max_evidence = args.get_int("max-evidence", 4);
+
+  std::string stream_path = args.get("stream", "");
+  if (args.has("stream") && stream_path.empty()) stream_path = "soak.ndjson";
+  stats::NdjsonWriter ndjson(args.has("stream") ? stream_path : "/dev/null");
+  if (args.has("stream") && !ndjson.ok()) {
+    std::fprintf(stderr, "cannot write %s\n", stream_path.c_str());
+    return 1;
+  }
+
+  // Results the rank-0 thread copies out for the summary (read after
+  // machine.run joins).
+  double out_p50 = 0.0, out_p95 = 0.0, out_p99 = 0.0, out_cps = 0.0;
+  std::int64_t out_trips = 0, out_elements = 0;
+  int out_evidence = 0;
+  bool out_io_ok = true;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  simmpi::Machine machine;
+  configure_machine(machine, args);
+  machine.run(P, [&](simmpi::Comm& comm) {
+    stats::Registry reg(true);
+    parallel::FrameworkConfig rank_cfg = cfg;
+    rank_cfg.stats = &reg;
+    parallel::PlumFramework fw =
+        dist_gen
+            ? parallel::PlumFramework(
+                  &comm, parallel::make_box_dist_mesh(spec, comm.rank(), P),
+                  dualg, proc, rank_cfg)
+            : parallel::PlumFramework(&comm, global, dualg, proc, rank_cfg);
+    // Every rank runs an identical sentinel on identical replicated
+    // inputs, so the trip decision — and the evidence budget below —
+    // is replicated: the evidence gather is a plain collective with no
+    // extra agreement round.
+    stats::AnomalySentinel sentinel(slo);
+    int evidence_left = max_evidence;
+
+    // Rank-0 reporting state.  The per-phase windows rotate in step
+    // (exactly one record each per cycle); cycles/sec comes from a
+    // bounded host-clock tick ring.
+    stats::WindowedHistogram win_solve(slo.window);
+    stats::WindowedHistogram win_adapt(slo.window);
+    stats::WindowedHistogram win_migrate(slo.window);
+    std::int64_t prev_solve = 0, prev_adapt = 0, prev_migrate = 0;
+    std::deque<double> ticks;
+    std::deque<SoakRecentRow> recent;
+    double cps = 0.0;
+    std::int64_t total = 0;
+
+    for (int c = 0; c < cycles; ++c) {
+      const std::int64_t flight_n0 = comm.flight().total_recorded();
+      const double t_c0 = comm.clock().now();
+      const auto cyc = fw.cycle(scenario.refine_marker(c),
+                                scenario.coarsen_marker(c));
+      // Captured before any collective below touches the clock, so the
+      // window's span is the exact double the wall reduces over.
+      const parallel::FlightWindow cw =
+          parallel::capture_flight_window(comm, flight_n0, t_c0);
+      const double cycle_wall = comm.allreduce_max(cw.t1_us - cw.t0_us);
+      const double imb = cyc.balance.accepted
+                             ? cyc.balance.new_load.imbalance
+                             : cyc.balance.old_load.imbalance;
+      const parallel::MigrationResult& mig = cyc.migration;
+      const double mig_wall = comm.allreduce_max(mig.elapsed_us);
+      const double phase_sum = comm.allreduce_max(mig.pack_us) +
+                               comm.allreduce_max(mig.ship_us) +
+                               comm.allreduce_max(mig.delete_purge_us) +
+                               comm.allreduce_max(mig.unpack_us) +
+                               comm.allreduce_max(mig.spl_us);
+      const double overlap = phase_sum > 0.0 ? mig_wall / phase_sum : 0.0;
+      total = comm.allreduce_sum(fw.dist().local.num_active_elements());
+
+      const std::vector<stats::Anomaly> anomalies =
+          sentinel.observe({c, cycle_wall, imb, overlap});
+
+      const stats::Snapshot merged = stats::reduce_to_root(reg, &comm);
+
+      if (comm.rank() == 0) {
+        // Windowed per-phase shares from the merged histogram deltas
+        // (the running sums grow forever; the windows do not).
+        auto hist_sum = [&merged](std::string_view name) {
+          for (const auto& hv : merged.histograms) {
+            if (hv.name == name) return hv.hist.sum();
+          }
+          return std::int64_t{0};
+        };
+        const std::int64_t s_solve = hist_sum("solve_us");
+        const std::int64_t s_adapt = hist_sum("adapt_us");
+        const std::int64_t s_migrate = hist_sum("migrate_us");
+        win_solve.record(s_solve - prev_solve);
+        win_adapt.record(s_adapt - prev_adapt);
+        win_migrate.record(s_migrate - prev_migrate);
+        prev_solve = s_solve;
+        prev_adapt = s_adapt;
+        prev_migrate = s_migrate;
+        const double phase_total =
+            static_cast<double>(win_solve.window().sum() +
+                                win_adapt.window().sum() +
+                                win_migrate.window().sum());
+
+        ticks.push_back(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count());
+        while (ticks.size() > static_cast<std::size_t>(slo.window) + 1) {
+          ticks.pop_front();
+        }
+        cps = ticks.size() >= 2 && ticks.back() > ticks.front()
+                  ? static_cast<double>(ticks.size() - 1) /
+                        (ticks.back() - ticks.front())
+                  : 0.0;
+
+        recent.push_back({c, cycle_wall, imb, overlap, total});
+        while (recent.size() > 16) recent.pop_front();
+
+        if (args.has("stream")) {
+          constexpr double kFp = stats::AnomalySentinel::kFixedPoint;
+          const stats::WindowedHistogram& lat = sentinel.latency_window();
+          JsonWriter w;
+          w.begin_object();
+          w.key("kind");
+          w.value("plum_soak");
+          w.key("schema_version");
+          w.value(kJsonSchemaVersion);
+          w.key("cycle");
+          w.value(c);
+          w.key("cycle_us");
+          w.value(cycle_wall);
+          w.key("imbalance");
+          w.value(imb);
+          w.key("overlap_ratio");
+          w.value(overlap);
+          w.key("active_elements");
+          w.value(total);
+          w.key("win");
+          w.begin_object();
+          w.key("count");
+          w.value(lat.count());
+          w.key("p50_us");
+          w.value(static_cast<double>(lat.quantile(0.50)));
+          w.key("p95_us");
+          w.value(static_cast<double>(lat.quantile(0.95)));
+          w.key("p99_us");
+          w.value(static_cast<double>(lat.quantile(0.99)));
+          w.key("cycles_per_sec");
+          w.value(cps);
+          w.key("imbalance_p99");
+          w.value(static_cast<double>(
+                      sentinel.imbalance_window().quantile(0.99)) /
+                  kFp);
+          w.key("overlap_p99");
+          w.value(static_cast<double>(
+                      sentinel.overlap_window().quantile(0.99)) /
+                  kFp);
+          w.key("share_solve");
+          w.value(phase_total > 0.0
+                      ? static_cast<double>(win_solve.window().sum()) /
+                            phase_total
+                      : 0.0);
+          w.key("share_adapt");
+          w.value(phase_total > 0.0
+                      ? static_cast<double>(win_adapt.window().sum()) /
+                            phase_total
+                      : 0.0);
+          w.key("share_migrate");
+          w.value(phase_total > 0.0
+                      ? static_cast<double>(win_migrate.window().sum()) /
+                            phase_total
+                      : 0.0);
+          w.end_object();
+          w.key("sentinel");
+          w.begin_object();
+          w.key("armed");
+          w.value(sentinel.armed());
+          w.key("trips");
+          w.value(sentinel.trips());
+          w.key("tripped");
+          w.begin_array();
+          for (const stats::Anomaly& a : anomalies) w.value(a.kind);
+          w.end_array();
+          w.end_object();
+          w.end_object();
+          ndjson.line(w.str());
+        }
+      }
+
+      // Evidence dump: the condition is a pure function of replicated
+      // state, so every rank enters (or skips) the gather together.
+      if (!anomalies.empty() && want_evidence && evidence_left > 0) {
+        --evidence_left;
+        const std::vector<parallel::FlightWindow> wins =
+            parallel::gather_windows(cw, &comm, 0);
+        if (comm.rank() == 0) {
+          const std::string path =
+              evidence_prefix + "_cycle" + std::to_string(c) + ".json";
+          out_io_ok = write_soak_evidence(path, c, P, anomalies, sentinel,
+                                          wins, comm.cost(), recent) &&
+                      out_io_ok;
+          ++out_evidence;
+          std::fprintf(stderr,
+                       "soak: sentinel trip at cycle %d (%s %.3g > %.3g), "
+                       "evidence -> %s\n",
+                       c, anomalies[0].kind.c_str(), anomalies[0].value,
+                       anomalies[0].threshold, path.c_str());
+        }
+      }
+    }
+    if (comm.rank() == 0) {
+      const stats::WindowedHistogram& lat = sentinel.latency_window();
+      out_p50 = static_cast<double>(lat.quantile(0.50));
+      out_p95 = static_cast<double>(lat.quantile(0.95));
+      out_p99 = static_cast<double>(lat.quantile(0.99));
+      out_cps = cps;
+      out_trips = sentinel.trips();
+      out_elements = total;
+    }
+  });
+
+  const double rss = peak_rss_mb();
+  std::printf("soak: %d cycles of '%s' at P=%d done: windowed p50 %.3f ms, "
+              "p99 %.3f ms, %.1f cycles/s, %lld elements, %lld trip(s), "
+              "%d evidence file(s), peak RSS %.1f MB\n",
+              cycles, scenario_name.c_str(), P, out_p50 / 1000.0,
+              out_p99 / 1000.0, out_cps, static_cast<long long>(out_elements),
+              static_cast<long long>(out_trips), out_evidence, rss);
+
+  bool io_ok = out_io_ok;
+  if (args.has("summary")) {
+    std::string path = args.get("summary", "");
+    if (path.empty()) path = "BENCH_soak.json";
+    JsonEmitter json("plum_soak");
+    json.add("soak",
+             {{"n", static_cast<double>(n)},
+              {"P", static_cast<double>(P)},
+              {"cycles", static_cast<double>(cycles)},
+              {"window", static_cast<double>(slo.window)},
+              {"p50_us", out_p50},
+              {"p95_us", out_p95},
+              {"p99_us", out_p99},
+              {"cycles_per_sec", out_cps},
+              {"active_elements", static_cast<double>(out_elements)},
+              {"trips", static_cast<double>(out_trips)},
+              {"peak_rss_mb", rss}});
+    io_ok = json.write(path) && io_ok;
+  }
+  return io_ok ? 0 : 1;
+}
+
 int cmd_report(const Args& args) {
+  if (args.has("soak")) {
+    // Trend page from a soak NDJSON stream: parse every line, keep the
+    // "plum_soak" documents in stream order.
+    const std::string in = args.get("soak", "");
+    std::FILE* f = std::fopen(in.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "plum report: cannot open %s\n", in.c_str());
+      return 1;
+    }
+    std::vector<JsonValue> rows;
+    std::string line;
+    int ch;
+    int lineno = 0;
+    while (true) {
+      line.clear();
+      while ((ch = std::fgetc(f)) != EOF && ch != '\n') {
+        line += static_cast<char>(ch);
+      }
+      if (line.empty() && ch == EOF) break;
+      ++lineno;
+      if (!line.empty()) {
+        std::string err;
+        auto doc = parse_json(line, &err);
+        if (!doc) {
+          std::fprintf(stderr, "plum report: %s line %d: %s\n", in.c_str(),
+                       lineno, err.c_str());
+          std::fclose(f);
+          return 1;
+        }
+        if (doc->string_or("kind", "") == "plum_soak") {
+          rows.push_back(std::move(*doc));
+        }
+      }
+      if (ch == EOF) break;
+    }
+    std::fclose(f);
+    if (rows.empty()) {
+      std::fprintf(stderr, "plum report: %s has no plum_soak lines\n",
+                   in.c_str());
+      return 1;
+    }
+    const std::string html = tools::render_soak_html(rows, in);
+    const std::string out = args.get("out", "soak.html");
+    std::FILE* fo = std::fopen(out.c_str(), "w");
+    if (fo == nullptr) {
+      std::fprintf(stderr, "plum report: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fwrite(html.data(), 1, html.size(), fo);
+    std::fclose(fo);
+    std::printf("wrote soak report %s (%zu cycles)\n", out.c_str(),
+                rows.size());
+    return 0;
+  }
   PLUM_CHECK_MSG(args.has("timeline"),
                  "plum report needs --timeline FILE (from `plum cycle "
-                 "--timeline`)");
+                 "--timeline`) or --soak FILE (from `plum soak --stream`)");
   const std::string in = args.get("timeline", "");
   std::string err;
   const auto doc = parse_json_file(in, &err);
@@ -576,9 +1111,11 @@ int cmd_validate(const Args& args) {
   }
   std::string line;
   int lines = 0;
+  int soak_lines = 0;
   int ch;
   int lineno = 0;
   bool ok = true;
+  double prev_cycle = -1.0;
   while (true) {
     line.clear();
     while ((ch = std::fgetc(f)) != EOF && ch != '\n') {
@@ -595,6 +1132,39 @@ int cmd_validate(const Args& args) {
       ok = false;
       break;
     }
+    // Soak-stream lines get the deep checks: current schema, strictly
+    // increasing cycle indices, windowed-stats fields present and
+    // numeric.  (Detected per line, so mixed streams still validate.)
+    if (doc->string_or("kind", "") == "plum_soak") {
+      ++soak_lines;
+      const char* bad = nullptr;
+      const double sv = doc->number_or("schema_version", -1.0);
+      const double cyc = doc->number_or("cycle", -1.0);
+      const JsonValue* win = doc->find("win");
+      if (sv != static_cast<double>(kJsonSchemaVersion)) {
+        bad = "schema_version mismatch";
+      } else if (cyc <= prev_cycle) {
+        bad = "cycle index not strictly increasing";
+      } else if (win == nullptr || !win->is_object()) {
+        bad = "missing \"win\" object";
+      } else {
+        for (const char* k :
+             {"count", "p50_us", "p95_us", "p99_us", "cycles_per_sec"}) {
+          const JsonValue* v = win->find(k);
+          if (v == nullptr || !v->is_number()) {
+            bad = "windowed-stats field missing or non-numeric";
+            break;
+          }
+        }
+      }
+      if (bad != nullptr) {
+        std::fprintf(stderr, "plum validate: %s line %d: %s\n", path.c_str(),
+                     lineno, bad);
+        ok = false;
+        break;
+      }
+      prev_cycle = cyc;
+    }
     ++lines;
     if (ch == EOF) break;
   }
@@ -605,7 +1175,8 @@ int cmd_validate(const Args& args) {
     ok = false;
   }
   if (ok) {
-    std::printf("validated %d NDJSON line(s) in %s\n", lines, path.c_str());
+    std::printf("validated %d NDJSON line(s) (%d soak) in %s\n", lines,
+                soak_lines, path.c_str());
   }
   return ok ? 0 : 1;
 }
@@ -613,7 +1184,7 @@ int cmd_validate(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: plum "
-               "<mesh|adapt|quality|partition|cycle|report|validate> "
+               "<mesh|adapt|quality|partition|cycle|soak|report|validate> "
                "[--flags]\n"
                "see the header comment of tools/plum_cli.cpp\n");
   return 2;
@@ -630,6 +1201,7 @@ int main(int argc, char** argv) {
   if (cmd == "quality") return cmd_quality(args);
   if (cmd == "partition") return cmd_partition(args);
   if (cmd == "cycle") return cmd_cycle(args);
+  if (cmd == "soak") return cmd_soak(args);
   if (cmd == "report") return cmd_report(args);
   if (cmd == "validate") return cmd_validate(args);
   return usage();

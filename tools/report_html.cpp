@@ -97,9 +97,8 @@ std::vector<double> gauge_series(const JsonValue& timeline,
   return out;
 }
 
-void sparkline_row(std::string& html, const JsonValue& timeline,
-                   const char* label, const char* field) {
-  const std::vector<double> v = gauge_series(timeline, field);
+void series_row(std::string& html, const char* label,
+                const std::vector<double>& v) {
   double lo = 0.0;
   double hi = 0.0;
   double last = 0.0;
@@ -112,6 +111,11 @@ void sparkline_row(std::string& html, const JsonValue& timeline,
           sparkline_svg(v) + "</td><td class=\"num\">" + fmt(lo) +
           "</td><td class=\"num\">" + fmt(hi) + "</td><td class=\"num\">" +
           fmt(last) + "</td></tr>\n";
+}
+
+void sparkline_row(std::string& html, const JsonValue& timeline,
+                   const char* label, const char* field) {
+  series_row(html, label, gauge_series(timeline, field));
 }
 
 struct Column {
@@ -181,9 +185,11 @@ void cycle_table(std::string& html, const JsonValue& timeline) {
   html += "</table>\n";
 }
 
-/// Critical-path breakdown: per-phase share of the slack-free chain,
-/// aggregated over every migrating cycle.
-void critpath_table(std::string& html, const JsonValue& timeline) {
+/// Critical-path breakdown: per-phase share of the slack-free chain
+/// under `field` ("critpath" = migrate window, "cycle_critpath" =
+/// whole cycle), aggregated over every cycle where it was analyzed.
+void critpath_table(std::string& html, const JsonValue& timeline,
+                    const char* field, const std::string& title) {
   const JsonValue* cycles = timeline.find("cycles");
   if (cycles == nullptr || !cycles->is_array()) return;
   struct Share {
@@ -195,7 +201,7 @@ void critpath_table(std::string& html, const JsonValue& timeline) {
   double total_wall = 0.0;
   std::size_t analyzed = 0;
   for (const JsonValue& c : cycles->array) {
-    const JsonValue* cp = c.find("critpath");
+    const JsonValue* cp = c.find(field);
     const JsonValue* valid = cp != nullptr ? cp->find("valid") : nullptr;
     if (valid == nullptr || !valid->boolean) continue;
     ++analyzed;
@@ -223,10 +229,8 @@ void critpath_table(std::string& html, const JsonValue& timeline) {
   std::sort(shares.begin(), shares.end(), [](const Share& a, const Share& b) {
     return a.local_us + a.transfer_us > b.local_us + b.transfer_us;
   });
-  html += "<h2>Migration critical path (aggregated over " +
-          std::to_string(analyzed) +
-          " migrating cycle(s); the slack-free chain that sets "
-          "migrate_wall_us)</h2>\n<table>\n"
+  html += "<h2>" + title + " (aggregated over " + std::to_string(analyzed) +
+          " analyzed cycle(s))</h2>\n<table>\n"
           "<tr><th>phase</th><th>local us</th><th>transfer us</th>"
           "<th>total us</th><th>share of wall</th></tr>\n";
   for (const Share& s : shares) {
@@ -241,45 +245,102 @@ void critpath_table(std::string& html, const JsonValue& timeline) {
   html += "</table>\n";
 }
 
-void traffic_heatmap(std::string& html, const JsonValue& timeline) {
+/// Reconstructs the dense PxP byte matrix (plus a per-row "rest"
+/// column) from the timeline's traffic member.  Supports the sparse
+/// top-k encoding (schema v3, {"rows": [{src, peers, rest_bytes}]})
+/// and falls back to the dense v2 {"bytes": [[...]]} layout so old
+/// documents still render.
+struct DenseTraffic {
+  std::size_t n = 0;
+  std::vector<std::vector<double>> bytes;  ///< n x n
+  std::vector<double> rest;                ///< per-source folded tail
+  bool sparse = false;
+};
+
+DenseTraffic decode_traffic(const JsonValue& timeline) {
+  DenseTraffic out;
   const JsonValue* traffic = timeline.find("traffic");
-  const JsonValue* bytes =
-      traffic != nullptr ? traffic->find("bytes") : nullptr;
-  if (bytes == nullptr || !bytes->is_array() || bytes->array.empty()) return;
+  if (traffic == nullptr) return out;
+  const JsonValue* rows = traffic->find("rows");
+  if (rows != nullptr && rows->is_array()) {
+    out.sparse = true;
+    out.n = static_cast<std::size_t>(timeline.number_or("nprocs", 0.0));
+    out.bytes.assign(out.n, std::vector<double>(out.n, 0.0));
+    out.rest.assign(out.n, 0.0);
+    for (const JsonValue& r : rows->array) {
+      const std::size_t src =
+          static_cast<std::size_t>(r.number_or("src", -1.0));
+      if (src >= out.n) continue;
+      out.rest[src] = r.number_or("rest_bytes", 0.0);
+      const JsonValue* peers = r.find("peers");
+      if (peers == nullptr || !peers->is_array()) continue;
+      for (const JsonValue& p : peers->array) {
+        // Each peer entry is [dst, bytes, msgs].
+        if (!p.is_array() || p.array.size() < 2 ||
+            !p.array[0].is_number() || !p.array[1].is_number()) {
+          continue;
+        }
+        const std::size_t dst = static_cast<std::size_t>(p.array[0].number);
+        if (dst < out.n) out.bytes[src][dst] = p.array[1].number;
+      }
+    }
+    return out;
+  }
+  const JsonValue* bytes = traffic->find("bytes");
+  if (bytes == nullptr || !bytes->is_array()) return out;
+  out.n = bytes->array.size();
+  out.bytes.assign(out.n, std::vector<double>(out.n, 0.0));
+  out.rest.assign(out.n, 0.0);
+  for (std::size_t s = 0; s < out.n; ++s) {
+    const JsonValue& row = bytes->array[s];
+    for (std::size_t d = 0; row.is_array() && d < row.array.size() &&
+                            d < out.n;
+         ++d) {
+      if (row.array[d].is_number()) out.bytes[s][d] = row.array[d].number;
+    }
+  }
+  return out;
+}
+
+void traffic_heatmap(std::string& html, const JsonValue& timeline) {
+  const DenseTraffic t = decode_traffic(timeline);
+  if (t.n == 0) return;
 
   double max_cell = 0.0;
-  for (const JsonValue& row : bytes->array) {
-    if (!row.is_array()) continue;
-    for (const JsonValue& cell : row.array) {
-      if (cell.is_number()) max_cell = std::max(max_cell, cell.number);
-    }
+  for (const auto& row : t.bytes) {
+    for (const double cell : row) max_cell = std::max(max_cell, cell);
   }
   if (max_cell <= 0.0) max_cell = 1.0;
 
   html += "<h2>Traffic heatmap (bytes sent, row = source rank, column = "
-          "destination)</h2>\n<table class=\"heat\">\n<tr><th></th>";
-  const std::size_t n = bytes->array.size();
-  for (std::size_t d = 0; d < n; ++d) {
+          "destination";
+  if (t.sparse) {
+    html += "; top-k encoding — \"rest\" folds each row's tail";
+  }
+  html += ")</h2>\n<table class=\"heat\">\n<tr><th></th>";
+  for (std::size_t d = 0; d < t.n; ++d) {
     html += "<th>" + std::to_string(d) + "</th>";
   }
+  if (t.sparse) html += "<th>rest</th>";
   html += "</tr>\n";
   char buf[160];
-  for (std::size_t s = 0; s < n; ++s) {
+  for (std::size_t s = 0; s < t.n; ++s) {
     html += "<tr><th>" + std::to_string(s) + "</th>";
-    const JsonValue& row = bytes->array[s];
-    for (std::size_t d = 0; row.is_array() && d < row.array.size(); ++d) {
-      const double v =
-          row.array[d].is_number() ? row.array[d].number : 0.0;
+    for (std::size_t d = 0; d < t.n; ++d) {
+      const double v = t.bytes[s][d];
       // Perceptual-ish ramp: light for quiet pairs, saturated blue for
       // the hottest pair.
-      const double t = std::sqrt(v / max_cell);
-      const int r = static_cast<int>(255 - t * 200);
-      const int g = static_cast<int>(255 - t * 150);
+      const double ramp = std::sqrt(v / max_cell);
+      const int r = static_cast<int>(255 - ramp * 200);
+      const int g = static_cast<int>(255 - ramp * 150);
       std::snprintf(buf, sizeof(buf),
                     "<td class=\"num\" style=\"background:rgb(%d,%d,255)\" "
                     "title=\"%zu -&gt; %zu: %.0f bytes\">%s</td>",
                     r, g, s, d, v, fmt(v).c_str());
       html += buf;
+    }
+    if (t.sparse) {
+      html += "<td class=\"num\">" + fmt(t.rest[s]) + "</td>";
     }
     html += "</tr>\n";
   }
@@ -335,8 +396,113 @@ std::string render_report_html(const JsonValue& timeline,
   html += "</table>\n";
 
   cycle_table(html, timeline);
-  critpath_table(html, timeline);
+  critpath_table(html, timeline, "cycle_critpath",
+                 "Whole-cycle critical path (the slack-free chain that "
+                 "sets cycle_us)");
+  critpath_table(html, timeline, "critpath",
+                 "Migration critical path (the slack-free chain that "
+                 "sets migrate_wall_us)");
   traffic_heatmap(html, timeline);
+
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+std::string render_soak_html(const std::vector<JsonValue>& rows,
+                             const std::string& source_name) {
+  auto top_series = [&rows](const char* field) {
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const JsonValue& r : rows) out.push_back(r.number_or(field, 0.0));
+    return out;
+  };
+  auto win_series = [&rows](const char* field) {
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const JsonValue& r : rows) {
+      const JsonValue* w = r.find("win");
+      out.push_back(w != nullptr ? w->number_or(field, 0.0) : 0.0);
+    }
+    return out;
+  };
+
+  std::string html;
+  html += "<!doctype html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n";
+  html += "<title>plum soak report</title>\n<style>\n";
+  html += "body{font-family:system-ui,sans-serif;margin:2em;color:#1a202c}\n"
+          "table{border-collapse:collapse;margin:1em 0}\n"
+          "th,td{border:1px solid #cbd5e0;padding:4px 8px;"
+          "font-size:13px}\n"
+          "th{background:#edf2f7;text-align:left}\n"
+          "td.num{text-align:right;font-variant-numeric:tabular-nums}\n"
+          "h1{font-size:20px}h2{font-size:16px;margin-top:1.5em}\n"
+          ".meta{color:#4a5568;font-size:13px}\n";
+  html += "</style>\n</head>\n<body>\n";
+  html += "<h1>plum soak report</h1>\n";
+  double trips = 0.0;
+  if (!rows.empty()) {
+    const JsonValue* sent = rows.back().find("sentinel");
+    if (sent != nullptr) trips = sent->number_or("trips", 0.0);
+  }
+  html += "<p class=\"meta\">source: " + html_escape(source_name) +
+          " &middot; cycles: " + std::to_string(rows.size()) +
+          " &middot; sentinel trips: " + fmt(trips) +
+          " &middot; schema_version: " +
+          fmt(rows.empty() ? 0.0
+                           : rows.front().number_or("schema_version", 0.0)) +
+          "</p>\n";
+
+  html += "<h2>Trends over the soak</h2>\n<table>\n"
+          "<tr><th>series</th><th>trend</th><th>min</th><th>max</th>"
+          "<th>last</th></tr>\n";
+  series_row(html, "cycle us", top_series("cycle_us"));
+  series_row(html, "windowed p50 us", win_series("p50_us"));
+  series_row(html, "windowed p95 us", win_series("p95_us"));
+  series_row(html, "windowed p99 us", win_series("p99_us"));
+  series_row(html, "windowed cycles/sec", win_series("cycles_per_sec"));
+  series_row(html, "imbalance", top_series("imbalance"));
+  series_row(html, "windowed imbalance p99", win_series("imbalance_p99"));
+  series_row(html, "migrate overlap ratio", top_series("overlap_ratio"));
+  series_row(html, "active elements", top_series("active_elements"));
+  series_row(html, "share: solve", win_series("share_solve"));
+  series_row(html, "share: adapt", win_series("share_adapt"));
+  series_row(html, "share: migrate", win_series("share_migrate"));
+  html += "</table>\n";
+
+  // Sentinel trip log: the cycles whose observation tripped a check.
+  std::string trip_rows;
+  for (const JsonValue& r : rows) {
+    const JsonValue* sent = r.find("sentinel");
+    const JsonValue* tripped =
+        sent != nullptr ? sent->find("tripped") : nullptr;
+    if (tripped == nullptr || !tripped->is_array() ||
+        tripped->array.empty()) {
+      continue;
+    }
+    std::string kinds;
+    for (const JsonValue& k : tripped->array) {
+      if (!kinds.empty()) kinds += ", ";
+      kinds += k.is_string() ? k.string : std::string("?");
+    }
+    const JsonValue* w = r.find("win");
+    trip_rows += "<tr><td class=\"num\">" + fmt(r.number_or("cycle", 0.0)) +
+                 "</td><td>" + html_escape(kinds) +
+                 "</td><td class=\"num\">" +
+                 fmt(r.number_or("cycle_us", 0.0)) +
+                 "</td><td class=\"num\">" +
+                 fmt(w != nullptr ? w->number_or("p99_us", 0.0) : 0.0) +
+                 "</td><td class=\"num\">" +
+                 fmt(r.number_or("imbalance", 0.0)) + "</td></tr>\n";
+  }
+  if (!trip_rows.empty()) {
+    html += "<h2>Sentinel trips</h2>\n<table>\n"
+            "<tr><th>cycle</th><th>checks</th><th>cycle us</th>"
+            "<th>windowed p99 us</th><th>imbalance</th></tr>\n" +
+            trip_rows + "</table>\n";
+  } else {
+    html += "<h2>Sentinel trips</h2>\n<p class=\"meta\">none — the run "
+            "stayed inside its SLOs.</p>\n";
+  }
 
   html += "</body>\n</html>\n";
   return html;

@@ -1,19 +1,24 @@
 // `plum report` HTML renderer: turns a plum_timeline JSON document
-// (parallel/timeline.hpp) into one self-contained HTML page — no
-// external scripts, stylesheets, or fonts, so the file can be attached
-// to a CI run and opened anywhere.
+// (parallel/timeline.hpp) — or a `plum soak` NDJSON stream — into one
+// self-contained HTML page: no external scripts, stylesheets, or
+// fonts, so the file can be attached to a CI run and opened anywhere.
 //
-// Layout:
+// Timeline layout:
 //   * run summary (ranks, cycles, schema version, source file);
 //   * a sparkline table: one row per gauge with an inline SVG trend
 //     over cycles plus min / max / last;
 //   * the per-cycle detail table (prediction vs realized columns
 //     adjacent so cost-model drift is visible at a glance);
+//   * critical-path phase breakdowns, migrate-window and whole-cycle;
 //   * the PxP traffic heatmap (sender row, receiver column, cell
-//     shaded by bytes).
+//     shaded by bytes), reconstructed from the sparse top-k rows.
+//
+// Soak layout: windowed-quantile / throughput / gauge trends over the
+// whole run plus the sentinel trip log.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "support/json_parse.hpp"
 
@@ -24,5 +29,11 @@ namespace plum::tools {
 /// object; missing members degrade to empty sections, never crash.
 std::string render_report_html(const JsonValue& timeline,
                                const std::string& source_name);
+
+/// Renders a soak trend page from the parsed "plum_soak" NDJSON lines
+/// (one JsonValue per cycle, stream order).  Missing members degrade
+/// to zeros, never crash.
+std::string render_soak_html(const std::vector<JsonValue>& rows,
+                             const std::string& source_name);
 
 }  // namespace plum::tools
